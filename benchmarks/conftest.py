@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite."""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = os.path.abspath(RESULTS_DIR)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def bwv578_session():
+    from repro.fixtures.bwv578 import build_bwv578_score
+
+    return build_bwv578_score()

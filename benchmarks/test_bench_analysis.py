@@ -1,0 +1,48 @@
+"""Analysis-subsystem benchmarks: the musicological workloads."""
+
+import pytest
+
+from repro.analysis.harmony import analyze_sync_harmony
+from repro.analysis.key_finding import estimate_key
+from repro.analysis.melody import find_imitations
+from repro.versions import VersionTree, clone_score, diff_scores
+
+
+def test_key_estimation(benchmark, bwv578_session):
+    builder = bwv578_session
+    name, mode, _ = benchmark(estimate_key, builder.cmn, builder.score)
+    assert (name, mode) == ("G", "minor")
+
+
+def test_imitation_search(benchmark, bwv578_session):
+    builder = bwv578_session
+    imitations = benchmark(
+        find_imitations, builder.cmn, builder.score, 8
+    )
+    assert len(imitations) == 2
+
+
+def test_harmonic_reduction(benchmark, bwv578_session):
+    builder = bwv578_session
+    labels = benchmark(analyze_sync_harmony, builder.cmn, builder.score)
+    assert labels
+
+
+def test_clone_score(benchmark, bwv578_session):
+    builder = bwv578_session
+    clone = benchmark(clone_score, builder.cmn, builder.score)
+    assert clone.surrogate != builder.score.surrogate
+
+
+def test_diff_identical_scores(benchmark, bwv578_session):
+    builder = bwv578_session
+    clone = clone_score(builder.cmn, builder.score)
+    changes = benchmark(diff_scores, builder.cmn, builder.score, clone)
+    assert changes == []
+
+
+def test_version_commit(benchmark, bwv578_session):
+    builder = bwv578_session
+    tree = VersionTree(builder.cmn, builder.score)
+    version = benchmark(tree.commit, "bench")
+    assert version["label"] == "bench"

@@ -1,0 +1,62 @@
+"""Meta-catalog benchmarks: schema-as-data costs (section 6).
+
+The four-step GraphDef drawing procedure consults the catalog on every
+draw; these benches measure that overhead and the catalog round trip.
+"""
+
+import pytest
+
+from repro.cmn.schema import CmnSchema
+from repro.core.catalog import MetaCatalog
+from repro.graphics.graphdef import GraphicsCatalog
+
+
+@pytest.fixture(scope="module")
+def catalogued_cmn():
+    cmn = CmnSchema()
+    graphics = GraphicsCatalog(cmn.schema)
+    graphics.meta.sync()
+    graphics.register_standard()
+    stems = [
+        cmn.STEM.create(xpos=20 + i, ypos=8, length=28, direction=1)
+        for i in range(50)
+    ]
+    return cmn, graphics, stems
+
+
+def test_catalog_sync(benchmark):
+    cmn = CmnSchema()
+    catalog = MetaCatalog(cmn.schema)
+    benchmark(catalog.sync)
+    assert len(catalog.catalogued_entities()) > 30
+
+
+def test_catalog_reconstruct(benchmark):
+    cmn = CmnSchema()
+    catalog = MetaCatalog(cmn.schema).sync()
+    rebuilt = benchmark(catalog.reconstruct)
+    assert rebuilt.has_entity_type("NOTE")
+
+
+def test_attribute_lookup(benchmark, catalogued_cmn):
+    _, graphics, _ = catalogued_cmn
+    attributes = benchmark(graphics.meta.attributes_of_entity, "STEM")
+    assert [a["attribute_name"] for a in attributes] == [
+        "xpos", "ypos", "length", "direction",
+    ]
+
+
+def test_draw_one_stem(benchmark, catalogued_cmn):
+    _, graphics, stems = catalogued_cmn
+    display = benchmark(graphics.draw, stems[0])
+    assert len(display) > 0
+
+
+def test_draw_fifty_stems(benchmark, catalogued_cmn):
+    cmn, graphics, stems = catalogued_cmn
+
+    def draw_all():
+        return [graphics.draw(stem) for stem in stems]
+
+    displays = benchmark(draw_all)
+    assert len(displays) == 50

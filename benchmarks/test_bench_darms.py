@@ -1,0 +1,59 @@
+"""DARMS benchmarks: parsing, canonization, decode/encode round trips."""
+
+import pytest
+
+from repro.darms.canonical import canonize
+from repro.darms.decode import darms_to_score
+from repro.darms.encode import score_to_darms
+from repro.darms.parser import parse_darms
+from repro.fixtures.gloria import GLORIA_USER_DARMS
+
+
+def _long_user_darms(measures=16):
+    """A generated user-DARMS line with carried durations and beams."""
+    cells = ["I1 !G !K1# !M4:4"]
+    for measure in range(measures):
+        base = 1 + measure % 5
+        cells.append("(%dE %d) (%d %d) %dQ %d /" % (
+            base, base + 1, base + 2, base + 1, base, base,
+        ))
+    return " ".join(cells)[:-1] + "//"
+
+
+def test_parse_gloria(benchmark):
+    elements = benchmark(parse_darms, GLORIA_USER_DARMS)
+    assert elements
+
+
+def test_canonize_gloria(benchmark):
+    canonical = benchmark(canonize, GLORIA_USER_DARMS)
+    assert canonize(canonical) == canonical
+
+
+def test_canonize_long_input(benchmark):
+    source = _long_user_darms()
+    canonical = benchmark(canonize, source)
+    assert len(canonical) > len(source)  # explicit durations lengthen it
+
+
+def test_decode_to_score(benchmark):
+    builder, score = benchmark(darms_to_score, GLORIA_USER_DARMS)
+    assert builder.view.counts()["notes"] > 10
+
+
+def test_encode_from_score(benchmark):
+    builder, score = darms_to_score(GLORIA_USER_DARMS)
+    encoded = benchmark(score_to_darms, builder.cmn, score)
+    assert encoded.endswith("//")
+
+
+def test_full_round_trip(benchmark):
+    source = _long_user_darms(8)
+
+    def round_trip():
+        builder, score = darms_to_score(source)
+        return score_to_darms(builder.cmn, score)
+
+    encoded = benchmark(round_trip)
+    builder2, score2 = darms_to_score(encoded)
+    assert score_to_darms(builder2.cmn, score2) == encoded

@@ -1,0 +1,65 @@
+"""MIDI extraction and sound-layer benchmarks, including the paper's
+storage-size point (section 4.1) and both compaction families."""
+
+import pytest
+
+from repro.midi.extract import extract_midi
+from repro.midi.smf import read_smf, write_smf
+from repro.sound.compaction import compaction_report
+from repro.sound.samples import storage_bytes
+from repro.sound.synthesis import synthesize
+from repro.temporal.conductor import Conductor, RubatoWarp
+from repro.temporal.tempo import TempoMap
+
+
+def test_extract_midi(benchmark, bwv578_session):
+    builder = bwv578_session
+    events = benchmark(
+        extract_midi, builder.cmn, builder.score, None, False
+    )
+    assert len(events.notes) > 30
+
+
+def test_extract_with_rubato_conductor(benchmark, bwv578_session):
+    builder = bwv578_session
+    conductor = Conductor(
+        TempoMap(84).ritardando(28, 32, 60), RubatoWarp(0.03, 4.0)
+    )
+    events = benchmark(
+        extract_midi, builder.cmn, builder.score, conductor, False
+    )
+    assert len(events.notes) > 30
+
+
+def test_smf_round_trip(benchmark, bwv578_session):
+    builder = bwv578_session
+    events = extract_midi(builder.cmn, builder.score, store=False)
+
+    def round_trip():
+        return read_smf(write_smf(events))
+
+    back = benchmark(round_trip)
+    assert len(back.notes) == len(events.notes)
+
+
+@pytest.mark.parametrize("sample_rate", [8000, 22050])
+def test_synthesis(benchmark, bwv578_session, sample_rate):
+    builder = bwv578_session
+    events = extract_midi(builder.cmn, builder.score, store=False)
+    buffer = benchmark(synthesize, events, sample_rate)
+    assert buffer.duration_seconds > 10
+
+
+def test_compaction(benchmark, bwv578_session):
+    builder = bwv578_session
+    events = extract_midi(builder.cmn, builder.score, store=False)
+    buffer = synthesize(events, sample_rate=8000)
+    report = benchmark(compaction_report, buffer)
+    assert report["redundancy_ratio"] > 1.0
+    assert report["combined_bytes"] <= report["raw_bytes"]
+
+
+def test_storage_figure_is_papers(benchmark):
+    """The 57.6 MB / 10 min figure of section 4.1 must hold."""
+    result = benchmark(storage_bytes, 600)
+    assert result == 57_600_000

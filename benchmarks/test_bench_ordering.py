@@ -1,0 +1,98 @@
+"""Ordering-manipulation benchmarks.
+
+Section 5.2 motivates ordering as a modeled property rather than a
+performance trick; these benches measure what the modeling costs:
+appends (position assignment only), front inserts (worst-case sibling
+shifting), membership queries, and the before/after operators as the
+sibling set grows.
+"""
+
+import pytest
+
+from repro.core.schema import Schema
+
+
+def make_chord_schema(note_count):
+    schema = Schema("bench")
+    schema.define_entity("CHORD", [("n", "integer")])
+    schema.define_entity("NOTE", [("n", "integer")])
+    ordering = schema.define_ordering("o", ["NOTE"], under="CHORD")
+    chord = schema.entity_type("CHORD").create(n=0)
+    notes = [schema.entity_type("NOTE").create(n=i) for i in range(note_count)]
+    return schema, ordering, chord, notes
+
+
+@pytest.mark.parametrize("size", [10, 100, 400])
+def test_append_children(benchmark, size):
+    def build():
+        schema, ordering, chord, notes = make_chord_schema(size)
+        for note in notes:
+            ordering.append(chord, note)
+        return ordering
+
+    ordering = benchmark(build)
+    assert ordering.table_size() == size
+
+
+@pytest.mark.parametrize("size", [10, 100, 400])
+def test_front_insert_shifts(benchmark, size):
+    """Insert at position 1 each time: O(n) sibling shifts per insert."""
+
+    def build():
+        schema, ordering, chord, notes = make_chord_schema(size)
+        for note in notes:
+            ordering.insert(chord, note, 1)
+        return ordering
+
+    ordering = benchmark(build)
+    assert ordering.table_size() == size
+
+
+@pytest.mark.parametrize("size", [10, 100, 400])
+def test_before_operator(benchmark, size):
+    schema, ordering, chord, notes = make_chord_schema(size)
+    for note in notes:
+        ordering.append(chord, note)
+    first, last = notes[0], notes[-1]
+
+    result = benchmark(ordering.before, first, last)
+    assert result is True
+
+
+@pytest.mark.parametrize("size", [100, 400])
+def test_children_enumeration(benchmark, size):
+    schema, ordering, chord, notes = make_chord_schema(size)
+    for note in notes:
+        ordering.append(chord, note)
+
+    children = benchmark(ordering.children, chord)
+    assert len(children) == size
+
+
+def test_recursive_descendants(benchmark):
+    """Walk a 3-level beam-group tree (fan-out 5)."""
+    schema = Schema("bench")
+    schema.define_entity("G", [("n", "integer")])
+    ordering = schema.define_ordering("g", ["G"], under="G")
+    root = schema.entity_type("G").create(n=0)
+    frontier = [root]
+    created = 0
+    for _ in range(3):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(5):
+                created += 1
+                child = schema.entity_type("G").create(n=created)
+                ordering.append(parent, child)
+                next_frontier.append(child)
+        frontier = next_frontier
+
+    descendants = benchmark(ordering.descendants, root)
+    assert len(descendants) == 5 + 25 + 125
+
+
+def test_invariant_check(benchmark):
+    schema, ordering, chord, notes = make_chord_schema(300)
+    for note in notes:
+        ordering.append(chord, note)
+    benchmark(ordering.check_invariants)

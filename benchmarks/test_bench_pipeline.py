@@ -1,0 +1,62 @@
+"""End-to-end pipeline benchmarks: the workloads an MDM serves."""
+
+import pytest
+
+from repro.fixtures.examples import make_demo_index, make_scale_score
+from repro.biblio.incipit import search_by_incipit
+from repro.cmn.validate import validate_score
+from repro.quel.executor import QuelSession
+
+
+@pytest.mark.parametrize("measures,voices", [(4, 2), (8, 4)])
+def test_build_score(benchmark, measures, voices):
+    builder = benchmark(make_scale_score, measures, voices)
+    counts = builder.view.counts()
+    assert counts["notes"] == measures * voices * 8
+
+
+def test_validate_score(benchmark):
+    builder = make_scale_score(measures=8, voices=4)
+    issues = benchmark(validate_score, builder.cmn, builder.score)
+    assert issues == []
+
+
+def test_analysis_queries_over_corpus(benchmark):
+    builder = make_scale_score(measures=8, voices=4)
+    session = QuelSession(builder.cmn.schema)
+
+    def analysis():
+        census = session.execute(
+            "range of n is NOTE\n"
+            "retrieve (n.degree, total = count(n.degree))"
+        )
+        extremes = session.execute(
+            "range of e is EVENT\n"
+            "retrieve (low = min(e.midi_key), high = max(e.midi_key))"
+        )
+        return census, extremes
+
+    census, extremes = benchmark(analysis)
+    assert sum(r["total"] for r in census) == 256
+    assert extremes[0]["low"] < extremes[0]["high"]
+
+
+def test_build_thematic_index(benchmark):
+    index = benchmark(make_demo_index, 25)
+    assert len(index) == 25
+
+
+def test_incipit_search_over_index(benchmark):
+    index = make_demo_index(25)
+    hits = benchmark(
+        search_by_incipit, index, "!G !M4:4 21Q 23Q 25Q 27Q //", "intervals", True
+    )
+    assert hits
+
+
+def test_experiment_suite_end_to_end(benchmark):
+    """The complete reproduction harness as one number."""
+    from repro.experiments.registry import run_all
+
+    results = benchmark(run_all)
+    assert all(result.passed() for result in results)

@@ -1,0 +1,88 @@
+"""QUEL execution benchmarks: the section 5.2 index-vs-scan argument
+and the cost of the ordering operators inside queries."""
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.quel.executor import QuelSession
+
+
+@pytest.fixture(scope="module")
+def populated():
+    schema = Schema("bench")
+    schema.define_entity("CHORD", [("n", "integer")])
+    schema.define_entity(
+        "NOTE", [("n", "integer"), ("pitch", "integer"), ("label", "string")]
+    )
+    ordering = schema.define_ordering("o", ["NOTE"], under="CHORD")
+    for chord_index in range(40):
+        chord = schema.entity_type("CHORD").create(n=chord_index)
+        for note_index in range(10):
+            note = schema.entity_type("NOTE").create(
+                n=chord_index * 10 + note_index,
+                pitch=40 + (chord_index + note_index) % 48,
+                label="n%d" % note_index,
+            )
+            ordering.append(chord, note)
+    return schema
+
+
+def test_indexed_equality_selection(benchmark, populated):
+    """Selection on 'n' goes through a hash-index candidate set."""
+    session = QuelSession(populated)
+    rows = benchmark(
+        session.execute,
+        "range of n is NOTE\nretrieve (n.pitch) where n.n = 250",
+    )
+    assert len(rows) == 1
+    assert "index" in session.last_plan
+
+
+def test_scan_inequality_selection(benchmark, populated):
+    session = QuelSession(populated)
+    rows = benchmark(
+        session.execute,
+        "range of n is NOTE\nretrieve (n.n) where n.pitch > 80",
+    )
+    assert rows
+    assert "scan" in session.last_plan
+
+
+def test_two_variable_join(benchmark, populated):
+    session = QuelSession(populated)
+    rows = benchmark(
+        session.execute,
+        "range of a, b is NOTE\n"
+        "retrieve (a.n) where a.pitch = b.pitch + 1 and b.n = 100",
+    )
+    assert isinstance(rows, list)
+
+
+def test_under_query(benchmark, populated):
+    session = QuelSession(populated)
+    rows = benchmark(
+        session.execute,
+        "range of n is NOTE\nrange of c is CHORD\n"
+        "retrieve (n.n) where n under c in o and c.n = 17 sort by n.n",
+    )
+    assert len(rows) == 10
+
+
+def test_before_query(benchmark, populated):
+    session = QuelSession(populated)
+    rows = benchmark(
+        session.execute,
+        "range of n1, n2 is NOTE\n"
+        "retrieve (n1.n) where n1 before n2 in o and n2.n = 105",
+    )
+    assert len(rows) == 5
+
+
+def test_aggregate_query(benchmark, populated):
+    session = QuelSession(populated)
+    rows = benchmark(
+        session.execute,
+        "range of n is NOTE\n"
+        "retrieve (total = count(n.n), top = max(n.pitch))",
+    )
+    assert rows[0]["total"] == 400

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Versions and alternatives: the [Dan86]/[KaL82] extension.
+
+An editing session over the MDM: commit a baseline, edit the working
+score, commit again, branch two alternatives from the baseline, and
+diff them -- everything stored as ordinary entities.
+
+Run:  python examples/versioned_editing.py
+"""
+
+from fractions import Fraction
+
+from repro.cmn.builder import ScoreBuilder
+from repro.cmn.score import ScoreView
+from repro.versions import VersionTree, diff_scores
+
+
+def main():
+    builder = ScoreBuilder("Sarabande sketch", meter="3/4", bpm=72)
+    melody = builder.add_voice("melody", instrument="Viola da gamba")
+    for name in ("D4", "F4", "A4"):
+        builder.note(melody, name, Fraction(1, 4))
+    builder.note(melody, "Bb4", Fraction(1, 2))
+    builder.note(melody, "A4", Fraction(1, 4))
+    builder.finish()
+    cmn = builder.cmn
+
+    tree = VersionTree(cmn, builder.score)
+    baseline = tree.commit("first sketch")
+
+    # Revise the working score: raise the climax note.
+    view = builder.view
+    chords = [
+        item for item in view.voice_stream(melody) if item.type.name == "CHORD"
+    ]
+    climax = view.notes_of(chords[3])[0]
+    climax.set(degree=climax["degree"] + 2, accidental=None)
+    revision = tree.commit("raise the climax")
+
+    print("Version log:")
+    print(tree.log())
+    print("\nBaseline vs revision:")
+    for change in diff_scores(
+        cmn, tree.snapshot_of(baseline), tree.snapshot_of(revision)
+    ):
+        print("  ", change)
+
+    # Branch two alternatives off the baseline.
+    ornamented = tree.checkout(baseline, title="ornamented alternative")
+    ornament_view = ScoreView(cmn, ornamented)
+    ornament_voice = ornament_view.voices()[0]
+    first = ornament_view.voice_stream(ornament_voice)[0]
+    grace = cmn.NOTE.create(degree=3, tied_to_next=False)
+    cmn.note_in_chord.append(first, grace)
+    alt_a = tree.commit("alternative: added third", parent=baseline, score=ornamented)
+
+    sparse = tree.checkout(baseline, title="sparse alternative")
+    alt_b = tree.commit("alternative: as-is restatement", parent=baseline, score=sparse)
+
+    print("\nAlternatives branching from v%d:" % baseline["sequence"])
+    for record in tree.alternatives(alt_a) + [alt_a]:
+        print("  v%d  %s" % (record["sequence"], record["label"]))
+
+    print("\nHistory of the final revision:")
+    for record in tree.history(revision):
+        print("  v%d  %s" % (record["sequence"], record["label"]))
+
+    print(
+        "\nDiff alternative-vs-alternative:",
+        diff_scores(cmn, tree.snapshot_of(alt_a), tree.snapshot_of(alt_b))
+        or "(identical)",
+    )
+
+
+if __name__ == "__main__":
+    main()

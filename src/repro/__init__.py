@@ -1,0 +1,67 @@
+"""repro: a Music Data Manager.
+
+A full reproduction of W. Bradley Rubenstein, "A Database Design for
+Musical Information" (SIGMOD 1987): the entity-relationship model
+extended with hierarchical ordering, a DDL and QUEL with the ordering
+operators, the schema-as-data meta-catalog, the CMN score schema, and
+the surrounding musical substrates (temporal, pitch, MIDI, sound,
+DARMS, piano roll, bibliographic).
+
+Quickstart::
+
+    from repro import MusicDataManager, ScoreBuilder
+
+    mdm = MusicDataManager()
+    builder = ScoreBuilder("My piece", cmn=mdm.cmn)
+    voice = builder.add_voice("melody")
+    builder.note(voice, "C4", (1, 4))
+    builder.finish()
+    mdm.retrieve("retrieve (total = count(NOTE.degree))")
+"""
+
+from repro.core import (
+    EntityInstance,
+    EntityType,
+    HOGraph,
+    InstanceGraph,
+    MetaCatalog,
+    Ordering,
+    RelationshipType,
+    Schema,
+)
+from repro.ddl import execute_ddl, parse_ddl
+from repro.quel import QuelSession, execute_quel, parse_quel
+from repro.mdm import MusicDataManager
+from repro.cmn import CmnSchema, ScoreBuilder
+from repro.cmn.score import ScoreView
+from repro.temporal import Conductor, MeterSignature, TempoMap
+from repro.pitch import Clef, KeySignature, Pitch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Schema",
+    "EntityType",
+    "EntityInstance",
+    "RelationshipType",
+    "Ordering",
+    "InstanceGraph",
+    "HOGraph",
+    "MetaCatalog",
+    "parse_ddl",
+    "execute_ddl",
+    "parse_quel",
+    "execute_quel",
+    "QuelSession",
+    "MusicDataManager",
+    "CmnSchema",
+    "ScoreBuilder",
+    "ScoreView",
+    "TempoMap",
+    "Conductor",
+    "MeterSignature",
+    "Pitch",
+    "Clef",
+    "KeySignature",
+    "__version__",
+]

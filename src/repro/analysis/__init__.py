@@ -1,0 +1,41 @@
+"""Music analysis algorithms: the section 2 "music analysis systems"
+client archetype, made concrete.
+
+"Systems that perform various sorts of harmonic analysis, or those
+that determine melodic structure are examples" -- so this package
+provides both: triad identification over syncs (harmonic), melodic
+profiles / motif and imitation finding (melodic), and
+Krumhansl-Schmuckler key estimation, all computed from the shared
+entity representation.
+"""
+
+from repro.analysis.harmony import (
+    Triad,
+    analyze_sync_harmony,
+    identify_triad,
+    sounding_keys_at,
+)
+from repro.analysis.melody import (
+    find_imitations,
+    find_motif,
+    interval_profile,
+    melodic_contour,
+)
+from repro.analysis.key_finding import estimate_key, pitch_class_weights
+from repro.analysis.roman import progression, roman_numeral, roman_numeral_analysis
+
+__all__ = [
+    "Triad",
+    "identify_triad",
+    "sounding_keys_at",
+    "analyze_sync_harmony",
+    "interval_profile",
+    "melodic_contour",
+    "find_motif",
+    "find_imitations",
+    "estimate_key",
+    "pitch_class_weights",
+    "roman_numeral",
+    "roman_numeral_analysis",
+    "progression",
+]

@@ -1,0 +1,122 @@
+"""Harmonic analysis: triads over syncs.
+
+Each SYNC is a vertical slice (figure 14); the notes *sounding* there
+(chords starting at it plus earlier events still ringing) form a
+sonority, identified as a triad (major / minor / diminished /
+augmented, with inversions) where possible.
+"""
+
+from fractions import Fraction
+
+from repro.cmn.events import all_events
+from repro.cmn.score import ScoreView
+
+_PITCH_NAMES = ["C", "C#", "D", "Eb", "E", "F", "F#", "G", "Ab", "A", "Bb", "B"]
+
+#: Interval patterns from the root, in semitones.
+_TRIAD_PATTERNS = {
+    (0, 4, 7): "major",
+    (0, 3, 7): "minor",
+    (0, 3, 6): "diminished",
+    (0, 4, 8): "augmented",
+}
+
+
+class Triad:
+    """An identified triad: root pitch class, quality, inversion."""
+
+    __slots__ = ("root_pc", "quality", "inversion")
+
+    def __init__(self, root_pc, quality, inversion):
+        self.root_pc = root_pc
+        self.quality = quality
+        self.inversion = inversion  # 0 root position, 1 first, 2 second
+
+    def name(self):
+        base = _PITCH_NAMES[self.root_pc]
+        if self.quality in ("minor", "diminished"):
+            base = base.lower()
+        suffix = {"diminished": "o", "augmented": "+"}.get(self.quality, "")
+        inversion = {0: "", 1: " (1st inv)", 2: " (2nd inv)"}[self.inversion]
+        return base + suffix + inversion
+
+    def __eq__(self, other):
+        if not isinstance(other, Triad):
+            return NotImplemented
+        return (self.root_pc, self.quality, self.inversion) == (
+            other.root_pc, other.quality, other.inversion,
+        )
+
+    def __repr__(self):
+        return "Triad(%s)" % self.name()
+
+
+def identify_triad(midi_keys):
+    """Identify the triad formed by *midi_keys*, or None.
+
+    Octave doublings are ignored; the bass note determines inversion.
+    """
+    if not midi_keys:
+        return None
+    pitch_classes = sorted({key % 12 for key in midi_keys})
+    if len(pitch_classes) != 3:
+        return None
+    bass_pc = min(midi_keys) % 12
+    for rotation in range(3):
+        candidate_root = pitch_classes[rotation]
+        intervals = tuple(
+            sorted((pc - candidate_root) % 12 for pc in pitch_classes)
+        )
+        quality = _TRIAD_PATTERNS.get(intervals)
+        if quality is not None:
+            ordered = [(candidate_root + step) % 12 for step in intervals]
+            inversion = ordered.index(bass_pc)
+            return Triad(candidate_root, quality, inversion)
+    return None
+
+
+def sounding_keys_at(cmn, score, beat):
+    """MIDI keys of every event sounding at absolute *beat*."""
+    beat = Fraction(beat)
+    return sorted(
+        event["midi_key"]
+        for event in all_events(cmn, score)
+        if event["start_beats"] <= beat
+        < event["start_beats"] + event["duration_beats"]
+    )
+
+
+def analyze_sync_harmony(cmn, score):
+    """Per-sync harmonic labels for a whole score.
+
+    Returns ``[(measure number, offset, sounding keys, Triad-or-None)]``
+    in temporal order -- a simple harmonic reduction.
+    """
+    view = ScoreView(cmn, score)
+    out = []
+    for movement in view.movements():
+        starts = view.measure_starts(movement)
+        movement_start = view.movement_starts()[movement.surrogate]
+        for measure in view.measures(movement):
+            measure_start = movement_start + starts[measure.surrogate]
+            for sync in view.syncs(measure):
+                beat = measure_start + sync["offset_beats"]
+                keys = sounding_keys_at(cmn, score, beat)
+                out.append(
+                    (
+                        measure["number"],
+                        sync["offset_beats"],
+                        keys,
+                        identify_triad(keys),
+                    )
+                )
+    return out
+
+
+def harmonic_summary(cmn, score):
+    """Counter of triad names over the score's syncs (None excluded)."""
+    summary = {}
+    for _, _, _, triad in analyze_sync_harmony(cmn, score):
+        if triad is not None:
+            summary[triad.name()] = summary.get(triad.name(), 0) + 1
+    return summary

@@ -1,0 +1,92 @@
+"""Melodic structure: profiles, motif search, imitation finding.
+
+"...those that determine melodic structure" (section 2).  Melodies are
+read from derived events per voice; matching is interval-based, so
+transposed recurrences (fugal answers, sequences) are found.
+"""
+
+from repro.cmn.events import events_of_voice
+from repro.cmn.score import ScoreView
+
+
+def voice_keys(cmn, voice):
+    """The MIDI key sequence of a voice's events, in order."""
+    return [event["midi_key"] for event in events_of_voice(cmn, voice)]
+
+
+def interval_profile(keys):
+    """Successive semitone intervals of a key sequence."""
+    return [b - a for a, b in zip(keys, keys[1:])]
+
+
+def melodic_contour(keys):
+    """Up/down/repeat string of a key sequence."""
+    out = []
+    for interval in interval_profile(keys):
+        out.append("U" if interval > 0 else ("D" if interval < 0 else "R"))
+    return "".join(out)
+
+
+def find_motif(keys, motif_intervals):
+    """Start indices where *motif_intervals* occurs in *keys* (possibly
+    transposed -- interval matching)."""
+    haystack = interval_profile(keys)
+    needle = list(motif_intervals)
+    if not needle:
+        return list(range(len(keys)))
+    hits = []
+    for start in range(len(haystack) - len(needle) + 1):
+        if haystack[start:start + len(needle)] == needle:
+            hits.append(start)
+    return hits
+
+
+class Imitation:
+    """A recurrence of the subject in some voice."""
+
+    __slots__ = ("voice_name", "event_index", "start_beats", "transposition")
+
+    def __init__(self, voice_name, event_index, start_beats, transposition):
+        self.voice_name = voice_name
+        self.event_index = event_index
+        self.start_beats = start_beats
+        self.transposition = transposition
+
+    def __repr__(self):
+        return "Imitation(%s @ beat %s, %+d semitones)" % (
+            self.voice_name, self.start_beats, self.transposition,
+        )
+
+
+def find_imitations(cmn, score, subject_length=8, subject_voice=None):
+    """Find transposed statements of the opening subject across voices.
+
+    The subject is the first *subject_length* events of *subject_voice*
+    (default: the first voice).  Returns Imitations sorted by start
+    time; the original statement is included (transposition 0).
+    """
+    view = ScoreView(cmn, score)
+    voices = view.voices()
+    if not voices:
+        return []
+    if subject_voice is None:
+        subject_voice = voices[0]
+    subject_keys = voice_keys(cmn, subject_voice)[:subject_length]
+    if len(subject_keys) < 2:
+        return []
+    subject = interval_profile(subject_keys)
+    out = []
+    for voice in voices:
+        events = events_of_voice(cmn, voice)
+        keys = [event["midi_key"] for event in events]
+        for index in find_motif(keys, subject):
+            out.append(
+                Imitation(
+                    voice["name"],
+                    index,
+                    events[index]["start_beats"],
+                    keys[index] - subject_keys[0],
+                )
+            )
+    out.sort(key=lambda imitation: imitation.start_beats)
+    return out

@@ -1,0 +1,66 @@
+"""Roman-numeral labels: triads interpreted in an estimated key.
+
+The classical harmonic-analysis output format: each identified triad is
+expressed as a scale-degree numeral (upper case major, lower case
+minor, ``o``/``+`` for diminished/augmented) relative to the key the
+Krumhansl-Schmuckler estimator finds.
+"""
+
+from repro.analysis.harmony import analyze_sync_harmony
+from repro.analysis.key_finding import estimate_key
+
+_NUMERALS = ["I", "II", "III", "IV", "V", "VI", "VII"]
+
+#: Semitone offsets of the diatonic degrees.
+_MAJOR_DEGREES = {0: 0, 2: 1, 4: 2, 5: 3, 7: 4, 9: 5, 11: 6}
+_MINOR_DEGREES = {0: 0, 2: 1, 3: 2, 5: 3, 7: 4, 8: 5, 10: 6, 11: 6}
+
+_PITCH_CLASS = {
+    "C": 0, "C#": 1, "Db": 1, "D": 2, "Eb": 3, "E": 4, "F": 5, "F#": 6,
+    "Gb": 6, "G": 7, "Ab": 8, "A": 9, "Bb": 10, "B": 11,
+}
+
+
+def roman_numeral(triad, tonic_pc, mode):
+    """The numeral of *triad* in the key (None when chromatic)."""
+    offset = (triad.root_pc - tonic_pc) % 12
+    degrees = _MAJOR_DEGREES if mode == "major" else _MINOR_DEGREES
+    degree = degrees.get(offset)
+    if degree is None:
+        return None
+    numeral = _NUMERALS[degree]
+    if triad.quality in ("minor", "diminished"):
+        numeral = numeral.lower()
+    if triad.quality == "diminished":
+        numeral += "o"
+    elif triad.quality == "augmented":
+        numeral += "+"
+    return numeral
+
+
+def roman_numeral_analysis(cmn, score, key=None):
+    """Per-sync numerals for *score*.
+
+    *key* is ``(tonic name, mode)``; estimated when omitted.  Returns
+    ``[(measure, offset, numeral-or-None)]`` for syncs with triads.
+    """
+    if key is None:
+        tonic_name, mode, _ = estimate_key(cmn, score)
+    else:
+        tonic_name, mode = key
+    tonic_pc = _PITCH_CLASS[tonic_name]
+    out = []
+    for measure, offset, _, triad in analyze_sync_harmony(cmn, score):
+        if triad is None:
+            continue
+        out.append((measure, offset, roman_numeral(triad, tonic_pc, mode)))
+    return out
+
+
+def progression(cmn, score, key=None):
+    """The numeral sequence with consecutive repeats collapsed."""
+    out = []
+    for _, _, numeral in roman_numeral_analysis(cmn, score, key):
+        if numeral is not None and (not out or out[-1] != numeral):
+            out.append(numeral)
+    return out

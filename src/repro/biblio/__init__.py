@@ -1,0 +1,23 @@
+"""Bibliographic information (section 4.2).
+
+Thematic indexes: an organization of a composer's works with, per
+entry, the thematic incipit plus bibliographic attributes -- setting
+(Besetzung), date/place of composition, measure count (Takte),
+manuscript copies (Abschriften), printed editions (Ausgaben), and
+literature (Literatur).  "BWV 578" names entry 578 of the
+Bach-Werke-Verzeichnis.
+"""
+
+from repro.biblio.thematic import ThematicIndex, build_biblio_schema
+from repro.biblio.incipit import incipit_intervals, incipit_contour, search_by_incipit
+from repro.biblio.catalog import format_entry, format_citation
+
+__all__ = [
+    "ThematicIndex",
+    "build_biblio_schema",
+    "incipit_intervals",
+    "incipit_contour",
+    "search_by_incipit",
+    "format_entry",
+    "format_citation",
+]

@@ -1,0 +1,44 @@
+"""Rendering thematic-index entries (the figure 2 layout)."""
+
+
+def format_citation(index, entry):
+    """The short identifier plus title: ``578 Fuge g-moll``."""
+    return "%d %s" % (entry["number"], entry["title"])
+
+
+def format_entry(index, entry, width=72):
+    """A figure-2-style text block for one entry.
+
+    Sections follow the paper's example: Besetzung (setting), EZ (when
+    and where composed), the incipits, Abschriften (copies), Ausgaben
+    (editions), Literatur (articles)."""
+    lines = []
+    lines.append(format_citation(index, entry))
+    lines.append("=" * min(width, len(lines[0])))
+    setting = entry["setting"]
+    if setting:
+        lines.append("Besetzung: %s" % setting)
+    when = entry["composed_when"]
+    where = entry["composed_where"]
+    if when or where:
+        composed = " ".join(p for p in (when, where) if p)
+        lines.append("EZ: %s" % composed)
+    takte = entry["measure_count"]
+    if takte:
+        lines.append("Takte: %d" % takte)
+    incipits = index.incipits(entry)
+    if incipits:
+        lines.append("")
+        for incipit in incipits:
+            label = incipit["voice_label"]
+            prefix = ("%s: " % label) if label else ""
+            lines.append("  %s%s" % (prefix, incipit["darms"]))
+        lines.append("")
+    for heading, items in (
+        ("Abschriften", index.copies(entry)),
+        ("Ausgaben", index.editions(entry)),
+        ("Literatur", index.literature(entry)),
+    ):
+        if items:
+            lines.append("%s: %s" % (heading, " - ".join(i["text"] for i in items)))
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Thematic-incipit search.
+
+An incipit is stored as DARMS (section 4.6 gives us the encoding).  For
+matching, the melody is reduced to an interval sequence (transposition
+invariant) or a contour (up/down/repeat); queries match entries whose
+incipit begins with -- or contains -- the query's reduction.  This is
+the "sufficient musical (i.e. thematic) material to identify the
+composition" use of section 4.2.
+"""
+
+from repro.errors import BiblioError
+from repro.darms.canonical import normalize
+from repro.darms.parser import parse_darms
+from repro.darms.tokens import BeamGroup, ClefCode, KeyCode, NoteCode
+from repro.pitch.accidental import Accidental, AccidentalState
+from repro.pitch.clef import clef_by_name
+from repro.pitch.key import KeySignature
+from repro.pitch.spelling import performance_pitch
+
+
+def _flatten_notes(elements):
+    out = []
+    for element in elements:
+        if isinstance(element, NoteCode):
+            out.append(element)
+        elif isinstance(element, BeamGroup):
+            out.extend(_flatten_notes(element.members))
+    return out
+
+
+def incipit_midi_keys(darms_text):
+    """The MIDI key sequence of a DARMS incipit."""
+    try:
+        elements = normalize(parse_darms(darms_text))
+    except Exception as exc:
+        raise BiblioError("bad incipit DARMS: %s" % exc)
+    clef = clef_by_name("treble")
+    key = KeySignature(0)
+    for element in elements:
+        if isinstance(element, ClefCode):
+            clef = clef_by_name(element.clef_name)
+        elif isinstance(element, KeyCode):
+            key = KeySignature(element.fifths)
+    state = AccidentalState(key)
+    keys = []
+    for note in _flatten_notes(elements):
+        accidental = (
+            None if note.accidental is None else Accidental(note.accidental)
+        )
+        pitch = performance_pitch(note.degree, clef, state, accidental)
+        keys.append(pitch.midi_key)
+    return keys
+
+
+def incipit_intervals(darms_text):
+    """Successive semitone intervals (transposition invariant)."""
+    keys = incipit_midi_keys(darms_text)
+    return [b - a for a, b in zip(keys, keys[1:])]
+
+
+def incipit_contour(darms_text):
+    """Up/down/repeat contour string, e.g. ``"UUDR"``."""
+    out = []
+    for interval in incipit_intervals(darms_text):
+        if interval > 0:
+            out.append("U")
+        elif interval < 0:
+            out.append("D")
+        else:
+            out.append("R")
+    return "".join(out)
+
+
+def _contains(haystack, needle):
+    if not needle:
+        return True
+    for start in range(len(haystack) - len(needle) + 1):
+        if haystack[start:start + len(needle)] == needle:
+            return True
+    return False
+
+
+def incipit_from_score(cmn, score, voice=None, measures=2):
+    """Extract a thematic incipit from a stored score, as DARMS.
+
+    The section 4.2 cataloguing workflow: the first *measures* measures
+    of a voice become the identifying fragment.  The returned text is a
+    valid (searchable) incipit for a thematic index.
+    """
+    from repro.darms.encode import score_to_darms
+
+    encoded = score_to_darms(cmn, score, voice=voice)
+    tokens = encoded.split()
+    out = []
+    barlines = 0
+    for token in tokens:
+        out.append(token)
+        if token in ("/", "//"):
+            barlines += 1
+            if barlines >= measures:
+                break
+    if out and out[-1] == "/":
+        out[-1] = "//"
+    elif not out or out[-1] != "//":
+        out.append("//")
+    return " ".join(out)
+
+
+def search_by_incipit(index, query_darms, mode="intervals", prefix_only=False):
+    """Entries of *index* whose incipit matches *query_darms*.
+
+    *mode* is ``"intervals"`` (transposition-invariant exact intervals)
+    or ``"contour"`` (direction only).  With *prefix_only*, the match
+    must start the incipit (thematic identification); otherwise any
+    position matches (motif search).
+    """
+    if mode == "intervals":
+        needle = incipit_intervals(query_darms)
+        reducer = incipit_intervals
+    elif mode == "contour":
+        needle = list(incipit_contour(query_darms))
+        reducer = lambda text: list(incipit_contour(text))
+    else:
+        raise BiblioError("unknown search mode %r" % mode)
+    matches = []
+    for entry in index.entries():
+        for incipit in index.incipits(entry):
+            haystack = reducer(incipit["darms"])
+            if prefix_only:
+                hit = haystack[: len(needle)] == needle
+            else:
+                hit = _contains(haystack, needle)
+            if hit:
+                matches.append((entry, incipit))
+                break
+    return matches

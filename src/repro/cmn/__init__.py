@@ -1,0 +1,31 @@
+"""The database schema for common musical notation (section 7).
+
+- :mod:`repro.cmn.aspects` -- the aspect taxonomy of figure 12.
+- :mod:`repro.cmn.entities` -- the entity inventory of figure 11.
+- :mod:`repro.cmn.schema` -- the live schema with its HO graphs.
+- :mod:`repro.cmn.score` / :mod:`repro.cmn.builder` -- a high-level API
+  for building scores as ordered entities.
+- :mod:`repro.cmn.events` -- Note/Tie -> Event unification and the
+  temporal attributes of section 7.2.
+- :mod:`repro.cmn.groups` -- melodic groups, beams, slurs, tuplets.
+"""
+
+from repro.cmn.aspects import Aspect, ASPECT_TREE, aspect_matrix
+from repro.cmn.entities import CMN_ENTITIES, entity_table_rows
+from repro.cmn.schema import CmnSchema, TEMPORAL_ORDERINGS
+from repro.cmn.builder import ScoreBuilder
+from repro.cmn.events import derive_events
+from repro.cmn.groups import GroupKind
+
+__all__ = [
+    "Aspect",
+    "ASPECT_TREE",
+    "aspect_matrix",
+    "CMN_ENTITIES",
+    "entity_table_rows",
+    "CmnSchema",
+    "TEMPORAL_ORDERINGS",
+    "ScoreBuilder",
+    "derive_events",
+    "GroupKind",
+]

@@ -1,0 +1,283 @@
+"""The entities of the CMN schema (figure 11).
+
+Every row of the paper's figure 11 table is declared here with its
+description verbatim, its attributes, and the aspects it participates
+in.  :func:`entity_table_rows` regenerates the table; the schema module
+instantiates the types.
+"""
+
+from repro.cmn.aspects import Aspect
+
+_T = Aspect.TEMPORAL
+_TI = Aspect.TIMBRAL
+_P = Aspect.PITCH
+_A = Aspect.ARTICULATION
+_D = Aspect.DYNAMIC
+_G = Aspect.GRAPHICAL
+_X = Aspect.TEXTUAL
+
+
+class EntityDefinition:
+    """One CMN entity type: name, figure-11 description, attributes,
+    participating aspects."""
+
+    __slots__ = ("name", "description", "attributes", "aspects")
+
+    def __init__(self, name, description, attributes, aspects):
+        self.name = name
+        self.description = description
+        self.attributes = list(attributes)
+        self.aspects = set(aspects)
+
+    def __repr__(self):
+        return "EntityDefinition(%r)" % self.name
+
+
+CMN_ENTITIES = [
+    EntityDefinition(
+        "SCORE",
+        "The unit of musical composition",
+        [("title", "string"), ("catalogue_id", "string")],
+        {_T, _G, _X},
+    ),
+    EntityDefinition(
+        "MOVEMENT",
+        "A temporal subsection of the score",
+        [("number", "integer"), ("name", "string"), ("key_fifths", "integer"),
+         ("initial_bpm", "integer")],
+        {_T},
+    ),
+    EntityDefinition(
+        "MEASURE",
+        "A temporal subsection of the movement",
+        [("number", "integer"), ("meter", "string")],
+        {_T, _G},
+    ),
+    EntityDefinition(
+        "SYNC",
+        "Sets of simultaneous events",
+        [("offset_beats", "rational")],
+        {_T, _G, _X},
+    ),
+    EntityDefinition(
+        "GROUP",
+        "A group of contiguous chords and rests in a voice",
+        [("kind", "string"), ("label", "string"),
+         ("tuplet_actual", "integer"), ("tuplet_normal", "integer")],
+        {_T, _A, _G},
+    ),
+    EntityDefinition(
+        "CHORD",
+        "A set of notes in one voice at one sync",
+        [("duration", "rational"), ("stem_direction", "string"),
+         ("articulation", "string"), ("dynamic", "string")],
+        {_T, _TI, _A, _D, _G, _X},
+    ),
+    EntityDefinition(
+        "EVENT",
+        "An atomic unit of sound, one or more notes",
+        [("start_beats", "rational"), ("duration_beats", "rational"),
+         ("midi_key", "integer")],
+        {_T, _TI, _P},
+    ),
+    EntityDefinition(
+        "NOTE",
+        "An atomic unit of music, a pitch in a chord",
+        [("degree", "integer"), ("accidental", "string"),
+         ("tied_to_next", "boolean")],
+        {_T, _TI, _P, _A, _D, _G},
+    ),
+    EntityDefinition(
+        "REST",
+        'A "chord" containing no notes',
+        [("duration", "rational")],
+        {_T, _G},
+    ),
+    EntityDefinition(
+        "MIDI",
+        "A MIDI note event.",
+        [("key", "integer"), ("velocity", "integer"), ("channel", "integer"),
+         ("start_seconds", "float"), ("end_seconds", "float")],
+        {_T, _TI, _P, _D},
+    ),
+    EntityDefinition(
+        "MIDI_CONTROL",
+        "A MIDI control event at a point in time",
+        [("controller", "integer"), ("value", "integer"),
+         ("channel", "integer"), ("time_seconds", "float")],
+        {_T, _TI},
+    ),
+    EntityDefinition(
+        "ORCHESTRA",
+        "A Set of Instruments performing a Score",
+        [("name", "string")],
+        {_TI},
+    ),
+    EntityDefinition(
+        "SECTION",
+        "A family of instruments",
+        [("name", "string")],
+        {_TI},
+    ),
+    EntityDefinition(
+        "INSTRUMENT",
+        "The unit of timbral definition",
+        [("name", "string"), ("midi_program", "integer")],
+        {_TI, _P, _A, _D, _G},
+    ),
+    EntityDefinition(
+        "PART",
+        "Music assigned to an individual performer",
+        [("name", "string")],
+        {_T, _TI, _G},
+    ),
+    EntityDefinition(
+        "VOICE",
+        "The unit of homophony",
+        [("number", "integer"), ("name", "string")],
+        {_T, _TI, _G},
+    ),
+    EntityDefinition(
+        "TEXT",
+        "In vocal music, a line of text associated with the notes",
+        [("language", "string")],
+        {_G, _X},
+    ),
+    EntityDefinition(
+        "SYLLABLE",
+        "The piece of text associated with a single note",
+        [("text", "string"), ("hyphenated", "boolean")],
+        {_G, _X},
+    ),
+    EntityDefinition(
+        "PAGE",
+        "One graphical page of the score",
+        [("number", "integer")],
+        {_G},
+    ),
+    EntityDefinition(
+        "SYSTEM",
+        "One line of the score on a page",
+        [("number", "integer")],
+        {_G},
+    ),
+    EntityDefinition(
+        "STAFF",
+        "A division of the system, associated with an instrument",
+        [("number", "integer"), ("clef", "string")],
+        {_P, _G},
+    ),
+    EntityDefinition(
+        "DEGREE",
+        "A division of the staff (line and space)",
+        [("index", "integer"), ("is_line", "boolean")],
+        {_P, _G},
+    ),
+    EntityDefinition(
+        "GRAPHICAL_DEFINITION",
+        "All the graphical icons and linears",
+        [("name", "string"), ("postscript", "string")],
+        {_G},
+    ),
+    EntityDefinition(
+        "INSTRUMENT_DEFINITION",
+        "Instrument patches and specifications",
+        [("name", "string"), ("patch", "string")],
+        {_TI},
+    ),
+    # Figure 11's final row enumerates the many small graphical-attribute
+    # entities; we model the ones exercised by the paper's own figures
+    # (the STEM example of figure 10 in particular) plus the common set.
+    EntityDefinition(
+        "STEM",
+        "Graphical attribute: a chord's stem",
+        [("xpos", "integer"), ("ypos", "integer"), ("length", "integer"),
+         ("direction", "integer")],
+        {_G},
+    ),
+    EntityDefinition(
+        "NOTEHEAD",
+        "Graphical attribute: a note's head",
+        [("xpos", "integer"), ("ypos", "integer"), ("shape", "string"),
+         ("filled", "boolean")],
+        {_G},
+    ),
+    EntityDefinition(
+        "BEAM",
+        "Graphical attribute: a beam linking stems",
+        [("x1", "integer"), ("y1", "integer"), ("x2", "integer"),
+         ("y2", "integer"), ("thickness", "integer")],
+        {_G},
+    ),
+    EntityDefinition(
+        "CLEF_SIGN",
+        "Graphical attribute: a clef icon on a staff",
+        [("name", "string"), ("xpos", "integer")],
+        {_P, _G},
+    ),
+    EntityDefinition(
+        "KEY_SIGNATURE_SIGN",
+        "Graphical attribute: a key signature on a staff",
+        [("fifths", "integer"), ("xpos", "integer")],
+        {_P, _G},
+    ),
+    EntityDefinition(
+        "METER_SIGNATURE_SIGN",
+        "Graphical attribute: a meter signature on a staff",
+        [("text", "string"), ("xpos", "integer")],
+        {_T, _G},
+    ),
+    EntityDefinition(
+        "BARLINE",
+        "Graphical attribute: a barline",
+        [("xpos", "integer"), ("style", "string")],
+        {_T, _G},
+    ),
+    EntityDefinition(
+        "ACCIDENTAL_SIGN",
+        "Graphical attribute: an accidental before a note",
+        [("symbol", "string"), ("xpos", "integer")],
+        {_P, _G},
+    ),
+    EntityDefinition(
+        "SLUR_MARK",
+        "Graphical attribute: a slur or tie arc",
+        [("x1", "integer"), ("y1", "integer"), ("x2", "integer"),
+         ("y2", "integer"), ("is_tie", "boolean")],
+        {_A, _G},
+    ),
+    EntityDefinition(
+        "ANNOTATION",
+        "Graphical attribute: a textual annotation on the score",
+        [("text", "string"), ("xpos", "integer"), ("ypos", "integer")],
+        {_D, _G, _X},
+    ),
+]
+
+#: The figure 11 rows proper (name, description) in paper order.
+_FIGURE_11_ORDER = [
+    "SCORE", "MOVEMENT", "MEASURE", "SYNC", "GROUP", "CHORD", "EVENT",
+    "NOTE", "REST", "MIDI", "MIDI_CONTROL", "ORCHESTRA", "SECTION",
+    "INSTRUMENT", "PART", "VOICE", "TEXT", "SYLLABLE", "PAGE", "SYSTEM",
+    "STAFF", "DEGREE", "GRAPHICAL_DEFINITION", "INSTRUMENT_DEFINITION",
+]
+
+BY_NAME = {definition.name: definition for definition in CMN_ENTITIES}
+
+
+def entity_table_rows():
+    """(name, description) rows reproducing figure 11, paper order, with
+    the graphical-attribute entities folded into a final summary row."""
+    rows = [(name, BY_NAME[name].description) for name in _FIGURE_11_ORDER]
+    graphical = [
+        definition.name
+        for definition in CMN_ENTITIES
+        if definition.name not in _FIGURE_11_ORDER
+    ]
+    rows.append(
+        (
+            "Other graphical attributes",
+            ", ".join(sorted(graphical)),
+        )
+    )
+    return rows

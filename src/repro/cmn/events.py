@@ -1,0 +1,138 @@
+"""Deriving EVENT entities: the notated/performed split of section 7.2.
+
+"An event ... has a unique start and end time, and is performed by a
+specific voice.  An event is thus a unit of performance.  A note, on
+the other hand, is the notated unit of music.  These two are not
+necessarily the same, as, for example, when two notes are tied
+together.  The Tie is a musical construct that binds multiple note
+entities under a single event entity."
+
+:func:`derive_events` walks each voice stream, merges tied notes, and
+creates one EVENT per sounding pitch with exact start/duration in score
+time; the notes of the event are ordered under it by ``note_in_event``.
+"""
+
+from fractions import Fraction
+
+from repro.errors import NotationError
+from repro.cmn.score import ScoreView
+
+
+def clear_events(cmn, score):
+    """Remove previously derived EVENT (and their MIDI) entities."""
+    view = ScoreView(cmn, score)
+    for voice in view.voices():
+        for event in cmn.event_in_voice.children(voice):
+            for note in list(cmn.note_in_event.children(event)):
+                cmn.note_in_event.remove(note)
+            for midi in list(cmn.midi_in_event.children(event)):
+                cmn.midi_in_event.remove(midi)
+                midi.delete()
+            cmn.event_in_voice.remove(event)
+            event.delete()
+
+
+def derive_events(cmn, score):
+    """Create EVENT entities for *score*; returns voice -> [EVENT].
+
+    Idempotent: previously derived events are cleared first.
+    """
+    clear_events(cmn, score)
+    view = ScoreView(cmn, score)
+    out = {}
+    for voice in view.voices():
+        out[voice.surrogate] = _derive_voice_events(cmn, view, voice)
+    return out
+
+
+def _chord_notes_by_key(cmn, view, chord, pitches):
+    notes = {}
+    for note in view.notes_of(chord):
+        key = pitches[note.surrogate].midi_key
+        if key in notes:
+            raise NotationError(
+                "chord %r notates MIDI key %d twice" % (chord, key)
+            )
+        notes[key] = note
+    return notes
+
+
+def _derive_voice_events(cmn, view, voice):
+    pitches = view.resolve_pitches(voice)
+    stream = [
+        item for item in view.voice_stream(voice) if item.type.name == "CHORD"
+    ]
+    consumed = set()  # note surrogates already absorbed into an event
+    events = []
+    for index, chord in enumerate(stream):
+        start = view.chord_start_beats(chord)
+        base_duration = view.chord_duration_beats(chord)
+        notes_by_key = _chord_notes_by_key(cmn, view, chord, pitches)
+        for key, note in sorted(notes_by_key.items(), reverse=True):
+            if note.surrogate in consumed:
+                continue
+            tied_notes = [note]
+            duration = base_duration
+            cursor = index
+            current = note
+            while current["tied_to_next"]:
+                if cursor + 1 >= len(stream):
+                    raise NotationError(
+                        "tie from %r dangles at the end of the voice" % current
+                    )
+                next_chord = stream[cursor + 1]
+                expected_start = view.chord_start_beats(stream[cursor]) + (
+                    view.chord_duration_beats(stream[cursor])
+                )
+                actual_start = view.chord_start_beats(next_chord)
+                if actual_start != expected_start:
+                    raise NotationError(
+                        "tie crosses a gap: %s != %s" % (actual_start, expected_start)
+                    )
+                next_notes = _chord_notes_by_key(cmn, view, next_chord, pitches)
+                if key not in next_notes:
+                    raise NotationError(
+                        "tie from MIDI key %d finds no continuation" % key
+                    )
+                current = next_notes[key]
+                tied_notes.append(current)
+                duration += view.chord_duration_beats(next_chord)
+                cursor += 1
+            event = cmn.EVENT.create(
+                start_beats=start,
+                duration_beats=duration,
+                midi_key=key,
+            )
+            for tied in tied_notes:
+                consumed.add(tied.surrogate)
+                cmn.note_in_event.append(event, tied)
+            cmn.event_in_voice.append(voice, event)
+            events.append(event)
+    # Keep events ordered by (start, -key) within the voice.
+    events.sort(key=lambda e: (e["start_beats"], -e["midi_key"]))
+    for position, event in enumerate(events, start=1):
+        cmn.event_in_voice.move(event, position)
+    return events
+
+
+def events_of_voice(cmn, voice):
+    """The derived events of a voice, in temporal order."""
+    return cmn.event_in_voice.children(voice)
+
+
+def all_events(cmn, score):
+    """Every event of the score, ordered by start time then pitch."""
+    view = ScoreView(cmn, score)
+    events = []
+    for voice in view.voices():
+        events.extend(events_of_voice(cmn, voice))
+    events.sort(key=lambda e: (e["start_beats"], -e["midi_key"], e.surrogate))
+    return events
+
+
+def total_duration_beats(cmn, score):
+    """End of the last event, in beats (0 for an empty score)."""
+    events = all_events(cmn, score)
+    if not events:
+        return Fraction(0)
+    return max(e["start_beats"] + e["duration_beats"] for e in events)

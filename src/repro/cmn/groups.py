@@ -1,0 +1,110 @@
+"""Melodic groups: phrasing and timing structure (figures 8 and 15).
+
+"Groups have a variety of semantic functions in music ... these include
+phrasing (e.g. notes covered by a slur) and timing (e.g. beams and
+tuplets)."  Groups use the recursive, inhomogeneous ordering
+
+    define ordering group_member (GROUP, CHORD, REST) under GROUP
+
+so a beam group may contain smaller beam groups intermixed with chords,
+exactly as in figure 8.
+"""
+
+import enum
+
+from repro.errors import NotationError
+
+
+class GroupKind(enum.Enum):
+    """The semantic functions a GROUP may carry (figure 15)."""
+
+    BEAM = "beam"
+    SLUR = "slur"
+    TUPLET = "tuplet"
+    PHRASE = "phrase"
+
+
+def make_group(cmn, voice, kind, members, label=None, tuplet=None):
+    """Create a GROUP of *kind* over *members* in *voice*.
+
+    Members may be CHORD/REST instances or previously created GROUPs
+    (which are re-rooted under the new group, building the recursive
+    structure).  Returns the GROUP instance.
+    """
+    if isinstance(kind, GroupKind):
+        kind = kind.value
+    if kind not in {k.value for k in GroupKind}:
+        raise NotationError("unknown group kind %r" % kind)
+    if not members:
+        raise NotationError("a group needs at least one member")
+    actual, normal = (tuplet if tuplet is not None else (None, None))
+    group = cmn.GROUP.create(
+        kind=kind,
+        label=label,
+        tuplet_actual=actual,
+        tuplet_normal=normal,
+    )
+    for member in members:
+        if member.type.name == "GROUP":
+            # Nested group: detach from the voice level if present.
+            if cmn.group_in_voice.contains(member):
+                cmn.group_in_voice.remove(member)
+            cmn.group_member.append(group, member)
+        elif member.type.name in ("CHORD", "REST"):
+            _check_member_in_voice(cmn, voice, member)
+            cmn.group_member.append(group, member)
+        else:
+            raise NotationError(
+                "group members must be GROUP/CHORD/REST, got %s" % member.type.name
+            )
+    cmn.group_in_voice.append(voice, group)
+    return group
+
+
+def _check_member_in_voice(cmn, voice, member):
+    parent = cmn.chord_rest_in_voice.parent_of(member)
+    if parent is None or parent.surrogate != voice.surrogate:
+        raise NotationError("%r is not in voice %r" % (member, voice))
+
+
+def beam(cmn, voice, members, label=None):
+    """A beam group (figure 8's recursive example)."""
+    return make_group(cmn, voice, GroupKind.BEAM, members, label)
+
+
+def slur(cmn, voice, members, label=None):
+    """A phrasing slur (figure 15)."""
+    return make_group(cmn, voice, GroupKind.SLUR, members, label)
+
+
+def tuplet(cmn, voice, members, actual, normal, label=None):
+    """A tuplet: *actual* notes in the time of *normal* (e.g. 3, 2)."""
+    if actual < 1 or normal < 1:
+        raise NotationError("tuplet ratio must be positive")
+    return make_group(
+        cmn, voice, GroupKind.TUPLET, members, label, tuplet=(actual, normal)
+    )
+
+
+def members_of(cmn, group):
+    """The ordered members (chords, rests, nested groups) of a group."""
+    return cmn.group_member.children(group)
+
+
+def flatten(cmn, group):
+    """Pre-order leaves (chords and rests) of a possibly nested group."""
+    out = []
+    for member in members_of(cmn, group):
+        if member.type.name == "GROUP":
+            out.extend(flatten(cmn, member))
+        else:
+            out.append(member)
+    return out
+
+
+def depth(cmn, group):
+    """Nesting depth of a group (1 = no nested groups)."""
+    nested = [m for m in members_of(cmn, group) if m.type.name == "GROUP"]
+    if not nested:
+        return 1
+    return 1 + max(depth(cmn, child) for child in nested)

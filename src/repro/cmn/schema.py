@@ -1,0 +1,126 @@
+"""The assembled CMN schema: every figure-11 entity type, the orderings
+of the temporal HO graph (figure 13), and the timbral / graphical
+orderings the paper's section 5.5 examples come from.
+"""
+
+from repro.core.hograph import HOGraph
+from repro.core.schema import Schema
+from repro.cmn.entities import CMN_ENTITIES
+
+# Ordering names, grouped by aspect. ------------------------------------------
+
+#: The temporal-aspect HO graph (figure 13).
+TEMPORAL_ORDERINGS = {
+    "movement_in_score": (["MOVEMENT"], "SCORE"),
+    "measure_in_movement": (["MEASURE"], "MOVEMENT"),
+    "sync_in_measure": (["SYNC"], "MEASURE"),
+    "chord_in_sync": (["CHORD"], "SYNC"),
+    "note_in_chord": (["NOTE"], "CHORD"),
+    # Melodic groups: recursive and inhomogeneous (figures 8 and 15).
+    "group_member": (["GROUP", "CHORD", "REST"], "GROUP"),
+    "group_in_voice": (["GROUP"], "VOICE"),
+    # A voice is an ordered sequence of chords and rests intermixed
+    # (the section 5.5 inhomogeneous example).
+    "chord_rest_in_voice": (["CHORD", "REST"], "VOICE"),
+    # The Tie binds multiple notes under a single event (section 7.2).
+    "note_in_event": (["NOTE"], "EVENT"),
+    "midi_in_event": (["MIDI"], "EVENT"),
+    "event_in_voice": (["EVENT"], "VOICE"),
+}
+
+#: Timbral organization (the "multiple orderings under a parent" example
+#: comes from PART and STAFF both ordered under INSTRUMENT).
+TIMBRAL_ORDERINGS = {
+    "section_in_orchestra": (["SECTION"], "ORCHESTRA"),
+    "instrument_in_section": (["INSTRUMENT"], "SECTION"),
+    "part_in_instrument": (["PART"], "INSTRUMENT"),
+    "staff_in_instrument": (["STAFF"], "INSTRUMENT"),
+    "voice_in_part": (["VOICE"], "PART"),
+}
+
+#: Graphical organization.  NOTE under STAFF alongside NOTE under CHORD
+#: is the section 5.5 "multiple parents" example.
+GRAPHICAL_ORDERINGS = {
+    "page_in_score": (["PAGE"], "SCORE"),
+    "system_in_page": (["SYSTEM"], "PAGE"),
+    "staff_in_system": (["STAFF"], "SYSTEM"),
+    "note_on_staff": (["NOTE"], "STAFF"),
+    "degree_in_staff": (["DEGREE"], "STAFF"),
+    "text_in_part": (["TEXT"], "PART"),
+    "syllable_in_text": (["SYLLABLE"], "TEXT"),
+}
+
+ALL_ORDERINGS = {}
+ALL_ORDERINGS.update(TEMPORAL_ORDERINGS)
+ALL_ORDERINGS.update(TIMBRAL_ORDERINGS)
+ALL_ORDERINGS.update(GRAPHICAL_ORDERINGS)
+
+#: aspect name -> ordering-name tuple, for HO-graph views.
+ORDERINGS_BY_ASPECT = {
+    "temporal": tuple(sorted(TEMPORAL_ORDERINGS)),
+    "timbral": tuple(sorted(TIMBRAL_ORDERINGS)),
+    "graphical": tuple(sorted(GRAPHICAL_ORDERINGS)),
+}
+
+RELATIONSHIPS = {
+    # "Orchestra: a Set of Instruments performing a Score".
+    "PERFORMS": [("orchestra", "ORCHESTRA"), ("score", "SCORE")],
+    # Lyrics: a syllable is sung on a chord.
+    "SETTING": [("syllable", "SYLLABLE"), ("chord", "CHORD")],
+    # Timbre assignment: an instrument realized by a patch definition.
+    "PATCHED_AS": [("instrument", "INSTRUMENT"), ("definition", "INSTRUMENT_DEFINITION")],
+}
+
+
+class CmnSchema:
+    """The live CMN schema plus convenience accessors.
+
+    Wraps a :class:`~repro.core.schema.Schema` populated with every
+    figure-11 entity type and every ordering above.  The wrapped schema
+    is exposed as ``.schema``; orderings as attributes
+    (``cmn.note_in_chord`` etc.).
+    """
+
+    def __init__(self, database=None, name="cmn"):
+        self.schema = Schema(name, database=database)
+        for definition in CMN_ENTITIES:
+            self.schema.define_entity(definition.name, definition.attributes)
+        for order_name, (children, parent) in sorted(ALL_ORDERINGS.items()):
+            self.schema.define_ordering(order_name, children, under=parent)
+        for relationship_name, roles in sorted(RELATIONSHIPS.items()):
+            self.schema.define_relationship(relationship_name, roles)
+
+    def __getattr__(self, name):
+        # Orderings, relationships and entity types by bare name.
+        schema = self.__dict__["schema"]
+        if name in schema.orderings:
+            return schema.orderings[name]
+        if name in schema.relationships:
+            return schema.relationships[name]
+        if name in schema.entity_types:
+            return schema.entity_types[name]
+        raise AttributeError(name)
+
+    def entity(self, name):
+        return self.schema.entity_type(name)
+
+    def ordering(self, name):
+        return self.schema.ordering(name)
+
+    def ho_graph(self, aspect=None):
+        """The HO graph of the whole schema or of one aspect's view."""
+        if aspect is None:
+            names = sorted(ALL_ORDERINGS)
+        else:
+            names = list(ORDERINGS_BY_ASPECT[aspect])
+        return HOGraph(self.schema, names)
+
+    def temporal_ho_graph(self):
+        """Figure 13: the HO graph for the temporal aspect."""
+        return self.ho_graph("temporal")
+
+    def check_invariants(self):
+        self.schema.check_invariants()
+
+    def statistics(self):
+        return self.schema.statistics()

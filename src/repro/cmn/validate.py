@@ -1,0 +1,140 @@
+"""Score well-formedness checks beyond the ordering invariants.
+
+These are the CMN-level integrity rules a Music Data Manager would
+enforce for its clients: voices fill measures exactly, sync offsets lie
+inside their measures, ties connect adjacent chords, chords in one sync
+belong to distinct voices.
+"""
+
+from fractions import Fraction
+
+from repro.cmn.score import ScoreView
+
+
+class ValidationIssue:
+    """One discovered problem; ``severity`` is "error" or "warning"."""
+
+    __slots__ = ("severity", "code", "message")
+
+    def __init__(self, severity, code, message):
+        self.severity = severity
+        self.code = code
+        self.message = message
+
+    def __repr__(self):
+        return "[%s] %s: %s" % (self.severity, self.code, self.message)
+
+
+def validate_score(cmn, score):
+    """Run every check; returns a list of ValidationIssues (empty = ok)."""
+    view = ScoreView(cmn, score)
+    issues = []
+    issues.extend(_check_sync_offsets(cmn, view))
+    issues.extend(_check_voice_fill(cmn, view))
+    issues.extend(_check_sync_voice_uniqueness(cmn, view))
+    issues.extend(_check_ties(cmn, view))
+    try:
+        cmn.check_invariants()
+    except Exception as exc:  # ordering-level corruption
+        issues.append(ValidationIssue("error", "ordering", str(exc)))
+    return issues
+
+
+def _check_sync_offsets(cmn, view):
+    issues = []
+    for movement in view.movements():
+        for measure in view.measures(movement):
+            meter = view.meter_of(measure)
+            for sync in view.syncs(measure):
+                offset = sync["offset_beats"]
+                if not meter.contains_offset(offset):
+                    issues.append(
+                        ValidationIssue(
+                            "error",
+                            "sync-offset",
+                            "sync at %s outside measure %d (%s)"
+                            % (offset, measure["number"], meter),
+                        )
+                    )
+    return issues
+
+
+def _check_voice_fill(cmn, view):
+    """Each voice's stream should account for a whole number of measures."""
+    issues = []
+    for voice in view.voices():
+        total = Fraction(0)
+        for item in view.voice_stream(voice):
+            total += item["duration"] * 4
+        boundaries = Fraction(0)
+        for movement in view.movements():
+            for measure in view.measures(movement):
+                boundaries += view.meter_of(measure).measure_duration().beats
+        if total > boundaries:
+            issues.append(
+                ValidationIssue(
+                    "error",
+                    "voice-overflow",
+                    "voice %s holds %s beats but the score has %s"
+                    % (voice["name"], total, boundaries),
+                )
+            )
+        elif total < boundaries:
+            issues.append(
+                ValidationIssue(
+                    "warning",
+                    "voice-underfull",
+                    "voice %s holds %s of %s beats (pad with rests?)"
+                    % (voice["name"], total, boundaries),
+                )
+            )
+    return issues
+
+
+def _check_sync_voice_uniqueness(cmn, view):
+    """"A chord is a set of notes in one voice at one sync": two chords
+    of the same voice must not share a sync."""
+    issues = []
+    for movement in view.movements():
+        for measure in view.measures(movement):
+            for sync in view.syncs(measure):
+                seen = set()
+                for chord in view.chords_at(sync):
+                    voice = cmn.chord_rest_in_voice.parent_of(chord)
+                    key = None if voice is None else voice.surrogate
+                    if key in seen:
+                        issues.append(
+                            ValidationIssue(
+                                "error",
+                                "sync-voice",
+                                "two chords of one voice share the sync at %s "
+                                "in measure %d"
+                                % (sync["offset_beats"], measure["number"]),
+                            )
+                        )
+                    seen.add(key)
+    return issues
+
+
+def _check_ties(cmn, view):
+    """Ties must find an adjacent continuation chord in the voice."""
+    issues = []
+    for voice in view.voices():
+        stream = [
+            item for item in view.voice_stream(voice) if item.type.name == "CHORD"
+        ]
+        for index, chord in enumerate(stream):
+            for note in view.notes_of(chord):
+                if note["tied_to_next"] and index + 1 >= len(stream):
+                    issues.append(
+                        ValidationIssue(
+                            "error",
+                            "dangling-tie",
+                            "tie at the end of voice %s" % voice["name"],
+                        )
+                    )
+    return issues
+
+
+def errors_only(issues):
+    return [issue for issue in issues if issue.severity == "error"]

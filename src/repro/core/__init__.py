@@ -1,0 +1,37 @@
+"""The paper's primary contribution: the entity-relationship model
+extended with *hierarchical ordering* (sections 5 and 6).
+
+Public surface:
+
+- :class:`Schema` -- define entity types, relationships, and orderings.
+- :class:`EntityType` / :class:`EntityInstance` -- typed instances with
+  surrogate identity, backed by relational storage.
+- :class:`RelationshipType` -- m:n and 1:n relationships.
+- :class:`Ordering` -- the hierarchical-ordering runtime (P-edges,
+  S-edges, ordinal positions, before/after/under).
+- :class:`InstanceGraph` / :class:`HOGraph` -- the paper's two graph
+  formalisms, with deterministic renderings.
+- :class:`MetaCatalog` -- section 6's schema-as-data meta-database.
+"""
+
+from repro.core.attributes import AttributeDef
+from repro.core.entity import EntityInstance, EntityType
+from repro.core.relationship import RelationshipType
+from repro.core.ordering import Ordering
+from repro.core.schema import Schema
+from repro.core.instance_graph import InstanceGraph
+from repro.core.hograph import HOGraph, OrderingForm
+from repro.core.catalog import MetaCatalog
+
+__all__ = [
+    "AttributeDef",
+    "EntityType",
+    "EntityInstance",
+    "RelationshipType",
+    "Ordering",
+    "Schema",
+    "InstanceGraph",
+    "HOGraph",
+    "OrderingForm",
+    "MetaCatalog",
+]

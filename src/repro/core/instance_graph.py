@@ -1,0 +1,153 @@
+"""Instance graphs: the paper's pictorial representation of
+hierarchically ordered data (figures 6 and 8c).
+
+An instance graph has one node per entity instance, P-edges from each
+child to its parent, and S-edges from each child to its next sibling.
+We build them from one or more orderings and render them as ASCII trees
+and Graphviz DOT.
+"""
+
+from repro.errors import IntegrityError
+
+
+class InstanceGraph:
+    """A materialized instance graph over a set of orderings."""
+
+    def __init__(self, schema):
+        self.schema = schema
+        self.nodes = []  # EntityInstance, insertion order
+        self._node_keys = set()
+        self.p_edges = []  # (child, parent, ordering_name, position)
+        self.s_edges = []  # (sibling, next_sibling, ordering_name)
+        self.labels = {}  # surrogate -> display label
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_ordering(cls, ordering, roots=None):
+        """Build the graph of *ordering* below *roots* (default: all roots)."""
+        graph = cls(ordering.schema)
+        if roots is None:
+            roots = ordering.roots()
+        for root in roots:
+            graph.add_subtree(ordering, root)
+        return graph
+
+    @classmethod
+    def from_orderings(cls, orderings, roots):
+        """Build a combined graph over several orderings from given roots."""
+        if not orderings:
+            raise IntegrityError("need at least one ordering")
+        graph = cls(orderings[0].schema)
+        for root in roots:
+            for ordering in orderings:
+                if root.type.name == ordering.parent_type:
+                    graph.add_subtree(ordering, root)
+        return graph
+
+    def add_node(self, instance):
+        if instance.surrogate not in self._node_keys:
+            self._node_keys.add(instance.surrogate)
+            self.nodes.append(instance)
+
+    def add_subtree(self, ordering, parent):
+        """Add *parent* and, recursively, its children in *ordering*."""
+        self.add_node(parent)
+        children = ordering.children(parent)
+        for position, child in enumerate(children, start=1):
+            self.add_node(child)
+            self.p_edges.append((child, parent, ordering.name, position))
+            if child.type.name == ordering.parent_type:
+                self.add_subtree(ordering, child)
+        for left, right in zip(children, children[1:]):
+            self.s_edges.append((left, right, ordering.name))
+
+    def label(self, instance, text):
+        """Override the display label of *instance*."""
+        self.labels[instance.surrogate] = text
+
+    def _display(self, instance):
+        return self.labels.get(
+            instance.surrogate, "%s#%d" % (instance.type.name, instance.surrogate)
+        )
+
+    # -- queries ------------------------------------------------------------------
+
+    def children_of(self, parent, ordering_name=None):
+        edges = [
+            (position, child)
+            for child, p, name, position in self.p_edges
+            if p == parent and (ordering_name is None or name == ordering_name)
+        ]
+        edges.sort(key=lambda pair: pair[0])
+        return [child for _, child in edges]
+
+    def roots(self):
+        child_keys = {child.surrogate for child, _, _, _ in self.p_edges}
+        return [node for node in self.nodes if node.surrogate not in child_keys]
+
+    def node_count(self):
+        return len(self.nodes)
+
+    def edge_counts(self):
+        return {"p_edges": len(self.p_edges), "s_edges": len(self.s_edges)}
+
+    # -- renderings ------------------------------------------------------------------
+
+    def to_ascii(self):
+        """Deterministic ASCII tree with ordinal positions.
+
+        Sibling order reads top to bottom; ``-P->`` direction is implied
+        by indentation (each child's parent is the enclosing node).
+        """
+        lines = []
+
+        def walk(node, prefix, is_last, ordinal, depth):
+            connector = "" if depth == 0 else ("`-- " if is_last else "|-- ")
+            ordinal_text = "" if ordinal is None else "[%d] " % ordinal
+            lines.append(prefix + connector + ordinal_text + self._display(node))
+            children = self.children_of(node)
+            if depth == 0:
+                child_prefix = prefix
+            else:
+                child_prefix = prefix + ("    " if is_last else "|   ")
+            for index, child in enumerate(children, start=1):
+                walk(child, child_prefix, index == len(children), index, depth + 1)
+
+        for root in self.roots():
+            walk(root, "", True, None, 0)
+        return "\n".join(lines)
+
+    def to_edge_list(self):
+        """The explicit P-edge / S-edge listing used in tests and reports."""
+        lines = []
+        for child, parent, name, position in self.p_edges:
+            lines.append(
+                "P: %s -> %s (ordinal %d, ordering %s)"
+                % (self._display(child), self._display(parent), position, name)
+            )
+        for left, right, name in self.s_edges:
+            lines.append(
+                "S: %s -> %s (ordering %s)" % (self._display(left), self._display(right), name)
+            )
+        return "\n".join(lines)
+
+    def to_dot(self, graph_name="instance_graph"):
+        """Graphviz DOT: solid P-edges, dashed S-edges."""
+        lines = ["digraph %s {" % graph_name, "  rankdir=BT;"]
+        for node in self.nodes:
+            lines.append(
+                '  n%d [label="%s"];' % (node.surrogate, self._display(node))
+            )
+        for child, parent, name, position in self.p_edges:
+            lines.append(
+                '  n%d -> n%d [label="P:%d"];'
+                % (child.surrogate, parent.surrogate, position)
+            )
+        for left, right, name in self.s_edges:
+            lines.append(
+                '  n%d -> n%d [style=dashed, label="S"];'
+                % (left.surrogate, right.surrogate)
+            )
+        lines.append("}")
+        return "\n".join(lines)

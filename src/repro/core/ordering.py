@@ -1,0 +1,380 @@
+"""Hierarchical ordering: the paper's extension to the ER model.
+
+An :class:`Ordering` realizes one ``define ordering`` statement: a set
+of child entity types whose instances form ordered sets under parent
+instances.  The membership table holds one row per P-edge, carrying the
+child's ordinal position; S-edges are implied by consecutive positions.
+
+Supported forms (section 5.5): multiple levels of hierarchy, multiple
+orderings under a parent, inhomogeneous child types, multiple parents
+(one per ordering), and recursive orderings -- with the well-formedness
+restrictions that P-edges and S-edges of a given ordering are acyclic.
+"""
+
+from repro.errors import (
+    IntegrityError,
+    OrderingCycleError,
+    OrderingMembershipError,
+    SchemaError,
+)
+from repro.core.entity import EntityInstance
+from repro.storage.values import Domain
+
+
+def default_ordering_name(child_types, parent_type):
+    """The generated name for a ``define ordering`` with no order_name."""
+    return "%s_under_%s" % ("_".join(child_types), parent_type)
+
+
+class Ordering:
+    """One hierarchical ordering (one edge of the HO graph)."""
+
+    def __init__(self, schema, name, child_types, parent_type):
+        if not child_types:
+            raise SchemaError("ordering %r needs at least one child type" % name)
+        if len(set(child_types)) != len(child_types):
+            raise SchemaError("duplicate child type in ordering %r" % name)
+        for type_name in list(child_types) + [parent_type]:
+            if not schema.has_entity_type(type_name):
+                raise SchemaError(
+                    "ordering %r references unknown entity type %r" % (name, type_name)
+                )
+        self.schema = schema
+        self.name = name
+        self.child_types = list(child_types)
+        self.parent_type = parent_type
+        self.table = schema.database.create_or_bind_table(
+            "ord:%s" % name,
+            [
+                ("parent", Domain.ENTITY),
+                ("child", Domain.ENTITY),
+                ("position", Domain.INTEGER),
+            ],
+        )
+        self.table.create_index("parent")
+        self.table.create_index("child")
+
+    # -- classification --------------------------------------------------------
+
+    @property
+    def is_recursive(self):
+        """True when the parent type is also a child type (section 5.5)."""
+        return self.parent_type in self.child_types
+
+    @property
+    def is_inhomogeneous(self):
+        """True when siblings may be of more than one type."""
+        return len(self.child_types) > 1
+
+    # -- validation helpers -------------------------------------------------------
+
+    def _check_child(self, child):
+        if not isinstance(child, EntityInstance):
+            raise IntegrityError("ordering child must be an EntityInstance")
+        if child.type.name not in self.child_types:
+            raise IntegrityError(
+                "ordering %r does not admit %s children (admits %s)"
+                % (self.name, child.type.name, ", ".join(self.child_types))
+            )
+
+    def _check_parent(self, parent):
+        if not isinstance(parent, EntityInstance):
+            raise IntegrityError("ordering parent must be an EntityInstance")
+        if parent.type.name != self.parent_type:
+            raise IntegrityError(
+                "ordering %r expects %s parents, got %s"
+                % (self.name, self.parent_type, parent.type.name)
+            )
+
+    def _membership_row(self, child):
+        rows = self.table.select_eq("child", child.surrogate)
+        return rows[0] if rows else None
+
+    def _child_rows(self, parent):
+        rows = self.table.select_eq("parent", parent.surrogate)
+        rows.sort(key=lambda row: row["position"])
+        return rows
+
+    def _assert_no_p_cycle(self, parent, child):
+        """Reject P-edge cycles: *child* may not be an ancestor of *parent*.
+
+        Only recursive orderings can produce such cycles, but the walk is
+        cheap and correct in every case.
+        """
+        current = parent
+        seen = set()
+        while current is not None:
+            if current.surrogate == child.surrogate:
+                raise OrderingCycleError(
+                    "placing %r under %r creates a P-edge cycle in ordering %r"
+                    % (child, parent, self.name)
+                )
+            if current.surrogate in seen:
+                raise OrderingCycleError(
+                    "existing P-edge cycle detected at %r in ordering %r"
+                    % (current, self.name)
+                )
+            seen.add(current.surrogate)
+            if current.type.name in self.child_types:
+                current = self.parent_of(current)
+            else:
+                current = None
+
+    # -- mutation --------------------------------------------------------------------
+
+    def insert(self, parent, child, position=None):
+        """Place *child* under *parent* at *position* (1-based; default end).
+
+        Siblings at or after *position* shift right.  A child may appear
+        at most once in a given ordering ("there is only one second
+        object", section 5.5).
+        """
+        self._check_parent(parent)
+        self._check_child(child)
+        if self._membership_row(child) is not None:
+            raise OrderingMembershipError(
+                "%r is already a member of ordering %r" % (child, self.name)
+            )
+        self._assert_no_p_cycle(parent, child)
+        siblings = self._child_rows(parent)
+        count = len(siblings)
+        if position is None:
+            position = count + 1
+        if position < 1 or position > count + 1:
+            raise OrderingMembershipError(
+                "position %d out of range 1..%d in ordering %r"
+                % (position, count + 1, self.name)
+            )
+        for row in siblings:
+            if row["position"] >= position:
+                self.table.update(row.rowid, {"position": row["position"] + 1})
+        self.table.insert(
+            {"parent": parent.surrogate, "child": child.surrogate, "position": position}
+        )
+        return position
+
+    def append(self, parent, child):
+        """Place *child* last under *parent*."""
+        return self.insert(parent, child)
+
+    def extend(self, parent, children):
+        """Append each of *children* under *parent*, preserving order."""
+        for child in children:
+            self.append(parent, child)
+
+    def remove(self, child):
+        """Remove *child* from the ordering; later siblings shift left."""
+        self._check_child(child)
+        row = self._membership_row(child)
+        if row is None:
+            raise OrderingMembershipError(
+                "%r is not a member of ordering %r" % (child, self.name)
+            )
+        parent_surrogate = row["parent"]
+        position = row["position"]
+        self.table.delete(row.rowid)
+        for sibling in self.table.select_eq("parent", parent_surrogate):
+            if sibling["position"] > position:
+                self.table.update(sibling.rowid, {"position": sibling["position"] - 1})
+
+    def move(self, child, new_position):
+        """Move *child* to *new_position* among its current siblings."""
+        row = self._membership_row(child)
+        if row is None:
+            raise OrderingMembershipError(
+                "%r is not a member of ordering %r" % (child, self.name)
+            )
+        parent = self.schema.instance(row["parent"])
+        self.remove(child)
+        self.insert(parent, child, new_position)
+
+    def reparent(self, child, new_parent, position=None):
+        """Move *child* under a different parent."""
+        self.remove(child)
+        self.insert(new_parent, child, position)
+
+    def clear(self, parent):
+        """Remove every child of *parent*."""
+        self._check_parent(parent)
+        for row in self.table.select_eq("parent", parent.surrogate):
+            self.table.delete(row.rowid)
+
+    # -- queries (the section 5.6 operators' semantics) -------------------------------
+
+    def children(self, parent):
+        """The ordered children of *parent* ("x under p", all x)."""
+        self._check_parent(parent)
+        return [self.schema.instance(row["child"]) for row in self._child_rows(parent)]
+
+    def child_at(self, parent, position):
+        """The child at ordinal *position* (1-based), or None.
+
+        Supports queries like "the third note in chord x" (section 5.4).
+        """
+        self._check_parent(parent)
+        for row in self._child_rows(parent):
+            if row["position"] == position:
+                return self.schema.instance(row["child"])
+        return None
+
+    def parent_of(self, child):
+        """The parent of *child* in this ordering, or None."""
+        self._check_child(child)
+        row = self._membership_row(child)
+        if row is None:
+            return None
+        return self.schema.instance(row["parent"])
+
+    def position_of(self, child):
+        """The 1-based ordinal of *child* under its parent, or None."""
+        self._check_child(child)
+        row = self._membership_row(child)
+        return None if row is None else row["position"]
+
+    def contains(self, child):
+        if child.type.name not in self.child_types:
+            return False
+        return self._membership_row(child) is not None
+
+    def before(self, a, b):
+        """True iff a and b share a parent and a precedes b (section 5.6).
+
+        Instances under different parents "are not comparable, and the
+        before clause evaluates to false".
+        """
+        row_a = self._membership_row(a) if a.type.name in self.child_types else None
+        row_b = self._membership_row(b) if b.type.name in self.child_types else None
+        if row_a is None or row_b is None:
+            return False
+        if row_a["parent"] != row_b["parent"]:
+            return False
+        return row_a["position"] < row_b["position"]
+
+    def after(self, a, b):
+        """True iff a and b share a parent and a follows b."""
+        return self.before(b, a)
+
+    def under(self, child, parent):
+        """True iff *child* lies (directly) under *parent*."""
+        if child.type.name not in self.child_types:
+            return False
+        if parent.type.name != self.parent_type:
+            return False
+        row = self._membership_row(child)
+        return row is not None and row["parent"] == parent.surrogate
+
+    def next_sibling(self, child):
+        """The S-edge successor of *child*, or None."""
+        row = self._membership_row(child)
+        if row is None:
+            return None
+        for sibling in self.table.select_eq("parent", row["parent"]):
+            if sibling["position"] == row["position"] + 1:
+                return self.schema.instance(sibling["child"])
+        return None
+
+    def previous_sibling(self, child):
+        row = self._membership_row(child)
+        if row is None or row["position"] == 1:
+            return None
+        for sibling in self.table.select_eq("parent", row["parent"]):
+            if sibling["position"] == row["position"] - 1:
+                return self.schema.instance(sibling["child"])
+        return None
+
+    def parents(self):
+        """All parent instances that currently have children, in surrogate order."""
+        seen = {}
+        for row in self.table:
+            seen.setdefault(row["parent"], None)
+        return [self.schema.instance(s) for s in sorted(seen)]
+
+    def roots(self):
+        """Parents that are not themselves children (tops of the hierarchy).
+
+        For non-recursive orderings this equals :meth:`parents`.
+        """
+        member_children = {row["child"] for row in self.table}
+        return [p for p in self.parents() if p.surrogate not in member_children]
+
+    def descendants(self, parent):
+        """Pre-order walk of the subtree rooted at *parent* (recursive form)."""
+        out = []
+        for child in self.children(parent):
+            out.append(child)
+            if child.type.name == self.parent_type:
+                out.extend(self.descendants(child))
+        return out
+
+    def depth_of(self, child):
+        """Number of P-edges from *child* up to a root."""
+        depth = 0
+        current = self.parent_of(child)
+        guard = 0
+        while current is not None:
+            depth += 1
+            guard += 1
+            if guard > self.table_size() + 1:
+                raise OrderingCycleError(
+                    "P-edge cycle detected while computing depth in %r" % self.name
+                )
+            if current.type.name in self.child_types:
+                current = self.parent_of(current)
+            else:
+                current = None
+        return depth
+
+    def references(self, surrogate):
+        """True if the ordering mentions the entity *surrogate*."""
+        return bool(
+            self.table.select_eq("child", surrogate)
+            or self.table.select_eq("parent", surrogate)
+        )
+
+    def table_size(self):
+        return len(self.table)
+
+    def check_invariants(self):
+        """Verify positional contiguity and acyclicity; raise on violation.
+
+        Used by tests and by the MDM's consistency checker.
+        """
+        by_parent = {}
+        for row in self.table:
+            by_parent.setdefault(row["parent"], []).append(row["position"])
+        for parent_surrogate, positions in by_parent.items():
+            if sorted(positions) != list(range(1, len(positions) + 1)):
+                raise IntegrityError(
+                    "ordering %r: positions under parent #%d are %r"
+                    % (self.name, parent_surrogate, sorted(positions))
+                )
+        child_parent = {row["child"]: row["parent"] for row in self.table}
+        if len(child_parent) != len(self.table):
+            raise IntegrityError(
+                "ordering %r: a child appears under two parents" % self.name
+            )
+        for start in child_parent:
+            seen = set()
+            current = start
+            while current in child_parent:
+                if current in seen:
+                    raise OrderingCycleError(
+                        "ordering %r: P-edge cycle through #%d" % (self.name, current)
+                    )
+                seen.add(current)
+                current = child_parent[current]
+
+    def ddl(self):
+        """The ``define ordering`` statement for this ordering."""
+        return "define ordering %s (%s) under %s" % (
+            self.name,
+            ", ".join(self.child_types),
+            self.parent_type,
+        )
+
+    def __repr__(self):
+        return "Ordering(%r: (%s) under %s)" % (
+            self.name,
+            ", ".join(self.child_types),
+            self.parent_type,
+        )

@@ -1,0 +1,249 @@
+"""The Schema: named collections of entity types, relationships, and
+orderings, backed by one relational database.
+
+This is the object a ``define entity`` / ``define relationship`` /
+``define ordering`` program (section 5.4) compiles into, and the root of
+the public data-model API.
+"""
+
+import itertools
+
+from repro.errors import (
+    IntegrityError,
+    SchemaError,
+    UnknownEntityTypeError,
+    UnknownOrderingError,
+    UnknownRelationshipError,
+)
+from repro.core.entity import EntityType
+from repro.core.ordering import Ordering, default_ordering_name
+from repro.core.relationship import RelationshipType
+from repro.storage.database import Database
+from repro.storage.values import Domain
+
+#: System table mapping surrogate -> (entity type, rowid).
+_INSTANCES_TABLE = "_instances"
+
+
+class Schema:
+    """A database schema in the paper's extended ER model."""
+
+    def __init__(self, name="schema", database=None):
+        self.name = name
+        self.database = database if database is not None else Database()
+        self.entity_types = {}
+        self.relationships = {}
+        self.orderings = {}
+        if self.database.has_table(_INSTANCES_TABLE):
+            self._instances = self.database.table(_INSTANCES_TABLE)
+            top = 0
+            for row in self._instances:
+                top = max(top, row["surrogate"])
+            self._surrogates = itertools.count(top + 1)
+        else:
+            self._instances = self.database.create_table(
+                _INSTANCES_TABLE,
+                [
+                    ("surrogate", Domain.INTEGER),
+                    ("entity_type", Domain.STRING),
+                    ("rowid", Domain.INTEGER),
+                ],
+            )
+            self._instances.create_index("surrogate")
+            self._surrogates = itertools.count(1)
+
+    # -- definition ------------------------------------------------------------
+
+    def define_entity(self, name, attribute_specs=()):
+        """``define entity NAME (attr = domain, ...)``"""
+        if name in self.entity_types:
+            raise SchemaError("entity type %r already defined" % name)
+        entity_type = EntityType(self, name, attribute_specs)
+        self.entity_types[name] = entity_type
+        return entity_type
+
+    def define_relationship(self, name, role_specs, attribute_specs=(), many_role=None):
+        """``define relationship NAME (role = TYPE, ...)``"""
+        if name in self.relationships:
+            raise SchemaError("relationship %r already defined" % name)
+        relationship = RelationshipType(
+            self, name, role_specs, attribute_specs, many_role
+        )
+        self.relationships[name] = relationship
+        return relationship
+
+    def define_ordering(self, name, child_types, under):
+        """``define ordering [NAME] (CHILD, ...) under PARENT``
+
+        Passing ``name=None`` generates the default name, as the DDL
+        allows the order_name to be omitted.
+        """
+        if name is None:
+            name = default_ordering_name(child_types, under)
+        if name in self.orderings:
+            raise SchemaError("ordering %r already defined" % name)
+        ordering = Ordering(self, name, child_types, under)
+        self.orderings[name] = ordering
+        return ordering
+
+    # -- lookup ---------------------------------------------------------------
+
+    def entity_type(self, name):
+        try:
+            return self.entity_types[name]
+        except KeyError:
+            raise UnknownEntityTypeError("no entity type %r in schema %r" % (name, self.name))
+
+    def has_entity_type(self, name):
+        return name in self.entity_types
+
+    def relationship(self, name):
+        try:
+            return self.relationships[name]
+        except KeyError:
+            raise UnknownRelationshipError(
+                "no relationship %r in schema %r" % (name, self.name)
+            )
+
+    def ordering(self, name):
+        try:
+            return self.orderings[name]
+        except KeyError:
+            raise UnknownOrderingError("no ordering %r in schema %r" % (name, self.name))
+
+    def resolve_ordering(self, child_type=None, parent_type=None):
+        """Find the unique ordering matching the given type constraints.
+
+        This is how a ``before``/``after``/``under`` clause with no
+        ``in order_name`` is resolved from its range-variable types.
+        """
+        candidates = []
+        for ordering in self.orderings.values():
+            if child_type is not None and child_type not in ordering.child_types:
+                continue
+            if parent_type is not None and ordering.parent_type != parent_type:
+                continue
+            candidates.append(ordering)
+        if len(candidates) == 1:
+            return candidates[0]
+        if not candidates:
+            raise UnknownOrderingError(
+                "no ordering with child %r / parent %r" % (child_type, parent_type)
+            )
+        raise UnknownOrderingError(
+            "ambiguous ordering (child %r / parent %r): %s"
+            % (child_type, parent_type, ", ".join(sorted(o.name for o in candidates)))
+        )
+
+    def orderings_with_parent(self, parent_type):
+        return [o for o in self.orderings.values() if o.parent_type == parent_type]
+
+    def orderings_with_child(self, child_type):
+        return [o for o in self.orderings.values() if child_type in o.child_types]
+
+    # -- surrogate registry --------------------------------------------------------
+
+    def next_surrogate(self):
+        return next(self._surrogates)
+
+    def register_instance(self, surrogate, type_name, rowid):
+        self._instances.insert(
+            {"surrogate": surrogate, "entity_type": type_name, "rowid": rowid}
+        )
+
+    def unregister_instance(self, surrogate):
+        for row in self._instances.select_eq("surrogate", surrogate):
+            self._instances.delete(row.rowid)
+
+    def instance(self, surrogate):
+        """Resolve a surrogate to an EntityInstance (any type)."""
+        rows = self._instances.select_eq("surrogate", surrogate)
+        if not rows:
+            raise IntegrityError("no instance with surrogate %d" % surrogate)
+        record = rows[0]
+        entity_type = self.entity_type(record["entity_type"])
+        from repro.core.entity import EntityInstance
+
+        return EntityInstance(entity_type, surrogate, record["rowid"])
+
+    def instance_count(self):
+        return len(self._instances)
+
+    def assert_unreferenced(self, instance):
+        """Raise if *instance* still participates in orderings/relationships."""
+        for ordering in self.orderings.values():
+            if ordering.references(instance.surrogate):
+                raise IntegrityError(
+                    "%r still participates in ordering %r" % (instance, ordering.name)
+                )
+        for relationship in self.relationships.values():
+            if relationship.references(instance.surrogate):
+                raise IntegrityError(
+                    "%r still participates in relationship %r"
+                    % (instance, relationship.name)
+                )
+
+    # -- whole-schema operations ----------------------------------------------------
+
+    def check_invariants(self):
+        """Run every ordering's invariant check."""
+        for ordering in self.orderings.values():
+            ordering.check_invariants()
+
+    def validate_references(self):
+        """Dangling entity-valued attribute targets, as messages.
+
+        Forward references are legal while a DDL program is being
+        loaded; run this afterwards to confirm every target resolved.
+        """
+        problems = []
+        for type_name in sorted(self.entity_types):
+            for attribute in self.entity_types[type_name].attributes:
+                if attribute.is_entity_valued and not self.has_entity_type(
+                    attribute.target_type
+                ):
+                    problems.append(
+                        "%s.%s references undefined entity type %s"
+                        % (type_name, attribute.name, attribute.target_type)
+                    )
+        return problems
+
+    def ddl(self):
+        """Regenerate the DDL program defining this schema."""
+        lines = []
+        for name in sorted(self.entity_types):
+            entity_type = self.entity_types[name]
+            attrs = ", ".join(
+                "%s = %s" % (a.name, a.domain_name()) for a in entity_type.attributes
+            )
+            lines.append("define entity %s (%s)" % (name, attrs))
+        for name in sorted(self.relationships):
+            relationship = self.relationships[name]
+            roles = ", ".join("%s = %s" % (r, t) for r, t in relationship.roles)
+            lines.append("define relationship %s (%s)" % (name, roles))
+        for name in sorted(self.orderings):
+            lines.append(self.orderings[name].ddl())
+        return "\n".join(lines)
+
+    def statistics(self):
+        """Instance and membership counts, for reports and tests."""
+        return {
+            "entity_types": len(self.entity_types),
+            "relationships": len(self.relationships),
+            "orderings": len(self.orderings),
+            "instances": self.instance_count(),
+            "ordering_edges": sum(
+                o.table_size() for o in self.orderings.values()
+            ),
+            "relationship_instances": sum(
+                r.count() for r in self.relationships.values()
+            ),
+        }
+
+    def __repr__(self):
+        return "Schema(%r: %d entities, %d relationships, %d orderings)" % (
+            self.name,
+            len(self.entity_types),
+            len(self.relationships),
+            len(self.orderings),
+        )

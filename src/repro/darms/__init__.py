@@ -1,0 +1,44 @@
+"""DARMS: the Digital Alternate Representation of Musical Scores
+(section 4.6, figure 4).
+
+We implement the subset figure 4 exercises -- instrument definitions,
+clefs, key and meter signatures, notes with positions / accidentals /
+durations / stem directions, rests (with repeat counts), beam groups
+(nestable), literal strings, annotations, syllables, and barlines --
+plus the user-DARMS conveniences (carried durations, short positions)
+and a *canonizer* that rewrites user DARMS into canonical DARMS with
+"all repeated information" explicit.
+"""
+
+from repro.darms.tokens import (
+    Annotation,
+    Barline,
+    BeamGroup,
+    ClefCode,
+    InstrumentDef,
+    KeyCode,
+    MeterCode,
+    NoteCode,
+    RestCode,
+)
+from repro.darms.parser import parse_darms
+from repro.darms.canonical import canonize, to_canonical
+from repro.darms.encode import score_to_darms
+from repro.darms.decode import darms_to_score
+
+__all__ = [
+    "Annotation",
+    "Barline",
+    "BeamGroup",
+    "ClefCode",
+    "InstrumentDef",
+    "KeyCode",
+    "MeterCode",
+    "NoteCode",
+    "RestCode",
+    "parse_darms",
+    "canonize",
+    "to_canonical",
+    "score_to_darms",
+    "darms_to_score",
+]

@@ -1,0 +1,120 @@
+"""The canonizer: user DARMS -> canonical DARMS.
+
+"Programs have been written to convert this 'user DARMS' into
+'canonical DARMS' (the programs have been whimsically named
+'canonizers').  A canonical DARMS encoding presents the score
+information in a consistent order, and explicitly includes all repeated
+information" (section 4.6).
+
+Canonical form here means: every note carries an explicit duration and
+two-digit position; rest repeat counts are expanded into individual
+rests with explicit durations; element spelling is normalized (``!``
+codes, upper-case duration letters).
+"""
+
+from repro.errors import DarmsError
+from repro.darms.parser import parse_darms
+from repro.darms.tokens import (
+    Annotation,
+    Barline,
+    BeamGroup,
+    ClefCode,
+    CODE_FOR_ACCIDENTAL,
+    InstrumentDef,
+    KeyCode,
+    MeterCode,
+    NoteCode,
+    RestCode,
+    duration_code,
+)
+
+
+def _resolve_durations(elements, carried):
+    """Make carried durations explicit; expand rest counts.
+
+    Returns (new elements, carried duration after the sequence).
+    """
+    out = []
+    for element in elements:
+        if isinstance(element, NoteCode):
+            duration = element.duration
+            if duration is None:
+                if carried is None:
+                    raise DarmsError(
+                        "note %r has no duration and none to carry" % element
+                    )
+                duration = carried
+            carried = duration
+            out.append(
+                NoteCode(
+                    element.position,
+                    element.accidental,
+                    duration,
+                    element.stem,
+                    element.syllable,
+                )
+            )
+        elif isinstance(element, RestCode):
+            duration = element.duration
+            if duration is None:
+                if carried is None:
+                    raise DarmsError("rest has no duration and none to carry")
+                duration = carried
+            carried = duration
+            for _ in range(element.count):
+                out.append(RestCode(duration, 1))
+        elif isinstance(element, BeamGroup):
+            members, carried = _resolve_durations(element.members, carried)
+            out.append(BeamGroup(members))
+        else:
+            out.append(element)
+    return out, carried
+
+
+def normalize(elements):
+    """Resolve user-DARMS conveniences in an element list."""
+    resolved, _ = _resolve_durations(elements, None)
+    return resolved
+
+
+def _format(element):
+    if isinstance(element, InstrumentDef):
+        return "I%d" % element.number
+    if isinstance(element, ClefCode):
+        return "!%s" % element.letter
+    if isinstance(element, KeyCode):
+        return "!K%d%s" % (element.count, element.sign)
+    if isinstance(element, MeterCode):
+        return "!M%d:%d" % (element.numerator, element.denominator)
+    if isinstance(element, Annotation):
+        return "%02d@%s$" % (element.position, element.text)
+    if isinstance(element, Barline):
+        return "//" if element.double else "/"
+    if isinstance(element, RestCode):
+        letter, dots = duration_code(element.duration)
+        return "R%s%s" % (letter, "." * dots)
+    if isinstance(element, NoteCode):
+        parts = ["%02d" % element.position]
+        if element.accidental is not None:
+            parts.append(CODE_FOR_ACCIDENTAL[element.accidental])
+        letter, dots = duration_code(element.duration)
+        parts.append(letter + "." * dots)
+        if element.stem:
+            parts.append(element.stem)
+        text = "".join(parts)
+        if element.syllable:
+            text += ",@%s$" % element.syllable
+        return text
+    if isinstance(element, BeamGroup):
+        return "(%s)" % " ".join(_format(m) for m in element.members)
+    raise DarmsError("unformattable element %r" % (element,))
+
+
+def to_canonical(elements):
+    """Format normalized *elements* as a canonical DARMS string."""
+    return " ".join(_format(e) for e in normalize(elements))
+
+
+def canonize(source):
+    """user DARMS text -> canonical DARMS text."""
+    return to_canonical(parse_darms(source))

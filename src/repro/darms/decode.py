@@ -1,0 +1,146 @@
+"""DARMS -> score: build CMN entities from an encoding.
+
+Covers monophonic material (one voice per instrument definition), which
+is what the figure 4 fragment contains; beam groups become recursive
+GROUP entities, syllables become SYLLABLE entities set on their chords.
+"""
+
+from fractions import Fraction
+
+from repro.errors import DarmsError
+from repro.cmn.builder import ScoreBuilder
+from repro.cmn.groups import beam as make_beam
+from repro.darms.canonical import normalize
+from repro.darms.parser import parse_darms
+from repro.darms.tokens import (
+    Annotation,
+    Barline,
+    BeamGroup,
+    ClefCode,
+    InstrumentDef,
+    KeyCode,
+    MeterCode,
+    NoteCode,
+    RestCode,
+)
+from repro.pitch.accidental import Accidental, AccidentalState
+from repro.pitch.clef import clef_by_name
+from repro.pitch.key import KeySignature
+from repro.pitch.spelling import performance_pitch
+from repro.temporal.meter import MeterSignature
+
+
+class _DecodeState:
+    def __init__(self):
+        self.clef = clef_by_name("treble")
+        self.key = KeySignature(0)
+        self.meter = MeterSignature(4, 4)
+        self.annotations = []
+        self.voice_name = "voice 1"
+
+
+def darms_to_score(source, title="DARMS import", cmn=None, bpm=96,
+                   instrument="Voice"):
+    """Decode *source*; returns ``(builder, score)``.
+
+    The builder gives access to the CmnSchema, view, and voice handles.
+    """
+    elements = normalize(parse_darms(source))
+    state = _DecodeState()
+    # Header elements (before the first note) configure the builder.
+    body_start = 0
+    for index, element in enumerate(elements):
+        if isinstance(element, InstrumentDef):
+            state.voice_name = "voice %d" % element.number
+        elif isinstance(element, ClefCode):
+            state.clef = clef_by_name(element.clef_name)
+        elif isinstance(element, KeyCode):
+            state.key = KeySignature(element.fifths)
+        elif isinstance(element, MeterCode):
+            state.meter = MeterSignature(element.numerator, element.denominator)
+        elif isinstance(element, Annotation):
+            state.annotations.append(element.text)
+        else:
+            body_start = index
+            break
+    else:
+        body_start = len(elements)
+
+    builder = ScoreBuilder(
+        title,
+        key=state.key,
+        meter=state.meter,
+        bpm=bpm,
+        cmn=cmn,
+    )
+    voice = builder.add_voice(state.voice_name, clef=state.clef,
+                              instrument=instrument)
+    accidentals = AccidentalState(state.key)
+    _decode_body(
+        builder, voice, state, accidentals, elements[body_start:]
+    )
+    builder.finish()
+    return builder, builder.score
+
+
+def _decode_body(builder, voice, state, accidentals, elements):
+    for element in elements:
+        _decode_element(builder, voice, state, accidentals, element)
+
+
+def _decode_element(builder, voice, state, accidentals, element):
+    cmn = builder.cmn
+    if isinstance(element, NoteCode):
+        return _decode_note(builder, voice, state, accidentals, element)
+    if isinstance(element, RestCode):
+        builder.rest(voice, element.duration)
+        return None
+    if isinstance(element, Barline):
+        accidentals.barline()
+        _pad_to_barline(builder, voice)
+        return None
+    if isinstance(element, BeamGroup):
+        members = []
+        for member in element.members:
+            created = _decode_element(builder, voice, state, accidentals, member)
+            if created is not None:
+                members.append(created)
+        chords_and_groups = [
+            m for m in members if m.type.name in ("CHORD", "REST", "GROUP")
+        ]
+        if chords_and_groups:
+            return make_beam(cmn, voice, chords_and_groups)
+        return None
+    if isinstance(element, Annotation):
+        state.annotations.append(element.text)
+        return None
+    if isinstance(element, (InstrumentDef, ClefCode, KeyCode, MeterCode)):
+        raise DarmsError(
+            "mid-stream %r not supported by this decoder" % (element,)
+        )
+    raise DarmsError("undecodable element %r" % (element,))
+
+
+def _decode_note(builder, voice, state, accidentals, element):
+    accidental = (
+        None if element.accidental is None else Accidental(element.accidental)
+    )
+    pitch = performance_pitch(element.degree, state.clef, accidentals, accidental)
+    stem = element.stem
+    chord = builder.note(
+        voice,
+        pitch,
+        element.duration,
+        lyric=element.syllable,
+        stem=stem,
+    )
+    return chord
+
+
+def _pad_to_barline(builder, voice):
+    """Advance an underfull measure to its barline with a rest."""
+    state = builder._state(voice)
+    number, offset, meter = builder._measure_bounds(state.cursor_beats)
+    if offset != 0:
+        remaining = meter.measure_duration().beats - offset
+        builder.rest(voice, Fraction(remaining, 4))

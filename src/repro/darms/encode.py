@@ -1,0 +1,166 @@
+"""Score -> DARMS: encode a voice of a stored score.
+
+Produces canonical DARMS: explicit two-digit positions and durations,
+beam groups parenthesized (nested per the recursive GROUP structure),
+barlines from measure boundaries, and syllables attached to their
+notes.  The supported subset is monophonic per voice, matching the
+decoder.
+"""
+
+from fractions import Fraction
+
+from repro.errors import DarmsError
+from repro.cmn.score import ScoreView
+from repro.darms.canonical import to_canonical
+from repro.darms.tokens import (
+    Barline,
+    BeamGroup,
+    ClefCode,
+    InstrumentDef,
+    KeyCode,
+    MeterCode,
+    NoteCode,
+    RestCode,
+    degree_to_position,
+)
+
+_CLEF_LETTER = {"treble": "G", "bass": "F", "alto": "C", "tenor": "C"}
+
+_ACCIDENTAL_ALTER = {"#": 1, "b": -1, "n": 0, "##": 2, "bb": -2}
+
+
+def score_to_darms(cmn, score, voice=None, instrument_number=1):
+    """Encode one voice of *score* as canonical DARMS text."""
+    view = ScoreView(cmn, score)
+    voices = view.voices()
+    if not voices:
+        raise DarmsError("score has no voices")
+    if voice is None:
+        voice = voices[0]
+    elements = [InstrumentDef(instrument_number)]
+    clef = view.clef_of_voice(voice)
+    elements.append(ClefCode(_CLEF_LETTER[clef.name]))
+    movement = view.movements()[0]
+    key = view.key_of(movement)
+    if key.fifths >= 0:
+        elements.append(KeyCode(key.fifths, "#"))
+    else:
+        elements.append(KeyCode(-key.fifths, "-"))
+    measures = view.measures(movement)
+    if measures:
+        meter = view.meter_of(measures[0])
+        elements.append(MeterCode(meter.numerator, meter.denominator))
+
+    # Beam membership: chord surrogate -> outermost beam group.
+    outer_beam = {}
+    for group in view.groups_of_voice(voice):
+        if group["kind"] == "beam":
+            for leaf in _leaves(cmn, group):
+                outer_beam[leaf.surrogate] = group
+
+    syllables = _syllable_map(cmn, voice)
+
+    stream = view.voice_stream(voice)
+    cursor = Fraction(0)
+    boundaries = _measure_boundaries(view, movement)
+    emitted_groups = set()
+    index = 0
+    while index < len(stream):
+        item = stream[index]
+        group = outer_beam.get(item.surrogate)
+        if group is not None and group.surrogate not in emitted_groups:
+            emitted_groups.add(group.surrogate)
+            element, span = _encode_group(cmn, group, syllables)
+            elements.append(element)
+            cursor += span
+            index += _leaf_count(cmn, group)
+        elif group is not None:
+            index += 1  # already emitted within its group
+        else:
+            element, span = _encode_item(cmn, item, syllables)
+            elements.append(element)
+            cursor += span
+            index += 1
+        if cursor in boundaries:
+            elements.append(Barline(double=cursor == boundaries[-1]))
+    return to_canonical(elements)
+
+
+def _measure_boundaries(view, movement):
+    boundaries = []
+    cursor = Fraction(0)
+    for measure in view.measures(movement):
+        cursor += view.meter_of(measure).measure_duration().beats
+        boundaries.append(cursor)
+    return boundaries
+
+
+def _syllable_map(cmn, voice):
+    out = {}
+    setting = cmn.SETTING
+    for record in setting.instances():
+        chord = record["chord"]
+        syllable = record["syllable"]
+        text = syllable["text"]
+        if syllable["hyphenated"]:
+            text += "-"
+        out[chord.surrogate] = text
+    return out
+
+
+def _leaves(cmn, group):
+    out = []
+    for member in cmn.group_member.children(group):
+        if member.type.name == "GROUP":
+            out.extend(_leaves(cmn, member))
+        else:
+            out.append(member)
+    return out
+
+
+def _leaf_count(cmn, group):
+    return len(_leaves(cmn, group))
+
+
+def _encode_group(cmn, group, syllables):
+    members = []
+    span = Fraction(0)
+    for member in cmn.group_member.children(group):
+        if member.type.name == "GROUP":
+            element, inner_span = _encode_group(cmn, member, syllables)
+        else:
+            element, inner_span = _encode_item(cmn, member, syllables)
+        members.append(element)
+        span += inner_span
+    return BeamGroup(members), span
+
+
+def _encode_item(cmn, item, syllables):
+    duration = item["duration"]
+    span = duration * 4
+    if item.type.name == "REST":
+        return RestCode(duration), span
+    notes = cmn.note_in_chord.children(item)
+    if len(notes) != 1:
+        raise DarmsError(
+            "DARMS subset encodes monophonic voices; chord has %d notes"
+            % len(notes)
+        )
+    note = notes[0]
+    accidental_symbol = note["accidental"]
+    alter = (
+        None
+        if accidental_symbol is None
+        else _ACCIDENTAL_ALTER[accidental_symbol]
+    )
+    stem = item["stem_direction"]
+    return (
+        NoteCode(
+            degree_to_position(note["degree"]),
+            alter,
+            duration,
+            stem if stem in ("U", "D") else None,
+            syllables.get(item.surrogate),
+        ),
+        span,
+    )

@@ -1,0 +1,235 @@
+"""Parsing DARMS source into element streams.
+
+Handles both "user DARMS" (durations carried forward, short positions,
+rest repeat counts) and canonical DARMS.  The character-level syntax:
+
+    I4          instrument definition
+    !G  'G      clef (both spellings accepted)
+    !K2#        key signature
+    !M4:4       meter signature
+    00@TEXT$    annotation at staff position 00 (capitalization: a
+                leading cent sign in the source capitalizes -- our
+                parser accepts "^" as its ASCII stand-in)
+    21#QD       note: position 21, sharp, quarter, stems down
+    ,@syl$      attach a syllable to the preceding note
+    R2W         two whole rests
+    ( ... )     beam group (nestable)
+    / //        barlines
+"""
+
+from repro.errors import DarmsError
+from repro.darms.tokens import (
+    ACCIDENTAL_CODES,
+    Annotation,
+    Barline,
+    BeamGroup,
+    ClefCode,
+    DURATION_CODES,
+    InstrumentDef,
+    KeyCode,
+    MeterCode,
+    NoteCode,
+    RestCode,
+    duration_value,
+)
+
+
+class _Cursor:
+    def __init__(self, text):
+        self.text = text
+        self.index = 0
+
+    def peek(self, ahead=0):
+        position = self.index + ahead
+        return self.text[position] if position < len(self.text) else ""
+
+    def advance(self, count=1):
+        self.index += count
+
+    def at_end(self):
+        return self.index >= len(self.text)
+
+    def skip_space(self):
+        while not self.at_end() and self.peek() in " \t\r\n":
+            self.advance()
+
+
+def parse_darms(source):
+    """Parse DARMS *source*; returns the element list (beams nested)."""
+    cursor = _Cursor(source)
+    elements, _ = _parse_sequence(cursor, top_level=True)
+    return elements
+
+
+def _parse_sequence(cursor, top_level):
+    elements = []
+    while True:
+        cursor.skip_space()
+        if cursor.at_end():
+            if not top_level:
+                raise DarmsError("unterminated beam group")
+            return elements, cursor
+        char = cursor.peek()
+        if char == ")":
+            if top_level:
+                raise DarmsError("unbalanced ')'")
+            cursor.advance()
+            return elements, cursor
+        if char == "(":
+            cursor.advance()
+            members, cursor = _parse_sequence(cursor, top_level=False)
+            if not members:
+                raise DarmsError("empty beam group")
+            elements.append(BeamGroup(members))
+            continue
+        if char == ",":
+            cursor.advance()
+            cursor.skip_space()
+            text, position = _parse_literal(cursor)
+            target = _last_note(elements)
+            if target is None:
+                raise DarmsError("syllable with no preceding note")
+            target.syllable = text
+            continue
+        if char == "/":
+            cursor.advance()
+            if cursor.peek() == "/":
+                cursor.advance()
+                elements.append(Barline(double=True))
+            else:
+                elements.append(Barline())
+            continue
+        if char in ("I", "i") and cursor.peek(1).isdigit():
+            cursor.advance()
+            number = _parse_int(cursor)
+            elements.append(InstrumentDef(number))
+            continue
+        if char in ("!", "'"):
+            elements.append(_parse_bang(cursor))
+            continue
+        if char == "R" or char == "r":
+            elements.append(_parse_rest(cursor))
+            continue
+        if char.isdigit():
+            element = _parse_positioned(cursor)
+            elements.append(element)
+            continue
+        if char == "@":
+            text, position = _parse_literal(cursor)
+            elements.append(Annotation(text, 0))
+            continue
+        raise DarmsError("unexpected character %r at index %d" % (char, cursor.index))
+
+
+def _last_note(elements):
+    for element in reversed(elements):
+        if isinstance(element, NoteCode):
+            return element
+        if isinstance(element, BeamGroup):
+            inner = _last_note(element.members)
+            if inner is not None:
+                return inner
+    return None
+
+
+def _parse_int(cursor):
+    digits = []
+    while cursor.peek().isdigit():
+        digits.append(cursor.peek())
+        cursor.advance()
+    if not digits:
+        raise DarmsError("expected a number at index %d" % cursor.index)
+    return int("".join(digits))
+
+
+def _parse_bang(cursor):
+    cursor.advance()  # ! or '
+    char = cursor.peek().upper()
+    if char == "K":
+        cursor.advance()
+        count = _parse_int(cursor)
+        sign = cursor.peek()
+        if sign not in "#-":
+            raise DarmsError("key signature needs # or -")
+        cursor.advance()
+        return KeyCode(count, sign)
+    if char == "M":
+        cursor.advance()
+        numerator = _parse_int(cursor)
+        if cursor.peek() != ":":
+            raise DarmsError("meter signature needs ':'")
+        cursor.advance()
+        denominator = _parse_int(cursor)
+        return MeterCode(numerator, denominator)
+    if char in "GFC":
+        cursor.advance()
+        return ClefCode(char)
+    raise DarmsError("unknown !-code %r" % char)
+
+
+def _parse_literal(cursor):
+    """``@text$`` with ``^`` capitalizing the next letter."""
+    if cursor.peek() != "@":
+        raise DarmsError("expected '@' at index %d" % cursor.index)
+    cursor.advance()
+    chars = []
+    capitalize = False
+    while True:
+        char = cursor.peek()
+        if char == "":
+            raise DarmsError("unterminated literal")
+        cursor.advance()
+        if char == "$":
+            return "".join(chars), 0
+        if char == "^":
+            capitalize = True
+            continue
+        chars.append(char.upper() if capitalize else char)
+        capitalize = False
+
+
+def _parse_rest(cursor):
+    cursor.advance()  # R
+    count = 1
+    if cursor.peek().isdigit():
+        count = _parse_int(cursor)
+    duration = _maybe_duration(cursor)
+    return RestCode(duration, count)
+
+
+def _maybe_duration(cursor):
+    letter = cursor.peek().upper()
+    if letter in DURATION_CODES:
+        cursor.advance()
+        dots = 0
+        while cursor.peek() == ".":
+            dots += 1
+            cursor.advance()
+        return duration_value(letter, dots)
+    return None
+
+
+def _parse_positioned(cursor):
+    """A position code: either a note or a positioned annotation."""
+    start = cursor.index
+    number = _parse_int(cursor)
+    if cursor.peek() == "@":
+        text, _ = _parse_literal(cursor)
+        return Annotation(text, number)
+    # Short positions 0-9 mean 20-29.
+    if cursor.index - start == 1:
+        number += 20
+    accidental = None
+    two = cursor.peek() + cursor.peek(1)
+    if two in ACCIDENTAL_CODES:
+        accidental = ACCIDENTAL_CODES[two]
+        cursor.advance(2)
+    elif cursor.peek() in ACCIDENTAL_CODES:
+        accidental = ACCIDENTAL_CODES[cursor.peek()]
+        cursor.advance()
+    duration = _maybe_duration(cursor)
+    stem = None
+    if cursor.peek().upper() in ("U", "D"):
+        stem = cursor.peek().upper()
+        cursor.advance()
+    return NoteCode(number, accidental, duration, stem)

@@ -1,0 +1,270 @@
+"""DARMS stream elements.
+
+Positions use the DARMS staff-position code: 21 is the bottom line, 22
+the bottom space, and so forth (one code per diatonic degree), with the
+single-digit short forms 1-9 standing for 21-29.  Our staff degrees
+(0 = bottom line) relate by ``code = degree + 21``.
+
+Durations use the DARMS letter codes (W whole, H half, Q quarter,
+E eighth, S sixteenth, T thirty-second, X sixty-fourth), with ``.`` for
+dots.
+"""
+
+from fractions import Fraction
+
+from repro.errors import DarmsError
+
+DURATION_CODES = {
+    "W": Fraction(1, 1),
+    "H": Fraction(1, 2),
+    "Q": Fraction(1, 4),
+    "E": Fraction(1, 8),
+    "S": Fraction(1, 16),
+    "T": Fraction(1, 32),
+    "X": Fraction(1, 64),
+}
+
+CODE_FOR_DURATION = {v: k for k, v in DURATION_CODES.items()}
+
+#: Accidental codes: DARMS uses # (sharp), - (flat), * (natural).
+ACCIDENTAL_CODES = {"#": 1, "-": -1, "*": 0, "##": 2, "--": -2}
+CODE_FOR_ACCIDENTAL = {1: "#", -1: "-", 0: "*", 2: "##", -2: "--"}
+
+
+def duration_value(letter, dots=0):
+    """The whole-note fraction of a duration code with *dots*."""
+    try:
+        base = DURATION_CODES[letter.upper()]
+    except KeyError:
+        raise DarmsError("unknown duration code %r" % letter)
+    value = base
+    increment = base
+    for _ in range(dots):
+        increment /= 2
+        value += increment
+    return value
+
+
+def duration_code(value):
+    """The (letter, dots) pair for a whole-note fraction."""
+    for dots in range(0, 4):
+        for letter, base in DURATION_CODES.items():
+            total = base
+            increment = base
+            for _ in range(dots):
+                increment /= 2
+                total += increment
+            if total == value:
+                return letter, dots
+    raise DarmsError("duration %s has no DARMS code" % value)
+
+
+def position_to_degree(code):
+    """DARMS position code -> staff degree (0 = bottom line)."""
+    return code - 21
+
+
+def degree_to_position(degree):
+    """Staff degree -> DARMS position code."""
+    return degree + 21
+
+
+class InstrumentDef:
+    """``I4``: instrument (or voice) definition number 4."""
+
+    __slots__ = ("number",)
+
+    def __init__(self, number):
+        self.number = number
+
+    def __eq__(self, other):
+        return isinstance(other, InstrumentDef) and self.number == other.number
+
+    def __repr__(self):
+        return "I%d" % self.number
+
+
+class ClefCode:
+    """``!G``: clef (G = treble, F = bass, C = alto)."""
+
+    __slots__ = ("letter",)
+
+    _CLEF_NAMES = {"G": "treble", "F": "bass", "C": "alto"}
+
+    def __init__(self, letter):
+        letter = letter.upper()
+        if letter not in self._CLEF_NAMES:
+            raise DarmsError("unknown clef code %r" % letter)
+        self.letter = letter
+
+    @property
+    def clef_name(self):
+        return self._CLEF_NAMES[self.letter]
+
+    def __eq__(self, other):
+        return isinstance(other, ClefCode) and self.letter == other.letter
+
+    def __repr__(self):
+        return "!%s" % self.letter
+
+
+class KeyCode:
+    """``!K2#``: key signature (two sharps)."""
+
+    __slots__ = ("count", "sign")
+
+    def __init__(self, count, sign):
+        if sign not in "#-":
+            raise DarmsError("key signature sign must be # or -")
+        if not 0 <= count <= 7:
+            raise DarmsError("key signature count %r out of range" % (count,))
+        self.count = count
+        self.sign = sign
+
+    @property
+    def fifths(self):
+        return self.count if self.sign == "#" else -self.count
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, KeyCode)
+            and self.count == other.count
+            and self.sign == other.sign
+        )
+
+    def __repr__(self):
+        return "!K%d%s" % (self.count, self.sign)
+
+
+class MeterCode:
+    """``!M4:4``: meter signature."""
+
+    __slots__ = ("numerator", "denominator")
+
+    def __init__(self, numerator, denominator):
+        self.numerator = numerator
+        self.denominator = denominator
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, MeterCode)
+            and self.numerator == other.numerator
+            and self.denominator == other.denominator
+        )
+
+    def __repr__(self):
+        return "!M%d:%d" % (self.numerator, self.denominator)
+
+
+class Annotation:
+    """``00@TENOR$``: a literal string positioned above the staff."""
+
+    __slots__ = ("text", "position")
+
+    def __init__(self, text, position=0):
+        self.text = text
+        self.position = position
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Annotation)
+            and self.text == other.text
+            and self.position == other.position
+        )
+
+    def __repr__(self):
+        return "%02d@%s$" % (self.position, self.text)
+
+
+class NoteCode:
+    """A note: position code, optional accidental/duration/stem/syllable."""
+
+    __slots__ = ("position", "accidental", "duration", "stem", "syllable")
+
+    def __init__(self, position, accidental=None, duration=None, stem=None,
+                 syllable=None):
+        self.position = position
+        self.accidental = accidental  # alteration int or None
+        self.duration = duration  # whole-note Fraction or None (carried)
+        self.stem = stem  # "U", "D", or None
+        self.syllable = syllable
+
+    @property
+    def degree(self):
+        return position_to_degree(self.position)
+
+    def __eq__(self, other):
+        return isinstance(other, NoteCode) and (
+            (self.position, self.accidental, self.duration, self.stem, self.syllable)
+            == (other.position, other.accidental, other.duration, other.stem,
+                other.syllable)
+        )
+
+    def __repr__(self):
+        parts = ["%d" % self.position]
+        if self.accidental is not None:
+            parts.append(CODE_FOR_ACCIDENTAL[self.accidental])
+        if self.duration is not None:
+            letter, dots = duration_code(self.duration)
+            parts.append(letter + "." * dots)
+        if self.stem:
+            parts.append(self.stem)
+        if self.syllable:
+            parts.append(",@%s$" % self.syllable)
+        return "".join(parts)
+
+
+class RestCode:
+    """``RW``: a rest; ``R2W`` in user DARMS repeats it (two whole rests)."""
+
+    __slots__ = ("duration", "count")
+
+    def __init__(self, duration=None, count=1):
+        if count < 1:
+            raise DarmsError("rest count must be positive")
+        self.duration = duration
+        self.count = count
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, RestCode)
+            and self.duration == other.duration
+            and self.count == other.count
+        )
+
+    def __repr__(self):
+        letter, dots = ("?", 0)
+        if self.duration is not None:
+            letter, dots = duration_code(self.duration)
+        count = "" if self.count == 1 else str(self.count)
+        return "R%s%s%s" % (count, letter, "." * dots)
+
+
+class BeamGroup:
+    """``(...)``: a beam grouping; members are notes/rests/nested groups."""
+
+    __slots__ = ("members",)
+
+    def __init__(self, members):
+        self.members = list(members)
+
+    def __eq__(self, other):
+        return isinstance(other, BeamGroup) and self.members == other.members
+
+    def __repr__(self):
+        return "(%s)" % " ".join(repr(m) for m in self.members)
+
+
+class Barline:
+    """``/`` (single) or ``//`` (double, end of excerpt)."""
+
+    __slots__ = ("double",)
+
+    def __init__(self, double=False):
+        self.double = bool(double)
+
+    def __eq__(self, other):
+        return isinstance(other, Barline) and self.double == other.double
+
+    def __repr__(self):
+        return "//" if self.double else "/"

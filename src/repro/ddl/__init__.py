@@ -1,0 +1,30 @@
+"""The paper's data definition language (section 5.4).
+
+Three statement forms::
+
+    define entity NAME (attr = domain, ...)
+    define relationship NAME (role = TYPE, ...)
+    define ordering [order_name] (CHILD {, CHILD}) under PARENT
+
+``parse_ddl`` produces an AST; ``compile_ddl`` applies a program to a
+:class:`~repro.core.schema.Schema`; ``execute_ddl`` does both.
+"""
+
+from repro.ddl.ast import (
+    AttributeClause,
+    DefineEntity,
+    DefineOrdering,
+    DefineRelationship,
+)
+from repro.ddl.parser import parse_ddl
+from repro.ddl.compiler import compile_ddl, execute_ddl
+
+__all__ = [
+    "AttributeClause",
+    "DefineEntity",
+    "DefineOrdering",
+    "DefineRelationship",
+    "parse_ddl",
+    "compile_ddl",
+    "execute_ddl",
+]

@@ -1,0 +1,84 @@
+"""AST nodes for the data definition language."""
+
+
+class AttributeClause:
+    """``name = domain`` inside a define entity/relationship statement."""
+
+    __slots__ = ("name", "domain_name")
+
+    def __init__(self, name, domain_name):
+        self.name = name
+        self.domain_name = domain_name
+
+    def __repr__(self):
+        return "%s = %s" % (self.name, self.domain_name)
+
+    def __eq__(self, other):
+        if not isinstance(other, AttributeClause):
+            return NotImplemented
+        return self.name == other.name and self.domain_name == other.domain_name
+
+
+class DefineEntity:
+    """``define entity NAME (attributes)``"""
+
+    __slots__ = ("name", "attributes")
+
+    def __init__(self, name, attributes):
+        self.name = name
+        self.attributes = list(attributes)
+
+    def unparse(self):
+        inner = ", ".join(repr(a) for a in self.attributes)
+        return "define entity %s (%s)" % (self.name, inner)
+
+    def __repr__(self):
+        return "DefineEntity(%r)" % self.name
+
+
+class DefineRelationship:
+    """``define relationship NAME (roles-and-attributes)``
+
+    The parser cannot always distinguish roles (entity-typed) from value
+    attributes (scalar-typed); the compiler splits them against the
+    schema's known entity types.
+    """
+
+    __slots__ = ("name", "attributes")
+
+    def __init__(self, name, attributes):
+        self.name = name
+        self.attributes = list(attributes)
+
+    def unparse(self):
+        inner = ", ".join(repr(a) for a in self.attributes)
+        return "define relationship %s (%s)" % (self.name, inner)
+
+    def __repr__(self):
+        return "DefineRelationship(%r)" % self.name
+
+
+class DefineOrdering:
+    """``define ordering [name] (children) under PARENT``"""
+
+    __slots__ = ("name", "child_types", "parent_type")
+
+    def __init__(self, name, child_types, parent_type):
+        self.name = name  # None when the optional order_name was omitted
+        self.child_types = list(child_types)
+        self.parent_type = parent_type
+
+    def unparse(self):
+        name_part = (self.name + " ") if self.name else ""
+        return "define ordering %s(%s) under %s" % (
+            name_part,
+            ", ".join(self.child_types),
+            self.parent_type,
+        )
+
+    def __repr__(self):
+        return "DefineOrdering(%r, %r under %r)" % (
+            self.name,
+            self.child_types,
+            self.parent_type,
+        )

@@ -1,0 +1,93 @@
+"""Recursive-descent parser for the DDL (BNF of section 5.4)."""
+
+from repro.errors import ParseError
+from repro.ddl.ast import (
+    AttributeClause,
+    DefineEntity,
+    DefineOrdering,
+    DefineRelationship,
+)
+from repro.lang.lexer import Lexer, TokenType
+from repro.lang.lexer import TokenStream
+
+
+def parse_ddl(source):
+    """Parse a DDL program; returns a list of statement AST nodes.
+
+    Statements may be separated by newlines or semicolons.
+    """
+    stream = TokenStream(Lexer(source).tokens())
+    statements = []
+    while not stream.at_end():
+        while stream.accept_symbol(";"):
+            pass
+        if stream.at_end():
+            break
+        statements.append(_statement(stream))
+    return statements
+
+
+def _statement(stream):
+    stream.expect_keyword("define")
+    token = stream.peek()
+    if token.matches_keyword("entity"):
+        stream.next()
+        return _define_entity(stream)
+    if token.matches_keyword("relationship"):
+        stream.next()
+        return _define_relationship(stream)
+    if token.matches_keyword("ordering"):
+        stream.next()
+        return _define_ordering(stream)
+    raise ParseError(
+        "expected 'entity', 'relationship' or 'ordering', found %r" % token.value,
+        token.line,
+        token.column,
+    )
+
+
+def _attribute_list(stream):
+    """Parse ``(name = domain {, name = domain})``."""
+    stream.expect_symbol("(")
+    attributes = []
+    if stream.accept_symbol(")"):
+        return attributes
+    while True:
+        name = stream.expect_identifier("attribute name").value
+        stream.expect_symbol("=")
+        domain = stream.expect_identifier("domain name").value
+        attributes.append(AttributeClause(name, domain))
+        if stream.accept_symbol(","):
+            continue
+        stream.expect_symbol(")")
+        return attributes
+
+
+def _define_entity(stream):
+    name = stream.expect_identifier("entity name").value
+    attributes = _attribute_list(stream)
+    return DefineEntity(name, attributes)
+
+
+def _define_relationship(stream):
+    name = stream.expect_identifier("relationship name").value
+    attributes = _attribute_list(stream)
+    return DefineRelationship(name, attributes)
+
+
+def _define_ordering(stream):
+    # define ordering [order_name] (child {, child}) under parent
+    name = None
+    token = stream.peek()
+    if token.type is TokenType.IDENT and not token.matches_keyword("under"):
+        name = stream.next().value
+    stream.expect_symbol("(")
+    child_types = [stream.expect_identifier("child entity name").value]
+    while stream.accept_symbol(","):
+        child_types.append(stream.expect_identifier("child entity name").value)
+    stream.expect_symbol(")")
+    # The BNF makes the under clause optional, but an ordering without a
+    # parent has no meaning in our runtime; require it.
+    stream.expect_keyword("under")
+    parent = stream.expect_identifier("parent entity name").value
+    return DefineOrdering(name, child_types, parent)

@@ -1,0 +1,108 @@
+"""Exception hierarchy for the Music Data Manager.
+
+Every error raised by this package derives from :class:`MDMError`, so a
+client can catch one type to isolate itself from data-manager failures --
+the service-style isolation the paper's figure 1 architecture calls for.
+"""
+
+
+class MDMError(Exception):
+    """Base class for all Music Data Manager errors."""
+
+
+class StorageError(MDMError):
+    """Failure in the relational storage substrate."""
+
+
+class PageError(StorageError):
+    """Malformed or out-of-range page access."""
+
+
+class TransactionError(StorageError):
+    """Illegal transaction state transition (e.g. write after commit)."""
+
+
+class DeadlockError(TransactionError):
+    """Transaction aborted by the wait-die deadlock avoidance policy."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock could not be granted within the configured bound."""
+
+
+class RecoveryError(StorageError):
+    """The write-ahead log could not be replayed."""
+
+
+class SchemaError(MDMError):
+    """Invalid schema definition (entities, relationships, orderings)."""
+
+
+class UnknownEntityTypeError(SchemaError):
+    """Reference to an entity type absent from the schema."""
+
+
+class UnknownAttributeError(SchemaError):
+    """Reference to an attribute absent from an entity/relationship type."""
+
+
+class UnknownOrderingError(SchemaError):
+    """Reference to an ordering absent from the schema."""
+
+
+class UnknownRelationshipError(SchemaError):
+    """Reference to a relationship type absent from the schema."""
+
+
+class IntegrityError(MDMError):
+    """A data operation would violate model invariants."""
+
+
+class OrderingCycleError(IntegrityError):
+    """An operation would create a P-edge or S-edge cycle (section 5.5)."""
+
+
+class OrderingMembershipError(IntegrityError):
+    """An instance is not (or already is) a member of an ordering."""
+
+
+class TypeMismatchError(IntegrityError):
+    """A value does not belong to an attribute's domain."""
+
+
+class ParseError(MDMError):
+    """Syntax error in DDL, QUEL, or DARMS input."""
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = " at line %d" % line
+            if column is not None:
+                location += ", column %d" % column
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class QueryError(MDMError):
+    """Semantic error while planning or executing a QUEL query."""
+
+
+class NotationError(MDMError):
+    """Invalid musical notation (pitch, meter, score structure)."""
+
+
+class DarmsError(ParseError):
+    """Invalid DARMS encoding."""
+
+
+class MidiError(MDMError):
+    """Invalid MIDI data or event stream."""
+
+
+class SoundError(MDMError):
+    """Invalid digitized-sound parameters or data."""
+
+
+class BiblioError(MDMError):
+    """Invalid bibliographic or thematic-index data."""

@@ -1,0 +1,22 @@
+"""The figure/table regeneration harness.
+
+Every figure and table of the paper maps to one experiment module with
+a ``run()`` returning an :class:`ExperimentResult`.  The registry runs
+them all; ``repro.experiments.report`` writes EXPERIMENTS.md.
+"""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    all_experiment_ids,
+    get_experiment,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "all_experiment_ids",
+    "get_experiment",
+    "run_all",
+    "run_experiment",
+]

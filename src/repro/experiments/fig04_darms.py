@@ -1,0 +1,104 @@
+"""Figure 4: DARMS encoding.
+
+Three panels: (a) a fragment of music, (b) its DARMS encoding, (c) the
+abbreviation key.  We regenerate all three from the Gloria fixture, and
+additionally exercise the canonizer the paper describes: user DARMS
+(carried durations, short positions, rest counts) -> canonical DARMS,
+and the decode -> re-encode fixed point.
+"""
+
+from repro.darms.canonical import canonize
+from repro.darms.encode import score_to_darms
+from repro.darms.decode import darms_to_score
+from repro.experiments.registry import ExperimentResult
+from repro.fixtures.gloria import ABBREVIATION_KEY, GLORIA_USER_DARMS, build_gloria_score
+from repro.graphics.render import render_staff
+
+
+def _all_durations_explicit(text):
+    """Every note/rest element of *text* carries a duration letter."""
+    from repro.darms.parser import parse_darms
+    from repro.darms.tokens import BeamGroup, NoteCode, RestCode
+
+    def walk(elements):
+        for element in elements:
+            if isinstance(element, (NoteCode, RestCode)):
+                if element.duration is None:
+                    return False
+            elif isinstance(element, BeamGroup):
+                if not walk(element.members):
+                    return False
+        return True
+
+    return walk(parse_darms(text))
+
+
+def _has_nested_beam(text):
+    """True if the parsed encoding contains a beam inside a beam."""
+    from repro.darms.parser import parse_darms
+    from repro.darms.tokens import BeamGroup
+
+    def walk(elements, depth):
+        for element in elements:
+            if isinstance(element, BeamGroup):
+                if depth >= 1:
+                    return True
+                if walk(element.members, depth + 1):
+                    return True
+        return False
+
+    return walk(parse_darms(text), 0)
+
+
+def run():
+    builder, score = build_gloria_score()
+    voice = builder.voices()[0]
+    panel_a = render_staff(builder.cmn, score, voice)
+    canonical = canonize(GLORIA_USER_DARMS)
+    reencoded = score_to_darms(builder.cmn, score)
+    builder2, score2 = darms_to_score(reencoded, title="round trip")
+    fixed_point = score_to_darms(builder2.cmn, score2)
+    panel_c = "\n".join(
+        "  %-8s %s" % (code, meaning) for code, meaning in ABBREVIATION_KEY
+    )
+
+    artifact = "\n".join(
+        [
+            "(a) A Fragment of Music",
+            panel_a,
+            "",
+            "(b) Its DARMS Encoding (user form)",
+            "  " + GLORIA_USER_DARMS,
+            "",
+            "    canonical form (output of the canonizer)",
+            "  " + canonical,
+            "",
+            "(c) Abbreviation Key",
+            panel_c,
+        ]
+    )
+
+    counts = builder.view.counts()
+    return ExperimentResult(
+        "fig04",
+        "DARMS encoding of a fragment of music",
+        artifact,
+        data={
+            "user_darms": GLORIA_USER_DARMS,
+            "canonical_darms": canonical,
+            "score_counts": counts,
+        },
+        checks={
+            "canonizer_idempotent": canonize(canonical) == canonical,
+            "canonical_has_explicit_durations": _all_durations_explicit(
+                canonical
+            ),
+            "decode_reencode_fixed_point": fixed_point == reencoded,
+            "two_whole_rest_measures": counts["measures"] == 6,
+            "syllables_attached": ",@" in canonical,
+            "nested_beams_present": _has_nested_beam(canonical),
+        },
+        notes="The published figure is an OCR-degraded card listing; our "
+              "fragment reproduces its structure (annotation, R2W, nested "
+              "beams, syllables) with exact measure fills.",
+    )

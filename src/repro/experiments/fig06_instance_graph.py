@@ -1,0 +1,51 @@
+"""Figure 6: a simple instance graph.
+
+"This graph, in its entirety, could represent, for example, a four note
+chord.  It consists of a parent, y, and an ordered set of children,
+{u, v, w, x} ... we may speak of the node w in this figure as the third
+child of the parent labeled y."
+"""
+
+from repro.core.instance_graph import InstanceGraph
+from repro.core.schema import Schema
+from repro.experiments.registry import ExperimentResult
+
+
+def run():
+    schema = Schema("fig06")
+    schema.define_entity("CHORD", [("name", "string")])
+    schema.define_entity("NOTE", [("name", "string")])
+    ordering = schema.define_ordering("note_in_chord", ["NOTE"], under="CHORD")
+
+    y = schema.entity_type("CHORD").create(name="y")
+    children = {}
+    for label in ("u", "v", "w", "x"):
+        child = schema.entity_type("NOTE").create(name=label)
+        children[label] = child
+        ordering.append(y, child)
+
+    graph = InstanceGraph.from_ordering(ordering)
+    graph.label(y, "y")
+    for label, child in children.items():
+        graph.label(child, label)
+
+    artifact = graph.to_ascii() + "\n\n" + graph.to_edge_list()
+    third = ordering.child_at(y, 3)
+
+    return ExperimentResult(
+        "fig06",
+        "A simple instance graph",
+        artifact,
+        data={
+            "node_count": graph.node_count(),
+            "edges": graph.edge_counts(),
+            "third_child": third["name"],
+        },
+        checks={
+            "five_nodes": graph.node_count() == 5,
+            "four_p_edges": graph.edge_counts()["p_edges"] == 4,
+            "three_s_edges": graph.edge_counts()["s_edges"] == 3,
+            "w_is_third_child": third["name"] == "w",
+            "ordering_u_before_x": ordering.before(children["u"], children["x"]),
+        },
+    )

@@ -1,0 +1,90 @@
+"""Figure 8: recursive ordering -- beam groups.
+
+(a) the HO graph for ``define ordering (BEAM_GROUP, CHORD) under
+BEAM_GROUP``; (b) a fragment with several layers of beam groups over
+six chords c1..c6; (c) its instance graph where "every object ... is
+either a group (labeled g) or a chord (labeled c)".
+
+We build the fragment in the CMN schema (GROUP plays BEAM_GROUP),
+render all three panels, and verify the well-formedness restrictions:
+P-edge cycles are rejected.
+"""
+
+from fractions import Fraction
+
+from repro.cmn.builder import ScoreBuilder
+from repro.cmn.groups import beam
+from repro.core.hograph import HOGraph, OrderingForm
+from repro.core.instance_graph import InstanceGraph
+from repro.errors import OrderingCycleError
+from repro.experiments.registry import ExperimentResult
+
+
+def run():
+    builder = ScoreBuilder("fig08 fragment", meter="4/4")
+    voice = builder.add_voice("melody")
+    cmn = builder.cmn
+    pitches = ["G4", "A4", "B4", "C5", "D5", "E5"]
+    chords = []
+    for index, name in enumerate(pitches):
+        duration = Fraction(1, 8) if index < 4 else Fraction(1, 4)
+        chords.append(builder.note(voice, name, duration))
+    # Layered beams: inner sixteenth-style beams under one outer beam.
+    g2 = beam(cmn, voice, chords[0:2], label="g2")
+    g3 = beam(cmn, voice, chords[2:4], label="g3")
+    g1 = beam(cmn, voice, [g2, g3, chords[4], chords[5]], label="g1")
+    builder.finish()
+
+    ho = HOGraph(cmn.schema, ["group_member"])
+    instance_graph = InstanceGraph.from_orderings(
+        [cmn.group_member], [g1]
+    )
+    for index, chord in enumerate(chords, start=1):
+        instance_graph.label(chord, "c%d" % index)
+    for label, group in (("g1", g1), ("g2", g2), ("g3", g3)):
+        instance_graph.label(group, label)
+
+    # Well-formedness: a P-edge cycle must be rejected.
+    cycle_rejected = False
+    try:
+        cmn.group_member.append(g2, g1)
+    except OrderingCycleError:
+        cycle_rejected = True
+
+    from repro.cmn.groups import depth, flatten
+
+    artifact = "\n".join(
+        [
+            "(a) HO graph for the recursive ordering",
+            ho.to_ascii(),
+            "",
+            "(b) Fragment: (c1 c2) (c3 c4) c5 c6 under one outer beam",
+            "",
+            "(c) Instance graph",
+            instance_graph.to_ascii(),
+            "",
+            instance_graph.to_edge_list(),
+        ]
+    )
+
+    forms = ho.classify(cmn.group_member)
+    return ExperimentResult(
+        "fig08",
+        "Recursive ordering: beam groups",
+        artifact,
+        data={
+            "depth": depth(cmn, g1),
+            "leaves": len(flatten(cmn, g1)),
+            "forms": sorted(f.value for f in forms),
+        },
+        checks={
+            "recursive_form": OrderingForm.RECURSIVE in forms,
+            "inhomogeneous_form": OrderingForm.INHOMOGENEOUS in forms,
+            "six_chords_under_g1": len(flatten(cmn, g1)) == 6,
+            "two_layers": depth(cmn, g1) == 2,
+            "p_cycle_rejected": cycle_rejected,
+            "groups_intermixed_with_chords": [
+                m.type.name for m in cmn.group_member.children(g1)
+            ] == ["GROUP", "GROUP", "CHORD", "CHORD"],
+        },
+    )

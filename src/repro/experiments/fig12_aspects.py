@@ -1,0 +1,47 @@
+"""Figure 12: aspects of musical entities.
+
+The aspect tree (temporal; timbral with pitch/articulation/dynamic;
+graphical with textual) plus the per-entity participation the text
+spells out: a note participates in every musical aspect, "MIDI events,
+for example, have no graphical aspect in CMN".
+"""
+
+from repro.cmn.aspects import (
+    ASPECT_TREE,
+    Aspect,
+    aspect_matrix,
+    parent_aspect,
+    render_tree,
+)
+from repro.experiments.registry import ExperimentResult
+
+
+def run():
+    matrix = aspect_matrix()
+    lines = [render_tree(), "", "Entity participation:"]
+    width = max(len(name) for name in matrix)
+    for name in sorted(matrix):
+        lines.append("  %-*s %s" % (width, name, ", ".join(matrix[name])))
+
+    note_aspects = set(matrix["NOTE"])
+    midi_aspects = set(matrix["MIDI"])
+
+    return ExperimentResult(
+        "fig12",
+        "Aspects of musical entities",
+        "\n".join(lines),
+        data={"matrix": matrix},
+        checks={
+            "three_top_aspects": set(ASPECT_TREE)
+            == {Aspect.TEMPORAL, Aspect.TIMBRAL, Aspect.GRAPHICAL},
+            "timbral_subaspects": ASPECT_TREE[Aspect.TIMBRAL]
+            == [Aspect.PITCH, Aspect.ARTICULATION, Aspect.DYNAMIC],
+            "textual_under_graphical": parent_aspect(Aspect.TEXTUAL)
+            is Aspect.GRAPHICAL,
+            "note_has_all_musical_aspects": {
+                "temporal", "timbral", "pitch", "articulation", "dynamic",
+                "graphical",
+            } <= note_aspects,
+            "midi_has_no_graphical_aspect": "graphical" not in midi_aspects,
+        },
+    )

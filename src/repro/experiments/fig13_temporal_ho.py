@@ -1,0 +1,69 @@
+"""Figure 13: the HO graph for the temporal aspect.
+
+Score -> Movement -> Measure -> Sync -> Chord -> Note; Groups of chords
+and rests in voices (recursive); Events binding tied notes, with MIDI
+at the bottom.  We render the graph from the *live* CMN schema and
+verify the temporal attribute flow of section 7.2 on real data: score
+duration = sum of movement durations; chord start times inherited from
+parent syncs; events in performance time at the bottom.
+"""
+
+from fractions import Fraction
+
+from repro.cmn.schema import CmnSchema, TEMPORAL_ORDERINGS
+from repro.experiments.registry import ExperimentResult
+from repro.fixtures.bwv578 import build_bwv578_score
+from repro.midi.extract import extract_midi, stored_midi_of_score
+
+
+def run():
+    cmn = CmnSchema()
+    graph = cmn.temporal_ho_graph()
+    artifact = graph.to_ascii()
+
+    # Live temporal attributes on the BWV 578 opening.
+    builder = build_bwv578_score()
+    view = builder.view
+    movement = view.movements()[0]
+    score_duration = view.score_duration_beats()
+    movement_duration = view.movement_duration_beats(movement)
+    first_measure = view.measures(movement)[0]
+    first_sync = view.syncs(first_measure)[0]
+    first_chord = view.chords_at(first_sync)[0]
+    chord_start = view.chord_start_beats(first_chord)
+    extract_midi(builder.cmn, builder.score)
+    stored = stored_midi_of_score(builder.cmn, builder.score)
+
+    artifact += "\n\nTemporal attributes on BWV 578 (live data):\n"
+    artifact += "  score duration   : %s beats\n" % score_duration
+    artifact += "  movement duration: %s beats\n" % movement_duration
+    artifact += "  first chord start: %s (inherited from its sync)\n" % chord_start
+    artifact += "  MIDI entities    : %d, in performance seconds\n" % len(stored)
+
+    edges = {name: (children, parent) for name, children, parent in graph.edges()}
+    return ExperimentResult(
+        "fig13",
+        "HO graph for the temporal aspect",
+        artifact,
+        data={
+            "orderings": sorted(edges),
+            "score_duration_beats": str(score_duration),
+        },
+        checks={
+            "all_temporal_orderings_present": set(edges)
+            == set(TEMPORAL_ORDERINGS),
+            "spine": edges["movement_in_score"] == (("MOVEMENT",), "SCORE")
+            and edges["measure_in_movement"] == (("MEASURE",), "MOVEMENT")
+            and edges["sync_in_measure"] == (("SYNC",), "MEASURE")
+            and edges["chord_in_sync"] == (("CHORD",), "SYNC")
+            and edges["note_in_chord"] == (("NOTE",), "CHORD"),
+            "groups_inhomogeneous_recursive": edges["group_member"]
+            == (("GROUP", "CHORD", "REST"), "GROUP"),
+            "events_bind_notes": edges["note_in_event"] == (("NOTE",), "EVENT"),
+            "midi_at_bottom": edges["midi_in_event"] == (("MIDI",), "EVENT"),
+            "score_duration_sums_movements": score_duration == movement_duration,
+            "chord_start_inherited": chord_start == Fraction(0),
+            "midi_in_seconds": bool(stored)
+            and all(m["end_seconds"] > m["start_seconds"] for m in stored),
+        },
+    )

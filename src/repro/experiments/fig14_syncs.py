@@ -1,0 +1,84 @@
+"""Figure 14: dividing a score into syncs.
+
+"The various musical events within a passage (such as notes) are
+typically aligned on these pulses.  Each such point of alignment
+constitutes a sync ... The notes within a sync are grouped into
+chords (by voice)."
+
+We build a two-voice measure with different rhythms (quarters against
+eighths), extract its syncs, and verify: a sync exists exactly at each
+distinct onset offset, chords of different voices sharing an onset
+share a SYNC instance, and chord start times are inherited from syncs.
+"""
+
+from fractions import Fraction
+
+from repro.cmn.builder import ScoreBuilder
+from repro.experiments.registry import ExperimentResult
+
+
+def run():
+    builder = ScoreBuilder("fig14", meter="4/4")
+    upper = builder.add_voice("upper")
+    lower = builder.add_voice("lower", clef="bass")
+    for name in ("C5", "B4", "A4", "G4"):
+        builder.note(upper, name, Fraction(1, 4))
+    for name in ("C3", "D3", "E3", "F3", "G3", "A3", "B3", "C4"):
+        builder.note(lower, name, Fraction(1, 8))
+    builder.finish()
+
+    view = builder.view
+    movement = view.movements()[0]
+    measure = view.measures(movement)[0]
+    syncs = view.syncs(measure)
+    offsets = [s["offset_beats"] for s in syncs]
+    chords_per_sync = [len(view.chords_at(s)) for s in syncs]
+
+    lines = ["Measure 1 divided into syncs:"]
+    for sync, count in zip(syncs, chords_per_sync):
+        voices = []
+        for chord in view.chords_at(sync):
+            voice = builder.cmn.chord_rest_in_voice.parent_of(chord)
+            voices.append(voice["name"])
+        lines.append(
+            "  sync @ beat %-5s : %d chord(s) [%s]"
+            % (sync["offset_beats"], count, ", ".join(voices))
+        )
+    timeline = "  " + " ".join(
+        "%s" % offset for offset in offsets
+    )
+    lines.append("")
+    lines.append("Alignment points: " + timeline)
+
+    expected_offsets = [Fraction(k, 2) for k in range(8)]
+    on_beat = [o for o in offsets if o.denominator == 1]
+    shared = [
+        count for offset, count in zip(offsets, chords_per_sync)
+        if offset.denominator == 1
+    ]
+    starts_inherited = all(
+        view.chord_start_beats(chord) == sync["offset_beats"]
+        for sync in syncs
+        for chord in view.chords_at(sync)
+    )
+
+    return ExperimentResult(
+        "fig14",
+        "Dividing a score into syncs",
+        "\n".join(lines),
+        data={
+            "offsets": [str(o) for o in offsets],
+            "chords_per_sync": chords_per_sync,
+        },
+        checks={
+            "eight_syncs": offsets == expected_offsets,
+            "on_beat_syncs_shared": all(count == 2 for count in shared),
+            "off_beat_syncs_single": all(
+                count == 1
+                for offset, count in zip(offsets, chords_per_sync)
+                if offset.denominator != 1
+            ),
+            "four_shared_syncs": len(on_beat) == 4,
+            "starts_inherited_from_syncs": starts_inherited,
+        },
+    )

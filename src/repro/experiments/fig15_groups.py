@@ -1,0 +1,95 @@
+"""Figure 15: groups.
+
+"Groups have a variety of semantic functions in music ... these include
+phrasing (e.g. notes covered by a slur) and timing (e.g. beams and
+tuplets).  A group has the temporal attribute 'duration', which is a
+function of the duration of its constituent chords and rests."
+
+We build a voice carrying a slur group, a beam group, and a triplet,
+and verify the derived durations -- including the tuplet scaling.
+"""
+
+from fractions import Fraction
+
+from repro.cmn.builder import ScoreBuilder
+from repro.cmn.groups import beam, flatten, slur, tuplet
+from repro.experiments.registry import ExperimentResult
+
+
+def run():
+    builder = ScoreBuilder("fig15", meter="4/4")
+    voice = builder.add_voice("melody")
+    cmn = builder.cmn
+
+    # Measure 1: a slurred phrase of two quarters and a half.
+    phrase_chords = [
+        builder.note(voice, "E4", Fraction(1, 4)),
+        builder.note(voice, "F4", Fraction(1, 4)),
+        builder.note(voice, "G4", Fraction(1, 2)),
+    ]
+    phrase = slur(cmn, voice, phrase_chords, label="phrase")
+
+    # Measure 2: a beamed run, then a quarter triplet (3 in the time
+    # of 2), then a rest.
+    beamed_chords = [
+        builder.note(voice, "A4", Fraction(1, 8)),
+        builder.note(voice, "B4", Fraction(1, 8)),
+        builder.note(voice, "C5", Fraction(1, 8)),
+        builder.note(voice, "D5", Fraction(1, 8)),
+    ]
+    beamed = beam(cmn, voice, beamed_chords, label="run")
+    triplet_chords = [
+        builder.note(voice, "E5", Fraction(1, 12)),
+        builder.note(voice, "D5", Fraction(1, 12)),
+        builder.note(voice, "C5", Fraction(1, 12)),
+    ]
+    # Three eighth-triplet notes in the time of two eighths: stored at
+    # their sounding duration (1/12 whole each), ratio 3:2 recorded as
+    # notation metadata.
+    builder.rest(voice, Fraction(1, 4))
+    trip = tuplet(cmn, voice, triplet_chords, actual=3, normal=2, label="triplet")
+    builder.finish(derive=False)
+
+    view = builder.view
+    durations = {
+        "phrase": view.group_duration_beats(phrase),
+        "beamed run": view.group_duration_beats(beamed),
+        "triplet": view.group_duration_beats(trip),
+    }
+
+    lines = ["Groups over voice 'melody':"]
+    for group, label in ((phrase, "slur/phrase"), (beamed, "beam"),
+                         (trip, "tuplet 3:2")):
+        leaves = flatten(cmn, group)
+        member_durations = " + ".join(
+            str(leaf["duration"] * 4) for leaf in leaves
+        )
+        lines.append(
+            "  %-12s %d members, duration = f(%s) = %s beats"
+            % (
+                label,
+                len(leaves),
+                member_durations,
+                view.group_duration_beats(group),
+            )
+        )
+    lines.append("")
+    lines.append("Semantic functions: phrasing (slur), timing (beam, tuplet)")
+
+    kinds = {g["kind"] for g in view.groups_of_voice(voice)}
+    return ExperimentResult(
+        "fig15",
+        "Groups (phrasing and timing)",
+        "\n".join(lines),
+        data={name: str(value) for name, value in durations.items()},
+        checks={
+            "three_groups": len(view.groups_of_voice(voice)) == 3,
+            "all_kinds": kinds == {"slur", "beam", "tuplet"},
+            "phrase_duration": durations["phrase"] == Fraction(4),
+            "beam_duration": durations["beamed run"] == Fraction(2),
+            # Three sounding twelfth-notes span one beat in total.
+            "tuplet_duration": durations["triplet"] == Fraction(1),
+            "tuplet_ratio_recorded": trip["tuplet_actual"] == 3
+            and trip["tuplet_normal"] == 2,
+        },
+    )

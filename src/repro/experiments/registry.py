@@ -1,0 +1,77 @@
+"""Experiment registry: id -> module, with uniform results."""
+
+import importlib
+
+from repro.errors import MDMError
+
+#: Experiment id -> (module name, paper artifact description).
+EXPERIMENTS = {
+    "fig01": ("fig01_architecture", "The music data manager and its clients"),
+    "fig02": ("fig02_thematic_index", "A thematic index entry (BWV 578)"),
+    "fig03": ("fig03_piano_roll", "A piano roll (the fugue opening)"),
+    "fig04": ("fig04_darms", "DARMS encoding of a fragment of music"),
+    "fig05": ("fig05_er_graph", "An entity-relationship graph"),
+    "fig06": ("fig06_instance_graph", "A simple instance graph"),
+    "fig07": ("fig07_ho_graph", "A hierarchical ordering graph"),
+    "fig08": ("fig08_recursive_beams", "Recursive ordering: beam groups"),
+    "fig09": ("fig09_meta_schema", "HO graph for the meta-schema"),
+    "fig10": ("fig10_graphdefs", "Schema for graphical definitions"),
+    "tab11": ("tab11_cmn_entities", "The entities of a CMN schema"),
+    "fig12": ("fig12_aspects", "Aspects of musical entities"),
+    "fig13": ("fig13_temporal_ho", "HO graph for the temporal aspect"),
+    "fig14": ("fig14_syncs", "Dividing a score into syncs"),
+    "fig15": ("fig15_groups", "Groups (phrasing and timing)"),
+}
+
+
+class ExperimentResult:
+    """Uniform result: a text artifact plus structured check data."""
+
+    def __init__(self, experiment_id, title, artifact, data=None, checks=None,
+                 notes=""):
+        self.experiment_id = experiment_id
+        self.title = title
+        self.artifact = artifact  # the regenerated figure/table, as text
+        self.data = data or {}
+        self.checks = checks or {}  # name -> bool, asserted by tests
+        self.notes = notes
+
+    def passed(self):
+        return all(self.checks.values())
+
+    def failed_checks(self):
+        return sorted(name for name, ok in self.checks.items() if not ok)
+
+    def __repr__(self):
+        status = "ok" if self.passed() else "FAILED(%s)" % ",".join(
+            self.failed_checks()
+        )
+        return "ExperimentResult(%s: %s)" % (self.experiment_id, status)
+
+
+def all_experiment_ids():
+    return sorted(EXPERIMENTS)
+
+
+def get_experiment(experiment_id):
+    try:
+        module_name, _ = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise MDMError("unknown experiment %r" % experiment_id)
+    return importlib.import_module("repro.experiments." + module_name)
+
+
+def run_experiment(experiment_id):
+    """Run one experiment; returns its ExperimentResult."""
+    result = get_experiment(experiment_id).run()
+    if result.experiment_id != experiment_id:
+        raise MDMError(
+            "experiment %r returned result for %r"
+            % (experiment_id, result.experiment_id)
+        )
+    return result
+
+
+def run_all():
+    """Run every experiment in id order; returns the result list."""
+    return [run_experiment(experiment_id) for experiment_id in all_experiment_ids()]

@@ -1,0 +1,74 @@
+"""Figure 11 (the entity table): the entities of a CMN schema.
+
+Regenerates the table from the live schema -- each row's name and
+description come from the entity definitions the schema is actually
+built from, so the table cannot drift from the implementation.
+"""
+
+from repro.cmn.entities import BY_NAME, entity_table_rows
+from repro.cmn.schema import CmnSchema
+from repro.experiments.registry import ExperimentResult
+
+#: The (name, description) rows exactly as printed in figure 11.
+_PAPER_ROWS = [
+    ("SCORE", "The unit of musical composition"),
+    ("MOVEMENT", "A temporal subsection of the score"),
+    ("MEASURE", "A temporal subsection of the movement"),
+    ("SYNC", "Sets of simultaneous events"),
+    ("GROUP", "A group of contiguous chords and rests in a voice"),
+    ("CHORD", "A set of notes in one voice at one sync"),
+    ("EVENT", "An atomic unit of sound, one or more notes"),
+    ("NOTE", "An atomic unit of music, a pitch in a chord"),
+    ("REST", 'A "chord" containing no notes'),
+    ("MIDI", "A MIDI note event."),
+    ("MIDI_CONTROL", "A MIDI control event at a point in time"),
+    ("ORCHESTRA", "A Set of Instruments performing a Score"),
+    ("SECTION", "A family of instruments"),
+    ("INSTRUMENT", "The unit of timbral definition"),
+    ("PART", "Music assigned to an individual performer"),
+    ("VOICE", "The unit of homophony"),
+    ("TEXT", "In vocal music, a line of text associated with the notes"),
+    ("SYLLABLE", "The piece of text associated with a single note"),
+    ("PAGE", "One graphical page of the score"),
+    ("SYSTEM", "One line of the score on a page"),
+    ("STAFF", "A division of the system, associated with an instrument"),
+    ("DEGREE", "A division of the staff (line and space)"),
+    ("GRAPHICAL_DEFINITION", "All the graphical icons and linears"),
+    ("INSTRUMENT_DEFINITION", "Instrument patches and specifications"),
+]
+
+
+def run():
+    cmn = CmnSchema()
+    rows = entity_table_rows()
+    width = max(len(name) for name, _ in rows)
+    lines = ["%-*s | Description" % (width, "Entity type")]
+    lines.append("-" * (width + 3 + 40))
+    for name, description in rows:
+        lines.append("%-*s | %s" % (width, name, description))
+
+    named_rows = rows[:-1]
+    descriptions_match = all(
+        (name, description) in _PAPER_ROWS for name, description in named_rows
+    )
+    all_instantiated = all(
+        cmn.schema.has_entity_type(name) for name, _ in named_rows
+    )
+    attributes_present = all(
+        BY_NAME[name].attributes for name, _ in named_rows
+    )
+
+    return ExperimentResult(
+        "tab11",
+        "The entities of a CMN schema (figure 11)",
+        "\n".join(lines),
+        data={"rows": rows, "entity_count": len(named_rows)},
+        checks={
+            "row_count": len(named_rows) == len(_PAPER_ROWS),
+            "descriptions_match_paper": descriptions_match,
+            "all_types_in_live_schema": all_instantiated,
+            "all_types_have_attributes": attributes_present,
+            "graphical_attributes_row": rows[-1][0]
+            == "Other graphical attributes",
+        },
+    )

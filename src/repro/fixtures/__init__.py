@@ -1,0 +1,23 @@
+"""Shared musical material for examples, tests, and benchmarks."""
+
+from repro.fixtures.bwv578 import (
+    BWV578_ENTRY,
+    SUBJECT,
+    SUBJECT_INCIPIT_DARMS,
+    build_bwv578_score,
+    build_bwv_index,
+)
+from repro.fixtures.gloria import GLORIA_USER_DARMS, build_gloria_score
+from repro.fixtures.examples import make_scale_score, make_demo_index
+
+__all__ = [
+    "BWV578_ENTRY",
+    "SUBJECT",
+    "SUBJECT_INCIPIT_DARMS",
+    "build_bwv578_score",
+    "build_bwv_index",
+    "GLORIA_USER_DARMS",
+    "build_gloria_score",
+    "make_scale_score",
+    "make_demo_index",
+]

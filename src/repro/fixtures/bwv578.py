@@ -1,0 +1,163 @@
+"""BWV 578, the "little" Fugue in G minor: the paper's running example.
+
+Figure 2 shows its thematic-index entry; figure 3 its piano roll with
+the fugue entrances shaded.  We encode the fugue subject (slightly
+simplified rhythm) and a two-voice opening: the subject in the soprano,
+the answer entering two measures later in the alto -- enough to
+regenerate both figures.  The bibliographic text is transcribed from
+the figure 2 entry.
+"""
+
+from fractions import Fraction
+
+from repro.cmn.builder import ScoreBuilder
+from repro.pitch.key import KeySignature
+from repro.pitch.pitch import Pitch
+
+#: The fugue subject: (pitch name, whole-note duration) pairs, 4 measures
+#: of 4/4 in G minor (rhythm simplified from the engraving).
+SUBJECT = [
+    ("G4", Fraction(1, 4)),
+    ("D5", Fraction(1, 4)),
+    ("Bb4", Fraction(3, 8)),
+    ("A4", Fraction(1, 8)),
+    ("G4", Fraction(1, 8)),
+    ("Bb4", Fraction(1, 8)),
+    ("A4", Fraction(1, 8)),
+    ("G4", Fraction(1, 8)),
+    ("F#4", Fraction(1, 8)),
+    ("A4", Fraction(1, 8)),
+    ("D4", Fraction(1, 4)),
+    ("G4", Fraction(1, 8)),
+    ("A4", Fraction(1, 8)),
+    ("Bb4", Fraction(1, 8)),
+    ("C5", Fraction(1, 8)),
+    ("D5", Fraction(1, 8)),
+    ("Eb5", Fraction(1, 8)),
+    ("F#4", Fraction(1, 8)),
+    ("G4", Fraction(1, 8)),
+    ("A4", Fraction(1, 4)),
+    ("D4", Fraction(1, 4)),
+    ("G4", Fraction(1, 2)),
+]
+
+#: The subject as a DARMS incipit (first two measures), for the
+#: thematic index.
+SUBJECT_INCIPIT_DARMS = (
+    "!G !K2- !M4:4 "
+    "23Q 27Q 25Q. 24E / (23E 25E) (24E 23E) (22#E 24E) 20Q //"
+)
+
+#: The figure 2 entry, transcribed.
+BWV578_ENTRY = {
+    "number": 578,
+    "title": "Fuge g-moll",
+    "setting": "Orgel",
+    "composed_when": "um 1709 (oder schon in Arnstadt?)",
+    "composed_where": "Weimar",
+    "measure_count": 68,
+    "copies": [
+        "2 Seiten im Andreas Bach Buch (S 657-677) B Lpz III 8 4",
+        "In Konvolut quer 6 aus Krebs Nachlass BB in Mus ms Bach P 803 (S 805-811)",
+        "Weiterhin in zahlreichen Einzelhandschriften u Smlbdn von der 2 Haelfte "
+        "des 18 bis zur 1 Haelfte des 19 Jhs",
+    ],
+    "editions": [
+        "In C F Beckers Caecilia Bd. II S 91, veroeffentl nach e Hs vom Jahre 1754",
+        "Peters Orgelwerke Bd. IV S 46",
+        "Breitkopf & Haertel EB 3174 S 72",
+        "Hofmeister (Joh Schreyer)",
+    ],
+    "literature": [
+        "Spitta I 399f",
+        "Spitta VA 110",
+        "Schweitzer 248",
+        "Frotscher II 877f",
+        "Neumann 51",
+        "Keller 73f",
+        "BJ 1912 131; 1930 4 44 125; 1937 62",
+    ],
+}
+
+
+def _transpose(subject, semitones):
+    """The answer: the subject transposed (real answer, flat-spelled)."""
+    out = []
+    for name, duration in subject:
+        pitch = Pitch.parse(name).transposed(semitones)
+        if pitch.alter == 1:  # prefer flat spellings in G minor
+            pitch = Pitch.from_midi(pitch.midi_key, prefer_flats=True)
+        out.append((pitch, duration))
+    return out
+
+
+def build_bwv578_score(cmn=None, measures_of_rest=2, with_answer=True):
+    """Build the fugue opening; returns the finished builder.
+
+    Soprano: the subject (measures 1-4) then held tonic.  Alto: two
+    measures of rest, then the answer a fourth below.  The answer
+    voice's entrance is what figure 3 shades in the piano roll.
+    """
+    builder = ScoreBuilder(
+        "Fuge g-moll",
+        catalogue_id="BWV 578",
+        key=KeySignature.flats(2),
+        meter="4/4",
+        bpm=84,
+    )
+    soprano = builder.add_voice("soprano", clef="treble", instrument="Organ",
+                                midi_program=19)
+    for name, duration in SUBJECT:
+        builder.note(soprano, name, duration)
+    # Continuation while the answer states the subject.
+    if with_answer:
+        continuation = [
+            ("Bb4", Fraction(1, 4)), ("A4", Fraction(1, 4)),
+            ("G4", Fraction(1, 4)), ("F#4", Fraction(1, 4)),
+            ("G4", Fraction(1, 2)), ("A4", Fraction(1, 4)),
+            ("Bb4", Fraction(1, 4)),
+            ("C5", Fraction(1, 4)), ("Bb4", Fraction(1, 4)),
+            ("A4", Fraction(1, 4)), ("G4", Fraction(1, 4)),
+            ("F#4", Fraction(1, 2)), ("G4", Fraction(1, 2)),
+        ]
+        for name, duration in continuation:
+            builder.note(soprano, name, duration)
+
+        alto = builder.add_voice("alto", clef="treble", instrument="Organ",
+                                 midi_program=19)
+        for _ in range(measures_of_rest):
+            builder.rest(alto, Fraction(1, 1))
+        for pitch, duration in _transpose(SUBJECT, -5):
+            builder.note(alto, pitch, duration, stem="D")
+    builder.pad_with_rests()
+    builder.finish()
+    return builder
+
+
+def build_bwv_index(schema=None):
+    """A small BWV thematic index containing entry 578 (figure 2)."""
+    from repro.biblio.thematic import ThematicIndex
+    from repro.core.schema import Schema
+
+    if schema is None:
+        schema = Schema("bwv")
+    index = ThematicIndex(
+        schema,
+        name="Bach-Werke-Verzeichnis",
+        abbreviation="BWV",
+        composer="Johann Sebastian Bach",
+        ordering_principle="chronological",
+    )
+    entry = index.add_entry(
+        BWV578_ENTRY["number"],
+        BWV578_ENTRY["title"],
+        setting=BWV578_ENTRY["setting"],
+        composed_when=BWV578_ENTRY["composed_when"],
+        composed_where=BWV578_ENTRY["composed_where"],
+        measure_count=BWV578_ENTRY["measure_count"],
+        incipits=[("subject", SUBJECT_INCIPIT_DARMS)],
+        copies=BWV578_ENTRY["copies"],
+        editions=BWV578_ENTRY["editions"],
+        literature=BWV578_ENTRY["literature"],
+    )
+    return index, entry

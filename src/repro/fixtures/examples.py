@@ -1,0 +1,89 @@
+"""Deterministic generated material for tests and benchmarks."""
+
+from fractions import Fraction
+
+from repro.cmn.builder import ScoreBuilder
+from repro.pitch.clef import TREBLE, BASS
+from repro.pitch.key import KeySignature
+from repro.pitch.pitch import Pitch
+
+#: A diatonic pitch cycle used by the generators (C major).
+_CYCLE = ["C4", "D4", "E4", "F4", "G4", "A4", "B4", "C5", "B4", "A4", "G4",
+          "F4", "E4", "D4"]
+
+
+def make_scale_score(measures=8, voices=2, notes_per_measure=8, title=None,
+                     cmn=None, bpm=120):
+    """A deterministic multi-voice score of eighth-note scales.
+
+    Voice *v* starts *v* steps into the pitch cycle (simple canon), so
+    syncs are shared across voices while contents differ.
+    """
+    builder = ScoreBuilder(
+        title or ("scale score %dx%d" % (measures, voices)),
+        key=KeySignature(0),
+        meter="4/4",
+        bpm=bpm,
+        cmn=cmn,
+    )
+    duration = Fraction(1, notes_per_measure)
+    for voice_index in range(voices):
+        clef = TREBLE if voice_index % 2 == 0 else BASS
+        shift = -12 * (voice_index % 2)
+        voice = builder.add_voice(
+            "voice %d" % (voice_index + 1),
+            clef=clef,
+            instrument="Instrument %d" % (voice_index + 1),
+            midi_program=voice_index,
+        )
+        position = voice_index * 2
+        for _ in range(measures * notes_per_measure):
+            name = _CYCLE[position % len(_CYCLE)]
+            pitch = Pitch.parse(name)
+            if shift:
+                pitch = Pitch(pitch.step, pitch.alter, pitch.octave - 1)
+            builder.note(voice, pitch, duration)
+            position += 1
+    builder.finish()
+    return builder
+
+
+#: Incipit patterns (DARMS bodies) cycled by the demo index generator.
+_INCIPIT_PATTERNS = [
+    "21Q 23Q 25Q 27Q //",
+    "27Q 25Q 23Q 21Q //",
+    "21E 22E 23E 24E 25Q 25Q //",
+    "25Q 21Q 25Q 21Q //",
+    "21Q 25Q 24E 23E 22E 21E //",
+    "23Q. 24E 25H //",
+]
+
+
+def make_demo_index(entries=25, schema=None):
+    """A generated thematic index with *entries* numbered works."""
+    from repro.biblio.thematic import ThematicIndex
+    from repro.core.schema import Schema
+
+    if schema is None:
+        schema = Schema("demo-index")
+    index = ThematicIndex(
+        schema,
+        name="Demo-Werke-Verzeichnis",
+        abbreviation="DWV",
+        composer="Composer Demo",
+    )
+    for number in range(1, entries + 1):
+        pattern = _INCIPIT_PATTERNS[number % len(_INCIPIT_PATTERNS)]
+        index.add_entry(
+            number,
+            "Work %d" % number,
+            setting="Orgel" if number % 2 else "Cembalo",
+            composed_when="17%02d" % (number % 50),
+            composed_where="Weimar" if number % 3 else "Leipzig",
+            measure_count=24 + number,
+            incipits=[("theme", "!G !K0# !M4:4 " + pattern)],
+            copies=["Copy %d-1" % number],
+            editions=["Edition %d" % number],
+            literature=["Ref %d" % number],
+        )
+    return index

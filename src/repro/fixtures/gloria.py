@@ -1,0 +1,45 @@
+"""The figure 4 fragment: a tenor "Gloria in excelsis Deo" line.
+
+The paper's DARMS example (figure 4) is reproduced here as valid user
+DARMS for our parser.  The published figure is an OCR-degraded punch
+card listing; we transcribe its structure -- instrument definition,
+treble clef, two sharps, an annotation, two whole rests, beamed eighth
+notes with nested beam groups, syllables, barlines -- with measure fills
+made exact (the substitution is documented in DESIGN.md).
+"""
+
+from repro.darms.decode import darms_to_score
+
+#: User DARMS for the fragment: note durations are carried forward and
+#: short positions used, so canonization has real work to do.
+GLORIA_USER_DARMS = (
+    "I4 !G !K2# !M4:4 00@^TENOR$ "
+    "R2W / "
+    "(7E,@^GLO-$ 8) (9 8 7 8) 9Q,@RI-$ / "
+    "8Q,@A$ (7E,@IN$ 6) 7H,@EX-$ / "
+    "(4E,@CEL-$ 5) (6 (7S 8) 8E) 4Q.,@SIS$ / "
+    "7H,@^DE-$ 7,@O$ //"
+)
+
+#: The abbreviation key of figure 4(c).
+ABBREVIATION_KEY = [
+    ("I4", "Instrument (or voice) definition #4"),
+    ("!G", "G (treble) clef"),
+    ("!K", "Key signature (!K2# two sharps)"),
+    ("00", "Annotation above the staff"),
+    ("R", "Rest (two whole rests)"),
+    ("@text$", "Literal string"),
+    ("^", "Capitalize next letter"),
+    ("(notes)", "Beam grouping"),
+    ("W", "Whole duration"),
+    ("Q", "Quarter duration"),
+    ("E", "Eighth duration"),
+    ("D", "Stems down"),
+    ("/", "Bar line"),
+]
+
+
+def build_gloria_score(cmn=None, title="Gloria in excelsis"):
+    """Decode the fragment; returns ``(builder, score)``."""
+    return darms_to_score(GLORIA_USER_DARMS, title=title, cmn=cmn,
+                          instrument="Tenor")

@@ -1,0 +1,23 @@
+"""The graphical aspect: PostScript graphical definitions (section 6.2)
+and score layout/rendering.
+
+GraphDef / GParmUse / GDefUse implement figure 10: graphical drawing
+code stored as data, parameterized by catalogued attributes, and
+executed through the four-step procedure the paper gives for drawing a
+stem.
+"""
+
+from repro.graphics.postscript import DisplayList, PostScriptError, execute_postscript
+from repro.graphics.graphdef import GraphicsCatalog
+from repro.graphics.layout import layout_voice, stem_for_chord
+from repro.graphics.render import render_staff
+
+__all__ = [
+    "DisplayList",
+    "PostScriptError",
+    "execute_postscript",
+    "GraphicsCatalog",
+    "layout_voice",
+    "stem_for_chord",
+    "render_staff",
+]

@@ -1,0 +1,150 @@
+"""Score layout: computing graphical attribute entities from the
+temporal/timbral structure.
+
+A deliberately simple engraving model -- enough to populate STEM,
+NOTEHEAD and BEAM instances with concrete coordinates so the figure 10
+drawing procedure has real data to draw.
+
+Coordinate system: y = 0 at the staff's bottom line, +4 units per staff
+degree (half the 8-unit line spacing); x advances linearly with score
+time.
+"""
+
+from fractions import Fraction
+
+from repro.cmn.score import ScoreView
+
+UNITS_PER_DEGREE = 4
+UNITS_PER_BEAT = 24
+LEFT_MARGIN = 20
+STEM_LENGTH = 28
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else 0
+
+
+def stem_for_chord(cmn, chord, view=None):
+    """Create (and return) the STEM entity for *chord*.
+
+    Direction follows the notated rule: notes sitting above the middle
+    line get stems down.  The chord's explicit ``stem_direction``
+    attribute overrides (the fugue entrances of figure 3 are
+    "distinguished in the CMN score by a change in note stem
+    direction").
+    """
+    if view is None:
+        view = ScoreView(cmn, _score_of_chord(cmn, chord))
+    start = view.chord_start_beats(chord)
+    degrees = [note["degree"] for note in view.notes_of(chord)]
+    explicit = chord["stem_direction"]
+    if explicit == "U":
+        direction = 1
+    elif explicit == "D":
+        direction = -1
+    else:
+        direction = -1 if _mean(degrees) >= 4 else 1
+    anchor_degree = min(degrees) if direction > 0 else max(degrees)
+    xpos = LEFT_MARGIN + int(start * UNITS_PER_BEAT)
+    ypos = anchor_degree * UNITS_PER_DEGREE
+    return cmn.STEM.create(
+        xpos=xpos, ypos=ypos, length=STEM_LENGTH, direction=direction
+    )
+
+
+def noteheads_for_chord(cmn, chord, view=None):
+    """Create NOTEHEAD entities for every note of *chord*."""
+    if view is None:
+        view = ScoreView(cmn, _score_of_chord(cmn, chord))
+    start = view.chord_start_beats(chord)
+    xpos = LEFT_MARGIN + int(start * UNITS_PER_BEAT)
+    filled = chord["duration"] < Fraction(1, 2)
+    out = []
+    for note in view.notes_of(chord):
+        out.append(
+            cmn.NOTEHEAD.create(
+                xpos=xpos,
+                ypos=note["degree"] * UNITS_PER_DEGREE,
+                shape="oval",
+                filled=filled,
+            )
+        )
+    return out
+
+
+def beam_for_group(cmn, group, view):
+    """Create a BEAM entity spanning a beam group's chords."""
+    from repro.cmn.groups import flatten
+
+    chords = [m for m in flatten(cmn, group) if m.type.name == "CHORD"]
+    if len(chords) < 2:
+        return None
+    first = view.chord_start_beats(chords[0])
+    last = view.chord_start_beats(chords[-1])
+    top_degree = max(
+        note["degree"] for chord in chords for note in view.notes_of(chord)
+    )
+    y = top_degree * UNITS_PER_DEGREE + STEM_LENGTH
+    return cmn.BEAM.create(
+        x1=LEFT_MARGIN + int(first * UNITS_PER_BEAT),
+        y1=y,
+        x2=LEFT_MARGIN + int(last * UNITS_PER_BEAT),
+        y2=y,
+        thickness=4,
+    )
+
+
+def layout_voice(cmn, score, voice):
+    """Lay out one voice: stems and noteheads per chord, beams per beam
+    group.  Returns ``{"stems": [...], "noteheads": [...], "beams": [...]}``."""
+    view = ScoreView(cmn, score)
+    stems = []
+    noteheads = []
+    for item in view.voice_stream(voice):
+        if item.type.name != "CHORD":
+            continue
+        stems.append(stem_for_chord(cmn, item, view))
+        noteheads.extend(noteheads_for_chord(cmn, item, view))
+    beams = []
+    for group in view.groups_of_voice(voice):
+        if group["kind"] == "beam":
+            beam = beam_for_group(cmn, group, view)
+            if beam is not None:
+                beams.append(beam)
+    return {"stems": stems, "noteheads": noteheads, "beams": beams}
+
+
+def populate_degrees(cmn, staff, low=-4, high=12):
+    """Create the DEGREE entities of a staff (figure 11: "a division of
+    the staff (line and space)"), ordered bottom to top.
+
+    Degrees 0/2/4/6/8 are the five lines; odd on-staff degrees are
+    spaces; outside 0..8 lie ledger positions.  Idempotent per staff.
+    """
+    ordering = cmn.degree_in_staff
+    existing = ordering.children(staff)
+    if existing:
+        return existing
+    out = []
+    for index in range(low, high + 1):
+        degree = cmn.DEGREE.create(
+            index=index, is_line=(index % 2 == 0 and 0 <= index <= 8)
+        )
+        ordering.append(staff, degree)
+        out.append(degree)
+    return out
+
+
+def degree_entity_for(cmn, staff, index):
+    """The DEGREE entity at *index* on *staff* (populating if needed)."""
+    for degree in populate_degrees(cmn, staff):
+        if degree["index"] == index:
+            return degree
+    raise KeyError("degree %d not on staff %r" % (index, staff))
+
+
+def _score_of_chord(cmn, chord):
+    sync = cmn.chord_in_sync.parent_of(chord)
+    measure = cmn.sync_in_measure.parent_of(sync)
+    movement = cmn.measure_in_movement.parent_of(measure)
+    return cmn.movement_in_score.parent_of(movement)

@@ -1,0 +1,101 @@
+"""Page assembly: a complete PostScript document from a laid-out score.
+
+The typesetting client's output path: staff lines are drawn directly,
+every stem / notehead / beam is drawn by executing its stored GraphDef
+(figure 10's procedure), and the recorded display lists are serialized
+into one standalone PostScript program a printer (or Ghostscript) could
+consume.
+"""
+
+from repro.cmn.score import ScoreView
+from repro.graphics.layout import (
+    LEFT_MARGIN,
+    UNITS_PER_BEAT,
+    UNITS_PER_DEGREE,
+    layout_voice,
+)
+
+#: Vertical distance between consecutive staves on the page.
+STAFF_SPACING = 120
+PAGE_WIDTH = 612   # US letter, points
+PAGE_HEIGHT = 792
+TOP_MARGIN = 80
+
+
+def _display_list_to_ps(display, x_offset, y_offset):
+    """Serialize a DisplayList at a page position."""
+    lines = []
+    for operator, args in display:
+        if operator in ("moveto", "lineto"):
+            lines.append(
+                "%.1f %.1f %s" % (args[0] + x_offset, args[1] + y_offset,
+                                  operator)
+            )
+        elif operator == "arc":
+            lines.append(
+                "%.1f %.1f %.1f %.1f %.1f arc"
+                % (args[0] + x_offset, args[1] + y_offset, args[2],
+                   args[3], args[4])
+            )
+        elif operator == "setlinewidth":
+            lines.append("%.2f setlinewidth" % args[0])
+        elif operator in ("newpath", "closepath", "stroke", "fill"):
+            lines.append(operator)
+        elif operator == "show":
+            lines.append("(%s) show" % str(args[0]).replace("(", "").replace(")", ""))
+    return lines
+
+
+def _staff_lines_ps(x_offset, y_offset, width):
+    """Five staff lines at a page position."""
+    lines = ["0.6 setlinewidth"]
+    for degree in (0, 2, 4, 6, 8):
+        y = y_offset + degree * UNITS_PER_DEGREE
+        lines.append("newpath")
+        lines.append("%.1f %.1f moveto" % (x_offset, y))
+        lines.append("%.1f %.1f lineto" % (x_offset + width, y))
+        lines.append("stroke")
+    return lines
+
+
+def assemble_page(cmn, score, catalog, title=None):
+    """Typeset every voice of *score*; returns PostScript document text.
+
+    *catalog* is a GraphicsCatalog with the standard definitions
+    registered (its meta-catalog must be synced).
+    """
+    view = ScoreView(cmn, score)
+    voices = view.voices()
+    body = []
+    total_beats = float(view.score_duration_beats())
+    staff_width = LEFT_MARGIN + total_beats * UNITS_PER_BEAT + 20
+
+    for staff_index, voice in enumerate(voices):
+        y_offset = PAGE_HEIGHT - TOP_MARGIN - staff_index * STAFF_SPACING - 100
+        body.append("%% staff %d: voice %r" % (staff_index + 1, voice["name"]))
+        body.extend(_staff_lines_ps(LEFT_MARGIN, y_offset, staff_width))
+        art = layout_voice(cmn, score, voice)
+        for kind in ("beams", "stems", "noteheads"):
+            for entity in art[kind]:
+                display = catalog.draw(entity)
+                body.extend(_display_list_to_ps(display, 0, y_offset))
+
+    header = [
+        "%!PS-Adobe-3.0",
+        "%%Creator: repro Music Data Manager",
+        "%%Title: " + (title or score["title"]),
+        "%%Pages: 1",
+        "%%BoundingBox: 0 0 " + "%d %d" % (PAGE_WIDTH, PAGE_HEIGHT),
+        "%%EndComments",
+        "%%Page: 1 1",
+    ]
+    footer = ["showpage", "%%EOF"]
+    return "\n".join(header + body + footer) + "\n"
+
+
+def write_page(cmn, score, catalog, path, title=None):
+    """Assemble and write a .ps file; returns the document text."""
+    text = assemble_page(cmn, score, catalog, title)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return text

@@ -1,0 +1,249 @@
+"""A miniature PostScript evaluator.
+
+Section 6.2 stores "the graphical definition (e.g. PostScript function)
+to draw a particular object" in the database and executes it with
+attribute values as parameters.  This module executes the subset our
+graphical definitions use: numeric literals, stack manipulation,
+arithmetic, ``/name ... def`` bindings with name lookup, and the path
+operators -- which are recorded into a :class:`DisplayList` instead of
+marking a raster.
+"""
+
+from repro.errors import MDMError
+
+
+class PostScriptError(MDMError):
+    """Error while executing a graphical definition."""
+
+
+class DisplayList:
+    """The recorded drawing: a list of (operator, args) tuples."""
+
+    def __init__(self):
+        self.operations = []
+        self._current_point = None
+
+    def record(self, operator, *args):
+        self.operations.append((operator, tuple(args)))
+
+    def __len__(self):
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    def bounding_box(self):
+        """(min_x, min_y, max_x, max_y) over recorded points."""
+        xs, ys = [], []
+        for operator, args in self.operations:
+            if operator in ("moveto", "lineto"):
+                xs.append(args[0])
+                ys.append(args[1])
+            elif operator == "arc":
+                cx, cy, radius = args[0], args[1], args[2]
+                xs.extend((cx - radius, cx + radius))
+                ys.extend((cy - radius, cy + radius))
+        if not xs:
+            return None
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def to_text(self):
+        lines = []
+        for operator, args in self.operations:
+            rendered = " ".join(_format_number(a) for a in args)
+            lines.append(("%s %s" % (rendered, operator)).strip())
+        return "\n".join(lines)
+
+
+def _format_number(value):
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _tokenize(source):
+    tokens = []
+    for raw_line in source.splitlines():
+        line = raw_line.split("%", 1)[0]  # strip comments
+        tokens.extend(line.split())
+    return tokens
+
+
+class _Interpreter:
+    def __init__(self, bindings=None):
+        self.stack = []
+        self.bindings = dict(bindings or {})
+        self.display = DisplayList()
+        self.current_point = None
+        self.line_width = 1.0
+        self.path_open = False
+
+    def pop_number(self, operator):
+        if not self.stack:
+            raise PostScriptError("stack underflow at %r" % operator)
+        value = self.stack.pop()
+        if not isinstance(value, (int, float)):
+            raise PostScriptError("%r needs a number, got %r" % (operator, value))
+        return value
+
+    def run(self, source):
+        tokens = _tokenize(source)
+        index = 0
+        while index < len(tokens):
+            token = tokens[index]
+            index += 1
+            if token.startswith("/"):
+                self.stack.append(token)  # literal name
+                continue
+            number = _as_number(token)
+            if number is not None:
+                self.stack.append(number)
+                continue
+            self._execute(token)
+        return self
+
+    def _execute(self, operator):
+        if operator == "def":
+            if len(self.stack) < 2:
+                raise PostScriptError("def needs a name and a value")
+            value = self.stack.pop()
+            name = self.stack.pop()
+            if not isinstance(name, str) or not name.startswith("/"):
+                raise PostScriptError("def needs a literal /name")
+            self.bindings[name[1:]] = value
+            return
+        if operator in self.bindings:
+            self.stack.append(self.bindings[operator])
+            return
+        handler = getattr(self, "_op_" + operator, None)
+        if handler is None:
+            raise PostScriptError("unknown operator %r" % operator)
+        handler()
+
+    # -- stack ops ----------------------------------------------------------
+
+    def _op_dup(self):
+        if not self.stack:
+            raise PostScriptError("dup on empty stack")
+        self.stack.append(self.stack[-1])
+
+    def _op_pop(self):
+        if not self.stack:
+            raise PostScriptError("pop on empty stack")
+        self.stack.pop()
+
+    def _op_exch(self):
+        if len(self.stack) < 2:
+            raise PostScriptError("exch needs two operands")
+        self.stack[-1], self.stack[-2] = self.stack[-2], self.stack[-1]
+
+    # -- arithmetic ---------------------------------------------------------------
+
+    def _op_add(self):
+        b = self.pop_number("add")
+        a = self.pop_number("add")
+        self.stack.append(a + b)
+
+    def _op_sub(self):
+        b = self.pop_number("sub")
+        a = self.pop_number("sub")
+        self.stack.append(a - b)
+
+    def _op_mul(self):
+        b = self.pop_number("mul")
+        a = self.pop_number("mul")
+        self.stack.append(a * b)
+
+    def _op_div(self):
+        b = self.pop_number("div")
+        a = self.pop_number("div")
+        if b == 0:
+            raise PostScriptError("division by zero")
+        self.stack.append(a / b)
+
+    def _op_neg(self):
+        self.stack.append(-self.pop_number("neg"))
+
+    # -- graphics state --------------------------------------------------------------
+
+    def _op_setlinewidth(self):
+        self.line_width = self.pop_number("setlinewidth")
+        self.display.record("setlinewidth", self.line_width)
+
+    def _op_newpath(self):
+        self.path_open = True
+        self.current_point = None
+        self.display.record("newpath")
+
+    def _op_moveto(self):
+        y = self.pop_number("moveto")
+        x = self.pop_number("moveto")
+        self.current_point = (x, y)
+        self.display.record("moveto", x, y)
+
+    def _op_lineto(self):
+        y = self.pop_number("lineto")
+        x = self.pop_number("lineto")
+        if self.current_point is None:
+            raise PostScriptError("lineto with no current point")
+        self.current_point = (x, y)
+        self.display.record("lineto", x, y)
+
+    def _op_rmoveto(self):
+        dy = self.pop_number("rmoveto")
+        dx = self.pop_number("rmoveto")
+        if self.current_point is None:
+            raise PostScriptError("rmoveto with no current point")
+        x, y = self.current_point
+        self.current_point = (x + dx, y + dy)
+        self.display.record("moveto", x + dx, y + dy)
+
+    def _op_rlineto(self):
+        dy = self.pop_number("rlineto")
+        dx = self.pop_number("rlineto")
+        if self.current_point is None:
+            raise PostScriptError("rlineto with no current point")
+        x, y = self.current_point
+        self.current_point = (x + dx, y + dy)
+        self.display.record("lineto", x + dx, y + dy)
+
+    def _op_arc(self):
+        end_angle = self.pop_number("arc")
+        start_angle = self.pop_number("arc")
+        radius = self.pop_number("arc")
+        y = self.pop_number("arc")
+        x = self.pop_number("arc")
+        self.display.record("arc", x, y, radius, start_angle, end_angle)
+
+    def _op_closepath(self):
+        self.display.record("closepath")
+
+    def _op_stroke(self):
+        self.display.record("stroke")
+        self.path_open = False
+
+    def _op_fill(self):
+        self.display.record("fill")
+        self.path_open = False
+
+    def _op_show(self):
+        text = self.stack.pop() if self.stack else ""
+        self.display.record("show", text)
+
+
+def _as_number(token):
+    try:
+        if "." in token or "e" in token or "E" in token:
+            return float(token)
+        return int(token)
+    except ValueError:
+        return None
+
+
+def execute_postscript(source, bindings=None, stack=None):
+    """Execute *source*; returns the interpreter (``.display`` has the
+    recorded drawing, ``.stack`` the final operand stack)."""
+    interpreter = _Interpreter(bindings)
+    if stack:
+        interpreter.stack.extend(stack)
+    return interpreter.run(source)

@@ -1,0 +1,63 @@
+"""ASCII staff rendering: a CMN score as text.
+
+Five staff lines, note letters placed by staff degree, barlines from
+measure boundaries.  Not engraving-quality -- a debugging/console view
+(the paper's typesetting clients would drive the PostScript layer
+instead).
+"""
+
+from fractions import Fraction
+
+from repro.cmn.score import ScoreView
+
+#: Text columns per beat.
+COLUMNS_PER_BEAT = 6
+
+
+def render_staff(cmn, score, voice, width=None):
+    """Render one voice on a five-line ASCII staff."""
+    view = ScoreView(cmn, score)
+    movement = view.movements()[0]
+    pitches = view.resolve_pitches(voice)
+    total_beats = view.movement_duration_beats(movement)
+    columns = int(total_beats * COLUMNS_PER_BEAT) + 2
+    if width is not None:
+        columns = min(columns, width)
+
+    # degree -> row: degree 8 (top line) row 0 ... degree 0 row 8,
+    # with two ledger positions either side.
+    min_degree, max_degree = -4, 12
+    rows = {}
+    for degree in range(min_degree, max_degree + 1):
+        is_line = degree % 2 == 0 and 0 <= degree <= 8
+        rows[degree] = ["-" if is_line else " "] * columns
+
+    # Barlines.
+    boundary = Fraction(0)
+    for measure in view.measures(movement):
+        boundary += view.meter_of(measure).measure_duration().beats
+        column = int(boundary * COLUMNS_PER_BEAT)
+        if column < columns:
+            for degree in range(0, 9):
+                rows[degree][column] = "|"
+
+    # Notes (letter = pitch step; lower case for altered pitches).
+    for item in view.voice_stream(voice):
+        if item.type.name != "CHORD":
+            continue
+        start = view.chord_start_beats(item)
+        column = int(start * COLUMNS_PER_BEAT) + 1
+        if column >= columns:
+            continue
+        for note in view.notes_of(item):
+            degree = note["degree"]
+            pitch = pitches[note.surrogate]
+            letter = pitch.step if pitch.alter == 0 else pitch.step.lower()
+            if min_degree <= degree <= max_degree:
+                rows[degree][column] = letter
+
+    clef = view.clef_of_voice(voice)
+    lines = ["%s clef, voice %r" % (clef.name, voice["name"])]
+    for degree in range(max_degree, min_degree - 1, -1):
+        lines.append("".join(rows[degree]))
+    return "\n".join(lines)

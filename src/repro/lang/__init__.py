@@ -1,0 +1,5 @@
+"""Shared language machinery for the DDL and QUEL front ends."""
+
+from repro.lang.lexer import Lexer, Token, TokenType
+
+__all__ = ["Lexer", "Token", "TokenType"]

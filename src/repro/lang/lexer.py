@@ -1,0 +1,229 @@
+"""A small hand-written lexer shared by the DDL and QUEL parsers.
+
+Produces identifiers, numbers, quoted strings, and punctuation, with
+line/column positions for error reporting.  Keywords are recognized
+case-insensitively by the parsers, not the lexer, so entity names like
+``ORDER`` remain usable as identifiers where the grammar allows.
+"""
+
+import enum
+
+from repro.errors import ParseError
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by the Lexer."""
+
+    IDENT = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    END = "end of input"
+
+
+class Token:
+    """One lexeme with its source position."""
+
+    __slots__ = ("type", "value", "line", "column")
+
+    def __init__(self, token_type, value, line, column):
+        self.type = token_type
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def matches_keyword(self, keyword):
+        return self.type is TokenType.IDENT and self.value.lower() == keyword
+
+    def __repr__(self):
+        return "Token(%s, %r, %d:%d)" % (
+            self.type.name,
+            self.value,
+            self.line,
+            self.column,
+        )
+
+
+#: Multi-character symbols recognized before single characters.
+_MULTI_SYMBOLS = ("<=", ">=", "!=", "**")
+_SINGLE_SYMBOLS = set("()=,.*<>+-/%;:[]")
+
+
+class Lexer:
+    """Tokenize *source*; iterate or call :meth:`tokens`."""
+
+    def __init__(self, source):
+        self.source = source
+        self._position = 0
+        self._line = 1
+        self._column = 1
+
+    def tokens(self):
+        """Return the full token list, ending with an END token."""
+        out = []
+        while True:
+            token = self._next_token()
+            out.append(token)
+            if token.type is TokenType.END:
+                return out
+
+    def _peek(self, ahead=0):
+        position = self._position + ahead
+        if position >= len(self.source):
+            return ""
+        return self.source[position]
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self._position < len(self.source):
+                if self.source[self._position] == "\n":
+                    self._line += 1
+                    self._column = 1
+                else:
+                    self._column += 1
+                self._position += 1
+
+    def _skip_whitespace_and_comments(self):
+        while True:
+            char = self._peek()
+            if char and char in " \t\r\n":
+                self._advance()
+            elif char == "#" or (char == "-" and self._peek(1) == "-"):
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self):
+        self._skip_whitespace_and_comments()
+        line, column = self._line, self._column
+        char = self._peek()
+        if not char:
+            return Token(TokenType.END, "", line, column)
+        if char == '"' or char == "'":
+            return self._string(char, line, column)
+        if char.isdigit():
+            return self._number(line, column)
+        if char.isalpha() or char == "_":
+            return self._identifier(line, column)
+        for symbol in _MULTI_SYMBOLS:
+            if self.source.startswith(symbol, self._position):
+                self._advance(len(symbol))
+                return Token(TokenType.SYMBOL, symbol, line, column)
+        if char in _SINGLE_SYMBOLS:
+            self._advance()
+            return Token(TokenType.SYMBOL, char, line, column)
+        raise ParseError("unexpected character %r" % char, line, column)
+
+    def _string(self, quote, line, column):
+        self._advance()
+        chars = []
+        while True:
+            char = self._peek()
+            if not char:
+                raise ParseError("unterminated string", line, column)
+            if char == "\\":
+                self._advance()
+                escaped = self._peek()
+                mapping = {"n": "\n", "t": "\t", "\\": "\\", quote: quote}
+                chars.append(mapping.get(escaped, escaped))
+                self._advance()
+                continue
+            if char == quote:
+                self._advance()
+                return Token(TokenType.STRING, "".join(chars), line, column)
+            chars.append(char)
+            self._advance()
+
+    def _number(self, line, column):
+        digits = []
+        seen_dot = False
+        while True:
+            char = self._peek()
+            if char.isdigit():
+                digits.append(char)
+                self._advance()
+            elif char == "." and not seen_dot and self._peek(1).isdigit():
+                seen_dot = True
+                digits.append(char)
+                self._advance()
+            else:
+                break
+        text = "".join(digits)
+        value = float(text) if seen_dot else int(text)
+        return Token(TokenType.NUMBER, value, line, column)
+
+    def _identifier(self, line, column):
+        chars = []
+        while True:
+            char = self._peek()
+            if char.isalnum() or char == "_":
+                chars.append(char)
+                self._advance()
+            else:
+                break
+        return Token(TokenType.IDENT, "".join(chars), line, column)
+
+
+class TokenStream:
+    """Cursor over a token list with the usual parser helpers."""
+
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self, ahead=0):
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self):
+        token = self.peek()
+        if token.type is not TokenType.END:
+            self._index += 1
+        return token
+
+    def at_end(self):
+        return self.peek().type is TokenType.END
+
+    def accept_keyword(self, keyword):
+        if self.peek().matches_keyword(keyword):
+            return self.next()
+        return None
+
+    def expect_keyword(self, keyword):
+        token = self.accept_keyword(keyword)
+        if token is None:
+            actual = self.peek()
+            raise ParseError(
+                "expected %r, found %r" % (keyword, actual.value),
+                actual.line,
+                actual.column,
+            )
+        return token
+
+    def accept_symbol(self, symbol):
+        token = self.peek()
+        if token.type is TokenType.SYMBOL and token.value == symbol:
+            return self.next()
+        return None
+
+    def expect_symbol(self, symbol):
+        token = self.accept_symbol(symbol)
+        if token is None:
+            actual = self.peek()
+            raise ParseError(
+                "expected %r, found %r" % (symbol, actual.value),
+                actual.line,
+                actual.column,
+            )
+        return token
+
+    def expect_identifier(self, description="identifier"):
+        token = self.peek()
+        if token.type is not TokenType.IDENT:
+            raise ParseError(
+                "expected %s, found %r" % (description, token.value),
+                token.line,
+                token.column,
+            )
+        return self.next()

@@ -1,0 +1,214 @@
+"""Client archetypes (section 2).
+
+"A music typesetting program would be a client, as would a musical
+score editor, a compositional tool, or a program which performs
+musicological analyses."  These classes are deliberately thin: each
+demonstrates one client family working purely through the shared MDM,
+which is the architectural claim of figure 1.
+"""
+
+from fractions import Fraction
+
+from repro.errors import MDMError
+
+
+class Client:
+    """Base class: a program served by one MDM."""
+
+    kind = "client"
+
+    def __init__(self, name):
+        self.name = name
+        self.mdm = None
+
+    def attach(self, mdm):
+        self.mdm = mdm
+
+    def _require_attached(self):
+        if self.mdm is None:
+            raise MDMError("client %r is not attached to an MDM" % self.name)
+        return self.mdm
+
+    def describe(self):
+        return "%s (%s)" % (self.name, self.kind)
+
+
+class EditorClient(Client):
+    """A score editor: reads and mutates notation through the MDM."""
+
+    kind = "music editor / typesetter"
+
+    def transpose_voice(self, view, voice, degrees):
+        """Shift every note of *voice* by *degrees* staff steps."""
+        mdm = self._require_attached()
+        count = 0
+        for item in view.voice_stream(voice):
+            if item.type.name != "CHORD":
+                continue
+            for note in view.notes_of(item):
+                note.set(degree=note["degree"] + degrees)
+                count += 1
+        mdm.check_invariants()
+        return count
+
+    def render(self, cmn, score, voice):
+        from repro.graphics.render import render_staff
+
+        self._require_attached()
+        return render_staff(cmn, score, voice)
+
+    def change_duration(self, cmn, chord, duration):
+        """Renotate a chord's duration (validation re-runs afterwards)."""
+        from repro.cmn.validate import errors_only, validate_score
+
+        mdm = self._require_attached()
+        chord.set(duration=Fraction(duration))
+        score = _score_of(cmn, chord)
+        issues = errors_only(validate_score(cmn, score))
+        if issues:
+            raise MDMError("edit broke the score: %s" % issues[0])
+        return chord
+
+    def delete_chord(self, cmn, chord):
+        """Remove a chord and its notes, healing every ordering."""
+        self._require_attached()
+        for note in list(cmn.note_in_chord.children(chord)):
+            cmn.note_in_chord.remove(note)
+            if cmn.note_on_staff.contains(note):
+                cmn.note_on_staff.remove(note)
+            if cmn.note_in_event.contains(note):
+                cmn.note_in_event.remove(note)
+            note.delete()
+        for ordering_name in ("chord_in_sync", "chord_rest_in_voice",
+                              "group_member"):
+            ordering = cmn.schema.ordering(ordering_name)
+            if ordering.contains(chord):
+                ordering.remove(chord)
+        cmn.SETTING.unrelate(chord=chord)
+        chord.delete()
+
+    def insert_rest_before(self, cmn, chord, duration):
+        """Insert a rest into the voice stream just before *chord*.
+
+        Purely a stream edit: sync offsets are left untouched, so the
+        score becomes overfull until the editor compensates -- exactly
+        the kind of intermediate state validation reports.
+        """
+        self._require_attached()
+        stream = cmn.chord_rest_in_voice
+        voice = stream.parent_of(chord)
+        if voice is None:
+            raise MDMError("%r is not in a voice stream" % chord)
+        rest = cmn.REST.create(duration=Fraction(duration))
+        stream.insert(voice, rest, stream.position_of(chord))
+        return rest
+
+
+def _score_of(cmn, chord):
+    sync = cmn.chord_in_sync.parent_of(chord)
+    measure = cmn.sync_in_measure.parent_of(sync)
+    movement = cmn.measure_in_movement.parent_of(measure)
+    return cmn.movement_in_score.parent_of(movement)
+
+
+class CompositionClient(Client):
+    """A compositional tool: generates music into the MDM."""
+
+    kind = "compositional tool"
+
+    def compose_scale_study(self, measures=4, voices=2):
+        mdm = self._require_attached()
+        from repro.fixtures.examples import make_scale_score
+
+        builder = make_scale_score(
+            measures=measures, voices=voices, cmn=mdm.cmn,
+            title="study (%d measures)" % measures,
+        )
+        return builder
+
+
+class LibraryClient(Client):
+    """A score library: bibliographic reference and incipit search."""
+
+    kind = "score library"
+
+    def build_index(self, name, abbreviation, composer):
+        mdm = self._require_attached()
+        from repro.biblio.thematic import ThematicIndex
+
+        return ThematicIndex(
+            mdm.schema, name=name, abbreviation=abbreviation, composer=composer
+        )
+
+    def find_theme(self, index, query_darms, mode="intervals"):
+        from repro.biblio.incipit import search_by_incipit
+
+        self._require_attached()
+        return search_by_incipit(index, query_darms, mode=mode)
+
+
+class AnalysisClient(Client):
+    """A music analysis system: QUEL queries over shared scores."""
+
+    kind = "music analysis system"
+
+    def ambitus(self, cmn, score):
+        """The (lowest, highest) MIDI key sounded in *score*."""
+        self._require_attached()
+        from repro.cmn.events import all_events, derive_events
+
+        derive_events(cmn, score)  # reflect any edits since the last derivation
+        events = all_events(cmn, score)
+        if not events:
+            return None
+        keys = [event["midi_key"] for event in events]
+        return (min(keys), max(keys))
+
+    def note_census(self):
+        """Count notes per staff degree via QUEL."""
+        mdm = self._require_attached()
+        rows = mdm.retrieve(
+            "range of n is NOTE\n"
+            "retrieve (n.degree, total = count(n.degree))"
+        )
+        return {row["n.degree"]: row["total"] for row in rows}
+
+    def melodic_intervals(self, cmn, view, voice):
+        """Successive semitone intervals of a voice's events."""
+        self._require_attached()
+        from repro.cmn.events import events_of_voice
+
+        keys = [e["midi_key"] for e in events_of_voice(cmn, voice)]
+        return [b - a for a, b in zip(keys, keys[1:])]
+
+    def rhythmic_histogram(self, cmn, view, voice):
+        """duration (in beats) -> occurrence count for a voice."""
+        self._require_attached()
+        histogram = {}
+        for item in view.voice_stream(voice):
+            beats = item["duration"] * 4
+            histogram[beats] = histogram.get(beats, 0) + 1
+        return histogram
+
+    def estimate_key(self, cmn, score):
+        """Krumhansl-Schmuckler key estimate: (name, mode, correlation)."""
+        self._require_attached()
+        from repro.analysis.key_finding import estimate_key
+        from repro.cmn.events import derive_events
+
+        derive_events(cmn, score)
+        return estimate_key(cmn, score)
+
+    def find_imitations(self, cmn, score, subject_length=8):
+        """Transposed statements of the opening subject across voices."""
+        self._require_attached()
+        from repro.analysis.melody import find_imitations
+
+        return find_imitations(cmn, score, subject_length)
+
+    def harmonic_reduction(self, cmn, score):
+        """Per-sync triad labels (the harmonic-analysis archetype)."""
+        self._require_attached()
+        from repro.analysis.harmony import analyze_sync_harmony
+
+        return analyze_sync_harmony(cmn, score)

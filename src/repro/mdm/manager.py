@@ -1,0 +1,128 @@
+"""The MusicDataManager facade.
+
+Owns the storage database (with WAL/locking), the CMN schema, the
+meta-catalog, the QUEL session, and a client registry.  Programs talk
+to the MDM through DDL/QUEL text or through the object APIs; either
+way they share one representation, the core benefit section 2 claims.
+"""
+
+from repro.cmn.schema import CmnSchema
+from repro.core.catalog import MetaCatalog
+from repro.ddl.compiler import execute_ddl
+from repro.quel.executor import QuelSession
+from repro.storage.database import Database
+
+
+class MusicDataManager:
+    """A database back end for musical applications."""
+
+    def __init__(self, path=None, with_cmn=True):
+        self.database = Database(path)
+        if with_cmn:
+            # Binds to recovered tables when *path* holds an earlier
+            # MDM's data, so plain construction doubles as reopen.
+            self.cmn = CmnSchema(database=self.database)
+        else:
+            from repro.core.schema import Schema
+
+            self.cmn = None
+            self._bare_schema = Schema("mdm", database=self.database)
+        self.session = QuelSession(self.schema)
+        self._meta = None
+        self.clients = []
+
+    @classmethod
+    def reopen(cls, path):
+        """Reopen a persisted MDM directory (recovers committed state).
+
+        Schema *objects* are reconstructed by re-declaring the CMN schema
+        over the recovered tables; table contents come from the
+        checkpoint + WAL replay.
+        """
+        manager = cls.__new__(cls)
+        manager.database = Database(path)
+        manager.cmn = _rebind_cmn(manager.database)
+        manager.session = QuelSession(manager.schema)
+        manager._meta = None
+        manager.clients = []
+        return manager
+
+    @property
+    def schema(self):
+        return self.cmn.schema if self.cmn is not None else self._bare_schema
+
+    @property
+    def meta(self):
+        """The schema-as-data catalog, built lazily and kept in sync."""
+        if self._meta is None:
+            self._meta = MetaCatalog(self.schema)
+            self._meta.sync()
+        return self._meta
+
+    # -- language entry points ------------------------------------------------
+
+    def execute(self, source):
+        """Run DDL or QUEL text (dispatched on the first keyword)."""
+        stripped = source.lstrip()
+        if stripped.lower().startswith("define"):
+            return execute_ddl(source, self.schema)
+        result = self.session.execute(source)
+        if self._meta is not None:
+            pass  # data changes don't touch the catalog
+        return result
+
+    def retrieve(self, source):
+        """Run a QUEL retrieve and return its rows."""
+        return self.session.execute(source)
+
+    # -- transactions / durability -----------------------------------------------
+
+    def begin(self):
+        return self.database.begin()
+
+    def checkpoint(self):
+        self.database.checkpoint()
+
+    def close(self):
+        self.database.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    # -- clients --------------------------------------------------------------------
+
+    def register_client(self, client):
+        """Attach a client program (figure 1); returns the client."""
+        client.attach(self)
+        self.clients.append(client)
+        return client
+
+    def client_names(self):
+        return [client.name for client in self.clients]
+
+    # -- health ---------------------------------------------------------------------
+
+    def statistics(self):
+        stats = self.schema.statistics()
+        stats["clients"] = len(self.clients)
+        stats["tables"] = len(self.database.table_names())
+        return stats
+
+    def check_invariants(self):
+        self.schema.check_invariants()
+
+
+def _rebind_cmn(database):
+    """Recreate CmnSchema objects over already-recovered tables.
+
+    Entity/ordering/relationship tables bind to recovered contents (see
+    Database.create_or_bind_table), so re-declaring the CMN schema over
+    the recovered database reattaches everything.
+    """
+    from repro.cmn.schema import CmnSchema
+
+    return CmnSchema(database=database)

@@ -1,0 +1,164 @@
+"""A line-oriented shell for the Music Data Manager.
+
+Feeds DDL and QUEL to an MDM interactively::
+
+    python -m repro.mdm.shell
+
+Statements may span lines; a blank line (or a trailing ``;;``) executes
+the buffer.  Backslash commands inspect the schema:
+
+    \\d              list entity types, relationships, orderings
+    \\d NAME         describe one entity type
+    \\stats          schema statistics
+    \\plan           show the last query plan
+    \\checks         run every ordering invariant check
+    \\q              quit
+
+The shell is a thin, fully testable layer: :meth:`MdmShell.handle_line`
+returns the text that would be printed.
+"""
+
+from repro.errors import MDMError
+from repro.mdm.manager import MusicDataManager
+
+
+def format_rows(rows):
+    """Render a QUEL result list as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(column), *(len(str(row.get(column))) for row in rows))
+        for column in columns
+    }
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    rule = "-+-".join("-" * widths[column] for column in columns)
+    lines = [header, rule]
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(column)).ljust(widths[column]) for column in columns)
+        )
+    lines.append("(%d row%s)" % (len(rows), "" if len(rows) == 1 else "s"))
+    return "\n".join(lines)
+
+
+class MdmShell:
+    """Stateful shell over one MusicDataManager."""
+
+    def __init__(self, mdm=None):
+        self.mdm = mdm if mdm is not None else MusicDataManager()
+        self._buffer = []
+        self.done = False
+
+    # -- the one entry point ---------------------------------------------------
+
+    def handle_line(self, line):
+        """Process one input line; returns output text ('' for none)."""
+        stripped = line.strip()
+        if stripped.startswith("\\"):
+            return self._command(stripped)
+        if stripped.endswith(";;"):
+            self._buffer.append(stripped[:-2])
+            return self._execute_buffer()
+        if stripped == "":
+            if self._buffer:
+                return self._execute_buffer()
+            return ""
+        self._buffer.append(line)
+        return ""
+
+    def _execute_buffer(self):
+        source = "\n".join(self._buffer).strip()
+        self._buffer = []
+        if not source:
+            return ""
+        try:
+            result = self.mdm.execute(source)
+        except MDMError as error:
+            return "error: %s" % error
+        if isinstance(result, list):
+            return format_rows(result)
+        if isinstance(result, int):
+            return "(%d instance%s affected)" % (result, "" if result == 1 else "s")
+        return "ok"
+
+    # -- backslash commands --------------------------------------------------------
+
+    def _command(self, text):
+        parts = text.split()
+        command, arguments = parts[0], parts[1:]
+        if command in ("\\q", "\\quit"):
+            self.done = True
+            return "bye"
+        if command == "\\d":
+            if arguments:
+                return self._describe(arguments[0])
+            return self._list_schema()
+        if command == "\\stats":
+            stats = self.mdm.statistics()
+            return "\n".join("%-24s %s" % (k, v) for k, v in sorted(stats.items()))
+        if command == "\\plan":
+            plan = self.mdm.session.last_plan
+            return plan if plan else "(no query yet)"
+        if command == "\\checks":
+            try:
+                self.mdm.check_invariants()
+            except MDMError as error:
+                return "INVARIANT VIOLATION: %s" % error
+            return "all ordering invariants hold"
+        return "unknown command %s (try \\d, \\stats, \\plan, \\checks, \\q)" % command
+
+    def _list_schema(self):
+        schema = self.mdm.schema
+        lines = ["entity types:"]
+        for name in sorted(schema.entity_types):
+            lines.append(
+                "  %-24s %d instance(s)"
+                % (name, schema.entity_types[name].count())
+            )
+        lines.append("relationships:")
+        for name in sorted(schema.relationships):
+            lines.append(
+                "  %-24s %s" % (name, schema.relationships[name].cardinality)
+            )
+        lines.append("orderings:")
+        for name in sorted(schema.orderings):
+            ordering = schema.orderings[name]
+            lines.append(
+                "  %-24s (%s) under %s"
+                % (name, ", ".join(ordering.child_types), ordering.parent_type)
+            )
+        return "\n".join(lines)
+
+    def _describe(self, name):
+        schema = self.mdm.schema
+        if not schema.has_entity_type(name):
+            return "no entity type %r" % name
+        entity_type = schema.entity_type(name)
+        lines = ["define entity %s" % name]
+        for attribute in entity_type.attributes:
+            lines.append("  %-20s %s" % (attribute.name, attribute.domain_name()))
+        involved = schema.orderings_with_child(name)
+        for ordering in involved:
+            lines.append("  child in ordering %s" % ordering.name)
+        for ordering in schema.orderings_with_parent(name):
+            lines.append("  parent of ordering %s" % ordering.name)
+        return "\n".join(lines)
+
+
+def main():
+    shell = MdmShell()
+    print("Music Data Manager shell -- \\q to quit, blank line executes.")
+    while not shell.done:
+        try:
+            prompt = "....> " if shell._buffer else "mdm> "
+            line = input(prompt)
+        except EOFError:
+            break
+        output = shell.handle_line(line)
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":
+    main()

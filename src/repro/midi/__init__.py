@@ -1,0 +1,19 @@
+"""The MIDI layer (sections 4.6 and 7.2).
+
+"At the bottom of the graph appears the MIDI entity ... MIDI events
+constitute performance information, and so their temporal parameters
+are given in performance time (i.e. seconds)."
+"""
+
+from repro.midi.events import EventList, MidiControlEvent, MidiNoteEvent
+from repro.midi.extract import extract_midi
+from repro.midi.smf import read_smf, write_smf
+
+__all__ = [
+    "EventList",
+    "MidiControlEvent",
+    "MidiNoteEvent",
+    "extract_midi",
+    "read_smf",
+    "write_smf",
+]

@@ -1,0 +1,108 @@
+"""CMusic note-list export.
+
+"For scores that use CMusic style note lists, these can easily be
+extrapolated from the MIDI event information" (section 7.2, citing
+[Moo85]).  A CMusic score is a text file of ``note`` statements::
+
+    note <start> <instrument> <duration> <amplitude> <frequency>;
+
+with times in seconds, amplitude 0..1, and frequency in Hz.  We emit
+one statement per MIDI note event, a header naming the instruments,
+and a terminator -- and we can read the format back for round trips.
+"""
+
+from repro.errors import MidiError
+from repro.midi.events import EventList, MidiNoteEvent
+
+
+def _frequency(key, a4=440.0):
+    return a4 * 2.0 ** ((key - 69) / 12.0)
+
+
+def _key_for_frequency(frequency, a4=440.0):
+    import math
+
+    key = int(round(69 + 12 * math.log2(frequency / a4)))
+    if not 0 <= key <= 127:
+        raise MidiError("frequency %.2f Hz outside MIDI range" % frequency)
+    return key
+
+
+def to_cmusic(event_list, instrument_names=None, a4=440.0):
+    """Render *event_list* as CMusic note-list text.
+
+    *instrument_names* maps channel -> instrument name; unnamed
+    channels become ``ins<channel>``.
+    """
+    names = dict(instrument_names or {})
+    lines = ["; CMusic note list extrapolated from MIDI event information"]
+    for channel in event_list.channels():
+        name = names.get(channel, "ins%d" % channel)
+        lines.append("; channel %d -> %s" % (channel, name))
+    for note in event_list.sorted_notes():
+        name = names.get(note.channel, "ins%d" % note.channel)
+        lines.append(
+            "note %.6f %s %.6f %.4f %.3f;"
+            % (
+                note.start_seconds,
+                name,
+                note.duration_seconds,
+                note.velocity / 127.0,
+                _frequency(note.key, a4),
+            )
+        )
+    lines.append("ter;")
+    return "\n".join(lines) + "\n"
+
+
+def from_cmusic(text, a4=440.0):
+    """Parse CMusic note-list text back into an EventList.
+
+    Instrument names map onto channels in order of first appearance.
+    """
+    events = EventList()
+    channels = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith(";"):
+            continue  # blank or comment
+        if line.rstrip(";").strip() == "ter":
+            break
+        if not line.startswith("note"):
+            raise MidiError("unrecognized CMusic statement %r" % raw_line)
+        body = line.rstrip(";").split()
+        if len(body) != 6:
+            raise MidiError("malformed note statement %r" % raw_line)
+        _, start, name, duration, amplitude, frequency = body
+        if name not in channels:
+            channels[name] = len(channels)
+            if channels[name] > 15:
+                raise MidiError("more than 16 instruments in note list")
+        start_seconds = float(start)
+        duration_seconds = float(duration)
+        velocity = max(1, min(127, int(round(float(amplitude) * 127))))
+        key = _key_for_frequency(float(frequency), a4)
+        events.add_note(
+            MidiNoteEvent(
+                key,
+                velocity,
+                channels[name],
+                start_seconds,
+                start_seconds + duration_seconds,
+            )
+        )
+    return events
+
+
+def score_to_cmusic(cmn, score, conductor=None):
+    """Convenience: extract MIDI from *score* and render CMusic text."""
+    from repro.cmn.score import ScoreView
+    from repro.midi.extract import extract_midi
+
+    view = ScoreView(cmn, score)
+    names = {}
+    for index, instrument in enumerate(view.instruments()):
+        channel = index if index < 9 else index + 1
+        names[channel] = instrument["name"].replace(" ", "_").lower()
+    events = extract_midi(cmn, score, conductor=conductor, store=False)
+    return to_cmusic(events, names)

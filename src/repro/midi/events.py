@@ -1,0 +1,150 @@
+"""MIDI event model: note events and control events in seconds."""
+
+from repro.errors import MidiError
+
+#: Named controllers used by the schema (the paper mentions the
+#: sostenuto pedal explicitly).
+CONTROLLERS = {
+    "sustain": 64,
+    "sostenuto": 66,
+    "soft_pedal": 67,
+    "volume": 7,
+    "pan": 10,
+}
+
+
+class MidiNoteEvent:
+    """One sounding note: key, velocity, channel, start/end seconds."""
+
+    __slots__ = ("key", "velocity", "channel", "start_seconds", "end_seconds")
+
+    def __init__(self, key, velocity, channel, start_seconds, end_seconds):
+        if not 0 <= key <= 127:
+            raise MidiError("MIDI key %r out of range" % (key,))
+        if not 0 <= velocity <= 127:
+            raise MidiError("MIDI velocity %r out of range" % (velocity,))
+        if not 0 <= channel <= 15:
+            raise MidiError("MIDI channel %r out of range" % (channel,))
+        if end_seconds < start_seconds:
+            raise MidiError("note ends before it starts")
+        self.key = key
+        self.velocity = velocity
+        self.channel = channel
+        self.start_seconds = float(start_seconds)
+        self.end_seconds = float(end_seconds)
+
+    @property
+    def duration_seconds(self):
+        return self.end_seconds - self.start_seconds
+
+    def __eq__(self, other):
+        if not isinstance(other, MidiNoteEvent):
+            return NotImplemented
+        return (
+            self.key == other.key
+            and self.velocity == other.velocity
+            and self.channel == other.channel
+            and abs(self.start_seconds - other.start_seconds) < 1e-9
+            and abs(self.end_seconds - other.end_seconds) < 1e-9
+        )
+
+    def __repr__(self):
+        return "MidiNoteEvent(key=%d, vel=%d, ch=%d, %.3f..%.3fs)" % (
+            self.key,
+            self.velocity,
+            self.channel,
+            self.start_seconds,
+            self.end_seconds,
+        )
+
+
+class MidiControlEvent:
+    """A control change (pedal actuation etc.) at a point in time."""
+
+    __slots__ = ("controller", "value", "channel", "time_seconds")
+
+    def __init__(self, controller, value, channel, time_seconds):
+        if isinstance(controller, str):
+            try:
+                controller = CONTROLLERS[controller]
+            except KeyError:
+                raise MidiError("unknown controller %r" % controller)
+        if not 0 <= controller <= 127:
+            raise MidiError("controller %r out of range" % (controller,))
+        if not 0 <= value <= 127:
+            raise MidiError("controller value %r out of range" % (value,))
+        if not 0 <= channel <= 15:
+            raise MidiError("MIDI channel %r out of range" % (channel,))
+        self.controller = controller
+        self.value = value
+        self.channel = channel
+        self.time_seconds = float(time_seconds)
+
+    def __repr__(self):
+        return "MidiControlEvent(cc=%d, val=%d, ch=%d, %.3fs)" % (
+            self.controller,
+            self.value,
+            self.channel,
+            self.time_seconds,
+        )
+
+
+class EventList:
+    """A stream of MIDI note and control events.
+
+    The industry-standard "event list" encoding of section 4.6; the
+    source for synthesis, piano rolls, and Standard MIDI Files.
+    """
+
+    def __init__(self, notes=None, controls=None, programs=None):
+        self.notes = list(notes or [])
+        self.controls = list(controls or [])
+        self.programs = dict(programs or {})  # channel -> program number
+
+    def add_note(self, *args, **kwargs):
+        event = (
+            args[0]
+            if len(args) == 1 and isinstance(args[0], MidiNoteEvent)
+            else MidiNoteEvent(*args, **kwargs)
+        )
+        self.notes.append(event)
+        return event
+
+    def add_control(self, *args, **kwargs):
+        event = (
+            args[0]
+            if len(args) == 1 and isinstance(args[0], MidiControlEvent)
+            else MidiControlEvent(*args, **kwargs)
+        )
+        self.controls.append(event)
+        return event
+
+    def set_program(self, channel, program):
+        if not 0 <= program <= 127:
+            raise MidiError("program %r out of range" % (program,))
+        self.programs[channel] = program
+
+    def sorted_notes(self):
+        return sorted(
+            self.notes, key=lambda e: (e.start_seconds, e.key, e.channel)
+        )
+
+    def duration_seconds(self):
+        ends = [event.end_seconds for event in self.notes]
+        ends.extend(event.time_seconds for event in self.controls)
+        return max(ends) if ends else 0.0
+
+    def channels(self):
+        used = {event.channel for event in self.notes}
+        used.update(event.channel for event in self.controls)
+        return sorted(used)
+
+    def __len__(self):
+        return len(self.notes) + len(self.controls)
+
+    def __repr__(self):
+        return "EventList(%d notes, %d controls, %.3fs)" % (
+            len(self.notes),
+            len(self.controls),
+            self.duration_seconds(),
+        )

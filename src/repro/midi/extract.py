@@ -1,0 +1,116 @@
+"""Score -> MIDI extraction.
+
+Events (score time, from :mod:`repro.cmn.events`) pass through the
+conductor's score-time -> performance-time mapping to become MIDI
+entities in seconds, stored under their EVENT parents by the
+``midi_in_event`` ordering, and an :class:`EventList` is returned for
+the sound layer.
+"""
+
+from repro.errors import MidiError
+from repro.cmn.events import all_events, events_of_voice
+from repro.cmn.score import ScoreView
+from repro.midi.events import EventList, MidiNoteEvent
+from repro.temporal.conductor import Conductor
+from repro.temporal.tempo import TempoMap
+
+#: Dynamic marking -> MIDI velocity ("how loudly it is to be played").
+DYNAMIC_VELOCITY = {
+    "ppp": 16,
+    "pp": 32,
+    "p": 48,
+    "mp": 56,
+    "mf": 72,
+    "f": 88,
+    "ff": 104,
+    "fff": 120,
+}
+DEFAULT_VELOCITY = 64
+
+#: Articulation -> fraction of the notated duration actually sounded.
+ARTICULATION_SCALE = {
+    "staccato": 0.5,
+    "tenuto": 1.0,
+    "marcato": 0.9,
+    "legato": 1.0,
+}
+DEFAULT_SCALE = 0.95
+
+
+def conductor_for(cmn, score):
+    """A Conductor from the score's first movement's metronome mark."""
+    view = ScoreView(cmn, score)
+    movements = view.movements()
+    bpm = 96
+    if movements and movements[0]["initial_bpm"]:
+        bpm = movements[0]["initial_bpm"]
+    return Conductor(TempoMap(bpm))
+
+
+def extract_midi(cmn, score, conductor=None, store=True):
+    """Extract performance information; returns an EventList.
+
+    With *store* (default), one MIDI entity is created per note event
+    and ordered under its EVENT parent, completing the bottom of the
+    figure 13 temporal HO graph.
+    """
+    if conductor is None:
+        conductor = conductor_for(cmn, score)
+    view = ScoreView(cmn, score)
+    event_list = EventList()
+    channel_of = {}
+    for index, instrument in enumerate(view.instruments()):
+        # Skip channel 9, reserved for percussion in General MIDI.
+        channel = index if index < 9 else index + 1
+        if channel > 15:
+            raise MidiError("more than 15 melodic instruments; channel overflow")
+        channel_of[instrument.surrogate] = channel
+        program = instrument["midi_program"] or 0
+        event_list.set_program(channel_of[instrument.surrogate], program)
+
+    for voice in view.voices():
+        instrument = view.instrument_of_voice(voice)
+        channel = channel_of.get(instrument.surrogate if instrument else None, 0)
+        for event in events_of_voice(cmn, voice):
+            chord = _first_chord_of_event(cmn, event)
+            velocity = DEFAULT_VELOCITY
+            scale = DEFAULT_SCALE
+            if chord is not None:
+                dynamic = chord.get("dynamic")
+                velocity = DYNAMIC_VELOCITY.get(dynamic, DEFAULT_VELOCITY)
+                articulation = chord.get("articulation")
+                scale = ARTICULATION_SCALE.get(articulation, DEFAULT_SCALE)
+            start_beats = event["start_beats"]
+            end_beats = start_beats + event["duration_beats"] * scale
+            start_seconds = conductor.performance_seconds(start_beats)
+            end_seconds = conductor.performance_seconds(end_beats)
+            note_event = MidiNoteEvent(
+                event["midi_key"], velocity, channel, start_seconds, end_seconds
+            )
+            event_list.add_note(note_event)
+            if store:
+                midi = cmn.MIDI.create(
+                    key=note_event.key,
+                    velocity=note_event.velocity,
+                    channel=note_event.channel,
+                    start_seconds=note_event.start_seconds,
+                    end_seconds=note_event.end_seconds,
+                )
+                cmn.midi_in_event.append(event, midi)
+    return event_list
+
+
+def _first_chord_of_event(cmn, event):
+    notes = cmn.note_in_event.children(event)
+    if not notes:
+        return None
+    return cmn.note_in_chord.parent_of(notes[0])
+
+
+def stored_midi_of_score(cmn, score):
+    """Every stored MIDI entity of the score, by start time."""
+    out = []
+    for event in all_events(cmn, score):
+        out.extend(cmn.midi_in_event.children(event))
+    out.sort(key=lambda m: (m["start_seconds"], m["key"]))
+    return out

@@ -1,0 +1,98 @@
+"""Pedal control extraction.
+
+The paper's MIDI layer includes "control information such as the
+actuation of a control switch other than a keyboard key (e.g. the
+sostenuto pedal of a piano)" (section 7.2).  This module derives pedal
+control events from notation: a slur or phrase group spans a pedalled
+passage, so we emit pedal-down at the group's first chord and pedal-up
+at the end of its last chord, storing MIDI_CONTROL entities alongside.
+"""
+
+from repro.errors import MidiError
+from repro.cmn.score import ScoreView
+from repro.midi.events import CONTROLLERS, MidiControlEvent
+
+PEDAL_DOWN = 127
+PEDAL_UP = 0
+
+
+def pedal_events_for_score(cmn, score, conductor, controller="sustain",
+                           kinds=("slur", "phrase"), store=True):
+    """Derive pedal control events from the score's slur/phrase groups.
+
+    Returns a list of MidiControlEvents (down/up pairs per group, on the
+    voice's channel 0 -- channel assignment mirrors extract_midi's).
+    With *store*, MIDI_CONTROL entities are created.
+    """
+    if isinstance(controller, str):
+        try:
+            number = CONTROLLERS[controller]
+        except KeyError:
+            raise MidiError("unknown controller %r" % controller)
+    else:
+        number = controller
+    view = ScoreView(cmn, score)
+    channel_of = {}
+    for index, instrument in enumerate(view.instruments()):
+        channel_of[instrument.surrogate] = index if index < 9 else index + 1
+
+    events = []
+    for voice in view.voices():
+        instrument = view.instrument_of_voice(voice)
+        channel = channel_of.get(instrument.surrogate if instrument else None, 0)
+        for group in view.groups_of_voice(voice):
+            if group["kind"] not in kinds:
+                continue
+            chords = [
+                member
+                for member in _leaves(cmn, group)
+                if member.type.name == "CHORD"
+            ]
+            if not chords:
+                continue
+            start_beats = view.chord_start_beats(chords[0])
+            last = chords[-1]
+            end_beats = view.chord_start_beats(last) + view.chord_duration_beats(last)
+            down = MidiControlEvent(
+                number, PEDAL_DOWN, channel,
+                conductor.performance_seconds(start_beats),
+            )
+            up = MidiControlEvent(
+                number, PEDAL_UP, channel,
+                conductor.performance_seconds(end_beats),
+            )
+            events.extend((down, up))
+            if store:
+                for control in (down, up):
+                    cmn.MIDI_CONTROL.create(
+                        controller=control.controller,
+                        value=control.value,
+                        channel=control.channel,
+                        time_seconds=control.time_seconds,
+                    )
+    events.sort(key=lambda e: (e.time_seconds, -e.value))
+    return events
+
+
+def _leaves(cmn, group):
+    out = []
+    for member in cmn.group_member.children(group):
+        if member.type.name == "GROUP":
+            out.extend(_leaves(cmn, member))
+        else:
+            out.append(member)
+    return out
+
+
+def extract_midi_with_pedal(cmn, score, conductor=None, controller="sustain"):
+    """extract_midi plus derived pedal controls, in one EventList."""
+    from repro.midi.extract import conductor_for, extract_midi
+
+    if conductor is None:
+        conductor = conductor_for(cmn, score)
+    events = extract_midi(cmn, score, conductor=conductor)
+    for control in pedal_events_for_score(
+        cmn, score, conductor, controller=controller
+    ):
+        events.add_control(control)
+    return events

@@ -1,0 +1,189 @@
+"""Standard MIDI File writer and reader (format 0).
+
+Pure-Python SMF support so extracted performances can leave the MDM in
+the industry-standard interchange form [Jun83].  The reader exists for
+round-trip verification; both use absolute-seconds event lists with a
+fixed tempo (the conductor has already applied the real tempo map by
+the time events reach this layer, so the file is written at 120 bpm /
+480 ticks per quarter and the tick<->second mapping is linear).
+"""
+
+import struct
+
+from repro.errors import MidiError
+from repro.midi.events import EventList, MidiControlEvent, MidiNoteEvent
+
+TICKS_PER_QUARTER = 480
+_FIXED_BPM = 120.0
+_SECONDS_PER_TICK = 60.0 / (_FIXED_BPM * TICKS_PER_QUARTER)
+
+
+def _var_length(value):
+    """Encode a variable-length quantity."""
+    if value < 0:
+        raise MidiError("negative delta time")
+    out = [value & 0x7F]
+    value >>= 7
+    while value:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    return bytes(reversed(out))
+
+
+def _read_var_length(data, offset):
+    value = 0
+    while True:
+        byte = data[offset]
+        offset += 1
+        value = (value << 7) | (byte & 0x7F)
+        if not byte & 0x80:
+            return value, offset
+
+
+def _seconds_to_ticks(seconds):
+    return int(round(seconds / _SECONDS_PER_TICK))
+
+
+def write_smf(event_list, path=None):
+    """Serialize *event_list* to SMF bytes (and to *path* if given)."""
+    messages = []  # (tick, priority, bytes)
+    for channel, program in sorted(event_list.programs.items()):
+        messages.append((0, 0, bytes([0xC0 | channel, program])))
+    for control in event_list.controls:
+        tick = _seconds_to_ticks(control.time_seconds)
+        messages.append(
+            (tick, 1, bytes([0xB0 | control.channel, control.controller, control.value]))
+        )
+    for note in event_list.notes:
+        on_tick = _seconds_to_ticks(note.start_seconds)
+        off_tick = max(_seconds_to_ticks(note.end_seconds), on_tick + 1)
+        messages.append(
+            (on_tick, 2, bytes([0x90 | note.channel, note.key, note.velocity]))
+        )
+        messages.append((off_tick, 1, bytes([0x80 | note.channel, note.key, 0])))
+    messages.sort(key=lambda m: (m[0], m[1]))
+
+    track = bytearray()
+    # Tempo meta event: fixed 120 bpm (500000 us per quarter).
+    track += _var_length(0) + bytes([0xFF, 0x51, 0x03]) + struct.pack(">I", 500000)[1:]
+    cursor = 0
+    for tick, _, payload in messages:
+        track += _var_length(tick - cursor) + payload
+        cursor = tick
+    track += _var_length(0) + bytes([0xFF, 0x2F, 0x00])  # end of track
+
+    header = b"MThd" + struct.pack(">IHHH", 6, 0, 1, TICKS_PER_QUARTER)
+    chunk = b"MTrk" + struct.pack(">I", len(track)) + bytes(track)
+    blob = header + chunk
+    if path is not None:
+        with open(path, "wb") as handle:
+            handle.write(blob)
+    return blob
+
+
+def read_smf(source):
+    """Parse SMF bytes (or a file path) back into an EventList."""
+    if isinstance(source, str):
+        with open(source, "rb") as handle:
+            data = handle.read()
+    else:
+        data = bytes(source)
+    if data[:4] != b"MThd":
+        raise MidiError("not a Standard MIDI File")
+    header_length, fmt, tracks, division = struct.unpack(">IHHH", data[4:14])
+    if header_length != 6:
+        raise MidiError("bad SMF header length %d" % header_length)
+    if division & 0x8000:
+        raise MidiError("SMPTE division not supported")
+    offset = 14
+    event_list = EventList()
+    seconds_per_tick = _SECONDS_PER_TICK * (TICKS_PER_QUARTER / division)
+    for _ in range(tracks):
+        if data[offset:offset + 4] != b"MTrk":
+            raise MidiError("missing MTrk chunk")
+        (length,) = struct.unpack(">I", data[offset + 4:offset + 8])
+        _read_track(
+            data[offset + 8:offset + 8 + length], event_list, seconds_per_tick
+        )
+        offset += 8 + length
+    return event_list
+
+
+def _read_track(track, event_list, seconds_per_tick):
+    offset = 0
+    tick = 0
+    running_status = None
+    pending = {}  # (channel, key) -> (start tick, velocity)
+    while offset < len(track):
+        delta, offset = _read_var_length(track, offset)
+        tick += delta
+        status = track[offset]
+        if status & 0x80:
+            offset += 1
+            if status < 0xF0:
+                running_status = status
+        else:
+            if running_status is None:
+                raise MidiError("data byte with no running status")
+            status = running_status
+        kind = status & 0xF0
+        channel = status & 0x0F
+        if status == 0xFF:  # meta
+            meta_type = track[offset]
+            length, offset = _read_var_length(track, offset + 1)
+            if meta_type == 0x51 and length == 3:
+                microseconds = int.from_bytes(track[offset:offset + 3], "big")
+                # We write fixed-tempo files; honour the value anyway.
+                seconds_per_tick = microseconds / 1e6 / TICKS_PER_QUARTER
+            offset += length
+            continue
+        if status in (0xF0, 0xF7):  # sysex
+            length, offset = _read_var_length(track, offset)
+            offset += length
+            continue
+        if kind == 0x90:
+            key, velocity = track[offset], track[offset + 1]
+            offset += 2
+            if velocity:
+                # Overlapping identical notes (two voices, one channel)
+                # stack; note-offs close them first-in-first-out.
+                pending.setdefault((channel, key), []).append((tick, velocity))
+            else:
+                _close_note(event_list, pending, channel, key, tick, seconds_per_tick)
+        elif kind == 0x80:
+            key = track[offset]
+            offset += 2
+            _close_note(event_list, pending, channel, key, tick, seconds_per_tick)
+        elif kind == 0xB0:
+            controller, value = track[offset], track[offset + 1]
+            offset += 2
+            event_list.add_control(
+                MidiControlEvent(controller, value, channel, tick * seconds_per_tick)
+            )
+        elif kind == 0xC0:
+            event_list.set_program(channel, track[offset])
+            offset += 1
+        elif kind == 0xD0:  # channel pressure
+            offset += 1
+        else:  # note aftertouch / pitch bend: two data bytes
+            offset += 2
+    if pending:
+        raise MidiError("unterminated notes in SMF track")
+
+
+def _close_note(event_list, pending, channel, key, tick, seconds_per_tick):
+    stack = pending.get((channel, key))
+    if not stack:
+        raise MidiError("note-off for silent key %d" % key)
+    start_tick, velocity = stack.pop(0)
+    if not stack:
+        del pending[(channel, key)]
+    event_list.add_note(
+        MidiNoteEvent(
+            key,
+            velocity,
+            channel,
+            start_tick * seconds_per_tick,
+            tick * seconds_per_tick,
+        )
+    )

@@ -1,0 +1,12 @@
+"""Piano-roll notation (section 4.5, figure 3).
+
+"The piano roll is essentially a map of the state of a musical keyboard
+against time ... time progressing to the left along the x-axis, and
+pitch (usually quantized by semitones) increasing upward along the
+y-axis."
+"""
+
+from repro.pianoroll.roll import PianoRoll, RollNote
+from repro.pianoroll.render import render_ascii
+
+__all__ = ["PianoRoll", "RollNote", "render_ascii"]

@@ -1,0 +1,59 @@
+"""ASCII rendering of piano rolls (figure 3).
+
+Pitch increases upward along the y-axis; time runs along the x-axis.
+Ordinary notes print as ``#`` rectangles; shaded notes (the fugue
+entrances in figure 3) print as ``:``.
+"""
+
+from repro.pitch.pitch import Pitch
+
+FILLED = "#"
+SHADED = ":"
+EMPTY = "."
+
+
+def render_ascii(roll, cells_per_beat=4, label_keys=True):
+    """Render *roll* as text, one row per semitone, top row = highest."""
+    if not roll.notes:
+        return "(empty piano roll)"
+    low, high = roll.key_range()
+    start, end = roll.beat_range()
+    columns = int((end - start) * cells_per_beat)
+    columns = max(columns, 1)
+    grid = {}
+    for note in roll.notes:
+        row = note.key
+        first = int((note.start_beats - start) * cells_per_beat)
+        last = int((note.end_beats - start) * cells_per_beat)
+        last = max(last, first + 1)
+        glyph = SHADED if note.shaded else FILLED
+        for column in range(first, min(last, columns)):
+            # A filled cell wins over a shaded one when voices overlap.
+            if grid.get((row, column)) != FILLED:
+                grid[(row, column)] = glyph
+    lines = []
+    for key in range(high, low - 1, -1):
+        cells = "".join(
+            grid.get((key, column), EMPTY) for column in range(columns)
+        )
+        if label_keys:
+            name = Pitch.from_midi(key).name()
+            lines.append("%-4s |%s" % (name, cells))
+        else:
+            lines.append("|" + cells)
+    axis = _beat_axis(start, end, cells_per_beat, label_keys)
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def _beat_axis(start, end, cells_per_beat, label_keys):
+    columns = int((end - start) * cells_per_beat)
+    marks = [" "] * max(columns, 1)
+    beat = start
+    while beat <= end:
+        column = int((beat - start) * cells_per_beat)
+        if column < len(marks):
+            marks[column] = "+"
+        beat += 1
+    prefix = "     " if label_keys else ""
+    return prefix + "+" + "".join(marks)

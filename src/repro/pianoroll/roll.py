@@ -1,0 +1,113 @@
+"""The piano-roll model: rectangles of (start, duration, pitch)."""
+
+from fractions import Fraction
+
+from repro.errors import NotationError
+
+
+class RollNote:
+    """One black rectangle of the roll; *voice* tags allow shading
+    (figure 3 shades the fugue entrances grey)."""
+
+    __slots__ = ("start_beats", "duration_beats", "key", "voice", "shaded")
+
+    def __init__(self, start_beats, duration_beats, key, voice=None, shaded=False):
+        if duration_beats <= 0:
+            raise NotationError("roll note needs positive duration")
+        if not 0 <= key <= 127:
+            raise NotationError("roll note key %r out of range" % (key,))
+        self.start_beats = Fraction(start_beats)
+        self.duration_beats = Fraction(duration_beats)
+        self.key = key
+        self.voice = voice
+        self.shaded = bool(shaded)
+
+    @property
+    def end_beats(self):
+        return self.start_beats + self.duration_beats
+
+    def __repr__(self):
+        return "RollNote(%s+%s, key=%d%s)" % (
+            self.start_beats,
+            self.duration_beats,
+            self.key,
+            ", shaded" if self.shaded else "",
+        )
+
+
+class PianoRoll:
+    """A collection of roll notes with key/time extents."""
+
+    def __init__(self, notes=None):
+        self.notes = list(notes or [])
+
+    @classmethod
+    def from_score(cls, cmn, score, shade_voices=()):
+        """Build a roll from a score's derived events.
+
+        *shade_voices* names voices whose notes are shaded -- used to
+        highlight the fugue entrances that "are normally hidden in a
+        piano roll notation".
+        """
+        from repro.cmn.events import events_of_voice
+        from repro.cmn.score import ScoreView
+
+        view = ScoreView(cmn, score)
+        shade = set(shade_voices)
+        notes = []
+        for voice in view.voices():
+            name = voice["name"]
+            for event in events_of_voice(cmn, voice):
+                notes.append(
+                    RollNote(
+                        event["start_beats"],
+                        event["duration_beats"],
+                        event["midi_key"],
+                        voice=name,
+                        shaded=name in shade,
+                    )
+                )
+        return cls(notes)
+
+    @classmethod
+    def from_event_list(cls, event_list, beats_per_second=2.0):
+        """Build a roll from performed MIDI (seconds quantized to beats)."""
+        notes = []
+        for note in event_list.sorted_notes():
+            start = Fraction(note.start_seconds * beats_per_second).limit_denominator(96)
+            duration = Fraction(
+                (note.end_seconds - note.start_seconds) * beats_per_second
+            ).limit_denominator(96)
+            if duration <= 0:
+                duration = Fraction(1, 96)
+            notes.append(RollNote(start, duration, note.key, voice=note.channel))
+        return cls(notes)
+
+    def key_range(self):
+        if not self.notes:
+            return (60, 60)
+        return (
+            min(note.key for note in self.notes),
+            max(note.key for note in self.notes),
+        )
+
+    def beat_range(self):
+        if not self.notes:
+            return (Fraction(0), Fraction(0))
+        return (
+            min(note.start_beats for note in self.notes),
+            max(note.end_beats for note in self.notes),
+        )
+
+    def keyboard_state_at(self, beat):
+        """The set of sounding keys at *beat* -- "a map of the state of a
+        musical keyboard against time"."""
+        beat = Fraction(beat)
+        return sorted(
+            note.key
+            for note in self.notes
+            if note.start_beats <= beat < note.end_beats
+        )
+
+    def __len__(self):
+        return len(self.notes)

@@ -1,0 +1,29 @@
+"""Pitch substrate and the section 4.3 meta-musical rules.
+
+A note's *performance pitch* is not stored directly: it is derived
+procedurally from its staff degree, the governing clef ("Every Good Boy
+Does Fine"), the key signature, and any accidentals earlier in the
+measure.  This package implements that derivation.
+"""
+
+from repro.pitch.pitch import Pitch, PitchClass, STEP_NAMES
+from repro.pitch.clef import Clef, TREBLE, BASS, ALTO, TENOR
+from repro.pitch.key import KeySignature
+from repro.pitch.accidental import Accidental, AccidentalState
+from repro.pitch.spelling import performance_pitch, spell_midi_key
+
+__all__ = [
+    "Pitch",
+    "PitchClass",
+    "STEP_NAMES",
+    "Clef",
+    "TREBLE",
+    "BASS",
+    "ALTO",
+    "TENOR",
+    "KeySignature",
+    "Accidental",
+    "AccidentalState",
+    "performance_pitch",
+    "spell_midi_key",
+]

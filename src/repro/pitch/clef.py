@@ -1,0 +1,78 @@
+"""Clefs: the mapping from staff degree to scale pitch (section 4.3).
+
+"All subsequent notes on the same staff as the treble clef have a
+mapping from staff degree to scale pitch which is 'Every Good Boy Does
+Fine'."  A staff *degree* here counts diatonic steps from the bottom
+line of the five-line staff: 0 = bottom line, 1 = the space above it,
+... 8 = top line.  Ledger lines extend the range in both directions.
+"""
+
+from repro.errors import NotationError
+from repro.pitch.pitch import Pitch
+
+
+class Clef:
+    """A clef positioned on a staff line.
+
+    *reference_degree* is the staff degree of *reference_pitch*: the
+    treble (G) clef curls around line 2 (degree 2), marking it G4.
+    """
+
+    __slots__ = ("name", "symbol", "reference_degree", "reference_pitch")
+
+    def __init__(self, name, symbol, reference_degree, reference_pitch):
+        self.name = name
+        self.symbol = symbol
+        self.reference_degree = reference_degree
+        self.reference_pitch = reference_pitch
+
+    def degree_to_pitch(self, degree, alter=0):
+        """The (unaltered scale) pitch at a staff degree, with *alter*."""
+        index = self.reference_pitch.diatonic_index() + (
+            degree - self.reference_degree
+        )
+        if index < 0:
+            raise NotationError("degree %d is below pitch space" % degree)
+        return Pitch.from_diatonic_index(index, alter)
+
+    def pitch_to_degree(self, pitch):
+        """The staff degree where *pitch* is notated under this clef."""
+        return self.reference_degree + (
+            pitch.diatonic_index() - self.reference_pitch.diatonic_index()
+        )
+
+    def line_pitches(self):
+        """The pitches of the five staff lines, bottom to top.
+
+        For the treble clef: E4 G4 B4 D5 F5 -- "Every Good Boy Does
+        Fine".
+        """
+        return [self.degree_to_pitch(degree) for degree in (0, 2, 4, 6, 8)]
+
+    def mnemonic(self):
+        """The line letters, e.g. ``"E G B D F"`` for treble."""
+        return " ".join(p.step for p in self.line_pitches())
+
+    def __eq__(self, other):
+        return isinstance(other, Clef) and self.name == other.name
+
+    def __hash__(self):
+        return hash(self.name)
+
+    def __repr__(self):
+        return "Clef(%r)" % self.name
+
+
+TREBLE = Clef("treble", "G", 2, Pitch("G", 0, 4))
+BASS = Clef("bass", "F", 6, Pitch("F", 0, 3))
+ALTO = Clef("alto", "C", 4, Pitch("C", 0, 4))
+TENOR = Clef("tenor", "C", 6, Pitch("C", 0, 4))
+
+BY_NAME = {clef.name: clef for clef in (TREBLE, BASS, ALTO, TENOR)}
+
+
+def clef_by_name(name):
+    try:
+        return BY_NAME[name.lower()]
+    except KeyError:
+        raise NotationError("unknown clef %r" % name)

@@ -1,0 +1,148 @@
+"""Pitches: spelled note names with MIDI keys and frequencies."""
+
+from repro.errors import NotationError
+
+STEP_NAMES = "CDEFGAB"
+
+#: Semitone offset of each step above C.
+_STEP_SEMITONES = {"C": 0, "D": 2, "E": 4, "F": 5, "G": 7, "A": 9, "B": 11}
+
+_ALTER_SUFFIX = {-2: "bb", -1: "b", 0: "", 1: "#", 2: "##"}
+
+
+class PitchClass:
+    """A spelled pitch class: step letter plus alteration (octave-free)."""
+
+    __slots__ = ("step", "alter")
+
+    def __init__(self, step, alter=0):
+        step = step.upper()
+        if step not in _STEP_SEMITONES:
+            raise NotationError("bad pitch step %r" % step)
+        if alter not in _ALTER_SUFFIX:
+            raise NotationError("alteration %r out of range -2..2" % (alter,))
+        self.step = step
+        self.alter = alter
+
+    @property
+    def semitone(self):
+        """Semitones above C, modulo 12."""
+        return (_STEP_SEMITONES[self.step] + self.alter) % 12
+
+    def name(self):
+        return self.step + _ALTER_SUFFIX[self.alter]
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, PitchClass)
+            and self.step == other.step
+            and self.alter == other.alter
+        )
+
+    def __hash__(self):
+        return hash((self.step, self.alter))
+
+    def __repr__(self):
+        return "PitchClass(%r)" % self.name()
+
+
+class Pitch:
+    """A spelled pitch with octave (scientific pitch notation).
+
+    ``Pitch("G", 0, 4)`` is the G above middle C; MIDI key 67.
+    """
+
+    __slots__ = ("step", "alter", "octave")
+
+    def __init__(self, step, alter=0, octave=4):
+        pitch_class = PitchClass(step, alter)  # validates
+        self.step = pitch_class.step
+        self.alter = pitch_class.alter
+        self.octave = int(octave)
+
+    @classmethod
+    def parse(cls, text):
+        """Parse names like ``"C4"``, ``"F#3"``, ``"Bb-1"``, ``"G##2"``."""
+        if not text:
+            raise NotationError("empty pitch name")
+        step = text[0].upper()
+        rest = text[1:]
+        alter = 0
+        while rest.startswith("#"):
+            alter += 1
+            rest = rest[1:]
+        while rest.startswith("b") and not _looks_like_octave(rest):
+            alter -= 1
+            rest = rest[1:]
+        try:
+            octave = int(rest)
+        except ValueError:
+            raise NotationError("bad pitch name %r" % text)
+        return cls(step, alter, octave)
+
+    @classmethod
+    def from_midi(cls, key, prefer_flats=False):
+        """Spell a MIDI key number (sharp spellings unless *prefer_flats*)."""
+        if not 0 <= key <= 127:
+            raise NotationError("MIDI key %r out of range 0..127" % (key,))
+        octave, semitone = divmod(key, 12)
+        octave -= 1  # MIDI 60 = C4
+        sharps = ["C", "C#", "D", "D#", "E", "F", "F#", "G", "G#", "A", "A#", "B"]
+        flats = ["C", "Db", "D", "Eb", "E", "F", "Gb", "G", "Ab", "A", "Bb", "B"]
+        name = (flats if prefer_flats else sharps)[semitone]
+        alter = name.count("#") - name.count("b")
+        return cls(name[0], alter, octave)
+
+    @property
+    def pitch_class(self):
+        return PitchClass(self.step, self.alter)
+
+    @property
+    def midi_key(self):
+        """MIDI key number (C4 = 60)."""
+        key = (self.octave + 1) * 12 + _STEP_SEMITONES[self.step] + self.alter
+        if not 0 <= key <= 127:
+            raise NotationError("pitch %s outside MIDI range" % self.name())
+        return key
+
+    def frequency(self, a4=440.0):
+        """Equal-tempered frequency in Hz."""
+        return a4 * 2.0 ** ((self.midi_key - 69) / 12.0)
+
+    def name(self):
+        return "%s%s%d" % (self.step, _ALTER_SUFFIX[self.alter], self.octave)
+
+    def transposed(self, semitones):
+        """The enharmonic respelling *semitones* away (sharp-spelled)."""
+        return Pitch.from_midi(self.midi_key + semitones)
+
+    def diatonic_index(self):
+        """Steps above C0 ignoring alteration (staff-position arithmetic)."""
+        return self.octave * 7 + STEP_NAMES.index(self.step)
+
+    @classmethod
+    def from_diatonic_index(cls, index, alter=0):
+        octave, step_index = divmod(index, 7)
+        return cls(STEP_NAMES[step_index], alter, octave)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Pitch)
+            and self.step == other.step
+            and self.alter == other.alter
+            and self.octave == other.octave
+        )
+
+    def __lt__(self, other):
+        return self.midi_key < other.midi_key
+
+    def __hash__(self):
+        return hash((self.step, self.alter, self.octave))
+
+    def __repr__(self):
+        return "Pitch(%r)" % self.name()
+
+
+def _looks_like_octave(rest):
+    """Disambiguate 'b' flats from octave digits in Pitch.parse input."""
+    return rest[:1].lstrip("-").isdigit()

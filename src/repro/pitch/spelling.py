@@ -1,0 +1,40 @@
+"""Deriving performance pitch from notation (section 4.3).
+
+"The performance pitch of a note depends procedurally ... on other
+elements on the same staff line, such as clefs and key signatures."
+:func:`performance_pitch` is that procedure: staff degree + clef + key
+signature + accidental state -> a concrete :class:`Pitch`.
+"""
+
+from repro.pitch.accidental import Accidental, AccidentalState
+from repro.pitch.clef import Clef
+from repro.pitch.pitch import Pitch
+
+
+def performance_pitch(degree, clef, accidental_state=None, accidental=None):
+    """The sounding pitch of a note at staff *degree* under *clef*.
+
+    *accidental_state* carries the key signature and the accidentals
+    already seen this measure; *accidental* is the note's own explicit
+    accidental, if any.  Without a state, notes sound as the bare scale
+    degree (C-major reading).
+    """
+    if accidental_state is None:
+        accidental_state = AccidentalState()
+    if isinstance(accidental, str):
+        accidental = Accidental.from_symbol(accidental)
+    base = clef.degree_to_pitch(degree)
+    alteration = accidental_state.apply(degree, base.step, accidental)
+    return Pitch(base.step, alteration, base.octave)
+
+
+def spell_midi_key(degree, clef, accidental_state=None, accidental=None):
+    """Like :func:`performance_pitch` but returns the MIDI key number."""
+    return performance_pitch(degree, clef, accidental_state, accidental).midi_key
+
+
+def degree_for_pitch(pitch, clef):
+    """Where *pitch* sits on the staff under *clef* (inverse mapping)."""
+    if not isinstance(clef, Clef):
+        raise TypeError("clef required")
+    return clef.pitch_to_degree(pitch)

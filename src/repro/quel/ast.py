@@ -1,0 +1,212 @@
+"""AST nodes for QUEL statements, expressions, and qualifications."""
+
+
+class RangeStatement:
+    """``range of v1, v2 is TYPE``"""
+
+    __slots__ = ("variables", "entity_type")
+
+    def __init__(self, variables, entity_type):
+        self.variables = list(variables)
+        self.entity_type = entity_type
+
+    def __repr__(self):
+        return "range of %s is %s" % (", ".join(self.variables), self.entity_type)
+
+
+class RetrieveStatement:
+    """``retrieve [unique] (targets) [where qual] [sort by expr [descending]]``"""
+
+    __slots__ = ("targets", "where", "unique", "sort_by", "descending")
+
+    def __init__(self, targets, where=None, unique=False, sort_by=None, descending=False):
+        self.targets = list(targets)
+        self.where = where
+        self.unique = unique
+        self.sort_by = sort_by
+        self.descending = descending
+
+    def __repr__(self):
+        return "retrieve (%d targets)" % len(self.targets)
+
+
+class AppendStatement:
+    """``append to TYPE (attr = expr, ...) [where qual]``"""
+
+    __slots__ = ("entity_type", "assignments", "where")
+
+    def __init__(self, entity_type, assignments, where=None):
+        self.entity_type = entity_type
+        self.assignments = list(assignments)
+        self.where = where
+
+
+class ReplaceStatement:
+    """``replace var (attr = expr, ...) [where qual]``"""
+
+    __slots__ = ("variable", "assignments", "where")
+
+    def __init__(self, variable, assignments, where=None):
+        self.variable = variable
+        self.assignments = list(assignments)
+        self.where = where
+
+
+class DeleteStatement:
+    """``delete var [where qual]``"""
+
+    __slots__ = ("variable", "where")
+
+    def __init__(self, variable, where=None):
+        self.variable = variable
+        self.where = where
+
+
+class Target:
+    """One retrieve target: an expression with an optional result name."""
+
+    __slots__ = ("name", "expression")
+
+    def __init__(self, name, expression):
+        self.name = name
+        self.expression = expression
+
+
+# -- expressions ------------------------------------------------------------
+
+
+class Literal:
+    """A constant value (number or string)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return "Literal(%r)" % (self.value,)
+
+
+class AttributeRef:
+    """``variable.attribute``"""
+
+    __slots__ = ("variable", "attribute")
+
+    def __init__(self, variable, attribute):
+        self.variable = variable
+        self.attribute = attribute
+
+    def __repr__(self):
+        return "%s.%s" % (self.variable, self.attribute)
+
+
+class VariableRef:
+    """A bare range variable used as an entity operand."""
+
+    __slots__ = ("variable",)
+
+    def __init__(self, variable):
+        self.variable = variable
+
+    def __repr__(self):
+        return "VariableRef(%s)" % self.variable
+
+
+class BinaryOp:
+    """Arithmetic: ``left (+|-|*|/|%) right``"""
+
+    __slots__ = ("operator", "left", "right")
+
+    def __init__(self, operator, left, right):
+        self.operator = operator
+        self.left = left
+        self.right = right
+
+
+class FunctionCall:
+    """Scalar or aggregate function application."""
+
+    __slots__ = ("name", "arguments")
+
+    def __init__(self, name, arguments):
+        self.name = name
+        self.arguments = list(arguments)
+
+    def __repr__(self):
+        return "%s(%d args)" % (self.name, len(self.arguments))
+
+
+# -- qualifications ------------------------------------------------------------
+
+
+class Comparison:
+    """``left (=|!=|<|<=|>|>=) right`` over value expressions."""
+
+    __slots__ = ("operator", "left", "right")
+
+    def __init__(self, operator, left, right):
+        self.operator = operator
+        self.left = left
+        self.right = right
+
+
+class IsClause:
+    """``a is b`` -- entity equivalence (GEM's operator)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+
+class OrderClause:
+    """``a before|after b [in order_name]`` (section 5.6)."""
+
+    __slots__ = ("operator", "left", "right", "order_name")
+
+    def __init__(self, operator, left, right, order_name=None):
+        self.operator = operator  # "before" or "after"
+        self.left = left
+        self.right = right
+        self.order_name = order_name
+
+
+class UnderClause:
+    """``child under parent [in order_name]`` (section 5.6)."""
+
+    __slots__ = ("child", "parent", "order_name")
+
+    def __init__(self, child, parent, order_name=None):
+        self.child = child
+        self.parent = parent
+        self.order_name = order_name
+
+
+class And:
+    """Conjunction of two qualifications."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+
+class Or:
+    """Disjunction of two qualifications."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+
+class Not:
+    """Negation of a qualification."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand):
+        self.operand = operand

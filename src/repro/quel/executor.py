@@ -1,0 +1,544 @@
+"""QUEL execution against a schema.
+
+A :class:`QuelSession` holds range-variable declarations and executes
+statements.  Retrieves run a backtracking join over the referenced
+range variables; the entity operators ``is``, ``before``, ``after`` and
+``under`` evaluate per the section 5.6 semantics.
+"""
+
+from repro.errors import QueryError
+from repro.core.entity import EntityInstance
+from repro.quel import ast
+from repro.quel.functions import FunctionRegistry
+from repro.quel.parser import parse_quel
+from repro.quel import planner
+
+
+class _EntityRange:
+    kind = "entity"
+
+    def __init__(self, entity_type):
+        self.entity_type = entity_type
+
+    @property
+    def type_name(self):
+        return self.entity_type.name
+
+    def candidates(self, restrictions):
+        if restrictions:
+            attribute, value = restrictions[0]
+            table = self.entity_type.table
+            if table.schema.has_column(attribute):
+                from repro.core.entity import SURROGATE_COLUMN
+
+                rows = table.select_eq(attribute, value)
+                out = [
+                    EntityInstance(self.entity_type, row[SURROGATE_COLUMN], row.rowid)
+                    for row in rows
+                ]
+                remaining = restrictions[1:]
+                if remaining:
+                    out = [
+                        i
+                        for i in out
+                        if all(i.get(a) == v for a, v in remaining)
+                    ]
+                return out
+        return self.entity_type.instances()
+
+
+class _RelationshipRange:
+    kind = "relationship"
+
+    def __init__(self, relationship):
+        self.relationship = relationship
+
+    @property
+    def type_name(self):
+        return self.relationship.name
+
+    def candidates(self, restrictions):
+        rows = list(self.relationship.table)
+        for attribute, value in restrictions:
+            rows = [row for row in rows if row.get(attribute) == value]
+        return rows
+
+
+class QuelSession:
+    """Stateful QUEL session over one schema.
+
+    *use_indexes* exists for ablation benchmarking: with it off, every
+    range variable's candidate set is a full heap scan, reproducing the
+    section 5.2 baseline of an unindexed relation.
+    """
+
+    def __init__(self, schema, use_indexes=True):
+        self.schema = schema
+        self.ranges = {}
+        self.functions = FunctionRegistry()
+        self.last_plan = None
+        self.use_indexes = use_indexes
+
+    # -- public API ------------------------------------------------------------
+
+    def execute(self, source):
+        """Execute a QUEL program; returns the last statement's result.
+
+        Retrieves return a list of result dicts; mutations return the
+        affected-instance count; range statements return None.
+        """
+        result = None
+        for statement in parse_quel(source):
+            result = self.execute_statement(statement)
+        return result
+
+    def execute_statement(self, statement):
+        if isinstance(statement, ast.RangeStatement):
+            return self._declare_range(statement)
+        if isinstance(statement, ast.RetrieveStatement):
+            return self._retrieve(statement)
+        if isinstance(statement, ast.AppendStatement):
+            return self._append(statement)
+        if isinstance(statement, ast.ReplaceStatement):
+            return self._replace(statement)
+        if isinstance(statement, ast.DeleteStatement):
+            return self._delete(statement)
+        raise QueryError("unsupported statement %r" % (statement,))
+
+    def register_function(self, name, function, aggregate=False):
+        if aggregate:
+            self.functions.register_aggregate(name, function)
+        else:
+            self.functions.register_scalar(name, function)
+
+    # -- range variables ----------------------------------------------------------
+
+    def _declare_range(self, statement):
+        name = statement.entity_type
+        if self.schema.has_entity_type(name):
+            target = _EntityRange(self.schema.entity_type(name))
+        elif name in self.schema.relationships:
+            target = _RelationshipRange(self.schema.relationship(name))
+        else:
+            raise QueryError("range over unknown type %r" % name)
+        for variable in statement.variables:
+            self.ranges[variable] = target
+        return None
+
+    def _range_for(self, variable):
+        declared = self.ranges.get(variable)
+        if declared is not None:
+            return declared
+        # Footnote 6: a range variable with the same name as its entity
+        # type (or relationship) is implicitly declared.
+        if self.schema.has_entity_type(variable):
+            target = _EntityRange(self.schema.entity_type(variable))
+            self.ranges[variable] = target
+            return target
+        if variable in self.schema.relationships:
+            target = _RelationshipRange(self.schema.relationship(variable))
+            self.ranges[variable] = target
+            return target
+        raise QueryError("undeclared range variable %r" % variable)
+
+    # -- expression evaluation ------------------------------------------------------
+
+    def _evaluate(self, node, bindings):
+        if isinstance(node, ast.Literal):
+            return node.value
+        if isinstance(node, ast.AttributeRef):
+            bound = bindings.get(node.variable)
+            if bound is None:
+                raise QueryError("unbound range variable %r" % node.variable)
+            if isinstance(bound, EntityInstance):
+                return bound[node.attribute]
+            return bound[node.attribute]  # relationship Row
+        if isinstance(node, ast.VariableRef):
+            bound = bindings.get(node.variable)
+            if bound is None:
+                raise QueryError("unbound range variable %r" % node.variable)
+            if isinstance(bound, EntityInstance):
+                return bound.surrogate
+            raise QueryError(
+                "relationship variable %r used as a value" % node.variable
+            )
+        if isinstance(node, ast.BinaryOp):
+            left = self._evaluate(node.left, bindings)
+            right = self._evaluate(node.right, bindings)
+            if left is None or right is None:
+                return None
+            if node.operator == "+":
+                return left + right
+            if node.operator == "-":
+                return left - right
+            if node.operator == "*":
+                return left * right
+            if node.operator == "/":
+                if right == 0:
+                    raise QueryError("division by zero")
+                if isinstance(left, int) and isinstance(right, int) and left % right == 0:
+                    return left // right
+                return left / right
+            if node.operator == "%":
+                return left % right
+            raise QueryError("unknown operator %r" % node.operator)
+        if isinstance(node, ast.FunctionCall):
+            if node.name == "ordinal":
+                return self._ordinal(node, bindings)
+            function = self.functions.scalar(node.name)
+            arguments = [self._evaluate(a, bindings) for a in node.arguments]
+            return function(*arguments)
+        raise QueryError("cannot evaluate %r" % (node,))
+
+    def _ordinal(self, node, bindings):
+        """``ordinal(var [, "order_name"])``: the 1-based position of an
+        entity under its parent in a hierarchical ordering (None when it
+        is not a member) -- the query-language face of "the third note
+        in chord x" (section 5.4)."""
+        if not 1 <= len(node.arguments) <= 2:
+            raise QueryError("ordinal() takes a range variable and an "
+                             "optional ordering name")
+        instance = self._entity_operand(node.arguments[0], bindings)
+        if instance is None:
+            return None
+        if len(node.arguments) == 2:
+            name_node = node.arguments[1]
+            if not isinstance(name_node, ast.Literal) or not isinstance(
+                name_node.value, str
+            ):
+                raise QueryError("ordinal()'s second argument is an "
+                                 "ordering name string")
+            ordering = self.schema.ordering(name_node.value)
+        else:
+            ordering = self._resolve_ordering(None, [instance])
+        return ordering.position_of(instance)
+
+    # -- entity operand handling ------------------------------------------------------
+
+    def _entity_operand(self, node, bindings):
+        """Resolve an entity operand to an EntityInstance."""
+        if isinstance(node, ast.VariableRef):
+            bound = bindings.get(node.variable)
+            if isinstance(bound, EntityInstance):
+                return bound
+            raise QueryError(
+                "%r is not an entity range variable" % node.variable
+            )
+        if isinstance(node, ast.AttributeRef):
+            value = self._evaluate(node, bindings)
+            if value is None:
+                return None
+            if isinstance(value, int):
+                return self.schema.instance(value)
+            raise QueryError(
+                "%s.%s is not an entity reference" % (node.variable, node.attribute)
+            )
+        raise QueryError("bad entity operand %r" % (node,))
+
+    def _resolve_ordering(self, clause_name, instances, parent=None):
+        """Find the ordering for before/after/under given the operands."""
+        if clause_name is not None:
+            return self.schema.ordering(clause_name)
+        candidates = []
+        for ordering in self.schema.orderings.values():
+            if any(
+                instance.type.name not in ordering.child_types
+                for instance in instances
+            ):
+                continue
+            if parent is not None and ordering.parent_type != parent.type.name:
+                continue
+            candidates.append(ordering)
+        if len(candidates) == 1:
+            return candidates[0]
+        if not candidates:
+            raise QueryError(
+                "no ordering admits operand types %s"
+                % ", ".join(sorted({i.type.name for i in instances}))
+            )
+        raise QueryError(
+            "ambiguous ordering; specify 'in <order_name>' (candidates: %s)"
+            % ", ".join(sorted(o.name for o in candidates))
+        )
+
+    # -- qualification evaluation ----------------------------------------------------
+
+    def _truth(self, node, bindings):
+        if isinstance(node, ast.And):
+            return self._truth(node.left, bindings) and self._truth(node.right, bindings)
+        if isinstance(node, ast.Or):
+            return self._truth(node.left, bindings) or self._truth(node.right, bindings)
+        if isinstance(node, ast.Not):
+            return not self._truth(node.operand, bindings)
+        if isinstance(node, ast.Comparison):
+            left = self._evaluate(node.left, bindings)
+            right = self._evaluate(node.right, bindings)
+            if left is None or right is None:
+                return False
+            operator = node.operator
+            if operator == "=":
+                return left == right
+            if operator == "!=":
+                return left != right
+            if operator == "<":
+                return left < right
+            if operator == "<=":
+                return left <= right
+            if operator == ">":
+                return left > right
+            if operator == ">=":
+                return left >= right
+            raise QueryError("unknown comparison %r" % operator)
+        if isinstance(node, ast.IsClause):
+            left = self._entity_operand(node.left, bindings)
+            right = self._entity_operand(node.right, bindings)
+            if left is None or right is None:
+                return False
+            return left.surrogate == right.surrogate
+        if isinstance(node, ast.OrderClause):
+            left = self._entity_operand(node.left, bindings)
+            right = self._entity_operand(node.right, bindings)
+            if left is None or right is None:
+                return False
+            ordering = self._resolve_ordering(node.order_name, [left, right])
+            if node.operator == "before":
+                return ordering.before(left, right)
+            return ordering.after(left, right)
+        if isinstance(node, ast.UnderClause):
+            child = self._entity_operand(node.child, bindings)
+            parent = self._entity_operand(node.parent, bindings)
+            if child is None or parent is None:
+                return False
+            ordering = self._resolve_ordering(
+                node.order_name, [child], parent=parent
+            )
+            return ordering.under(child, parent)
+        raise QueryError("cannot evaluate qualification %r" % (node,))
+
+    # -- the backtracking join ---------------------------------------------------------
+
+    def _bindings_for(self, used_variables, qualification):
+        """Yield binding dicts satisfying *qualification*."""
+        conjuncts = planner.split_conjuncts(qualification)
+        candidates = {}
+        indexed = set()
+        for variable in used_variables:
+            range_decl = self._range_for(variable)
+            restrictions = []
+            if self.use_indexes:
+                for conjunct in conjuncts:
+                    restriction = planner.equality_restriction(conjunct, variable)
+                    if restriction is not None:
+                        restrictions.append(restriction)
+            if restrictions:
+                indexed.add(variable)
+            candidates[variable] = range_decl.candidates(restrictions)
+        counts = {v: len(c) for v, c in candidates.items()}
+        order = planner.order_variables(used_variables, counts, conjuncts)
+        self.last_plan = planner.explain(None, order, counts, indexed)
+
+        # Constant conjuncts (no range variables) gate the whole query.
+        for conjunct in conjuncts:
+            if not planner.variables_in(conjunct) and not self._truth(conjunct, {}):
+                return
+
+        # Assign each conjunct to the earliest prefix that binds it fully.
+        remaining = list(conjuncts)
+
+        def join(index, bindings):
+            if index == len(order):
+                yield dict(bindings)
+                return
+            variable = order[index]
+            bound_now = set(order[: index + 1])
+            checks = [
+                conjunct
+                for conjunct in remaining
+                if variable in planner.variables_in(conjunct)
+                and planner.variables_in(conjunct) <= bound_now
+            ]
+            for candidate in candidates[variable]:
+                bindings[variable] = candidate
+                if all(self._truth(check, bindings) for check in checks):
+                    yield from join(index + 1, bindings)
+            bindings.pop(variable, None)
+
+        if not order:
+            # No range variables at all (constant query).
+            if qualification is None or self._truth(qualification, {}):
+                yield {}
+            return
+        # Conjuncts whose variables are not a subset of any prefix can't
+        # exist (every variable is in `order`), so the above covers all.
+        yield from join(0, {})
+
+    # -- statements -------------------------------------------------------------------
+
+    def _used_variables(self, targets, where, extra=None):
+        used = set()
+        for target in targets:
+            used |= planner.variables_in(target)
+        used |= planner.variables_in(where)
+        if extra:
+            used |= set(extra)
+        return sorted(used)
+
+    def _retrieve(self, statement):
+        used = self._used_variables(statement.targets, statement.where)
+        if statement.sort_by is not None:
+            used = sorted(set(used) | planner.variables_in(statement.sort_by))
+        rows = []
+        aggregate_targets = [
+            t
+            for t in statement.targets
+            if isinstance(t.expression, ast.FunctionCall)
+            and self.functions.is_aggregate(t.expression.name)
+        ]
+        plain_targets = [t for t in statement.targets if t not in aggregate_targets]
+        for bindings in self._bindings_for(used, statement.where):
+            record = {}
+            for target in plain_targets:
+                record[target.name] = self._evaluate(target.expression, bindings)
+            sort_key = (
+                self._evaluate(statement.sort_by, bindings)
+                if statement.sort_by is not None
+                else None
+            )
+            aggregate_inputs = {}
+            for target in aggregate_targets:
+                call = target.expression
+                if len(call.arguments) != 1:
+                    raise QueryError(
+                        "aggregate %s takes exactly one argument" % call.name
+                    )
+                aggregate_inputs[target.name] = self._evaluate(
+                    call.arguments[0], bindings
+                )
+            rows.append((record, sort_key, aggregate_inputs))
+
+        if aggregate_targets:
+            return self._aggregate_rows(rows, plain_targets, aggregate_targets)
+
+        if statement.sort_by is not None:
+            rows.sort(
+                key=lambda item: _sortable(item[1]), reverse=statement.descending
+            )
+        out = [record for record, _, _ in rows]
+        if statement.unique:
+            out = _dedupe(out)
+        return out
+
+    def _aggregate_rows(self, rows, plain_targets, aggregate_targets):
+        """Aggregate semantics: no plain targets => one global row;
+        otherwise group by the plain-target values."""
+        groups = {}
+        order = []
+        for record, _, aggregate_inputs in rows:
+            key = tuple(sorted(record.items(), key=lambda kv: kv[0]))
+            if key not in groups:
+                groups[key] = (record, {name: [] for name in aggregate_inputs})
+                order.append(key)
+            for name, value in aggregate_inputs.items():
+                groups[key][1][name].append(value)
+        if not plain_targets and not rows:
+            # Aggregates over an empty result still produce one row.
+            record = {}
+            for target in aggregate_targets:
+                function = self.functions.aggregate(target.expression.name)
+                record[target.name] = function([])
+            return [record]
+        out = []
+        for key in order:
+            record, inputs = groups[key]
+            result = dict(record)
+            for target in aggregate_targets:
+                function = self.functions.aggregate(target.expression.name)
+                result[target.name] = function(inputs.get(target.name, []))
+            out.append(result)
+        return out
+
+    def _append(self, statement):
+        entity_type = self.schema.entity_type(statement.entity_type)
+        used = set()
+        for _, expression in statement.assignments:
+            used |= planner.variables_in(expression)
+        used |= planner.variables_in(statement.where)
+        count = 0
+        for bindings in self._bindings_for(sorted(used), statement.where):
+            values = {
+                name: self._evaluate(expression, bindings)
+                for name, expression in statement.assignments
+            }
+            entity_type.create(**values)
+            count += 1
+        return count
+
+    def _matching_instances(self, variable, where, extra_targets=()):
+        """Distinct instances of *variable* satisfying *where*."""
+        used = {variable}
+        used |= planner.variables_in(where)
+        for expression in extra_targets:
+            used |= planner.variables_in(expression)
+        seen = {}
+        for bindings in self._bindings_for(sorted(used), where):
+            bound = bindings[variable]
+            if not isinstance(bound, EntityInstance):
+                raise QueryError("%r is not an entity range variable" % variable)
+            seen.setdefault(bound.surrogate, (bound, dict(bindings)))
+        return list(seen.values())
+
+    def _replace(self, statement):
+        expressions = [e for _, e in statement.assignments]
+        matches = self._matching_instances(
+            statement.variable, statement.where, expressions
+        )
+        for instance, bindings in matches:
+            updates = {
+                name: self._evaluate(expression, bindings)
+                for name, expression in statement.assignments
+            }
+            instance.set(**updates)
+        return len(matches)
+
+    def _delete(self, statement):
+        matches = self._matching_instances(statement.variable, statement.where)
+        for instance, _ in matches:
+            # Remove from orderings/relationships first so the delete is legal.
+            for ordering in self.schema.orderings.values():
+                if instance.type.name in ordering.child_types and ordering.contains(
+                    instance
+                ):
+                    ordering.remove(instance)
+            for relationship in self.schema.relationships.values():
+                for role, type_name in relationship.roles:
+                    if type_name == instance.type.name:
+                        relationship.unrelate(**{role: instance})
+            instance.delete()
+        return len(matches)
+
+
+def _sortable(value):
+    from repro.storage.values import value_sort_key
+
+    return value_sort_key(value)
+
+
+def _dedupe(records):
+    seen = set()
+    out = []
+    for record in records:
+        key = tuple(sorted(record.items(), key=lambda kv: kv[0]))
+        try:
+            hash(key)
+        except TypeError:
+            out.append(record)
+            continue
+        if key not in seen:
+            seen.add(key)
+            out.append(record)
+    return out
+
+
+def execute_quel(source, schema):
+    """One-shot convenience: run a QUEL program against *schema*."""
+    return QuelSession(schema).execute(source)

@@ -1,0 +1,129 @@
+"""Scalar and aggregate functions for QUEL expressions.
+
+The built-in set covers the INGRES standards; following [Han84] (which
+the paper draws on for user-defined aggregates over abstract data
+types), sessions can register additional scalar and aggregate functions
+at run time.
+"""
+
+from repro.errors import QueryError
+
+
+def _numeric(values):
+    out = []
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            from fractions import Fraction
+
+            if not isinstance(value, Fraction):
+                raise QueryError("aggregate over non-numeric value %r" % (value,))
+        out.append(value)
+    return out
+
+
+def agg_count(values):
+    return sum(1 for v in values if v is not None)
+
+
+def agg_sum(values):
+    numbers = _numeric(values)
+    return sum(numbers) if numbers else 0
+
+
+def agg_avg(values):
+    numbers = _numeric(values)
+    if not numbers:
+        return None
+    return sum(numbers) / len(numbers)
+
+
+def agg_min(values):
+    candidates = [v for v in values if v is not None]
+    return min(candidates) if candidates else None
+
+
+def agg_max(values):
+    candidates = [v for v in values if v is not None]
+    return max(candidates) if candidates else None
+
+
+def agg_any(values):
+    """INGRES's ``any``: 1 if any qualifying value exists, else 0."""
+    return 1 if any(v is not None for v in values) else 0
+
+
+AGGREGATES = {
+    "count": agg_count,
+    "sum": agg_sum,
+    "avg": agg_avg,
+    "min": agg_min,
+    "max": agg_max,
+    "any": agg_any,
+}
+
+
+def scalar_abs(value):
+    return None if value is None else abs(value)
+
+
+def scalar_length(value):
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise QueryError("length() expects a string, got %r" % (value,))
+    return len(value)
+
+
+def scalar_lower(value):
+    return None if value is None else value.lower()
+
+
+def scalar_upper(value):
+    return None if value is None else value.upper()
+
+
+def scalar_mod(left, right):
+    if left is None or right is None:
+        return None
+    return left % right
+
+
+SCALARS = {
+    "abs": scalar_abs,
+    "length": scalar_length,
+    "lowercase": scalar_lower,
+    "uppercase": scalar_upper,
+    "mod": scalar_mod,
+}
+
+
+class FunctionRegistry:
+    """Per-session registry of scalar and aggregate functions."""
+
+    def __init__(self):
+        self.scalars = dict(SCALARS)
+        self.aggregates = dict(AGGREGATES)
+
+    def register_scalar(self, name, function):
+        self.scalars[name.lower()] = function
+
+    def register_aggregate(self, name, function):
+        """Register a user-defined aggregate: function(list of values)."""
+        self.aggregates[name.lower()] = function
+
+    def is_aggregate(self, name):
+        return name.lower() in self.aggregates
+
+    def scalar(self, name):
+        try:
+            return self.scalars[name.lower()]
+        except KeyError:
+            raise QueryError("unknown function %r" % name)
+
+    def aggregate(self, name):
+        try:
+            return self.aggregates[name.lower()]
+        except KeyError:
+            raise QueryError("unknown aggregate %r" % name)

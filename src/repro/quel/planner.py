@@ -1,0 +1,114 @@
+"""Query planning: conjunct extraction, candidate generation, and
+variable ordering for the backtracking join.
+
+The "planner" is deliberately simple -- this is a design-paper
+reproduction, not a query-optimization paper -- but it does implement
+the section 5.2 observation: an equality restriction on an indexed
+attribute is answered from the index instead of a heap scan.
+"""
+
+from repro.quel import ast
+
+
+def split_conjuncts(qualification):
+    """Flatten top-level ``and`` nodes into a conjunct list."""
+    if qualification is None:
+        return []
+    if isinstance(qualification, ast.And):
+        return split_conjuncts(qualification.left) + split_conjuncts(
+            qualification.right
+        )
+    return [qualification]
+
+
+def variables_in(node):
+    """The set of range-variable names an AST node references."""
+    if node is None:
+        return set()
+    if isinstance(node, ast.VariableRef):
+        return {node.variable}
+    if isinstance(node, ast.AttributeRef):
+        return {node.variable}
+    if isinstance(node, ast.Literal):
+        return set()
+    if isinstance(node, ast.BinaryOp):
+        return variables_in(node.left) | variables_in(node.right)
+    if isinstance(node, ast.FunctionCall):
+        out = set()
+        for argument in node.arguments:
+            out |= variables_in(argument)
+        return out
+    if isinstance(node, ast.Comparison):
+        return variables_in(node.left) | variables_in(node.right)
+    if isinstance(node, ast.IsClause):
+        return variables_in(node.left) | variables_in(node.right)
+    if isinstance(node, ast.OrderClause):
+        return variables_in(node.left) | variables_in(node.right)
+    if isinstance(node, ast.UnderClause):
+        return variables_in(node.child) | variables_in(node.parent)
+    if isinstance(node, (ast.And, ast.Or)):
+        return variables_in(node.left) | variables_in(node.right)
+    if isinstance(node, ast.Not):
+        return variables_in(node.operand)
+    if isinstance(node, ast.Target):
+        return variables_in(node.expression)
+    return set()
+
+
+def equality_restriction(conjunct, variable):
+    """If *conjunct* is ``variable.attr = literal`` (either side),
+    return ``(attr, value)``; else None.
+
+    These restrictions are pushed into index lookups when generating a
+    variable's candidate set.
+    """
+    if not isinstance(conjunct, ast.Comparison) or conjunct.operator != "=":
+        return None
+    left, right = conjunct.left, conjunct.right
+    if isinstance(right, ast.AttributeRef) and isinstance(left, ast.Literal):
+        left, right = right, left
+    if (
+        isinstance(left, ast.AttributeRef)
+        and left.variable == variable
+        and isinstance(right, ast.Literal)
+    ):
+        return (left.attribute, right.value)
+    return None
+
+
+def order_variables(variables, candidate_counts, conjuncts):
+    """Choose a binding order: smallest candidate sets first, breaking
+    ties toward variables connected to already-ordered ones (so join
+    predicates apply as early as possible)."""
+    remaining = set(variables)
+    ordered = []
+    bound = set()
+    while remaining:
+        def connectivity(variable):
+            score = 0
+            for conjunct in conjuncts:
+                used = variables_in(conjunct)
+                if variable in used and (used - {variable}) & bound:
+                    score += 1
+            return score
+
+        best = min(
+            sorted(remaining),
+            key=lambda v: (-connectivity(v), candidate_counts.get(v, 0), v),
+        )
+        ordered.append(best)
+        remaining.discard(best)
+        bound.add(best)
+    return ordered
+
+
+def explain(statement, binding_order, candidate_counts, indexed):
+    """A human-readable plan summary (used by tests and the MDM shell)."""
+    lines = ["plan:"]
+    for variable in binding_order:
+        access = "index" if variable in indexed else "scan"
+        lines.append(
+            "  bind %s via %s (%d candidates)"
+            % (variable, access, candidate_counts.get(variable, 0))
+        )
+    return "\n".join(lines)

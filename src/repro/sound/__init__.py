@@ -1,0 +1,27 @@
+"""Sound representations (section 4.1).
+
+Digitized sound as 16-bit sample arrays, additive synthesis from MIDI
+event lists, and the two compaction families the paper cites:
+redundancy elimination [Wil85] and perceptual-information elimination
+[Kra79].
+"""
+
+from repro.sound.samples import SampleBuffer, storage_bytes, PROFESSIONAL_RATE
+from repro.sound.synthesis import synthesize
+from repro.sound.compaction import (
+    compact_redundancy,
+    expand_redundancy,
+    compact_perceptual,
+    compaction_report,
+)
+
+__all__ = [
+    "SampleBuffer",
+    "storage_bytes",
+    "PROFESSIONAL_RATE",
+    "synthesize",
+    "compact_redundancy",
+    "expand_redundancy",
+    "compact_perceptual",
+    "compaction_report",
+]

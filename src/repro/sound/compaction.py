@@ -1,0 +1,163 @@
+"""Sound-stream compaction (section 4.1).
+
+"The digitized sound stream can be compacted in two ways: by
+eliminating redundant information from the sound stream [Wil85], and by
+eliminating aurally imperceptible information from the sound stream
+[Kra79]."
+
+- :func:`compact_redundancy` -- lossless: second-order delta coding of
+  the sample stream followed by a byte-oriented run-length/varint pack.
+  Musical signals are locally smooth, so deltas are small and pack well.
+- :func:`compact_perceptual` -- lossy: requantization to fewer bits
+  (dropping low-order information below the hearing threshold at the
+  chosen level).
+"""
+
+import struct
+
+import numpy as np
+
+from repro.errors import SoundError
+from repro.sound.samples import SampleBuffer
+
+_MAGIC = b"SND1"
+
+
+def _zigzag(values):
+    # values are int64; arithmetic shift by 63 propagates the sign bit.
+    return (values << 1) ^ (values >> 63)
+
+
+def _unzigzag(values):
+    return (values >> 1) ^ -(values & 1)
+
+
+def _pack_varints(values):
+    """LEB128-pack an array of non-negative ints, with zero-run folding.
+
+    A zigzagged nonzero value never encodes to a lone 0x00 byte, so the
+    sequence ``0x00 <varint count>`` unambiguously means *count* zeros;
+    silence and sustained samples collapse to a few bytes.
+    """
+    out = bytearray()
+    items = values.tolist()
+    index = 0
+    total = len(items)
+    while index < total:
+        value = items[index]
+        if value == 0:
+            run = 1
+            while index + run < total and items[index + run] == 0:
+                run += 1
+            index += run
+            out.append(0)
+            while True:
+                byte = run & 0x7F
+                run >>= 7
+                if run:
+                    out.append(byte | 0x80)
+                else:
+                    out.append(byte)
+                    break
+            continue
+        index += 1
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return bytes(out)
+
+
+def _unpack_varints(data, count):
+    values = np.empty(count, dtype=np.int64)
+    offset = 0
+    index = 0
+    while index < count:
+        shift = 0
+        value = 0
+        while True:
+            byte = data[offset]
+            offset += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+        if value == 0 and shift == 0 and data[offset - 1] == 0:
+            # Zero-run marker: the next varint is the run length.
+            run = 0
+            run_shift = 0
+            while True:
+                byte = data[offset]
+                offset += 1
+                run |= (byte & 0x7F) << run_shift
+                if not byte & 0x80:
+                    break
+                run_shift += 7
+            values[index:index + run] = 0
+            index += run
+            continue
+        values[index] = value
+        index += 1
+    return values, offset
+
+
+def compact_redundancy(buffer):
+    """Losslessly compact a SampleBuffer; returns bytes."""
+    samples = buffer.samples.astype(np.int32)
+    first_delta = np.diff(samples, prepend=np.int32(0))
+    second_delta = np.diff(first_delta, prepend=np.int32(0))
+    packed = _pack_varints(_zigzag(second_delta.astype(np.int64)))
+    header = _MAGIC + struct.pack("<IQ", buffer.sample_rate, len(samples))
+    return header + packed
+
+
+def expand_redundancy(data):
+    """Inverse of :func:`compact_redundancy`."""
+    if data[:4] != _MAGIC:
+        raise SoundError("not a compacted sound stream")
+    sample_rate, count = struct.unpack_from("<IQ", data, 4)
+    payload = data[4 + struct.calcsize("<IQ"):]
+    zigzagged, _ = _unpack_varints(payload, count)
+    second_delta = _unzigzag(zigzagged)
+    first_delta = np.cumsum(second_delta)
+    samples = np.cumsum(first_delta)
+    return SampleBuffer(samples.astype(np.int16), sample_rate)
+
+
+def compact_perceptual(buffer, bits=12):
+    """Requantize to *bits* of resolution (lossy); returns a SampleBuffer.
+
+    The dropped low-order bits carry information below the audible
+    threshold at this level -- the [Kra79] approach in miniature.
+    """
+    if not 2 <= bits <= 16:
+        raise SoundError("bits must be in 2..16")
+    shift = 16 - bits
+    if shift == 0:
+        return SampleBuffer(buffer.samples.copy(), buffer.sample_rate)
+    quantized = (buffer.samples.astype(np.int32) >> shift) << shift
+    return SampleBuffer(quantized.astype(np.int16), buffer.sample_rate)
+
+
+def compaction_report(buffer, bits=12):
+    """Sizes and ratios for both compaction families on *buffer*."""
+    raw_bytes = buffer.storage_bytes()
+    lossless = compact_redundancy(buffer)
+    perceptual = compact_perceptual(buffer, bits)
+    perceptual_then_lossless = compact_redundancy(perceptual)
+    return {
+        "raw_bytes": raw_bytes,
+        "redundancy_bytes": len(lossless),
+        "redundancy_ratio": raw_bytes / len(lossless) if lossless else 0.0,
+        "perceptual_bits": bits,
+        "combined_bytes": len(perceptual_then_lossless),
+        "combined_ratio": (
+            raw_bytes / len(perceptual_then_lossless)
+            if perceptual_then_lossless
+            else 0.0
+        ),
+    }

@@ -1,0 +1,112 @@
+"""Digitized sound: arrays of samples (section 4.1).
+
+"Digital audio devices of professional quality typically use 16-bit
+integers for each sample, and record 48,000 samples per second of
+sound.  This implies that ten minutes of musical sound can be recorded
+with acceptable accuracy by storing 57.6 megabytes of data."
+"""
+
+import numpy as np
+
+from repro.errors import SoundError
+
+#: Professional sampling rate the paper quotes.
+PROFESSIONAL_RATE = 48_000
+#: Bytes per sample at professional quality.
+SAMPLE_BYTES = 2
+
+
+def storage_bytes(seconds, sample_rate=PROFESSIONAL_RATE, sample_bytes=SAMPLE_BYTES,
+                  channels=1):
+    """Bytes needed to store *seconds* of digitized sound.
+
+    ``storage_bytes(600)`` reproduces the paper's 57.6 MB figure.
+    """
+    if seconds < 0:
+        raise SoundError("negative duration")
+    return int(round(seconds * sample_rate)) * sample_bytes * channels
+
+
+class SampleBuffer:
+    """A mono 16-bit sample stream with its sampling rate."""
+
+    def __init__(self, samples, sample_rate=PROFESSIONAL_RATE):
+        if sample_rate <= 0:
+            raise SoundError("sample rate must be positive")
+        array = np.asarray(samples)
+        if array.dtype != np.int16:
+            if np.issubdtype(array.dtype, np.floating):
+                clipped = np.clip(array, -1.0, 1.0)
+                array = np.round(clipped * 32767.0).astype(np.int16)
+            else:
+                info = np.iinfo(np.int16)
+                array = np.clip(array, info.min, info.max).astype(np.int16)
+        self.samples = array
+        self.sample_rate = int(sample_rate)
+
+    @classmethod
+    def silence(cls, seconds, sample_rate=PROFESSIONAL_RATE):
+        count = int(round(seconds * sample_rate))
+        return cls(np.zeros(count, dtype=np.int16), sample_rate)
+
+    @property
+    def duration_seconds(self):
+        return len(self.samples) / self.sample_rate
+
+    def storage_bytes(self):
+        return len(self.samples) * SAMPLE_BYTES
+
+    def to_bytes(self):
+        return self.samples.astype("<i2").tobytes()
+
+    @classmethod
+    def from_bytes(cls, data, sample_rate=PROFESSIONAL_RATE):
+        return cls(np.frombuffer(data, dtype="<i2").astype(np.int16), sample_rate)
+
+    def mixed_with(self, other):
+        """Sum two buffers (same rate), saturating at 16 bits."""
+        if other.sample_rate != self.sample_rate:
+            raise SoundError("cannot mix different sample rates")
+        length = max(len(self.samples), len(other.samples))
+        mix = np.zeros(length, dtype=np.int32)
+        mix[: len(self.samples)] += self.samples
+        mix[: len(other.samples)] += other.samples
+        return SampleBuffer(np.clip(mix, -32768, 32767).astype(np.int16),
+                            self.sample_rate)
+
+    def peak(self):
+        if not len(self.samples):
+            return 0
+        return int(np.max(np.abs(self.samples.astype(np.int32))))
+
+    def rms(self):
+        if not len(self.samples):
+            return 0.0
+        return float(np.sqrt(np.mean(self.samples.astype(np.float64) ** 2)))
+
+    def normalized(self, headroom=0.95):
+        peak = self.peak()
+        if peak == 0:
+            return SampleBuffer(self.samples.copy(), self.sample_rate)
+        scale = headroom * 32767.0 / peak
+        return SampleBuffer(
+            np.round(self.samples.astype(np.float64) * scale).astype(np.int16),
+            self.sample_rate,
+        )
+
+    def __len__(self):
+        return len(self.samples)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SampleBuffer)
+            and self.sample_rate == other.sample_rate
+            and np.array_equal(self.samples, other.samples)
+        )
+
+    def __repr__(self):
+        return "SampleBuffer(%d samples @ %d Hz, %.2fs)" % (
+            len(self.samples),
+            self.sample_rate,
+            self.duration_seconds,
+        )

@@ -1,0 +1,69 @@
+"""Additive synthesis: MIDI event lists -> digitized sound.
+
+A deterministic software stand-in for the synthesizers the paper's MDM
+would drive over MIDI: each note becomes a small stack of harmonics
+with an attack/decay envelope; voices are mixed and normalized.
+"""
+
+import numpy as np
+
+from repro.errors import SoundError
+from repro.sound.samples import SampleBuffer
+
+#: Relative amplitudes of the harmonics (a mellow organ-ish timbre).
+_HARMONICS = (1.0, 0.45, 0.22, 0.1)
+_ATTACK_SECONDS = 0.01
+_RELEASE_SECONDS = 0.04
+
+
+def _key_frequency(key, a4=440.0):
+    return a4 * 2.0 ** ((key - 69) / 12.0)
+
+
+def synthesize(event_list, sample_rate=22_050, a4=440.0):
+    """Render *event_list* into a :class:`SampleBuffer`.
+
+    The default rate is modest to keep tests fast; pass
+    ``sample_rate=PROFESSIONAL_RATE`` for the 48 kHz figure of
+    section 4.1.
+    """
+    if sample_rate <= 0:
+        raise SoundError("sample rate must be positive")
+    total_seconds = event_list.duration_seconds() + _RELEASE_SECONDS
+    total_samples = int(np.ceil(total_seconds * sample_rate)) + 1
+    mix = np.zeros(total_samples, dtype=np.float64)
+    for note in event_list.notes:
+        start_index = int(round(note.start_seconds * sample_rate))
+        length = max(
+            int(round((note.end_seconds - note.start_seconds) * sample_rate)), 1
+        )
+        t = np.arange(length) / sample_rate
+        frequency = _key_frequency(note.key, a4)
+        wave = np.zeros(length, dtype=np.float64)
+        for harmonic_index, amplitude in enumerate(_HARMONICS, start=1):
+            partial_frequency = frequency * harmonic_index
+            if partial_frequency * 2 >= sample_rate:
+                break  # avoid aliasing
+            wave += amplitude * np.sin(2.0 * np.pi * partial_frequency * t)
+        wave *= _envelope(length, sample_rate)
+        wave *= note.velocity / 127.0
+        end_index = min(start_index + length, total_samples)
+        mix[start_index:end_index] += wave[: end_index - start_index]
+    if not event_list.notes:
+        return SampleBuffer(np.zeros(0, dtype=np.int16), sample_rate)
+    peak = np.max(np.abs(mix))
+    if peak > 0:
+        mix = mix / peak * 0.9
+    return SampleBuffer(mix, sample_rate)
+
+
+def _envelope(length, sample_rate):
+    """Linear attack, sustain, linear release."""
+    attack = min(int(_ATTACK_SECONDS * sample_rate), max(length // 4, 1))
+    release = min(int(_RELEASE_SECONDS * sample_rate), max(length // 4, 1))
+    envelope = np.ones(length, dtype=np.float64)
+    if attack:
+        envelope[:attack] = np.linspace(0.0, 1.0, attack, endpoint=False)
+    if release:
+        envelope[length - release:] = np.linspace(1.0, 0.0, release)
+    return envelope

@@ -1,0 +1,40 @@
+"""Relational storage substrate for the Music Data Manager.
+
+The paper layers its data model on the INGRES relational system.  This
+package is our INGRES stand-in: typed values, heap tables, hash and
+ordered indexes, a page-structured file format, a write-ahead log with
+REDO recovery, and a strict two-phase-locking transaction manager.
+"""
+
+from repro.storage.values import Domain, coerce_value, value_sort_key
+from repro.storage.row import Row
+from repro.storage.table import Column, Table, TableSchema
+from repro.storage.index import HashIndex, OrderedIndex
+from repro.storage.pager import Page, Pager, PAGE_SIZE
+from repro.storage.wal import LogRecord, WriteAheadLog
+from repro.storage.lock import LockManager, LockMode
+from repro.storage.transaction import Transaction, TransactionManager, TransactionState
+from repro.storage.database import Database
+
+__all__ = [
+    "Domain",
+    "coerce_value",
+    "value_sort_key",
+    "Row",
+    "Column",
+    "Table",
+    "TableSchema",
+    "HashIndex",
+    "OrderedIndex",
+    "Page",
+    "Pager",
+    "PAGE_SIZE",
+    "LogRecord",
+    "WriteAheadLog",
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "TransactionManager",
+    "TransactionState",
+    "Database",
+]

@@ -1,0 +1,222 @@
+"""The Database: a catalog of tables plus durability and transactions.
+
+In-memory by default; given a directory path it persists via a
+checkpoint image (page file) plus a write-ahead log, and recovers on
+open by loading the checkpoint and REDO-replaying the log.
+"""
+
+import json
+import os
+import struct
+
+from repro.errors import RecoveryError, StorageError
+from repro.storage import wal as wal_module
+from repro.storage.pager import Pager
+from repro.storage.row import Row
+from repro.storage.table import Column, Table, TableSchema
+from repro.storage.transaction import TransactionManager
+
+_CATALOG_FILE = "catalog.json"
+_DATA_FILE = "data.mdm"
+_LOG_FILE = "wal.log"
+_ROOTMAP_FILE = "roots.json"
+
+
+class Database:
+    """A named collection of tables with optional durability.
+
+    ``Database()`` is purely in-memory (fast, for tests and scratch
+    work).  ``Database(path)`` stores a checkpoint image and WAL under
+    *path* and recovers committed state on reopen.
+    """
+
+    def __init__(self, path=None):
+        self.path = path
+        self._tables = {}
+        self._log = None
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+            self._log = wal_module.WriteAheadLog(os.path.join(path, _LOG_FILE))
+        self.transactions = TransactionManager(self, self._log)
+        if path is not None:
+            self._recover()
+
+    # -- table management ----------------------------------------------------
+
+    def create_table(self, name, columns):
+        """Create a table; *columns* is a list of (name, domain) pairs."""
+        if name in self._tables:
+            raise StorageError("table %r already exists" % name)
+        schema = TableSchema(name, [Column(n, d) for n, d in columns])
+        table = Table(schema, journal=self._journal_for(name))
+        self._tables[name] = table
+        self._persist_catalog()
+        return table
+
+    def create_or_bind_table(self, name, columns):
+        """Create *name*, or bind to it if it already exists (recovery).
+
+        Binding requires the recovered table's columns to match the
+        requested definition exactly, so a genuine name collision still
+        fails loudly.
+        """
+        if name in self._tables:
+            table = self._tables[name]
+            expected = [column_name for column_name, _ in columns]
+            if table.schema.column_names() != expected:
+                raise StorageError(
+                    "table %r exists with columns %s, not %s"
+                    % (name, table.schema.column_names(), expected)
+                )
+            return table
+        return self.create_table(name, columns)
+
+    def drop_table(self, name):
+        if name not in self._tables:
+            raise StorageError("no table %r" % name)
+        del self._tables[name]
+        self._persist_catalog()
+
+    def _persist_catalog(self):
+        """Keep the on-disk table catalog current so log replay after a
+        crash (no checkpoint yet) can rebuild every logged table."""
+        if self.path is None or getattr(self, "_recovering", False):
+            return
+        catalog = {
+            name: [[c.name, c.domain.value] for c in table.schema.columns]
+            for name, table in self._tables.items()
+        }
+        with open(os.path.join(self.path, _CATALOG_FILE), "w") as handle:
+            json.dump(catalog, handle, indent=2, sort_keys=True)
+
+    def table(self, name):
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError("no table %r" % name)
+
+    def has_table(self, name):
+        return name in self._tables
+
+    def table_names(self):
+        return sorted(self._tables)
+
+    def column_orders(self):
+        """Map table -> column order, for WAL row (de)serialization."""
+        return {
+            name: table.schema.column_names() for name, table in self._tables.items()
+        }
+
+    def _journal_for(self, table_name):
+        def journal(action, name, new_row, old_row):
+            self.transactions.journal(action, name, new_row, old_row)
+        return journal
+
+    # -- transactions --------------------------------------------------------------
+
+    def begin(self):
+        return self.transactions.begin()
+
+    # -- locked access helpers (used by the QUEL executor) ---------------------------
+
+    def read_table(self, name):
+        self.transactions.lock_for_read(name)
+        return self.table(name)
+
+    def write_table(self, name):
+        self.transactions.lock_for_write(name)
+        return self.table(name)
+
+    # -- durability -------------------------------------------------------------------
+
+    def checkpoint(self):
+        """Write a full image of every table and truncate the log."""
+        if self.path is None:
+            raise StorageError("in-memory database cannot checkpoint")
+        catalog = {
+            name: [[c.name, c.domain.value] for c in table.schema.columns]
+            for name, table in self._tables.items()
+        }
+        with open(os.path.join(self.path, _CATALOG_FILE), "w") as handle:
+            json.dump(catalog, handle, indent=2, sort_keys=True)
+        data_path = os.path.join(self.path, _DATA_FILE)
+        if os.path.exists(data_path):
+            os.remove(data_path)
+        roots = {}
+        with Pager(data_path) as pager:
+            for name, table in sorted(self._tables.items()):
+                order = table.schema.column_names()
+                chunks = [struct.pack("<I", len(table))]
+                for row in table:
+                    chunks.append(row.serialize(order))
+                roots[name] = pager.write_stream(b"".join(chunks))
+            pager.flush()
+        with open(os.path.join(self.path, _ROOTMAP_FILE), "w") as handle:
+            json.dump(roots, handle, indent=2, sort_keys=True)
+        self._log.truncate()
+        if self.transactions.current() is None:
+            self._log.append(0, wal_module.CHECKPOINT, flush=True)
+
+    def _recover(self):
+        self._recovering = True
+        try:
+            return self._recover_inner()
+        finally:
+            self._recovering = False
+
+    def _recover_inner(self):
+        catalog_path = os.path.join(self.path, _CATALOG_FILE)
+        roots_path = os.path.join(self.path, _ROOTMAP_FILE)
+        if os.path.exists(catalog_path):
+            with open(catalog_path) as handle:
+                catalog = json.load(handle)
+            for name, columns in sorted(catalog.items()):
+                if not self.has_table(name):
+                    self.create_table(name, [(c, d) for c, d in columns])
+            if os.path.exists(roots_path):
+                with open(roots_path) as handle:
+                    roots = json.load(handle)
+                data_path = os.path.join(self.path, _DATA_FILE)
+                if roots and not os.path.exists(data_path):
+                    raise RecoveryError("checkpoint image missing at %r" % data_path)
+                if roots:
+                    with Pager(data_path) as pager:
+                        for name, head in roots.items():
+                            self._load_table_image(pager, name, head)
+        # REDO-replay the log over the checkpoint image.
+        replayed = wal_module.replay(
+            self._log, self.column_orders(), self._apply_logged_change
+        )
+        return replayed
+
+    def _load_table_image(self, pager, name, head_page_no):
+        table = self.table(name)
+        payload = pager.read_stream(head_page_no)
+        (count,) = struct.unpack_from("<I", payload, 0)
+        offset = 4
+        order = table.schema.column_names()
+        for _ in range(count):
+            row, offset = Row.deserialize(payload, order, offset)
+            table.load_row(row)
+
+    def _apply_logged_change(self, kind, table_name, row, old_row):
+        table = self.table(table_name)
+        if kind == wal_module.INSERT:
+            table.load_row(row)
+        elif kind == wal_module.UPDATE:
+            table.remove_row(row.rowid)
+            table.load_row(row)
+        elif kind == wal_module.DELETE:
+            table.remove_row(old_row.rowid)
+
+    def close(self):
+        if self._log is not None:
+            self._log.close()
+            self._log = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False

@@ -1,0 +1,116 @@
+"""Secondary indexes: hash (equality) and ordered (range) access paths.
+
+Section 5.2 of the paper observes that relational systems use key
+ordering "purely as a performance optimization" for selections on key
+values or ranges.  These two index types provide exactly those access
+paths; the QUEL planner chooses between them and heap scans.
+"""
+
+import bisect
+
+from repro.errors import StorageError
+from repro.storage.values import value_sort_key
+
+
+class HashIndex:
+    """Equality index: value -> set of rowids."""
+
+    def __init__(self, column):
+        self.column = column
+        self._buckets = {}
+
+    def __len__(self):
+        return sum(len(b) for b in self._buckets.values())
+
+    def insert(self, value, rowid):
+        self._buckets.setdefault(self._key(value), set()).add(rowid)
+
+    def delete(self, value, rowid):
+        key = self._key(value)
+        bucket = self._buckets.get(key)
+        if bucket is None or rowid not in bucket:
+            raise StorageError(
+                "index on %r: row #%s not present under %r" % (self.column, rowid, value)
+            )
+        bucket.discard(rowid)
+        if not bucket:
+            del self._buckets[key]
+
+    def lookup(self, value):
+        """Return the rowids stored under *value* (a new list)."""
+        return sorted(self._buckets.get(self._key(value), ()))
+
+    def distinct_values(self):
+        return len(self._buckets)
+
+    @staticmethod
+    def _key(value):
+        # Normalize numerics so 1, 1.0 and Fraction(1) share a bucket,
+        # matching the comparison semantics of the executor.
+        return value_sort_key(value)
+
+
+class OrderedIndex:
+    """Sorted index supporting range scans.
+
+    Keys are kept in a sorted list (bisect); each key maps to a sorted
+    list of rowids.  This plays the role a B-tree plays in a disk-based
+    system: logarithmic point lookup, linear-in-result range scans.
+    """
+
+    def __init__(self, column):
+        self.column = column
+        self._keys = []
+        self._postings = {}
+
+    def __len__(self):
+        return sum(len(p) for p in self._postings.values())
+
+    def insert(self, value, rowid):
+        key = value_sort_key(value)
+        postings = self._postings.get(key)
+        if postings is None:
+            bisect.insort(self._keys, key)
+            self._postings[key] = [rowid]
+        else:
+            bisect.insort(postings, rowid)
+
+    def delete(self, value, rowid):
+        key = value_sort_key(value)
+        postings = self._postings.get(key)
+        if postings is None or rowid not in postings:
+            raise StorageError(
+                "index on %r: row #%s not present under %r" % (self.column, rowid, value)
+            )
+        postings.remove(rowid)
+        if not postings:
+            del self._postings[key]
+            position = bisect.bisect_left(self._keys, key)
+            del self._keys[position]
+
+    def lookup(self, value):
+        """Rowids stored exactly under *value*."""
+        return list(self._postings.get(value_sort_key(value), ()))
+
+    def range(self, low=None, high=None):
+        """Yield rowids with low <= value <= high in ascending key order."""
+        if low is None:
+            start = 0
+        else:
+            start = bisect.bisect_left(self._keys, value_sort_key(low))
+        if high is None:
+            stop = len(self._keys)
+        else:
+            stop = bisect.bisect_right(self._keys, value_sort_key(high))
+        for key in self._keys[start:stop]:
+            for rowid in self._postings[key]:
+                yield rowid
+
+    def min_key(self):
+        return self._keys[0] if self._keys else None
+
+    def max_key(self):
+        return self._keys[-1] if self._keys else None
+
+    def distinct_values(self):
+        return len(self._keys)

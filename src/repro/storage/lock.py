@@ -1,0 +1,91 @@
+"""Two-phase locking with wait-die deadlock avoidance.
+
+This provides the "concurrency control" service section 2 requires of
+the MDM.  Locks are table-granularity shared/exclusive; a requester that
+is younger than every conflicting holder is aborted (dies), an older
+requester waits -- the classic wait-die policy, which guarantees freedom
+from deadlock without a waits-for graph.
+"""
+
+import enum
+import threading
+
+from repro.errors import DeadlockError, LockTimeoutError
+
+
+class LockMode(enum.Enum):
+    """Shared (read) or exclusive (write) table locks."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+def _compatible(held_modes, requested):
+    if requested is LockMode.SHARED:
+        return LockMode.EXCLUSIVE not in held_modes
+    return not held_modes
+
+
+class LockManager:
+    """Table-level S/X lock table keyed by resource name."""
+
+    def __init__(self, timeout=5.0):
+        self._mutex = threading.Lock()
+        self._condition = threading.Condition(self._mutex)
+        self._holders = {}  # resource -> {txn_id: LockMode}
+        self.timeout = timeout
+
+    def locks_held(self, txn_id):
+        """Resources currently locked by *txn_id* (mode map)."""
+        with self._mutex:
+            out = {}
+            for resource, holders in self._holders.items():
+                if txn_id in holders:
+                    out[resource] = holders[txn_id]
+            return out
+
+    def acquire(self, txn_id, resource, mode):
+        """Grant *mode* on *resource* to *txn_id*, blocking as needed.
+
+        Lock upgrades (S -> X by the sole holder) are honoured.  Raises
+        DeadlockError when wait-die dictates the requester must abort.
+        """
+        deadline = None
+        with self._condition:
+            while True:
+                holders = self._holders.setdefault(resource, {})
+                current = holders.get(txn_id)
+                others = {t: m for t, m in holders.items() if t != txn_id}
+                if current is LockMode.EXCLUSIVE or (
+                    current is mode is LockMode.SHARED
+                ):
+                    return  # already sufficient
+                if mode is LockMode.SHARED:
+                    conflict = LockMode.EXCLUSIVE in others.values()
+                else:
+                    conflict = bool(others)
+                if not conflict:
+                    holders[txn_id] = mode
+                    return
+                # Wait-die: lower txn_id = older = may wait; younger dies.
+                if any(other < txn_id for other in others):
+                    raise DeadlockError(
+                        "transaction %d aborted (wait-die) requesting %s on %r"
+                        % (txn_id, mode.value, resource)
+                    )
+                if deadline is None:
+                    deadline = self.timeout
+                if not self._condition.wait(timeout=deadline):
+                    raise LockTimeoutError(
+                        "transaction %d timed out waiting for %s on %r"
+                        % (txn_id, mode.value, resource)
+                    )
+
+    def release_all(self, txn_id):
+        """Release every lock held by *txn_id* (the 'shrinking' phase)."""
+        with self._condition:
+            for resource in list(self._holders):
+                self._holders[resource].pop(txn_id, None)
+                if not self._holders[resource]:
+                    del self._holders[resource]
+            self._condition.notify_all()

@@ -1,0 +1,140 @@
+"""Row representation and a compact binary serialization.
+
+Rows are immutable mappings from column name to value.  The binary form
+is used by the pager (fixed-size pages) and by the write-ahead log.
+"""
+
+import struct
+from fractions import Fraction
+
+from repro.errors import StorageError
+
+# Serialization tags, one byte each.
+_TAG_NULL = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_STR = 3
+_TAG_BOOL = 4
+_TAG_RATIONAL = 5
+_TAG_BLOB = 6
+
+
+def _pack_value(value, out):
+    if value is None:
+        out.append(struct.pack("<B", _TAG_NULL))
+    elif isinstance(value, bool):
+        out.append(struct.pack("<BB", _TAG_BOOL, 1 if value else 0))
+    elif isinstance(value, int):
+        out.append(struct.pack("<Bq", _TAG_INT, value))
+    elif isinstance(value, float):
+        out.append(struct.pack("<Bd", _TAG_FLOAT, value))
+    elif isinstance(value, Fraction):
+        out.append(struct.pack("<Bqq", _TAG_RATIONAL, value.numerator, value.denominator))
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(struct.pack("<BI", _TAG_STR, len(data)))
+        out.append(data)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(struct.pack("<BI", _TAG_BLOB, len(value)))
+        out.append(bytes(value))
+    else:
+        raise StorageError("unserializable value %r" % (value,))
+
+
+def _unpack_value(buf, offset):
+    (tag,) = struct.unpack_from("<B", buf, offset)
+    offset += 1
+    if tag == _TAG_NULL:
+        return None, offset
+    if tag == _TAG_BOOL:
+        (raw,) = struct.unpack_from("<B", buf, offset)
+        return bool(raw), offset + 1
+    if tag == _TAG_INT:
+        (raw,) = struct.unpack_from("<q", buf, offset)
+        return raw, offset + 8
+    if tag == _TAG_FLOAT:
+        (raw,) = struct.unpack_from("<d", buf, offset)
+        return raw, offset + 8
+    if tag == _TAG_RATIONAL:
+        num, den = struct.unpack_from("<qq", buf, offset)
+        return Fraction(num, den), offset + 16
+    if tag == _TAG_STR:
+        (length,) = struct.unpack_from("<I", buf, offset)
+        offset += 4
+        raw = bytes(buf[offset:offset + length])
+        return raw.decode("utf-8"), offset + length
+    if tag == _TAG_BLOB:
+        (length,) = struct.unpack_from("<I", buf, offset)
+        offset += 4
+        return bytes(buf[offset:offset + length]), offset + length
+    raise StorageError("corrupt row: unknown tag %d" % tag)
+
+
+class Row:
+    """An immutable named tuple of column values with a stable identity.
+
+    ``rowid`` is assigned by the owning table and is the physical handle
+    used by indexes, the log, and entity surrogates.
+    """
+
+    __slots__ = ("rowid", "_values")
+
+    def __init__(self, rowid, values):
+        self.rowid = rowid
+        self._values = dict(values)
+
+    def __getitem__(self, column):
+        return self._values[column]
+
+    def get(self, column, default=None):
+        return self._values.get(column, default)
+
+    def __contains__(self, column):
+        return column in self._values
+
+    def columns(self):
+        return list(self._values.keys())
+
+    def as_dict(self):
+        """Return a mutable copy of the column -> value mapping."""
+        return dict(self._values)
+
+    def replaced(self, updates):
+        """Return a new Row with *updates* applied (same rowid)."""
+        merged = dict(self._values)
+        merged.update(updates)
+        return Row(self.rowid, merged)
+
+    def __eq__(self, other):
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self.rowid == other.rowid and self._values == other._values
+
+    def __hash__(self):
+        return hash(self.rowid)
+
+    def __repr__(self):
+        inner = ", ".join("%s=%r" % kv for kv in self._values.items())
+        return "Row(#%d, %s)" % (self.rowid, inner)
+
+    def serialize(self, column_order):
+        """Serialize to bytes using *column_order* for field positions."""
+        out = [struct.pack("<qH", self.rowid, len(column_order))]
+        for column in column_order:
+            _pack_value(self._values.get(column), out)
+        return b"".join(out)
+
+    @classmethod
+    def deserialize(cls, buf, column_order, offset=0):
+        """Inverse of :meth:`serialize`; returns ``(row, next_offset)``."""
+        rowid, count = struct.unpack_from("<qH", buf, offset)
+        offset += 10
+        if count != len(column_order):
+            raise StorageError(
+                "row has %d fields but schema expects %d" % (count, len(column_order))
+            )
+        values = {}
+        for column in column_order:
+            value, offset = _unpack_value(buf, offset)
+            values[column] = value
+        return cls(rowid, values), offset

@@ -1,0 +1,255 @@
+"""Heap tables: the physical relations of the data manager.
+
+A :class:`Table` stores rows by rowid, maintains secondary indexes, and
+supports predicate scans.  Nothing here knows about entities or music --
+this is the relational substrate the ER layer compiles down to.
+"""
+
+import itertools
+
+from repro.errors import StorageError, TypeMismatchError
+from repro.storage.index import HashIndex, OrderedIndex
+from repro.storage.row import Row
+from repro.storage.values import Domain, coerce_value, value_sort_key
+
+
+class Column:
+    """A named, typed column of a table."""
+
+    __slots__ = ("name", "domain")
+
+    def __init__(self, name, domain):
+        if isinstance(domain, str):
+            domain = Domain.from_name(domain)
+        self.name = name
+        self.domain = domain
+
+    def __repr__(self):
+        return "Column(%r, %s)" % (self.name, self.domain.value)
+
+    def __eq__(self, other):
+        if not isinstance(other, Column):
+            return NotImplemented
+        return self.name == other.name and self.domain is other.domain
+
+    def __hash__(self):
+        return hash((self.name, self.domain))
+
+
+class TableSchema:
+    """Ordered collection of columns defining a table's shape."""
+
+    def __init__(self, name, columns):
+        self.name = name
+        self.columns = list(columns)
+        self._by_name = {c.name: c for c in self.columns}
+        if len(self._by_name) != len(self.columns):
+            raise StorageError("duplicate column in table %r" % name)
+
+    def column(self, name):
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise StorageError("table %r has no column %r" % (self.name, name))
+
+    def has_column(self, name):
+        return name in self._by_name
+
+    def column_names(self):
+        return [c.name for c in self.columns]
+
+    def coerce(self, values):
+        """Validate and coerce a dict of values against this schema."""
+        out = {}
+        for column in self.columns:
+            out[column.name] = coerce_value(column.domain, values.get(column.name))
+        extra = set(values) - set(self._by_name)
+        if extra:
+            raise TypeMismatchError(
+                "unknown column(s) %s for table %r" % (sorted(extra), self.name)
+            )
+        return out
+
+
+class Table:
+    """A heap of rows plus secondary indexes.
+
+    Mutations go through ``insert``/``update``/``delete`` so indexes stay
+    consistent; the optional *journal* callback receives change records
+    the transaction layer turns into WAL entries and undo actions.
+    """
+
+    def __init__(self, schema, journal=None):
+        self.schema = schema
+        self.name = schema.name
+        self._rows = {}
+        self._next_rowid = itertools.count(1)
+        self._indexes = {}
+        self._journal = journal
+
+    # -- introspection ----------------------------------------------------
+
+    def __len__(self):
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(list(self._rows.values()))
+
+    def rowids(self):
+        return list(self._rows.keys())
+
+    def get(self, rowid):
+        """Return the row with *rowid*, or None."""
+        return self._rows.get(rowid)
+
+    def require(self, rowid):
+        row = self._rows.get(rowid)
+        if row is None:
+            raise StorageError("table %r has no row #%s" % (self.name, rowid))
+        return row
+
+    # -- indexes -----------------------------------------------------------
+
+    def create_index(self, column, ordered=False):
+        """Create (or return) an index over *column*."""
+        self.schema.column(column)
+        key = (column, ordered)
+        if key in self._indexes:
+            return self._indexes[key]
+        index = OrderedIndex(column) if ordered else HashIndex(column)
+        for row in self._rows.values():
+            index.insert(row[column], row.rowid)
+        self._indexes[key] = index
+        return index
+
+    def index_for(self, column, ordered=False):
+        return self._indexes.get((column, ordered))
+
+    def any_index_for(self, column):
+        """Return any index over *column* (ordered preferred), or None."""
+        ordered = self._indexes.get((column, True))
+        if ordered is not None:
+            return ordered
+        return self._indexes.get((column, False))
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, values, rowid=None):
+        """Insert a row; returns the new Row."""
+        coerced = self.schema.coerce(values)
+        if rowid is None:
+            rowid = next(self._next_rowid)
+            while rowid in self._rows:
+                rowid = next(self._next_rowid)
+        elif rowid in self._rows:
+            raise StorageError("duplicate rowid #%d in table %r" % (rowid, self.name))
+        else:
+            # Keep the allocator ahead of explicitly provided rowids.
+            self._next_rowid = itertools.count(max(rowid + 1, next(self._next_rowid)))
+        row = Row(rowid, coerced)
+        self._rows[rowid] = row
+        for (column, _), index in self._indexes.items():
+            index.insert(row[column], rowid)
+        if self._journal is not None:
+            self._journal("insert", self.name, row, None)
+        return row
+
+    def update(self, rowid, updates):
+        """Apply *updates* to the row with *rowid*; returns the new Row."""
+        old = self.require(rowid)
+        coerced = {}
+        for column, value in updates.items():
+            coerced[column] = coerce_value(self.schema.column(column).domain, value)
+        new = old.replaced(coerced)
+        self._rows[rowid] = new
+        for (column, _), index in self._indexes.items():
+            if old[column] != new[column]:
+                index.delete(old[column], rowid)
+                index.insert(new[column], rowid)
+        if self._journal is not None:
+            self._journal("update", self.name, new, old)
+        return new
+
+    def delete(self, rowid):
+        """Delete the row with *rowid*; returns the deleted Row."""
+        old = self.require(rowid)
+        del self._rows[rowid]
+        for (column, _), index in self._indexes.items():
+            index.delete(old[column], rowid)
+        if self._journal is not None:
+            self._journal("delete", self.name, None, old)
+        return old
+
+    def truncate(self):
+        """Delete every row (journalled individually)."""
+        for rowid in list(self._rows):
+            self.delete(rowid)
+
+    # -- query -------------------------------------------------------------
+
+    def scan(self, predicate=None):
+        """Yield rows, optionally filtered by *predicate(row)*."""
+        for row in list(self._rows.values()):
+            if predicate is None or predicate(row):
+                yield row
+
+    def select_eq(self, column, value):
+        """Rows where *column* == *value*, via an index when available."""
+        index = self.any_index_for(column)
+        if index is not None:
+            rows = []
+            for rowid in index.lookup(value):
+                row = self._rows.get(rowid)
+                if row is not None:
+                    rows.append(row)
+            return rows
+        return [row for row in self._rows.values() if row[column] == value]
+
+    def select_range(self, column, low=None, high=None):
+        """Rows with low <= column <= high, via an ordered index if present."""
+        index = self.index_for(column, ordered=True)
+        if index is not None:
+            rows = []
+            for rowid in index.range(low, high):
+                row = self._rows.get(rowid)
+                if row is not None:
+                    rows.append(row)
+            return rows
+        low_key = None if low is None else value_sort_key(low)
+        high_key = None if high is None else value_sort_key(high)
+        out = []
+        for row in self._rows.values():
+            key = value_sort_key(row[column])
+            if low_key is not None and key < low_key:
+                continue
+            if high_key is not None and key > high_key:
+                continue
+            out.append(row)
+        return out
+
+    def sorted_by(self, column, descending=False):
+        """All rows sorted by *column* (section 5.2's key ordering)."""
+        return sorted(
+            self._rows.values(),
+            key=lambda row: value_sort_key(row[column]),
+            reverse=descending,
+        )
+
+    # -- bulk (re)load, used by recovery and the pager ----------------------
+
+    def load_row(self, row):
+        """Install *row* verbatim without journalling (recovery path)."""
+        self._rows[row.rowid] = row
+        self._next_rowid = itertools.count(
+            max(row.rowid + 1, next(self._next_rowid))
+        )
+        for (column, _), index in self._indexes.items():
+            index.insert(row[column], row.rowid)
+
+    def remove_row(self, rowid):
+        """Remove *rowid* without journalling (recovery path)."""
+        old = self._rows.pop(rowid, None)
+        if old is not None:
+            for (column, _), index in self._indexes.items():
+                index.delete(old[column], rowid)
+        return old

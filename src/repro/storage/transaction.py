@@ -1,0 +1,174 @@
+"""Transactions: atomic units of work over the storage layer.
+
+A transaction accumulates a journal of row-level changes.  Commit writes
+them to the WAL (flushed before acknowledging) and releases locks; abort
+undoes them in reverse order against the in-memory tables.  Operations
+outside any transaction run in auto-commit mode.
+"""
+
+import enum
+import itertools
+import threading
+
+from repro.errors import TransactionError
+from repro.storage import wal as wal_module
+from repro.storage.lock import LockManager, LockMode
+
+
+class TransactionState(enum.Enum):
+    """Lifecycle states of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One unit of work; created via TransactionManager.begin()."""
+
+    def __init__(self, txn_id, manager):
+        self.txn_id = txn_id
+        self.state = TransactionState.ACTIVE
+        self._manager = manager
+        self.changes = []  # (action, table_name, new_row, old_row)
+
+    def record(self, action, table_name, new_row, old_row):
+        if self.state is not TransactionState.ACTIVE:
+            raise TransactionError(
+                "transaction %d is %s; cannot record changes"
+                % (self.txn_id, self.state.value)
+            )
+        self.changes.append((action, table_name, new_row, old_row))
+
+    def commit(self):
+        self._manager._commit(self)
+
+    def abort(self):
+        self._manager._abort(self)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self.state is TransactionState.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+        return False
+
+
+_ACTION_TO_KIND = {
+    "insert": wal_module.INSERT,
+    "update": wal_module.UPDATE,
+    "delete": wal_module.DELETE,
+}
+
+
+class TransactionManager:
+    """Coordinates transactions, the lock manager, and the WAL."""
+
+    def __init__(self, database, log=None):
+        self._database = database
+        self._log = log
+        self._locks = LockManager()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._mutex = threading.Lock()
+
+    @property
+    def lock_manager(self):
+        return self._locks
+
+    # -- current-transaction bookkeeping ---------------------------------------
+
+    def current(self):
+        """The transaction active on this thread, or None."""
+        return getattr(self._local, "txn", None)
+
+    def begin(self):
+        """Start a transaction on this thread."""
+        if self.current() is not None:
+            raise TransactionError("a transaction is already active on this thread")
+        with self._mutex:
+            txn = Transaction(next(self._ids), self)
+        self._local.txn = txn
+        if self._log is not None:
+            self._log.append(txn.txn_id, wal_module.BEGIN)
+        return txn
+
+    def journal(self, action, table_name, new_row, old_row):
+        """Table mutation hook: route to the active txn or auto-commit."""
+        txn = self.current()
+        if txn is not None:
+            txn.record(action, table_name, new_row, old_row)
+            return
+        # Auto-commit: a single-change transaction.
+        with self._mutex:
+            txn_id = next(self._ids)
+        if self._log is not None:
+            orders = self._database.column_orders()
+            self._log.append(txn_id, wal_module.BEGIN)
+            self._log.append(
+                txn_id,
+                _ACTION_TO_KIND[action],
+                table=table_name,
+                row=new_row,
+                old_row=old_row,
+                column_orders=orders,
+            )
+            self._log.append(txn_id, wal_module.COMMIT, flush=True)
+
+    # -- locking helpers used by the Database facade ----------------------------
+
+    def lock_for_read(self, table_name):
+        txn = self.current()
+        if txn is not None:
+            self._locks.acquire(txn.txn_id, table_name, LockMode.SHARED)
+
+    def lock_for_write(self, table_name):
+        txn = self.current()
+        if txn is not None:
+            self._locks.acquire(txn.txn_id, table_name, LockMode.EXCLUSIVE)
+
+    # -- commit / abort -----------------------------------------------------------
+
+    def _finish(self, txn, state):
+        txn.state = state
+        self._locks.release_all(txn.txn_id)
+        if self.current() is txn:
+            self._local.txn = None
+
+    def _commit(self, txn):
+        if txn.state is not TransactionState.ACTIVE:
+            raise TransactionError("cannot commit a %s transaction" % txn.state.value)
+        if self._log is not None:
+            orders = self._database.column_orders()
+            for action, table_name, new_row, old_row in txn.changes:
+                self._log.append(
+                    txn.txn_id,
+                    _ACTION_TO_KIND[action],
+                    table=table_name,
+                    row=new_row,
+                    old_row=old_row,
+                    column_orders=orders,
+                )
+            self._log.append(txn.txn_id, wal_module.COMMIT, flush=True)
+        self._finish(txn, TransactionState.COMMITTED)
+
+    def _abort(self, txn):
+        if txn.state is not TransactionState.ACTIVE:
+            raise TransactionError("cannot abort a %s transaction" % txn.state.value)
+        # Undo in reverse order, without journalling the undos.
+        for action, table_name, new_row, old_row in reversed(txn.changes):
+            table = self._database.table(table_name)
+            if action == "insert":
+                table.remove_row(new_row.rowid)
+            elif action == "update":
+                table.remove_row(new_row.rowid)
+                table.load_row(old_row)
+            elif action == "delete":
+                table.load_row(old_row)
+        if self._log is not None:
+            self._log.append(txn.txn_id, wal_module.ABORT, flush=True)
+        self._finish(txn, TransactionState.ABORTED)

@@ -1,0 +1,107 @@
+"""Typed values and domains for the relational substrate.
+
+The paper's DDL declares attributes over a small set of domains
+(``integer``, ``string``, entity references, ...).  This module defines
+those domains, coercion into them, and a total sort order so ordered
+indexes and sorted relations (section 5.2) behave deterministically.
+"""
+
+import enum
+from fractions import Fraction
+
+from repro.errors import TypeMismatchError
+
+
+class Domain(enum.Enum):
+    """Attribute domains supported by the data manager."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    BOOLEAN = "boolean"
+    RATIONAL = "rational"  # exact score-time arithmetic (section 7.2)
+    ENTITY = "entity"  # surrogate reference to an entity instance
+    BLOB = "blob"  # uninterpreted bytes (digitized sound, section 4.1)
+
+    @classmethod
+    def from_name(cls, name):
+        """Return the domain named *name* (as written in DDL source)."""
+        try:
+            return cls(name.lower())
+        except ValueError:
+            raise TypeMismatchError("unknown domain %r" % name)
+
+
+def coerce_value(domain, value):
+    """Coerce *value* into *domain*, raising TypeMismatchError on failure.
+
+    ``None`` is accepted in every domain (a null attribute value).
+    """
+    if value is None:
+        return None
+    if domain is Domain.INTEGER:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeMismatchError("expected integer, got %r" % (value,))
+        return value
+    if domain is Domain.FLOAT:
+        if isinstance(value, bool):
+            raise TypeMismatchError("expected float, got %r" % (value,))
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise TypeMismatchError("expected float, got %r" % (value,))
+    if domain is Domain.STRING:
+        if not isinstance(value, str):
+            raise TypeMismatchError("expected string, got %r" % (value,))
+        return value
+    if domain is Domain.BOOLEAN:
+        if not isinstance(value, bool):
+            raise TypeMismatchError("expected boolean, got %r" % (value,))
+        return value
+    if domain is Domain.RATIONAL:
+        if isinstance(value, bool):
+            raise TypeMismatchError("expected rational, got %r" % (value,))
+        if isinstance(value, (int, Fraction)):
+            return Fraction(value)
+        raise TypeMismatchError("expected rational, got %r" % (value,))
+    if domain is Domain.ENTITY:
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+        surrogate = getattr(value, "surrogate", None)
+        if isinstance(surrogate, int):
+            return surrogate
+        raise TypeMismatchError("expected entity reference, got %r" % (value,))
+    if domain is Domain.BLOB:
+        if isinstance(value, (bytes, bytearray)):
+            return bytes(value)
+        raise TypeMismatchError("expected blob, got %r" % (value,))
+    raise TypeMismatchError("unknown domain %r" % (domain,))
+
+
+# Rank per type so heterogeneous columns (and nulls) still sort totally.
+_TYPE_RANK = {
+    type(None): 0,
+    bool: 1,
+    int: 2,
+    float: 2,
+    Fraction: 2,
+    str: 3,
+    bytes: 4,
+}
+
+
+def value_sort_key(value):
+    """Return a key tuple giving a total order over all storable values.
+
+    Nulls sort first; numerics sort together by numeric value; strings and
+    blobs sort within their own groups.  This is what lets a relation be
+    "sorted ... by ascending key value" (section 5.2) regardless of
+    domain.
+    """
+    rank = _TYPE_RANK.get(type(value))
+    if rank is None:
+        raise TypeMismatchError("unsortable value %r" % (value,))
+    if value is None:
+        return (0, 0)
+    if rank == 2 or rank == 1:
+        return (2, float(value) if not isinstance(value, Fraction) else value)
+    return (rank, value)

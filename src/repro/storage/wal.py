@@ -1,0 +1,202 @@
+"""Write-ahead logging and REDO recovery.
+
+Every committed mutation is appended to the log before the transaction
+acknowledges commit; recovery replays the log, applying only the changes
+of transactions whose COMMIT record made it to stable storage.  This is
+the "recovery" service section 2 requires of the MDM.
+"""
+
+import os
+import struct
+
+from repro.errors import RecoveryError
+from repro.storage.row import Row
+
+# Record kinds.
+BEGIN = 1
+INSERT = 2
+UPDATE = 3
+DELETE = 4
+COMMIT = 5
+ABORT = 6
+CHECKPOINT = 7
+
+_KIND_NAMES = {
+    BEGIN: "BEGIN",
+    INSERT: "INSERT",
+    UPDATE: "UPDATE",
+    DELETE: "DELETE",
+    COMMIT: "COMMIT",
+    ABORT: "ABORT",
+    CHECKPOINT: "CHECKPOINT",
+}
+
+
+class LogRecord:
+    """One log entry: (lsn, txn, kind, table, row-image)."""
+
+    __slots__ = ("lsn", "txn_id", "kind", "table", "row", "old_row")
+
+    def __init__(self, lsn, txn_id, kind, table=None, row=None, old_row=None):
+        self.lsn = lsn
+        self.txn_id = txn_id
+        self.kind = kind
+        self.table = table
+        self.row = row
+        self.old_row = old_row
+
+    def __repr__(self):
+        return "LogRecord(lsn=%d, txn=%d, %s, table=%r)" % (
+            self.lsn,
+            self.txn_id,
+            _KIND_NAMES.get(self.kind, self.kind),
+            self.table,
+        )
+
+
+def _encode_record(record, column_orders):
+    table_bytes = (record.table or "").encode("utf-8")
+    if record.row is not None:
+        order = column_orders[record.table]
+        row_bytes = record.row.serialize(order)
+    else:
+        row_bytes = b""
+    if record.old_row is not None:
+        order = column_orders[record.table]
+        old_bytes = record.old_row.serialize(order)
+    else:
+        old_bytes = b""
+    body = struct.pack(
+        "<QQBH I I",
+        record.lsn,
+        record.txn_id,
+        record.kind,
+        len(table_bytes),
+        len(row_bytes),
+        len(old_bytes),
+    )
+    return body + table_bytes + row_bytes + old_bytes
+
+
+class WriteAheadLog:
+    """Append-only log file with group flush on commit.
+
+    The on-disk framing is ``<length:I><payload>`` per record; a torn
+    final record (partial write at crash) is detected by length mismatch
+    and discarded, exactly as a real ARIES-style log tail scan would.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._file = open(path, "ab+")
+        self._next_lsn = self._scan_max_lsn() + 1
+
+    def close(self):
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def _scan_max_lsn(self):
+        max_lsn = 0
+        try:
+            for lsn, _, _, _, _, _ in self._iter_raw():
+                max_lsn = max(max_lsn, lsn)
+        except RecoveryError:
+            pass
+        return max_lsn
+
+    def append(self, txn_id, kind, table=None, row=None, old_row=None,
+               column_orders=None, flush=False):
+        """Append a record; returns its LogRecord."""
+        record = LogRecord(self._next_lsn, txn_id, kind, table, row, old_row)
+        self._next_lsn += 1
+        payload = _encode_record(record, column_orders or {})
+        self._file.seek(0, os.SEEK_END)
+        self._file.write(struct.pack("<I", len(payload)))
+        self._file.write(payload)
+        if flush:
+            self.flush()
+        return record
+
+    def flush(self):
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    # -- reading ---------------------------------------------------------------
+
+    def _iter_raw(self):
+        """Yield (lsn, txn, kind, table, row_bytes, old_bytes) tuples."""
+        self._file.flush()
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        while offset < len(data):
+            if offset + 4 > len(data):
+                return  # torn length prefix: drop the tail
+            (length,) = struct.unpack_from("<I", data, offset)
+            offset += 4
+            if offset + length > len(data):
+                return  # torn record: drop the tail
+            payload = data[offset:offset + length]
+            offset += length
+            try:
+                lsn, txn_id, kind, table_len, row_len, old_len = struct.unpack_from(
+                    "<QQBH I I", payload, 0
+                )
+            except struct.error:
+                raise RecoveryError("corrupt log record header")
+            cursor = struct.calcsize("<QQBH I I")
+            table = payload[cursor:cursor + table_len].decode("utf-8")
+            cursor += table_len
+            row_bytes = payload[cursor:cursor + row_len]
+            cursor += row_len
+            old_bytes = payload[cursor:cursor + old_len]
+            yield lsn, txn_id, kind, table, row_bytes, old_bytes
+
+    def records(self, column_orders):
+        """Yield fully decoded LogRecords."""
+        for lsn, txn_id, kind, table, row_bytes, old_bytes in self._iter_raw():
+            row = old_row = None
+            if row_bytes:
+                order = column_orders.get(table)
+                if order is None:
+                    raise RecoveryError("log references unknown table %r" % table)
+                row, _ = Row.deserialize(row_bytes, order)
+            if old_bytes:
+                order = column_orders.get(table)
+                if order is None:
+                    raise RecoveryError("log references unknown table %r" % table)
+                old_row, _ = Row.deserialize(old_bytes, order)
+            yield LogRecord(lsn, txn_id, kind, table or None, row, old_row)
+
+    def truncate(self):
+        """Discard the log contents (after a checkpoint)."""
+        self._file.close()
+        self._file = open(self.path, "wb+")
+        self._next_lsn = 1
+
+
+def replay(log, column_orders, apply_change):
+    """REDO-replay *log*: apply changes of committed transactions only.
+
+    *apply_change(kind, table, row, old_row)* installs one change.
+    Returns the set of committed transaction ids that were replayed.
+    """
+    committed = set()
+    records = list(log.records(column_orders))
+    for record in records:
+        if record.kind == COMMIT:
+            committed.add(record.txn_id)
+    replayed = set()
+    for record in records:
+        if record.kind in (INSERT, UPDATE, DELETE) and record.txn_id in committed:
+            apply_change(record.kind, record.table, record.row, record.old_row)
+            replayed.add(record.txn_id)
+    return replayed

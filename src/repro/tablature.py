@@ -1,0 +1,112 @@
+"""Instrument-specific notation: tablature (section 4.5).
+
+"Other types of notations are specific to particular instruments (e.g.
+lute tablature)."  Tablature maps sounding pitches onto (string, fret)
+positions of a fretted instrument; this module assigns frets for a
+score's events and renders the familiar ASCII tab: one text line per
+string, fret numbers placed along the time axis.
+"""
+
+from repro.errors import NotationError
+from repro.cmn.events import all_events
+from repro.pitch.pitch import Pitch
+
+#: Standard tunings, low string first (MIDI keys).
+TUNINGS = {
+    "guitar": [40, 45, 50, 55, 59, 64],         # E2 A2 D3 G3 B3 E4
+    "renaissance lute": [43, 48, 53, 57, 62, 67],  # G2 C3 F3 A3 D4 G4
+    "bass": [28, 33, 38, 43],                    # E1 A1 D2 G2
+}
+
+
+class TabNote:
+    """One tablature position: string (0 = lowest), fret, time."""
+
+    __slots__ = ("start_beats", "duration_beats", "string", "fret", "key")
+
+    def __init__(self, start_beats, duration_beats, string, fret, key):
+        self.start_beats = start_beats
+        self.duration_beats = duration_beats
+        self.string = string
+        self.fret = fret
+        self.key = key
+
+    def __repr__(self):
+        return "TabNote(string %d fret %d @ %s)" % (
+            self.string, self.fret, self.start_beats,
+        )
+
+
+def assign_frets(events, tuning, max_fret=19):
+    """Assign (string, fret) positions to (start, duration, key) events.
+
+    Events are processed in time order; simultaneous notes must land on
+    distinct strings.  Preference: the string giving the lowest fret.
+    Raises NotationError when a note cannot be placed.
+    """
+    placed = []
+    by_start = {}
+    for start, duration, key in sorted(events):
+        by_start.setdefault(start, []).append((key, duration))
+    for start, chord in sorted(by_start.items()):
+        used_strings = set()
+        # Highest pitches first so low strings stay free for low notes.
+        for key, duration in sorted(chord, reverse=True):
+            best = None
+            for string_index, open_key in enumerate(tuning):
+                if string_index in used_strings:
+                    continue
+                fret = key - open_key
+                if 0 <= fret <= max_fret:
+                    if best is None or fret < best[1]:
+                        best = (string_index, fret)
+            if best is None:
+                raise NotationError(
+                    "no free string for %s at beat %s"
+                    % (Pitch.from_midi(key).name(), start)
+                )
+            used_strings.add(best[0])
+            placed.append(TabNote(start, duration, best[0], best[1], key))
+    return placed
+
+
+def score_to_tablature(cmn, score, tuning="guitar", max_fret=19):
+    """Assign tab positions for every event of *score*."""
+    if isinstance(tuning, str):
+        try:
+            tuning = TUNINGS[tuning]
+        except KeyError:
+            raise NotationError("unknown tuning %r" % tuning)
+    events = [
+        (event["start_beats"], event["duration_beats"], event["midi_key"])
+        for event in all_events(cmn, score)
+    ]
+    return assign_frets(events, tuning), tuning
+
+
+def render_tab(tab_notes, tuning, cells_per_beat=2):
+    """ASCII tablature: highest string on top, '-' as the string line."""
+    if not tab_notes:
+        return "(empty tablature)"
+    end = max(note.start_beats + note.duration_beats for note in tab_notes)
+    columns = int(end * cells_per_beat) + 2
+    rows = {
+        string_index: ["-"] * columns for string_index in range(len(tuning))
+    }
+    for note in tab_notes:
+        column = int(note.start_beats * cells_per_beat)
+        text = str(note.fret)
+        for offset, char in enumerate(text):
+            if column + offset < columns:
+                rows[note.string][column + offset] = char
+    lines = []
+    for string_index in reversed(range(len(tuning))):
+        label = Pitch.from_midi(tuning[string_index]).name().ljust(4)
+        lines.append(label + "|" + "".join(rows[string_index]) + "|")
+    return "\n".join(lines)
+
+
+def tab_for_score(cmn, score, tuning="guitar", cells_per_beat=2):
+    """Convenience: assign and render in one call."""
+    notes, resolved_tuning = score_to_tablature(cmn, score, tuning)
+    return render_tab(notes, resolved_tuning, cells_per_beat)

@@ -1,0 +1,23 @@
+"""Score time vs performance time (section 7.2).
+
+Score time is measured in rhythmic units (beats, exact rationals);
+performance time in seconds.  The mapping between them "may be
+arbitrarily complex" -- tempo directives (accelerando / ritardando),
+style-inherent rubato -- and is established by the :class:`Conductor`.
+"""
+
+from repro.temporal.time import ScoreTime, ScoreDuration, PerformanceTime
+from repro.temporal.meter import MeterSignature
+from repro.temporal.tempo import TempoMap, TempoSegment
+from repro.temporal.conductor import Conductor, RubatoWarp
+
+__all__ = [
+    "ScoreTime",
+    "ScoreDuration",
+    "PerformanceTime",
+    "MeterSignature",
+    "TempoMap",
+    "TempoSegment",
+    "Conductor",
+    "RubatoWarp",
+]

@@ -1,0 +1,129 @@
+"""The Conductor: "when an orchestra performs, it is the role of the
+conductor to establish this relationship between score time and
+performance time" (section 7.2).
+
+A Conductor composes a :class:`~repro.temporal.tempo.TempoMap` with
+optional expressive warps (rubato) into a bijection between score time
+(beats) and performance time (seconds).
+"""
+
+import math
+
+from repro.errors import NotationError
+from repro.temporal.tempo import TempoMap, _beat_value
+from repro.temporal.time import PerformanceTime, ScoreTime
+
+
+class RubatoWarp:
+    """Deterministic rubato: a bounded periodic push-and-pull of time.
+
+    The warp displaces performance time by ``depth * sin(2*pi * beat /
+    period)`` seconds.  With ``depth`` small relative to the beat
+    duration the composite map stays strictly monotonic; the constructor
+    enforces this against the tempo map's fastest tempo so the inverse
+    mapping is well defined ("rubato" literally means *robbed* time --
+    what is stolen must be given back, hence zero mean).
+    """
+
+    def __init__(self, depth_seconds, period_beats=4.0):
+        if period_beats <= 0:
+            raise NotationError("rubato period must be positive")
+        self.depth_seconds = float(depth_seconds)
+        self.period_beats = float(period_beats)
+
+    def displacement(self, beat):
+        return self.depth_seconds * math.sin(
+            2.0 * math.pi * float(beat) / self.period_beats
+        )
+
+    def max_slope_seconds_per_beat(self):
+        """The steepest |d displacement / d beat|."""
+        return abs(self.depth_seconds) * 2.0 * math.pi / self.period_beats
+
+
+class Conductor:
+    """Score-time <-> performance-time mapping with expressive warps."""
+
+    def __init__(self, tempo_map=None, rubato=None):
+        self.tempo_map = tempo_map if tempo_map is not None else TempoMap()
+        self.rubato = rubato
+        if rubato is not None:
+            self._check_monotonic()
+
+    def _check_monotonic(self):
+        # Fastest tempo bounds the smallest seconds-per-beat slope of the
+        # base map; rubato must not steal more than that.
+        fastest = max(
+            float(max(segment.start_bpm, segment.end_bpm))
+            for segment in self.tempo_map.segments()
+        )
+        min_base_slope = 60.0 / fastest
+        if self.rubato.max_slope_seconds_per_beat() >= min_base_slope:
+            raise NotationError(
+                "rubato depth %.3fs/period %.2f beats would make time "
+                "non-monotonic at %g bpm"
+                % (self.rubato.depth_seconds, self.rubato.period_beats, fastest)
+            )
+
+    # -- forward ---------------------------------------------------------------
+
+    def performance_seconds(self, score_time):
+        """Map score time (beats / ScoreTime) to seconds."""
+        beat = _beat_value(score_time)
+        seconds = self.tempo_map.seconds_at(beat)
+        if self.rubato is not None:
+            seconds += self.rubato.displacement(beat) - self.rubato.displacement(0.0)
+        if seconds < 0:
+            seconds = 0.0
+        return seconds
+
+    def performance_time(self, score_time):
+        return PerformanceTime(self.performance_seconds(score_time))
+
+    # -- inverse -----------------------------------------------------------------
+
+    def score_beats(self, seconds):
+        """Map performance seconds back to score beats.
+
+        Exact inverse of the tempo map; with rubato the strictly
+        monotonic composite is inverted by bisection.
+        """
+        if isinstance(seconds, PerformanceTime):
+            seconds = seconds.seconds
+        if self.rubato is None:
+            return self.tempo_map.beat_at(seconds)
+        low = 0.0
+        high = max(self.tempo_map.beat_at(seconds) * 2.0 + 1.0, 1.0)
+        while self.performance_seconds(high) < seconds:
+            high *= 2.0
+        for _ in range(80):
+            middle = (low + high) / 2.0
+            if self.performance_seconds(middle) < seconds:
+                low = middle
+            else:
+                high = middle
+        return (low + high) / 2.0
+
+    def score_time(self, seconds):
+        return ScoreTime_from_float(self.score_beats(seconds))
+
+    # -- schedules ----------------------------------------------------------------
+
+    def schedule(self, events):
+        """Convert (start_beats, duration_beats, payload) triples into
+        (start_seconds, end_seconds, payload) triples."""
+        out = []
+        for start_beats, duration_beats, payload in events:
+            start = self.performance_seconds(start_beats)
+            end = self.performance_seconds(
+                _beat_value(start_beats) + _beat_value(duration_beats)
+            )
+            out.append((start, end, payload))
+        return out
+
+
+def ScoreTime_from_float(beats):
+    """A ScoreTime approximating a float beat count (inverse mappings)."""
+    from fractions import Fraction
+
+    return ScoreTime(Fraction(beats).limit_denominator(1_000_000))

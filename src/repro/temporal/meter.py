@@ -1,0 +1,84 @@
+"""Meter signatures: the rhythmic division of measures.
+
+"Where a musical passage has a rhythmic pulse (i.e. a beat), each
+measure consists of an integral number of such pulses" (section 7.2).
+"""
+
+from fractions import Fraction
+
+from repro.errors import NotationError
+from repro.temporal.time import ScoreDuration
+
+
+class MeterSignature:
+    """A meter such as 4/4 or 6/8.
+
+    *numerator* counts pulses per measure; *denominator* names the note
+    value of one pulse (4 = quarter, 8 = eighth).  Beats throughout the
+    package are quarter-note units, so a 6/8 measure spans 3 beats.
+    """
+
+    __slots__ = ("numerator", "denominator")
+
+    def __init__(self, numerator, denominator):
+        if numerator < 1:
+            raise NotationError("meter numerator must be positive")
+        if denominator < 1 or denominator & (denominator - 1):
+            raise NotationError(
+                "meter denominator must be a positive power of two, got %d"
+                % denominator
+            )
+        self.numerator = numerator
+        self.denominator = denominator
+
+    @property
+    def beat_unit(self):
+        """The notated value of one pulse, as a whole-note fraction."""
+        return Fraction(1, self.denominator)
+
+    @property
+    def pulses(self):
+        """Pulses per measure."""
+        return self.numerator
+
+    def measure_duration(self):
+        """The span of one measure in quarter-note beats."""
+        return ScoreDuration(Fraction(self.numerator * 4, self.denominator))
+
+    def beat_offsets(self):
+        """Quarter-note-beat offset of each pulse within the measure."""
+        pulse = Fraction(4, self.denominator)
+        return [pulse * index for index in range(self.numerator)]
+
+    def contains_offset(self, offset_beats):
+        """True iff a quarter-note-beat offset falls inside the measure."""
+        return 0 <= offset_beats < self.measure_duration().beats
+
+    @classmethod
+    def parse(cls, text):
+        """Parse ``"3/4"``-style text."""
+        try:
+            numerator, denominator = text.strip().split("/")
+            return cls(int(numerator), int(denominator))
+        except (ValueError, AttributeError):
+            raise NotationError("bad meter signature %r" % (text,))
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, MeterSignature)
+            and self.numerator == other.numerator
+            and self.denominator == other.denominator
+        )
+
+    def __hash__(self):
+        return hash((self.numerator, self.denominator))
+
+    def __str__(self):
+        return "%d/%d" % (self.numerator, self.denominator)
+
+    def __repr__(self):
+        return "MeterSignature(%d, %d)" % (self.numerator, self.denominator)
+
+
+COMMON_TIME = MeterSignature(4, 4)
+CUT_TIME = MeterSignature(2, 2)

@@ -1,0 +1,213 @@
+"""Tempo maps: the score-time -> performance-time relationship.
+
+A tempo map is a piecewise function of beats.  Constant segments come
+from metronome marks; linearly changing segments model *accelerando*
+and *ritardando* directives.  Over a linear segment the elapsed seconds
+integrate to the classic logarithmic form; both directions of the
+mapping are exact and strictly monotonic, which is what makes the map
+invertible (the conductor needs both directions).
+"""
+
+import math
+from fractions import Fraction
+
+from repro.errors import NotationError
+from repro.temporal.time import PerformanceTime, ScoreTime
+
+
+class TempoSegment:
+    """Tempo over [start_beat, end_beat): linear bpm interpolation."""
+
+    __slots__ = ("start_beat", "end_beat", "start_bpm", "end_bpm", "start_seconds")
+
+    def __init__(self, start_beat, end_beat, start_bpm, end_bpm, start_seconds):
+        self.start_beat = start_beat
+        self.end_beat = end_beat  # None = open-ended final segment
+        self.start_bpm = start_bpm
+        self.end_bpm = end_bpm
+        self.start_seconds = start_seconds
+
+    def bpm_at(self, beat):
+        if self.end_beat is None or self.start_bpm == self.end_bpm:
+            return float(self.start_bpm)
+        span = float(self.end_beat - self.start_beat)
+        progress = float(beat - self.start_beat) / span
+        return float(self.start_bpm) + progress * float(self.end_bpm - self.start_bpm)
+
+    def seconds_into(self, beat):
+        """Seconds elapsed from segment start to *beat*."""
+        delta = float(beat - self.start_beat)
+        if delta <= 0:
+            return 0.0
+        bpm0 = float(self.start_bpm)
+        if self.end_beat is None or self.start_bpm == self.end_bpm:
+            return 60.0 * delta / bpm0
+        span = float(self.end_beat - self.start_beat)
+        bpm1 = float(self.end_bpm)
+        slope = (bpm1 - bpm0) / span  # bpm per beat
+        bpm_here = bpm0 + slope * delta
+        # Integral of 60 / (bpm0 + slope * b) db from 0 to delta.
+        return (60.0 / slope) * math.log(bpm_here / bpm0)
+
+    def beats_into(self, seconds):
+        """Inverse of :meth:`seconds_into`."""
+        if seconds <= 0:
+            return 0.0
+        bpm0 = float(self.start_bpm)
+        if self.end_beat is None or self.start_bpm == self.end_bpm:
+            return seconds * bpm0 / 60.0
+        span = float(self.end_beat - self.start_beat)
+        bpm1 = float(self.end_bpm)
+        slope = (bpm1 - bpm0) / span
+        return bpm0 * (math.exp(seconds * slope / 60.0) - 1.0) / slope
+
+    def duration_seconds(self):
+        if self.end_beat is None:
+            return math.inf
+        return self.seconds_into(self.end_beat)
+
+
+class TempoMap:
+    """A piecewise tempo function built from directives.
+
+    Directives are added in any order; the map is compiled lazily.
+    """
+
+    def __init__(self, initial_bpm=120):
+        if initial_bpm <= 0:
+            raise NotationError("tempo must be positive")
+        self.initial_bpm = Fraction(initial_bpm)
+        self._marks = []  # (beat, bpm) metronome marks
+        self._ramps = []  # (start_beat, end_beat, end_bpm) accel/rit
+        self._segments = None
+
+    # -- directives ---------------------------------------------------------
+
+    def set_tempo(self, beat, bpm):
+        """A metronome mark: from *beat* on, play at *bpm*."""
+        if bpm <= 0:
+            raise NotationError("tempo must be positive")
+        self._marks.append((Fraction(beat), Fraction(bpm)))
+        self._segments = None
+        return self
+
+    def linear_change(self, start_beat, end_beat, end_bpm):
+        """*accelerando*/*ritardando*: reach *end_bpm* over the interval."""
+        start_beat, end_beat = Fraction(start_beat), Fraction(end_beat)
+        if end_beat <= start_beat:
+            raise NotationError("tempo change interval must be non-empty")
+        if end_bpm <= 0:
+            raise NotationError("tempo must be positive")
+        self._ramps.append((start_beat, end_beat, Fraction(end_bpm)))
+        self._segments = None
+        return self
+
+    def accelerando(self, start_beat, end_beat, end_bpm):
+        return self.linear_change(start_beat, end_beat, end_bpm)
+
+    def ritardando(self, start_beat, end_beat, end_bpm):
+        return self.linear_change(start_beat, end_beat, end_bpm)
+
+    # -- compilation --------------------------------------------------------------
+
+    def _compile(self):
+        if self._segments is not None:
+            return self._segments
+        events = []
+        for beat, bpm in self._marks:
+            events.append((beat, "mark", bpm, None))
+        for start, end, end_bpm in self._ramps:
+            events.append((start, "ramp", end_bpm, end))
+        events.sort(key=lambda e: (e[0], e[1]))
+        segments = []
+        current_bpm = self.initial_bpm
+        cursor = Fraction(0)
+        elapsed = 0.0
+
+        def emit(end_beat, end_bpm):
+            nonlocal cursor, current_bpm, elapsed
+            if end_beat is not None and end_beat <= cursor:
+                current_bpm = end_bpm if end_bpm is not None else current_bpm
+                return
+            segment = TempoSegment(
+                cursor,
+                end_beat,
+                current_bpm,
+                end_bpm if end_bpm is not None else current_bpm,
+                elapsed,
+            )
+            segments.append(segment)
+            if end_beat is not None:
+                elapsed += segment.duration_seconds()
+                cursor = end_beat
+                current_bpm = segment.end_bpm if end_bpm is not None else current_bpm
+
+        for beat, kind, bpm, ramp_end in events:
+            if beat > cursor:
+                emit(beat, None)  # constant run up to the event
+            if kind == "mark":
+                current_bpm = bpm
+            else:
+                emit(ramp_end, bpm)
+                current_bpm = bpm
+        emit(None, None)  # open-ended tail
+        self._segments = segments
+        return segments
+
+    def segments(self):
+        return list(self._compile())
+
+    # -- evaluation ---------------------------------------------------------------------
+
+    def _segment_for_beat(self, beat):
+        segments = self._compile()
+        for segment in segments:
+            if segment.end_beat is None or beat < segment.end_beat:
+                if beat >= segment.start_beat:
+                    return segment
+        return segments[-1]
+
+    def bpm_at(self, beat):
+        beat = _beat_value(beat)
+        if beat < 0:
+            raise NotationError("negative score time")
+        return self._segment_for_beat(beat).bpm_at(beat)
+
+    def seconds_at(self, beat):
+        """Performance seconds at score-time *beat*."""
+        beat = _beat_value(beat)
+        if beat < 0:
+            raise NotationError("negative score time")
+        segment = self._segment_for_beat(beat)
+        return segment.start_seconds + segment.seconds_into(beat)
+
+    def beat_at(self, seconds):
+        """Score-time beat at performance time *seconds* (inverse map)."""
+        if isinstance(seconds, PerformanceTime):
+            seconds = seconds.seconds
+        if seconds < 0:
+            raise NotationError("negative performance time")
+        segments = self._compile()
+        for segment in segments:
+            duration = segment.duration_seconds()
+            if seconds < segment.start_seconds + duration or segment.end_beat is None:
+                return float(segment.start_beat) + segment.beats_into(
+                    seconds - segment.start_seconds
+                )
+        tail = segments[-1]
+        return float(tail.start_beat) + tail.beats_into(seconds - tail.start_seconds)
+
+    def performance_time(self, score_time):
+        return PerformanceTime(self.seconds_at(score_time))
+
+
+def _beat_value(beat):
+    if isinstance(beat, ScoreTime):
+        return beat.beats
+    if isinstance(beat, Fraction):
+        return beat
+    if isinstance(beat, bool):
+        raise NotationError("beats must be numeric")
+    if isinstance(beat, (int, float)):
+        return Fraction(beat).limit_denominator(1_000_000)
+    raise NotationError("bad score time %r" % (beat,))

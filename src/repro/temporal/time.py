@@ -1,0 +1,163 @@
+"""Exact score time and performance time values.
+
+Score time is a rational number of *beats* (quarter-note units unless a
+meter says otherwise) so that triplets and dotted rhythms stay exact;
+performance time is a float number of seconds.
+"""
+
+from fractions import Fraction
+from numbers import Rational
+
+from repro.errors import NotationError
+
+
+def _as_fraction(value, what):
+    if isinstance(value, bool):
+        raise NotationError("%s must be rational, got a boolean" % what)
+    if isinstance(value, (int, Fraction)):
+        return Fraction(value)
+    if isinstance(value, Rational):
+        return Fraction(value.numerator, value.denominator)
+    if isinstance(value, str):
+        return Fraction(value)
+    if isinstance(value, tuple) and len(value) == 2:
+        return Fraction(value[0], value[1])
+    raise NotationError("%s must be rational, got %r" % (what, value))
+
+
+class ScoreTime:
+    """A point in score time: beats from the start of the composition."""
+
+    __slots__ = ("beats",)
+
+    def __init__(self, beats):
+        self.beats = _as_fraction(beats, "score time")
+
+    def __add__(self, other):
+        if isinstance(other, ScoreDuration):
+            return ScoreTime(self.beats + other.beats)
+        return NotImplemented
+
+    def __sub__(self, other):
+        if isinstance(other, ScoreTime):
+            return ScoreDuration(self.beats - other.beats)
+        if isinstance(other, ScoreDuration):
+            return ScoreTime(self.beats - other.beats)
+        return NotImplemented
+
+    def __eq__(self, other):
+        return isinstance(other, ScoreTime) and self.beats == other.beats
+
+    def __lt__(self, other):
+        self._check(other)
+        return self.beats < other.beats
+
+    def __le__(self, other):
+        self._check(other)
+        return self.beats <= other.beats
+
+    def __gt__(self, other):
+        self._check(other)
+        return self.beats > other.beats
+
+    def __ge__(self, other):
+        self._check(other)
+        return self.beats >= other.beats
+
+    def _check(self, other):
+        if not isinstance(other, ScoreTime):
+            raise NotationError("cannot compare ScoreTime with %r" % (other,))
+
+    def __hash__(self):
+        return hash(("ScoreTime", self.beats))
+
+    def __repr__(self):
+        return "ScoreTime(%s)" % self.beats
+
+
+class ScoreDuration:
+    """A span of score time, in beats (may be zero, never negative)."""
+
+    __slots__ = ("beats",)
+
+    def __init__(self, beats):
+        beats = _as_fraction(beats, "score duration")
+        if beats < 0:
+            raise NotationError("score duration cannot be negative: %s" % beats)
+        self.beats = beats
+
+    @classmethod
+    def whole_note_fraction(cls, fraction, meter=None):
+        """Build from a notated duration (1/4 = quarter note).
+
+        With *meter*, the result is expressed in that meter's beat unit;
+        without, quarter-note beats are assumed.
+        """
+        fraction = _as_fraction(fraction, "duration")
+        beat_unit = Fraction(1, 4) if meter is None else meter.beat_unit
+        return cls(fraction / beat_unit)
+
+    def __add__(self, other):
+        if isinstance(other, ScoreDuration):
+            return ScoreDuration(self.beats + other.beats)
+        if isinstance(other, ScoreTime):
+            return ScoreTime(self.beats + other.beats)
+        return NotImplemented
+
+    def __sub__(self, other):
+        if isinstance(other, ScoreDuration):
+            return ScoreDuration(self.beats - other.beats)
+        return NotImplemented
+
+    def __mul__(self, factor):
+        return ScoreDuration(self.beats * _as_fraction(factor, "factor"))
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other):
+        return isinstance(other, ScoreDuration) and self.beats == other.beats
+
+    def __lt__(self, other):
+        return self.beats < other.beats
+
+    def __le__(self, other):
+        return self.beats <= other.beats
+
+    def __gt__(self, other):
+        return self.beats > other.beats
+
+    def __ge__(self, other):
+        return self.beats >= other.beats
+
+    def __hash__(self):
+        return hash(("ScoreDuration", self.beats))
+
+    def __repr__(self):
+        return "ScoreDuration(%s)" % self.beats
+
+
+class PerformanceTime:
+    """A point in performance time: seconds from the performance start."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds):
+        seconds = float(seconds)
+        if seconds < 0:
+            raise NotationError("performance time cannot be negative")
+        self.seconds = seconds
+
+    def __eq__(self, other):
+        return isinstance(other, PerformanceTime) and self.seconds == other.seconds
+
+    def __lt__(self, other):
+        return self.seconds < other.seconds
+
+    def __le__(self, other):
+        return self.seconds <= other.seconds
+
+    def __hash__(self):
+        return hash(("PerformanceTime", self.seconds))
+
+    def __repr__(self):
+        return "PerformanceTime(%.6fs)" % self.seconds

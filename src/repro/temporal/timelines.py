@@ -1,0 +1,130 @@
+"""Multiple independent time lines and virtual time.
+
+Section 3 grounds the temporal design in systems concerned with
+"multiple independent time lines, and virtual time" ([DeK85, MaM70,
+Pru84a]).  A :class:`VirtualTimeline` embeds a local score-time frame
+into a parent frame by an affine map (offset + rate) -- enough to model
+an ossia at double speed, a canon entering two measures later at half
+tempo, or nested time frames (a cadenza inside a movement).
+
+Timelines compose: resolving a local time walks up to the root frame,
+after which a Conductor maps root score time to performance seconds.
+"""
+
+from fractions import Fraction
+
+from repro.errors import NotationError
+from repro.temporal.time import ScoreTime
+
+
+def _fraction(value, what):
+    if isinstance(value, ScoreTime):
+        return value.beats
+    if isinstance(value, bool):
+        raise NotationError("%s must be rational" % what)
+    if isinstance(value, (int, Fraction)):
+        return Fraction(value)
+    if isinstance(value, str):
+        return Fraction(value)
+    raise NotationError("%s must be rational, got %r" % (what, value))
+
+
+class VirtualTimeline:
+    """One time frame; children embed into it affinely.
+
+    A local time ``t`` maps to ``offset + t * rate`` in the parent
+    frame: ``rate < 1`` means the local material plays faster (its
+    beats occupy less parent time).
+    """
+
+    def __init__(self, name="root", parent=None, offset=0, rate=1):
+        self.name = name
+        self.parent = parent
+        self.offset = _fraction(offset, "offset")
+        self.rate = _fraction(rate, "rate")
+        if self.rate <= 0:
+            raise NotationError("timeline rate must be positive")
+        self.children = []
+        if parent is not None:
+            parent.children.append(self)
+
+    def sub_timeline(self, name, offset=0, rate=1):
+        """Create a child frame starting at *offset* (parent beats)."""
+        return VirtualTimeline(name, parent=self, offset=offset, rate=rate)
+
+    # -- resolution ---------------------------------------------------------------
+
+    def to_parent(self, local_beats):
+        return self.offset + _fraction(local_beats, "time") * self.rate
+
+    def from_parent(self, parent_beats):
+        return (_fraction(parent_beats, "time") - self.offset) / self.rate
+
+    def to_root(self, local_beats):
+        """Resolve a local time all the way up to the root frame."""
+        beats = _fraction(local_beats, "time")
+        frame = self
+        while frame.parent is not None:
+            beats = frame.to_parent(beats)
+            frame = frame.parent
+        return beats
+
+    def from_root(self, root_beats):
+        """Inverse of :meth:`to_root`."""
+        chain = []
+        frame = self
+        while frame.parent is not None:
+            chain.append(frame)
+            frame = frame.parent
+        beats = _fraction(root_beats, "time")
+        for frame in reversed(chain):
+            beats = frame.from_parent(beats)
+        return beats
+
+    def root(self):
+        frame = self
+        while frame.parent is not None:
+            frame = frame.parent
+        return frame
+
+    def depth(self):
+        depth = 0
+        frame = self
+        while frame.parent is not None:
+            depth += 1
+            frame = frame.parent
+        return depth
+
+    # -- event embedding ---------------------------------------------------------------
+
+    def embed_events(self, events):
+        """Map (start_beats, duration_beats, payload) triples from this
+        frame into root-frame triples."""
+        out = []
+        for start, duration, payload in events:
+            root_start = self.to_root(start)
+            root_end = self.to_root(_fraction(start, "time") +
+                                    _fraction(duration, "time"))
+            out.append((root_start, root_end - root_start, payload))
+        return out
+
+    def performance_schedule(self, events, conductor):
+        """Embed local events and convert to seconds via *conductor*."""
+        return conductor.schedule(self.embed_events(events))
+
+    def __repr__(self):
+        return "VirtualTimeline(%r, offset=%s, rate=%s)" % (
+            self.name, self.offset, self.rate,
+        )
+
+
+def independent_timelines(count, root=None, names=None):
+    """*count* sibling frames over one root: the "multiple independent
+    time lines" configuration."""
+    if root is None:
+        root = VirtualTimeline("root")
+    out = []
+    for index in range(count):
+        name = names[index] if names else "line %d" % (index + 1)
+        out.append(root.sub_timeline(name))
+    return root, out

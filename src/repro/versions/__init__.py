@@ -1,0 +1,15 @@
+"""Score versions and alternatives.
+
+The paper's related work points at score representations that
+"incorporate versions and multiple views" ([Dan86]) and database
+version-control research ([KaL82]).  This package adds that layer to
+the MDM: deep score cloning, a version tree per score, and structural
+diffs between versions -- all stored as ordinary entities, so versions
+are queryable like everything else.
+"""
+
+from repro.versions.clone import clone_score
+from repro.versions.tree import VersionTree
+from repro.versions.diff import diff_scores, NoteChange
+
+__all__ = ["clone_score", "VersionTree", "diff_scores", "NoteChange"]

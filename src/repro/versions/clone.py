@@ -1,0 +1,124 @@
+"""Deep score cloning: the storage primitive behind versions.
+
+Clones the full notation web of a score -- timbral chain, movements /
+measures / syncs / chords / notes / rests, voice streams, groups, and
+lyrics -- into new entities in the same schema.  Derived EVENT/MIDI
+entities are not copied (they are re-derived on demand), matching the
+declarative/derived split of section 4.3.
+"""
+
+from repro.cmn.score import ScoreView
+
+
+class _Cloner:
+    def __init__(self, cmn, score):
+        self.cmn = cmn
+        self.view = ScoreView(cmn, score)
+        self.source = score
+        self.mapping = {}  # old surrogate -> new instance
+
+    def _copy(self, instance, **overrides):
+        values = instance.as_dict()
+        values.update(overrides)
+        clone = instance.type.create(**values)
+        self.mapping[instance.surrogate] = clone
+        return clone
+
+    def of(self, instance):
+        return self.mapping[instance.surrogate]
+
+    def run(self, title):
+        cmn = self.cmn
+        new_score = self._copy(self.source, title=title)
+
+        # Timbral chain.
+        for orchestra in self.view._orchestras():
+            new_orchestra = self._copy(orchestra)
+            cmn.PERFORMS.relate(orchestra=new_orchestra, score=new_score)
+            for section in cmn.section_in_orchestra.children(orchestra):
+                new_section = self._copy(section)
+                cmn.section_in_orchestra.append(new_orchestra, new_section)
+                for instrument in cmn.instrument_in_section.children(section):
+                    new_instrument = self._copy(instrument)
+                    cmn.instrument_in_section.append(new_section, new_instrument)
+                    for staff in cmn.staff_in_instrument.children(instrument):
+                        new_staff = self._copy(staff)
+                        cmn.staff_in_instrument.append(new_instrument, new_staff)
+                    for part in cmn.part_in_instrument.children(instrument):
+                        new_part = self._copy(part)
+                        cmn.part_in_instrument.append(new_instrument, new_part)
+                        for voice in cmn.voice_in_part.children(part):
+                            new_voice = self._copy(voice)
+                            cmn.voice_in_part.append(new_part, new_voice)
+                        for text in cmn.text_in_part.children(part):
+                            new_text = self._copy(text)
+                            cmn.text_in_part.append(new_part, new_text)
+                            for syllable in cmn.syllable_in_text.children(text):
+                                new_syllable = self._copy(syllable)
+                                cmn.syllable_in_text.append(
+                                    new_text, new_syllable
+                                )
+
+        # Temporal spine.
+        for movement in self.view.movements():
+            new_movement = self._copy(movement)
+            cmn.movement_in_score.append(new_score, new_movement)
+            for measure in self.view.measures(movement):
+                new_measure = self._copy(measure)
+                cmn.measure_in_movement.append(new_movement, new_measure)
+                for sync in self.view.syncs(measure):
+                    new_sync = self._copy(sync)
+                    cmn.sync_in_measure.append(new_measure, new_sync)
+                    for chord in self.view.chords_at(sync):
+                        new_chord = self._copy(chord)
+                        cmn.chord_in_sync.append(new_sync, new_chord)
+                        for note in self.view.notes_of(chord):
+                            new_note = self._copy(note)
+                            cmn.note_in_chord.append(new_chord, new_note)
+
+        # Voice streams (chords already cloned; rests cloned here),
+        # notes onto staves, groups, and lyric settings.
+        for voice in self.view.voices():
+            new_voice = self.of(voice)
+            for item in self.view.voice_stream(voice):
+                if item.surrogate not in self.mapping:
+                    self._copy(item)  # a REST
+                cmn.chord_rest_in_voice.append(new_voice, self.of(item))
+            for group in self.view.groups_of_voice(voice):
+                new_group = self._clone_group(group)
+                cmn.group_in_voice.append(new_voice, new_group)
+            staff = self.view.staff_of_voice(voice)
+            if staff is not None:
+                new_staff = self.of(staff)
+                for note in cmn.note_on_staff.children(staff):
+                    if note.surrogate in self.mapping:
+                        cmn.note_on_staff.append(new_staff, self.of(note))
+
+        for record in cmn.SETTING.instances():
+            syllable = record["syllable"]
+            chord = record["chord"]
+            if (
+                syllable.surrogate in self.mapping
+                and chord.surrogate in self.mapping
+            ):
+                cmn.SETTING.relate(
+                    syllable=self.of(syllable), chord=self.of(chord)
+                )
+        return new_score
+
+    def _clone_group(self, group):
+        cmn = self.cmn
+        new_group = self._copy(group)
+        for member in cmn.group_member.children(group):
+            if member.type.name == "GROUP":
+                cmn.group_member.append(new_group, self._clone_group(member))
+            else:
+                cmn.group_member.append(new_group, self.of(member))
+        return new_group
+
+
+def clone_score(cmn, score, title=None):
+    """Deep-copy *score* within its schema; returns the new SCORE."""
+    if title is None:
+        title = score["title"]
+    return _Cloner(cmn, score).run(title)

@@ -1,0 +1,90 @@
+"""Structural diffs between score versions.
+
+Scores are compared position by position: a note is addressed by
+(voice name, measure number, beat offset in measure, sounding MIDI
+key).  The diff lists notes only in A, notes only in B, and duration
+changes at shared positions -- which is what a review of two
+alternatives needs.
+"""
+
+from repro.cmn.score import ScoreView
+
+
+class NoteChange:
+    """One difference between two versions."""
+
+    __slots__ = ("kind", "voice", "measure", "offset", "key", "detail")
+
+    def __init__(self, kind, voice, measure, offset, key, detail=""):
+        self.kind = kind  # "added", "removed", "changed"
+        self.voice = voice
+        self.measure = measure
+        self.offset = offset
+        self.key = key
+        self.detail = detail
+
+    def __repr__(self):
+        return "%s %s m%d+%s key=%d%s" % (
+            self.kind,
+            self.voice,
+            self.measure,
+            self.offset,
+            self.key,
+            (" (%s)" % self.detail) if self.detail else "",
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, NoteChange):
+            return NotImplemented
+        return (
+            self.kind, self.voice, self.measure, self.offset, self.key,
+        ) == (
+            other.kind, other.voice, other.measure, other.offset, other.key,
+        )
+
+
+def _note_map(cmn, score):
+    """(voice, measure, offset, midi key) -> duration for every note."""
+    view = ScoreView(cmn, score)
+    out = {}
+    for voice in view.voices():
+        pitches = view.resolve_pitches(voice)
+        name = voice["name"]
+        for item in view.voice_stream(voice):
+            if item.type.name != "CHORD":
+                continue
+            sync = cmn.chord_in_sync.parent_of(item)
+            measure = cmn.sync_in_measure.parent_of(sync)
+            for note in view.notes_of(item):
+                key = (
+                    name,
+                    measure["number"],
+                    sync["offset_beats"],
+                    pitches[note.surrogate].midi_key,
+                )
+                out[key] = item["duration"]
+    return out
+
+
+def diff_scores(cmn, score_a, score_b):
+    """Differences turning *score_a* into *score_b* (sorted)."""
+    notes_a = _note_map(cmn, score_a)
+    notes_b = _note_map(cmn, score_b)
+    changes = []
+    for position in notes_a.keys() - notes_b.keys():
+        voice, measure, offset, key = position
+        changes.append(NoteChange("removed", voice, measure, offset, key))
+    for position in notes_b.keys() - notes_a.keys():
+        voice, measure, offset, key = position
+        changes.append(NoteChange("added", voice, measure, offset, key))
+    for position in notes_a.keys() & notes_b.keys():
+        if notes_a[position] != notes_b[position]:
+            voice, measure, offset, key = position
+            changes.append(
+                NoteChange(
+                    "changed", voice, measure, offset, key,
+                    "duration %s -> %s" % (notes_a[position], notes_b[position]),
+                )
+            )
+    changes.sort(key=lambda c: (c.voice, c.measure, c.offset, c.key, c.kind))
+    return changes

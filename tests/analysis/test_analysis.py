@@ -1,0 +1,133 @@
+"""The analysis subsystem: harmony, melody, key finding."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.harmony import (
+    analyze_sync_harmony,
+    harmonic_summary,
+    identify_triad,
+    sounding_keys_at,
+)
+from repro.analysis.key_finding import estimate_key, pitch_class_weights
+from repro.analysis.melody import (
+    find_imitations,
+    find_motif,
+    interval_profile,
+    melodic_contour,
+    voice_keys,
+)
+from repro.cmn.builder import ScoreBuilder
+from repro.pitch.key import KeySignature
+
+
+class TestTriads:
+    @pytest.mark.parametrize(
+        "keys,name",
+        [
+            ([60, 64, 67], "C"),
+            ([60, 63, 67], "c"),
+            ([60, 63, 66], "co"),
+            ([60, 64, 68], "C+"),
+            ([64, 67, 72], "C (1st inv)"),
+            ([67, 72, 76], "C (2nd inv)"),
+            ([55, 58, 62], "g"),
+            ([60, 64, 67, 72], "C"),  # doubled root
+        ],
+    )
+    def test_identification(self, keys, name):
+        assert identify_triad(keys).name() == name
+
+    @pytest.mark.parametrize(
+        "keys", [[], [60], [60, 64], [60, 62, 64], [60, 61, 62, 63]]
+    )
+    def test_non_triads(self, keys):
+        assert identify_triad(keys) is None
+
+
+@pytest.fixture
+def chorale():
+    builder = ScoreBuilder("chorale", key=KeySignature(0), meter="4/4", bpm=80)
+    upper = builder.add_voice("upper")
+    lower = builder.add_voice("lower", clef="bass")
+    # I - IV - V - I in C major, upper voice carries two notes.
+    for names in (["E4", "G4"], ["A4", "C5"], ["G4", "B4"], ["E4", "G4"]):
+        builder.note(upper, names, Fraction(1, 4))
+    for name in ("C3", "F3", "D3", "C3"):
+        builder.note(lower, name, Fraction(1, 4))
+    builder.pad_with_rests()
+    builder.finish()
+    return builder
+
+
+class TestHarmonyOverScore:
+    def test_sounding_keys(self, chorale):
+        keys = sounding_keys_at(chorale.cmn, chorale.score, 0)
+        assert keys == [48, 64, 67]  # C3 E4 G4
+
+    def test_sync_analysis(self, chorale):
+        labels = analyze_sync_harmony(chorale.cmn, chorale.score)
+        names = [triad.name() for _, _, _, triad in labels if triad]
+        assert names[0] == "C"
+        assert "F" in names
+        assert len(labels) >= 4
+
+    def test_harmonic_summary(self, chorale):
+        summary = harmonic_summary(chorale.cmn, chorale.score)
+        assert summary.get("C", 0) >= 2
+
+
+class TestMelody:
+    def test_profiles(self):
+        keys = [60, 62, 64, 62, 62]
+        assert interval_profile(keys) == [2, 2, -2, 0]
+        assert melodic_contour(keys) == "UUDR"
+
+    def test_find_motif_transposed(self):
+        keys = [60, 62, 64, 67, 65, 67, 69, 71]
+        # The motif +2,+2 occurs at 0 and (transposed) at 4 and 5.
+        assert find_motif(keys, [2, 2]) == [0, 4, 5]
+
+    def test_find_motif_empty(self):
+        assert find_motif([60, 62], []) == [0, 1]
+
+    def test_imitations_in_fugue(self, bwv578):
+        imitations = find_imitations(bwv578.cmn, bwv578.score, subject_length=8)
+        assert len(imitations) == 2
+        dux, comes = imitations
+        assert dux.voice_name == "soprano" and dux.transposition == 0
+        assert comes.voice_name == "alto"
+        assert comes.start_beats == 8
+        assert comes.transposition == -5
+
+    def test_voice_keys_ordering(self, bwv578):
+        keys = voice_keys(bwv578.cmn, bwv578.voice("soprano"))
+        assert keys[0] == 67  # G4
+        assert keys[1] == 74  # D5
+
+
+class TestKeyFinding:
+    def test_bwv578_is_g_minor(self, bwv578):
+        name, mode, correlation = estimate_key(bwv578.cmn, bwv578.score)
+        assert (name, mode) == ("G", "minor")
+        assert correlation > 0.5
+
+    def test_c_major_chorale(self, chorale):
+        name, mode, _ = estimate_key(chorale.cmn, chorale.score)
+        assert (name, mode) == ("C", "major")
+
+    def test_weights_sum_to_total_duration(self, chorale):
+        from repro.cmn.events import all_events
+
+        weights = pitch_class_weights(chorale.cmn, chorale.score)
+        total = sum(
+            float(e["duration_beats"])
+            for e in all_events(chorale.cmn, chorale.score)
+        )
+        assert abs(sum(weights) - total) < 1e-9
+
+    def test_top_candidates_ordered(self, bwv578):
+        candidates = estimate_key(bwv578.cmn, bwv578.score, top=4)
+        correlations = [c for _, _, c in candidates]
+        assert correlations == sorted(correlations, reverse=True)

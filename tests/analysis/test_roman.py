@@ -1,0 +1,91 @@
+"""Roman-numeral analysis and incipit extraction from scores."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.harmony import Triad
+from repro.analysis.roman import progression, roman_numeral, roman_numeral_analysis
+from repro.biblio.incipit import incipit_from_score, incipit_intervals
+from repro.cmn.builder import ScoreBuilder
+from repro.pitch.key import KeySignature
+
+
+class TestNumerals:
+    def test_major_key_degrees(self):
+        # C major: C -> I, d minor -> ii, G -> V, b dim -> viio.
+        assert roman_numeral(Triad(0, "major", 0), 0, "major") == "I"
+        assert roman_numeral(Triad(2, "minor", 0), 0, "major") == "ii"
+        assert roman_numeral(Triad(7, "major", 0), 0, "major") == "V"
+        assert roman_numeral(Triad(11, "diminished", 0), 0, "major") == "viio"
+
+    def test_minor_key_degrees(self):
+        # g minor: g -> i, Bb -> III, D major -> V.
+        g = 7
+        assert roman_numeral(Triad(7, "minor", 0), g, "minor") == "i"
+        assert roman_numeral(Triad(10, "major", 0), g, "minor") == "III"
+        assert roman_numeral(Triad(2, "major", 0), g, "minor") == "V"
+
+    def test_chromatic_root_unlabelled(self):
+        assert roman_numeral(Triad(1, "major", 0), 0, "major") is None
+
+    def test_transposition_invariance(self):
+        for tonic in range(12):
+            assert roman_numeral(
+                Triad((tonic + 7) % 12, "major", 0), tonic, "major"
+            ) == "V"
+
+
+@pytest.fixture
+def cadence():
+    builder = ScoreBuilder("cadence", key=KeySignature(0), meter="4/4", bpm=90)
+    upper = builder.add_voice("upper")
+    lower = builder.add_voice("lower", clef="bass")
+    for names in (["E4", "G4"], ["A4", "C5"], ["B4", "D5"], ["E4", "G4"]):
+        builder.note(upper, names, Fraction(1, 4))
+    for name in ("C3", "F3", "G2", "C3"):
+        builder.note(lower, name, Fraction(1, 4))
+    builder.finish()
+    return builder
+
+
+class TestAnalysisOverScore:
+    def test_cadence_progression(self, cadence):
+        numerals = progression(cadence.cmn, cadence.score, key=("C", "major"))
+        assert numerals == ["I", "IV", "V", "I"]
+
+    def test_estimated_key_used_by_default(self, cadence):
+        labels = roman_numeral_analysis(cadence.cmn, cadence.score)
+        assert labels[0][2] == "I"
+
+    def test_labels_carry_positions(self, cadence):
+        labels = roman_numeral_analysis(cadence.cmn, cadence.score)
+        assert [offset for _, offset, _ in labels] == [0, 1, 2, 3]
+
+
+class TestIncipitExtraction:
+    def test_extracted_incipit_matches_source(self, bwv578):
+        incipit = incipit_from_score(
+            bwv578.cmn, bwv578.score, voice=bwv578.voice("soprano"), measures=2
+        )
+        assert incipit.endswith("//")
+        from repro.fixtures.bwv578 import SUBJECT_INCIPIT_DARMS
+
+        assert incipit_intervals(incipit) == incipit_intervals(
+            SUBJECT_INCIPIT_DARMS
+        )
+
+    def test_extracted_incipit_searchable(self, bwv578):
+        from repro.biblio.thematic import ThematicIndex
+        from repro.biblio.incipit import search_by_incipit
+        from repro.core.schema import Schema
+
+        incipit = incipit_from_score(bwv578.cmn, bwv578.score, measures=2)
+        index = ThematicIndex(Schema("x"), name="X", abbreviation="X")
+        index.add_entry(1, "Fugue", incipits=[("s", incipit)])
+        hits = search_by_incipit(index, incipit, prefix_only=True)
+        assert len(hits) == 1
+
+    def test_single_measure(self, bwv578):
+        incipit = incipit_from_score(bwv578.cmn, bwv578.score, measures=1)
+        assert incipit.count("/") == 2 and incipit.endswith("//")

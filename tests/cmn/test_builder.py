@@ -1,0 +1,206 @@
+"""The score builder: entities, orderings, syncs, accidentals."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cmn.builder import ScoreBuilder
+from repro.errors import NotationError
+from repro.pitch.key import KeySignature
+
+
+@pytest.fixture
+def builder():
+    return ScoreBuilder("test piece", key=KeySignature.flats(2), meter="4/4")
+
+
+class TestStructure:
+    def test_timbral_chain(self, builder):
+        voice = builder.add_voice("melody", instrument="Organ")
+        cmn = builder.cmn
+        part = cmn.voice_in_part.parent_of(voice)
+        instrument = cmn.part_in_instrument.parent_of(part)
+        assert instrument["name"] == "Organ"
+        section = cmn.instrument_in_section.parent_of(instrument)
+        orchestra = cmn.section_in_orchestra.parent_of(section)
+        performed = cmn.PERFORMS.related("orchestra", orchestra, fetch_role="score")
+        assert performed == [builder.score]
+
+    def test_shared_instrument(self, builder):
+        v1 = builder.add_voice("a", instrument="Organ")
+        v2 = builder.add_voice("b", instrument="Organ")
+        cmn = builder.cmn
+        instr1 = cmn.part_in_instrument.parent_of(cmn.voice_in_part.parent_of(v1))
+        instr2 = cmn.part_in_instrument.parent_of(cmn.voice_in_part.parent_of(v2))
+        assert instr1 == instr2
+        # ... but each voice gets its own staff under that instrument.
+        assert len(cmn.staff_in_instrument.children(instr1)) == 2
+
+    def test_duplicate_voice_name(self, builder):
+        builder.add_voice("a")
+        with pytest.raises(NotationError):
+            builder.add_voice("a")
+
+    def test_measures_created_on_demand(self, builder):
+        voice = builder.add_voice("melody")
+        for _ in range(6):
+            builder.note(voice, "C4", Fraction(1, 2))  # 3 measures of 4/4
+        measures = builder.view.measures(builder.movement)
+        assert [m["number"] for m in measures] == [1, 2, 3]
+
+    def test_notes_sorted_high_to_low(self, builder):
+        voice = builder.add_voice("melody")
+        chord = builder.note(voice, ["C4", "G4", "E4"], Fraction(1, 4))
+        notes = builder.cmn.note_in_chord.children(chord)
+        degrees = [n["degree"] for n in notes]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_note_on_staff_ordering(self, builder):
+        voice = builder.add_voice("melody")
+        builder.note(voice, "C4", Fraction(1, 4))
+        builder.note(voice, "D4", Fraction(1, 4))
+        staff = builder._staff_of[voice.surrogate]
+        assert len(builder.cmn.note_on_staff.children(staff)) == 2
+
+    def test_layout(self, builder):
+        builder.add_voice("a")
+        builder.add_voice("b")
+        page = builder.layout()
+        cmn = builder.cmn
+        systems = cmn.system_in_page.children(page)
+        assert len(systems) == 1
+        assert len(cmn.staff_in_system.children(systems[0])) == 2
+
+
+class TestDurationsAndBarlines:
+    def test_barline_crossing_rejected(self, builder):
+        voice = builder.add_voice("melody")
+        builder.note(voice, "C4", Fraction(3, 4))
+        with pytest.raises(NotationError):
+            builder.note(voice, "D4", Fraction(1, 2))
+
+    def test_rest_crossing_rejected(self, builder):
+        voice = builder.add_voice("melody")
+        builder.rest(voice, Fraction(3, 4))
+        with pytest.raises(NotationError):
+            builder.rest(voice, Fraction(1, 2))
+
+    def test_bad_durations(self, builder):
+        voice = builder.add_voice("melody")
+        with pytest.raises(NotationError):
+            builder.note(voice, "C4", Fraction(0))
+        with pytest.raises(NotationError):
+            builder.note(voice, "C4", "x")
+
+    def test_meter_override(self):
+        b = ScoreBuilder("waltz", meter="4/4")
+        b.set_meter(2, "3/4")
+        voice = b.add_voice("melody")
+        for _ in range(4):
+            b.note(voice, "C4", Fraction(1, 4))  # fills 4/4 measure 1
+        for _ in range(2):
+            b.note(voice, "D4", Fraction(1, 4))
+        # A half note would cross the 3/4 barline at beat 7.
+        with pytest.raises(NotationError):
+            b.note(voice, "E4", Fraction(1, 2))
+        b.note(voice, "E4", Fraction(1, 4))  # completes the 3/4 measure
+        measures = b.view.measures(b.movement)
+        assert measures[1]["meter"] == "3/4"
+        assert measures[0]["meter"] == "4/4"
+
+    def test_pad_with_rests(self, builder):
+        v1 = builder.add_voice("a")
+        v2 = builder.add_voice("b")
+        builder.note(v1, "C4", Fraction(1, 1))
+        builder.note(v2, "C3", Fraction(1, 4))
+        builder.pad_with_rests()
+        stream = builder.view.voice_stream(v2)
+        total = sum((item["duration"] for item in stream), Fraction(0))
+        assert total == Fraction(1, 1)
+
+
+class TestSyncSharing:
+    def test_same_offset_shares_sync(self, builder):
+        v1 = builder.add_voice("a")
+        v2 = builder.add_voice("b")
+        c1 = builder.note(v1, "C4", Fraction(1, 4))
+        c2 = builder.note(v2, "E4", Fraction(1, 4))
+        cmn = builder.cmn
+        assert cmn.chord_in_sync.parent_of(c1) == cmn.chord_in_sync.parent_of(c2)
+
+    def test_different_offsets_different_syncs(self, builder):
+        voice = builder.add_voice("a")
+        c1 = builder.note(voice, "C4", Fraction(1, 4))
+        c2 = builder.note(voice, "D4", Fraction(1, 4))
+        cmn = builder.cmn
+        assert cmn.chord_in_sync.parent_of(c1) != cmn.chord_in_sync.parent_of(c2)
+
+    def test_syncs_ordered_by_offset(self, builder):
+        v1 = builder.add_voice("a")
+        v2 = builder.add_voice("b")
+        builder.note(v1, "C4", Fraction(1, 4))
+        builder.note(v1, "D4", Fraction(1, 4))
+        builder.note(v2, "E4", Fraction(1, 8))
+        builder.note(v2, "F4", Fraction(1, 8))  # offset 1/2: new sync between
+        measure = builder.view.measures(builder.movement)[0]
+        offsets = [s["offset_beats"] for s in builder.view.syncs(measure)]
+        assert offsets == sorted(offsets)
+        assert Fraction(1, 2) in offsets
+
+
+class TestAccidentalInference:
+    def test_key_covered_pitch_needs_no_accidental(self, builder):
+        voice = builder.add_voice("melody")  # Bb/Eb in key
+        chord = builder.note(voice, "Bb4", Fraction(1, 4))
+        note = builder.cmn.note_in_chord.children(chord)[0]
+        assert note["accidental"] is None
+
+    def test_foreign_pitch_gets_accidental(self, builder):
+        voice = builder.add_voice("melody")
+        chord = builder.note(voice, "F#4", Fraction(1, 4))
+        note = builder.cmn.note_in_chord.children(chord)[0]
+        assert note["accidental"] == "#"
+
+    def test_accidental_carries_within_measure(self, builder):
+        voice = builder.add_voice("melody")
+        builder.note(voice, "F#4", Fraction(1, 4))
+        chord2 = builder.note(voice, "F#4", Fraction(1, 4))
+        note2 = builder.cmn.note_in_chord.children(chord2)[0]
+        assert note2["accidental"] is None  # still in force
+
+    def test_accidental_expires_at_barline(self, builder):
+        voice = builder.add_voice("melody")
+        builder.note(voice, "F#4", Fraction(1, 1))
+        chord2 = builder.note(voice, "F#4", Fraction(1, 4))  # measure 2
+        note2 = builder.cmn.note_in_chord.children(chord2)[0]
+        assert note2["accidental"] == "#"
+
+    def test_natural_needed_against_key(self, builder):
+        voice = builder.add_voice("melody")  # Bb in key
+        chord = builder.note(voice, "B4", Fraction(1, 4))
+        note = builder.cmn.note_in_chord.children(chord)[0]
+        assert note["accidental"] == "n"
+
+    def test_wrong_degree_pitch_rejected(self, builder):
+        voice = builder.add_voice("melody")
+        from repro.pitch.pitch import Pitch
+
+        # G# cannot be notated on the A-degree; builder validates spelling.
+        with pytest.raises(NotationError):
+            builder._accidental_needed(
+                builder._state(voice), 3, Pitch.parse("G#4")
+            )
+
+    def test_round_trip_through_resolution(self, builder):
+        """What the builder writes, the view's resolver reads back."""
+        voice = builder.add_voice("melody")
+        names = ["G4", "F#4", "F#4", "Bb4", "B4", "Eb4", "E4", "G4"]
+        for name in names:
+            builder.note(voice, name, Fraction(1, 8))
+        builder.finish(derive=False)
+        pitches = builder.view.resolve_pitches(voice)
+        resolved = []
+        for item in builder.view.voice_stream(voice):
+            for note in builder.view.notes_of(item):
+                resolved.append(pitches[note.surrogate].name())
+        assert resolved == names

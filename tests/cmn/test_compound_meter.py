@@ -1,0 +1,114 @@
+"""Compound meters, fixtures sanity, and MIDI channel limits."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cmn.builder import ScoreBuilder
+from repro.errors import MidiError, NotationError
+
+
+class TestCompoundMeter:
+    def test_six_eight_fill(self):
+        builder = ScoreBuilder("jig", meter="6/8")
+        voice = builder.add_voice("melody")
+        for _ in range(6):
+            builder.note(voice, "G4", Fraction(1, 8))
+        builder.finish()
+        view = builder.view
+        movement = view.movements()[0]
+        assert view.movement_duration_beats(movement) == 3
+        assert len(view.measures(movement)) == 1
+
+    def test_six_eight_overflow(self):
+        builder = ScoreBuilder("jig", meter="6/8")
+        voice = builder.add_voice("melody")
+        builder.note(voice, "G4", Fraction(1, 2))  # 2 beats of 3
+        with pytest.raises(NotationError):
+            builder.note(voice, "A4", Fraction(1, 2))
+
+    def test_dotted_rhythm_offsets(self):
+        builder = ScoreBuilder("siciliana", meter="6/8")
+        voice = builder.add_voice("melody")
+        builder.note(voice, "G4", Fraction(3, 16))
+        builder.note(voice, "A4", Fraction(1, 16))
+        builder.note(voice, "B4", Fraction(1, 8))
+        builder.note(voice, "C5", Fraction(3, 8))
+        builder.finish()
+        measure = builder.view.measures(builder.movement)[0]
+        offsets = [s["offset_beats"] for s in builder.view.syncs(measure)]
+        assert offsets == [0, Fraction(3, 4), 1, Fraction(3, 2)]
+
+    def test_five_four(self):
+        builder = ScoreBuilder("take five", meter="5/4")
+        voice = builder.add_voice("melody")
+        for _ in range(5):
+            builder.note(voice, "Eb4", Fraction(1, 4))
+        builder.finish()
+        assert builder.view.movement_duration_beats(
+            builder.view.movements()[0]
+        ) == 5
+
+
+class TestFixtureSanity:
+    def test_subject_fills_measures(self):
+        from repro.fixtures.bwv578 import SUBJECT
+
+        total = sum(duration for _, duration in SUBJECT)
+        assert total == 4  # exactly four 4/4 measures
+
+    def test_incipit_parses(self):
+        from repro.darms.parser import parse_darms
+        from repro.fixtures.bwv578 import SUBJECT_INCIPIT_DARMS
+
+        assert parse_darms(SUBJECT_INCIPIT_DARMS)
+
+    def test_gloria_counts(self):
+        from repro.fixtures.gloria import build_gloria_score
+
+        builder, score = build_gloria_score()
+        counts = builder.view.counts()
+        assert counts == {
+            "movements": 1, "measures": 6, "syncs": counts["syncs"],
+            "chords": counts["chords"], "notes": counts["notes"],
+        }
+        assert counts["notes"] == counts["chords"]  # monophonic
+
+    def test_scale_score_shape(self):
+        from repro.fixtures.examples import make_scale_score
+
+        builder = make_scale_score(measures=2, voices=3, notes_per_measure=4)
+        counts = builder.view.counts()
+        assert counts["notes"] == 2 * 3 * 4
+        assert counts["measures"] == 2
+
+
+class TestChannelLimits:
+    def test_sixteen_instruments_rejected(self):
+        from repro.midi.extract import extract_midi
+
+        builder = ScoreBuilder("huge orchestra", meter="4/4")
+        for index in range(16):
+            voice = builder.add_voice(
+                "v%d" % index, instrument="Instrument %d" % index
+            )
+            builder.note(voice, "C4", Fraction(1, 4))
+        builder.pad_with_rests()
+        builder.finish()
+        with pytest.raises(MidiError):
+            extract_midi(builder.cmn, builder.score, store=False)
+
+    def test_percussion_channel_skipped(self):
+        from repro.midi.extract import extract_midi
+
+        builder = ScoreBuilder("ten instruments", meter="4/4")
+        for index in range(10):
+            voice = builder.add_voice(
+                "v%d" % index, instrument="Instrument %d" % index
+            )
+            builder.note(voice, "C4", Fraction(1, 4))
+        builder.pad_with_rests()
+        builder.finish()
+        events = extract_midi(builder.cmn, builder.score, store=False)
+        assert 9 not in events.channels()
+        assert 10 in events.channels()

@@ -1,0 +1,145 @@
+"""Event derivation: notes vs events, ties (section 7.2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cmn.builder import ScoreBuilder
+from repro.cmn.events import (
+    all_events,
+    derive_events,
+    events_of_voice,
+    total_duration_beats,
+)
+from repro.errors import NotationError
+
+
+@pytest.fixture
+def builder():
+    return ScoreBuilder("events test", meter="4/4")
+
+
+class TestPlainEvents:
+    def test_one_event_per_note(self, builder):
+        voice = builder.add_voice("melody")
+        builder.note(voice, "C4", Fraction(1, 4))
+        builder.note(voice, ["E4", "G4"], Fraction(1, 4))
+        builder.rest(voice, Fraction(1, 2))
+        builder.finish()
+        events = events_of_voice(builder.cmn, voice)
+        assert len(events) == 3  # C + two chord notes; the rest is silent
+
+    def test_start_and_duration(self, builder):
+        voice = builder.add_voice("melody")
+        builder.rest(voice, Fraction(1, 4))
+        builder.note(voice, "D4", Fraction(1, 2))
+        builder.finish()
+        (event,) = events_of_voice(builder.cmn, voice)
+        assert event["start_beats"] == 1
+        assert event["duration_beats"] == 2
+        assert event["midi_key"] == 62
+
+    def test_events_ordered_by_time(self, builder):
+        voice = builder.add_voice("melody")
+        for name in ("C4", "E4", "G4", "C5"):
+            builder.note(voice, name, Fraction(1, 4))
+        builder.finish()
+        events = events_of_voice(builder.cmn, voice)
+        starts = [e["start_beats"] for e in events]
+        assert starts == sorted(starts)
+
+    def test_derivation_idempotent(self, builder):
+        voice = builder.add_voice("melody")
+        builder.note(voice, "C4", Fraction(1, 4))
+        builder.finish()
+        derive_events(builder.cmn, builder.score)
+        derive_events(builder.cmn, builder.score)
+        assert len(events_of_voice(builder.cmn, voice)) == 1
+        assert builder.cmn.EVENT.count() == 1
+
+
+class TestTies:
+    def test_tie_merges_notes_into_one_event(self, builder):
+        voice = builder.add_voice("melody")
+        builder.note(voice, "D5", Fraction(1, 2), tied=True)
+        builder.note(voice, "D5", Fraction(1, 4))
+        builder.finish()
+        events = events_of_voice(builder.cmn, voice)
+        assert len(events) == 1
+        assert events[0]["duration_beats"] == 3
+        notes = builder.cmn.note_in_event.children(events[0])
+        assert len(notes) == 2
+
+    def test_tie_across_barline(self, builder):
+        voice = builder.add_voice("melody")
+        builder.note(voice, "G4", Fraction(1, 1), tied=True)  # full measure
+        builder.note(voice, "G4", Fraction(1, 4))  # into measure 2
+        builder.finish()
+        (event,) = events_of_voice(builder.cmn, voice)
+        assert event["duration_beats"] == 5
+
+    def test_chain_of_ties(self, builder):
+        voice = builder.add_voice("melody")
+        builder.note(voice, "A4", Fraction(1, 4), tied=True)
+        builder.note(voice, "A4", Fraction(1, 4), tied=True)
+        builder.note(voice, "A4", Fraction(1, 4))
+        builder.finish()
+        (event,) = events_of_voice(builder.cmn, voice)
+        assert event["duration_beats"] == 3
+        assert len(builder.cmn.note_in_event.children(event)) == 3
+
+    def test_partial_chord_tie(self, builder):
+        voice = builder.add_voice("melody")
+        builder.note(voice, ["C4", "E4"], Fraction(1, 4), tied=True)
+        builder.note(voice, ["C4", "E4"], Fraction(1, 4))
+        builder.note(voice, "G4", Fraction(1, 2))
+        builder.finish()
+        events = events_of_voice(builder.cmn, voice)
+        durations = sorted(e["duration_beats"] for e in events)
+        assert durations == [2, 2, 2]
+        assert len(events) == 3
+
+    def test_dangling_tie_rejected(self, builder):
+        voice = builder.add_voice("melody")
+        builder.note(voice, "C4", Fraction(1, 4), tied=True)
+        with pytest.raises(NotationError):
+            builder.finish()
+
+    def test_tie_without_continuation_pitch_rejected(self, builder):
+        voice = builder.add_voice("melody")
+        builder.note(voice, "C4", Fraction(1, 4), tied=True)
+        builder.note(voice, "D4", Fraction(1, 4))
+        with pytest.raises(NotationError):
+            builder.finish()
+
+    def test_tie_across_rest_rejected(self, builder):
+        voice = builder.add_voice("melody")
+        builder.note(voice, "C4", Fraction(1, 4), tied=True)
+        builder.rest(voice, Fraction(1, 4))
+        builder.note(voice, "C4", Fraction(1, 4))
+        with pytest.raises(NotationError):
+            builder.finish()
+
+
+class TestScoreLevel:
+    def test_all_events_across_voices(self, builder):
+        v1 = builder.add_voice("a")
+        v2 = builder.add_voice("b", clef="bass")
+        builder.note(v1, "C5", Fraction(1, 2))
+        builder.note(v2, "C3", Fraction(1, 2))
+        builder.finish()
+        events = all_events(builder.cmn, builder.score)
+        assert len(events) == 2
+        assert events[0]["midi_key"] == 72  # higher first at equal start
+
+    def test_total_duration(self, builder):
+        voice = builder.add_voice("a")
+        builder.note(voice, "C4", Fraction(1, 1))
+        builder.note(voice, "C4", Fraction(1, 2))
+        builder.finish()
+        assert total_duration_beats(builder.cmn, builder.score) == 6
+
+    def test_empty_score(self, builder):
+        builder.add_voice("a")
+        builder.finish()
+        assert total_duration_beats(builder.cmn, builder.score) == 0

@@ -1,0 +1,124 @@
+"""Melodic groups and score validation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cmn.builder import ScoreBuilder
+from repro.cmn.groups import GroupKind, beam, depth, flatten, make_group, slur, tuplet
+from repro.cmn.validate import errors_only, validate_score
+from repro.errors import NotationError
+
+
+@pytest.fixture
+def built():
+    builder = ScoreBuilder("groups test", meter="4/4")
+    voice = builder.add_voice("melody")
+    chords = [
+        builder.note(voice, name, Fraction(1, 8))
+        for name in ("C4", "D4", "E4", "F4", "G4", "A4", "B4", "C5")
+    ]
+    return builder, voice, chords
+
+
+class TestGroups:
+    def test_simple_beam(self, built):
+        builder, voice, chords = built
+        group = beam(builder.cmn, voice, chords[:4])
+        assert group["kind"] == "beam"
+        assert flatten(builder.cmn, group) == chords[:4]
+        assert depth(builder.cmn, group) == 1
+
+    def test_nested_groups(self, built):
+        builder, voice, chords = built
+        inner = beam(builder.cmn, voice, chords[:2])
+        outer = beam(builder.cmn, voice, [inner] + chords[2:4])
+        assert depth(builder.cmn, outer) == 2
+        assert flatten(builder.cmn, outer) == chords[:4]
+        # inner no longer sits at voice level
+        assert builder.view.groups_of_voice(voice) == [outer]
+
+    def test_rest_member(self, built):
+        builder, voice, chords = built
+        rest = builder.rest(voice, Fraction(1, 8))
+        group = make_group(builder.cmn, voice, GroupKind.PHRASE,
+                           [chords[-1], rest])
+        assert [m.type.name for m in flatten(builder.cmn, group)] == [
+            "CHORD", "REST",
+        ]
+
+    def test_empty_group_rejected(self, built):
+        builder, voice, _ = built
+        with pytest.raises(NotationError):
+            beam(builder.cmn, voice, [])
+
+    def test_unknown_kind_rejected(self, built):
+        builder, voice, chords = built
+        with pytest.raises(NotationError):
+            make_group(builder.cmn, voice, "swoosh", chords[:2])
+
+    def test_foreign_chord_rejected(self, built):
+        builder, voice, chords = built
+        other_voice = builder.add_voice("other")
+        foreign = builder.note(other_voice, "C3", Fraction(1, 4))
+        with pytest.raises(NotationError):
+            beam(builder.cmn, voice, [foreign])
+
+    def test_tuplet_ratio_validation(self, built):
+        builder, voice, chords = built
+        with pytest.raises(NotationError):
+            tuplet(builder.cmn, voice, chords[:3], actual=0, normal=2)
+
+    def test_group_duration(self, built):
+        builder, voice, chords = built
+        group = slur(builder.cmn, voice, chords[:4])
+        assert builder.view.group_duration_beats(group) == 2
+
+
+class TestValidation:
+    def test_clean_score(self, bwv578):
+        issues = validate_score(bwv578.cmn, bwv578.score)
+        assert issues == []
+
+    def test_underfull_voice_warns(self):
+        builder = ScoreBuilder("underfull", meter="4/4")
+        v1 = builder.add_voice("a")
+        v2 = builder.add_voice("b")
+        builder.note(v1, "C4", Fraction(1, 1))
+        builder.note(v2, "C3", Fraction(1, 4))  # 3 beats missing
+        builder.finish(derive=False)
+        issues = validate_score(builder.cmn, builder.score)
+        assert any(i.code == "voice-underfull" for i in issues)
+        assert errors_only(issues) == []
+
+    def test_dangling_tie_reported(self):
+        builder = ScoreBuilder("tie", meter="4/4")
+        voice = builder.add_voice("a")
+        builder.note(voice, "C4", Fraction(1, 1), tied=True)
+        builder.finish(derive=False)
+        issues = validate_score(builder.cmn, builder.score)
+        assert any(i.code == "dangling-tie" for i in issues)
+
+    def test_sync_voice_conflict_detected(self):
+        builder = ScoreBuilder("conflict", meter="4/4")
+        voice = builder.add_voice("a")
+        c1 = builder.note(voice, "C4", Fraction(1, 4))
+        # Force a second chord of the same voice onto the same sync.
+        cmn = builder.cmn
+        sync = cmn.chord_in_sync.parent_of(c1)
+        rogue = cmn.CHORD.create(duration=Fraction(1, 4))
+        cmn.chord_in_sync.append(sync, rogue)
+        cmn.chord_rest_in_voice.append(voice, rogue)
+        issues = validate_score(cmn, builder.score)
+        assert any(i.code == "sync-voice" for i in issues)
+
+    def test_bad_sync_offset_detected(self):
+        builder = ScoreBuilder("offsets", meter="4/4")
+        voice = builder.add_voice("a")
+        builder.note(voice, "C4", Fraction(1, 4))
+        cmn = builder.cmn
+        measure = builder.view.measures(builder.movement)[0]
+        rogue_sync = cmn.SYNC.create(offset_beats=Fraction(9))
+        cmn.sync_in_measure.append(measure, rogue_sync)
+        issues = validate_score(cmn, builder.score)
+        assert any(i.code == "sync-offset" for i in issues)

@@ -1,0 +1,87 @@
+"""Multi-movement scores through the builder."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cmn.builder import ScoreBuilder
+from repro.cmn.events import all_events
+from repro.cmn.validate import errors_only, validate_score
+from repro.pitch.key import KeySignature
+
+
+@pytest.fixture
+def suite():
+    builder = ScoreBuilder(
+        "Suite", key=KeySignature(0), meter="4/4", bpm=100,
+        movement_name="Allemande",
+    )
+    voice = builder.add_voice("melody")
+    builder.note(voice, "C4", Fraction(1, 1))
+    second = builder.new_movement("Courante", meter="3/4",
+                                  key=KeySignature.sharps(1), bpm=140)
+    builder.note(voice, "D4", Fraction(3, 4))
+    builder.finish()
+    return builder, voice, second
+
+
+class TestMovements:
+    def test_two_movements_ordered(self, suite):
+        builder, _, _ = suite
+        movements = builder.view.movements()
+        assert [m["name"] for m in movements] == ["Allemande", "Courante"]
+        assert [m["number"] for m in movements] == [1, 2]
+
+    def test_per_movement_attributes(self, suite):
+        builder, _, second = suite
+        assert second["key_fifths"] == 1
+        assert second["initial_bpm"] == 140
+        measure = builder.view.measures(second)[0]
+        assert measure["meter"] == "3/4"
+
+    def test_score_duration_sums_movements(self, suite):
+        builder, _, _ = suite
+        assert builder.view.score_duration_beats() == 4 + 3
+
+    def test_event_starts_span_movements(self, suite):
+        builder, _, _ = suite
+        events = all_events(builder.cmn, builder.score)
+        starts = [e["start_beats"] for e in events]
+        assert starts == [0, 4]  # second movement begins at beat 4
+
+    def test_movement_starts_map(self, suite):
+        builder, _, second = suite
+        starts = builder.view.movement_starts()
+        assert starts[second.surrogate] == 4
+
+    def test_measure_numbering_restarts(self, suite):
+        builder, _, second = suite
+        assert [m["number"] for m in builder.view.measures(second)] == [1]
+
+    def test_validation_clean(self, suite):
+        builder, _, _ = suite
+        assert errors_only(validate_score(builder.cmn, builder.score)) == []
+
+    def test_underfull_previous_movement_padded(self):
+        builder = ScoreBuilder("padded", meter="4/4")
+        voice = builder.add_voice("melody")
+        builder.note(voice, "C4", Fraction(1, 4))  # 3 beats missing
+        builder.new_movement("II")
+        builder.note(voice, "D4", Fraction(1, 1))
+        builder.finish()
+        stream = builder.view.voice_stream(voice)
+        kinds = [item.type.name for item in stream]
+        assert kinds == ["CHORD", "REST", "CHORD"]
+        assert builder.view.score_duration_beats() == 8
+
+    def test_accidental_state_resets_with_key(self):
+        builder = ScoreBuilder("keys", key=KeySignature(0), meter="4/4")
+        voice = builder.add_voice("melody")
+        builder.note(voice, "F#4", Fraction(1, 1))
+        builder.new_movement("II", key=KeySignature.sharps(1))
+        chord = builder.note(voice, "F#4", Fraction(3, 4))
+        builder.note(voice, "G4", Fraction(1, 4))
+        builder.finish()
+        note = builder.view.notes_of(chord)[0]
+        # In the new movement's key, F# needs no explicit accidental.
+        assert note["accidental"] is None

@@ -1,0 +1,70 @@
+"""The assembled CMN schema."""
+
+from repro.cmn.entities import CMN_ENTITIES
+from repro.cmn.schema import (
+    ALL_ORDERINGS,
+    CmnSchema,
+    GRAPHICAL_ORDERINGS,
+    TEMPORAL_ORDERINGS,
+    TIMBRAL_ORDERINGS,
+)
+from repro.core.hograph import OrderingForm
+
+
+class TestConstruction:
+    def test_all_entities_defined(self, cmn):
+        for definition in CMN_ENTITIES:
+            assert cmn.schema.has_entity_type(definition.name)
+
+    def test_all_orderings_defined(self, cmn):
+        for name in ALL_ORDERINGS:
+            assert name in cmn.schema.orderings
+
+    def test_attribute_access(self, cmn):
+        note = cmn.NOTE
+        assert note.has_attribute("degree")
+        assert cmn.note_in_chord.parent_type == "CHORD"
+        assert cmn.PERFORMS.cardinality == "m:n"
+
+    def test_unknown_attribute_raises(self, cmn):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            cmn.NOT_A_THING
+
+    def test_aspect_partition(self):
+        overlap = set(TEMPORAL_ORDERINGS) & set(TIMBRAL_ORDERINGS)
+        assert not overlap
+        assert not set(TEMPORAL_ORDERINGS) & set(GRAPHICAL_ORDERINGS)
+
+
+class TestHoGraphs:
+    def test_temporal_graph_shape(self, cmn):
+        graph = cmn.temporal_ho_graph()
+        names = {name for name, _, _ in graph.edges()}
+        assert names == set(TEMPORAL_ORDERINGS)
+
+    def test_section55_examples_present(self, cmn):
+        """The paper's five ordering forms all occur in the CMN schema."""
+        graph = cmn.ho_graph()
+        all_forms = set()
+        for ordering in graph.orderings:
+            all_forms |= graph.classify(ordering)
+        assert OrderingForm.MULTI_LEVEL in all_forms
+        assert OrderingForm.MULTIPLE_ORDERINGS_UNDER_PARENT in all_forms
+        assert OrderingForm.INHOMOGENEOUS in all_forms
+        assert OrderingForm.MULTIPLE_PARENTS in all_forms
+        assert OrderingForm.RECURSIVE in all_forms
+
+    def test_part_and_staff_under_instrument(self, cmn):
+        graph = cmn.ho_graph("timbral")
+        forms = graph.classify(cmn.part_in_instrument)
+        assert OrderingForm.MULTIPLE_ORDERINGS_UNDER_PARENT in forms
+
+    def test_note_multiple_parents(self, cmn):
+        graph = cmn.ho_graph()
+        forms = graph.classify(cmn.note_in_chord)
+        assert OrderingForm.MULTIPLE_PARENTS in forms
+
+    def test_no_unintended_type_cycles(self, cmn):
+        assert cmn.ho_graph().validate() is None

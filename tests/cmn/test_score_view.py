@@ -1,0 +1,110 @@
+"""ScoreView traversal and derived temporal attributes."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cmn.builder import ScoreBuilder
+from repro.pitch.key import KeySignature
+
+
+class TestTraversal:
+    def test_counts(self, bwv578):
+        counts = bwv578.view.counts()
+        assert counts["movements"] == 1
+        assert counts["measures"] == 8
+        assert counts["notes"] > 40
+
+    def test_voices_listed(self, bwv578):
+        names = [v["name"] for v in bwv578.view.voices()]
+        assert names == ["soprano", "alto"]
+
+    def test_instrument_and_staff_of_voice(self, bwv578):
+        view = bwv578.view
+        voice = bwv578.voice("soprano")
+        assert view.instrument_of_voice(voice)["name"] == "Organ"
+        staff = view.staff_of_voice(voice)
+        assert staff["clef"] == "treble"
+
+    def test_voice_stream_inhomogeneous(self, bwv578):
+        view = bwv578.view
+        alto = bwv578.voice("alto")
+        kinds = [item.type.name for item in view.voice_stream(alto)]
+        assert kinds[0] == "REST"  # two measures of rest first
+        assert "CHORD" in kinds
+
+
+class TestTemporalAttributes:
+    def test_measure_starts(self, bwv578):
+        view = bwv578.view
+        movement = view.movements()[0]
+        starts = view.measure_starts(movement)
+        assert sorted(starts.values()) == [0, 4, 8, 12, 16, 20, 24, 28]
+
+    def test_score_duration_sums_movements(self, bwv578):
+        view = bwv578.view
+        assert view.score_duration_beats() == 32
+
+    def test_mixed_meters(self):
+        builder = ScoreBuilder("mixed", meter="4/4")
+        builder.set_meter(2, "3/4")
+        voice = builder.add_voice("a")
+        for _ in range(4):
+            builder.note(voice, "C4", Fraction(1, 4))
+        for _ in range(3):
+            builder.note(voice, "C4", Fraction(1, 4))
+        builder.finish(derive=False)
+        view = builder.view
+        movement = view.movements()[0]
+        assert view.movement_duration_beats(movement) == 7
+        starts = view.measure_starts(movement)
+        assert sorted(starts.values()) == [0, 4]
+
+    def test_chord_start_inherited_from_sync(self, bwv578):
+        view = bwv578.view
+        soprano = bwv578.voice("soprano")
+        stream = [
+            item for item in view.voice_stream(soprano)
+            if item.type.name == "CHORD"
+        ]
+        # Second chord of the subject starts on beat 1.
+        assert view.chord_start_beats(stream[1]) == 1
+        assert view.chord_duration_beats(stream[0]) == 1
+
+    def test_multi_movement_offsets(self):
+        builder = ScoreBuilder("two movements", meter="4/4")
+        voice = builder.add_voice("a")
+        builder.note(voice, "C4", Fraction(1, 1))
+        # Add a second movement manually.
+        cmn = builder.cmn
+        second = cmn.MOVEMENT.create(number=2, name="II", key_fifths=0,
+                                     initial_bpm=120)
+        cmn.movement_in_score.append(builder.score, second)
+        view = builder.view
+        starts = view.movement_starts()
+        assert starts[builder.movement.surrogate] == 0
+        assert starts[second.surrogate] == 4
+
+
+class TestPitchResolution:
+    def test_key_signature_applied(self):
+        builder = ScoreBuilder("keys", key=KeySignature.sharps(2), meter="4/4")
+        voice = builder.add_voice("a")
+        builder.note(voice, "F#4", Fraction(1, 4))
+        builder.note(voice, "C#5", Fraction(1, 4))
+        builder.note(voice, "G4", Fraction(1, 2))
+        builder.finish(derive=False)
+        pitches = builder.view.resolve_pitches(voice)
+        names = sorted(p.name() for p in pitches.values())
+        assert names == ["C#5", "F#4", "G4"]
+
+    def test_key_of_movement(self, bwv578):
+        view = bwv578.view
+        key = view.key_of(view.movements()[0])
+        assert key.fifths == -2
+        assert key.minor_key() == "g"
+
+    def test_default_clef_without_staff(self):
+        builder = ScoreBuilder("clefless", meter="4/4")
+        voice = builder.add_voice("a", clef="bass")
+        assert builder.view.clef_of_voice(voice).name == "bass"

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.cmn.schema import CmnSchema
+
+
+@pytest.fixture
+def schema():
+    """An empty in-memory schema."""
+    return Schema("test")
+
+
+@pytest.fixture
+def chord_schema():
+    """The paper's NOTE/CHORD schema with note_in_chord populated."""
+    s = Schema("chords")
+    s.define_entity("CHORD", [("name", "integer")])
+    s.define_entity("NOTE", [("name", "integer"), ("pitch", "integer")])
+    ordering = s.define_ordering("note_in_chord", ["NOTE"], under="CHORD")
+    chord = s.entity_type("CHORD").create(name=1)
+    notes = [
+        s.entity_type("NOTE").create(name=i, pitch=60 + i) for i in range(1, 5)
+    ]
+    for note in notes:
+        ordering.append(chord, note)
+    return s, ordering, chord, notes
+
+
+@pytest.fixture
+def cmn():
+    """A fresh CMN schema."""
+    return CmnSchema()
+
+
+@pytest.fixture
+def bwv578():
+    """The BWV 578 opening (finished builder)."""
+    from repro.fixtures.bwv578 import build_bwv578_score
+
+    return build_bwv578_score()

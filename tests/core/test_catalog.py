@@ -1,0 +1,98 @@
+"""The section 6 meta-catalog: schema stored as ordered entities."""
+
+import pytest
+
+from repro.core.catalog import MetaCatalog
+
+
+@pytest.fixture
+def catalogued(schema):
+    schema.define_entity("CHORD", [("name", "integer")])
+    schema.define_entity("NOTE", [("name", "integer"), ("pitch", "string")])
+    schema.define_relationship(
+        "HARMONY", [("a", "CHORD"), ("b", "CHORD")], [("interval", "integer")]
+    )
+    schema.define_ordering("note_in_chord", ["NOTE"], under="CHORD")
+    catalog = MetaCatalog(schema).sync()
+    return schema, catalog
+
+
+class TestPopulation:
+    def test_entities_catalogued(self, catalogued):
+        _, catalog = catalogued
+        names = catalog.catalogued_entities()
+        assert "NOTE" in names and "CHORD" in names
+        # The blur: meta types catalogue themselves.
+        for meta in ("ENTITY", "ATTRIBUTE", "RELATIONSHIP", "ORDERING"):
+            assert meta in names
+
+    def test_attributes_ordered_under_entity(self, catalogued):
+        _, catalog = catalogued
+        attributes = catalog.attributes_of_entity("NOTE")
+        assert [a["attribute_name"] for a in attributes] == ["name", "pitch"]
+        assert [a["attribute_type"] for a in attributes] == ["integer", "string"]
+
+    def test_relationship_attributes(self, catalogued):
+        _, catalog = catalogued
+        attributes = catalog.attributes_of_relationship("HARMONY")
+        assert [a["attribute_name"] for a in attributes] == ["a", "b", "interval"]
+
+    def test_ordering_parent_is_entity_reference(self, catalogued):
+        _, catalog = catalogued
+        parent = catalog.parent_of_ordering("note_in_chord")
+        assert parent["entity_name"] == "CHORD"
+
+    def test_order_child_relationship(self, catalogued):
+        _, catalog = catalogued
+        children = catalog.children_of_ordering("note_in_chord")
+        assert [c["entity_name"] for c in children] == ["NOTE"]
+
+    def test_sync_idempotent(self, catalogued):
+        _, catalog = catalogued
+        before = len(catalog.entity_table.instances())
+        catalog.sync()
+        assert len(catalog.entity_table.instances()) == before
+
+    def test_sync_picks_up_new_types(self, catalogued):
+        schema, catalog = catalogued
+        schema.define_entity("REST", [("duration", "string")])
+        catalog.sync()
+        assert "REST" in catalog.catalogued_entities()
+
+
+class TestReconstruction:
+    def test_round_trip_ddl(self, catalogued):
+        schema, catalog = catalogued
+        rebuilt = catalog.reconstruct()
+        # Compare only the user-level statements.
+        for line in (
+            "define entity NOTE (name = integer, pitch = string)",
+            "define ordering note_in_chord (NOTE) under CHORD",
+        ):
+            assert line in rebuilt.ddl()
+
+    def test_rebuilt_schema_is_live(self, catalogued):
+        _, catalog = catalogued
+        rebuilt = catalog.reconstruct()
+        chord = rebuilt.entity_type("CHORD").create(name=1)
+        note = rebuilt.entity_type("NOTE").create(name=1, pitch="g")
+        rebuilt.ordering("note_in_chord").append(chord, note)
+        assert rebuilt.ordering("note_in_chord").under(note, chord)
+
+    def test_relationship_roles_vs_attributes(self, catalogued):
+        _, catalog = catalogued
+        rebuilt = catalog.reconstruct()
+        harmony = rebuilt.relationship("HARMONY")
+        assert [r for r, _ in harmony.roles] == ["a", "b"]
+        assert [a.name for a in harmony.attributes] == ["interval"]
+
+    def test_reconstruct_skips_meta_by_default(self, catalogued):
+        _, catalog = catalogued
+        rebuilt = catalog.reconstruct()
+        assert not rebuilt.has_entity_type("ENTITY")
+
+    def test_reconstruct_include_meta(self, catalogued):
+        _, catalog = catalogued
+        rebuilt = catalog.reconstruct(include_meta=True)
+        assert rebuilt.has_entity_type("ENTITY")
+        assert "entity_attributes" in rebuilt.orderings

@@ -1,0 +1,128 @@
+"""Edge cases across the core: error formatting, attribute specs,
+instance-graph construction, default ordering names."""
+
+import pytest
+
+from repro.core.attributes import AttributeDef, parse_attribute_spec
+from repro.core.instance_graph import InstanceGraph
+from repro.core.ordering import default_ordering_name
+from repro.errors import IntegrityError, MDMError, ParseError, SchemaError
+
+
+class TestParseErrorFormatting:
+    def test_with_location(self):
+        error = ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert "column 7" in str(error)
+        assert error.line == 3
+
+    def test_line_only(self):
+        error = ParseError("bad token", line=3)
+        assert "line 3" in str(error)
+        assert "column" not in str(error)
+
+    def test_without_location(self):
+        assert str(ParseError("bad token")) == "bad token"
+
+    def test_hierarchy(self):
+        from repro import errors
+
+        assert issubclass(errors.DarmsError, errors.ParseError)
+        assert issubclass(errors.ParseError, MDMError)
+        assert issubclass(errors.OrderingCycleError, errors.IntegrityError)
+        assert issubclass(errors.DeadlockError, errors.TransactionError)
+
+
+class TestAttributeSpecs:
+    def test_from_def(self):
+        definition = AttributeDef("x", "integer")
+        assert parse_attribute_spec(definition) is definition
+
+    def test_from_pair(self):
+        definition = parse_attribute_spec(("x", "string"))
+        assert definition.domain_name() == "string"
+        assert not definition.is_entity_valued
+
+    def test_from_triple(self):
+        definition = parse_attribute_spec(("x", "entity", "NOTE"))
+        assert definition.is_entity_valued
+        assert definition.target_type == "NOTE"
+
+    def test_entity_domain_by_name(self):
+        definition = AttributeDef("when", "DATE")
+        assert definition.is_entity_valued
+        assert definition.domain_name() == "DATE"
+
+    def test_bad_specs(self):
+        with pytest.raises(SchemaError):
+            parse_attribute_spec(("only-one",))
+        with pytest.raises(SchemaError):
+            parse_attribute_spec("string")
+        with pytest.raises(SchemaError):
+            AttributeDef("", "integer")
+        with pytest.raises(SchemaError):
+            AttributeDef("x", "integer", "NOTE")  # scalar with target
+
+    def test_equality(self):
+        assert AttributeDef("x", "integer") == AttributeDef("x", "integer")
+        assert AttributeDef("x", "integer") != AttributeDef("x", "string")
+
+
+class TestInstanceGraphEdges:
+    def test_from_orderings_requires_one(self, schema):
+        with pytest.raises(IntegrityError):
+            InstanceGraph.from_orderings([], [])
+
+    def test_empty_ordering_graph(self, schema):
+        schema.define_entity("A", [("n", "integer")])
+        schema.define_entity("B", [("n", "integer")])
+        ordering = schema.define_ordering("o", ["A"], under="B")
+        graph = InstanceGraph.from_ordering(ordering)
+        assert graph.node_count() == 0
+        assert graph.to_ascii() == ""
+
+    def test_label_override(self, chord_schema):
+        _, ordering, chord, notes = chord_schema
+        graph = InstanceGraph.from_ordering(ordering)
+        graph.label(chord, "the chord")
+        assert "the chord" in graph.to_ascii()
+
+
+class TestDefaultOrderingNames:
+    def test_single_child(self):
+        assert default_ordering_name(["NOTE"], "CHORD") == "NOTE_under_CHORD"
+
+    def test_multiple_children(self):
+        assert (
+            default_ordering_name(["CHORD", "REST"], "VOICE")
+            == "CHORD_REST_under_VOICE"
+        )
+
+
+class TestExperimentRegistryGuards:
+    def test_wrong_id_detected(self, monkeypatch):
+        from repro.experiments import registry
+        from repro.experiments.registry import ExperimentResult
+
+        class FakeModule:
+            @staticmethod
+            def run():
+                return ExperimentResult("fig99", "wrong", "artifact")
+
+        monkeypatch.setitem(
+            registry.EXPERIMENTS, "figXX", ("fake", "fake artifact")
+        )
+        monkeypatch.setattr(
+            registry, "get_experiment", lambda _id: FakeModule
+        )
+        with pytest.raises(MDMError):
+            registry.run_experiment("figXX")
+
+    def test_result_repr(self):
+        from repro.experiments.registry import ExperimentResult
+
+        good = ExperimentResult("fig01", "t", "a", checks={"x": True})
+        bad = ExperimentResult("fig01", "t", "a", checks={"x": False})
+        assert "ok" in repr(good)
+        assert "FAILED" in repr(bad)
+        assert bad.failed_checks() == ["x"]

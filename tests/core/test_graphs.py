@@ -1,0 +1,146 @@
+"""Instance graphs and HO graphs."""
+
+import pytest
+
+from repro.core.hograph import HOGraph, OrderingForm
+from repro.core.instance_graph import InstanceGraph
+
+
+@pytest.fixture
+def beamed(schema):
+    schema.define_entity("GROUP", [("label", "string")])
+    schema.define_entity("CHORD", [("label", "string")])
+    ordering = schema.define_ordering("g", ["GROUP", "CHORD"], under="GROUP")
+    outer = schema.entity_type("GROUP").create(label="g1")
+    inner = schema.entity_type("GROUP").create(label="g2")
+    chords = [schema.entity_type("CHORD").create(label="c%d" % i) for i in (1, 2, 3)]
+    ordering.append(outer, inner)
+    ordering.append(inner, chords[0])
+    ordering.append(inner, chords[1])
+    ordering.append(outer, chords[2])
+    return schema, ordering, outer, inner, chords
+
+
+class TestInstanceGraph:
+    def test_counts(self, chord_schema):
+        _, ordering, _, _ = chord_schema
+        graph = InstanceGraph.from_ordering(ordering)
+        assert graph.node_count() == 5
+        assert graph.edge_counts() == {"p_edges": 4, "s_edges": 3}
+
+    def test_recursive_subtrees(self, beamed):
+        _, ordering, outer, inner, chords = beamed
+        graph = InstanceGraph.from_ordering(ordering)
+        assert graph.node_count() == 5
+        assert graph.roots() == [outer]
+        assert graph.children_of(outer) == [inner, chords[2]]
+        assert graph.children_of(inner) == chords[:2]
+
+    def test_ascii_rendering(self, beamed):
+        _, ordering, outer, inner, chords = beamed
+        graph = InstanceGraph.from_ordering(ordering)
+        graph.label(outer, "g1")
+        text = graph.to_ascii()
+        assert text.splitlines()[0] == "g1"
+        assert "[1]" in text and "[2]" in text
+        assert text.count("\n") == 4
+
+    def test_dot_rendering(self, chord_schema):
+        _, ordering, _, _ = chord_schema
+        graph = InstanceGraph.from_ordering(ordering)
+        dot = graph.to_dot()
+        assert dot.startswith("digraph")
+        assert dot.count('label="P:') == 4
+        assert dot.count("style=dashed") == 3
+
+    def test_edge_list_ordinals(self, chord_schema):
+        _, ordering, _, notes = chord_schema
+        graph = InstanceGraph.from_ordering(ordering)
+        text = graph.to_edge_list()
+        assert "(ordinal 3, ordering note_in_chord)" in text
+
+    def test_multiple_orderings_combined(self, schema):
+        schema.define_entity("MEASURE", [("n", "integer")])
+        schema.define_entity("CHORD", [("n", "integer")])
+        schema.define_entity("NOTE", [("n", "integer")])
+        cim = schema.define_ordering("cim", ["CHORD"], under="MEASURE")
+        nic = schema.define_ordering("nic", ["NOTE"], under="CHORD")
+        measure = schema.entity_type("MEASURE").create(n=1)
+        chord = schema.entity_type("CHORD").create(n=1)
+        note = schema.entity_type("NOTE").create(n=1)
+        cim.append(measure, chord)
+        nic.append(chord, note)
+        graph = InstanceGraph(schema)
+        graph.add_subtree(cim, measure)
+        graph.add_subtree(nic, chord)
+        assert graph.node_count() == 3
+
+
+class TestHOGraph:
+    def test_entity_types_and_edges(self, beamed):
+        schema, _, _, _, _ = beamed
+        graph = HOGraph(schema)
+        assert graph.entity_types() == ["CHORD", "GROUP"]
+        assert graph.edges() == [("g", ("GROUP", "CHORD"), "GROUP")]
+
+    def test_classification_recursive(self, beamed):
+        schema, ordering, _, _, _ = beamed
+        graph = HOGraph(schema)
+        forms = graph.classify(ordering)
+        assert OrderingForm.RECURSIVE in forms
+        assert OrderingForm.INHOMOGENEOUS in forms
+
+    def test_classification_multiple_parents(self, schema):
+        schema.define_entity("NOTE", [("n", "integer")])
+        schema.define_entity("CHORD", [("n", "integer")])
+        schema.define_entity("STAFF", [("n", "integer")])
+        schema.define_ordering("a", ["NOTE"], under="CHORD")
+        schema.define_ordering("b", ["NOTE"], under="STAFF")
+        graph = HOGraph(schema)
+        for name in ("a", "b"):
+            assert OrderingForm.MULTIPLE_PARENTS in graph.classify(
+                schema.ordering(name)
+            )
+
+    def test_classification_multiple_orderings_under_parent(self, schema):
+        schema.define_entity("INSTRUMENT", [("n", "integer")])
+        schema.define_entity("PART", [("n", "integer")])
+        schema.define_entity("STAFF", [("n", "integer")])
+        schema.define_ordering("p", ["PART"], under="INSTRUMENT")
+        schema.define_ordering("s", ["STAFF"], under="INSTRUMENT")
+        graph = HOGraph(schema)
+        forms = graph.classify(schema.ordering("p"))
+        assert OrderingForm.MULTIPLE_ORDERINGS_UNDER_PARENT in forms
+
+    def test_validate_finds_type_cycle(self, schema):
+        schema.define_entity("A", [("n", "integer")])
+        schema.define_entity("B", [("n", "integer")])
+        schema.define_ordering("ab", ["A"], under="B")
+        schema.define_ordering("ba", ["B"], under="A")
+        graph = HOGraph(schema)
+        cycle = graph.validate()
+        assert cycle is not None
+        assert set(cycle) >= {"A", "B"}
+
+    def test_validate_ok_on_tree(self, schema):
+        schema.define_entity("A", [("n", "integer")])
+        schema.define_entity("B", [("n", "integer")])
+        schema.define_ordering("ab", ["A"], under="B")
+        assert HOGraph(schema).validate() is None
+
+    def test_topological_levels(self, schema):
+        schema.define_entity("NOTE", [("n", "integer")])
+        schema.define_entity("CHORD", [("n", "integer")])
+        schema.define_entity("MEASURE", [("n", "integer")])
+        schema.define_ordering("nic", ["NOTE"], under="CHORD")
+        schema.define_ordering("cim", ["CHORD"], under="MEASURE")
+        levels = HOGraph(schema).topological_levels()
+        assert levels[0] == ["MEASURE"]
+        assert levels[1] == ["CHORD"]
+        assert levels[2] == ["NOTE"]
+
+    def test_renderings(self, beamed):
+        schema, _, _, _, _ = beamed
+        graph = HOGraph(schema)
+        assert "(recursive)" in graph.to_ascii()
+        assert graph.to_dot().startswith("digraph")

@@ -1,0 +1,283 @@
+"""Hierarchical ordering: the paper's core mechanism."""
+
+import pytest
+
+from repro.errors import (
+    IntegrityError,
+    OrderingCycleError,
+    OrderingMembershipError,
+    SchemaError,
+)
+
+
+class TestDefinition:
+    def test_unknown_types_rejected(self, schema):
+        schema.define_entity("A", [("x", "integer")])
+        with pytest.raises(SchemaError):
+            schema.define_ordering("o", ["NOPE"], under="A")
+        with pytest.raises(SchemaError):
+            schema.define_ordering("o", ["A"], under="NOPE")
+
+    def test_default_name(self, schema):
+        schema.define_entity("NOTE", [("x", "integer")])
+        schema.define_entity("CHORD", [("x", "integer")])
+        ordering = schema.define_ordering(None, ["NOTE"], under="CHORD")
+        assert ordering.name == "NOTE_under_CHORD"
+
+    def test_ddl_round_trip(self, chord_schema):
+        schema, ordering, _, _ = chord_schema
+        assert ordering.ddl() == "define ordering note_in_chord (NOTE) under CHORD"
+
+    def test_classification_flags(self, schema):
+        schema.define_entity("GROUP", [("x", "integer")])
+        schema.define_entity("CHORD", [("x", "integer")])
+        rec = schema.define_ordering("g", ["GROUP", "CHORD"], under="GROUP")
+        assert rec.is_recursive
+        assert rec.is_inhomogeneous
+
+
+class TestPositions:
+    def test_append_positions(self, chord_schema):
+        _, ordering, chord, notes = chord_schema
+        assert [ordering.position_of(n) for n in notes] == [1, 2, 3, 4]
+
+    def test_child_at(self, chord_schema):
+        _, ordering, chord, notes = chord_schema
+        assert ordering.child_at(chord, 3) == notes[2]
+        assert ordering.child_at(chord, 99) is None
+
+    def test_insert_shifts_right(self, chord_schema):
+        schema, ordering, chord, notes = chord_schema
+        new = schema.entity_type("NOTE").create(name=9, pitch=99)
+        ordering.insert(chord, new, 2)
+        assert [n["name"] for n in ordering.children(chord)] == [1, 9, 2, 3, 4]
+        ordering.check_invariants()
+
+    def test_insert_position_bounds(self, chord_schema):
+        schema, ordering, chord, _ = chord_schema
+        new = schema.entity_type("NOTE").create(name=9, pitch=99)
+        with pytest.raises(OrderingMembershipError):
+            ordering.insert(chord, new, 0)
+        with pytest.raises(OrderingMembershipError):
+            ordering.insert(chord, new, 6)
+
+    def test_remove_shifts_left(self, chord_schema):
+        _, ordering, chord, notes = chord_schema
+        ordering.remove(notes[1])
+        assert [n["name"] for n in ordering.children(chord)] == [1, 3, 4]
+        assert ordering.position_of(notes[3]) == 3
+        ordering.check_invariants()
+
+    def test_move(self, chord_schema):
+        _, ordering, chord, notes = chord_schema
+        ordering.move(notes[3], 1)
+        assert [n["name"] for n in ordering.children(chord)] == [4, 1, 2, 3]
+        ordering.check_invariants()
+
+    def test_reparent(self, chord_schema):
+        schema, ordering, chord, notes = chord_schema
+        other = schema.entity_type("CHORD").create(name=2)
+        ordering.reparent(notes[0], other)
+        assert ordering.parent_of(notes[0]) == other
+        assert len(ordering.children(chord)) == 3
+        ordering.check_invariants()
+
+    def test_clear(self, chord_schema):
+        _, ordering, chord, _ = chord_schema
+        ordering.clear(chord)
+        assert ordering.children(chord) == []
+        assert ordering.table_size() == 0
+
+
+class TestMembership:
+    def test_child_in_one_place_only(self, chord_schema):
+        schema, ordering, chord, notes = chord_schema
+        other = schema.entity_type("CHORD").create(name=2)
+        with pytest.raises(OrderingMembershipError):
+            ordering.append(other, notes[0])
+
+    def test_remove_nonmember(self, chord_schema):
+        schema, ordering, _, _ = chord_schema
+        loose = schema.entity_type("NOTE").create(name=9, pitch=1)
+        with pytest.raises(OrderingMembershipError):
+            ordering.remove(loose)
+
+    def test_wrong_child_type(self, chord_schema):
+        schema, ordering, chord, _ = chord_schema
+        other_chord = schema.entity_type("CHORD").create(name=3)
+        with pytest.raises(IntegrityError):
+            ordering.append(chord, other_chord)
+
+    def test_wrong_parent_type(self, chord_schema):
+        schema, ordering, _, notes = chord_schema
+        with pytest.raises(IntegrityError):
+            ordering.append(notes[0], notes[1])
+
+    def test_contains(self, chord_schema):
+        schema, ordering, _, notes = chord_schema
+        assert ordering.contains(notes[0])
+        loose = schema.entity_type("NOTE").create(name=9, pitch=1)
+        assert not ordering.contains(loose)
+
+
+class TestOperators:
+    """The section 5.6 semantics of before/after/under."""
+
+    def test_before_same_parent(self, chord_schema):
+        _, ordering, _, notes = chord_schema
+        assert ordering.before(notes[0], notes[2])
+        assert not ordering.before(notes[2], notes[0])
+        assert not ordering.before(notes[1], notes[1])
+
+    def test_after(self, chord_schema):
+        _, ordering, _, notes = chord_schema
+        assert ordering.after(notes[3], notes[0])
+        assert not ordering.after(notes[0], notes[3])
+
+    def test_different_parents_not_comparable(self, chord_schema):
+        schema, ordering, chord, notes = chord_schema
+        other = schema.entity_type("CHORD").create(name=2)
+        stray = schema.entity_type("NOTE").create(name=9, pitch=1)
+        ordering.append(other, stray)
+        assert not ordering.before(notes[0], stray)
+        assert not ordering.before(stray, notes[0])
+        assert not ordering.after(stray, notes[0])
+
+    def test_nonmember_not_comparable(self, chord_schema):
+        schema, ordering, _, notes = chord_schema
+        loose = schema.entity_type("NOTE").create(name=9, pitch=1)
+        assert not ordering.before(loose, notes[0])
+
+    def test_under(self, chord_schema):
+        schema, ordering, chord, notes = chord_schema
+        assert ordering.under(notes[0], chord)
+        other = schema.entity_type("CHORD").create(name=2)
+        assert not ordering.under(notes[0], other)
+
+    def test_siblings(self, chord_schema):
+        _, ordering, _, notes = chord_schema
+        assert ordering.next_sibling(notes[0]) == notes[1]
+        assert ordering.previous_sibling(notes[1]) == notes[0]
+        assert ordering.next_sibling(notes[3]) is None
+        assert ordering.previous_sibling(notes[0]) is None
+
+
+class TestForms:
+    """The five structural forms of section 5.5."""
+
+    def test_multiple_levels(self, schema):
+        schema.define_entity("NOTE", [("n", "integer")])
+        schema.define_entity("CHORD", [("n", "integer")])
+        schema.define_entity("MEASURE", [("n", "integer")])
+        nic = schema.define_ordering("nic", ["NOTE"], under="CHORD")
+        cim = schema.define_ordering("cim", ["CHORD"], under="MEASURE")
+        measure = schema.entity_type("MEASURE").create(n=1)
+        chord = schema.entity_type("CHORD").create(n=1)
+        note = schema.entity_type("NOTE").create(n=1)
+        cim.append(measure, chord)
+        nic.append(chord, note)
+        assert nic.parent_of(note) == chord
+        assert cim.parent_of(chord) == measure
+
+    def test_multiple_orderings_under_parent(self, schema):
+        schema.define_entity("INSTRUMENT", [("n", "integer")])
+        schema.define_entity("PART", [("n", "integer")])
+        schema.define_entity("STAFF", [("n", "integer")])
+        parts = schema.define_ordering("parts", ["PART"], under="INSTRUMENT")
+        staves = schema.define_ordering("staves", ["STAFF"], under="INSTRUMENT")
+        violin = schema.entity_type("INSTRUMENT").create(n=1)
+        for i in range(3):
+            parts.append(violin, schema.entity_type("PART").create(n=i))
+        for i in range(2):
+            staves.append(violin, schema.entity_type("STAFF").create(n=i))
+        # "the second part for the violin instrument" is well defined
+        assert parts.child_at(violin, 2)["n"] == 1
+        assert len(staves.children(violin)) == 2
+
+    def test_inhomogeneous_single_position(self, schema):
+        schema.define_entity("VOICE", [("n", "integer")])
+        schema.define_entity("CHORD", [("n", "integer")])
+        schema.define_entity("REST", [("n", "integer")])
+        stream = schema.define_ordering("stream", ["CHORD", "REST"], under="VOICE")
+        voice = schema.entity_type("VOICE").create(n=1)
+        chord = schema.entity_type("CHORD").create(n=1)
+        rest = schema.entity_type("REST").create(n=1)
+        stream.append(voice, chord)
+        stream.append(voice, rest)
+        # "the second object under voice V" is exactly one thing.
+        second = stream.child_at(voice, 2)
+        assert second == rest
+        assert second.type.name == "REST"
+
+    def test_multiple_parents_independent(self, schema):
+        schema.define_entity("NOTE", [("n", "integer")])
+        schema.define_entity("CHORD", [("n", "integer")])
+        schema.define_entity("STAFF", [("n", "integer")])
+        in_chord = schema.define_ordering("in_chord", ["NOTE"], under="CHORD")
+        on_staff = schema.define_ordering("on_staff", ["NOTE"], under="STAFF")
+        chord = schema.entity_type("CHORD").create(n=1)
+        staff1 = schema.entity_type("STAFF").create(n=1)
+        staff2 = schema.entity_type("STAFF").create(n=2)
+        high = schema.entity_type("NOTE").create(n=1)
+        low = schema.entity_type("NOTE").create(n=2)
+        # One chord lying across two staves (the paper's example).
+        in_chord.extend(chord, [high, low])
+        on_staff.append(staff1, high)
+        on_staff.append(staff2, low)
+        assert in_chord.before(high, low)
+        assert not on_staff.before(high, low)  # different staff parents
+
+    def test_recursive_nesting(self, schema):
+        schema.define_entity("BEAM_GROUP", [("n", "integer")])
+        schema.define_entity("CHORD", [("n", "integer")])
+        beams = schema.define_ordering(
+            "beams", ["BEAM_GROUP", "CHORD"], under="BEAM_GROUP"
+        )
+        outer = schema.entity_type("BEAM_GROUP").create(n=1)
+        inner = schema.entity_type("BEAM_GROUP").create(n=2)
+        chords = [schema.entity_type("CHORD").create(n=i) for i in range(3)]
+        beams.append(outer, inner)
+        beams.append(inner, chords[0])
+        beams.append(inner, chords[1])
+        beams.append(outer, chords[2])
+        assert beams.depth_of(chords[0]) == 2
+        assert beams.depth_of(chords[2]) == 1
+        descendants = beams.descendants(outer)
+        assert chords[0] in descendants and chords[2] in descendants
+        assert beams.roots() == [outer]
+
+
+class TestCycleRejection:
+    def test_self_parent_rejected(self, schema):
+        schema.define_entity("G", [("n", "integer")])
+        beams = schema.define_ordering("g", ["G"], under="G")
+        g = schema.entity_type("G").create(n=1)
+        with pytest.raises(OrderingCycleError):
+            beams.append(g, g)
+
+    def test_two_node_cycle_rejected(self, schema):
+        schema.define_entity("G", [("n", "integer")])
+        beams = schema.define_ordering("g", ["G"], under="G")
+        a = schema.entity_type("G").create(n=1)
+        b = schema.entity_type("G").create(n=2)
+        beams.append(a, b)
+        with pytest.raises(OrderingCycleError):
+            beams.append(b, a)
+
+    def test_deep_cycle_rejected(self, schema):
+        schema.define_entity("G", [("n", "integer")])
+        beams = schema.define_ordering("g", ["G"], under="G")
+        nodes = [schema.entity_type("G").create(n=i) for i in range(5)]
+        for parent, child in zip(nodes, nodes[1:]):
+            beams.append(parent, child)
+        with pytest.raises(OrderingCycleError):
+            beams.append(nodes[4], nodes[0])
+
+    def test_delete_blocked_while_member(self, chord_schema):
+        _, ordering, chord, notes = chord_schema
+        with pytest.raises(IntegrityError):
+            notes[0].delete()
+        with pytest.raises(IntegrityError):
+            chord.delete()
+        ordering.remove(notes[0])
+        notes[0].delete()

@@ -1,0 +1,106 @@
+"""Schema-level operations: lookup, resolution, DDL regeneration."""
+
+import pytest
+
+from repro.errors import (
+    SchemaError,
+    UnknownEntityTypeError,
+    UnknownOrderingError,
+    UnknownRelationshipError,
+)
+
+
+class TestLookups:
+    def test_unknown_entity(self, schema):
+        with pytest.raises(UnknownEntityTypeError):
+            schema.entity_type("X")
+
+    def test_unknown_relationship(self, schema):
+        with pytest.raises(UnknownRelationshipError):
+            schema.relationship("X")
+
+    def test_unknown_ordering(self, schema):
+        with pytest.raises(UnknownOrderingError):
+            schema.ordering("X")
+
+    def test_duplicate_definitions(self, schema):
+        schema.define_entity("A", [("x", "integer")])
+        with pytest.raises(SchemaError):
+            schema.define_entity("A", [("x", "integer")])
+        schema.define_entity("B", [("x", "integer")])
+        schema.define_ordering("o", ["A"], under="B")
+        with pytest.raises(SchemaError):
+            schema.define_ordering("o", ["A"], under="B")
+
+
+class TestOrderingResolution:
+    """How a before-clause with no 'in order_name' resolves (section 5.6)."""
+
+    def test_unique_by_child(self, schema):
+        schema.define_entity("NOTE", [("n", "integer")])
+        schema.define_entity("CHORD", [("n", "integer")])
+        ordering = schema.define_ordering("nic", ["NOTE"], under="CHORD")
+        assert schema.resolve_ordering(child_type="NOTE") is ordering
+
+    def test_ambiguous_needs_name(self, schema):
+        schema.define_entity("NOTE", [("n", "integer")])
+        schema.define_entity("CHORD", [("n", "integer")])
+        schema.define_entity("STAFF", [("n", "integer")])
+        schema.define_ordering("a", ["NOTE"], under="CHORD")
+        schema.define_ordering("b", ["NOTE"], under="STAFF")
+        with pytest.raises(UnknownOrderingError):
+            schema.resolve_ordering(child_type="NOTE")
+        resolved = schema.resolve_ordering(child_type="NOTE", parent_type="STAFF")
+        assert resolved.name == "b"
+
+    def test_no_match(self, schema):
+        schema.define_entity("NOTE", [("n", "integer")])
+        with pytest.raises(UnknownOrderingError):
+            schema.resolve_ordering(child_type="NOTE")
+
+    def test_orderings_with(self, schema):
+        schema.define_entity("NOTE", [("n", "integer")])
+        schema.define_entity("CHORD", [("n", "integer")])
+        schema.define_ordering("nic", ["NOTE"], under="CHORD")
+        assert len(schema.orderings_with_parent("CHORD")) == 1
+        assert len(schema.orderings_with_child("NOTE")) == 1
+        assert schema.orderings_with_parent("NOTE") == []
+
+
+class TestWholeSchema:
+    def test_ddl_regeneration(self, schema):
+        schema.define_entity("DATE", [("year", "integer")])
+        schema.define_entity(
+            "COMPOSITION", [("title", "string"), ("composition_date", "DATE")]
+        )
+        schema.define_entity("PERSON", [("name", "string")])
+        schema.define_relationship(
+            "COMPOSER", [("composer", "PERSON"), ("composition", "COMPOSITION")]
+        )
+        schema.define_ordering("x", ["COMPOSITION"], under="PERSON")
+        ddl = schema.ddl()
+        assert "define entity COMPOSITION (title = string, composition_date = DATE)" in ddl
+        assert "define relationship COMPOSER (composer = PERSON, composition = COMPOSITION)" in ddl
+        assert "define ordering x (COMPOSITION) under PERSON" in ddl
+
+    def test_ddl_parses_back(self, schema):
+        from repro.core.schema import Schema
+        from repro.ddl.compiler import execute_ddl
+
+        schema.define_entity("A", [("x", "integer")])
+        schema.define_entity("B", [("y", "string")])
+        schema.define_ordering("o", ["A"], under="B")
+        rebuilt = execute_ddl(schema.ddl(), Schema("again"))
+        assert rebuilt.ddl() == schema.ddl()
+
+    def test_statistics(self, chord_schema):
+        schema, _, _, _ = chord_schema
+        stats = schema.statistics()
+        assert stats["entity_types"] == 2
+        assert stats["orderings"] == 1
+        assert stats["instances"] == 5
+        assert stats["ordering_edges"] == 4
+
+    def test_check_invariants_clean(self, chord_schema):
+        schema, _, _, _ = chord_schema
+        schema.check_invariants()

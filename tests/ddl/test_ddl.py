@@ -1,0 +1,135 @@
+"""DDL parsing and compilation (the section 5.4 BNF)."""
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.ddl.ast import DefineEntity, DefineOrdering, DefineRelationship
+from repro.ddl.compiler import execute_ddl
+from repro.ddl.parser import parse_ddl
+from repro.errors import ParseError, SchemaError
+
+
+class TestParsing:
+    def test_define_entity(self):
+        (stmt,) = parse_ddl("define entity NOTE (name = integer, pitch = string)")
+        assert isinstance(stmt, DefineEntity)
+        assert stmt.name == "NOTE"
+        assert [(a.name, a.domain_name) for a in stmt.attributes] == [
+            ("name", "integer"), ("pitch", "string"),
+        ]
+
+    def test_empty_attribute_list(self):
+        (stmt,) = parse_ddl("define entity MARKER ()")
+        assert stmt.attributes == []
+
+    def test_define_relationship(self):
+        (stmt,) = parse_ddl(
+            "define relationship COMPOSER (composer = PERSON, composition = COMPOSITION)"
+        )
+        assert isinstance(stmt, DefineRelationship)
+
+    def test_define_ordering_named(self):
+        (stmt,) = parse_ddl("define ordering note_in_chord (NOTE) under CHORD")
+        assert isinstance(stmt, DefineOrdering)
+        assert stmt.name == "note_in_chord"
+        assert stmt.child_types == ["NOTE"]
+        assert stmt.parent_type == "CHORD"
+
+    def test_define_ordering_unnamed(self):
+        (stmt,) = parse_ddl("define ordering (CHORD, REST) under VOICE")
+        assert stmt.name is None
+        assert stmt.child_types == ["CHORD", "REST"]
+
+    def test_multiple_statements(self):
+        statements = parse_ddl(
+            """
+            define entity CHORD (name = integer)
+            define entity NOTE (name = integer);
+            define ordering (NOTE) under CHORD
+            """
+        )
+        assert len(statements) == 3
+
+    def test_case_insensitive_keywords(self):
+        (stmt,) = parse_ddl("DEFINE ENTITY X (a = INTEGER)")
+        assert stmt.name == "X"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "define widget X (a = integer)",
+            "define entity (a = integer)",
+            "define entity X (a integer)",
+            "define ordering (NOTE) CHORD",
+            "define ordering () under CHORD",
+            "entity X (a = integer)",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_ddl(bad)
+
+    def test_unparse(self):
+        source = "define entity NOTE (name = integer)"
+        (stmt,) = parse_ddl(source)
+        assert stmt.unparse() == source
+
+
+class TestCompilation:
+    def test_full_program(self):
+        schema = execute_ddl(
+            """
+            define entity DATE (day = integer, month = integer, year = integer)
+            define entity COMPOSITION (title = string, composition_date = DATE)
+            define entity PERSON (name = string)
+            define relationship COMPOSER
+                (composer = PERSON, composition = COMPOSITION)
+            define ordering works (COMPOSITION) under PERSON
+            """
+        )
+        composition = schema.entity_type("COMPOSITION")
+        assert composition.attribute("composition_date").target_type == "DATE"
+        assert schema.relationship("COMPOSER").cardinality == "m:n"
+        assert schema.ordering("works").parent_type == "PERSON"
+
+    def test_relationship_value_attributes_split(self):
+        schema = execute_ddl(
+            """
+            define entity A (x = integer)
+            define entity B (x = integer)
+            define relationship R (a = A, b = B, weight = integer)
+            """
+        )
+        relationship = schema.relationship("R")
+        assert [r for r, _ in relationship.roles] == ["a", "b"]
+        assert [a.name for a in relationship.attributes] == ["weight"]
+
+    def test_relationship_unknown_domain(self):
+        with pytest.raises(SchemaError):
+            execute_ddl(
+                """
+                define entity A (x = integer)
+                define relationship R (a = A, b = MYSTERY)
+                """
+            )
+
+    def test_ordering_before_entity_fails(self):
+        with pytest.raises(SchemaError):
+            execute_ddl("define ordering o (NOTE) under CHORD")
+
+    def test_unnamed_ordering_gets_default(self):
+        schema = execute_ddl(
+            """
+            define entity CHORD (n = integer)
+            define entity NOTE (n = integer)
+            define ordering (NOTE) under CHORD
+            """
+        )
+        assert "NOTE_under_CHORD" in schema.orderings
+
+    def test_compile_into_existing_schema(self):
+        schema = Schema("base")
+        schema.define_entity("CHORD", [("n", "integer")])
+        execute_ddl("define entity NOTE (n = integer)", schema)
+        execute_ddl("define ordering nic (NOTE) under CHORD", schema)
+        assert schema.ordering("nic").child_types == ["NOTE"]

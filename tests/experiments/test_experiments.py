@@ -1,0 +1,41 @@
+"""Every figure/table experiment must pass all its checks."""
+
+import pytest
+
+from repro.experiments import all_experiment_ids, run_experiment
+from repro.experiments.registry import EXPERIMENTS
+
+
+def test_registry_covers_all_paper_artifacts():
+    expected = {"fig%02d" % n for n in range(1, 16) if n != 11}
+    expected.add("tab11")
+    assert set(EXPERIMENTS) == expected
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_passes(experiment_id):
+    result = run_experiment(experiment_id)
+    assert result.passed(), "failed checks: %s" % result.failed_checks()
+    assert result.artifact.strip()
+    assert result.title
+
+
+def test_run_all_and_report(tmp_path):
+    from repro.experiments.registry import run_all
+    from repro.experiments.report import render_report, write_report
+
+    results = run_all()
+    assert len(results) == len(all_experiment_ids())
+    text = render_report(results)
+    for experiment_id in all_experiment_ids():
+        assert "## %s" % experiment_id in text
+    path = write_report(str(tmp_path / "EXPERIMENTS.md"), results)
+    with open(path) as handle:
+        assert "paper vs measured" in handle.read()
+
+
+def test_unknown_experiment():
+    from repro.errors import MDMError
+
+    with pytest.raises(MDMError):
+        run_experiment("fig99")

@@ -1,0 +1,63 @@
+"""DEGREE population and lookup on staves."""
+
+import pytest
+
+from repro.cmn.builder import ScoreBuilder
+from repro.graphics.layout import degree_entity_for, populate_degrees
+
+
+@pytest.fixture
+def staffed():
+    builder = ScoreBuilder("degrees")
+    voice = builder.add_voice("melody")
+    staff = builder._staff_of[voice.surrogate]
+    return builder, staff
+
+
+def test_population_is_ordered(staffed):
+    builder, staff = staffed
+    degrees = populate_degrees(builder.cmn, staff)
+    indices = [d["index"] for d in degrees]
+    assert indices == list(range(-4, 13))
+    ordering = builder.cmn.degree_in_staff
+    assert ordering.children(staff) == degrees
+
+
+def test_lines_and_spaces(staffed):
+    builder, staff = staffed
+    degrees = populate_degrees(builder.cmn, staff)
+    lines = [d["index"] for d in degrees if d["is_line"]]
+    assert lines == [0, 2, 4, 6, 8]  # exactly the five staff lines
+    spaces = [d["index"] for d in degrees if not d["is_line"] and 0 < d["index"] < 8]
+    assert spaces == [1, 3, 5, 7]
+
+
+def test_idempotent(staffed):
+    builder, staff = staffed
+    first = populate_degrees(builder.cmn, staff)
+    second = populate_degrees(builder.cmn, staff)
+    assert first == second
+    assert builder.cmn.DEGREE.count() == len(first)
+
+
+def test_degree_lookup(staffed):
+    builder, staff = staffed
+    degree = degree_entity_for(builder.cmn, staff, 4)
+    assert degree["is_line"] is True
+    with pytest.raises(KeyError):
+        degree_entity_for(builder.cmn, staff, 99)
+
+
+def test_per_staff_isolation():
+    builder = ScoreBuilder("two staves")
+    v1 = builder.add_voice("a")
+    v2 = builder.add_voice("b")
+    s1 = builder._staff_of[v1.surrogate]
+    s2 = builder._staff_of[v2.surrogate]
+    populate_degrees(builder.cmn, s1)
+    populate_degrees(builder.cmn, s2)
+    ordering = builder.cmn.degree_in_staff
+    assert len(ordering.children(s1)) == len(ordering.children(s2)) == 17
+    assert not set(
+        d.surrogate for d in ordering.children(s1)
+    ) & set(d.surrogate for d in ordering.children(s2))

@@ -1,0 +1,51 @@
+"""Every shipped example must run to completion."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "score_library.py",
+    "composition_to_performance.py",
+    "music_analysis.py",
+    "darms_typesetting.py",
+    "versioned_editing.py",
+]
+
+
+def test_every_example_is_listed():
+    on_disk = sorted(
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    )
+    assert on_disk == sorted(EXAMPLES)
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example, capsys):
+    path = os.path.join(EXAMPLES_DIR, example)
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), "example %s printed nothing" % example
+
+
+def test_quickstart_shows_composer(capsys):
+    runpy.run_path(
+        os.path.join(EXAMPLES_DIR, "quickstart.py"), run_name="__main__"
+    )
+    output = capsys.readouterr().out
+    assert "John Stafford Smith" in output
+    assert "Instance graph" in output
+
+
+def test_analysis_detects_imitation(capsys):
+    runpy.run_path(
+        os.path.join(EXAMPLES_DIR, "music_analysis.py"), run_name="__main__"
+    )
+    output = capsys.readouterr().out
+    assert "Fugal imitation detected!" in output
+    assert "G minor" in output

@@ -1,0 +1,84 @@
+"""Persistence of the full MDM stack including dynamic extensions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cmn.builder import ScoreBuilder
+from repro.mdm import MusicDataManager
+from repro.versions import VersionTree, diff_scores
+
+
+class TestVersionedPersistence:
+    def test_version_tree_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "mdm")
+        mdm = MusicDataManager(path)
+        builder = ScoreBuilder("persisted", cmn=mdm.cmn)
+        voice = builder.add_voice("melody")
+        builder.note(voice, "C4", Fraction(1, 4))
+        builder.pad_with_rests()
+        builder.finish()
+        tree = VersionTree(mdm.cmn, builder.score)
+        tree.commit("v1")
+        mdm.checkpoint()
+        mdm.close()
+
+        reopened = MusicDataManager(path)
+        score = reopened.cmn.SCORE.find_one(title="persisted")
+        # Re-declaring the version schema binds to the recovered tables.
+        tree2 = VersionTree(reopened.cmn, score)
+        versions = tree2.versions()
+        assert [v["label"] for v in versions] == ["v1"]
+        snapshot = tree2.snapshot_of(versions[0])
+        assert diff_scores(reopened.cmn, score, snapshot) == []
+        reopened.close()
+
+    def test_plain_constructor_reopens(self, tmp_path):
+        path = str(tmp_path / "mdm")
+        first = MusicDataManager(path)
+        first.cmn.SCORE.create(title="one", catalogue_id="")
+        first.close()
+        second = MusicDataManager(path)
+        assert second.cmn.SCORE.count() == 1
+        second.close()
+
+    def test_bind_rejects_mismatched_columns(self, tmp_path):
+        from repro.errors import StorageError
+        from repro.storage.database import Database
+
+        db = Database()
+        db.create_table("t", [("a", "integer")])
+        with pytest.raises(StorageError):
+            db.create_or_bind_table("t", [("a", "integer"), ("b", "string")])
+
+    def test_surrogates_continue_after_reopen(self, tmp_path):
+        path = str(tmp_path / "mdm")
+        mdm = MusicDataManager(path)
+        first = mdm.cmn.SCORE.create(title="a", catalogue_id="")
+        mdm.close()
+        reopened = MusicDataManager(path)
+        second = reopened.cmn.SCORE.create(title="b", catalogue_id="")
+        assert second.surrogate > first.surrogate
+        reopened.close()
+
+    def test_orderings_usable_after_reopen(self, tmp_path):
+        path = str(tmp_path / "mdm")
+        mdm = MusicDataManager(path)
+        builder = ScoreBuilder("ordered", cmn=mdm.cmn)
+        voice = builder.add_voice("melody")
+        builder.note(voice, "C4", Fraction(1, 4))
+        builder.note(voice, "D4", Fraction(1, 4))
+        builder.pad_with_rests()
+        builder.finish()
+        mdm.checkpoint()
+        mdm.close()
+
+        reopened = MusicDataManager(path)
+        stream = reopened.cmn.chord_rest_in_voice
+        voices = reopened.cmn.VOICE.instances()
+        children = stream.children(voices[0])
+        assert len(children) >= 2
+        # Mutation still maintains invariants on recovered data.
+        stream.move(children[0], len(children))
+        reopened.cmn.schema.check_invariants()
+        reopened.close()

@@ -1,0 +1,77 @@
+"""The shared lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import Lexer, TokenStream, TokenType
+
+
+def tokens_of(source):
+    return Lexer(source).tokens()
+
+
+class TestTokens:
+    def test_identifiers_and_numbers(self):
+        tokens = tokens_of("abc 123 4.5 _x9")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.IDENT, TokenType.NUMBER, TokenType.NUMBER, TokenType.IDENT,
+        ]
+        assert tokens[1].value == 123
+        assert tokens[2].value == 4.5
+
+    def test_strings_both_quotes(self):
+        tokens = tokens_of("\"double\" 'single'")
+        assert [t.value for t in tokens[:-1]] == ["double", "single"]
+
+    def test_string_escapes(self):
+        tokens = tokens_of(r'"a\"b\nc"')
+        assert tokens[0].value == 'a"b\nc'
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokens_of('"oops')
+
+    def test_multi_char_symbols(self):
+        tokens = tokens_of("a <= b >= c != d")
+        symbols = [t.value for t in tokens if t.type is TokenType.SYMBOL]
+        assert symbols == ["<=", ">=", "!="]
+
+    def test_comments(self):
+        tokens = tokens_of("a # comment\nb -- other comment\nc")
+        assert [t.value for t in tokens[:-1]] == ["a", "b", "c"]
+
+    def test_positions(self):
+        tokens = tokens_of("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokens_of("a ~ b")
+        assert excinfo.value.line == 1
+
+    def test_end_token(self):
+        tokens = tokens_of("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.END
+
+
+class TestTokenStream:
+    def test_keyword_helpers(self):
+        stream = TokenStream(tokens_of("DEFINE entity"))
+        assert stream.accept_keyword("define")
+        stream.expect_keyword("entity")
+        assert stream.at_end()
+
+    def test_expect_failures(self):
+        stream = TokenStream(tokens_of("x"))
+        with pytest.raises(ParseError):
+            stream.expect_keyword("define")
+        with pytest.raises(ParseError):
+            stream.expect_symbol("(")
+
+    def test_peek_does_not_advance(self):
+        stream = TokenStream(tokens_of("a b"))
+        assert stream.peek().value == "a"
+        assert stream.peek(1).value == "b"
+        assert stream.next().value == "a"

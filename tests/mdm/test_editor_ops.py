@@ -1,0 +1,128 @@
+"""Editor-client operations and the ordinal() QUEL function."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cmn.builder import ScoreBuilder
+from repro.errors import MDMError
+from repro.mdm import EditorClient, MusicDataManager
+from repro.quel.executor import QuelSession
+
+
+@pytest.fixture
+def editing():
+    mdm = MusicDataManager()
+    editor = mdm.register_client(EditorClient("editor"))
+    builder = ScoreBuilder("editable", cmn=mdm.cmn, meter="4/4")
+    voice = builder.add_voice("melody")
+    chords = [
+        builder.note(voice, name, Fraction(1, 4))
+        for name in ("C4", "D4", "E4", "F4")
+    ]
+    builder.finish(derive=False)
+    return mdm, editor, builder, voice, chords
+
+
+class TestEditorOps:
+    def test_change_duration_valid(self, editing):
+        mdm, editor, builder, voice, chords = editing
+        # Shrinking a chord only makes the voice underfull: a warning.
+        editor.change_duration(mdm.cmn, chords[3], Fraction(1, 8))
+        assert chords[3]["duration"] == Fraction(1, 8)
+
+    def test_change_duration_breaking_rejected(self, editing):
+        mdm, editor, builder, voice, chords = editing
+        with pytest.raises(MDMError):
+            editor.change_duration(mdm.cmn, chords[0], Fraction(2, 1))
+
+    def test_delete_chord_heals_orderings(self, editing):
+        mdm, editor, builder, voice, chords = editing
+        cmn = mdm.cmn
+        editor.delete_chord(cmn, chords[1])
+        cmn.schema.check_invariants()
+        stream = cmn.chord_rest_in_voice.children(voice)
+        assert len(stream) == 3
+        assert not chords[1].exists()
+        assert cmn.NOTE.count() == 3
+
+    def test_delete_beamed_chord(self, editing):
+        mdm, editor, builder, voice, chords = editing
+        from repro.cmn.groups import beam, flatten
+
+        group = beam(mdm.cmn, voice, chords[:2])
+        editor.delete_chord(mdm.cmn, chords[0])
+        assert flatten(mdm.cmn, group) == [chords[1]]
+
+    def test_insert_rest_before(self, editing):
+        mdm, editor, builder, voice, chords = editing
+        rest = editor.insert_rest_before(mdm.cmn, chords[2], Fraction(1, 8))
+        stream = mdm.cmn.chord_rest_in_voice.children(voice)
+        assert stream[2] == rest
+        assert stream[3] == chords[2]
+        mdm.cmn.schema.check_invariants()
+
+    def test_insert_rest_loose_chord_rejected(self, editing):
+        mdm, editor, builder, voice, chords = editing
+        loose = mdm.cmn.CHORD.create(duration=Fraction(1, 4))
+        with pytest.raises(MDMError):
+            editor.insert_rest_before(mdm.cmn, loose, Fraction(1, 8))
+
+
+class TestOrdinalFunction:
+    def test_ordinal_of_notes(self, editing):
+        mdm, editor, builder, voice, chords = editing
+        rows = mdm.retrieve(
+            "range of n is NOTE\nrange of c is CHORD\n"
+            "retrieve (n.degree, pos = ordinal(n, \"note_in_chord\"))"
+            " where n under c in note_in_chord sort by n.degree"
+        )
+        assert all(row["pos"] == 1 for row in rows)  # single-note chords
+
+    def test_ordinal_orders_voice_stream(self, editing):
+        mdm, editor, builder, voice, chords = editing
+        rows = mdm.retrieve(
+            "range of c is CHORD\n"
+            "retrieve (pos = ordinal(c, \"chord_rest_in_voice\"))"
+            " sort by ordinal(c, \"chord_rest_in_voice\")"
+        )
+        assert [row["pos"] for row in rows] == [1, 2, 3, 4]
+
+    def test_ordinal_infers_unique_ordering(self):
+        from repro.core.schema import Schema
+
+        schema = Schema("ordinal")
+        schema.define_entity("CHORD", [("n", "integer")])
+        schema.define_entity("NOTE", [("n", "integer")])
+        ordering = schema.define_ordering("o", ["NOTE"], under="CHORD")
+        chord = schema.entity_type("CHORD").create(n=1)
+        for i in range(3):
+            ordering.append(chord, schema.entity_type("NOTE").create(n=i))
+        rows = QuelSession(schema).execute(
+            "range of n is NOTE\nretrieve (n.n, pos = ordinal(n)) sort by n.n"
+        )
+        assert [row["pos"] for row in rows] == [1, 2, 3]
+
+    def test_ordinal_nonmember_is_null(self):
+        from repro.core.schema import Schema
+
+        schema = Schema("ordinal")
+        schema.define_entity("CHORD", [("n", "integer")])
+        schema.define_entity("NOTE", [("n", "integer")])
+        schema.define_ordering("o", ["NOTE"], under="CHORD")
+        schema.entity_type("NOTE").create(n=1)
+        rows = QuelSession(schema).execute(
+            "range of n is NOTE\nretrieve (pos = ordinal(n, \"o\"))"
+        )
+        assert rows == [{"pos": None}]
+
+    def test_ordinal_bad_arguments(self, editing):
+        mdm, *_ = editing
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            mdm.retrieve(
+                "range of n is NOTE\nretrieve (p = ordinal(n, 3))"
+            )
+        with pytest.raises(QueryError):
+            mdm.retrieve("retrieve (p = ordinal())")

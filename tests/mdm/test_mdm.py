@@ -1,0 +1,134 @@
+"""The MusicDataManager facade and its client archetypes."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import MDMError
+from repro.mdm import (
+    AnalysisClient,
+    CompositionClient,
+    EditorClient,
+    LibraryClient,
+    MusicDataManager,
+)
+
+
+@pytest.fixture
+def mdm():
+    return MusicDataManager()
+
+
+class TestFacade:
+    def test_cmn_schema_available(self, mdm):
+        assert mdm.schema.has_entity_type("NOTE")
+        assert "note_in_chord" in mdm.schema.orderings
+
+    def test_execute_dispatches_ddl(self, mdm):
+        mdm.execute("define entity WIDGET (name = string)")
+        assert mdm.schema.has_entity_type("WIDGET")
+
+    def test_execute_dispatches_quel(self, mdm):
+        mdm.execute('append to SCORE (title = "test", catalogue_id = "X 1")')
+        rows = mdm.retrieve("retrieve (SCORE.title)")
+        assert rows == [{"SCORE.title": "test"}]
+
+    def test_meta_catalog_lazy(self, mdm):
+        catalog = mdm.meta
+        assert "NOTE" in catalog.catalogued_entities()
+
+    def test_statistics(self, mdm):
+        stats = mdm.statistics()
+        assert stats["entity_types"] > 30
+        assert stats["clients"] == 0
+
+    def test_transactions_pass_through(self, mdm):
+        with mdm.begin():
+            mdm.cmn.SCORE.create(title="txn", catalogue_id="")
+        assert mdm.cmn.SCORE.count() == 1
+
+
+class TestPersistence:
+    def test_reopen_recovers_scores(self, tmp_path):
+        path = str(tmp_path / "mdm")
+        mdm = MusicDataManager(path)
+        from repro.cmn.builder import ScoreBuilder
+
+        builder = ScoreBuilder("persisted piece", cmn=mdm.cmn)
+        voice = builder.add_voice("melody")
+        builder.note(voice, "C4", Fraction(1, 4))
+        builder.pad_with_rests()
+        builder.finish()
+        mdm.checkpoint()
+        mdm.close()
+
+        reopened = MusicDataManager.reopen(path)
+        scores = reopened.cmn.SCORE.instances()
+        assert [s["title"] for s in scores] == ["persisted piece"]
+        # Orderings recovered: the note is still in its chord.
+        assert reopened.cmn.note_in_chord.table_size() == 1
+        rows = reopened.retrieve("retrieve (total = count(NOTE.degree))")
+        assert rows == [{"total": 1}]
+        reopened.close()
+
+    def test_reopen_without_checkpoint(self, tmp_path):
+        path = str(tmp_path / "mdm")
+        mdm = MusicDataManager(path)
+        mdm.cmn.SCORE.create(title="wal only", catalogue_id="")
+        mdm.close()
+        reopened = MusicDataManager.reopen(path)
+        assert reopened.cmn.SCORE.count() == 1
+        reopened.close()
+
+
+class TestClients:
+    def test_detached_client_rejected(self):
+        client = AnalysisClient("loose")
+        with pytest.raises(MDMError):
+            client.note_census()
+
+    def test_composition_then_analysis(self, mdm):
+        composer = mdm.register_client(CompositionClient("composer"))
+        analyst = mdm.register_client(AnalysisClient("analyst"))
+        builder = composer.compose_scale_study(measures=2, voices=1)
+        ambitus = analyst.ambitus(mdm.cmn, builder.score)
+        assert ambitus is not None
+        assert ambitus[0] <= ambitus[1]
+        census = analyst.note_census()
+        assert sum(census.values()) == 16
+
+    def test_editor_transposition_visible(self, mdm):
+        composer = mdm.register_client(CompositionClient("composer"))
+        editor = mdm.register_client(EditorClient("editor"))
+        analyst = mdm.register_client(AnalysisClient("analyst"))
+        builder = composer.compose_scale_study(measures=1, voices=1)
+        before = analyst.ambitus(mdm.cmn, builder.score)
+        edited = editor.transpose_voice(
+            builder.view, builder.voices()[0], 2
+        )
+        assert edited == 8
+        after = analyst.ambitus(mdm.cmn, builder.score)
+        assert after != before
+
+    def test_melodic_intervals_and_rhythm(self, mdm):
+        composer = mdm.register_client(CompositionClient("composer"))
+        analyst = mdm.register_client(AnalysisClient("analyst"))
+        builder = composer.compose_scale_study(measures=1, voices=1)
+        voice = builder.voices()[0]
+        intervals = analyst.melodic_intervals(mdm.cmn, builder.view, voice)
+        assert len(intervals) == 7
+        histogram = analyst.rhythmic_histogram(mdm.cmn, builder.view, voice)
+        assert histogram == {Fraction(1, 2): 8}
+
+    def test_library_workflow(self, mdm):
+        library = mdm.register_client(LibraryClient("library"))
+        index = library.build_index("Verzeichnis", "VZ", "Someone")
+        index.add_entry(1, "Work", incipits=[("t", "!G 21Q 25Q 21Q //")])
+        hits = library.find_theme(index, "!G 23Q 27Q 23Q //")
+        assert len(hits) == 1
+
+    def test_client_names(self, mdm):
+        mdm.register_client(AnalysisClient("a"))
+        mdm.register_client(EditorClient("b"))
+        assert mdm.client_names() == ["a", "b"]
+        assert "analysis" in mdm.clients[0].describe()

@@ -1,0 +1,90 @@
+"""The MDM shell: line handling, commands, result formatting."""
+
+import pytest
+
+from repro.mdm.shell import MdmShell, format_rows
+
+
+@pytest.fixture
+def shell():
+    return MdmShell()
+
+
+def run(shell, text):
+    """Feed *text* plus a terminating blank line; return all output."""
+    outputs = []
+    for line in text.splitlines():
+        outputs.append(shell.handle_line(line))
+    outputs.append(shell.handle_line(""))
+    return "\n".join(o for o in outputs if o)
+
+
+class TestStatements:
+    def test_ddl_then_quel(self, shell):
+        assert run(shell, "define entity THING (name = string)") == "ok"
+        out = run(shell, 'append to THING (name = "x")')
+        assert "1 instance affected" in out
+        out = run(shell, "retrieve (THING.name)")
+        assert "THING.name" in out
+        assert "(1 row)" in out
+
+    def test_multi_line_buffering(self, shell):
+        shell.handle_line("retrieve (total = count(NOTE.degree))")
+        assert shell._buffer
+        out = shell.handle_line("")
+        assert "total" in out
+
+    def test_double_semicolon_executes(self, shell):
+        out = shell.handle_line("retrieve (total = count(NOTE.degree));;")
+        assert "total" in out
+
+    def test_error_reported_not_raised(self, shell):
+        out = run(shell, "retrieve (NOPE.x)")
+        assert out.startswith("error:")
+
+    def test_blank_line_with_empty_buffer(self, shell):
+        assert shell.handle_line("") == ""
+
+
+class TestCommands:
+    def test_quit(self, shell):
+        assert shell.handle_line("\\q") == "bye"
+        assert shell.done
+
+    def test_list_schema(self, shell):
+        out = shell.handle_line("\\d")
+        assert "NOTE" in out and "note_in_chord" in out
+
+    def test_describe_entity(self, shell):
+        out = shell.handle_line("\\d NOTE")
+        assert "degree" in out
+        assert "child in ordering note_in_chord" in out
+
+    def test_describe_missing(self, shell):
+        assert "no entity type" in shell.handle_line("\\d NOPE")
+
+    def test_stats(self, shell):
+        assert "entity_types" in shell.handle_line("\\stats")
+
+    def test_plan_after_query(self, shell):
+        assert shell.handle_line("\\plan") == "(no query yet)"
+        run(shell, "retrieve (total = count(NOTE.degree))")
+        assert "plan:" in shell.handle_line("\\plan")
+
+    def test_checks(self, shell):
+        assert "hold" in shell.handle_line("\\checks")
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in shell.handle_line("\\frobnicate")
+
+
+class TestFormatting:
+    def test_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_alignment(self):
+        text = format_rows([{"a": 1, "bb": "xy"}, {"a": 222, "bb": "z"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a  ")
+        assert "(2 rows)" in lines[-1]
+        assert all(len(line) >= len("a   | bb") for line in lines[:-1])

@@ -1,0 +1,128 @@
+"""CMusic note lists and derived pedal controls."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cmn.builder import ScoreBuilder
+from repro.cmn.groups import slur
+from repro.errors import MidiError
+from repro.midi.cmusic import from_cmusic, score_to_cmusic, to_cmusic
+from repro.midi.events import EventList
+from repro.midi.extract import extract_midi
+from repro.midi.pedal import extract_midi_with_pedal, pedal_events_for_score
+from repro.temporal.conductor import Conductor
+from repro.temporal.tempo import TempoMap
+
+
+class TestCmusic:
+    def _events(self):
+        events = EventList()
+        events.add_note(69, 127, 0, 0.0, 1.0)  # A4 full amplitude
+        events.add_note(60, 64, 1, 1.0, 1.5)
+        return events
+
+    def test_render_format(self):
+        text = to_cmusic(self._events(), {0: "organ"})
+        lines = text.strip().splitlines()
+        assert lines[-1] == "ter;"
+        note_lines = [l for l in lines if l.startswith("note")]
+        assert len(note_lines) == 2
+        assert "organ" in note_lines[0]
+        assert "440.000;" in note_lines[0]
+
+    def test_round_trip(self):
+        original = self._events()
+        back = from_cmusic(to_cmusic(original))
+        assert len(back.notes) == 2
+        for a, b in zip(original.sorted_notes(), back.sorted_notes()):
+            assert a.key == b.key
+            assert abs(a.start_seconds - b.start_seconds) < 1e-5
+            assert abs(a.end_seconds - b.end_seconds) < 1e-5
+            assert abs(a.velocity - b.velocity) <= 1
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(MidiError):
+            from_cmusic("flute 1 2 3;")
+        with pytest.raises(MidiError):
+            from_cmusic("note 0.0 x 1.0;")
+
+    def test_comments_and_terminator(self):
+        text = "; header\n\nnote 0.0 a 1.0 0.5 440.0;\nter;\nnote 9 b 1 1 440;"
+        events = from_cmusic(text)
+        assert len(events.notes) == 1  # nothing after ter;
+
+    def test_score_to_cmusic(self, bwv578):
+        text = score_to_cmusic(bwv578.cmn, bwv578.score)
+        note_lines = [
+            line for line in text.splitlines() if line.startswith("note ")
+        ]
+        assert len(note_lines) > 30
+        assert "organ" in text
+        back = from_cmusic(text)
+        assert len(back.notes) == len(note_lines)
+
+
+class TestPedal:
+    @pytest.fixture
+    def slurred(self):
+        builder = ScoreBuilder("pedal test", meter="4/4", bpm=120)
+        voice = builder.add_voice("melody", instrument="Piano")
+        chords = [
+            builder.note(voice, name, Fraction(1, 4))
+            for name in ("C4", "E4", "G4", "C5")
+        ]
+        slur(builder.cmn, voice, chords[:3])
+        builder.finish()
+        return builder
+
+    def test_down_up_pair(self, slurred):
+        conductor = Conductor(TempoMap(120))
+        controls = pedal_events_for_score(
+            slurred.cmn, slurred.score, conductor, store=False
+        )
+        assert len(controls) == 2
+        down, up = controls
+        assert (down.value, up.value) == (127, 0)
+        assert down.controller == 64  # sustain
+        assert down.time_seconds == 0.0
+        assert abs(up.time_seconds - 1.5) < 1e-9  # 3 beats at 120 bpm
+
+    def test_sostenuto_option(self, slurred):
+        conductor = Conductor(TempoMap(120))
+        controls = pedal_events_for_score(
+            slurred.cmn, slurred.score, conductor,
+            controller="sostenuto", store=False,
+        )
+        assert {c.controller for c in controls} == {66}
+
+    def test_stored_entities(self, slurred):
+        conductor = Conductor(TempoMap(120))
+        pedal_events_for_score(slurred.cmn, slurred.score, conductor)
+        assert slurred.cmn.MIDI_CONTROL.count() == 2
+
+    def test_combined_extraction(self, slurred):
+        events = extract_midi_with_pedal(slurred.cmn, slurred.score)
+        assert len(events.notes) == 4
+        assert len(events.controls) == 2
+        # The combined list survives an SMF round trip.
+        from repro.midi.smf import read_smf, write_smf
+
+        back = read_smf(write_smf(events))
+        assert len(back.controls) == 2
+
+    def test_beams_do_not_pedal(self):
+        from repro.cmn.groups import beam
+
+        builder = ScoreBuilder("no pedal", meter="4/4")
+        voice = builder.add_voice("melody")
+        chords = [
+            builder.note(voice, name, Fraction(1, 8))
+            for name in ("C4", "D4", "E4", "F4", "G4", "A4", "B4", "C5")
+        ]
+        beam(builder.cmn, voice, chords[:4])
+        builder.finish()
+        controls = pedal_events_for_score(
+            builder.cmn, builder.score, Conductor(TempoMap(120)), store=False
+        )
+        assert controls == []

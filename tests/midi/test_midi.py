@@ -1,0 +1,159 @@
+"""MIDI events, extraction, and Standard MIDI Files."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cmn.builder import ScoreBuilder
+from repro.errors import MidiError
+from repro.midi.events import EventList, MidiControlEvent, MidiNoteEvent
+from repro.midi.extract import extract_midi, stored_midi_of_score
+from repro.midi.smf import read_smf, write_smf
+from repro.temporal.conductor import Conductor
+from repro.temporal.tempo import TempoMap
+
+
+class TestEventModel:
+    def test_validation(self):
+        with pytest.raises(MidiError):
+            MidiNoteEvent(200, 64, 0, 0.0, 1.0)
+        with pytest.raises(MidiError):
+            MidiNoteEvent(60, 222, 0, 0.0, 1.0)
+        with pytest.raises(MidiError):
+            MidiNoteEvent(60, 64, 99, 0.0, 1.0)
+        with pytest.raises(MidiError):
+            MidiNoteEvent(60, 64, 0, 2.0, 1.0)
+
+    def test_named_controllers(self):
+        event = MidiControlEvent("sostenuto", 127, 0, 1.5)
+        assert event.controller == 66
+        with pytest.raises(MidiError):
+            MidiControlEvent("flanger", 1, 0, 0.0)
+
+    def test_event_list_stats(self):
+        events = EventList()
+        events.add_note(60, 64, 0, 0.0, 1.0)
+        events.add_note(64, 64, 1, 0.5, 2.0)
+        events.add_control("sustain", 127, 0, 0.25)
+        assert len(events) == 3
+        assert events.duration_seconds() == 2.0
+        assert events.channels() == [0, 1]
+
+    def test_sorted_notes(self):
+        events = EventList()
+        events.add_note(64, 64, 0, 1.0, 2.0)
+        events.add_note(60, 64, 0, 0.0, 1.0)
+        assert [n.key for n in events.sorted_notes()] == [60, 64]
+
+    def test_program_range(self):
+        events = EventList()
+        events.set_program(0, 19)
+        assert events.programs[0] == 19
+        with pytest.raises(MidiError):
+            events.set_program(0, 130)
+
+
+@pytest.fixture
+def simple_score():
+    builder = ScoreBuilder("midi test", meter="4/4", bpm=120)
+    voice = builder.add_voice("melody", instrument="Flute", midi_program=73)
+    builder.note(voice, "C4", Fraction(1, 4), dynamic="ff")
+    builder.note(voice, "D4", Fraction(1, 4), articulation="staccato")
+    builder.note(voice, "E4", Fraction(1, 2), tied=True)
+    builder.note(voice, "E4", Fraction(1, 1))
+    builder.finish()
+    return builder
+
+
+class TestExtraction:
+    def test_counts_and_times(self, simple_score):
+        events = extract_midi(simple_score.cmn, simple_score.score)
+        assert len(events.notes) == 3  # tie merged
+        by_key = {n.key: n for n in events.notes}
+        # At 120 bpm one beat is 0.5 s.
+        assert abs(by_key[60].start_seconds - 0.0) < 1e-9
+        assert abs(by_key[62].start_seconds - 0.5) < 1e-9
+        tied = by_key[64]
+        assert abs(tied.start_seconds - 1.0) < 1e-9
+        # 6 beats * 0.5s, shortened by the default articulation scale.
+        assert abs(tied.end_seconds - (1.0 + 3.0 * 0.95)) < 1e-9
+
+    def test_dynamics_to_velocity(self, simple_score):
+        events = extract_midi(simple_score.cmn, simple_score.score, store=False)
+        by_key = {n.key: n for n in events.notes}
+        assert by_key[60].velocity == 104  # ff
+        assert by_key[62].velocity == 64  # default
+
+    def test_staccato_halves_duration(self, simple_score):
+        events = extract_midi(simple_score.cmn, simple_score.score, store=False)
+        staccato = {n.key: n for n in events.notes}[62]
+        assert abs(staccato.duration_seconds - 0.5 * 0.5) < 1e-9
+
+    def test_program_assignment(self, simple_score):
+        events = extract_midi(simple_score.cmn, simple_score.score, store=False)
+        assert events.programs[0] == 73
+
+    def test_stored_midi_entities(self, simple_score):
+        extract_midi(simple_score.cmn, simple_score.score)
+        stored = stored_midi_of_score(simple_score.cmn, simple_score.score)
+        assert len(stored) == 3
+        assert all(m["end_seconds"] > m["start_seconds"] for m in stored)
+
+    def test_custom_conductor(self, simple_score):
+        slow = Conductor(TempoMap(60))
+        events = extract_midi(
+            simple_score.cmn, simple_score.score, conductor=slow, store=False
+        )
+        by_key = {n.key: n for n in events.notes}
+        assert abs(by_key[62].start_seconds - 1.0) < 1e-9
+
+    def test_channels_per_instrument(self):
+        builder = ScoreBuilder("multi", meter="4/4")
+        v1 = builder.add_voice("a", instrument="Flute")
+        v2 = builder.add_voice("b", instrument="Oboe")
+        builder.note(v1, "C5", Fraction(1, 4))
+        builder.note(v2, "C4", Fraction(1, 4))
+        builder.finish()
+        events = extract_midi(builder.cmn, builder.score, store=False)
+        assert events.channels() == [0, 1]
+
+
+class TestSmf:
+    def test_round_trip(self, simple_score):
+        events = extract_midi(simple_score.cmn, simple_score.score, store=False)
+        events.add_control("sustain", 127, 0, 0.25)
+        blob = write_smf(events)
+        back = read_smf(blob)
+        assert len(back.notes) == len(events.notes)
+        assert len(back.controls) == 1
+        assert back.programs == events.programs
+        original = events.sorted_notes()
+        recovered = back.sorted_notes()
+        for a, b in zip(original, recovered):
+            assert a.key == b.key
+            assert a.velocity == b.velocity
+            assert abs(a.start_seconds - b.start_seconds) < 0.01
+            assert abs(a.end_seconds - b.end_seconds) < 0.01
+
+    def test_file_io(self, simple_score, tmp_path):
+        events = extract_midi(simple_score.cmn, simple_score.score, store=False)
+        path = str(tmp_path / "out.mid")
+        write_smf(events, path)
+        back = read_smf(path)
+        assert len(back.notes) == len(events.notes)
+
+    def test_header_validation(self):
+        with pytest.raises(MidiError):
+            read_smf(b"RIFFxxxx")
+
+    def test_overlapping_same_key_notes(self):
+        events = EventList()
+        events.add_note(60, 64, 0, 0.0, 2.0)
+        events.add_note(60, 80, 0, 1.0, 3.0)
+        back = read_smf(write_smf(events))
+        assert len(back.notes) == 2
+        assert {n.velocity for n in back.notes} == {64, 80}
+
+    def test_empty_event_list(self):
+        back = read_smf(write_smf(EventList()))
+        assert len(back.notes) == 0

@@ -1,0 +1,101 @@
+"""Tablature: fret assignment and rendering."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cmn.builder import ScoreBuilder
+from repro.errors import NotationError
+from repro.tablature import (
+    TUNINGS,
+    assign_frets,
+    render_tab,
+    score_to_tablature,
+    tab_for_score,
+)
+
+
+class TestAssignment:
+    def test_open_strings_preferred(self):
+        guitar = TUNINGS["guitar"]
+        notes = assign_frets([(Fraction(0), Fraction(1), 40)], guitar)
+        assert notes[0].string == 0 and notes[0].fret == 0
+
+    def test_lowest_fret_chosen(self):
+        guitar = TUNINGS["guitar"]
+        # E4 (64) is open string 5, not fret 5 on string 4.
+        notes = assign_frets([(Fraction(0), Fraction(1), 64)], guitar)
+        assert (notes[0].string, notes[0].fret) == (5, 0)
+
+    def test_chord_uses_distinct_strings(self):
+        guitar = TUNINGS["guitar"]
+        chord = [
+            (Fraction(0), Fraction(1), 40),
+            (Fraction(0), Fraction(1), 45),
+            (Fraction(0), Fraction(1), 50),
+        ]
+        notes = assign_frets(chord, guitar)
+        assert len({note.string for note in notes}) == 3
+
+    def test_crowded_chord_spills_to_higher_frets(self):
+        guitar = TUNINGS["guitar"]
+        # Two identical pitches: the second must take another string.
+        pair = [
+            (Fraction(0), Fraction(1), 64),
+            (Fraction(0), Fraction(1), 64),
+        ]
+        notes = assign_frets(pair, guitar)
+        strings = {note.string for note in notes}
+        assert len(strings) == 2
+        frets = sorted(note.fret for note in notes)
+        assert frets == [0, 5]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(NotationError):
+            assign_frets([(Fraction(0), Fraction(1), 20)], TUNINGS["guitar"])
+
+    def test_too_many_simultaneous_notes(self):
+        chord = [(Fraction(0), Fraction(1), 60 + i) for i in range(7)]
+        with pytest.raises(NotationError):
+            assign_frets(chord, TUNINGS["guitar"])
+
+    def test_unknown_tuning(self, bwv578):
+        with pytest.raises(NotationError):
+            score_to_tablature(bwv578.cmn, bwv578.score, tuning="banjo")
+
+
+class TestRendering:
+    def test_empty(self):
+        assert render_tab([], TUNINGS["guitar"]) == "(empty tablature)"
+
+    def test_score_render(self):
+        builder = ScoreBuilder("tab test", meter="4/4")
+        voice = builder.add_voice("melody")
+        for name in ("E2", "A2", "D3", "G3"):
+            builder.note(voice, name, Fraction(1, 4))
+        builder.finish()
+        text = tab_for_score(builder.cmn, builder.score)
+        lines = text.splitlines()
+        assert len(lines) == 6  # six strings
+        assert lines[-1].startswith("E2")  # lowest string at the bottom
+        assert lines[0].startswith("E4")
+        # All four notes land as open strings: four '0' characters.
+        assert text.count("0") == 4
+
+    def test_bwv578_fits_guitar(self, bwv578):
+        notes, tuning = score_to_tablature(bwv578.cmn, bwv578.score)
+        assert len(notes) == len(
+            [1 for _ in notes]
+        )
+        assert all(0 <= note.fret <= 19 for note in notes)
+        text = render_tab(notes, tuning)
+        assert "|" in text
+
+    def test_bass_tuning(self):
+        builder = ScoreBuilder("bass line", meter="4/4")
+        voice = builder.add_voice("bass", clef="bass")
+        for name in ("E2", "G2", "A2", "E2"):
+            builder.note(voice, name, Fraction(1, 4))
+        builder.finish()
+        text = tab_for_score(builder.cmn, builder.score, tuning="bass")
+        assert len(text.splitlines()) == 4

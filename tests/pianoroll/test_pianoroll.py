@@ -1,0 +1,93 @@
+"""Piano rolls: model and ASCII rendering (figure 3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import NotationError
+from repro.pianoroll.render import render_ascii
+from repro.pianoroll.roll import PianoRoll, RollNote
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(NotationError):
+            RollNote(0, 0, 60)
+        with pytest.raises(NotationError):
+            RollNote(0, 1, 200)
+
+    def test_ranges(self):
+        roll = PianoRoll([
+            RollNote(0, 1, 60), RollNote(2, 2, 72), RollNote(1, 1, 55),
+        ])
+        assert roll.key_range() == (55, 72)
+        assert roll.beat_range() == (0, 4)
+
+    def test_empty_ranges(self):
+        roll = PianoRoll()
+        assert roll.key_range() == (60, 60)
+        assert len(roll) == 0
+
+    def test_keyboard_state(self):
+        """The roll is 'a map of the state of a musical keyboard
+        against time'."""
+        roll = PianoRoll([
+            RollNote(0, 2, 60), RollNote(1, 2, 64), RollNote(4, 1, 67),
+        ])
+        assert roll.keyboard_state_at(0) == [60]
+        assert roll.keyboard_state_at(Fraction(3, 2)) == [60, 64]
+        assert roll.keyboard_state_at(2) == [64]
+        assert roll.keyboard_state_at(Fraction(7, 2)) == []
+
+    def test_from_score(self, bwv578):
+        roll = PianoRoll.from_score(bwv578.cmn, bwv578.score,
+                                    shade_voices={"alto"})
+        assert len(roll) > 40
+        shaded_voices = {n.voice for n in roll.notes if n.shaded}
+        assert shaded_voices == {"alto"}
+
+    def test_from_event_list(self):
+        from repro.midi.events import EventList
+
+        events = EventList()
+        events.add_note(60, 64, 0, 0.0, 0.5)
+        events.add_note(64, 64, 0, 0.5, 1.0)
+        roll = PianoRoll.from_event_list(events, beats_per_second=2.0)
+        assert len(roll) == 2
+        assert roll.notes[0].start_beats == 0
+        assert roll.notes[1].start_beats == 1
+
+
+class TestRendering:
+    def test_axes(self):
+        """Time along x, pitch increasing upward along y (section 4.5)."""
+        roll = PianoRoll([RollNote(0, 1, 60), RollNote(1, 1, 62)])
+        lines = render_ascii(roll, cells_per_beat=4).splitlines()
+        assert lines[0].startswith("D4")  # highest pitch on top
+        assert lines[-2].startswith("C4")
+        # C4 rectangle occupies the first cells, D4 the following ones.
+        assert "####" in lines[-2]
+        assert lines[0].index("#") > lines[-2].index("#")
+
+    def test_shading(self):
+        roll = PianoRoll([
+            RollNote(0, 1, 60), RollNote(1, 1, 60, shaded=True),
+        ])
+        text = render_ascii(roll, cells_per_beat=2)
+        assert "##" in text and "::" in text
+
+    def test_filled_wins_over_shaded(self):
+        roll = PianoRoll([
+            RollNote(0, 1, 60, shaded=True), RollNote(0, 1, 60),
+        ])
+        text = render_ascii(roll, cells_per_beat=1)
+        row = [line for line in text.splitlines() if line.startswith("C4")][0]
+        assert "#" in row and ":" not in row
+
+    def test_empty(self):
+        assert render_ascii(PianoRoll()) == "(empty piano roll)"
+
+    def test_beat_axis(self):
+        roll = PianoRoll([RollNote(0, 4, 60)])
+        last = render_ascii(roll, cells_per_beat=2).splitlines()[-1]
+        assert last.count("+") >= 4

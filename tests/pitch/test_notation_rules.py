@@ -1,0 +1,138 @@
+"""Clefs, key signatures, accidentals, and the section 4.3 derivation."""
+
+import pytest
+
+from repro.errors import NotationError
+from repro.pitch.accidental import Accidental, AccidentalState
+from repro.pitch.clef import ALTO, BASS, TENOR, TREBLE, clef_by_name
+from repro.pitch.key import KeySignature
+from repro.pitch.pitch import Pitch
+from repro.pitch.spelling import degree_for_pitch, performance_pitch
+
+
+class TestClefs:
+    def test_every_good_boy_does_fine(self):
+        assert TREBLE.mnemonic() == "E G B D F"
+
+    def test_bass_lines(self):
+        assert BASS.mnemonic() == "G B D F A"
+
+    def test_c_clefs(self):
+        assert ALTO.degree_to_pitch(4).name() == "C4"
+        assert TENOR.degree_to_pitch(6).name() == "C4"
+
+    def test_degree_pitch_round_trip(self):
+        for clef in (TREBLE, BASS, ALTO, TENOR):
+            for degree in range(-6, 14):
+                pitch = clef.degree_to_pitch(degree)
+                assert clef.pitch_to_degree(pitch) == degree
+
+    def test_ledger_lines(self):
+        assert TREBLE.degree_to_pitch(-2).name() == "C4"  # middle C below
+        assert BASS.degree_to_pitch(10).name() == "C4"  # middle C above
+
+    def test_clef_by_name(self):
+        assert clef_by_name("TREBLE") is TREBLE
+        with pytest.raises(NotationError):
+            clef_by_name("mezzo")
+
+
+class TestKeySignatures:
+    def test_three_sharps_declarative(self):
+        key = KeySignature.sharps(3)
+        assert key.major_key() == "A"
+        assert key.minor_key() == "f#"
+        assert "A major" in key.declarative_meaning()
+
+    def test_three_sharps_procedural(self):
+        key = KeySignature.sharps(3)
+        assert key.altered_steps() == ["F", "C", "G"]
+        assert key.procedural_meaning() == (
+            "Perform all notes notated as F, C, G one semitone higher than written"
+        )
+
+    def test_flats(self):
+        key = KeySignature.flats(2)
+        assert key.major_key() == "Bb"
+        assert key.minor_key() == "g"  # BWV 578's key
+        assert key.altered_steps() == ["B", "E"]
+        assert key.alteration_of("B") == -1
+        assert key.alteration_of("A") == 0
+
+    def test_c_major(self):
+        key = KeySignature(0)
+        assert key.altered_steps() == []
+        assert key.procedural_meaning() == "Perform all notes as written"
+
+    def test_of_major_minor(self):
+        assert KeySignature.of_major("D").fifths == 2
+        assert KeySignature.of_minor("g").fifths == -2
+        with pytest.raises(NotationError):
+            KeySignature.of_major("H")
+
+    def test_range(self):
+        with pytest.raises(NotationError):
+            KeySignature(8)
+
+
+class TestAccidentalState:
+    def test_accidental_persists_within_measure(self):
+        state = AccidentalState()
+        assert state.apply(1, "F", Accidental.SHARP) == 1
+        assert state.apply(1, "F") == 1  # same degree, still sharp
+        state.barline()
+        assert state.apply(1, "F") == 0
+
+    def test_accidental_is_per_degree(self):
+        state = AccidentalState()
+        state.apply(1, "F", Accidental.SHARP)
+        # F an octave higher (degree 8) is NOT sharpened.
+        assert state.apply(8, "F") == 0
+
+    def test_natural_overrides_key(self):
+        state = AccidentalState(KeySignature.sharps(1))  # F#
+        assert state.apply(1, "F") == 1
+        assert state.apply(1, "F", Accidental.NATURAL) == 0
+        assert state.apply(1, "F") == 0
+        state.barline()
+        assert state.apply(1, "F") == 1
+
+    def test_symbols(self):
+        assert Accidental.from_symbol("#") is Accidental.SHARP
+        assert Accidental.from_symbol("-") is Accidental.FLAT
+        assert Accidental.from_symbol("b") is Accidental.FLAT
+        assert Accidental.from_symbol("x") is Accidental.DOUBLE_SHARP
+        assert Accidental.from_symbol(None) is None
+        with pytest.raises(NotationError):
+            Accidental.from_symbol("?")
+
+
+class TestPerformancePitch:
+    """The meta-musical derivation: degree + clef + key + accidentals."""
+
+    def test_plain_c_major(self):
+        assert performance_pitch(0, TREBLE).name() == "E4"
+        assert performance_pitch(4, TREBLE).name() == "B4"
+
+    def test_key_signature_applies(self):
+        state = AccidentalState(KeySignature.sharps(3))
+        assert performance_pitch(1, TREBLE, state).name() == "F#4"
+        assert performance_pitch(5, TREBLE, state).name() == "C#5"
+        assert performance_pitch(0, TREBLE, state).name() == "E4"
+
+    def test_explicit_accidental_wins_then_persists(self):
+        state = AccidentalState(KeySignature.sharps(1))
+        assert performance_pitch(1, TREBLE, state, "n").name() == "F4"
+        assert performance_pitch(1, TREBLE, state).name() == "F4"
+        state.barline()
+        assert performance_pitch(1, TREBLE, state).name() == "F#4"
+
+    def test_string_accidental_accepted(self):
+        assert performance_pitch(0, TREBLE, None, "#").name() == "E#4"
+
+    def test_same_degree_other_clef(self):
+        assert performance_pitch(4, BASS).name() == "D3"
+
+    def test_degree_for_pitch(self):
+        assert degree_for_pitch(Pitch.parse("G4"), TREBLE) == 2
+        assert degree_for_pitch(Pitch.parse("C4"), BASS) == 10

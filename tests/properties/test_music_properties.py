@@ -1,0 +1,129 @@
+"""Property tests: pitch, tempo, meter, DARMS, sound invariants."""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.darms.canonical import canonize
+from repro.darms.tokens import duration_code, duration_value
+from repro.pitch.clef import ALTO, BASS, TENOR, TREBLE
+from repro.pitch.pitch import Pitch
+from repro.sound.compaction import compact_redundancy, expand_redundancy
+from repro.sound.samples import SampleBuffer
+from repro.temporal.meter import MeterSignature
+from repro.temporal.tempo import TempoMap
+
+
+class TestPitchProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 127), st.booleans())
+    def test_midi_spelling_round_trip(self, key, prefer_flats):
+        assert Pitch.from_midi(key, prefer_flats).midi_key == key
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.sampled_from([TREBLE, BASS, ALTO, TENOR]),
+        st.integers(-10, 20),
+        st.integers(-2, 2),
+    )
+    def test_clef_degree_round_trip(self, clef, degree, alter):
+        pitch = clef.degree_to_pitch(degree, alter)
+        assert clef.pitch_to_degree(pitch) == degree
+        assert pitch.alter == alter
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(12, 115), st.integers(-12, 12))
+    def test_transposition_additive(self, key, interval):
+        pitch = Pitch.from_midi(key)
+        assert pitch.transposed(interval).midi_key == key + interval
+
+
+class TestTempoProperties:
+    tempo_directives = st.lists(
+        st.tuples(
+            st.sampled_from(["mark", "ramp"]),
+            st.integers(0, 32),
+            st.integers(30, 240),
+            st.integers(1, 8),
+        ),
+        max_size=5,
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(tempo_directives, st.floats(0.0, 40.0))
+    def test_inverse_round_trip(self, directives, beat):
+        tempo_map = TempoMap(100)
+        for kind, start, bpm, span in directives:
+            if kind == "mark":
+                tempo_map.set_tempo(start, bpm)
+            else:
+                tempo_map.linear_change(start, start + span, bpm)
+        seconds = tempo_map.seconds_at(beat)
+        assert abs(tempo_map.beat_at(seconds) - beat) < 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(tempo_directives)
+    def test_strictly_monotonic(self, directives):
+        tempo_map = TempoMap(100)
+        for kind, start, bpm, span in directives:
+            if kind == "mark":
+                tempo_map.set_tempo(start, bpm)
+            else:
+                tempo_map.linear_change(start, start + span, bpm)
+        samples = [tempo_map.seconds_at(Fraction(b, 4)) for b in range(160)]
+        assert all(a < b for a, b in zip(samples, samples[1:]))
+
+
+class TestMeterProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 16), st.sampled_from([1, 2, 4, 8, 16, 32]))
+    def test_offsets_fill_measure(self, numerator, denominator):
+        meter = MeterSignature(numerator, denominator)
+        offsets = meter.beat_offsets()
+        assert len(offsets) == numerator
+        assert offsets[0] == 0
+        pulse = Fraction(4, denominator)
+        assert all(b - a == pulse for a, b in zip(offsets, offsets[1:]))
+        assert offsets[-1] + pulse == meter.measure_duration().beats
+
+
+class TestDarmsProperties:
+    durations = st.sampled_from(["W", "H", "Q", "E", "S"])
+    positions = st.integers(1, 9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(positions, durations), min_size=1, max_size=12))
+    def test_canonize_idempotent(self, notes):
+        source = " ".join("%d%s" % (p, d) for p, d in notes)
+        canonical = canonize(source)
+        assert canonize(canonical) == canonical
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(positions, durations), min_size=2, max_size=12))
+    def test_carried_durations_explicit(self, notes):
+        # Drop all but the first duration: the canonizer must restore them.
+        source = "%d%s " % notes[0] + " ".join(str(p) for p, _ in notes[1:])
+        canonical = canonize(source)
+        tokens = canonical.split()
+        assert len(tokens) == len(notes)
+        first_duration = notes[0][1]
+        assert all(token.endswith(first_duration) for token in tokens)
+
+    @settings(max_examples=60, deadline=None)
+    @given(durations, st.integers(0, 3))
+    def test_duration_code_round_trip(self, letter, dots):
+        value = duration_value(letter, dots)
+        assert duration_code(value) == (letter, dots)
+
+
+class TestSoundProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.integers(-32768, 32767), min_size=0, max_size=2000
+        )
+    )
+    def test_redundancy_compaction_lossless(self, samples):
+        buffer = SampleBuffer(np.array(samples, dtype=np.int16), 8000)
+        assert expand_redundancy(compact_redundancy(buffer)) == buffer

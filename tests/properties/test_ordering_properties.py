@@ -1,0 +1,116 @@
+"""Property tests: hierarchical ordering invariants under random ops."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schema import Schema
+from repro.errors import OrderingCycleError, OrderingMembershipError
+
+
+def fresh():
+    schema = Schema("prop")
+    schema.define_entity("CHORD", [("n", "integer")])
+    schema.define_entity("NOTE", [("n", "integer")])
+    ordering = schema.define_ordering("o", ["NOTE"], under="CHORD")
+    return schema, ordering
+
+
+# An operation is (kind, parent_index, child_index, position_seed).
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "remove", "move", "reparent"]),
+        st.integers(0, 2),
+        st.integers(0, 9),
+        st.integers(0, 12),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations)
+def test_random_operations_preserve_invariants(ops):
+    schema, ordering = fresh()
+    parents = [schema.entity_type("CHORD").create(n=i) for i in range(3)]
+    children = [schema.entity_type("NOTE").create(n=i) for i in range(10)]
+    for kind, parent_index, child_index, seed in ops:
+        parent = parents[parent_index]
+        child = children[child_index]
+        try:
+            if kind == "insert":
+                count = len(ordering.children(parent))
+                ordering.insert(parent, child, 1 + seed % (count + 1))
+            elif kind == "remove":
+                ordering.remove(child)
+            elif kind == "move":
+                row_parent = ordering.parent_of(child)
+                if row_parent is not None:
+                    count = len(ordering.children(row_parent))
+                    ordering.move(child, 1 + seed % count)
+            elif kind == "reparent":
+                if ordering.contains(child):
+                    ordering.reparent(child, parent)
+        except OrderingMembershipError:
+            pass
+        ordering.check_invariants()
+    # Global: every parent's children enumerate positions 1..n.
+    for parent in parents:
+        kids = ordering.children(parent)
+        assert [ordering.position_of(k) for k in kids] == list(
+            range(1, len(kids) + 1)
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.permutations(list(range(8))))
+def test_before_is_strict_total_order_on_siblings(order):
+    schema, ordering = fresh()
+    parent = schema.entity_type("CHORD").create(n=0)
+    children = [schema.entity_type("NOTE").create(n=i) for i in range(8)]
+    for index in order:
+        ordering.append(parent, children[index])
+    placed = ordering.children(parent)
+    for i, a in enumerate(placed):
+        assert not ordering.before(a, a)
+        for b in placed[i + 1:]:
+            # Trichotomy: exactly one of before/after holds.
+            assert ordering.before(a, b) != ordering.after(a, b)
+            assert ordering.before(a, b)
+            assert ordering.before(a, b) == ordering.after(b, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 7), min_size=1, max_size=20))
+def test_recursive_ordering_never_admits_cycles(edges):
+    schema = Schema("rec")
+    schema.define_entity("G", [("n", "integer")])
+    ordering = schema.define_ordering("g", ["G"], under="G")
+    nodes = [schema.entity_type("G").create(n=i) for i in range(8)]
+    for i, target in enumerate(edges):
+        child = nodes[(i + 1) % 8]
+        parent = nodes[target]
+        try:
+            ordering.append(parent, child)
+        except (OrderingCycleError, OrderingMembershipError):
+            pass
+        ordering.check_invariants()  # raises on any undetected cycle
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 9), min_size=1, max_size=10, unique=True),
+    st.integers(0, 9),
+)
+def test_remove_then_reinsert_is_stable(members, victim_seed):
+    schema, ordering = fresh()
+    parent = schema.entity_type("CHORD").create(n=0)
+    children = [schema.entity_type("NOTE").create(n=i) for i in range(10)]
+    for index in members:
+        ordering.append(parent, children[index])
+    victim = children[members[victim_seed % len(members)]]
+    position = ordering.position_of(victim)
+    ordering.remove(victim)
+    ordering.insert(parent, victim, position)
+    assert [c.surrogate for c in ordering.children(parent)] == [
+        children[i].surrogate for i in members
+    ]

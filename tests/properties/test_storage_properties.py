@@ -1,0 +1,81 @@
+"""Property tests: storage-layer round trips and equivalences."""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.index import OrderedIndex
+from repro.storage.row import Row
+from repro.storage.table import Column, Table, TableSchema
+from repro.storage.values import value_sort_key
+
+storable_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 62), max_value=2 ** 62),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=50),
+    st.binary(max_size=50),
+    st.fractions(min_value=-1000, max_value=1000, max_denominator=10 ** 6),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(storable_values, min_size=3, max_size=3))
+def test_row_serialization_round_trip(values):
+    row = Row(7, dict(zip("abc", values)))
+    blob = row.serialize(["a", "b", "c"])
+    back, offset = Row.deserialize(blob, ["a", "b", "c"])
+    assert back == row
+    assert offset == len(blob)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(-1000, 1000), max_size=60))
+def test_ordered_index_matches_sorted_list(keys):
+    index = OrderedIndex("k")
+    for rowid, key in enumerate(keys):
+        index.insert(key, rowid)
+    low, high = -100, 100
+    via_index = sorted(index.range(low, high))
+    expected = sorted(
+        rowid for rowid, key in enumerate(keys) if low <= key <= high
+    )
+    assert via_index == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 5), st.integers(-50, 50)), max_size=40)
+)
+def test_index_scan_equivalence_under_mutation(ops):
+    """select_eq via index equals a predicate scan at every step."""
+    schema = TableSchema("t", [Column("k", "integer")])
+    table = Table(schema)
+    table.create_index("k")
+    rowids = []
+    for action, key in ops:
+        if action <= 3 or not rowids:
+            rowids.append(table.insert({"k": key}).rowid)
+        elif action == 4:
+            victim = rowids.pop(key % len(rowids))
+            if table.get(victim) is not None:
+                table.delete(victim)
+        else:
+            target = rowids[key % len(rowids)]
+            if table.get(target) is not None:
+                table.update(target, {"k": key})
+        for probe in (-1, 0, key):
+            indexed = {r.rowid for r in table.select_eq("k", probe)}
+            scanned = {r.rowid for r in table.scan(lambda r: r["k"] == probe)}
+            assert indexed == scanned
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(storable_values, min_size=2, max_size=6))
+def test_value_sort_key_total_order(values):
+    keys = [value_sort_key(v) for v in values]
+    keys.sort()  # must not raise: total order over mixed types
+    for a, b in zip(keys, keys[1:]):
+        assert a <= b

@@ -1,0 +1,65 @@
+"""Property test: recovery reproduces exactly the committed state."""
+
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.database import Database
+
+# A schedule is a list of transactions; each transaction is
+# (commit?, [(op, key, value)]).
+transactions = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "update", "delete"]),
+                st.integers(0, 5),
+                st.integers(-100, 100),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    ),
+    max_size=8,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(schedule=transactions, checkpoint_midway=st.booleans())
+def test_recovery_equals_committed_state(tmp_path_factory, schedule, checkpoint_midway):
+    path = str(tmp_path_factory.mktemp("wal") / "db")
+    db = Database(path)
+    table = db.create_table("t", [("k", "integer"), ("v", "integer")])
+    live_rowids = {}  # key -> rowid, for committed view bookkeeping
+
+    for index, (commit, ops) in enumerate(schedule):
+        txn = db.begin()
+        for op, key, value in ops:
+            rowid = live_rowids.get(key)
+            current = table.get(rowid) if rowid is not None else None
+            if op == "insert" and current is None:
+                live_rowids[key] = table.insert({"k": key, "v": value}).rowid
+            elif op == "update" and current is not None:
+                table.update(rowid, {"v": value})
+            elif op == "delete" and current is not None:
+                table.delete(rowid)
+                live_rowids.pop(key, None)
+        if commit:
+            txn.commit()
+        else:
+            txn.abort()
+            # Rebuild bookkeeping after the abort restored old rows.
+            live_rowids = {
+                row["k"]: row.rowid for row in table
+            }
+        if checkpoint_midway and index == len(schedule) // 2:
+            db.checkpoint()
+
+    expected = sorted((row["k"], row["v"]) for row in table)
+    db.close()
+
+    recovered = Database(path)
+    actual = sorted((row["k"], row["v"]) for row in recovered.table("t"))
+    recovered.close()
+    assert actual == expected

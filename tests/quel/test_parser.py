@@ -1,0 +1,138 @@
+"""QUEL parsing."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.quel import ast
+from repro.quel.parser import parse_quel
+
+
+class TestRange:
+    def test_single(self):
+        (stmt,) = parse_quel("range of n1 is NOTE")
+        assert stmt.variables == ["n1"]
+        assert stmt.entity_type == "NOTE"
+
+    def test_multiple_variables(self):
+        (stmt,) = parse_quel("range of n1, n2, n3 is NOTE")
+        assert stmt.variables == ["n1", "n2", "n3"]
+
+
+class TestRetrieve:
+    def test_targets(self):
+        (stmt,) = parse_quel("retrieve (n1.name, total = count(n1.name))")
+        assert stmt.targets[0].name == "n1.name"
+        assert isinstance(stmt.targets[0].expression, ast.AttributeRef)
+        assert stmt.targets[1].name == "total"
+        assert isinstance(stmt.targets[1].expression, ast.FunctionCall)
+
+    def test_unique_and_sort(self):
+        (stmt,) = parse_quel(
+            "retrieve unique (n1.name) sort by n1.name descending"
+        )
+        assert stmt.unique
+        assert stmt.descending
+        assert isinstance(stmt.sort_by, ast.AttributeRef)
+
+    def test_where_comparisons(self):
+        (stmt,) = parse_quel('retrieve (n.x) where n.x >= 3 and n.y != "q"')
+        assert isinstance(stmt.where, ast.And)
+        assert stmt.where.left.operator == ">="
+
+    def test_boolean_precedence(self):
+        (stmt,) = parse_quel("retrieve (n.x) where n.a = 1 or n.b = 2 and n.c = 3")
+        # and binds tighter than or
+        assert isinstance(stmt.where, ast.Or)
+        assert isinstance(stmt.where.right, ast.And)
+
+    def test_parenthesized_qualification(self):
+        (stmt,) = parse_quel(
+            "retrieve (n.x) where (n.a = 1 or n.b = 2) and n.c = 3"
+        )
+        assert isinstance(stmt.where, ast.And)
+        assert isinstance(stmt.where.left, ast.Or)
+
+    def test_not(self):
+        (stmt,) = parse_quel("retrieve (n.x) where not n.a = 1")
+        assert isinstance(stmt.where, ast.Not)
+
+    def test_arithmetic(self):
+        (stmt,) = parse_quel("retrieve (v = n.x * 2 + 1)")
+        expression = stmt.targets[0].expression
+        assert isinstance(expression, ast.BinaryOp)
+        assert expression.operator == "+"
+        assert expression.left.operator == "*"
+
+
+class TestEntityOperators:
+    def test_is(self):
+        (stmt,) = parse_quel(
+            "retrieve (p.name) where COMPOSER.composer is p"
+        )
+        clause = stmt.where
+        assert isinstance(clause, ast.IsClause)
+        assert isinstance(clause.left, ast.AttributeRef)
+        assert isinstance(clause.right, ast.VariableRef)
+
+    def test_before_with_order_name(self):
+        (stmt,) = parse_quel(
+            "retrieve (n1.name) where n1 before n2 in note_in_chord"
+        )
+        clause = stmt.where
+        assert isinstance(clause, ast.OrderClause)
+        assert clause.operator == "before"
+        assert clause.order_name == "note_in_chord"
+
+    def test_after_without_order_name(self):
+        (stmt,) = parse_quel("retrieve (n1.name) where n1 after n2")
+        assert stmt.where.order_name is None
+
+    def test_under(self):
+        (stmt,) = parse_quel(
+            "retrieve (n1.name) where n1 under c1 in note_in_chord"
+        )
+        clause = stmt.where
+        assert isinstance(clause, ast.UnderClause)
+        assert clause.child.variable == "n1"
+        assert clause.parent.variable == "c1"
+
+    def test_entity_operand_must_be_variable(self):
+        with pytest.raises(ParseError):
+            parse_quel("retrieve (n1.name) where 3 before n2")
+
+
+class TestMutations:
+    def test_append(self):
+        (stmt,) = parse_quel('append to NOTE (name = 1, pitch = "g")')
+        assert stmt.entity_type == "NOTE"
+        assert [name for name, _ in stmt.assignments] == ["name", "pitch"]
+
+    def test_replace(self):
+        (stmt,) = parse_quel("replace n1 (pitch = 60) where n1.name = 4")
+        assert stmt.variable == "n1"
+        assert stmt.where is not None
+
+    def test_delete(self):
+        (stmt,) = parse_quel("delete n1 where n1.name = 4")
+        assert stmt.variable == "n1"
+
+    def test_delete_without_where(self):
+        (stmt,) = parse_quel("delete n1")
+        assert stmt.where is None
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "retrieve n1.name",
+            "retrieve () where x = 1",
+            "range n1 is NOTE",
+            "fetch (n1.name)",
+            "retrieve (n1.name) where",
+            "append NOTE (x = 1)",
+        ],
+    )
+    def test_bad_syntax(self, bad):
+        with pytest.raises(ParseError):
+            parse_quel(bad)

@@ -1,0 +1,98 @@
+"""Pager: page allocation, persistence, free list, stream chains."""
+
+import os
+
+import pytest
+
+from repro.errors import PageError
+from repro.storage.pager import PAGE_SIZE, Pager
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "pages.db")
+
+
+class TestPages:
+    def test_allocate_and_get(self, db_path):
+        with Pager(db_path) as pager:
+            page = pager.allocate()
+            assert page.page_no == 1
+            page.write(0, b"hello")
+            assert pager.get(1).read(0, 5) == b"hello"
+
+    def test_out_of_range(self, db_path):
+        with Pager(db_path) as pager:
+            with pytest.raises(PageError):
+                pager.get(1)
+
+    def test_write_overflow(self, db_path):
+        with Pager(db_path) as pager:
+            page = pager.allocate()
+            with pytest.raises(PageError):
+                page.write(PAGE_SIZE - 2, b"abcd")
+
+    def test_persistence(self, db_path):
+        with Pager(db_path) as pager:
+            page = pager.allocate()
+            page.write(10, b"durable")
+            pager.flush()
+        with Pager(db_path) as pager:
+            assert pager.page_count == 1
+            assert pager.get(1).read(10, 7) == b"durable"
+
+    def test_eviction_writes_back(self, db_path):
+        with Pager(db_path, capacity=4) as pager:
+            numbers = []
+            for i in range(12):
+                page = pager.allocate()
+                page.write(0, bytes([i]) * 8)
+                numbers.append(page.page_no)
+            # Early pages were evicted; reading them back hits disk.
+            for i, page_no in enumerate(numbers):
+                assert pager.get(page_no).read(0, 8) == bytes([i]) * 8
+
+    def test_free_list_reuse(self, db_path):
+        with Pager(db_path) as pager:
+            first = pager.allocate().page_no
+            second = pager.allocate().page_no
+            pager.free(first)
+            reused = pager.allocate().page_no
+            assert reused == first
+            assert pager.page_count == 2
+            assert second == 2
+
+
+class TestStreams:
+    def test_small_stream(self, db_path):
+        with Pager(db_path) as pager:
+            head = pager.write_stream(b"tiny payload")
+            assert pager.read_stream(head) == b"tiny payload"
+
+    def test_empty_stream(self, db_path):
+        with Pager(db_path) as pager:
+            head = pager.write_stream(b"")
+            assert pager.read_stream(head) == b""
+
+    def test_multi_page_stream(self, db_path):
+        payload = os.urandom(PAGE_SIZE * 3 + 123)
+        with Pager(db_path) as pager:
+            head = pager.write_stream(payload)
+            assert pager.read_stream(head) == payload
+
+    def test_stream_survives_reopen(self, db_path):
+        payload = bytes(range(256)) * 40
+        with Pager(db_path) as pager:
+            head = pager.write_stream(payload)
+            pager.flush()
+        with Pager(db_path) as pager:
+            assert pager.read_stream(head) == payload
+
+    def test_free_stream_allows_reuse(self, db_path):
+        payload = b"x" * (PAGE_SIZE * 2)
+        with Pager(db_path) as pager:
+            head = pager.write_stream(payload)
+            count_before = pager.page_count
+            pager.free_stream(head)
+            pager.write_stream(payload)
+            assert pager.page_count == count_before

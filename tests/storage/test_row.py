@@ -1,0 +1,75 @@
+"""Row semantics and binary serialization."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.row import Row
+
+COLUMNS = ["a", "b", "c"]
+
+
+def test_access():
+    row = Row(1, {"a": 1, "b": "x", "c": None})
+    assert row["a"] == 1
+    assert row.get("c") is None
+    assert row.get("missing", 7) == 7
+    assert "b" in row
+
+
+def test_replaced_preserves_rowid():
+    row = Row(5, {"a": 1, "b": 2, "c": 3})
+    updated = row.replaced({"b": 9})
+    assert updated.rowid == 5
+    assert updated["b"] == 9
+    assert row["b"] == 2  # original untouched
+
+
+def test_equality_and_hash():
+    row1 = Row(1, {"a": 1})
+    row2 = Row(1, {"a": 1})
+    assert row1 == row2
+    assert hash(row1) == hash(row2)
+    assert row1 != Row(1, {"a": 2})
+
+
+@pytest.mark.parametrize(
+    "values",
+    [
+        {"a": 1, "b": 2, "c": 3},
+        {"a": -(2 ** 40), "b": 0.5, "c": "unicode éü"},
+        {"a": None, "b": True, "c": False},
+        {"a": Fraction(3, 7), "b": b"\x00\xff", "c": ""},
+    ],
+)
+def test_serialize_round_trip(values):
+    row = Row(99, values)
+    blob = row.serialize(COLUMNS)
+    back, offset = Row.deserialize(blob, COLUMNS)
+    assert back == row
+    assert offset == len(blob)
+
+
+def test_serialize_missing_column_as_null():
+    row = Row(1, {"a": 1})
+    blob = row.serialize(COLUMNS)
+    back, _ = Row.deserialize(blob, COLUMNS)
+    assert back["b"] is None
+
+
+def test_deserialize_wrong_arity():
+    row = Row(1, {"a": 1, "b": 2, "c": 3})
+    blob = row.serialize(COLUMNS)
+    with pytest.raises(StorageError):
+        Row.deserialize(blob, ["a", "b"])
+
+
+def test_concatenated_rows():
+    rows = [Row(i, {"a": i, "b": str(i), "c": None}) for i in range(5)]
+    blob = b"".join(r.serialize(COLUMNS) for r in rows)
+    offset = 0
+    for expected in rows:
+        row, offset = Row.deserialize(blob, COLUMNS, offset)
+        assert row == expected
+    assert offset == len(blob)

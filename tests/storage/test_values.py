@@ -1,0 +1,91 @@
+"""Domain coercion and the total value sort order."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.storage.values import Domain, coerce_value, value_sort_key
+
+
+class TestDomains:
+    def test_from_name(self):
+        assert Domain.from_name("integer") is Domain.INTEGER
+        assert Domain.from_name("STRING") is Domain.STRING
+
+    def test_from_name_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            Domain.from_name("decimal")
+
+
+class TestCoercion:
+    def test_integer(self):
+        assert coerce_value(Domain.INTEGER, 5) == 5
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(Domain.INTEGER, True)
+
+    def test_integer_rejects_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(Domain.INTEGER, 1.5)
+
+    def test_float_accepts_int(self):
+        assert coerce_value(Domain.FLOAT, 3) == 3.0
+        assert isinstance(coerce_value(Domain.FLOAT, 3), float)
+
+    def test_string(self):
+        assert coerce_value(Domain.STRING, "abc") == "abc"
+
+    def test_string_rejects_bytes(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(Domain.STRING, b"abc")
+
+    def test_boolean(self):
+        assert coerce_value(Domain.BOOLEAN, True) is True
+        with pytest.raises(TypeMismatchError):
+            coerce_value(Domain.BOOLEAN, 1)
+
+    def test_rational_from_int(self):
+        value = coerce_value(Domain.RATIONAL, 3)
+        assert value == Fraction(3)
+
+    def test_rational_rejects_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(Domain.RATIONAL, 0.5)
+
+    def test_entity_accepts_int_surrogate(self):
+        assert coerce_value(Domain.ENTITY, 42) == 42
+
+    def test_blob(self):
+        assert coerce_value(Domain.BLOB, bytearray(b"xy")) == b"xy"
+
+    def test_null_everywhere(self):
+        for domain in Domain:
+            assert coerce_value(domain, None) is None
+
+
+class TestSortKey:
+    def test_nulls_first(self):
+        assert value_sort_key(None) < value_sort_key(-10)
+
+    def test_numerics_mix(self):
+        assert value_sort_key(1) < value_sort_key(1.5) < value_sort_key(Fraction(7, 4))
+
+    def test_numeric_equality_across_types(self):
+        assert value_sort_key(2) == value_sort_key(2.0)
+
+    def test_strings_after_numbers(self):
+        assert value_sort_key(10 ** 9) < value_sort_key("a")
+
+    def test_string_order(self):
+        assert value_sort_key("abc") < value_sort_key("abd")
+
+    def test_bytes_after_strings(self):
+        assert value_sort_key("zz") < value_sort_key(b"aa")
+
+    def test_unsortable(self):
+        import pytest
+
+        with pytest.raises(TypeMismatchError):
+            value_sort_key(object())

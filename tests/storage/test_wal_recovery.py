@@ -1,0 +1,156 @@
+"""Write-ahead logging and crash recovery."""
+
+import os
+
+import pytest
+
+from repro.storage import wal as wal_module
+from repro.storage.database import Database
+from repro.storage.wal import WriteAheadLog
+
+
+@pytest.fixture
+def db_dir(tmp_path):
+    return str(tmp_path / "mdm")
+
+
+def make_db(path):
+    db = Database(path)
+    if not db.has_table("notes"):
+        db.create_table("notes", [("name", "string"), ("pitch", "integer")])
+    return db
+
+
+class TestWal:
+    def test_committed_survive_reopen(self, db_dir):
+        db = make_db(db_dir)
+        with db.begin():
+            db.table("notes").insert({"name": "c", "pitch": 60})
+        db.close()
+        db2 = make_db(db_dir)
+        assert len(db2.table("notes")) == 1
+        db2.close()
+
+    def test_uncommitted_lost_on_crash(self, db_dir):
+        db = make_db(db_dir)
+        txn = db.begin()
+        db.table("notes").insert({"name": "c", "pitch": 60})
+        # Simulated crash: no commit, no close flush of changes.
+        del txn
+        db.close()
+        db2 = make_db(db_dir)
+        assert len(db2.table("notes")) == 0
+        db2.close()
+
+    def test_abort_undoes_in_memory(self, db_dir):
+        db = make_db(db_dir)
+        table = db.table("notes")
+        with db.begin():
+            kept = table.insert({"name": "keep", "pitch": 1})
+        txn = db.begin()
+        table.insert({"name": "gone", "pitch": 2})
+        table.update(kept.rowid, {"pitch": 99})
+        table.delete(kept.rowid)
+        txn.abort()
+        assert len(table) == 1
+        assert table.get(kept.rowid)["pitch"] == 1
+        db.close()
+
+    def test_updates_and_deletes_replay(self, db_dir):
+        db = make_db(db_dir)
+        table = db.table("notes")
+        with db.begin():
+            a = table.insert({"name": "a", "pitch": 1})
+            b = table.insert({"name": "b", "pitch": 2})
+        with db.begin():
+            table.update(a.rowid, {"pitch": 10})
+            table.delete(b.rowid)
+        db.close()
+        db2 = make_db(db_dir)
+        rows = list(db2.table("notes"))
+        assert len(rows) == 1
+        assert rows[0]["pitch"] == 10
+        db2.close()
+
+    def test_checkpoint_truncates_log(self, db_dir):
+        db = make_db(db_dir)
+        with db.begin():
+            for i in range(20):
+                db.table("notes").insert({"name": str(i), "pitch": i})
+        db.checkpoint()
+        log_size_after = os.path.getsize(os.path.join(db_dir, "wal.log"))
+        db.close()
+        db2 = make_db(db_dir)
+        assert len(db2.table("notes")) == 20
+        db2.close()
+        assert log_size_after < 200  # just the checkpoint record
+
+    def test_changes_after_checkpoint_replay(self, db_dir):
+        db = make_db(db_dir)
+        with db.begin():
+            db.table("notes").insert({"name": "early", "pitch": 1})
+        db.checkpoint()
+        with db.begin():
+            db.table("notes").insert({"name": "late", "pitch": 2})
+        db.close()
+        db2 = make_db(db_dir)
+        names = sorted(r["name"] for r in db2.table("notes"))
+        assert names == ["early", "late"]
+        db2.close()
+
+    def test_torn_tail_discarded(self, db_dir):
+        db = make_db(db_dir)
+        with db.begin():
+            db.table("notes").insert({"name": "good", "pitch": 1})
+        db.close()
+        # Corrupt the log tail: half a record.
+        log_path = os.path.join(db_dir, "wal.log")
+        with open(log_path, "ab") as handle:
+            handle.write(b"\xff\xff\xff\x7f partial")
+        db2 = make_db(db_dir)
+        assert len(db2.table("notes")) == 1
+        db2.close()
+
+    def test_auto_commit_durable(self, db_dir):
+        db = make_db(db_dir)
+        db.table("notes").insert({"name": "auto", "pitch": 5})
+        db.close()
+        db2 = make_db(db_dir)
+        assert len(db2.table("notes")) == 1
+        db2.close()
+
+
+class TestLogFile:
+    def test_lsns_monotonic(self, tmp_path):
+        path = str(tmp_path / "test.log")
+        with WriteAheadLog(path) as log:
+            first = log.append(1, wal_module.BEGIN)
+            second = log.append(1, wal_module.COMMIT, flush=True)
+            assert second.lsn == first.lsn + 1
+        with WriteAheadLog(path) as log:
+            third = log.append(2, wal_module.BEGIN)
+            assert third.lsn > second.lsn
+
+    def test_replay_filters_uncommitted(self, tmp_path):
+        from repro.storage.row import Row
+
+        path = str(tmp_path / "test.log")
+        orders = {"t": ["a"]}
+        with WriteAheadLog(path) as log:
+            log.append(1, wal_module.BEGIN)
+            log.append(
+                1, wal_module.INSERT, table="t",
+                row=Row(1, {"a": 1}), column_orders=orders,
+            )
+            log.append(1, wal_module.COMMIT)
+            log.append(2, wal_module.BEGIN)
+            log.append(
+                2, wal_module.INSERT, table="t",
+                row=Row(2, {"a": 2}), column_orders=orders, flush=True,
+            )
+            applied = []
+            replayed = wal_module.replay(
+                log, orders, lambda kind, t, row, old: applied.append(row.rowid)
+            )
+            assert applied == [1]
+            assert replayed == {1}

@@ -1,0 +1,70 @@
+"""The conductor: score <-> performance mapping, rubato, schedules."""
+
+import pytest
+
+from repro.errors import NotationError
+from repro.temporal.conductor import Conductor, RubatoWarp
+from repro.temporal.tempo import TempoMap
+from repro.temporal.time import ScoreTime
+
+
+class TestBasicMapping:
+    def test_plain_passthrough(self):
+        conductor = Conductor(TempoMap(60))
+        assert abs(conductor.performance_seconds(3) - 3.0) < 1e-12
+
+    def test_score_time_objects(self):
+        conductor = Conductor(TempoMap(120))
+        assert abs(conductor.performance_seconds(ScoreTime(4)) - 2.0) < 1e-12
+
+    def test_inverse(self):
+        conductor = Conductor(TempoMap(120).accelerando(0, 8, 180))
+        for beat in (0.5, 3.25, 7.0, 10.0):
+            seconds = conductor.performance_seconds(beat)
+            assert abs(conductor.score_beats(seconds) - beat) < 1e-7
+
+
+class TestRubato:
+    def test_zero_mean_at_period(self):
+        conductor = Conductor(TempoMap(60), RubatoWarp(0.1, 4.0))
+        # At whole periods the displacement cancels.
+        assert abs(conductor.performance_seconds(4) - 4.0) < 1e-9
+        assert abs(conductor.performance_seconds(8) - 8.0) < 1e-9
+
+    def test_push_and_pull(self):
+        conductor = Conductor(TempoMap(60), RubatoWarp(0.1, 4.0))
+        early = conductor.performance_seconds(1)  # sin positive: late
+        assert early > 1.0
+        late = conductor.performance_seconds(3)  # sin negative: early
+        assert late < 3.0
+
+    def test_monotonic_composite_inverse(self):
+        conductor = Conductor(TempoMap(100), RubatoWarp(0.05, 4.0))
+        for beat in (0.3, 1.7, 2.0, 5.9, 11.1):
+            seconds = conductor.performance_seconds(beat)
+            assert abs(conductor.score_beats(seconds) - beat) < 1e-6
+
+    def test_excessive_rubato_rejected(self):
+        with pytest.raises(NotationError):
+            Conductor(TempoMap(240), RubatoWarp(1.0, 4.0))
+
+    def test_invalid_period(self):
+        with pytest.raises(NotationError):
+            RubatoWarp(0.1, 0)
+
+
+class TestSchedule:
+    def test_schedule_conversion(self):
+        conductor = Conductor(TempoMap(120))
+        events = [(0, 1, "a"), (1, 2, "b")]
+        schedule = conductor.schedule(events)
+        assert schedule[0] == (0.0, 0.5, "a")
+        assert abs(schedule[1][0] - 0.5) < 1e-12
+        assert abs(schedule[1][1] - 1.5) < 1e-12
+
+    def test_schedule_under_tempo_change(self):
+        conductor = Conductor(TempoMap(120).set_tempo(2, 60))
+        schedule = conductor.schedule([(0, 4, "x")])
+        start, end, _ = schedule[0]
+        assert start == 0.0
+        assert abs(end - (1.0 + 2.0)) < 1e-12

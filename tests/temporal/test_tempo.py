@@ -1,0 +1,86 @@
+"""Tempo maps: metronome marks, accelerando/ritardando, inversion."""
+
+import math
+
+import pytest
+
+from repro.errors import NotationError
+from repro.temporal.tempo import TempoMap
+
+
+class TestConstantTempo:
+    def test_seconds_at(self):
+        tm = TempoMap(120)
+        assert tm.seconds_at(0) == 0.0
+        assert abs(tm.seconds_at(4) - 2.0) < 1e-12
+        assert abs(tm.seconds_at(120) - 60.0) < 1e-9
+
+    def test_bpm_at(self):
+        assert TempoMap(96).bpm_at(10) == 96.0
+
+    def test_invalid_tempo(self):
+        with pytest.raises(NotationError):
+            TempoMap(0)
+        with pytest.raises(NotationError):
+            TempoMap(120).set_tempo(4, -10)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(NotationError):
+            TempoMap(120).seconds_at(-1)
+
+
+class TestMetronomeMarks:
+    def test_piecewise(self):
+        tm = TempoMap(120).set_tempo(4, 60)
+        assert abs(tm.seconds_at(4) - 2.0) < 1e-12
+        assert abs(tm.seconds_at(8) - 6.0) < 1e-12
+        assert tm.bpm_at(2) == 120.0
+        assert tm.bpm_at(6) == 60.0
+
+    def test_marks_out_of_order(self):
+        tm = TempoMap(120)
+        tm.set_tempo(8, 240)
+        tm.set_tempo(4, 60)
+        assert tm.bpm_at(5) == 60.0
+        assert tm.bpm_at(9) == 240.0
+
+
+class TestRamps:
+    def test_accelerando_integral(self):
+        tm = TempoMap(120).accelerando(0, 4, 240)
+        expected = 60.0 / ((240 - 120) / 4.0) * math.log(240 / 120)
+        assert abs(tm.seconds_at(4) - expected) < 1e-12
+
+    def test_ritardando_slows(self):
+        steady = TempoMap(120)
+        slowing = TempoMap(120).ritardando(0, 4, 60)
+        assert slowing.seconds_at(4) > steady.seconds_at(4)
+
+    def test_tempo_continues_after_ramp(self):
+        tm = TempoMap(120).accelerando(0, 4, 240)
+        assert tm.bpm_at(10) == 240.0
+
+    def test_mid_ramp_bpm_linear(self):
+        tm = TempoMap(100).accelerando(0, 10, 200)
+        assert abs(tm.bpm_at(5) - 150.0) < 1e-12
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(NotationError):
+            TempoMap(120).accelerando(4, 4, 240)
+
+
+class TestInversion:
+    @pytest.mark.parametrize("beat", [0.0, 0.25, 1.0, 3.9, 5.5, 12.0])
+    def test_round_trip_constant(self, beat):
+        tm = TempoMap(90)
+        assert abs(tm.beat_at(tm.seconds_at(beat)) - beat) < 1e-9
+
+    @pytest.mark.parametrize("beat", [0.5, 2.0, 3.99, 4.01, 9.0])
+    def test_round_trip_complex(self, beat):
+        tm = TempoMap(120).accelerando(1, 4, 200).set_tempo(6, 80)
+        assert abs(tm.beat_at(tm.seconds_at(beat)) - beat) < 1e-7
+
+    def test_monotonicity(self):
+        tm = TempoMap(120).accelerando(0, 4, 300).ritardando(6, 8, 40)
+        samples = [tm.seconds_at(b / 4.0) for b in range(48)]
+        assert all(a < b for a, b in zip(samples, samples[1:]))

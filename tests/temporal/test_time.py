@@ -1,0 +1,76 @@
+"""Score time / performance time arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import NotationError
+from repro.temporal.time import PerformanceTime, ScoreDuration, ScoreTime
+
+
+class TestScoreTime:
+    def test_exact_rationals(self):
+        t = ScoreTime(Fraction(1, 3))
+        assert t.beats == Fraction(1, 3)
+
+    def test_string_and_tuple_forms(self):
+        assert ScoreTime("3/4").beats == Fraction(3, 4)
+        assert ScoreTime((3, 4)).beats == Fraction(3, 4)
+
+    def test_float_rejected(self):
+        with pytest.raises(NotationError):
+            ScoreTime(0.5)
+
+    def test_arithmetic(self):
+        start = ScoreTime(2)
+        duration = ScoreDuration(Fraction(3, 2))
+        end = start + duration
+        assert end == ScoreTime(Fraction(7, 2))
+        assert end - start == duration
+        assert end - duration == start
+
+    def test_ordering(self):
+        assert ScoreTime(1) < ScoreTime(2)
+        assert ScoreTime(2) >= ScoreTime(2)
+        with pytest.raises(NotationError):
+            ScoreTime(1) < 2
+
+    def test_hashable(self):
+        assert len({ScoreTime(1), ScoreTime(1), ScoreTime(2)}) == 2
+
+
+class TestScoreDuration:
+    def test_negative_rejected(self):
+        with pytest.raises(NotationError):
+            ScoreDuration(-1)
+
+    def test_scaling(self):
+        d = ScoreDuration(2)
+        assert (d * Fraction(3, 2)).beats == 3
+        assert (Fraction(1, 2) * d).beats == 1
+
+    def test_whole_note_fraction_default_beat(self):
+        d = ScoreDuration.whole_note_fraction(Fraction(1, 4))
+        assert d.beats == 1  # a quarter note is one beat
+
+    def test_whole_note_fraction_with_meter(self):
+        from repro.temporal.meter import MeterSignature
+
+        six_eight = MeterSignature(6, 8)
+        d = ScoreDuration.whole_note_fraction(Fraction(1, 8), six_eight)
+        assert d.beats == 1  # in 6/8 the eighth is the pulse
+
+    def test_sum_difference(self):
+        assert (ScoreDuration(3) - ScoreDuration(1)).beats == 2
+        with pytest.raises(NotationError):
+            ScoreDuration(1) - ScoreDuration(2)
+
+
+class TestPerformanceTime:
+    def test_negative_rejected(self):
+        with pytest.raises(NotationError):
+            PerformanceTime(-0.1)
+
+    def test_compare(self):
+        assert PerformanceTime(1.0) < PerformanceTime(2.0)
+        assert PerformanceTime(1.0) == PerformanceTime(1.0)

@@ -1,0 +1,82 @@
+"""Virtual timelines: affine embedding, nesting, schedules."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import NotationError
+from repro.temporal.conductor import Conductor
+from repro.temporal.tempo import TempoMap
+from repro.temporal.timelines import VirtualTimeline, independent_timelines
+
+
+class TestAffineMaps:
+    def test_identity_root(self):
+        root = VirtualTimeline()
+        assert root.to_root(5) == 5
+        assert root.from_root(5) == 5
+
+    def test_offset(self):
+        root = VirtualTimeline()
+        late = root.sub_timeline("late entry", offset=8)
+        assert late.to_root(0) == 8
+        assert late.to_root(Fraction(3, 2)) == Fraction(19, 2)
+        assert late.from_root(8) == 0
+
+    def test_rate(self):
+        root = VirtualTimeline()
+        double = root.sub_timeline("double speed", rate=Fraction(1, 2))
+        assert double.to_root(4) == 2  # 4 local beats in 2 root beats
+        assert double.from_root(2) == 4
+
+    def test_nesting(self):
+        root = VirtualTimeline()
+        movement = root.sub_timeline("movement 2", offset=32)
+        cadenza = movement.sub_timeline("cadenza", offset=16, rate=Fraction(3, 2))
+        assert cadenza.to_root(0) == 48
+        assert cadenza.to_root(4) == 54
+        assert cadenza.from_root(54) == 4
+        assert cadenza.depth() == 2
+        assert cadenza.root() is root
+
+    def test_round_trip_random_points(self):
+        root = VirtualTimeline()
+        frame = root.sub_timeline("x", offset=Fraction(7, 3), rate=Fraction(5, 4))
+        for beats in (0, 1, Fraction(13, 7), 100):
+            assert frame.from_root(frame.to_root(beats)) == beats
+
+    def test_invalid_rate(self):
+        root = VirtualTimeline()
+        with pytest.raises(NotationError):
+            root.sub_timeline("bad", rate=0)
+
+
+class TestEmbedding:
+    def test_embed_events(self):
+        root = VirtualTimeline()
+        half_speed = root.sub_timeline("augmented", offset=4, rate=2)
+        events = [(0, 1, "a"), (1, 1, "b")]
+        embedded = half_speed.embed_events(events)
+        assert embedded == [(4, 2, "a"), (6, 2, "b")]
+
+    def test_performance_schedule(self):
+        root = VirtualTimeline()
+        line = root.sub_timeline("entry", offset=2)
+        conductor = Conductor(TempoMap(120))  # 0.5 s per beat
+        schedule = line.performance_schedule([(0, 2, "x")], conductor)
+        (start, end, payload) = schedule[0]
+        assert payload == "x"
+        assert abs(start - 1.0) < 1e-9
+        assert abs(end - 2.0) < 1e-9
+
+    def test_independent_lines(self):
+        """Two voices share a root but keep independent local clocks."""
+        root, (dux, comes) = independent_timelines(2, names=["dux", "comes"])
+        comes.offset = Fraction(8)  # the answer enters two measures later
+        subject = [(0, 1, "s1"), (1, 1, "s2")]
+        dux_embedded = dux.embed_events(subject)
+        comes_embedded = comes.embed_events(subject)
+        assert dux_embedded[0][0] == 0
+        assert comes_embedded[0][0] == 8
+        # Local times are identical: the lines are independent.
+        assert [e[1] for e in dux_embedded] == [e[1] for e in comes_embedded]

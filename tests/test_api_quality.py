@@ -1,0 +1,61 @@
+"""Meta-tests: public-API surface and documentation hygiene."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def _walk_modules():
+    out = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        out.append(info.name)
+    return out
+
+
+def test_every_module_imports():
+    for name in _walk_modules():
+        importlib.import_module(name)
+
+
+def test_every_module_has_docstring():
+    for name in _walk_modules():
+        module = importlib.import_module(name)
+        assert module.__doc__ and module.__doc__.strip(), (
+            "module %s lacks a docstring" % name
+        )
+
+
+def test_public_classes_documented():
+    undocumented = []
+    for name in _walk_modules():
+        module = importlib.import_module(name)
+        for attr_name, member in vars(module).items():
+            if attr_name.startswith("_"):
+                continue
+            if inspect.isclass(member) and member.__module__ == name:
+                if not (member.__doc__ and member.__doc__.strip()):
+                    undocumented.append("%s.%s" % (name, attr_name))
+    assert undocumented == []
+
+
+def test_top_level_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_version_string():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)
+
+
+def test_no_circular_import_surprises():
+    # Importing the leaf-most integration modules from scratch must not
+    # require anything to be pre-imported (fresh interpreter simulated
+    # by importlib.reload ordering).
+    import repro.experiments.registry as registry
+
+    importlib.reload(registry)
+    assert registry.all_experiment_ids()

@@ -1,0 +1,161 @@
+"""Score cloning, version trees, and diffs."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cmn.builder import ScoreBuilder
+from repro.cmn.events import all_events, derive_events
+from repro.cmn.groups import beam, slur
+from repro.versions import VersionTree, clone_score, diff_scores
+
+
+@pytest.fixture
+def built():
+    builder = ScoreBuilder("versioned piece", meter="4/4")
+    voice = builder.add_voice("melody", instrument="Organ")
+    chords = [
+        builder.note(voice, name, Fraction(1, 4), lyric=syllable)
+        for name, syllable in (
+            ("C4", "la"), ("E4", None), ("G4", None), ("C5", "laa"),
+        )
+    ]
+    slur(builder.cmn, voice, chords[:2])
+    builder.finish()
+    return builder
+
+
+class TestClone:
+    def test_clone_is_structurally_identical(self, built):
+        cmn = built.cmn
+        clone = clone_score(cmn, built.score, title="copy")
+        from repro.cmn.score import ScoreView
+
+        original_view = built.view
+        clone_view = ScoreView(cmn, clone)
+        assert clone_view.counts() == original_view.counts()
+        assert clone["title"] == "copy"
+        assert clone.surrogate != built.score.surrogate
+
+    def test_clone_events_rederivable(self, built):
+        cmn = built.cmn
+        clone = clone_score(cmn, built.score)
+        derive_events(cmn, clone)
+        original_keys = [e["midi_key"] for e in all_events(cmn, built.score)]
+        clone_keys = [e["midi_key"] for e in all_events(cmn, clone)]
+        assert clone_keys == original_keys
+
+    def test_clone_is_independent(self, built):
+        cmn = built.cmn
+        clone = clone_score(cmn, built.score)
+        from repro.cmn.score import ScoreView
+
+        clone_view = ScoreView(cmn, clone)
+        voice = clone_view.voices()[0]
+        for item in clone_view.voice_stream(voice):
+            for note in clone_view.notes_of(item):
+                note.set(degree=note["degree"] + 7)
+        # Original untouched.
+        assert diff_scores(cmn, built.score, built.score) == []
+        assert diff_scores(cmn, built.score, clone) != []
+
+    def test_groups_cloned_recursively(self, built):
+        cmn = built.cmn
+        from repro.cmn.score import ScoreView
+
+        clone = clone_score(cmn, built.score)
+        clone_view = ScoreView(cmn, clone)
+        groups = clone_view.groups_of_voice(clone_view.voices()[0])
+        assert len(groups) == 1
+        assert groups[0]["kind"] == "slur"
+
+    def test_lyrics_cloned(self, built):
+        cmn = built.cmn
+        before = cmn.SETTING.count()
+        clone_score(cmn, built.score)
+        assert cmn.SETTING.count() == before * 2
+
+    def test_invariants_hold_after_clone(self, built):
+        clone_score(built.cmn, built.score)
+        built.cmn.check_invariants()
+
+
+class TestVersionTree:
+    def test_commit_and_history(self, built):
+        tree = VersionTree(built.cmn, built.score)
+        v1 = tree.commit("initial")
+        v2 = tree.commit("revised")
+        assert [v["sequence"] for v in tree.versions()] == [1, 2]
+        assert v2["parent_sequence"] == 1
+        assert [v["sequence"] for v in tree.history(v2)] == [1, 2]
+        assert "v2 (from v1)  revised" in tree.log()
+
+    def test_snapshots_are_frozen(self, built):
+        cmn = built.cmn
+        tree = VersionTree(cmn, built.score)
+        v1 = tree.commit("initial")
+        # Edit the working score: transpose a note.
+        view = built.view
+        voice = view.voices()[0]
+        first = view.voice_stream(voice)[0]
+        note = view.notes_of(first)[0]
+        note.set(degree=note["degree"] + 2)
+        changes = diff_scores(cmn, tree.snapshot_of(v1), built.score)
+        kinds = sorted(c.kind for c in changes)
+        assert kinds == ["added", "removed"]
+
+    def test_alternatives_branch(self, built):
+        tree = VersionTree(built.cmn, built.score)
+        v1 = tree.commit("root")
+        v2 = tree.commit("alternative A", parent=v1)
+        v3 = tree.commit("alternative B", parent=v1)
+        assert tree.alternatives(v2) == [v3]
+        assert tree.alternatives(v3) == [v2]
+
+    def test_checkout_working_copy(self, built):
+        cmn = built.cmn
+        tree = VersionTree(cmn, built.score)
+        v1 = tree.commit("initial")
+        copy = tree.checkout(v1, title="working copy")
+        assert copy["title"] == "working copy"
+        assert diff_scores(cmn, built.score, copy) == []
+
+    def test_version_lookup_missing(self, built):
+        from repro.errors import IntegrityError
+
+        tree = VersionTree(built.cmn, built.score)
+        with pytest.raises(IntegrityError):
+            tree.version(9)
+
+
+class TestDiff:
+    def test_no_difference(self, built):
+        assert diff_scores(built.cmn, built.score, built.score) == []
+
+    def test_added_note(self, built):
+        cmn = built.cmn
+        clone = clone_score(cmn, built.score)
+        from repro.cmn.score import ScoreView
+
+        clone_view = ScoreView(cmn, clone)
+        voice = clone_view.voices()[0]
+        first = clone_view.voice_stream(voice)[0]
+        extra = cmn.NOTE.create(degree=7, tied_to_next=False)
+        cmn.note_in_chord.append(first, extra)
+        changes = diff_scores(cmn, built.score, clone)
+        assert len(changes) == 1
+        assert changes[0].kind == "added"
+        assert changes[0].measure == 1
+
+    def test_duration_change(self, built):
+        cmn = built.cmn
+        clone = clone_score(cmn, built.score)
+        from repro.cmn.score import ScoreView
+
+        clone_view = ScoreView(cmn, clone)
+        voice = clone_view.voices()[0]
+        first = clone_view.voice_stream(voice)[0]
+        first.set(duration=Fraction(1, 8))
+        changes = diff_scores(cmn, built.score, clone)
+        assert [c.kind for c in changes] == ["changed"]
+        assert "duration" in changes[0].detail
