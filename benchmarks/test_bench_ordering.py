@@ -7,9 +7,12 @@ shifting), membership queries, and the before/after operators as the
 sibling set grows.
 """
 
+import time
+
 import pytest
 
 from repro.core.schema import Schema
+from repro.storage.table import Column, Table, TableSchema
 
 
 def make_chord_schema(note_count):
@@ -96,3 +99,104 @@ def test_invariant_check(benchmark):
     for note in notes:
         ordering.append(chord, note)
     benchmark(ordering.check_invariants)
+
+
+# -- order-key smoke guards ---------------------------------------------
+#
+# The gap-based order-key encoding must keep front inserts O(1) in row
+# writes: no per-sibling renumbering.  These run as a fast CI smoke
+# target (scripts/bench_smoke.sh, ``pytest -m ordering_smoke``) rather
+# than as timing benches.
+
+SMOKE_CHILDREN = 2000
+
+
+class DensePositionReference:
+    """The seed's dense 1-based ``position`` encoding, kept as a
+    reference point: inserting at the front renumbers every existing
+    sibling, one ``table.update`` per row."""
+
+    def __init__(self):
+        self.table = Table(
+            TableSchema(
+                "dense_ord",
+                [
+                    Column("parent", "integer"),
+                    Column("child", "integer"),
+                    Column("position", "integer"),
+                ],
+            )
+        )
+        self._parent_index = self.table.create_index("parent")
+
+    def insert_front(self, parent, child):
+        for rowid in self._parent_index.lookup(parent):
+            row = self.table.get(rowid)
+            self.table.update(rowid, {"position": row["position"] + 1})
+        self.table.insert({"parent": parent, "child": child, "position": 1})
+
+
+def count_row_writes(table):
+    """Wrap *table*'s mutators with counters; returns the counter dict."""
+    counts = {"insert": 0, "update": 0, "delete": 0}
+    for name in counts:
+        original = getattr(table, name)
+
+        def wrapped(*args, _name=name, _original=original):
+            counts[_name] += 1
+            return _original(*args)
+
+        setattr(table, name, wrapped)
+    return counts
+
+
+@pytest.mark.ordering_smoke
+def test_front_insert_write_count():
+    """Front-inserting the Nth child issues exactly one row write --
+    no sibling is touched."""
+    schema, ordering, chord, notes = make_chord_schema(SMOKE_CHILDREN)
+    counts = count_row_writes(ordering.table)
+    for note in notes:
+        ordering.insert(chord, note, 1)
+    assert counts["insert"] == SMOKE_CHILDREN
+    assert counts["update"] == 0, "front insert renumbered siblings"
+    assert counts["delete"] == 0
+    ordering.check_invariants()
+    children = ordering.children(chord)
+    assert [c["n"] for c in children] == list(range(SMOKE_CHILDREN - 1, -1, -1))
+
+
+@pytest.mark.ordering_smoke
+def test_move_and_remove_write_counts():
+    """Moves and removes are single-row operations too."""
+    schema, ordering, chord, notes = make_chord_schema(SMOKE_CHILDREN)
+    ordering.extend(chord, notes)
+    counts = count_row_writes(ordering.table)
+    ordering.move(notes[-1], 1)
+    ordering.move(notes[0], SMOKE_CHILDREN)
+    ordering.remove(notes[SMOKE_CHILDREN // 2])
+    assert counts["insert"] == 0
+    assert counts["update"] == 2
+    assert counts["delete"] == 1
+    ordering.check_invariants()
+
+
+@pytest.mark.ordering_smoke
+def test_front_insert_speedup_over_dense_reference():
+    """2k front inserts must beat the seed's dense renumbering by >=10x."""
+    dense = DensePositionReference()
+    start = time.perf_counter()
+    for i in range(SMOKE_CHILDREN):
+        dense.insert_front(1, i)
+    dense_elapsed = time.perf_counter() - start
+
+    schema, ordering, chord, notes = make_chord_schema(SMOKE_CHILDREN)
+    start = time.perf_counter()
+    for note in notes:
+        ordering.insert(chord, note, 1)
+    elapsed = time.perf_counter() - start
+
+    assert ordering.table_size() == SMOKE_CHILDREN
+    assert dense_elapsed >= 10 * elapsed, (
+        "dense reference %.3fs vs order keys %.3fs" % (dense_elapsed, elapsed)
+    )

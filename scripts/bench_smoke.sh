@@ -1,0 +1,10 @@
+#!/bin/sh
+# Fast benchmark smoke target: assert ordering mutations stay O(1) in
+# row writes (no per-sibling renumbering on front insert) and that the
+# order-key encoding keeps its >=10x lead over dense renumbering.
+#
+# Runs in a few seconds; suitable for CI.  The full timing benches live
+# in benchmarks/ and are run separately with pytest-benchmark.
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH=src python -m pytest benchmarks -q -k ordering -m ordering_smoke "$@"

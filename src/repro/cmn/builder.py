@@ -8,6 +8,7 @@ at the same measure offset land on the same SYNC instance -- exactly
 figure 14's "dividing a measure into syncs".
 """
 
+from bisect import bisect_left
 from fractions import Fraction
 
 from repro.errors import NotationError
@@ -207,13 +208,11 @@ class ScoreBuilder:
             return self._syncs[key]
         measure = self._measure(measure_number)
         sync = self.cmn.SYNC.create(offset_beats=offset_beats)
-        # Keep syncs ordered by offset within the measure.
+        # Keep syncs ordered by offset within the measure.  Siblings are
+        # already offset-sorted, so the slot is a bisect, not a scan.
         ordering = self.cmn.sync_in_measure
-        siblings = ordering.children(measure)
-        position = 1
-        for sibling in siblings:
-            if sibling["offset_beats"] < offset_beats:
-                position += 1
+        offsets = [s["offset_beats"] for s in ordering.children(measure)]
+        position = 1 + bisect_left(offsets, offset_beats)
         ordering.insert(measure, sync, position)
         self._syncs[key] = sync
         return sync
@@ -253,16 +252,17 @@ class ScoreBuilder:
         self.cmn.chord_rest_in_voice.append(state.voice, chord)
         staff = self._staff_of[state.voice.surrogate]
         # Notes ordered high to low within the chord, as in section 5.5.
+        notes = []
         for pitch in sorted(pitches, key=lambda p: -p.midi_key):
             degree = state.clef.pitch_to_degree(pitch)
             accidental = self._accidental_needed(state, degree, pitch)
-            note = self.cmn.NOTE.create(
+            notes.append(self.cmn.NOTE.create(
                 degree=degree,
                 accidental=None if accidental is None else accidental.symbol,
                 tied_to_next=bool(tied),
-            )
-            self.cmn.note_in_chord.append(chord, note)
-            self.cmn.note_on_staff.append(staff, note)
+            ))
+        self.cmn.note_in_chord.extend(chord, notes)
+        self.cmn.note_on_staff.extend(staff, notes)
         if lyric is not None:
             self._attach_lyric(state, chord, lyric)
         state.cursor_beats += beats

@@ -38,6 +38,17 @@ def make_group(cmn, voice, kind, members, label=None, tuplet=None):
     if not members:
         raise NotationError("a group needs at least one member")
     actual, normal = (tuplet if tuplet is not None else (None, None))
+    # Validate every member before creating anything, so a bad member
+    # leaves no half-built group behind.
+    for member in members:
+        if member.type.name == "GROUP":
+            continue
+        if member.type.name in ("CHORD", "REST"):
+            _check_member_in_voice(cmn, voice, member)
+        else:
+            raise NotationError(
+                "group members must be GROUP/CHORD/REST, got %s" % member.type.name
+            )
     group = cmn.GROUP.create(
         kind=kind,
         label=label,
@@ -45,18 +56,10 @@ def make_group(cmn, voice, kind, members, label=None, tuplet=None):
         tuplet_normal=normal,
     )
     for member in members:
-        if member.type.name == "GROUP":
-            # Nested group: detach from the voice level if present.
-            if cmn.group_in_voice.contains(member):
-                cmn.group_in_voice.remove(member)
-            cmn.group_member.append(group, member)
-        elif member.type.name in ("CHORD", "REST"):
-            _check_member_in_voice(cmn, voice, member)
-            cmn.group_member.append(group, member)
-        else:
-            raise NotationError(
-                "group members must be GROUP/CHORD/REST, got %s" % member.type.name
-            )
+        # Nested group: detach from the voice level if present.
+        if member.type.name == "GROUP" and cmn.group_in_voice.contains(member):
+            cmn.group_in_voice.remove(member)
+    cmn.group_member.extend(group, members)
     cmn.group_in_voice.append(voice, group)
     return group
 

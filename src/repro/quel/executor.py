@@ -25,26 +25,57 @@ class _EntityRange:
         return self.entity_type.name
 
     def candidates(self, restrictions):
-        if restrictions:
-            attribute, value = restrictions[0]
-            table = self.entity_type.table
-            if table.schema.has_column(attribute):
-                from repro.core.entity import SURROGATE_COLUMN
+        """Instances satisfying *restrictions*, plus the access path used.
 
-                rows = table.select_eq(attribute, value)
-                out = [
-                    EntityInstance(self.entity_type, row[SURROGATE_COLUMN], row.rowid)
-                    for row in rows
+        Every equality restriction on a real column is answered from an
+        index -- built on first use if absent -- and the rowid sets are
+        intersected before any row is materialized.  Restrictions on
+        unknown attributes are filtered in place rather than triggering
+        a full unfiltered scan.  Returns ``(instances, access)`` with
+        *access* one of "index", "filtered scan", "scan".
+        """
+        from repro.core.entity import SURROGATE_COLUMN
+
+        table = self.entity_type.table
+        indexed = []
+        residual = []
+        for attribute, value in restrictions:
+            if table.schema.has_column(attribute):
+                indexed.append((attribute, value))
+            else:
+                residual.append((attribute, value))
+        if not indexed:
+            instances = self.entity_type.instances()
+            if residual:
+                instances = [
+                    i
+                    for i in instances
+                    if all(i.get(a) == v for a, v in residual)
                 ]
-                remaining = restrictions[1:]
-                if remaining:
-                    out = [
-                        i
-                        for i in out
-                        if all(i.get(a) == v for a, v in remaining)
-                    ]
-                return out
-        return self.entity_type.instances()
+                return instances, "filtered scan"
+            return instances, "scan"
+        rowids = None
+        for attribute, value in indexed:
+            index = table.any_index_for(attribute)
+            if index is None:
+                # Adaptive access path: build the missing index once so
+                # this and every later query answers from it.
+                index = table.create_index(attribute)
+            matched = set(index.lookup(value))
+            rowids = matched if rowids is None else rowids & matched
+            if not rowids:
+                return [], "index"
+        out = []
+        for rowid in sorted(rowids):
+            row = table.get(rowid)
+            if row is None:
+                continue
+            instance = EntityInstance(
+                self.entity_type, row[SURROGATE_COLUMN], row.rowid
+            )
+            if all(instance.get(a) == v for a, v in residual):
+                out.append(instance)
+        return out, "index"
 
 
 class _RelationshipRange:
@@ -58,10 +89,45 @@ class _RelationshipRange:
         return self.relationship.name
 
     def candidates(self, restrictions):
-        rows = list(self.relationship.table)
+        """Rows satisfying *restrictions*, plus the access path used.
+
+        Role columns are indexed at definition time; any restriction on
+        an indexed column is answered by rowid-set intersection, and the
+        rest are filtered in place.
+        """
+        table = self.relationship.table
+        indexed = []
+        residual = []
         for attribute, value in restrictions:
-            rows = [row for row in rows if row.get(attribute) == value]
-        return rows
+            if (
+                table.schema.has_column(attribute)
+                and table.any_index_for(attribute) is not None
+            ):
+                indexed.append((attribute, value))
+            else:
+                residual.append((attribute, value))
+        if not indexed:
+            rows = list(table)
+            if residual:
+                rows = [
+                    row
+                    for row in rows
+                    if all(row.get(a) == v for a, v in residual)
+                ]
+                return rows, "filtered scan"
+            return rows, "scan"
+        rowids = None
+        for attribute, value in indexed:
+            matched = set(table.any_index_for(attribute).lookup(value))
+            rowids = matched if rowids is None else rowids & matched
+            if not rowids:
+                return [], "index"
+        rows = []
+        for rowid in sorted(rowids):
+            row = table.get(rowid)
+            if row is not None and all(row.get(a) == v for a, v in residual):
+                rows.append(row)
+        return rows, "index"
 
 
 class QuelSession:
@@ -180,6 +246,8 @@ class QuelSession:
                     return left // right
                 return left / right
             if node.operator == "%":
+                if right == 0:
+                    raise QueryError("modulo by zero")
                 return left % right
             raise QueryError("unknown operator %r" % node.operator)
         if isinstance(node, ast.FunctionCall):
@@ -321,7 +389,7 @@ class QuelSession:
         """Yield binding dicts satisfying *qualification*."""
         conjuncts = planner.split_conjuncts(qualification)
         candidates = {}
-        indexed = set()
+        accesses = {}
         for variable in used_variables:
             range_decl = self._range_for(variable)
             restrictions = []
@@ -330,12 +398,12 @@ class QuelSession:
                     restriction = planner.equality_restriction(conjunct, variable)
                     if restriction is not None:
                         restrictions.append(restriction)
-            if restrictions:
-                indexed.add(variable)
-            candidates[variable] = range_decl.candidates(restrictions)
+            candidates[variable], accesses[variable] = range_decl.candidates(
+                restrictions
+            )
         counts = {v: len(c) for v, c in candidates.items()}
         order = planner.order_variables(used_variables, counts, conjuncts)
-        self.last_plan = planner.explain(None, order, counts, indexed)
+        self.last_plan = planner.explain(None, order, counts, accesses)
 
         # Constant conjuncts (no range variables) gate the whole query.
         for conjunct in conjuncts:

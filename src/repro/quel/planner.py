@@ -102,11 +102,21 @@ def order_variables(variables, candidate_counts, conjuncts):
     return ordered
 
 
-def explain(statement, binding_order, candidate_counts, indexed):
-    """A human-readable plan summary (used by tests and the MDM shell)."""
+def explain(statement, binding_order, candidate_counts, accesses):
+    """A human-readable plan summary (used by tests and the MDM shell).
+
+    *accesses* maps each variable to the access path its candidate set
+    was generated with: "index" (rowid-set intersection over indexed
+    equality restrictions), "filtered scan" (heap scan with restrictions
+    applied in place), or "scan" (unrestricted heap scan).  A plain set
+    of index-backed variables is also accepted for compatibility.
+    """
     lines = ["plan:"]
     for variable in binding_order:
-        access = "index" if variable in indexed else "scan"
+        if isinstance(accesses, dict):
+            access = accesses.get(variable, "scan")
+        else:
+            access = "index" if variable in accesses else "scan"
         lines.append(
             "  bind %s via %s (%d candidates)"
             % (variable, access, candidate_counts.get(variable, 0))

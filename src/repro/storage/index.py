@@ -50,6 +50,31 @@ class HashIndex:
         return value_sort_key(value)
 
 
+class _AfterAll:
+    """Open upper bound: compares greater than every index key."""
+
+    __slots__ = ()
+
+    def __lt__(self, other):
+        return False
+
+    def __le__(self, other):
+        return self is other
+
+    def __gt__(self, other):
+        return self is not other
+
+    def __ge__(self, other):
+        return True
+
+    def __repr__(self):
+        return "<after-all>"
+
+
+#: Singleton used to pad prefix probes in composite-index bisects.
+AFTER_ALL = _AfterAll()
+
+
 class OrderedIndex:
     """Sorted index supporting range scans.
 
@@ -111,6 +136,97 @@ class OrderedIndex:
 
     def max_key(self):
         return self._keys[-1] if self._keys else None
+
+    def distinct_values(self):
+        return len(self._keys)
+
+
+class OrderedCompositeIndex:
+    """Sorted index over a tuple of columns, e.g. ``(parent, order_key)``.
+
+    Keys are tuples of per-column sort keys kept in one flat sorted list,
+    which gives this index a property a per-key B-tree would not: within
+    the contiguous run of keys sharing a prefix, the k-th entry is plain
+    list indexing -- O(1) after the O(log n) bisect that locates the run.
+    Hierarchical orderings lean on that for positional (ordinal) access
+    to siblings without scanning them.
+    """
+
+    def __init__(self, columns):
+        self.columns = tuple(columns)
+        if not self.columns:
+            raise StorageError("composite index needs at least one column")
+        self._keys = []
+        self._postings = {}
+
+    def __len__(self):
+        return sum(len(p) for p in self._postings.values())
+
+    def make_key(self, values):
+        if len(values) != len(self.columns):
+            raise StorageError(
+                "composite index on %r takes %d values, got %d"
+                % (self.columns, len(self.columns), len(values))
+            )
+        return tuple(value_sort_key(v) for v in values)
+
+    def insert(self, values, rowid):
+        key = self.make_key(values)
+        postings = self._postings.get(key)
+        if postings is None:
+            bisect.insort(self._keys, key)
+            self._postings[key] = [rowid]
+        else:
+            bisect.insort(postings, rowid)
+
+    def delete(self, values, rowid):
+        key = self.make_key(values)
+        postings = self._postings.get(key)
+        if postings is None or rowid not in postings:
+            raise StorageError(
+                "index on %r: row #%s not present under %r"
+                % (self.columns, rowid, values)
+            )
+        postings.remove(rowid)
+        if not postings:
+            del self._postings[key]
+            position = bisect.bisect_left(self._keys, key)
+            del self._keys[position]
+
+    def lookup(self, values):
+        """Rowids stored exactly under the full key *values*."""
+        return list(self._postings.get(self.make_key(values), ()))
+
+    def prefix_bounds(self, prefix):
+        """The slot range [start, stop) of keys beginning with *prefix*."""
+        if len(prefix) > len(self.columns):
+            raise StorageError(
+                "prefix of %d values exceeds composite index on %r"
+                % (len(prefix), self.columns)
+            )
+        probe = tuple(value_sort_key(v) for v in prefix)
+        start = bisect.bisect_left(self._keys, probe)
+        pad = (AFTER_ALL,) * (len(self.columns) - len(probe))
+        stop = bisect.bisect_left(self._keys, probe + pad)
+        return start, stop
+
+    def rank(self, values):
+        """Absolute slot of the full key *values* in the sorted key list."""
+        return bisect.bisect_left(self._keys, self.make_key(values))
+
+    def key_at(self, slot):
+        return self._keys[slot]
+
+    def rowids_at(self, slot):
+        """Rowids stored under the key occupying *slot* (a new list)."""
+        return list(self._postings[self._keys[slot]])
+
+    def rowids_slice(self, start, stop):
+        """Rowids of slots [start, stop) in ascending key order."""
+        out = []
+        for key in self._keys[start:stop]:
+            out.extend(self._postings[key])
+        return out
 
     def distinct_values(self):
         return len(self._keys)

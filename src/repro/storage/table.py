@@ -8,7 +8,7 @@ this is the relational substrate the ER layer compiles down to.
 import itertools
 
 from repro.errors import StorageError, TypeMismatchError
-from repro.storage.index import HashIndex, OrderedIndex
+from repro.storage.index import HashIndex, OrderedCompositeIndex, OrderedIndex
 from repro.storage.row import Row
 from repro.storage.values import Domain, coerce_value, value_sort_key
 
@@ -86,6 +86,9 @@ class Table:
         self._next_rowid = itertools.count(1)
         self._indexes = {}
         self._journal = journal
+        # Bumped on EVERY row mutation, including the non-journalled
+        # recovery/undo paths, so derived caches can detect staleness.
+        self.version = 0
 
     # -- introspection ----------------------------------------------------
 
@@ -110,19 +113,43 @@ class Table:
 
     # -- indexes -----------------------------------------------------------
 
+    @staticmethod
+    def _index_value(column, row):
+        """The key a row contributes to an index: a single column value,
+        or a tuple of them for a composite index."""
+        if isinstance(column, tuple):
+            return tuple(row[c] for c in column)
+        return row[column]
+
     def create_index(self, column, ordered=False):
-        """Create (or return) an index over *column*."""
-        self.schema.column(column)
-        key = (column, ordered)
-        if key in self._indexes:
-            return self._indexes[key]
-        index = OrderedIndex(column) if ordered else HashIndex(column)
+        """Create (or return) an index over *column*.
+
+        *column* may also be a tuple/list of column names, producing an
+        ordered composite index (always ordered -- composite hash
+        indexes would add nothing over per-column hashes here).
+        """
+        if isinstance(column, (tuple, list)):
+            column = tuple(column)
+            for name in column:
+                self.schema.column(name)
+            key = (column, True)
+            if key in self._indexes:
+                return self._indexes[key]
+            index = OrderedCompositeIndex(column)
+        else:
+            self.schema.column(column)
+            key = (column, ordered)
+            if key in self._indexes:
+                return self._indexes[key]
+            index = OrderedIndex(column) if ordered else HashIndex(column)
         for row in self._rows.values():
-            index.insert(row[column], row.rowid)
+            index.insert(self._index_value(column, row), row.rowid)
         self._indexes[key] = index
         return index
 
     def index_for(self, column, ordered=False):
+        if isinstance(column, (tuple, list)):
+            return self._indexes.get((tuple(column), True))
         return self._indexes.get((column, ordered))
 
     def any_index_for(self, column):
@@ -149,7 +176,8 @@ class Table:
         row = Row(rowid, coerced)
         self._rows[rowid] = row
         for (column, _), index in self._indexes.items():
-            index.insert(row[column], rowid)
+            index.insert(self._index_value(column, row), rowid)
+        self.version += 1
         if self._journal is not None:
             self._journal("insert", self.name, row, None)
         return row
@@ -163,9 +191,12 @@ class Table:
         new = old.replaced(coerced)
         self._rows[rowid] = new
         for (column, _), index in self._indexes.items():
-            if old[column] != new[column]:
-                index.delete(old[column], rowid)
-                index.insert(new[column], rowid)
+            old_value = self._index_value(column, old)
+            new_value = self._index_value(column, new)
+            if old_value != new_value:
+                index.delete(old_value, rowid)
+                index.insert(new_value, rowid)
+        self.version += 1
         if self._journal is not None:
             self._journal("update", self.name, new, old)
         return new
@@ -175,7 +206,8 @@ class Table:
         old = self.require(rowid)
         del self._rows[rowid]
         for (column, _), index in self._indexes.items():
-            index.delete(old[column], rowid)
+            index.delete(self._index_value(column, old), rowid)
+        self.version += 1
         if self._journal is not None:
             self._journal("delete", self.name, None, old)
         return old
@@ -244,12 +276,14 @@ class Table:
             max(row.rowid + 1, next(self._next_rowid))
         )
         for (column, _), index in self._indexes.items():
-            index.insert(row[column], row.rowid)
+            index.insert(self._index_value(column, row), row.rowid)
+        self.version += 1
 
     def remove_row(self, rowid):
         """Remove *rowid* without journalling (recovery path)."""
         old = self._rows.pop(rowid, None)
         if old is not None:
             for (column, _), index in self._indexes.items():
-                index.delete(old[column], rowid)
+                index.delete(self._index_value(column, old), rowid)
+            self.version += 1
         return old

@@ -1,0 +1,126 @@
+"""Regression tests: failed ordering mutations must leave no trace.
+
+The original ``move``/``reparent`` implementations removed the child
+before validating the destination, so a bad position or a cycle-creating
+reparent silently dropped the child from the ordering.  Both now
+validate first and write a single row, so a raised error guarantees the
+ordering is untouched.
+"""
+
+import pytest
+
+from repro.errors import (
+    IntegrityError,
+    OrderingCycleError,
+    OrderingMembershipError,
+)
+
+
+def names(ordering, parent):
+    return [c["name"] for c in ordering.children(parent)]
+
+
+class TestMoveAtomicity:
+    def test_out_of_range_move_keeps_membership(self, chord_schema):
+        _, ordering, chord, notes = chord_schema
+        before = names(ordering, chord)
+        for bad in (0, -1, len(notes) + 1, 99):
+            with pytest.raises(OrderingMembershipError):
+                ordering.move(notes[1], bad)
+            assert names(ordering, chord) == before
+            assert ordering.contains(notes[1])
+            assert ordering.position_of(notes[1]) == 2
+            ordering.check_invariants()
+
+    def test_move_to_current_position_is_noop(self, chord_schema):
+        _, ordering, chord, notes = chord_schema
+        before = names(ordering, chord)
+        ordering.move(notes[2], 3)
+        assert names(ordering, chord) == before
+        ordering.check_invariants()
+
+    def test_move_nonmember_raises_without_side_effects(self, chord_schema):
+        schema, ordering, chord, _ = chord_schema
+        stray = schema.entity_type("NOTE").create(name=77, pitch=77)
+        before = names(ordering, chord)
+        with pytest.raises(OrderingMembershipError):
+            ordering.move(stray, 1)
+        assert names(ordering, chord) == before
+
+    def test_move_each_direction(self, chord_schema):
+        _, ordering, chord, notes = chord_schema
+        ordering.move(notes[3], 1)
+        assert names(ordering, chord) == [4, 1, 2, 3]
+        ordering.move(notes[3], 4)
+        assert names(ordering, chord) == [1, 2, 3, 4]
+        ordering.move(notes[0], 2)
+        assert names(ordering, chord) == [2, 1, 3, 4]
+        ordering.check_invariants()
+
+
+class TestReparentAtomicity:
+    def test_out_of_range_position_keeps_membership(self, chord_schema):
+        schema, ordering, chord, notes = chord_schema
+        other = schema.entity_type("CHORD").create(name=2)
+        before = names(ordering, chord)
+        for bad in (0, -3, 2, 17):
+            with pytest.raises(OrderingMembershipError):
+                ordering.reparent(notes[0], other, bad)
+            assert names(ordering, chord) == before
+            assert ordering.children(other) == []
+            assert ordering.parent_of(notes[0]) == chord
+            ordering.check_invariants()
+
+    def test_wrong_parent_type_keeps_membership(self, chord_schema):
+        schema, ordering, chord, notes = chord_schema
+        note_parent = schema.entity_type("NOTE").create(name=50, pitch=50)
+        before = names(ordering, chord)
+        with pytest.raises(IntegrityError):
+            ordering.reparent(notes[2], note_parent)
+        assert names(ordering, chord) == before
+        assert ordering.parent_of(notes[2]) == chord
+
+    def test_cycle_creating_reparent_keeps_membership(self, schema):
+        schema.define_entity("G", [("name", "integer")])
+        ordering = schema.define_ordering("g", ["G"], under="G")
+        root, a, b, c = [schema.entity_type("G").create(name=i) for i in range(4)]
+        ordering.append(root, a)
+        ordering.append(a, b)
+        ordering.append(b, c)
+        # Reparenting a under its own descendant would close a P-cycle;
+        # the chain r -> a -> b -> c must survive untouched.
+        with pytest.raises(OrderingCycleError):
+            ordering.reparent(a, c)
+        with pytest.raises(OrderingCycleError):
+            ordering.reparent(a, a)
+        assert ordering.parent_of(a) == root
+        assert ordering.parent_of(b) == a
+        assert ordering.parent_of(c) == b
+        ordering.check_invariants()
+
+    def test_same_parent_reparent_is_a_move(self, chord_schema):
+        _, ordering, chord, notes = chord_schema
+        ordering.reparent(notes[0], chord, 3)
+        assert names(ordering, chord) == [2, 3, 1, 4]
+        # Default position: end of the sibling list.
+        ordering.reparent(notes[1], chord)
+        assert names(ordering, chord) == [3, 1, 4, 2]
+        ordering.check_invariants()
+
+    def test_reparent_moves_to_new_parent(self, chord_schema):
+        schema, ordering, chord, notes = chord_schema
+        other = schema.entity_type("CHORD").create(name=2)
+        ordering.reparent(notes[1], other)
+        ordering.reparent(notes[3], other, 1)
+        assert names(ordering, chord) == [1, 3]
+        assert names(ordering, other) == [4, 2]
+        assert ordering.position_of(notes[3]) == 1
+        ordering.check_invariants()
+
+    def test_reparent_nonmember_raises(self, chord_schema):
+        schema, ordering, _, _ = chord_schema
+        other = schema.entity_type("CHORD").create(name=2)
+        stray = schema.entity_type("NOTE").create(name=88, pitch=88)
+        with pytest.raises(OrderingMembershipError):
+            ordering.reparent(stray, other)
+        assert ordering.children(other) == []

@@ -1,0 +1,118 @@
+"""Oracle test: ordering mutations vs a plain list-of-lists model.
+
+Random sequences of insert/append/move/remove/reparent/clear run against
+both the real :class:`Ordering` and a dict of plain Python lists.  After
+every step the two must agree exactly, ``check_invariants`` must pass,
+and -- the atomicity contract -- a step that raises must leave the
+ordering identical to the oracle (i.e. unchanged).
+
+Positions are drawn from a range wider than the valid one on purpose, so
+out-of-range errors are exercised constantly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schema import Schema
+from repro.errors import IntegrityError
+
+KINDS = ["insert", "append", "move", "remove", "reparent", "clear"]
+
+# (kind, parent_index, child_index, position_seed)
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(KINDS),
+        st.integers(0, 3),
+        st.integers(0, 11),
+        st.integers(0, 15),
+    ),
+    max_size=60,
+)
+
+
+def assert_matches_oracle(ordering, parents, oracle):
+    ordering.check_invariants()
+    for parent in parents:
+        got = [c.surrogate for c in ordering.children(parent)]
+        assert got == oracle[parent.surrogate]
+        for position, child in enumerate(ordering.children(parent), start=1):
+            assert ordering.position_of(child) == position
+            assert ordering.child_at(parent, position) == child
+
+
+def drive(ordering, parents, children, ops):
+    """Apply *ops* to the ordering and the oracle in lock-step."""
+    oracle = {p.surrogate: [] for p in parents}
+
+    def oracle_remove(child):
+        for members in oracle.values():
+            if child.surrogate in members:
+                members.remove(child.surrogate)
+
+    for kind, parent_index, child_index, seed in ops:
+        parent = parents[parent_index % len(parents)]
+        child = children[child_index % len(children)]
+        members = oracle[parent.surrogate]
+        # Deliberately includes out-of-range positions (0 and count+2).
+        position = seed % (len(members) + 3)
+        try:
+            if kind == "insert":
+                ordering.insert(parent, child, position)
+                members.insert(position - 1, child.surrogate)
+            elif kind == "append":
+                ordering.append(parent, child)
+                members.append(child.surrogate)
+            elif kind == "move":
+                ordering.move(child, position)
+                oracle_remove(child)
+                oracle[ordering.parent_of(child).surrogate].insert(
+                    position - 1, child.surrogate
+                )
+            elif kind == "remove":
+                ordering.remove(child)
+                oracle_remove(child)
+            elif kind == "reparent":
+                ordering.reparent(child, parent, position or None)
+                oracle_remove(child)
+                if position:
+                    members.insert(position - 1, child.surrogate)
+                else:
+                    members.append(child.surrogate)
+            elif kind == "clear":
+                ordering.clear(parent)
+                oracle[parent.surrogate] = []
+        except IntegrityError:
+            # The op must have been rejected atomically: nothing moved.
+            pass
+        assert_matches_oracle(ordering, parents, oracle)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations)
+def test_flat_ordering_matches_oracle(ops):
+    schema = Schema("oracle")
+    schema.define_entity("CHORD", [("n", "integer")])
+    schema.define_entity("NOTE", [("n", "integer")])
+    ordering = schema.define_ordering("o", ["NOTE"], under="CHORD")
+    parents = [schema.entity_type("CHORD").create(n=i) for i in range(4)]
+    children = [schema.entity_type("NOTE").create(n=i) for i in range(12)]
+    drive(ordering, parents, children, ops)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations)
+def test_recursive_inhomogeneous_ordering_matches_oracle(ops):
+    """GROUP/CHORD under GROUP: cycles become possible and siblings mix
+    types, so reparent/move exercise the full validation path."""
+    schema = Schema("oracle")
+    schema.define_entity("GROUP", [("n", "integer")])
+    schema.define_entity("CHORD", [("n", "integer")])
+    ordering = schema.define_ordering(
+        "g", ["GROUP", "CHORD"], under="GROUP"
+    )
+    assert ordering.is_recursive and ordering.is_inhomogeneous
+    parents = [schema.entity_type("GROUP").create(n=i) for i in range(4)]
+    # Child pool mixes the parents themselves (recursion) with chords.
+    children = list(parents) + [
+        schema.entity_type("CHORD").create(n=i) for i in range(8)
+    ]
+    drive(ordering, parents, children, ops)
