@@ -1,0 +1,18 @@
+#!/bin/sh
+# Crash-consistency smoke target: replay the seeded workload and kill
+# the simulated machine at every durability barrier (fsync), then
+# verify recovery against the oracle (tests/crash/oracle.py).
+#
+# Default: the fast matrix (8 seeds, >=200 crash schedules, plus the
+# WAL-checksum and fault-layer unit tests) -- a few seconds, always on
+# in the main test run too.  Pass --full for the extended matrix
+# (16 extra seeds and per-write crash granularity).
+set -eu
+cd "$(dirname "$0")/.."
+
+MARKER="crash and not crash_slow"
+if [ "${1:-}" = "--full" ]; then
+    MARKER="crash"
+    shift
+fi
+PYTHONPATH=src python -m pytest tests/crash -q -m "$MARKER" "$@"

@@ -7,6 +7,7 @@ REDO recovery, and a strict two-phase-locking transaction manager.
 """
 
 from repro.storage.values import Domain, coerce_value, value_sort_key
+from repro.storage.faults import FaultPlan, FaultyFile, SimulatedCrash, fsync_file
 from repro.storage.row import Row
 from repro.storage.table import Column, Table, TableSchema
 from repro.storage.index import HashIndex, OrderedIndex
@@ -20,6 +21,10 @@ __all__ = [
     "Domain",
     "coerce_value",
     "value_sort_key",
+    "FaultPlan",
+    "FaultyFile",
+    "SimulatedCrash",
+    "fsync_file",
     "Row",
     "Column",
     "Table",

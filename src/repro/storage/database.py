@@ -3,6 +3,14 @@
 In-memory by default; given a directory path it persists via a
 checkpoint image (page file) plus a write-ahead log, and recovers on
 open by loading the checkpoint and REDO-replaying the log.
+
+Crash-safety protocol: checkpoints write a fresh generation-numbered
+page file (``data.<gen>.mdm``), fsync it, then atomically replace
+``roots.json`` — whose content names the generation file — as the
+single commit point.  A crash anywhere in a checkpoint leaves either
+the old roots (old image intact, log still replayable) or the new
+roots (new image fully synced); never a mix.  Catalog and roots writes
+go through write-to-temp + fsync + ``os.replace`` for the same reason.
 """
 
 import json
@@ -11,13 +19,14 @@ import struct
 
 from repro.errors import RecoveryError, StorageError
 from repro.storage import wal as wal_module
+from repro.storage.faults import fsync_file
 from repro.storage.pager import Pager
 from repro.storage.row import Row
 from repro.storage.table import Column, Table, TableSchema
 from repro.storage.transaction import TransactionManager
 
 _CATALOG_FILE = "catalog.json"
-_DATA_FILE = "data.mdm"
+_DATA_FILE = "data.mdm"  # legacy fixed name; new checkpoints use data.<gen>.mdm
 _LOG_FILE = "wal.log"
 _ROOTMAP_FILE = "roots.json"
 
@@ -27,16 +36,22 @@ class Database:
 
     ``Database()`` is purely in-memory (fast, for tests and scratch
     work).  ``Database(path)`` stores a checkpoint image and WAL under
-    *path* and recovers committed state on reopen.
+    *path* and recovers committed state on reopen.  *opener* is an
+    injectable binary-mode ``open`` substitute threaded through the WAL
+    and pager (see :mod:`repro.storage.faults`); production code passes
+    nothing.
     """
 
-    def __init__(self, path=None):
+    def __init__(self, path=None, opener=None):
         self.path = path
+        self._opener = opener if opener is not None else open
         self._tables = {}
         self._log = None
         if path is not None:
             os.makedirs(path, exist_ok=True)
-            self._log = wal_module.WriteAheadLog(os.path.join(path, _LOG_FILE))
+            self._log = wal_module.WriteAheadLog(
+                os.path.join(path, _LOG_FILE), opener=self._opener
+            )
         self.transactions = TransactionManager(self, self._log)
         if path is not None:
             self._recover()
@@ -86,8 +101,7 @@ class Database:
             name: [[c.name, c.domain.value] for c in table.schema.columns]
             for name, table in self._tables.items()
         }
-        with open(os.path.join(self.path, _CATALOG_FILE), "w") as handle:
-            json.dump(catalog, handle, indent=2, sort_keys=True)
+        self._write_json_atomic(_CATALOG_FILE, catalog)
 
     def table(self, name):
         try:
@@ -127,7 +141,51 @@ class Database:
         self.transactions.lock_for_write(name)
         return self.table(name)
 
+    # -- durable metadata files ---------------------------------------------------
+
+    def _write_json_atomic(self, filename, obj):
+        """Durably publish *obj* as *filename* via temp + fsync + rename."""
+        path = os.path.join(self.path, filename)
+        tmp = path + ".tmp"
+        handle = self._opener(tmp, "wb")
+        try:
+            handle.write(json.dumps(obj, indent=2, sort_keys=True).encode("utf-8"))
+            fsync_file(handle)
+        finally:
+            handle.close()
+        os.replace(tmp, path)
+
+    def _read_json(self, filename):
+        path = os.path.join(self.path, filename)
+        with self._opener(path, "rb") as handle:
+            raw = handle.read()
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise RecoveryError("corrupt %s in %r: %s" % (filename, self.path, exc))
+
     # -- durability -------------------------------------------------------------------
+
+    @staticmethod
+    def _parse_roots(doc):
+        """Roots document -> (data file name, {table: head page}).
+
+        New format: ``{"file": "data.<gen>.mdm", "roots": {...}}``;
+        legacy format was the bare roots mapping over a fixed file name.
+        """
+        if isinstance(doc, dict) and "file" in doc and "roots" in doc:
+            return doc["file"], doc["roots"]
+        return _DATA_FILE, doc
+
+    def _next_data_file(self):
+        roots_path = os.path.join(self.path, _ROOTMAP_FILE)
+        gen = 0
+        if os.path.exists(roots_path):
+            current, _ = self._parse_roots(self._read_json(_ROOTMAP_FILE))
+            parts = current.split(".")
+            if len(parts) == 3 and parts[1].isdigit():
+                gen = int(parts[1])
+        return "data.%d.mdm" % (gen + 1)
 
     def checkpoint(self):
         """Write a full image of every table and truncate the log."""
@@ -137,13 +195,13 @@ class Database:
             name: [[c.name, c.domain.value] for c in table.schema.columns]
             for name, table in self._tables.items()
         }
-        with open(os.path.join(self.path, _CATALOG_FILE), "w") as handle:
-            json.dump(catalog, handle, indent=2, sort_keys=True)
-        data_path = os.path.join(self.path, _DATA_FILE)
+        self._write_json_atomic(_CATALOG_FILE, catalog)
+        data_name = self._next_data_file()
+        data_path = os.path.join(self.path, data_name)
         if os.path.exists(data_path):
-            os.remove(data_path)
+            os.remove(data_path)  # residue of a checkpoint that crashed mid-image
         roots = {}
-        with Pager(data_path) as pager:
+        with Pager(data_path, opener=self._opener) as pager:
             for name, table in sorted(self._tables.items()):
                 order = table.schema.column_names()
                 chunks = [struct.pack("<I", len(table))]
@@ -151,8 +209,11 @@ class Database:
                     chunks.append(row.serialize(order))
                 roots[name] = pager.write_stream(b"".join(chunks))
             pager.flush()
-        with open(os.path.join(self.path, _ROOTMAP_FILE), "w") as handle:
-            json.dump(roots, handle, indent=2, sort_keys=True)
+        # Commit point: after this rename, recovery reads the new image.
+        self._write_json_atomic(_ROOTMAP_FILE, {"file": data_name, "roots": roots})
+        for name in os.listdir(self.path):
+            if name.startswith("data.") and name.endswith(".mdm") and name != data_name:
+                os.remove(os.path.join(self.path, name))
         self._log.truncate()
         if self.transactions.current() is None:
             self._log.append(0, wal_module.CHECKPOINT, flush=True)
@@ -168,19 +229,17 @@ class Database:
         catalog_path = os.path.join(self.path, _CATALOG_FILE)
         roots_path = os.path.join(self.path, _ROOTMAP_FILE)
         if os.path.exists(catalog_path):
-            with open(catalog_path) as handle:
-                catalog = json.load(handle)
+            catalog = self._read_json(_CATALOG_FILE)
             for name, columns in sorted(catalog.items()):
                 if not self.has_table(name):
                     self.create_table(name, [(c, d) for c, d in columns])
             if os.path.exists(roots_path):
-                with open(roots_path) as handle:
-                    roots = json.load(handle)
-                data_path = os.path.join(self.path, _DATA_FILE)
+                data_name, roots = self._parse_roots(self._read_json(_ROOTMAP_FILE))
+                data_path = os.path.join(self.path, data_name)
                 if roots and not os.path.exists(data_path):
                     raise RecoveryError("checkpoint image missing at %r" % data_path)
                 if roots:
-                    with Pager(data_path) as pager:
+                    with Pager(data_path, opener=self._opener) as pager:
                         for name, head in roots.items():
                             self._load_table_image(pager, name, head)
         # REDO-replay the log over the checkpoint image.

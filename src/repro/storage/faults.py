@@ -1,0 +1,327 @@
+"""Deterministic fault injection for the durability stack.
+
+The WAL and pager accept an injectable *opener* (any callable with the
+signature of :func:`open` restricted to binary modes).  Production runs
+pass nothing and get real files; crash tests pass
+``FaultPlan.opener`` and get :class:`FaultyFile` wrappers that model a
+power failure precisely:
+
+* every byte written goes straight to the OS file (so concurrent
+  readers of the same path observe it), **but** bytes written since the
+  last ``fsync`` are tracked as *pending* — not yet durable;
+* at the simulated crash point the plan rolls every open file back to
+  its last-synced image plus a seeded-random **prefix** of its pending
+  bytes (the classic torn-write model for sequential logs), then raises
+  :class:`SimulatedCrash`; afterwards every file operation raises, as
+  if the process had died;
+* the plan can also inject short reads (a read returns fewer bytes
+  than available) and bit corruption on the read path, both keyed off
+  deterministic counters so a failing schedule replays exactly.
+
+Syncpoints are counted across *all* files opened through one plan, so
+``crash_at_sync=k`` means "power fails during the k-th fsync anywhere
+in the database" — the granularity the crash-consistency oracle
+enumerates.
+
+Limitations (documented, deliberate): ``os.replace`` and open-time
+truncation (``"w"`` modes) are modelled as atomic and immediately
+durable, matching the POSIX rename story the checkpoint protocol
+relies on; pending writes tear as a prefix rather than in arbitrary
+page order.
+"""
+
+import os
+import random
+
+
+class SimulatedCrash(Exception):
+    """The simulated power failure.
+
+    Deliberately *not* an :class:`repro.errors.MDMError`: nothing in the
+    production stack may catch it, exactly as nothing catches a power
+    cut.  Crash harnesses catch it, discard the in-memory database, and
+    reopen from disk to exercise recovery.
+    """
+
+
+def fsync_file(handle):
+    """Flush *handle* to stable storage.
+
+    Files from :class:`FaultPlan.opener` expose ``fsync()`` (a plan
+    syncpoint); plain files get ``flush`` + ``os.fsync``.  The WAL and
+    pager route every durability barrier through here so fault plans
+    see each one.
+    """
+    fsync = getattr(handle, "fsync", None)
+    if fsync is not None:
+        fsync()
+        return
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+class FaultPlan:
+    """A seeded, reproducible schedule of storage faults.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the RNG that picks torn-write boundaries; the same seed
+        and schedule produce byte-identical post-crash files.
+    crash_at_sync:
+        Power fails during the Nth (1-based) fsync across all files.
+    crash_at_write:
+        Power fails immediately after the Nth write call (its bytes
+        join the pending pool and may partially survive).
+    torn:
+        ``"random"`` keeps a seeded-random prefix of each file's
+        pending bytes at the crash, ``"all"`` keeps everything (crash
+        just after the data hit the platter), ``"none"`` keeps nothing.
+    short_reads:
+        Mapping of read index (1-based, plan-wide) to the maximum byte
+        count that read may return.
+    bit_flips:
+        Iterable of ``(path_fragment, offset, mask)``: reads from a
+        file whose path contains *path_fragment* that cover absolute
+        *offset* come back with that byte XOR *mask* — media corruption
+        on the read path, without touching the real file.
+    """
+
+    def __init__(self, seed=0, crash_at_sync=None, crash_at_write=None,
+                 torn="random", short_reads=None, bit_flips=()):
+        if torn not in ("random", "all", "none"):
+            raise ValueError("torn must be 'random', 'all', or 'none'")
+        self.seed = seed
+        self.random = random.Random(seed)
+        self.crash_at_sync = crash_at_sync
+        self.crash_at_write = crash_at_write
+        self.torn = torn
+        self.short_reads = dict(short_reads or {})
+        self.bit_flips = list(bit_flips)
+        self.sync_count = 0
+        self.write_count = 0
+        self.read_count = 0
+        self.crashed = False
+        self._files = []
+
+    # -- the injectable opener ------------------------------------------------
+
+    @property
+    def opener(self):
+        """A binary-mode ``open`` substitute producing FaultyFiles."""
+        def _open(path, mode="rb"):
+            return FaultyFile(path, mode, self)
+        return _open
+
+    # -- hooks called by FaultyFile ------------------------------------------
+
+    def _register(self, faulty):
+        self._files.append(faulty)
+
+    def _check_alive(self):
+        if self.crashed:
+            raise SimulatedCrash("operation after simulated crash")
+
+    def _on_write(self, faulty):
+        self.write_count += 1
+        if self.crash_at_write is not None and self.write_count >= self.crash_at_write:
+            self._crash()
+
+    def _on_sync(self, faulty):
+        self.sync_count += 1
+        if self.crash_at_sync is not None and self.sync_count >= self.crash_at_sync:
+            self._crash()
+
+    def _filter_read(self, faulty, start, data):
+        self.read_count += 1
+        limit = self.short_reads.get(self.read_count)
+        if limit is not None and len(data) > limit:
+            data = data[:limit]
+        if self.bit_flips:
+            data = bytearray(data)
+            for fragment, offset, mask in self.bit_flips:
+                if fragment in faulty.path and start <= offset < start + len(data):
+                    data[offset - start] ^= mask
+            data = bytes(data)
+        return data
+
+    def _torn_budget(self, total):
+        if self.torn == "all":
+            return total
+        if self.torn == "none":
+            return 0
+        return self.random.randint(0, total)
+
+    def _crash(self):
+        """Roll every file back to its durable image and die."""
+        self.crashed = True
+        for faulty in self._files:
+            faulty._rollback_to_durable()
+        raise SimulatedCrash(
+            "simulated power failure (sync #%d, write #%d)"
+            % (self.sync_count, self.write_count)
+        )
+
+
+class FaultyFile:
+    """A binary file wrapper that models the OS cache / platter split.
+
+    Supports exactly the surface the WAL and pager use: ``read``,
+    ``write``, ``seek``, ``tell``, ``truncate``, ``flush``, ``fsync``,
+    ``fileno``, ``close``, and context management.
+    """
+
+    def __init__(self, path, mode, plan):
+        if "b" not in mode:
+            raise ValueError("FaultyFile supports binary modes only, not %r" % mode)
+        plan._check_alive()
+        self.path = path
+        self.mode = mode
+        self._plan = plan
+        self._append = "a" in mode
+        self._writable = "w" in mode or "a" in mode or "+" in mode
+        # buffering=0 keeps the real file and fstat exact at all times.
+        self._real = open(path, mode, buffering=0)
+        self._closed = False
+        # Everything on disk at open time is the durable baseline; a
+        # "w"-mode truncation is modelled as immediately durable.
+        with open(path, "rb") as handle:
+            self._synced = handle.read()
+        # Pending ops since the last fsync: ("write", pos, bytes) or
+        # ("trunc", size).  Rollback applies a prefix of these.
+        self._pending = []
+        plan._register(self)
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _check_open(self):
+        self._plan._check_alive()
+        if self._closed:
+            raise ValueError("I/O operation on closed FaultyFile %r" % self.path)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def fileno(self):
+        self._check_open()
+        return self._real.fileno()
+
+    def seekable(self):
+        return True
+
+    def readable(self):
+        return True
+
+    def writable(self):
+        return True
+
+    # -- positioned I/O -------------------------------------------------------
+
+    def seek(self, offset, whence=os.SEEK_SET):
+        self._check_open()
+        return self._real.seek(offset, whence)
+
+    def tell(self):
+        self._check_open()
+        return self._real.tell()
+
+    def read(self, size=-1):
+        self._check_open()
+        start = self._real.tell()
+        data = self._real.read(size)
+        filtered = self._plan._filter_read(self, start, data)
+        if len(filtered) < len(data):
+            # A short read leaves the cursor where the short read ended.
+            self._real.seek(start + len(filtered))
+        return filtered
+
+    def write(self, data):
+        self._check_open()
+        data = bytes(data)
+        if self._append:
+            pos = os.fstat(self._real.fileno()).st_size
+        else:
+            pos = self._real.tell()
+        written = self._real.write(data)
+        self._pending.append(("write", pos, data))
+        self._plan._on_write(self)
+        return written
+
+    def truncate(self, size=None):
+        self._check_open()
+        if size is None:
+            size = self._real.tell()
+        result = self._real.truncate(size)
+        self._pending.append(("trunc", size, b""))
+        return result
+
+    # -- durability -----------------------------------------------------------
+
+    def flush(self):
+        """OS-cache flush: no durability implication in this model."""
+        self._check_open()
+        self._real.flush()
+
+    def fsync(self):
+        """A plan syncpoint; on survival, pending bytes become durable."""
+        self._check_open()
+        self._real.flush()
+        self._plan._on_sync(self)  # may raise SimulatedCrash
+        os.fsync(self._real.fileno())
+        with open(self.path, "rb") as handle:
+            self._synced = handle.read()
+        self._pending = []
+
+    def close(self):
+        if self._closed:
+            return
+        if self._plan.crashed:
+            self._closed = True
+            return  # _rollback_to_durable already closed the real handle
+        self._closed = True
+        self._real.close()
+
+    # -- crash support --------------------------------------------------------
+
+    def _durable_image(self):
+        """The bytes this file holds after the crash rollback.
+
+        Pending ops apply in order until the torn-write byte budget is
+        exhausted mid-write; truncations reached before that tear point
+        apply atomically (they carry no payload bytes).
+        """
+        budget = self._plan._torn_budget(
+            sum(len(payload) for kind, _, payload in self._pending if kind == "write")
+        )
+        data = bytearray(self._synced)
+        for kind, pos, payload in self._pending:
+            if kind == "trunc":
+                del data[pos:]
+                if pos > len(data):
+                    data.extend(b"\0" * (pos - len(data)))
+                continue
+            take = min(len(payload), budget)
+            if len(data) < pos:
+                data.extend(b"\0" * (pos - len(data)))
+            data[pos:pos + take] = payload[:take]
+            budget -= take
+            if take < len(payload):
+                break
+        return bytes(data)
+
+    def _rollback_to_durable(self):
+        if self._closed:
+            return
+        self._closed = True
+        self._real.close()
+        if not self._writable:
+            return  # read-only views never rewrite the platter
+        image = self._durable_image()
+        with open(self.path, "wb") as handle:
+            handle.write(image)
+            handle.flush()
+            os.fsync(handle.fileno())

@@ -9,6 +9,7 @@ from deadlock without a waits-for graph.
 
 import enum
 import threading
+import time
 
 from repro.errors import DeadlockError, LockTimeoutError
 
@@ -73,9 +74,14 @@ class LockManager:
                         "transaction %d aborted (wait-die) requesting %s on %r"
                         % (txn_id, mode.value, resource)
                     )
+                # The deadline is absolute: wakeups (notify_all from every
+                # release) must not restart the clock, or a contended
+                # acquire could wait timeout-per-wakeup instead of timeout.
+                now = time.monotonic()
                 if deadline is None:
-                    deadline = self.timeout
-                if not self._condition.wait(timeout=deadline):
+                    deadline = now + self.timeout
+                remaining = deadline - now
+                if remaining <= 0 or not self._condition.wait(timeout=remaining):
                     raise LockTimeoutError(
                         "transaction %d timed out waiting for %s on %r"
                         % (txn_id, mode.value, resource)

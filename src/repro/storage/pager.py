@@ -5,6 +5,13 @@ The pager provides pinned page access with LRU eviction; a trivial
 free-list supports page reuse.  This is the disk layer the MDM would sit
 on in a production deployment; recovery (see ``wal.py``) replays the log
 against the page image taken at the last checkpoint.
+
+Durability rules: header updates from ``allocate``/``free`` are batched
+in memory and written once per :meth:`flush` (which also fsyncs), so a
+checkpoint costs one durability barrier rather than one per page; a
+read that comes back short of a full page is a hard :class:`PageError`,
+never silently zero-padded — a truncated database file must fail
+recovery loudly, not replay garbage.
 """
 
 import collections
@@ -12,6 +19,7 @@ import os
 import struct
 
 from repro.errors import PageError
+from repro.storage.faults import fsync_file
 
 PAGE_SIZE = 4096
 _HEADER = struct.Struct("<4sIII")  # magic, page_count, free_head, reserved
@@ -51,15 +59,18 @@ class Pager:
 
     *capacity* bounds the number of in-memory pages; least recently used
     clean pages are dropped, dirty pages are written back on eviction and
-    at :meth:`flush`.
+    at :meth:`flush`.  *opener* is an injectable binary-mode ``open``
+    substitute (see :mod:`repro.storage.faults`).
     """
 
-    def __init__(self, path, capacity=64):
+    def __init__(self, path, capacity=64, opener=None):
         self.path = path
         self.capacity = max(capacity, 4)
+        self._opener = opener if opener is not None else open
         self._cache = collections.OrderedDict()
         self._page_count = 0
         self._free_head = 0  # 0 = no free pages (page numbers are 1-based)
+        self._header_dirty = False
         self._file = None
         self._open()
 
@@ -67,7 +78,7 @@ class Pager:
 
     def _open(self):
         fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
-        self._file = open(self.path, "w+b" if fresh else "r+b")
+        self._file = self._opener(self.path, "w+b" if fresh else "r+b")
         if fresh:
             self._page_count = 0
             self._free_head = 0
@@ -99,7 +110,7 @@ class Pager:
         self._file.seek(0)
         header = _HEADER.pack(_MAGIC, self._page_count, self._free_head, 0)
         self._file.write(header.ljust(PAGE_SIZE, b"\0"))
-        self._file.flush()
+        self._header_dirty = False
 
     def _read_header(self):
         self._file.seek(0)
@@ -118,8 +129,15 @@ class Pager:
         """Allocate a page (reusing the free list) and return it."""
         if self._free_head:
             page_no = self._free_head
+            if page_no > self._page_count:
+                raise PageError(
+                    "corrupt free list: head %d beyond page count %d"
+                    % (page_no, self._page_count)
+                )
             page = self.get(page_no)
             (next_free,) = struct.unpack_from("<I", page.data, 0)
+            if next_free == page_no:
+                raise PageError("corrupt free list: page %d links to itself" % page_no)
             self._free_head = next_free
             page.data[:] = bytes(PAGE_SIZE)
             page.dirty = True
@@ -130,17 +148,19 @@ class Pager:
             page.dirty = True
             self._cache[page_no] = page
             self._evict_if_needed()
-        self._write_header()
+        self._header_dirty = True
         return page
 
     def free(self, page_no):
         """Return *page_no* to the free list."""
+        if page_no == self._free_head:
+            raise PageError("double free of page %d" % page_no)
         page = self.get(page_no)
         page.data[:] = bytes(PAGE_SIZE)
         struct.pack_into("<I", page.data, 0, self._free_head)
         page.dirty = True
         self._free_head = page_no
-        self._write_header()
+        self._header_dirty = True
 
     def get(self, page_no):
         """Fetch a page, reading it from disk if not cached."""
@@ -153,7 +173,10 @@ class Pager:
         self._file.seek(page_no * PAGE_SIZE)
         raw = self._file.read(PAGE_SIZE)
         if len(raw) < PAGE_SIZE:
-            raw = raw.ljust(PAGE_SIZE, b"\0")
+            raise PageError(
+                "truncated read of page %d in %r: got %d of %d bytes"
+                % (page_no, self.path, len(raw), PAGE_SIZE)
+            )
         page = Page(page_no, raw)
         self._cache[page_no] = page
         self._cache.move_to_end(page_no)
@@ -177,8 +200,7 @@ class Pager:
             if page.dirty:
                 self._write_page(page)
         self._write_header()
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        fsync_file(self._file)
 
     # -- stream helpers: store arbitrary byte strings across page chains ---------
 

@@ -139,27 +139,8 @@ class TransactionManager:
         if self.current() is txn:
             self._local.txn = None
 
-    def _commit(self, txn):
-        if txn.state is not TransactionState.ACTIVE:
-            raise TransactionError("cannot commit a %s transaction" % txn.state.value)
-        if self._log is not None:
-            orders = self._database.column_orders()
-            for action, table_name, new_row, old_row in txn.changes:
-                self._log.append(
-                    txn.txn_id,
-                    _ACTION_TO_KIND[action],
-                    table=table_name,
-                    row=new_row,
-                    old_row=old_row,
-                    column_orders=orders,
-                )
-            self._log.append(txn.txn_id, wal_module.COMMIT, flush=True)
-        self._finish(txn, TransactionState.COMMITTED)
-
-    def _abort(self, txn):
-        if txn.state is not TransactionState.ACTIVE:
-            raise TransactionError("cannot abort a %s transaction" % txn.state.value)
-        # Undo in reverse order, without journalling the undos.
+    def _undo(self, txn):
+        """Reverse *txn*'s in-memory changes, without journalling the undos."""
         for action, table_name, new_row, old_row in reversed(txn.changes):
             table = self._database.table(table_name)
             if action == "insert":
@@ -169,6 +150,42 @@ class TransactionManager:
                 table.load_row(old_row)
             elif action == "delete":
                 table.load_row(old_row)
+
+    def _commit(self, txn):
+        if txn.state is not TransactionState.ACTIVE:
+            raise TransactionError("cannot commit a %s transaction" % txn.state.value)
         if self._log is not None:
-            self._log.append(txn.txn_id, wal_module.ABORT, flush=True)
-        self._finish(txn, TransactionState.ABORTED)
+            orders = self._database.column_orders()
+            try:
+                for action, table_name, new_row, old_row in txn.changes:
+                    self._log.append(
+                        txn.txn_id,
+                        _ACTION_TO_KIND[action],
+                        table=table_name,
+                        row=new_row,
+                        old_row=old_row,
+                        column_orders=orders,
+                    )
+                self._log.append(txn.txn_id, wal_module.COMMIT, flush=True)
+            except BaseException:
+                # The COMMIT record never reached stable storage: the
+                # transaction did not happen.  Roll the in-memory tables
+                # back and release locks so a surviving process is not
+                # left holding them, then let the I/O error propagate.
+                self._undo(txn)
+                self._finish(txn, TransactionState.ABORTED)
+                raise
+        self._finish(txn, TransactionState.COMMITTED)
+
+    def _abort(self, txn):
+        if txn.state is not TransactionState.ACTIVE:
+            raise TransactionError("cannot abort a %s transaction" % txn.state.value)
+        self._undo(txn)
+        try:
+            if self._log is not None:
+                self._log.append(txn.txn_id, wal_module.ABORT, flush=True)
+        finally:
+            # Locks are released even when the ABORT record cannot be
+            # written; the record is advisory (recovery ignores
+            # uncommitted transactions with or without it).
+            self._finish(txn, TransactionState.ABORTED)

@@ -4,13 +4,27 @@ Every committed mutation is appended to the log before the transaction
 acknowledges commit; recovery replays the log, applying only the changes
 of transactions whose COMMIT record made it to stable storage.  This is
 the "recovery" service section 2 requires of the MDM.
+
+On-disk framing is ``<length:I><crc32:I><payload>`` per record, where
+the CRC covers the payload.  The tail scan stops at the first frame
+that is torn (runs past end-of-file) or fails its checksum; everything
+from that point on is discarded and, at open, physically truncated
+away — the ARIES-style rule that the log's valid prefix *is* the log.
+Without the truncation a corrupt record would hide every record behind
+it while leaving their LSNs on disk, so a reopened log could hand out
+duplicate LSNs; see ``_scan``.
 """
 
+import logging
 import os
 import struct
+import zlib
 
 from repro.errors import RecoveryError
+from repro.storage.faults import fsync_file
 from repro.storage.row import Row
+
+logger = logging.getLogger(__name__)
 
 # Record kinds.
 BEGIN = 1
@@ -30,6 +44,10 @@ _KIND_NAMES = {
     ABORT: "ABORT",
     CHECKPOINT: "CHECKPOINT",
 }
+
+#: Frame header: payload length, CRC32 of the payload.
+_FRAME = struct.Struct("<II")
+_BODY = struct.Struct("<QQBH I I")
 
 
 class LogRecord:
@@ -66,8 +84,7 @@ def _encode_record(record, column_orders):
         old_bytes = record.old_row.serialize(order)
     else:
         old_bytes = b""
-    body = struct.pack(
-        "<QQBH I I",
+    body = _BODY.pack(
         record.lsn,
         record.txn_id,
         record.kind,
@@ -79,17 +96,33 @@ def _encode_record(record, column_orders):
 
 
 class WriteAheadLog:
-    """Append-only log file with group flush on commit.
+    """Append-only, checksummed log file with group flush on commit.
 
-    The on-disk framing is ``<length:I><payload>`` per record; a torn
-    final record (partial write at crash) is detected by length mismatch
-    and discarded, exactly as a real ARIES-style log tail scan would.
+    *opener* is an injectable binary-mode substitute for :func:`open`
+    (see :mod:`repro.storage.faults`); production code passes nothing.
+
+    A log whose tail is torn or corrupt is truncated to its valid
+    prefix at open time, so LSN assignment always continues past every
+    record that could ever be replayed.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, opener=None):
         self.path = path
-        self._file = open(path, "ab+")
-        self._next_lsn = self._scan_max_lsn() + 1
+        self._opener = opener if opener is not None else open
+        self._file = self._opener(path, "ab+")
+        entries, valid_end, corruption = self._scan()
+        max_lsn = 0
+        for entry in entries:
+            max_lsn = max(max_lsn, entry[0])
+        self._next_lsn = max_lsn + 1
+        if corruption is not None:
+            logger.warning(
+                "WAL %s: %s; truncating log to valid prefix (%d bytes)",
+                path, corruption, valid_end,
+            )
+            self._file.seek(valid_end)
+            self._file.truncate(valid_end)
+            fsync_file(self._file)
 
     def close(self):
         if self._file is not None:
@@ -103,62 +136,80 @@ class WriteAheadLog:
         self.close()
         return False
 
-    def _scan_max_lsn(self):
-        max_lsn = 0
-        try:
-            for lsn, _, _, _, _, _ in self._iter_raw():
-                max_lsn = max(max_lsn, lsn)
-        except RecoveryError:
-            pass
-        return max_lsn
-
     def append(self, txn_id, kind, table=None, row=None, old_row=None,
                column_orders=None, flush=False):
         """Append a record; returns its LogRecord."""
         record = LogRecord(self._next_lsn, txn_id, kind, table, row, old_row)
         self._next_lsn += 1
         payload = _encode_record(record, column_orders or {})
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
         self._file.seek(0, os.SEEK_END)
-        self._file.write(struct.pack("<I", len(payload)))
-        self._file.write(payload)
+        self._file.write(frame + payload)
         if flush:
             self.flush()
         return record
 
     def flush(self):
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        fsync_file(self._file)
 
     # -- reading ---------------------------------------------------------------
 
-    def _iter_raw(self):
-        """Yield (lsn, txn, kind, table, row_bytes, old_bytes) tuples."""
+    def _scan(self):
+        """Parse the log's valid prefix.
+
+        Returns ``(entries, valid_end, corruption)`` where *entries* is
+        a list of ``(lsn, txn, kind, table, row_bytes, old_bytes)``
+        tuples, *valid_end* the byte offset just past the last good
+        record, and *corruption* a message describing why the scan
+        stopped early (None for a clean log; a torn frame at the very
+        end of the file is normal crash residue, reported so the tail
+        gets trimmed).
+        """
         self._file.flush()
-        with open(self.path, "rb") as handle:
+        with self._opener(self.path, "rb") as handle:
             data = handle.read()
+        entries = []
         offset = 0
         while offset < len(data):
-            if offset + 4 > len(data):
-                return  # torn length prefix: drop the tail
-            (length,) = struct.unpack_from("<I", data, offset)
-            offset += 4
-            if offset + length > len(data):
-                return  # torn record: drop the tail
-            payload = data[offset:offset + length]
-            offset += length
+            if offset + _FRAME.size > len(data):
+                return entries, offset, "torn frame header at offset %d" % offset
+            length, crc = _FRAME.unpack_from(data, offset)
+            start = offset + _FRAME.size
+            if start + length > len(data):
+                return entries, offset, "torn record at offset %d" % offset
+            payload = data[start:start + length]
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                return entries, offset, "checksum mismatch at offset %d" % offset
             try:
-                lsn, txn_id, kind, table_len, row_len, old_len = struct.unpack_from(
-                    "<QQBH I I", payload, 0
+                lsn, txn_id, kind, table_len, row_len, old_len = _BODY.unpack_from(
+                    payload, 0
                 )
             except struct.error:
-                raise RecoveryError("corrupt log record header")
-            cursor = struct.calcsize("<QQBH I I")
+                return entries, offset, "short record body at offset %d" % offset
+            cursor = _BODY.size
+            if cursor + table_len + row_len + old_len != length:
+                return entries, offset, "inconsistent lengths at offset %d" % offset
             table = payload[cursor:cursor + table_len].decode("utf-8")
             cursor += table_len
             row_bytes = payload[cursor:cursor + row_len]
             cursor += row_len
             old_bytes = payload[cursor:cursor + old_len]
-            yield lsn, txn_id, kind, table, row_bytes, old_bytes
+            entries.append((lsn, txn_id, kind, table, row_bytes, old_bytes))
+            offset = start + length
+        return entries, offset, None
+
+    def _iter_raw(self):
+        """Yield (lsn, txn, kind, table, row_bytes, old_bytes) tuples.
+
+        Stops silently at the first bad record: recovery replays the
+        valid prefix rather than refusing to start.
+        """
+        entries, _, corruption = self._scan()
+        if corruption is not None:
+            logger.warning("WAL %s: %s; replaying valid prefix only",
+                           self.path, corruption)
+        for entry in entries:
+            yield entry
 
     def records(self, column_orders):
         """Yield fully decoded LogRecords."""
@@ -179,7 +230,7 @@ class WriteAheadLog:
     def truncate(self):
         """Discard the log contents (after a checkpoint)."""
         self._file.close()
-        self._file = open(self.path, "wb+")
+        self._file = self._opener(self.path, "wb+")
         self._next_lsn = 1
 
 

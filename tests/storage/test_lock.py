@@ -5,7 +5,7 @@ import time
 
 import pytest
 
-from repro.errors import DeadlockError
+from repro.errors import DeadlockError, LockTimeoutError
 from repro.storage.lock import LockManager, LockMode
 
 
@@ -67,6 +67,44 @@ class TestWaitDie:
         locks.release_all(2)
         thread.join(timeout=5)
         assert acquired.is_set()
+
+    def test_timeout_fires(self):
+        locks = LockManager(timeout=0.05)
+        locks.acquire(10, "t", LockMode.EXCLUSIVE)  # younger holds
+        with pytest.raises(LockTimeoutError):
+            locks.acquire(1, "t", LockMode.EXCLUSIVE)  # older waits, times out
+
+    def test_timeout_not_extended_by_unrelated_wakeups(self):
+        """The deadline is absolute.  Every release_all notifies every
+        waiter; a waiter whose clock restarted on each wakeup would wait
+        timeout-per-wakeup and effectively never time out while other
+        transactions churn."""
+        locks = LockManager(timeout=0.3)
+        locks.acquire(10, "t", LockMode.EXCLUSIVE)  # younger holds forever
+        stop = threading.Event()
+
+        def churn():
+            # Unrelated acquire/release traffic, each notifying waiters.
+            for _ in range(40):
+                if stop.is_set():
+                    return
+                locks.acquire(5, "other", LockMode.EXCLUSIVE)
+                locks.release_all(5)
+                time.sleep(0.05)
+
+        noisy = threading.Thread(target=churn)
+        noisy.start()
+        start = time.monotonic()
+        try:
+            with pytest.raises(LockTimeoutError):
+                locks.acquire(1, "t", LockMode.EXCLUSIVE)
+        finally:
+            stop.set()
+            noisy.join()
+        elapsed = time.monotonic() - start
+        # A clock-resetting implementation only times out once the churn
+        # stops, after ~2.3s; the fixed one fires near the 0.3s deadline.
+        assert elapsed < 1.2, "timeout was extended by wakeups (%.2fs)" % elapsed
 
     def test_no_deadlock_under_contention(self):
         """Opposite-order lock acquisition cannot deadlock: the younger

@@ -1,6 +1,7 @@
 """Pager: page allocation, persistence, free list, stream chains."""
 
 import os
+import struct
 
 import pytest
 
@@ -11,6 +12,17 @@ from repro.storage.pager import PAGE_SIZE, Pager
 @pytest.fixture
 def db_path(tmp_path):
     return str(tmp_path / "pages.db")
+
+
+def patch_file(path, offset, payload):
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        handle.write(payload)
+
+
+def disk_header(path):
+    with open(path, "rb") as handle:
+        return struct.unpack("<4sIII", handle.read(16))
 
 
 class TestPages:
@@ -96,3 +108,92 @@ class TestStreams:
             pager.free_stream(head)
             pager.write_stream(payload)
             assert pager.page_count == count_before
+
+
+class TestCorruption:
+    """A damaged database file must fail loudly, never replay garbage."""
+
+    def test_truncated_page_read_raises(self, db_path):
+        with Pager(db_path) as pager:
+            pager.allocate()
+            pager.allocate()
+            pager.flush()
+        with open(db_path, "r+b") as handle:
+            handle.truncate(os.path.getsize(db_path) - 100)
+        with Pager(db_path) as pager:
+            pager.get(1)  # fully present
+            with pytest.raises(PageError, match="truncated read"):
+                pager.get(2)
+
+    def test_torn_header_raises(self, db_path):
+        with open(db_path, "wb") as handle:
+            handle.write(b"MD")
+        with pytest.raises(PageError, match="truncated database header"):
+            Pager(db_path)
+
+    def test_bad_magic_raises(self, db_path):
+        with Pager(db_path) as pager:
+            pager.allocate()
+            pager.flush()
+        patch_file(db_path, 0, b"XXXX")
+        with pytest.raises(PageError, match="bad magic"):
+            Pager(db_path)
+
+    def test_corrupt_stream_chunk_length_raises(self, db_path):
+        with Pager(db_path) as pager:
+            head = pager.write_stream(b"payload")
+            pager.flush()
+        # The chunk length lives 4 bytes into the head page.
+        patch_file(db_path, head * PAGE_SIZE + 4, struct.pack("<I", PAGE_SIZE * 2))
+        with Pager(db_path) as pager:
+            with pytest.raises(PageError, match="corrupt chunk length"):
+                pager.read_stream(head)
+
+    def test_stream_cycle_detected(self, db_path):
+        with Pager(db_path) as pager:
+            head = pager.write_stream(b"z" * (PAGE_SIZE + 100))  # pages 1 -> 2
+            pager.flush()
+        # Point page 2 back at the head.
+        patch_file(db_path, 2 * PAGE_SIZE, struct.pack("<I", head))
+        with Pager(db_path) as pager:
+            with pytest.raises(PageError, match="cycle in page chain"):
+                pager.read_stream(head)
+
+    def test_double_free_detected(self, db_path):
+        with Pager(db_path) as pager:
+            pager.allocate()
+            pager.allocate()
+            pager.free(1)
+            with pytest.raises(PageError, match="double free"):
+                pager.free(1)
+
+    def test_free_list_self_link_detected(self, db_path):
+        with Pager(db_path) as pager:
+            pager.allocate()
+            pager.free(1)
+            # Corrupt the freed page's next-pointer to point at itself.
+            struct.pack_into("<I", pager.get(1).data, 0, 1)
+            with pytest.raises(PageError, match="links to itself"):
+                pager.allocate()
+
+    def test_free_head_beyond_page_count_detected(self, db_path):
+        with Pager(db_path) as pager:
+            pager.allocate()
+            pager.flush()
+        patch_file(db_path, 0, struct.pack("<4sIII", b"MDM1", 1, 99, 0))
+        with Pager(db_path) as pager:
+            with pytest.raises(PageError, match="beyond page count"):
+                pager.allocate()
+
+
+class TestHeaderBatching:
+    def test_allocate_defers_header_write_until_flush(self, db_path):
+        with Pager(db_path):
+            pass  # creates an empty, flushed file
+        with Pager(db_path) as pager:
+            pager.allocate()
+            # Header updates are batched: the on-disk count is stale
+            # until flush, which writes it once and fsyncs.
+            assert disk_header(db_path)[1] == 0
+            pager.flush()
+            assert disk_header(db_path)[1] == 1
