@@ -1,0 +1,19 @@
+#!/bin/sh
+# Concurrency stress target: hammer one MDM with seeded multi-client
+# workloads through the session layer (wait-die retries, deadlines,
+# admission control) and verify the exactly-once oracle
+# (tests/stress/harness.py).
+#
+# Default: the fast matrix (8 seeds x 4 threads, the deterministic
+# failure-mode schedules, and the service-layer unit tests) -- a few
+# seconds, always on in the main test run too.  Pass --full for the
+# extended matrix (16 extra seeds, 6 threads, longer op sequences).
+set -eu
+cd "$(dirname "$0")/.."
+
+MARKER="stress and not stress_slow"
+if [ "${1:-}" = "--full" ]; then
+    MARKER="stress"
+    shift
+fi
+PYTHONPATH=src python -m pytest tests/stress tests/mdm/test_service.py -q -m "$MARKER or not stress" "$@"

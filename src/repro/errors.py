@@ -34,6 +34,39 @@ class RecoveryError(StorageError):
     """The write-ahead log could not be replayed."""
 
 
+class ReadOnlyError(StorageError):
+    """Write refused: the database is in read-only degraded mode.
+
+    Entered after a storage I/O failure so reads keep serving from the
+    consistent in-memory state instead of trusting a half-broken WAL.
+    """
+
+
+class ServiceError(MDMError):
+    """Failure in the session/service layer (admission, retry, deadlines)."""
+
+
+class OverloadError(ServiceError):
+    """Admission control shed this request: too many concurrent transactions."""
+
+
+class RetryExhaustedError(ServiceError):
+    """A transaction kept aborting (wait-die / lock timeout) past its budget."""
+
+    def __init__(self, message, attempts=None, last_error=None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class QueryTimeoutError(ServiceError):
+    """Query execution ran past its deadline."""
+
+
+class ResourceLimitError(ServiceError):
+    """Query execution exceeded its row budget."""
+
+
 class SchemaError(MDMError):
     """Invalid schema definition (entities, relationships, orderings)."""
 

@@ -104,6 +104,7 @@ def build_bwv578_score(cmn=None, measures_of_rest=2, with_answer=True):
         key=KeySignature.flats(2),
         meter="4/4",
         bpm=84,
+        cmn=cmn,
     )
     soprano = builder.add_voice("soprano", clef="treble", instrument="Organ",
                                 midi_program=19)

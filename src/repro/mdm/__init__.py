@@ -6,6 +6,7 @@ representation and query interface instead of each managing its own.
 """
 
 from repro.mdm.manager import MusicDataManager
+from repro.mdm.service import AdmissionGate, MdmSession, ServiceMetrics
 from repro.mdm.clients import (
     AnalysisClient,
     Client,
@@ -16,6 +17,9 @@ from repro.mdm.clients import (
 
 __all__ = [
     "MusicDataManager",
+    "MdmSession",
+    "AdmissionGate",
+    "ServiceMetrics",
     "Client",
     "EditorClient",
     "CompositionClient",

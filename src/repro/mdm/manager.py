@@ -4,11 +4,19 @@ Owns the storage database (with WAL/locking), the CMN schema, the
 meta-catalog, the QUEL session, and a client registry.  Programs talk
 to the MDM through DDL/QUEL text or through the object APIs; either
 way they share one representation, the core benefit section 2 claims.
+
+Concurrent clients go through the service layer: :meth:`connect`
+returns an :class:`~repro.mdm.service.MdmSession` whose ``run`` method
+wraps a closure in a transaction with wait-die retry, deadline
+propagation, and admission control (see :mod:`repro.mdm.service`).
+The manager aggregates the robustness counters from the lock table,
+the admission gate, and the sessions into :meth:`statistics`.
 """
 
 from repro.cmn.schema import CmnSchema
 from repro.core.catalog import MetaCatalog
 from repro.ddl.compiler import execute_ddl
+from repro.mdm.service import AdmissionGate, MdmSession, ServiceMetrics
 from repro.quel.executor import QuelSession
 from repro.storage.database import Database
 
@@ -16,8 +24,9 @@ from repro.storage.database import Database
 class MusicDataManager:
     """A database back end for musical applications."""
 
-    def __init__(self, path=None, with_cmn=True):
-        self.database = Database(path)
+    def __init__(self, path=None, with_cmn=True, max_concurrent=8,
+                 admission_queue_timeout=0.1, opener=None):
+        self.database = Database(path, opener=opener)
         if with_cmn:
             # Binds to recovered tables when *path* holds an earlier
             # MDM's data, so plain construction doubles as reopen.
@@ -30,6 +39,16 @@ class MusicDataManager:
         self.session = QuelSession(self.schema)
         self._meta = None
         self.clients = []
+        self._closed = False
+        self._init_service(max_concurrent, admission_queue_timeout)
+
+    def _init_service(self, max_concurrent, admission_queue_timeout):
+        self.metrics = ServiceMetrics()
+        self.admission = AdmissionGate(
+            limit=max_concurrent,
+            queue_timeout=admission_queue_timeout,
+            metrics=self.metrics,
+        )
 
     @classmethod
     def reopen(cls, path):
@@ -45,6 +64,8 @@ class MusicDataManager:
         manager.session = QuelSession(manager.schema)
         manager._meta = None
         manager.clients = []
+        manager._closed = False
+        manager._init_service(8, 0.1)
         return manager
 
     @property
@@ -75,6 +96,12 @@ class MusicDataManager:
         """Run a QUEL retrieve and return its rows."""
         return self.session.execute(source)
 
+    # -- service layer --------------------------------------------------------------
+
+    def connect(self, name="session", **session_options):
+        """A service-layer session for one client (see MdmSession)."""
+        return MdmSession(self, name=name, **session_options)
+
     # -- transactions / durability -----------------------------------------------
 
     def begin(self):
@@ -84,7 +111,27 @@ class MusicDataManager:
         self.database.checkpoint()
 
     def close(self):
-        self.database.close()
+        """Close the MDM; idempotent and exception-safe.
+
+        A double close, or a close after an error mid-transaction, must
+        neither raise nor leave locks behind: the active transaction (if
+        any) is aborted — abandoned if even the abort fails — before the
+        database releases its log file.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        transactions = self.database.transactions
+        txn = transactions.current()
+        if txn is not None:
+            try:
+                txn.abort()
+            except Exception:
+                transactions.abandon(txn)
+        try:
+            self.database.close()
+        except OSError:
+            pass  # the log file handle is gone either way
 
     def __enter__(self):
         return self
@@ -110,6 +157,12 @@ class MusicDataManager:
         stats = self.schema.statistics()
         stats["clients"] = len(self.clients)
         stats["tables"] = len(self.database.table_names())
+        stats.update(self.metrics.snapshot())
+        locks = self.database.transactions.lock_manager.stats()
+        stats["lock_waits"] = locks["waits"]
+        stats["lock_timeouts"] = locks["timeouts"]
+        stats["deadlock_aborts"] = locks["deadlock_aborts"]
+        stats["degraded"] = self.database.degraded
         return stats
 
     def check_invariants(self):

@@ -1,0 +1,257 @@
+"""The MDM session/service layer: surviving concurrent multi-client use.
+
+Section 2 makes the MDM the *shared* back end for many simultaneous
+clients, with concurrency control and recovery as standard services.
+The storage layer provides wait-die locking, but a wait-die abort is a
+*retryable* event — something has to catch it, back off, and re-run the
+transaction.  This module is that something:
+
+* :class:`MdmSession` — a per-client handle whose :meth:`MdmSession.run`
+  executes a transaction closure with automatic retry of wait-die
+  aborts and lock timeouts under seeded, jittered exponential backoff,
+  raising :class:`RetryExhaustedError` once the attempt budget or the
+  call deadline is spent.  The deadline is propagated: it bounds lock
+  waits (via the transaction manager's thread-local deadline) and query
+  execution (via the QUEL executor's :class:`ExecutionLimits`).
+* :class:`AdmissionGate` — a bounded concurrent-transaction gate that
+  queues briefly and then sheds load with :class:`OverloadError` rather
+  than piling threads onto the lock table.
+* :class:`ServiceMetrics` — thread-safe robustness counters surfaced
+  through ``MusicDataManager.statistics()`` and the shell's ``\\health``
+  command.
+
+Closures passed to :meth:`MdmSession.run` must be *re-runnable*: each
+retry re-executes the closure against the rolled-back state, so any
+committed effect happens exactly once.  The stress oracle under
+``tests/stress/`` asserts precisely this.
+"""
+
+import random
+import threading
+import time
+
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    MDMError,
+    OverloadError,
+    QueryTimeoutError,
+    ResourceLimitError,
+    RetryExhaustedError,
+)
+
+
+class ServiceMetrics:
+    """Thread-safe robustness counters for one MusicDataManager."""
+
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._counters = {
+            "admitted": 0,
+            "commits": 0,
+            "retries": 0,
+            "retry_exhausted": 0,
+            "overload_shed": 0,
+            "query_timeouts": 0,
+            "resource_limited": 0,
+        }
+
+    def incr(self, name, amount=1):
+        with self._mutex:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def snapshot(self):
+        with self._mutex:
+            return dict(self._counters)
+
+
+class AdmissionGate:
+    """Bounded admission for concurrent transactions.
+
+    At most *limit* transactions run at once; an arrival beyond that
+    queues for up to *queue_timeout* seconds (bounded further by the
+    caller's deadline), then is shed with :class:`OverloadError`.
+    Shedding at the door keeps the lock table's wait-die churn bounded
+    under overload instead of letting every thread pile on and abort
+    each other.
+    """
+
+    def __init__(self, limit=8, queue_timeout=0.1, metrics=None,
+                 clock=time.monotonic):
+        if limit < 1:
+            raise ValueError("admission limit must be >= 1")
+        self.limit = limit
+        self.queue_timeout = queue_timeout
+        self._metrics = metrics if metrics is not None else ServiceMetrics()
+        self._clock = clock
+        self._semaphore = threading.BoundedSemaphore(limit)
+        self._active_mutex = threading.Lock()
+        self._active = 0
+
+    @property
+    def active(self):
+        with self._active_mutex:
+            return self._active
+
+    def acquire(self, deadline=None):
+        wait = self.queue_timeout
+        if deadline is not None:
+            wait = min(wait, max(0.0, deadline - self._clock()))
+        if not self._semaphore.acquire(timeout=wait):
+            self._metrics.incr("overload_shed")
+            raise OverloadError(
+                "admission gate full (%d active); request shed after %.3fs"
+                % (self.limit, wait)
+            )
+        with self._active_mutex:
+            self._active += 1
+        self._metrics.incr("admitted")
+
+    def release(self):
+        with self._active_mutex:
+            self._active -= 1
+        self._semaphore.release()
+
+
+class MdmSession:
+    """A client's service-layer handle on one MusicDataManager.
+
+    Parameters
+    ----------
+    mdm:
+        The shared :class:`~repro.mdm.manager.MusicDataManager`.
+    name:
+        Diagnostic label (shows up in error messages).
+    seed:
+        Seeds the backoff-jitter RNG, so a stress schedule replays
+        deterministically.
+    max_attempts:
+        Retry budget for wait-die aborts / lock timeouts per call.
+    backoff_base / backoff_cap:
+        Exponential backoff parameters (seconds): attempt *n* sleeps
+        ``min(cap, base * 2**(n-1))`` scaled by jitter in [0.5, 1.5).
+    default_timeout:
+        Per-call deadline when :meth:`run` is not given one (None
+        disables the deadline entirely).
+    row_budget:
+        Default QUEL candidate-row budget per call (None = unbounded).
+    clock / sleep:
+        Injectable for deterministic tests.
+    """
+
+    def __init__(self, mdm, name="session", seed=0, max_attempts=6,
+                 backoff_base=0.005, backoff_cap=0.25, default_timeout=5.0,
+                 row_budget=None, clock=time.monotonic, sleep=time.sleep):
+        self.mdm = mdm
+        self.name = name
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.default_timeout = default_timeout
+        self.row_budget = row_budget
+        self._rng = random.Random(seed)
+        self._clock = clock
+        self._sleep = sleep
+
+    # -- the entry point -------------------------------------------------------
+
+    def run(self, fn, timeout=None, row_budget=None):
+        """Run ``fn(mdm)`` as one transaction, retrying transient aborts.
+
+        The closure executes inside a fresh transaction; on wait-die
+        abort (:class:`DeadlockError`) or lock timeout it is rolled back
+        and retried under jittered exponential backoff until it commits,
+        the attempt budget is spent, or the deadline passes — then
+        :class:`RetryExhaustedError` carries the last underlying error.
+        Other exceptions abort the transaction and propagate unchanged.
+
+        *timeout* (seconds, default :attr:`default_timeout`) becomes an
+        absolute deadline bounding admission queueing, every lock wait,
+        and QUEL execution for this call.
+        """
+        span = self.default_timeout if timeout is None else timeout
+        deadline = None if span is None else self._clock() + span
+        budget = self.row_budget if row_budget is None else row_budget
+        self.mdm.admission.acquire(deadline)
+        try:
+            return self._run_with_retries(fn, deadline, budget)
+        finally:
+            self.mdm.admission.release()
+
+    # -- internals -------------------------------------------------------------
+
+    def _run_with_retries(self, fn, deadline, row_budget):
+        metrics = self.mdm.metrics
+        transactions = self.mdm.database.transactions
+        quel = self.mdm.session
+        last_error = None
+        for attempt in range(1, self.max_attempts + 1):
+            transactions.set_deadline(deadline)
+            quel.set_limits(deadline=deadline, row_budget=row_budget)
+            txn = None
+            try:
+                txn = self.mdm.begin()
+                result = fn(self.mdm)
+                txn.commit()
+                metrics.incr("commits")
+                return result
+            except (DeadlockError, LockTimeoutError) as error:
+                self._abort_quietly(txn)
+                last_error = error
+                remaining = (
+                    None if deadline is None else deadline - self._clock()
+                )
+                out_of_time = remaining is not None and remaining <= 0
+                if attempt >= self.max_attempts or out_of_time:
+                    metrics.incr("retry_exhausted")
+                    raise RetryExhaustedError(
+                        "session %r gave up after %d attempt%s (%s): %s"
+                        % (
+                            self.name, attempt, "" if attempt == 1 else "s",
+                            "deadline exceeded" if out_of_time
+                            else "retry budget spent",
+                            error,
+                        ),
+                        attempts=attempt,
+                        last_error=error,
+                    ) from error
+                metrics.incr("retries")
+                self._sleep(self._backoff_delay(attempt, remaining))
+            except QueryTimeoutError:
+                self._abort_quietly(txn)
+                metrics.incr("query_timeouts")
+                raise
+            except ResourceLimitError:
+                self._abort_quietly(txn)
+                metrics.incr("resource_limited")
+                raise
+            except BaseException:
+                self._abort_quietly(txn)
+                raise
+            finally:
+                transactions.clear_deadline()
+                quel.clear_limits()
+        raise AssertionError("unreachable: retry loop must return or raise")
+
+    def _backoff_delay(self, attempt, remaining):
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        delay *= 0.5 + self._rng.random()
+        if remaining is not None:
+            delay = min(delay, max(0.0, remaining))
+        return delay
+
+    def _abort_quietly(self, txn):
+        """Abort *txn* without masking the in-flight exception.
+
+        A failing abort (e.g. the WAL's ABORT record hitting a dead
+        disk) must not replace the error being handled; the lock table
+        is cleaned up regardless so no other session starves.
+        """
+        from repro.storage.transaction import TransactionState
+
+        if txn is None or txn.state is not TransactionState.ACTIVE:
+            return  # begin() itself failed, or already rolled back
+        try:
+            txn.abort()
+        except (MDMError, OSError):
+            self.mdm.database.transactions.abandon(txn)

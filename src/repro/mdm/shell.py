@@ -10,6 +10,7 @@ the buffer.  Backslash commands inspect the schema:
     \\d              list entity types, relationships, orderings
     \\d NAME         describe one entity type
     \\stats          schema statistics
+    \\health         robustness counters and degraded-mode status
     \\plan           show the last query plan
     \\checks         run every ordering invariant check
     \\q              quit
@@ -97,6 +98,8 @@ class MdmShell:
         if command == "\\stats":
             stats = self.mdm.statistics()
             return "\n".join("%-24s %s" % (k, v) for k, v in sorted(stats.items()))
+        if command == "\\health":
+            return self._health()
         if command == "\\plan":
             plan = self.mdm.session.last_plan
             return plan if plan else "(no query yet)"
@@ -106,7 +109,25 @@ class MdmShell:
             except MDMError as error:
                 return "INVARIANT VIOLATION: %s" % error
             return "all ordering invariants hold"
-        return "unknown command %s (try \\d, \\stats, \\plan, \\checks, \\q)" % command
+        return (
+            "unknown command %s (try \\d, \\stats, \\health, \\plan, \\checks, \\q)"
+            % command
+        )
+
+    def _health(self):
+        """The serving-health report: robustness counters + mode."""
+        stats = self.mdm.statistics()
+        mode = "normal"
+        if stats.get("degraded"):
+            mode = "DEGRADED (read-only): %s" % self.mdm.database.degraded_reason
+        lines = ["mode                     %s" % mode]
+        for key in (
+            "admitted", "commits", "retries", "retry_exhausted",
+            "overload_shed", "deadlock_aborts", "lock_waits",
+            "lock_timeouts", "query_timeouts", "resource_limited",
+        ):
+            lines.append("%-24s %s" % (key, stats.get(key, 0)))
+        return "\n".join(lines)
 
     def _list_schema(self):
         schema = self.mdm.schema

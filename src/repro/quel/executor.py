@@ -4,14 +4,65 @@ A :class:`QuelSession` holds range-variable declarations and executes
 statements.  Retrieves run a backtracking join over the referenced
 range variables; the entity operators ``is``, ``before``, ``after`` and
 ``under`` evaluate per the section 5.6 semantics.
+
+Statements run under table locks: every range variable's table is
+read-locked (shared) and a mutation's target table write-locked
+(exclusive) before rows are touched, so concurrent writers cannot
+produce torn reads.  Inside a transaction the locks join the
+transaction (strict 2PL); outside one they are statement-scoped — an
+ephemeral lock owner is allocated and released when the statement ends,
+on success *and* on error.
+
+Execution is also bounded: a thread-local :class:`ExecutionLimits`
+(installed by the session layer, or directly via
+:meth:`QuelSession.set_limits`) threads a deadline and row budget into
+the binding-generation loop, which raises ``QueryTimeoutError`` /
+``ResourceLimitError`` instead of looping unboundedly.
 """
 
-from repro.errors import QueryError
+import threading
+import time
+
+from repro.errors import QueryError, QueryTimeoutError, ResourceLimitError
 from repro.core.entity import EntityInstance
 from repro.quel import ast
 from repro.quel.functions import FunctionRegistry
 from repro.quel.parser import parse_quel
 from repro.quel import planner
+
+
+class ExecutionLimits:
+    """A deadline and row budget bounding one thread's query execution.
+
+    *deadline* is absolute ``time.monotonic``; *row_budget* caps the
+    number of candidate rows the join loop may visit.  ``tick`` is
+    called once per candidate visit and checks the deadline every 64
+    visits (a monotonic read per row would dominate small queries).
+    """
+
+    __slots__ = ("deadline", "row_budget", "visits")
+
+    def __init__(self, deadline=None, row_budget=None):
+        self.deadline = deadline
+        self.row_budget = row_budget
+        self.visits = 0
+
+    def check_deadline(self):
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise QueryTimeoutError(
+                "query exceeded its deadline after %d candidate rows"
+                % self.visits
+            )
+
+    def tick(self):
+        self.visits += 1
+        if self.row_budget is not None and self.visits > self.row_budget:
+            raise ResourceLimitError(
+                "query exceeded its row budget of %d candidate rows"
+                % self.row_budget
+            )
+        if (self.visits & 63) == 0:
+            self.check_deadline()
 
 
 class _EntityRange:
@@ -23,6 +74,10 @@ class _EntityRange:
     @property
     def type_name(self):
         return self.entity_type.name
+
+    @property
+    def table_name(self):
+        return self.entity_type.table.name
 
     def candidates(self, restrictions):
         """Instances satisfying *restrictions*, plus the access path used.
@@ -88,6 +143,10 @@ class _RelationshipRange:
     def type_name(self):
         return self.relationship.name
 
+    @property
+    def table_name(self):
+        return self.relationship.table.name
+
     def candidates(self, restrictions):
         """Rows satisfying *restrictions*, plus the access path used.
 
@@ -144,6 +203,20 @@ class QuelSession:
         self.functions = FunctionRegistry()
         self.last_plan = None
         self.use_indexes = use_indexes
+        self._limits_local = threading.local()
+
+    # -- execution limits --------------------------------------------------------
+
+    def set_limits(self, deadline=None, row_budget=None):
+        """Install a deadline/row budget for this thread's statements."""
+        self._limits_local.limits = ExecutionLimits(deadline, row_budget)
+
+    def clear_limits(self):
+        self._limits_local.limits = None
+
+    @property
+    def limits(self):
+        return getattr(self._limits_local, "limits", None)
 
     # -- public API ------------------------------------------------------------
 
@@ -162,14 +235,50 @@ class QuelSession:
         if isinstance(statement, ast.RangeStatement):
             return self._declare_range(statement)
         if isinstance(statement, ast.RetrieveStatement):
-            return self._retrieve(statement)
+            return self._with_statement_locks(self._retrieve, statement)
         if isinstance(statement, ast.AppendStatement):
-            return self._append(statement)
+            return self._with_statement_locks(
+                self._append, statement,
+                write_target=lambda: self.schema.entity_type(
+                    statement.entity_type
+                ).table.name,
+            )
         if isinstance(statement, ast.ReplaceStatement):
-            return self._replace(statement)
+            return self._with_statement_locks(
+                self._replace, statement,
+                write_target=lambda: self._variable_table(statement.variable),
+            )
         if isinstance(statement, ast.DeleteStatement):
-            return self._delete(statement)
+            return self._with_statement_locks(
+                self._delete, statement,
+                write_target=lambda: self._variable_table(statement.variable),
+            )
         raise QueryError("unsupported statement %r" % (statement,))
+
+    def _variable_table(self, variable):
+        return self._range_for(variable).table_name
+
+    def _with_statement_locks(self, method, statement, write_target=None):
+        """Run *method(statement)* under statement-scoped lock ownership.
+
+        Pre-acquires the exclusive lock on a mutation's target table;
+        range-variable tables are share-locked as :meth:`_bindings_for`
+        resolves them.  Ephemeral (no-transaction) owners release their
+        locks when the statement ends, success or error; transactional
+        owners keep theirs until commit/abort (strict 2PL).
+        """
+        transactions = self.schema.database.transactions
+        owner, ephemeral = transactions.begin_statement()
+        try:
+            limits = self.limits
+            if limits is not None:
+                limits.check_deadline()
+            if write_target is not None:
+                self.schema.database.write_table(write_target())
+            return method(statement)
+        finally:
+            if ephemeral:
+                transactions.end_statement(owner)
 
     def register_function(self, name, function, aggregate=False):
         if aggregate:
@@ -387,11 +496,18 @@ class QuelSession:
 
     def _bindings_for(self, used_variables, qualification):
         """Yield binding dicts satisfying *qualification*."""
+        limits = self.limits
+        if limits is not None:
+            limits.check_deadline()
         conjuncts = planner.split_conjuncts(qualification)
         candidates = {}
         accesses = {}
+        read_tables = self.schema.database.read_table
         for variable in used_variables:
             range_decl = self._range_for(variable)
+            # Shared lock before the scan: concurrent writers cannot
+            # produce torn reads of this table mid-statement.
+            read_tables(range_decl.table_name)
             restrictions = []
             if self.use_indexes:
                 for conjunct in conjuncts:
@@ -426,6 +542,8 @@ class QuelSession:
                 and planner.variables_in(conjunct) <= bound_now
             ]
             for candidate in candidates[variable]:
+                if limits is not None:
+                    limits.tick()
                 bindings[variable] = candidate
                 if all(self._truth(check, bindings) for check in checks):
                     yield from join(index + 1, bindings)

@@ -14,10 +14,13 @@ go through write-to-temp + fsync + ``os.replace`` for the same reason.
 """
 
 import json
+import logging
 import os
 import struct
 
-from repro.errors import RecoveryError, StorageError
+from repro.errors import ReadOnlyError, RecoveryError, StorageError
+
+logger = logging.getLogger(__name__)
 from repro.storage import wal as wal_module
 from repro.storage.faults import fsync_file
 from repro.storage.pager import Pager
@@ -47,6 +50,7 @@ class Database:
         self._opener = opener if opener is not None else open
         self._tables = {}
         self._log = None
+        self._degraded_reason = None
         if path is not None:
             os.makedirs(path, exist_ok=True)
             self._log = wal_module.WriteAheadLog(
@@ -63,7 +67,9 @@ class Database:
         if name in self._tables:
             raise StorageError("table %r already exists" % name)
         schema = TableSchema(name, [Column(n, d) for n, d in columns])
-        table = Table(schema, journal=self._journal_for(name))
+        table = Table(
+            schema, journal=self._journal_for(name), guard=self._guard_for(name)
+        )
         self._tables[name] = table
         self._persist_catalog()
         return table
@@ -126,6 +132,51 @@ class Database:
             self.transactions.journal(action, name, new_row, old_row)
         return journal
 
+    def _guard_for(self, table_name):
+        """Pre-mutation hook: runs BEFORE a row changes, so a refusal
+        (degraded mode) or a wait-die abort leaves the table untouched
+        and a retrying session never double-applies."""
+        def guard():
+            self.assert_writable()
+            self.transactions.lock_for_write(table_name)
+        return guard
+
+    # -- degraded mode ---------------------------------------------------------------
+
+    @property
+    def degraded(self):
+        """True once a storage I/O failure flipped the database read-only."""
+        return self._degraded_reason is not None
+
+    @property
+    def degraded_reason(self):
+        return self._degraded_reason
+
+    def enter_degraded(self, reason):
+        """Flip to read-only degraded mode (first reason wins).
+
+        Reads keep serving from the consistent in-memory state; writes
+        fail fast with :class:`ReadOnlyError` instead of piling more
+        work onto a storage stack that just failed.
+        """
+        if self._degraded_reason is None:
+            self._degraded_reason = reason
+            logger.warning(
+                "database %s entering read-only degraded mode: %s",
+                self.path or "<memory>", reason,
+            )
+
+    def exit_degraded(self):
+        """Manually leave degraded mode (operator action after repair)."""
+        self._degraded_reason = None
+
+    def assert_writable(self):
+        if self._degraded_reason is not None:
+            raise ReadOnlyError(
+                "database is read-only (degraded after storage failure: %s)"
+                % (self._degraded_reason,)
+            )
+
     # -- transactions --------------------------------------------------------------
 
     def begin(self):
@@ -138,6 +189,7 @@ class Database:
         return self.table(name)
 
     def write_table(self, name):
+        self.assert_writable()
         self.transactions.lock_for_write(name)
         return self.table(name)
 
@@ -191,6 +243,7 @@ class Database:
         """Write a full image of every table and truncate the log."""
         if self.path is None:
             raise StorageError("in-memory database cannot checkpoint")
+        self.assert_writable()
         catalog = {
             name: [[c.name, c.domain.value] for c in table.schema.columns]
             for name, table in self._tables.items()

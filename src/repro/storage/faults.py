@@ -85,10 +85,18 @@ class FaultPlan:
         file whose path contains *path_fragment* that cover absolute
         *offset* come back with that byte XOR *mask* — media corruption
         on the read path, without touching the real file.
+    io_error_at_write / io_error_at_sync:
+        Unlike a crash, an **I/O failure** leaves the process alive: from
+        the Nth write (or fsync) on, every write-path operation raises
+        ``OSError`` while reads keep working — the disk-full /
+        remounted-read-only failure the degraded-mode service path
+        handles.  The error is persistent (real disks rarely heal
+        mid-run) until :meth:`heal_io` is called.
     """
 
     def __init__(self, seed=0, crash_at_sync=None, crash_at_write=None,
-                 torn="random", short_reads=None, bit_flips=()):
+                 torn="random", short_reads=None, bit_flips=(),
+                 io_error_at_write=None, io_error_at_sync=None):
         if torn not in ("random", "all", "none"):
             raise ValueError("torn must be 'random', 'all', or 'none'")
         self.seed = seed
@@ -98,10 +106,13 @@ class FaultPlan:
         self.torn = torn
         self.short_reads = dict(short_reads or {})
         self.bit_flips = list(bit_flips)
+        self.io_error_at_write = io_error_at_write
+        self.io_error_at_sync = io_error_at_sync
         self.sync_count = 0
         self.write_count = 0
         self.read_count = 0
         self.crashed = False
+        self.io_failing = False
         self._files = []
 
     # -- the injectable opener ------------------------------------------------
@@ -126,11 +137,29 @@ class FaultPlan:
         self.write_count += 1
         if self.crash_at_write is not None and self.write_count >= self.crash_at_write:
             self._crash()
+        if (
+            self.io_error_at_write is not None
+            and self.write_count >= self.io_error_at_write
+        ):
+            self.io_failing = True
+        if self.io_failing:
+            raise OSError("injected I/O error (write #%d)" % self.write_count)
 
     def _on_sync(self, faulty):
         self.sync_count += 1
         if self.crash_at_sync is not None and self.sync_count >= self.crash_at_sync:
             self._crash()
+        if (
+            self.io_error_at_sync is not None
+            and self.sync_count >= self.io_error_at_sync
+        ):
+            self.io_failing = True
+        if self.io_failing:
+            raise OSError("injected I/O error (fsync #%d)" % self.sync_count)
+
+    def heal_io(self):
+        """Clear a persistent injected I/O failure (disk repaired)."""
+        self.io_failing = False
 
     def _filter_read(self, faulty, start, data):
         self.read_count += 1

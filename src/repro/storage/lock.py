@@ -5,6 +5,12 @@ the MDM.  Locks are table-granularity shared/exclusive; a requester that
 is younger than every conflicting holder is aborted (dies), an older
 requester waits -- the classic wait-die policy, which guarantees freedom
 from deadlock without a waits-for graph.
+
+Waits are bounded by a deadline: callers may pass an absolute monotonic
+*deadline* per acquire (the session layer threads its per-call deadline
+through here), falling back to the manager's flat *timeout* otherwise.
+The manager also keeps robustness counters (grants, waits, wait-die
+aborts, timeouts) surfaced through ``MusicDataManager.statistics()``.
 """
 
 import enum
@@ -35,6 +41,17 @@ class LockManager:
         self._condition = threading.Condition(self._mutex)
         self._holders = {}  # resource -> {txn_id: LockMode}
         self.timeout = timeout
+        self._counters = {
+            "grants": 0,
+            "waits": 0,
+            "deadlock_aborts": 0,
+            "timeouts": 0,
+        }
+
+    def stats(self):
+        """A snapshot of the robustness counters."""
+        with self._mutex:
+            return dict(self._counters)
 
     def locks_held(self, txn_id):
         """Resources currently locked by *txn_id* (mode map)."""
@@ -45,13 +62,16 @@ class LockManager:
                     out[resource] = holders[txn_id]
             return out
 
-    def acquire(self, txn_id, resource, mode):
+    def acquire(self, txn_id, resource, mode, deadline=None):
         """Grant *mode* on *resource* to *txn_id*, blocking as needed.
 
         Lock upgrades (S -> X by the sole holder) are honoured.  Raises
         DeadlockError when wait-die dictates the requester must abort.
+        *deadline* is an absolute ``time.monotonic`` bound on the wait;
+        when None, the manager's flat *timeout* applies from the first
+        wait.
         """
-        deadline = None
+        waited = False
         with self._condition:
             while True:
                 holders = self._holders.setdefault(resource, {})
@@ -67,9 +87,11 @@ class LockManager:
                     conflict = bool(others)
                 if not conflict:
                     holders[txn_id] = mode
+                    self._counters["grants"] += 1
                     return
                 # Wait-die: lower txn_id = older = may wait; younger dies.
                 if any(other < txn_id for other in others):
+                    self._counters["deadlock_aborts"] += 1
                     raise DeadlockError(
                         "transaction %d aborted (wait-die) requesting %s on %r"
                         % (txn_id, mode.value, resource)
@@ -80,8 +102,12 @@ class LockManager:
                 now = time.monotonic()
                 if deadline is None:
                     deadline = now + self.timeout
+                if not waited:
+                    waited = True
+                    self._counters["waits"] += 1
                 remaining = deadline - now
                 if remaining <= 0 or not self._condition.wait(timeout=remaining):
+                    self._counters["timeouts"] += 1
                     raise LockTimeoutError(
                         "transaction %d timed out waiting for %s on %r"
                         % (txn_id, mode.value, resource)

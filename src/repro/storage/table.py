@@ -79,13 +79,17 @@ class Table:
     the transaction layer turns into WAL entries and undo actions.
     """
 
-    def __init__(self, schema, journal=None):
+    def __init__(self, schema, journal=None, guard=None):
         self.schema = schema
         self.name = schema.name
         self._rows = {}
         self._next_rowid = itertools.count(1)
         self._indexes = {}
         self._journal = journal
+        # Pre-mutation hook (lock acquisition, read-only refusal): runs
+        # before any row or index changes, so its exceptions leave the
+        # table exactly as it was.
+        self._guard = guard
         # Bumped on EVERY row mutation, including the non-journalled
         # recovery/undo paths, so derived caches can detect staleness.
         self.version = 0
@@ -163,6 +167,8 @@ class Table:
 
     def insert(self, values, rowid=None):
         """Insert a row; returns the new Row."""
+        if self._guard is not None:
+            self._guard()
         coerced = self.schema.coerce(values)
         if rowid is None:
             rowid = next(self._next_rowid)
@@ -184,6 +190,8 @@ class Table:
 
     def update(self, rowid, updates):
         """Apply *updates* to the row with *rowid*; returns the new Row."""
+        if self._guard is not None:
+            self._guard()
         old = self.require(rowid)
         coerced = {}
         for column, value in updates.items():
@@ -203,6 +211,8 @@ class Table:
 
     def delete(self, rowid):
         """Delete the row with *rowid*; returns the deleted Row."""
+        if self._guard is not None:
+            self._guard()
         old = self.require(rowid)
         del self._rows[rowid]
         for (column, _), index in self._indexes.items():

@@ -4,6 +4,22 @@ A transaction accumulates a journal of row-level changes.  Commit writes
 them to the WAL (flushed before acknowledging) and releases locks; abort
 undoes them in reverse order against the in-memory tables.  Operations
 outside any transaction run in auto-commit mode.
+
+Two thread-local pieces of context support the session/service layer:
+
+* a **deadline** (absolute ``time.monotonic``) threaded into every lock
+  acquisition, so a 100 ms call budget bounds lock waits to 100 ms
+  instead of the manager's flat default;
+* a **statement owner**: a lock-table identity for a single statement
+  running outside any transaction (the QUEL executor's auto-commit
+  path), so even lone statements read and write under real S/X locks
+  and release them when the statement ends.
+
+A storage I/O failure (``OSError``) while publishing to the WAL flips
+the database into read-only degraded mode (see
+:meth:`repro.storage.database.Database.enter_degraded`): the in-memory
+state stays consistent (the failed transaction is rolled back), reads
+keep serving, and further writes fail fast with ``ReadOnlyError``.
 """
 
 import enum
@@ -93,9 +109,67 @@ class TransactionManager:
         with self._mutex:
             txn = Transaction(next(self._ids), self)
         self._local.txn = txn
-        if self._log is not None:
-            self._log.append(txn.txn_id, wal_module.BEGIN)
+        # A degraded database still serves read-only transactions, so
+        # no WAL record is attempted (it would hit the dead disk).
+        if self._log is not None and not self._database.degraded:
+            try:
+                self._log.append(txn.txn_id, wal_module.BEGIN)
+            except BaseException as exc:
+                # Detach the half-born transaction so the thread is not
+                # stuck with an unusable "active" transaction.
+                txn.state = TransactionState.ABORTED
+                self._local.txn = None
+                if isinstance(exc, OSError):
+                    self._database.enter_degraded(exc)
+                raise
         return txn
+
+    # -- deadline propagation -----------------------------------------------------
+
+    def set_deadline(self, deadline):
+        """Bound this thread's lock waits by absolute monotonic *deadline*."""
+        self._local.deadline = deadline
+
+    def clear_deadline(self):
+        self._local.deadline = None
+
+    def current_deadline(self):
+        return getattr(self._local, "deadline", None)
+
+    # -- statement-scoped lock owners ----------------------------------------------
+
+    def begin_statement(self):
+        """Return ``(owner_id, ephemeral)`` for statement-scoped locking.
+
+        Inside a transaction the transaction is the owner and holds its
+        locks until commit/abort (strict 2PL).  Outside one, a fresh id
+        is allocated for the statement; the caller must pass it to
+        :meth:`end_statement` when the statement finishes (success *or*
+        error), releasing its locks.
+        """
+        txn = self.current()
+        if txn is not None:
+            return txn.txn_id, False
+        existing = getattr(self._local, "statement_owner", None)
+        if existing is not None:
+            return existing, False  # nested statement joins the outer scope
+        with self._mutex:
+            owner = next(self._ids)
+        self._local.statement_owner = owner
+        return owner, True
+
+    def end_statement(self, owner):
+        """Release an ephemeral statement owner's locks."""
+        if getattr(self._local, "statement_owner", None) == owner:
+            self._local.statement_owner = None
+        self._locks.release_all(owner)
+
+    def _lock_owner(self):
+        """The lock-table identity for this thread, or None (unlocked)."""
+        txn = self.current()
+        if txn is not None:
+            return txn.txn_id
+        return getattr(self._local, "statement_owner", None)
 
     def journal(self, action, table_name, new_row, old_row):
         """Table mutation hook: route to the active txn or auto-commit."""
@@ -108,30 +182,53 @@ class TransactionManager:
             txn_id = next(self._ids)
         if self._log is not None:
             orders = self._database.column_orders()
-            self._log.append(txn_id, wal_module.BEGIN)
-            self._log.append(
-                txn_id,
-                _ACTION_TO_KIND[action],
-                table=table_name,
-                row=new_row,
-                old_row=old_row,
-                column_orders=orders,
-            )
-            self._log.append(txn_id, wal_module.COMMIT, flush=True)
+            try:
+                self._log.append(txn_id, wal_module.BEGIN)
+                self._log.append(
+                    txn_id,
+                    _ACTION_TO_KIND[action],
+                    table=table_name,
+                    row=new_row,
+                    old_row=old_row,
+                    column_orders=orders,
+                )
+                self._log.append(txn_id, wal_module.COMMIT, flush=True)
+            except OSError as exc:
+                # The change is not durable and the process lives on:
+                # roll the table back so memory matches "not committed",
+                # and degrade to read-only.  (A SimulatedCrash stays
+                # hands-off -- the process is modelled as dead and the
+                # crash oracle inspects the torn state as-is.)
+                self._undo_change(action, table_name, new_row, old_row)
+                self._database.enter_degraded(exc)
+                raise
 
     # -- locking helpers used by the Database facade ----------------------------
 
     def lock_for_read(self, table_name):
-        txn = self.current()
-        if txn is not None:
-            self._locks.acquire(txn.txn_id, table_name, LockMode.SHARED)
+        owner = self._lock_owner()
+        if owner is not None:
+            self._locks.acquire(
+                owner, table_name, LockMode.SHARED,
+                deadline=self.current_deadline(),
+            )
 
     def lock_for_write(self, table_name):
-        txn = self.current()
-        if txn is not None:
-            self._locks.acquire(txn.txn_id, table_name, LockMode.EXCLUSIVE)
+        owner = self._lock_owner()
+        if owner is not None:
+            self._locks.acquire(
+                owner, table_name, LockMode.EXCLUSIVE,
+                deadline=self.current_deadline(),
+            )
 
     # -- commit / abort -----------------------------------------------------------
+
+    def abandon(self, txn):
+        """Last-resort cleanup when abort itself failed: mark *txn*
+        aborted, release its locks, and detach it from the thread so the
+        session can begin a fresh transaction."""
+        if txn.state is TransactionState.ACTIVE:
+            self._finish(txn, TransactionState.ABORTED)
 
     def _finish(self, txn, state):
         txn.state = state
@@ -139,24 +236,36 @@ class TransactionManager:
         if self.current() is txn:
             self._local.txn = None
 
+    def _undo_change(self, action, table_name, new_row, old_row):
+        """Reverse one journalled change against the in-memory table."""
+        table = self._database.table(table_name)
+        if action == "insert":
+            table.remove_row(new_row.rowid)
+        elif action == "update":
+            table.remove_row(new_row.rowid)
+            table.load_row(old_row)
+        elif action == "delete":
+            table.load_row(old_row)
+
     def _undo(self, txn):
         """Reverse *txn*'s in-memory changes, without journalling the undos."""
         for action, table_name, new_row, old_row in reversed(txn.changes):
-            table = self._database.table(table_name)
-            if action == "insert":
-                table.remove_row(new_row.rowid)
-            elif action == "update":
-                table.remove_row(new_row.rowid)
-                table.load_row(old_row)
-            elif action == "delete":
-                table.load_row(old_row)
+            self._undo_change(action, table_name, new_row, old_row)
 
     def _commit(self, txn):
         if txn.state is not TransactionState.ACTIVE:
             raise TransactionError("cannot commit a %s transaction" % txn.state.value)
-        if self._log is not None:
+        # A read-only transaction commits fine on a degraded database --
+        # its COMMIT record would be advisory and the disk is dead, so
+        # skip the WAL.  One *with* changes cannot be made durable.
+        write_log = self._log is not None and (
+            txn.changes or not self._database.degraded
+        )
+        if write_log:
             orders = self._database.column_orders()
             try:
+                if txn.changes:
+                    self._database.assert_writable()
                 for action, table_name, new_row, old_row in txn.changes:
                     self._log.append(
                         txn.txn_id,
@@ -167,13 +276,15 @@ class TransactionManager:
                         column_orders=orders,
                     )
                 self._log.append(txn.txn_id, wal_module.COMMIT, flush=True)
-            except BaseException:
+            except BaseException as exc:
                 # The COMMIT record never reached stable storage: the
                 # transaction did not happen.  Roll the in-memory tables
                 # back and release locks so a surviving process is not
                 # left holding them, then let the I/O error propagate.
                 self._undo(txn)
                 self._finish(txn, TransactionState.ABORTED)
+                if isinstance(exc, OSError):
+                    self._database.enter_degraded(exc)
                 raise
         self._finish(txn, TransactionState.COMMITTED)
 
@@ -182,8 +293,14 @@ class TransactionManager:
             raise TransactionError("cannot abort a %s transaction" % txn.state.value)
         self._undo(txn)
         try:
-            if self._log is not None:
-                self._log.append(txn.txn_id, wal_module.ABORT, flush=True)
+            if self._log is not None and not self._database.degraded:
+                try:
+                    self._log.append(txn.txn_id, wal_module.ABORT, flush=True)
+                except OSError as exc:
+                    # The record is advisory (recovery ignores uncommitted
+                    # transactions either way); the abort itself succeeded,
+                    # so degrade rather than fail it.
+                    self._database.enter_degraded(exc)
         finally:
             # Locks are released even when the ABORT record cannot be
             # written; the record is advisory (recovery ignores

@@ -18,6 +18,7 @@ duplicate LSNs; see ``_scan``.
 import logging
 import os
 import struct
+import threading
 import zlib
 
 from repro.errors import RecoveryError
@@ -109,6 +110,10 @@ class WriteAheadLog:
     def __init__(self, path, opener=None):
         self.path = path
         self._opener = opener if opener is not None else open
+        # Serializes appends/flushes from concurrent sessions: frames
+        # from different transactions may interleave (records carry the
+        # txn id), but each seek+write pair must be atomic or frames tear.
+        self._mutex = threading.RLock()
         self._file = self._opener(path, "ab+")
         entries, valid_end, corruption = self._scan()
         max_lsn = 0
@@ -139,18 +144,20 @@ class WriteAheadLog:
     def append(self, txn_id, kind, table=None, row=None, old_row=None,
                column_orders=None, flush=False):
         """Append a record; returns its LogRecord."""
-        record = LogRecord(self._next_lsn, txn_id, kind, table, row, old_row)
-        self._next_lsn += 1
-        payload = _encode_record(record, column_orders or {})
-        frame = _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
-        self._file.seek(0, os.SEEK_END)
-        self._file.write(frame + payload)
-        if flush:
-            self.flush()
-        return record
+        with self._mutex:
+            record = LogRecord(self._next_lsn, txn_id, kind, table, row, old_row)
+            self._next_lsn += 1
+            payload = _encode_record(record, column_orders or {})
+            frame = _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+            self._file.seek(0, os.SEEK_END)
+            self._file.write(frame + payload)
+            if flush:
+                self.flush()
+            return record
 
     def flush(self):
-        fsync_file(self._file)
+        with self._mutex:
+            fsync_file(self._file)
 
     # -- reading ---------------------------------------------------------------
 
@@ -229,9 +236,10 @@ class WriteAheadLog:
 
     def truncate(self):
         """Discard the log contents (after a checkpoint)."""
-        self._file.close()
-        self._file = self._opener(self.path, "wb+")
-        self._next_lsn = 1
+        with self._mutex:
+            self._file.close()
+            self._file = self._opener(self.path, "wb+")
+            self._next_lsn = 1
 
 
 def replay(log, column_orders, apply_change):

@@ -66,6 +66,25 @@ class TestCommands:
     def test_stats(self, shell):
         assert "entity_types" in shell.handle_line("\\stats")
 
+    def test_health_normal(self, shell):
+        out = shell.handle_line("\\health")
+        assert "mode" in out and "normal" in out
+        for counter in ("retries", "overload_shed", "deadlock_aborts",
+                        "lock_waits", "query_timeouts"):
+            assert counter in out
+
+    def test_health_degraded(self, shell):
+        shell.mdm.database.enter_degraded(OSError("disk gone"))
+        out = shell.handle_line("\\health")
+        assert "DEGRADED (read-only)" in out
+        assert "disk gone" in out
+        shell.mdm.database.exit_degraded()
+
+    def test_health_counts_session_commits(self, shell):
+        session = shell.mdm.connect("probe", seed=0)
+        session.run(lambda m: None)
+        assert "commits                  1" in shell.handle_line("\\health")
+
     def test_plan_after_query(self, shell):
         assert shell.handle_line("\\plan") == "(no query yet)"
         run(shell, "retrieve (total = count(NOTE.degree))")

@@ -1,0 +1,102 @@
+"""QUEL statements run under real table locks (strict 2PL).
+
+``retrieve`` takes SHARED locks on every table it scans;
+``append``/``replace``/``delete`` take EXCLUSIVE locks on their target.
+Inside a transaction the locks belong to the transaction and persist to
+commit/abort; outside one, each statement gets an ephemeral owner whose
+locks are released when the statement finishes — on success *and* on
+error.
+"""
+
+import pytest
+
+from repro.errors import MDMError
+from repro.mdm.manager import MusicDataManager
+from repro.storage.lock import LockMode
+
+NOTE_TABLE = "entity:NOTE"
+
+
+@pytest.fixture
+def mdm():
+    manager = MusicDataManager(with_cmn=False)
+    schema = manager.schema
+    schema.define_entity("NOTE", [("name", "integer"), ("pitch", "integer")])
+    entity_type = schema.entity_type("NOTE")
+    for i in range(1, 4):
+        entity_type.create(name=i, pitch=60 + i)
+    yield manager
+    manager.close()
+
+
+def lock_table(mdm):
+    return mdm.database.transactions.lock_manager
+
+
+class TestTransactionScopedLocks:
+    def test_retrieve_holds_shared_until_commit(self, mdm):
+        with mdm.begin() as txn:
+            mdm.retrieve("range of n is NOTE\nretrieve (n.name)")
+            held = lock_table(mdm).locks_held(txn.txn_id)
+            assert held[NOTE_TABLE] is LockMode.SHARED
+        assert lock_table(mdm).locks_held(txn.txn_id) == {}
+
+    def test_append_holds_exclusive_until_commit(self, mdm):
+        with mdm.begin() as txn:
+            mdm.execute("append to NOTE (name = 9, pitch = 99)")
+            held = lock_table(mdm).locks_held(txn.txn_id)
+            assert held[NOTE_TABLE] is LockMode.EXCLUSIVE
+        assert lock_table(mdm).locks_held(txn.txn_id) == {}
+
+    def test_replace_and_delete_hold_exclusive(self, mdm):
+        with mdm.begin() as txn:
+            mdm.execute(
+                "range of n is NOTE\nreplace n (pitch = 0) where n.name = 2"
+            )
+            assert lock_table(mdm).locks_held(txn.txn_id)[NOTE_TABLE] is (
+                LockMode.EXCLUSIVE
+            )
+        with mdm.begin() as txn:
+            mdm.execute("range of n is NOTE\ndelete n where n.name = 3")
+            assert lock_table(mdm).locks_held(txn.txn_id)[NOTE_TABLE] is (
+                LockMode.EXCLUSIVE
+            )
+
+    def test_abort_releases_locks(self, mdm):
+        txn = mdm.begin()
+        mdm.execute("append to NOTE (name = 9, pitch = 99)")
+        txn.abort()
+        assert lock_table(mdm).locks_held(txn.txn_id) == {}
+        assert mdm.database.table(NOTE_TABLE).select_eq("name", 9) == []
+
+
+class TestStatementScopedLocks:
+    def _assert_unlocked(self, mdm):
+        """The table is free: a brand-new owner can take it exclusively."""
+        locks = lock_table(mdm)
+        probe = 10**9
+        locks.acquire(probe, NOTE_TABLE, LockMode.EXCLUSIVE)
+        locks.release_all(probe)
+
+    def test_autocommit_retrieve_releases_on_success(self, mdm):
+        rows = mdm.retrieve("range of n is NOTE\nretrieve (n.name)")
+        assert len(rows) == 3
+        self._assert_unlocked(mdm)
+
+    def test_autocommit_mutation_releases_on_success(self, mdm):
+        mdm.execute("append to NOTE (name = 9, pitch = 99)")
+        self._assert_unlocked(mdm)
+
+    def test_statement_error_releases_locks(self, mdm):
+        # The scan lock is taken before evaluation, then the projection
+        # hits an unknown attribute; the error path must still release.
+        with pytest.raises(MDMError):
+            mdm.retrieve("range of n is NOTE\nretrieve (n.no_such_attr)")
+        self._assert_unlocked(mdm)
+
+    def test_mutation_error_releases_locks(self, mdm):
+        with pytest.raises(MDMError):
+            mdm.execute(
+                "range of n is NOTE\nreplace n (no_such_attr = 1)"
+            )
+        self._assert_unlocked(mdm)

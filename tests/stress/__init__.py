@@ -1,0 +1,1 @@
+"""Deterministic seeded concurrency stress oracle for the MDM service layer."""

@@ -1,0 +1,198 @@
+"""Deterministic schedules for each service-layer failure mode.
+
+Each test forces one specific path — retry-then-success, retry
+exhaustion, deadline-bounded lock waits, admission shedding, query
+deadlines/budgets, and degraded-mode reads — using direct lock-manager
+owners and the fault-injection layer, so the outcome does not depend
+on thread timing.
+
+Wait-die refresher for the direct owners used here: the lock manager
+compares owner ids as ages (lower = older).  Owner ``0`` is older than
+every session transaction, so a session colliding with it *dies*
+immediately (retryable).  Owner ``10**9`` is younger than every
+session, so a session colliding with it *waits* — bounded only by its
+propagated deadline.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    OverloadError,
+    QueryTimeoutError,
+    ReadOnlyError,
+    ResourceLimitError,
+    RetryExhaustedError,
+)
+from repro.storage.faults import FaultPlan
+from repro.storage.lock import LockMode
+from tests.stress.harness import NOTE_TABLE, build_mdm
+
+pytestmark = pytest.mark.stress
+
+OLDER_THAN_ANY_SESSION = 0
+YOUNGER_THAN_ANY_SESSION = 10**9
+
+
+def _create_note(name, pitch=60):
+    return lambda m: m.schema.entity_type("NOTE").create(name=name, pitch=pitch)
+
+
+def test_retry_succeeds_after_conflict_clears():
+    """Wait-die aborts are retried under backoff until the lock frees."""
+    mdm = build_mdm()
+    locks = mdm.database.transactions.lock_manager
+    locks.acquire(OLDER_THAN_ANY_SESSION, NOTE_TABLE, LockMode.EXCLUSIVE)
+    session = mdm.connect(
+        "editor", seed=1, max_attempts=100,
+        backoff_base=0.002, backoff_cap=0.01, default_timeout=5.0,
+    )
+    releaser = threading.Timer(
+        0.05, lambda: locks.release_all(OLDER_THAN_ANY_SESSION)
+    )
+    releaser.start()
+    try:
+        note = session.run(_create_note(7))
+    finally:
+        releaser.join()
+    assert note.exists()
+    stats = mdm.statistics()
+    assert stats["retries"] > 0  # the first attempt provably died
+    assert stats["deadlock_aborts"] > 0
+    assert stats["commits"] == 1
+    rows = mdm.database.table(NOTE_TABLE).select_eq("name", 7)
+    assert len(rows) == 1  # retried, not double-applied
+
+
+def test_retry_exhausted_leaves_no_effects():
+    mdm = build_mdm()
+    locks = mdm.database.transactions.lock_manager
+    locks.acquire(OLDER_THAN_ANY_SESSION, NOTE_TABLE, LockMode.EXCLUSIVE)
+    session = mdm.connect(
+        "editor", seed=2, max_attempts=3,
+        backoff_base=0.0001, backoff_cap=0.0005,
+    )
+    with pytest.raises(RetryExhaustedError) as excinfo:
+        session.run(_create_note(9))
+    assert excinfo.value.attempts == 3
+    assert isinstance(excinfo.value.last_error, DeadlockError)
+    assert mdm.database.table(NOTE_TABLE).select_eq("name", 9) == []
+    assert mdm.statistics()["retry_exhausted"] == 1
+    locks.release_all(OLDER_THAN_ANY_SESSION)
+
+
+def test_deadline_bounds_lock_wait_not_flat_timeout():
+    """Acceptance: a 100 ms deadline fails in ~100 ms, never the old 5 s."""
+    mdm = build_mdm()
+    locks = mdm.database.transactions.lock_manager
+    locks.acquire(YOUNGER_THAN_ANY_SESSION, NOTE_TABLE, LockMode.EXCLUSIVE)
+    session = mdm.connect("editor", seed=3, max_attempts=5)
+    start = time.monotonic()
+    with pytest.raises(RetryExhaustedError) as excinfo:
+        session.run(_create_note(11), timeout=0.1)
+    elapsed = time.monotonic() - start
+    assert elapsed < 0.2, "deadline not propagated: waited %.3fs" % elapsed
+    assert isinstance(excinfo.value.last_error, LockTimeoutError)
+    assert mdm.statistics()["lock_timeouts"] >= 1
+    locks.release_all(YOUNGER_THAN_ANY_SESSION)
+
+
+def test_admission_gate_sheds_overload():
+    mdm = build_mdm(max_concurrent=1, admission_queue_timeout=0.02)
+    occupant_inside = threading.Event()
+    release_occupant = threading.Event()
+    occupant = mdm.connect("occupant", seed=4)
+    visitor = mdm.connect("visitor", seed=5)
+    result = {}
+
+    def hold_the_slot(m):
+        occupant_inside.set()
+        release_occupant.wait(5.0)
+        return m.schema.entity_type("NOTE").create(name=21, pitch=64)
+
+    thread = threading.Thread(
+        target=lambda: result.setdefault("note", occupant.run(hold_the_slot))
+    )
+    thread.start()
+    assert occupant_inside.wait(5.0)
+    with pytest.raises(OverloadError):
+        visitor.run(lambda m: None)
+    release_occupant.set()
+    thread.join(5.0)
+    assert result["note"].exists()
+    stats = mdm.statistics()
+    assert stats["overload_shed"] == 1
+    assert stats["commits"] == 1
+    # The shed call never began a transaction; the occupant's work is
+    # exactly-once.
+    assert len(mdm.database.table(NOTE_TABLE).select_eq("name", 21)) == 1
+    assert mdm.admission.active == 0
+
+
+def test_query_deadline_and_row_budget():
+    mdm = build_mdm()
+    entity_type = mdm.schema.entity_type("NOTE")
+    for i in range(80):
+        entity_type.create(name=i, pitch=60)
+    session = mdm.connect("analyst", seed=6)
+
+    def slow_read(m):
+        time.sleep(0.03)  # burn the whole call budget before the scan
+        return m.retrieve("range of n is NOTE\nretrieve (n.name)")
+
+    with pytest.raises(QueryTimeoutError):
+        session.run(slow_read, timeout=0.02)
+    with pytest.raises(ResourceLimitError):
+        session.run(
+            lambda m: m.retrieve("range of n is NOTE\nretrieve (n.name)"),
+            row_budget=10,
+        )
+    stats = mdm.statistics()
+    assert stats["query_timeouts"] == 1
+    assert stats["resource_limited"] == 1
+    # Both aborted cleanly: a fresh unbounded read still works.
+    rows = session.run(
+        lambda m: m.retrieve("range of n is NOTE\nretrieve (n.name)")
+    )
+    assert len(rows) == 80
+
+
+def test_degraded_mode_serves_reads(tmp_path):
+    plan = FaultPlan()
+    mdm = build_mdm(path=str(tmp_path / "db"), opener=plan.opener)
+    session = mdm.connect("editor", seed=7)
+    session.run(_create_note(1, pitch=60))
+
+    plan.io_failing = True  # the disk dies, the process survives
+    with pytest.raises(OSError):
+        session.run(_create_note(2, pitch=61))
+    assert mdm.database.degraded
+    assert mdm.statistics()["degraded"] is True
+
+    # Writes now fail fast, before touching any table.
+    with pytest.raises(ReadOnlyError):
+        session.run(_create_note(3, pitch=62))
+
+    # Reads keep serving, and the failed writes left nothing behind.
+    rows = session.run(
+        lambda m: m.retrieve("range of n is NOTE\nretrieve (n.name, n.pitch)")
+    )
+    assert [(row["n.name"], row["n.pitch"]) for row in rows] == [(1, 60)]
+
+    # Disk repaired: heal the plan, leave degraded mode, write again.
+    plan.heal_io()
+    mdm.database.exit_degraded()
+    session.run(_create_note(4, pitch=63))
+    mdm.close()
+
+    # Recovery sees exactly the committed writes, none of the failed ones.
+    reopened = build_mdm(path=str(tmp_path / "db"))
+    names = sorted(
+        row["name"] for row in reopened.database.table(NOTE_TABLE)
+    )
+    assert names == [1, 4]
+    reopened.close()
