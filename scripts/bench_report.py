@@ -1,0 +1,244 @@
+#!/usr/bin/env python
+"""Benchmark report: measure QUEL and storage workloads, emit BENCH JSON.
+
+Runs a self-contained ``time.perf_counter`` harness (no pytest-benchmark
+dependency) over two workload suites and writes ``BENCH_quel.json`` and
+``BENCH_storage.json`` at the repository root.  Each file carries
+per-workload timing statistics plus the metrics-registry snapshot taken
+after the run, so a report shows both "how fast" and "how much work"
+(page I/O, WAL appends, lock waits, statements).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py           # full run
+    PYTHONPATH=src python scripts/bench_report.py --check   # CI smoke
+
+``--check`` runs every workload once with tiny parameters and validates
+the report shape without writing any file -- wired into
+``scripts/bench_smoke.sh`` so a broken workload fails CI fast.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core.schema import Schema
+from repro.obs.export import write_json
+from repro.quel.executor import QuelSession
+from repro.storage.database import Database
+from repro.storage.pager import Pager
+from repro.storage.wal import WriteAheadLog
+
+
+def _time_workload(fn, rounds):
+    """Run ``fn()`` *rounds* times; returns timing statistics (seconds)."""
+    samples = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    samples.sort()
+    total = sum(samples)
+    return {
+        "rounds": rounds,
+        "total_s": total,
+        "mean_s": total / rounds,
+        "min_s": samples[0],
+        "max_s": samples[-1],
+        "p50_s": samples[len(samples) // 2],
+    }
+
+
+# -- QUEL workloads -------------------------------------------------------------
+
+
+def _populated_schema(chords, notes_per_chord):
+    schema = Schema("bench")
+    schema.define_entity("CHORD", [("n", "integer")])
+    schema.define_entity(
+        "NOTE", [("n", "integer"), ("pitch", "integer"), ("label", "string")]
+    )
+    ordering = schema.define_ordering("o", ["NOTE"], under="CHORD")
+    for chord_index in range(chords):
+        chord = schema.entity_type("CHORD").create(n=chord_index)
+        for note_index in range(notes_per_chord):
+            note = schema.entity_type("NOTE").create(
+                n=chord_index * notes_per_chord + note_index,
+                pitch=40 + (chord_index + note_index) % 48,
+                label="n%d" % note_index,
+            )
+            ordering.append(chord, note)
+    return schema
+
+
+def quel_report(rounds, chords=40, notes_per_chord=10):
+    schema = _populated_schema(chords, notes_per_chord)
+    session = QuelSession(schema)
+    session.execute("range of n is NOTE")
+    session.execute("range of c is CHORD")
+    target = chords * notes_per_chord // 2
+    statements = {
+        "indexed_equality": "retrieve (n.pitch) where n.n = %d" % target,
+        "filtered_scan": "retrieve (n.n) where n.pitch > 80",
+        "two_variable_join": (
+            "range of a, b is NOTE\n"
+            "retrieve (a.n) where a.pitch = b.pitch + 1 and b.n = %d" % target
+        ),
+        "under_query": (
+            "retrieve (n.n) where n under c in o and c.n = %d sort by n.n"
+            % (chords // 2)
+        ),
+        "aggregate": "retrieve (total = count(n.n), top = max(n.pitch))",
+        "explain_analyze": "explain analyze retrieve (n.pitch) where n.n = %d"
+        % target,
+    }
+    workloads = {}
+    for name, source in sorted(statements.items()):
+        workloads[name] = _time_workload(lambda s=source: session.execute(s), rounds)
+    return {
+        "benchmark": "quel",
+        "dataset": {"chords": chords, "notes_per_chord": notes_per_chord},
+        "workloads": workloads,
+        "metrics": session.metrics.snapshot(),
+    }
+
+
+# -- storage workloads ----------------------------------------------------------
+
+
+def storage_report(rounds, row_count=200):
+    tempdir = tempfile.mkdtemp(prefix="bench_storage_")
+    try:
+        workloads = {}
+
+        # Table insert + indexed select through a durable database.
+        database = Database(os.path.join(tempdir, "db"))
+        table = database.create_table(
+            "items", [("k", "integer"), ("v", "string")]
+        )
+        table.create_index("k")
+        counter = [0]
+
+        def insert_rows():
+            base = counter[0]
+            counter[0] += row_count
+            for offset in range(row_count):
+                table.insert({"k": base + offset, "v": "value-%d" % offset})
+
+        workloads["table_insert"] = _time_workload(insert_rows, rounds)
+        workloads["table_select_eq"] = _time_workload(
+            lambda: table.select_eq("k", row_count // 2), rounds
+        )
+        workloads["checkpoint"] = _time_workload(database.checkpoint, rounds)
+        metrics_snapshot = database.metrics.snapshot()
+        database.close()
+
+        # Raw WAL append/fsync rates.
+        wal = WriteAheadLog(os.path.join(tempdir, "bench.wal"))
+
+        def wal_appends():
+            for offset in range(row_count):
+                wal.append(1, 1)
+            wal.flush()
+
+        workloads["wal_append_fsync"] = _time_workload(wal_appends, rounds)
+        wal.close()
+
+        # Pager stream write/read.
+        pager = Pager(os.path.join(tempdir, "bench.mdm"), capacity=8)
+        payload = b"x" * (64 * 1024)
+        heads = []
+
+        def stream_write():
+            heads.append(pager.write_stream(payload))
+            pager.flush()
+
+        workloads["pager_stream_write"] = _time_workload(stream_write, rounds)
+        workloads["pager_stream_read"] = _time_workload(
+            lambda: pager.read_stream(heads[0]), rounds
+        )
+        pager.close()
+
+        return {
+            "benchmark": "storage",
+            "dataset": {"row_count": row_count},
+            "workloads": workloads,
+            "metrics": metrics_snapshot,
+        }
+    finally:
+        shutil.rmtree(tempdir, ignore_errors=True)
+
+
+# -- report validation / entry point --------------------------------------------
+
+_STAT_KEYS = {"rounds", "total_s", "mean_s", "min_s", "max_s", "p50_s"}
+
+
+def validate_report(report):
+    """Raise ValueError unless *report* has the BENCH_*.json shape."""
+    for key in ("benchmark", "dataset", "workloads", "metrics"):
+        if key not in report:
+            raise ValueError("report missing %r" % key)
+    if not report["workloads"]:
+        raise ValueError("report has no workloads")
+    for name, stats in report["workloads"].items():
+        missing = _STAT_KEYS - set(stats)
+        if missing:
+            raise ValueError("workload %r missing %s" % (name, sorted(missing)))
+        if stats["rounds"] < 1 or stats["total_s"] < 0:
+            raise ValueError("workload %r has nonsense stats" % name)
+    json.dumps(report)  # must be serializable
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="tiny rounds, validate report shapes, write nothing",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=30,
+        help="timing rounds per workload (default 30)",
+    )
+    parser.add_argument(
+        "--out-dir", default=os.path.join(os.path.dirname(__file__), ".."),
+        help="directory for BENCH_*.json (default: repository root)",
+    )
+    args = parser.parse_args(argv)
+
+    rounds = 2 if args.check else args.rounds
+    quel = validate_report(
+        quel_report(rounds, chords=8 if args.check else 40,
+                    notes_per_chord=5 if args.check else 10)
+    )
+    storage = validate_report(
+        storage_report(rounds, row_count=20 if args.check else 200)
+    )
+    if args.check:
+        print("bench report check OK (%d quel workloads, %d storage workloads)"
+              % (len(quel["workloads"]), len(storage["workloads"])))
+        return 0
+    out_dir = os.path.abspath(args.out_dir)
+    quel_path = os.path.join(out_dir, "BENCH_quel.json")
+    storage_path = os.path.join(out_dir, "BENCH_storage.json")
+    write_json(quel_path, quel)
+    write_json(storage_path, storage)
+    for path, report in ((quel_path, quel), (storage_path, storage)):
+        print("wrote %s:" % os.path.relpath(path, out_dir))
+        for name, stats in sorted(report["workloads"].items()):
+            print("  %-24s mean %.6fs over %d rounds"
+                  % (name, stats["mean_s"], stats["rounds"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,14 @@
 #!/bin/sh
 # Fast benchmark smoke target: assert ordering mutations stay O(1) in
-# row writes (no per-sibling renumbering on front insert) and that the
-# order-key encoding keeps its >=10x lead over dense renumbering.
+# row writes (no per-sibling renumbering on front insert), that the
+# order-key encoding keeps its >=10x lead over dense renumbering, that
+# no-sink tracing overhead stays under its 3% budget, and that the
+# bench report harness still produces valid BENCH_*.json shapes.
 #
 # Runs in a few seconds; suitable for CI.  The full timing benches live
 # in benchmarks/ and are run separately with pytest-benchmark.
 set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH=src python -m pytest benchmarks -q -k ordering -m ordering_smoke "$@"
+PYTHONPATH=src python -m pytest benchmarks/test_bench_obs.py -q -m obs_smoke
+PYTHONPATH=src python scripts/bench_report.py --check

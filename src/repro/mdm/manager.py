@@ -43,7 +43,9 @@ class MusicDataManager:
         self._init_service(max_concurrent, admission_queue_timeout)
 
     def _init_service(self, max_concurrent, admission_queue_timeout):
-        self.metrics = ServiceMetrics()
+        # Service counters share the database's registry so one
+        # \metrics listing covers the whole stack.
+        self.metrics = ServiceMetrics(registry=self.database.metrics)
         self.admission = AdmissionGate(
             limit=max_concurrent,
             queue_timeout=admission_queue_timeout,

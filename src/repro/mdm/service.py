@@ -30,6 +30,8 @@ import random
 import threading
 import time
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import current_span, span
 from repro.errors import (
     DeadlockError,
     LockTimeoutError,
@@ -42,27 +44,39 @@ from repro.errors import (
 
 
 class ServiceMetrics:
-    """Thread-safe robustness counters for one MusicDataManager."""
+    """Thread-safe robustness counters for one MusicDataManager.
 
-    def __init__(self):
+    Backed by a :class:`~repro.obs.metrics.MetricsRegistry` (counter
+    names ``service.<name>``) so the shell's ``\\metrics`` command and
+    the bench report see the same numbers as ``statistics()``; the
+    ``incr``/``snapshot`` API and its short key names are unchanged.
+    """
+
+    _NAMES = (
+        "admitted", "commits", "retries", "retry_exhausted",
+        "overload_shed", "query_timeouts", "resource_limited",
+    )
+
+    def __init__(self, registry=None):
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._mutex = threading.Lock()
         self._counters = {
-            "admitted": 0,
-            "commits": 0,
-            "retries": 0,
-            "retry_exhausted": 0,
-            "overload_shed": 0,
-            "query_timeouts": 0,
-            "resource_limited": 0,
+            name: self.registry.counter("service." + name)
+            for name in self._NAMES
         }
 
     def incr(self, name, amount=1):
-        with self._mutex:
-            self._counters[name] = self._counters.get(name, 0) + amount
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._mutex:
+                counter = self._counters.get(name)
+                if counter is None:
+                    counter = self.registry.counter("service." + name)
+                    self._counters[name] = counter
+        counter.inc(amount)
 
     def snapshot(self):
-        with self._mutex:
-            return dict(self._counters)
+        return {name: counter.value for name, counter in self._counters.items()}
 
 
 class AdmissionGate:
@@ -169,14 +183,22 @@ class MdmSession:
         absolute deadline bounding admission queueing, every lock wait,
         and QUEL execution for this call.
         """
-        span = self.default_timeout if timeout is None else timeout
-        deadline = None if span is None else self._clock() + span
+        window = self.default_timeout if timeout is None else timeout
+        deadline = None if window is None else self._clock() + window
         budget = self.row_budget if row_budget is None else row_budget
-        self.mdm.admission.acquire(deadline)
+        run_span = span("mdm.run", session=self.name)
         try:
-            return self._run_with_retries(fn, deadline, budget)
+            try:
+                self.mdm.admission.acquire(deadline)
+            except OverloadError:
+                run_span.record("shed", True)
+                raise
+            try:
+                return self._run_with_retries(fn, deadline, budget)
+            finally:
+                self.mdm.admission.release()
         finally:
-            self.mdm.admission.release()
+            run_span.finish()
 
     # -- internals -------------------------------------------------------------
 
@@ -194,6 +216,7 @@ class MdmSession:
                 result = fn(self.mdm)
                 txn.commit()
                 metrics.incr("commits")
+                current_span().record("attempts", attempt)
                 return result
             except (DeadlockError, LockTimeoutError) as error:
                 self._abort_quietly(txn)
@@ -204,6 +227,9 @@ class MdmSession:
                 out_of_time = remaining is not None and remaining <= 0
                 if attempt >= self.max_attempts or out_of_time:
                     metrics.incr("retry_exhausted")
+                    current_span().record("attempts", attempt).record(
+                        "exhausted", True
+                    )
                     raise RetryExhaustedError(
                         "session %r gave up after %d attempt%s (%s): %s"
                         % (
@@ -216,14 +242,18 @@ class MdmSession:
                         last_error=error,
                     ) from error
                 metrics.incr("retries")
-                self._sleep(self._backoff_delay(attempt, remaining))
+                delay = self._backoff_delay(attempt, remaining)
+                current_span().add("backoff_s", delay)
+                self._sleep(delay)
             except QueryTimeoutError:
                 self._abort_quietly(txn)
                 metrics.incr("query_timeouts")
+                current_span().record("error", "QueryTimeoutError")
                 raise
             except ResourceLimitError:
                 self._abort_quietly(txn)
                 metrics.incr("resource_limited")
+                current_span().record("error", "ResourceLimitError")
                 raise
             except BaseException:
                 self._abort_quietly(txn)

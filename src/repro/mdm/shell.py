@@ -12,6 +12,8 @@ the buffer.  Backslash commands inspect the schema:
     \\stats          schema statistics
     \\health         robustness counters and degraded-mode status
     \\plan           show the last query plan
+    \\explain STMT   show the plan a QUEL statement would use
+    \\metrics        dump the metrics registry
     \\checks         run every ordering invariant check
     \\q              quit
 
@@ -19,7 +21,7 @@ The shell is a thin, fully testable layer: :meth:`MdmShell.handle_line`
 returns the text that would be printed.
 """
 
-from repro.errors import MDMError
+from repro.errors import MDMError, QueryTimeoutError, ResourceLimitError
 from repro.mdm.manager import MusicDataManager
 
 
@@ -75,6 +77,16 @@ class MdmShell:
             return ""
         try:
             result = self.mdm.execute(source)
+        except (QueryTimeoutError, ResourceLimitError) as error:
+            # Surface partial progress instead of swallowing it: the
+            # executor publishes how far the statement got before the
+            # deadline/budget cut it off.
+            visited = self.mdm.database.metrics.value(
+                "quel.last_partial_rows_visited"
+            )
+            return "error: %s\n(partial progress: %s candidate row%s visited)" % (
+                error, visited, "" if visited == 1 else "s"
+            )
         except MDMError as error:
             return "error: %s" % error
         if isinstance(result, list):
@@ -103,6 +115,17 @@ class MdmShell:
         if command == "\\plan":
             plan = self.mdm.session.last_plan
             return plan if plan else "(no query yet)"
+        if command == "\\explain":
+            if not arguments:
+                return "usage: \\explain <quel statement>"
+            statement = text.split(None, 1)[1]
+            try:
+                rows = self.mdm.execute("explain " + statement)
+            except MDMError as error:
+                return "error: %s" % error
+            return format_rows(rows)
+        if command == "\\metrics":
+            return self.mdm.database.metrics.render()
         if command == "\\checks":
             try:
                 self.mdm.check_invariants()
@@ -110,7 +133,8 @@ class MdmShell:
                 return "INVARIANT VIOLATION: %s" % error
             return "all ordering invariants hold"
         return (
-            "unknown command %s (try \\d, \\stats, \\health, \\plan, \\checks, \\q)"
+            "unknown command %s (try \\d, \\stats, \\health, \\plan, "
+            "\\explain, \\metrics, \\checks, \\q)"
             % command
         )
 

@@ -1,0 +1,42 @@
+"""Observability: tracing, metrics, and export.
+
+The MDM's measurement substrate.  Three zero-dependency pieces:
+
+* :mod:`repro.obs.trace` -- hierarchical spans with monotonic timings,
+  an injectable clock, ring-buffer retention, and a no-op fast path
+  that keeps instrumentation nearly free when no trace sink is
+  installed.
+* :mod:`repro.obs.metrics` -- a registry of named counters, gauges,
+  and fixed-bucket histograms, replacing ad-hoc statistics dicts.
+* :mod:`repro.obs.export` -- JSON serialization of both, for
+  ``BENCH_*.json`` files and external tooling.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    assert_no_open_spans,
+    current_span,
+    get_tracer,
+    install_tracer,
+    open_span_count,
+    span,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "assert_no_open_spans",
+    "current_span",
+    "get_tracer",
+    "install_tracer",
+    "open_span_count",
+    "span",
+    "uninstall_tracer",
+]

@@ -1,0 +1,60 @@
+"""JSON export of traces and metrics.
+
+Spans serialize to nested dicts (relative timings, attributes,
+children); registries serialize to their ``snapshot()``.  Both shapes
+are stable plain data, used by ``scripts/bench_report.py`` for the
+``BENCH_*.json`` files and available to external tooling.
+"""
+
+import json
+
+
+def span_to_dict(span):
+    """One span (and its subtree) as plain data.
+
+    Times are reported relative to the span's own start so exports are
+    comparable across runs regardless of the monotonic clock's origin.
+    """
+    duration = span.duration
+    return {
+        "name": span.name,
+        "duration_s": duration,
+        "attrs": dict(span.attrs),
+        "children": [
+            _child_to_dict(child, span.start) for child in span.children
+        ],
+    }
+
+
+def _child_to_dict(span, origin):
+    out = span_to_dict(span)
+    out["offset_s"] = None if span.start is None else span.start - origin
+    return out
+
+
+def tracer_to_dict(tracer):
+    """Every retained root span of *tracer*, oldest first."""
+    return {
+        "capacity": tracer.capacity,
+        "dropped": tracer.dropped,
+        "traces": [span_to_dict(root) for root in tracer.finished_roots()],
+    }
+
+
+def metrics_to_dict(registry):
+    return registry.snapshot()
+
+
+def traces_to_json(tracer, indent=2):
+    return json.dumps(tracer_to_dict(tracer), indent=indent, sort_keys=True)
+
+
+def metrics_to_json(registry, indent=2):
+    return json.dumps(metrics_to_dict(registry), indent=indent, sort_keys=True)
+
+
+def write_json(path, obj, indent=2):
+    """Write *obj* as JSON to *path* (small helper for scripts)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(obj, handle, indent=indent, sort_keys=True)
+        handle.write("\n")

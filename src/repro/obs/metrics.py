@@ -1,0 +1,223 @@
+"""A metrics registry: named counters, gauges, and histograms.
+
+Replaces the ad-hoc ``statistics()`` dict plumbing: every layer that
+wants a counter asks its registry once (``registry.counter("wal.appends")``)
+and increments the returned object directly, so the hot path is an
+attribute bump under one small lock, with no name lookups.
+
+Histograms use *fixed* bucket boundaries chosen at creation -- the
+Prometheus model -- so concurrent observers and exporters never see a
+half-resized layout.  The default boundaries suit sub-second latencies
+(lock waits, statement times).
+
+Instruments are created on first use and never removed; ``snapshot()``
+returns plain data (ints/floats/dicts) safe to serialize or diff.
+"""
+
+import threading
+
+#: Default latency boundaries, in seconds (upper-inclusive edges).
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_mutex")
+
+    def __init__(self, name):
+        self.name = name
+        self._value = 0
+        self._mutex = threading.Lock()
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError("counter %r cannot decrease" % self.name)
+        with self._mutex:
+            self._value += amount
+
+    @property
+    def value(self):
+        return self._value
+
+    def __repr__(self):
+        return "Counter(%r=%d)" % (self.name, self._value)
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("name", "_value", "_mutex")
+
+    def __init__(self, name):
+        self.name = name
+        self._value = 0
+        self._mutex = threading.Lock()
+
+    def set(self, value):
+        with self._mutex:
+            self._value = value
+
+    def inc(self, amount=1):
+        with self._mutex:
+            self._value += amount
+
+    def dec(self, amount=1):
+        with self._mutex:
+            self._value -= amount
+
+    @property
+    def value(self):
+        return self._value
+
+    def __repr__(self):
+        return "Gauge(%r=%r)" % (self.name, self._value)
+
+
+class Histogram:
+    """Observations bucketed by fixed upper boundaries.
+
+    ``counts[i]`` counts observations ``<= buckets[i]``; one implicit
+    overflow bucket counts the rest.  ``sum``/``count`` give the mean.
+    """
+
+    __slots__ = ("name", "buckets", "_counts", "_sum", "_count", "_mutex")
+
+    def __init__(self, name, buckets=DEFAULT_BUCKETS):
+        boundaries = tuple(buckets)
+        if not boundaries:
+            raise ValueError("histogram %r needs at least one bucket" % name)
+        if list(boundaries) != sorted(boundaries):
+            raise ValueError("histogram %r buckets must increase" % name)
+        self.name = name
+        self.buckets = boundaries
+        self._counts = [0] * (len(boundaries) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._mutex = threading.Lock()
+
+    def observe(self, value):
+        slot = len(self.buckets)
+        for index, boundary in enumerate(self.buckets):
+            if value <= boundary:
+                slot = index
+                break
+        with self._mutex:
+            self._counts[slot] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self):
+        return self._count
+
+    @property
+    def sum(self):
+        return self._sum
+
+    @property
+    def mean(self):
+        return self._sum / self._count if self._count else 0.0
+
+    def snapshot(self):
+        with self._mutex:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "buckets": {
+                    ("le_%g" % b): c
+                    for b, c in zip(self.buckets, self._counts)
+                },
+                "overflow": self._counts[-1],
+            }
+
+    def __repr__(self):
+        return "Histogram(%r: n=%d, mean=%.6f)" % (
+            self.name, self._count, self.mean
+        )
+
+
+class MetricsRegistry:
+    """Named instruments, created on first request.
+
+    Asking twice for the same name returns the same object; asking for
+    an existing name as a different instrument kind is an error (it
+    would silently fork the metric).
+    """
+
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._instruments = {}
+
+    def _get(self, name, kind, factory):
+        with self._mutex:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ValueError(
+                        "metric %r already registered as %s"
+                        % (name, type(existing).__name__)
+                    )
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name):
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name):
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name, buckets=DEFAULT_BUCKETS):
+        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    def names(self):
+        with self._mutex:
+            return sorted(self._instruments)
+
+    def get(self, name):
+        """The instrument registered under *name*, or None."""
+        return self._instruments.get(name)
+
+    def value(self, name, default=0):
+        """A counter/gauge's value by name (0 when absent)."""
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            return default
+        if isinstance(instrument, Histogram):
+            return instrument.count
+        return instrument.value
+
+    def snapshot(self):
+        """Plain-data view: name -> int/float (or dict for histograms)."""
+        out = {}
+        with self._mutex:
+            items = list(self._instruments.items())
+        for name, instrument in items:
+            if isinstance(instrument, Histogram):
+                out[name] = instrument.snapshot()
+            else:
+                out[name] = instrument.value
+        return out
+
+    def render(self):
+        """Aligned text listing for the shell's ``\\metrics`` command."""
+        lines = []
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                lines.append(
+                    "%-40s count=%d mean=%.6fs sum=%.6fs"
+                    % (name, instrument.count, instrument.mean, instrument.sum)
+                )
+            else:
+                value = instrument.value
+                if isinstance(value, float):
+                    lines.append("%-40s %.6f" % (name, value))
+                else:
+                    lines.append("%-40s %s" % (name, value))
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,291 @@
+"""Hierarchical query tracing with a near-free disabled path.
+
+A :class:`Tracer` records trees of :class:`Span` objects -- one span
+per interesting operation (statement, parse, plan, scan, service
+retry).  Spans carry monotonic start/end times from an injectable
+clock, a flat attribute dict, and their children; finished *root* spans
+land in a bounded ring buffer so a long-lived process keeps only the
+most recent traces.
+
+Instrumented code never talks to a Tracer directly.  It calls the
+module-level :func:`span` / :func:`current_span` helpers, which consult
+the process-wide installed tracer.  When no tracer is installed (the
+default -- "no trace sink attached"), both return a shared no-op
+object, so the entire cost of instrumentation is one global load and
+an ``is None`` test.  The benchmark guard in
+``benchmarks/test_bench_obs.py`` holds this path under 3% of statement
+latency.
+
+Leak guard: every started span increments a global open-span counter;
+finishing decrements it.  :func:`assert_no_open_spans` (called by the
+test suite's session teardown) fails loudly when instrumentation
+forgot to close a span, and an ``atexit`` hook prints a warning for
+non-pytest processes.
+"""
+
+import atexit
+import threading
+import time
+
+#: Global count of started-but-unfinished spans, across every tracer.
+_open_spans = 0
+_open_lock = threading.Lock()
+
+
+def _span_opened():
+    global _open_spans
+    with _open_lock:
+        _open_spans += 1
+
+
+def _span_closed():
+    global _open_spans
+    with _open_lock:
+        _open_spans -= 1
+
+
+def open_span_count():
+    """How many spans are currently open process-wide."""
+    return _open_spans
+
+
+def assert_no_open_spans():
+    """Raise AssertionError if any span was left unclosed (leak guard)."""
+    if _open_spans != 0:
+        raise AssertionError(
+            "span leak: %d span(s) left open at shutdown -- every span() "
+            "must be used as a context manager or finished explicitly"
+            % _open_spans
+        )
+
+
+@atexit.register
+def _warn_on_leak():  # pragma: no cover - exercised only on broken exits
+    if _open_spans != 0:
+        import sys
+
+        sys.stderr.write(
+            "WARNING: %d trace span(s) left open at process exit\n"
+            % _open_spans
+        )
+
+
+class Span:
+    """One timed operation; may nest children.
+
+    Use as a context manager (entering is a no-op: the span starts at
+    construction, exiting finishes it), or call :meth:`finish`
+    directly.  Attributes are set with :meth:`record` and accumulated
+    with :meth:`add`; both are safe to call after finishing (late
+    attribute attachment from instrumentation hooks).
+    """
+
+    __slots__ = (
+        "name", "attrs", "start", "end", "children", "_tracer", "_parent"
+    )
+
+    def __init__(self, name, tracer, parent, start, attrs=None):
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.start = start
+        self.end = None
+        self.children = []
+        self._tracer = tracer
+        self._parent = parent
+        _span_opened()
+
+    @property
+    def finished(self):
+        return self.end is not None
+
+    @property
+    def duration(self):
+        """Elapsed seconds, or None while the span is open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def record(self, key, value):
+        """Set attribute *key* to *value*."""
+        self.attrs[key] = value
+        return self
+
+    def add(self, key, delta):
+        """Accumulate numeric attribute *key* by *delta*."""
+        self.attrs[key] = self.attrs.get(key, 0) + delta
+        return self
+
+    def finish(self):
+        if self.end is not None:
+            return self
+        self.end = self._tracer._clock()
+        _span_closed()
+        self._tracer._finished(self)
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.finish()
+        return False
+
+    def __repr__(self):
+        state = "%.6fs" % self.duration if self.finished else "open"
+        return "Span(%r, %s, %d child(ren))" % (
+            self.name, state, len(self.children)
+        )
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned when tracing is off."""
+
+    __slots__ = ()
+
+    name = None
+    attrs = {}
+    children = ()
+    start = end = duration = None
+    finished = True
+
+    def record(self, key, value):
+        return self
+
+    def add(self, key, delta):
+        return self
+
+    def finish(self):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def __bool__(self):
+        # `if span:` distinguishes a live span from the no-op.
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects span trees; keeps the last *capacity* finished roots.
+
+    *clock* is any zero-argument callable returning monotonically
+    increasing seconds (``time.monotonic`` by default; tests inject a
+    fake).  The per-thread span stack makes :func:`current_span` and
+    parentage correct under concurrent sessions.
+    """
+
+    def __init__(self, clock=time.monotonic, capacity=256):
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self._clock = clock
+        self.capacity = capacity
+        self._mutex = threading.Lock()
+        self._roots = []  # ring buffer of finished root spans
+        self._local = threading.local()
+        self.dropped = 0  # finished roots evicted by the ring buffer
+
+    # -- span lifecycle -------------------------------------------------------
+
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name, **attrs):
+        """Start a child of the current span (or a new root)."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        child = Span(name, self, parent, self._clock(), attrs)
+        if parent is not None:
+            parent.children.append(child)
+        stack.append(child)
+        return child
+
+    def current_span(self):
+        """The innermost open span on this thread, or the no-op span."""
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            return stack[-1]
+        return NOOP_SPAN
+
+    def _finished(self, span_obj):
+        stack = self._stack()
+        # Out-of-order finishes (error paths) pop everything above too.
+        while stack and stack[-1] is not span_obj:
+            stack.pop().finish()
+        if stack:
+            stack.pop()
+        if span_obj._parent is None:
+            with self._mutex:
+                self._roots.append(span_obj)
+                if len(self._roots) > self.capacity:
+                    del self._roots[0]
+                    self.dropped += 1
+
+    # -- retention / inspection -----------------------------------------------
+
+    def finished_roots(self):
+        """The retained finished root spans, oldest first."""
+        with self._mutex:
+            return list(self._roots)
+
+    def last_root(self):
+        with self._mutex:
+            return self._roots[-1] if self._roots else None
+
+    def clear(self):
+        with self._mutex:
+            self._roots = []
+            self.dropped = 0
+
+
+# -- process-wide tracer installation -----------------------------------------
+
+_installed = None
+
+
+def install_tracer(tracer=None):
+    """Install *tracer* (or a fresh one) as the process trace sink."""
+    global _installed
+    if tracer is None:
+        tracer = Tracer()
+    _installed = tracer
+    return tracer
+
+
+def uninstall_tracer():
+    """Remove the installed tracer; instrumentation reverts to no-ops."""
+    global _installed
+    _installed = None
+
+
+def get_tracer():
+    """The installed tracer, or None when tracing is off."""
+    return _installed
+
+
+def span(name, **attrs):
+    """Start a span on the installed tracer, or return the no-op span.
+
+    This is the only call instrumented code makes on its hot path; the
+    disabled cost is one global load, one comparison, one return.
+    """
+    tracer = _installed
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, **attrs)
+
+
+def current_span():
+    """The innermost open span on this thread, or the no-op span."""
+    tracer = _installed
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.current_span()

@@ -62,6 +62,20 @@ class DeleteStatement:
         self.where = where
 
 
+class ExplainStatement:
+    """``explain [analyze] <statement>`` -- show the plan; with
+    ``analyze``, also execute and report actual rows/visits/timing."""
+
+    __slots__ = ("statement", "analyze")
+
+    def __init__(self, statement, analyze=False):
+        self.statement = statement
+        self.analyze = analyze
+
+    def __repr__(self):
+        return "explain%s %r" % (" analyze" if self.analyze else "", self.statement)
+
+
 class Target:
     """One retrieve target: an expression with an optional result name."""
 

@@ -25,6 +25,8 @@ import time
 
 from repro.errors import QueryError, QueryTimeoutError, ResourceLimitError
 from repro.core.entity import EntityInstance
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span
 from repro.quel import ast
 from repro.quel.functions import FunctionRegistry
 from repro.quel.parser import parse_quel
@@ -201,9 +203,35 @@ class QuelSession:
         self.schema = schema
         self.ranges = {}
         self.functions = FunctionRegistry()
-        self.last_plan = None
+        self._last_plan = None
         self.use_indexes = use_indexes
         self._limits_local = threading.local()
+        # Statement-level metrics ("quel.*") land in the database's
+        # registry; increments are per statement, never per row.
+        metrics = getattr(schema.database, "metrics", None)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._statements = self.metrics.counter("quel.statements")
+        self._rows_returned = self.metrics.counter("quel.rows_returned")
+        self._statement_seconds = self.metrics.histogram(
+            "quel.statement_seconds"
+        )
+
+    @property
+    def last_plan(self):
+        """The most recent statement's plan, rendered as text (or None).
+
+        The executor keeps the structured :class:`~repro.quel.planner.
+        QueryPlan` (see :attr:`last_plan_object`); the text is built
+        lazily here so queries never pay for string formatting.
+        """
+        if self._last_plan is None:
+            return None
+        return self._last_plan.render()
+
+    @property
+    def last_plan_object(self):
+        """The most recent statement's QueryPlan (or None)."""
+        return self._last_plan
 
     # -- execution limits --------------------------------------------------------
 
@@ -226,14 +254,34 @@ class QuelSession:
         Retrieves return a list of result dicts; mutations return the
         affected-instance count; range statements return None.
         """
+        with span("quel.parse"):
+            statements = parse_quel(source)
         result = None
-        for statement in parse_quel(source):
+        for statement in statements:
             result = self.execute_statement(statement)
         return result
 
     def execute_statement(self, statement):
         if isinstance(statement, ast.RangeStatement):
             return self._declare_range(statement)
+        if isinstance(statement, ast.ExplainStatement):
+            return self._explain(statement)
+        statement_span = span(
+            "quel.statement", kind=type(statement).__name__
+        )
+        started = time.monotonic()
+        try:
+            return self._dispatch(statement)
+        except (QueryTimeoutError, ResourceLimitError) as exc:
+            self._record_partial_progress(exc)
+            statement_span.record("error", type(exc).__name__)
+            raise
+        finally:
+            statement_span.finish()
+            self._statement_seconds.observe(time.monotonic() - started)
+            self._statements.inc()
+
+    def _dispatch(self, statement):
         if isinstance(statement, ast.RetrieveStatement):
             return self._with_statement_locks(self._retrieve, statement)
         if isinstance(statement, ast.AppendStatement):
@@ -254,6 +302,95 @@ class QuelSession:
                 write_target=lambda: self._variable_table(statement.variable),
             )
         raise QueryError("unsupported statement %r" % (statement,))
+
+    def _record_partial_progress(self, exc):
+        """Publish how far a timed-out/over-budget statement got.
+
+        The shell reads these to print partial-progress counters with
+        the error instead of swallowing them.
+        """
+        limits = self.limits
+        visits = limits.visits if limits is not None else 0
+        name = (
+            "quel.timeouts"
+            if isinstance(exc, QueryTimeoutError)
+            else "quel.row_budget_exceeded"
+        )
+        self.metrics.counter(name).inc()
+        self.metrics.gauge("quel.last_partial_rows_visited").set(visits)
+
+    # -- explain / explain analyze ---------------------------------------------
+
+    def _explain(self, statement):
+        inner = statement.statement
+        if isinstance(inner, ast.ExplainStatement):
+            raise QueryError("explain cannot be nested")
+        if isinstance(inner, ast.RangeStatement):
+            self._declare_range(inner)
+            return [{"plan": "range declaration (no plan)"}]
+        if statement.analyze:
+            return self._explain_analyze(inner)
+        return self._with_statement_locks(self._plan_only, inner)
+
+    def _plan_parts(self, statement):
+        """The (used variables, qualification) a statement would join over."""
+        if isinstance(statement, ast.RetrieveStatement):
+            used = self._used_variables(statement.targets, statement.where)
+            if statement.sort_by is not None:
+                used = sorted(
+                    set(used) | planner.variables_in(statement.sort_by)
+                )
+            return used, statement.where
+        if isinstance(statement, ast.AppendStatement):
+            used = set()
+            for _, expression in statement.assignments:
+                used |= planner.variables_in(expression)
+            used |= planner.variables_in(statement.where)
+            return sorted(used), statement.where
+        if isinstance(statement, ast.ReplaceStatement):
+            used = {statement.variable}
+            used |= planner.variables_in(statement.where)
+            for _, expression in statement.assignments:
+                used |= planner.variables_in(expression)
+            return sorted(used), statement.where
+        if isinstance(statement, ast.DeleteStatement):
+            used = {statement.variable}
+            used |= planner.variables_in(statement.where)
+            return sorted(used), statement.where
+        raise QueryError("cannot explain %r" % (statement,))
+
+    def _plan_only(self, statement):
+        used, where = self._plan_parts(statement)
+        _, _, _, plan = self._build_plan(used, where)
+        return plan.rows()
+
+    def _explain_analyze(self, inner):
+        """Execute *inner* fully, then report plan + actual counts/time.
+
+        Candidate-row visits are counted by a temporary
+        :class:`ExecutionLimits` (inheriting any installed deadline and
+        row budget), so the steady-state join loop never carries an
+        always-on per-row counter.
+        """
+        previous = self.limits
+        self._limits_local.limits = ExecutionLimits(
+            deadline=previous.deadline if previous is not None else None,
+            row_budget=previous.row_budget if previous is not None else None,
+        )
+        started = time.monotonic()
+        try:
+            result = self._dispatch(inner)
+            elapsed = time.monotonic() - started
+            visits = self.limits.visits
+        finally:
+            self._limits_local.limits = previous
+        plan = self._last_plan
+        rows = plan.rows() if plan is not None else [{"plan": "(no plan)"}]
+        count = len(result) if isinstance(result, list) else result
+        rows.append({"plan": "rows: %s" % count})
+        rows.append({"plan": "rows visited: %d" % visits})
+        rows.append({"plan": "time: %.3f ms" % (elapsed * 1000.0)})
+        return rows
 
     def _variable_table(self, variable):
         return self._range_for(variable).table_name
@@ -494,32 +631,59 @@ class QuelSession:
 
     # -- the backtracking join ---------------------------------------------------------
 
+    def _build_plan(self, used_variables, qualification):
+        """Generate candidates and a binding order for the join.
+
+        Acquires shared locks on every referenced table, answers
+        indexed equality restrictions from indexes, and records the
+        resulting :class:`~repro.quel.planner.QueryPlan` as the
+        session's last plan.  Returns ``(conjuncts, candidates, order,
+        plan)``.
+        """
+        plan_span = span("quel.plan")
+        try:
+            conjuncts = planner.split_conjuncts(qualification)
+            candidates = {}
+            accesses = {}
+            read_tables = self.schema.database.read_table
+            for variable in used_variables:
+                range_decl = self._range_for(variable)
+                # Shared lock before the scan: concurrent writers cannot
+                # produce torn reads of this table mid-statement.
+                read_tables(range_decl.table_name)
+                restrictions = []
+                if self.use_indexes:
+                    for conjunct in conjuncts:
+                        restriction = planner.equality_restriction(
+                            conjunct, variable
+                        )
+                        if restriction is not None:
+                            restrictions.append(restriction)
+                candidates[variable], accesses[variable] = range_decl.candidates(
+                    restrictions
+                )
+            counts = {v: len(c) for v, c in candidates.items()}
+            order = planner.order_variables(used_variables, counts, conjuncts)
+            plan = planner.build_plan(order, counts, accesses)
+            self._last_plan = plan
+            plan_span.record("label", plan.label)
+            plan_span.record("candidates", sum(counts.values()))
+            plan_span.record(
+                "index_hits",
+                sum(1 for access in accesses.values() if access == "index"),
+            )
+        finally:
+            plan_span.finish()
+        return conjuncts, candidates, order, plan
+
     def _bindings_for(self, used_variables, qualification):
         """Yield binding dicts satisfying *qualification*."""
         limits = self.limits
         if limits is not None:
             limits.check_deadline()
-        conjuncts = planner.split_conjuncts(qualification)
-        candidates = {}
-        accesses = {}
-        read_tables = self.schema.database.read_table
-        for variable in used_variables:
-            range_decl = self._range_for(variable)
-            # Shared lock before the scan: concurrent writers cannot
-            # produce torn reads of this table mid-statement.
-            read_tables(range_decl.table_name)
-            restrictions = []
-            if self.use_indexes:
-                for conjunct in conjuncts:
-                    restriction = planner.equality_restriction(conjunct, variable)
-                    if restriction is not None:
-                        restrictions.append(restriction)
-            candidates[variable], accesses[variable] = range_decl.candidates(
-                restrictions
-            )
-        counts = {v: len(c) for v, c in candidates.items()}
-        order = planner.order_variables(used_variables, counts, conjuncts)
-        self.last_plan = planner.explain(None, order, counts, accesses)
+        conjuncts, candidates, order, _ = self._build_plan(
+            used_variables, qualification
+        )
 
         # Constant conjuncts (no range variables) gate the whole query.
         for conjunct in conjuncts:
@@ -554,9 +718,23 @@ class QuelSession:
             if qualification is None or self._truth(qualification, {}):
                 yield {}
             return
-        # Conjuncts whose variables are not a subset of any prefix can't
-        # exist (every variable is in `order`), so the above covers all.
-        yield from join(0, {})
+        # The scan span brackets the whole join loop; a try/finally
+        # closes it even when the caller abandons the generator early.
+        visits_before = limits.visits if limits is not None else 0
+        scan_span = span("quel.scan", variables=len(order))
+        rows_out = 0
+        try:
+            # Conjuncts whose variables are not a subset of any prefix
+            # can't exist (every variable is in `order`), so the above
+            # covers all.
+            for bindings in join(0, {}):
+                rows_out += 1
+                yield bindings
+        finally:
+            if limits is not None:
+                scan_span.record("rows_visited", limits.visits - visits_before)
+            scan_span.record("rows_out", rows_out)
+            scan_span.finish()
 
     # -- statements -------------------------------------------------------------------
 
@@ -603,7 +781,9 @@ class QuelSession:
             rows.append((record, sort_key, aggregate_inputs))
 
         if aggregate_targets:
-            return self._aggregate_rows(rows, plain_targets, aggregate_targets)
+            out = self._aggregate_rows(rows, plain_targets, aggregate_targets)
+            self._rows_returned.inc(len(out))
+            return out
 
         if statement.sort_by is not None:
             rows.sort(
@@ -612,6 +792,7 @@ class QuelSession:
         out = [record for record, _, _ in rows]
         if statement.unique:
             out = _dedupe(out)
+        self._rows_returned.inc(len(out))
         return out
 
     def _aggregate_rows(self, rows, plain_targets, aggregate_targets):

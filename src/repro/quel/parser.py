@@ -8,7 +8,7 @@ _COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
 _KEYWORDS = {
     "range", "of", "is", "retrieve", "unique", "where", "append", "to",
     "replace", "delete", "and", "or", "not", "before", "after", "under",
-    "in", "sort", "by", "descending",
+    "in", "sort", "by", "descending", "explain", "analyze",
 }
 
 
@@ -27,6 +27,8 @@ def parse_quel(source):
 
 def _statement(stream):
     token = stream.peek()
+    if token.matches_keyword("explain"):
+        return _explain_statement(stream)
     if token.matches_keyword("range"):
         return _range_statement(stream)
     if token.matches_keyword("retrieve"):
@@ -40,6 +42,16 @@ def _statement(stream):
     raise ParseError(
         "expected a QUEL statement, found %r" % token.value, token.line, token.column
     )
+
+
+def _explain_statement(stream):
+    token = stream.expect_keyword("explain")
+    analyze = stream.accept_keyword("analyze") is not None
+    if stream.peek().matches_keyword("explain"):
+        raise ParseError(
+            "explain cannot be nested", token.line, token.column
+        )
+    return ast.ExplainStatement(_statement(stream), analyze)
 
 
 def _range_statement(stream):

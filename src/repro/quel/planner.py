@@ -102,23 +102,85 @@ def order_variables(variables, candidate_counts, conjuncts):
     return ordered
 
 
-def explain(statement, binding_order, candidate_counts, accesses):
-    """A human-readable plan summary (used by tests and the MDM shell).
+class PlanStep:
+    """One binding step of a query plan: bind *variable* using *access*
+    ("index", "filtered scan", or "scan") over *candidates* rows."""
+
+    __slots__ = ("variable", "access", "candidates")
+
+    def __init__(self, variable, access, candidates):
+        self.variable = variable
+        self.access = access
+        self.candidates = candidates
+
+    def describe(self):
+        return "bind %s via %s (%d candidates)" % (
+            self.variable, self.access, self.candidates
+        )
+
+    def __repr__(self):
+        return "PlanStep(%s)" % self.describe()
+
+
+class QueryPlan:
+    """The chosen plan for one statement: an ordered list of PlanSteps.
+
+    ``render()`` produces the legacy ``last_plan`` text (memoized -- the
+    executor builds a QueryPlan per statement but the string only when
+    someone reads it); ``rows()`` produces the result-set shape the
+    ``explain`` statement returns; ``label`` is the compact access-path
+    summary the planner test sweep asserts on.
+    """
+
+    __slots__ = ("steps", "_text")
+
+    def __init__(self, steps):
+        self.steps = list(steps)
+        self._text = None
+
+    @property
+    def label(self):
+        """Access paths in binding order, e.g. ``index+scan``
+        (``constant`` for a plan with no range variables)."""
+        if not self.steps:
+            return "constant"
+        return "+".join(step.access for step in self.steps)
+
+    def render(self):
+        if self._text is None:
+            lines = ["plan:"]
+            for step in self.steps:
+                lines.append("  " + step.describe())
+            self._text = "\n".join(lines)
+        return self._text
+
+    def rows(self):
+        """The plan as a list of single-column result dicts."""
+        if not self.steps:
+            return [{"plan": "constant (no range variables)"}]
+        return [{"plan": step.describe()} for step in self.steps]
+
+    def __repr__(self):
+        return "QueryPlan(%s)" % self.label
+
+
+def build_plan(binding_order, candidate_counts, accesses):
+    """Assemble a QueryPlan from the executor's planning artifacts.
 
     *accesses* maps each variable to the access path its candidate set
-    was generated with: "index" (rowid-set intersection over indexed
-    equality restrictions), "filtered scan" (heap scan with restrictions
-    applied in place), or "scan" (unrestricted heap scan).  A plain set
-    of index-backed variables is also accepted for compatibility.
+    was generated with; a plain set of index-backed variables is also
+    accepted for compatibility.
     """
-    lines = ["plan:"]
+    steps = []
     for variable in binding_order:
         if isinstance(accesses, dict):
             access = accesses.get(variable, "scan")
         else:
             access = "index" if variable in accesses else "scan"
-        lines.append(
-            "  bind %s via %s (%d candidates)"
-            % (variable, access, candidate_counts.get(variable, 0))
-        )
-    return "\n".join(lines)
+        steps.append(PlanStep(variable, access, candidate_counts.get(variable, 0)))
+    return QueryPlan(steps)
+
+
+def explain(statement, binding_order, candidate_counts, accesses):
+    """A human-readable plan summary (used by tests and the MDM shell)."""
+    return build_plan(binding_order, candidate_counts, accesses).render()

@@ -21,6 +21,7 @@ import struct
 from repro.errors import ReadOnlyError, RecoveryError, StorageError
 
 logger = logging.getLogger(__name__)
+from repro.obs.metrics import MetricsRegistry
 from repro.storage import wal as wal_module
 from repro.storage.faults import fsync_file
 from repro.storage.pager import Pager
@@ -45,16 +46,22 @@ class Database:
     nothing.
     """
 
-    def __init__(self, path=None, opener=None):
+    def __init__(self, path=None, opener=None, metrics=None):
         self.path = path
         self._opener = opener if opener is not None else open
         self._tables = {}
         self._log = None
         self._degraded_reason = None
+        # One registry per database; the WAL, pager, lock manager, and
+        # QUEL executor above all record into it.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._degraded_entries = self.metrics.counter("db.degraded_entries")
+        self._checkpoints = self.metrics.counter("db.checkpoints")
         if path is not None:
             os.makedirs(path, exist_ok=True)
             self._log = wal_module.WriteAheadLog(
-                os.path.join(path, _LOG_FILE), opener=self._opener
+                os.path.join(path, _LOG_FILE), opener=self._opener,
+                metrics=self.metrics,
             )
         self.transactions = TransactionManager(self, self._log)
         if path is not None:
@@ -68,7 +75,8 @@ class Database:
             raise StorageError("table %r already exists" % name)
         schema = TableSchema(name, [Column(n, d) for n, d in columns])
         table = Table(
-            schema, journal=self._journal_for(name), guard=self._guard_for(name)
+            schema, journal=self._journal_for(name), guard=self._guard_for(name),
+            metrics=self.metrics,
         )
         self._tables[name] = table
         self._persist_catalog()
@@ -161,6 +169,7 @@ class Database:
         """
         if self._degraded_reason is None:
             self._degraded_reason = reason
+            self._degraded_entries.inc()
             logger.warning(
                 "database %s entering read-only degraded mode: %s",
                 self.path or "<memory>", reason,
@@ -254,7 +263,7 @@ class Database:
         if os.path.exists(data_path):
             os.remove(data_path)  # residue of a checkpoint that crashed mid-image
         roots = {}
-        with Pager(data_path, opener=self._opener) as pager:
+        with Pager(data_path, opener=self._opener, metrics=self.metrics) as pager:
             for name, table in sorted(self._tables.items()):
                 order = table.schema.column_names()
                 chunks = [struct.pack("<I", len(table))]
@@ -270,6 +279,7 @@ class Database:
         self._log.truncate()
         if self.transactions.current() is None:
             self._log.append(0, wal_module.CHECKPOINT, flush=True)
+        self._checkpoints.inc()
 
     def _recover(self):
         self._recovering = True
@@ -292,7 +302,9 @@ class Database:
                 if roots and not os.path.exists(data_path):
                     raise RecoveryError("checkpoint image missing at %r" % data_path)
                 if roots:
-                    with Pager(data_path, opener=self._opener) as pager:
+                    with Pager(
+                        data_path, opener=self._opener, metrics=self.metrics
+                    ) as pager:
                         for name, head in roots.items():
                             self._load_table_image(pager, name, head)
         # REDO-replay the log over the checkpoint image.

@@ -18,6 +18,8 @@ import threading
 import time
 
 from repro.errors import DeadlockError, LockTimeoutError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import current_span
 
 
 class LockMode(enum.Enum):
@@ -36,22 +38,28 @@ def _compatible(held_modes, requested):
 class LockManager:
     """Table-level S/X lock table keyed by resource name."""
 
-    def __init__(self, timeout=5.0):
+    def __init__(self, timeout=5.0, metrics=None):
         self._mutex = threading.Lock()
         self._condition = threading.Condition(self._mutex)
         self._holders = {}  # resource -> {txn_id: LockMode}
         self.timeout = timeout
-        self._counters = {
-            "grants": 0,
-            "waits": 0,
-            "deadlock_aborts": 0,
-            "timeouts": 0,
-        }
+        # Counters live in the metrics registry (``lock.*``), so the
+        # shell's \metrics and stats() read the same numbers.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._grants = self.metrics.counter("lock.grants")
+        self._waits = self.metrics.counter("lock.waits")
+        self._deadlock_aborts = self.metrics.counter("lock.deadlock_aborts")
+        self._timeouts = self.metrics.counter("lock.timeouts")
+        self._wait_seconds = self.metrics.histogram("lock.wait_seconds")
 
     def stats(self):
         """A snapshot of the robustness counters."""
-        with self._mutex:
-            return dict(self._counters)
+        return {
+            "grants": self._grants.value,
+            "waits": self._waits.value,
+            "deadlock_aborts": self._deadlock_aborts.value,
+            "timeouts": self._timeouts.value,
+        }
 
     def locks_held(self, txn_id):
         """Resources currently locked by *txn_id* (mode map)."""
@@ -70,48 +78,59 @@ class LockManager:
         *deadline* is an absolute ``time.monotonic`` bound on the wait;
         when None, the manager's flat *timeout* applies from the first
         wait.
+
+        Time spent blocked is observed into the ``lock.wait_seconds``
+        histogram and accumulated onto the current trace span's
+        ``lock_wait_s`` attribute (whether the wait ends in a grant or
+        a timeout), so a slow statement's trace shows where it stalled.
         """
-        waited = False
-        with self._condition:
-            while True:
-                holders = self._holders.setdefault(resource, {})
-                current = holders.get(txn_id)
-                others = {t: m for t, m in holders.items() if t != txn_id}
-                if current is LockMode.EXCLUSIVE or (
-                    current is mode is LockMode.SHARED
-                ):
-                    return  # already sufficient
-                if mode is LockMode.SHARED:
-                    conflict = LockMode.EXCLUSIVE in others.values()
-                else:
-                    conflict = bool(others)
-                if not conflict:
-                    holders[txn_id] = mode
-                    self._counters["grants"] += 1
-                    return
-                # Wait-die: lower txn_id = older = may wait; younger dies.
-                if any(other < txn_id for other in others):
-                    self._counters["deadlock_aborts"] += 1
-                    raise DeadlockError(
-                        "transaction %d aborted (wait-die) requesting %s on %r"
-                        % (txn_id, mode.value, resource)
-                    )
-                # The deadline is absolute: wakeups (notify_all from every
-                # release) must not restart the clock, or a contended
-                # acquire could wait timeout-per-wakeup instead of timeout.
-                now = time.monotonic()
-                if deadline is None:
-                    deadline = now + self.timeout
-                if not waited:
-                    waited = True
-                    self._counters["waits"] += 1
-                remaining = deadline - now
-                if remaining <= 0 or not self._condition.wait(timeout=remaining):
-                    self._counters["timeouts"] += 1
-                    raise LockTimeoutError(
-                        "transaction %d timed out waiting for %s on %r"
-                        % (txn_id, mode.value, resource)
-                    )
+        wait_started = None
+        try:
+            with self._condition:
+                while True:
+                    holders = self._holders.setdefault(resource, {})
+                    current = holders.get(txn_id)
+                    others = {t: m for t, m in holders.items() if t != txn_id}
+                    if current is LockMode.EXCLUSIVE or (
+                        current is mode is LockMode.SHARED
+                    ):
+                        return  # already sufficient
+                    if mode is LockMode.SHARED:
+                        conflict = LockMode.EXCLUSIVE in others.values()
+                    else:
+                        conflict = bool(others)
+                    if not conflict:
+                        holders[txn_id] = mode
+                        self._grants.inc()
+                        return
+                    # Wait-die: lower txn_id = older = may wait; younger dies.
+                    if any(other < txn_id for other in others):
+                        self._deadlock_aborts.inc()
+                        raise DeadlockError(
+                            "transaction %d aborted (wait-die) requesting %s on %r"
+                            % (txn_id, mode.value, resource)
+                        )
+                    # The deadline is absolute: wakeups (notify_all from every
+                    # release) must not restart the clock, or a contended
+                    # acquire could wait timeout-per-wakeup instead of timeout.
+                    now = time.monotonic()
+                    if deadline is None:
+                        deadline = now + self.timeout
+                    if wait_started is None:
+                        wait_started = now
+                        self._waits.inc()
+                    remaining = deadline - now
+                    if remaining <= 0 or not self._condition.wait(timeout=remaining):
+                        self._timeouts.inc()
+                        raise LockTimeoutError(
+                            "transaction %d timed out waiting for %s on %r"
+                            % (txn_id, mode.value, resource)
+                        )
+        finally:
+            if wait_started is not None:
+                elapsed = time.monotonic() - wait_started
+                self._wait_seconds.observe(elapsed)
+                current_span().add("lock_wait_s", elapsed)
 
     def release_all(self, txn_id):
         """Release every lock held by *txn_id* (the 'shrinking' phase)."""

@@ -19,6 +19,7 @@ import os
 import struct
 
 from repro.errors import PageError
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.faults import fsync_file
 
 PAGE_SIZE = 4096
@@ -63,7 +64,7 @@ class Pager:
     substitute (see :mod:`repro.storage.faults`).
     """
 
-    def __init__(self, path, capacity=64, opener=None):
+    def __init__(self, path, capacity=64, opener=None, metrics=None):
         self.path = path
         self.capacity = max(capacity, 4)
         self._opener = opener if opener is not None else open
@@ -72,6 +73,16 @@ class Pager:
         self._free_head = 0  # 0 = no free pages (page numbers are 1-based)
         self._header_dirty = False
         self._file = None
+        # I/O counters ("pager.*"): disk reads/writes, not cache hits.
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._reads = metrics.counter("pager.page_reads")
+        self._writes = metrics.counter("pager.page_writes")
+        self._allocations = metrics.counter("pager.allocations")
+        self._free_count = metrics.counter("pager.frees")
+        self._flushes = metrics.counter("pager.flushes")
+        self._evictions = metrics.counter("pager.evictions")
         self._open()
 
     # -- file lifecycle ------------------------------------------------------
@@ -149,6 +160,7 @@ class Pager:
             self._cache[page_no] = page
             self._evict_if_needed()
         self._header_dirty = True
+        self._allocations.inc()
         return page
 
     def free(self, page_no):
@@ -161,6 +173,7 @@ class Pager:
         page.dirty = True
         self._free_head = page_no
         self._header_dirty = True
+        self._free_count.inc()
 
     def get(self, page_no):
         """Fetch a page, reading it from disk if not cached."""
@@ -172,6 +185,7 @@ class Pager:
             return page
         self._file.seek(page_no * PAGE_SIZE)
         raw = self._file.read(PAGE_SIZE)
+        self._reads.inc()
         if len(raw) < PAGE_SIZE:
             raise PageError(
                 "truncated read of page %d in %r: got %d of %d bytes"
@@ -186,12 +200,14 @@ class Pager:
     def _evict_if_needed(self):
         while len(self._cache) > self.capacity:
             page_no, page = self._cache.popitem(last=False)
+            self._evictions.inc()
             if page.dirty:
                 self._write_page(page)
 
     def _write_page(self, page):
         self._file.seek(page.page_no * PAGE_SIZE)
         self._file.write(bytes(page.data))
+        self._writes.inc()
         page.dirty = False
 
     def flush(self):
@@ -201,6 +217,7 @@ class Pager:
                 self._write_page(page)
         self._write_header()
         fsync_file(self._file)
+        self._flushes.inc()
 
     # -- stream helpers: store arbitrary byte strings across page chains ---------
 

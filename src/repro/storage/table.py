@@ -79,7 +79,7 @@ class Table:
     the transaction layer turns into WAL entries and undo actions.
     """
 
-    def __init__(self, schema, journal=None, guard=None):
+    def __init__(self, schema, journal=None, guard=None, metrics=None):
         self.schema = schema
         self.name = schema.name
         self._rows = {}
@@ -90,6 +90,14 @@ class Table:
         # before any row or index changes, so its exceptions leave the
         # table exactly as it was.
         self._guard = guard
+        # Mutation counters ("table.*"), shared across every table of a
+        # database; None (bare tables in tests) means no counting.
+        if metrics is not None:
+            self._inserts = metrics.counter("table.inserts")
+            self._updates = metrics.counter("table.updates")
+            self._deletes = metrics.counter("table.deletes")
+        else:
+            self._inserts = self._updates = self._deletes = None
         # Bumped on EVERY row mutation, including the non-journalled
         # recovery/undo paths, so derived caches can detect staleness.
         self.version = 0
@@ -184,6 +192,8 @@ class Table:
         for (column, _), index in self._indexes.items():
             index.insert(self._index_value(column, row), rowid)
         self.version += 1
+        if self._inserts is not None:
+            self._inserts.inc()
         if self._journal is not None:
             self._journal("insert", self.name, row, None)
         return row
@@ -205,6 +215,8 @@ class Table:
                 index.delete(old_value, rowid)
                 index.insert(new_value, rowid)
         self.version += 1
+        if self._updates is not None:
+            self._updates.inc()
         if self._journal is not None:
             self._journal("update", self.name, new, old)
         return new
@@ -218,6 +230,8 @@ class Table:
         for (column, _), index in self._indexes.items():
             index.delete(self._index_value(column, old), rowid)
         self.version += 1
+        if self._deletes is not None:
+            self._deletes.inc()
         if self._journal is not None:
             self._journal("delete", self.name, None, old)
         return old

@@ -87,7 +87,9 @@ class TransactionManager:
     def __init__(self, database, log=None):
         self._database = database
         self._log = log
-        self._locks = LockManager()
+        # Share the database's registry so lock counters land beside the
+        # WAL/pager ones; direct construction in tests may lack one.
+        self._locks = LockManager(metrics=getattr(database, "metrics", None))
         self._ids = itertools.count(1)
         self._local = threading.local()
         self._mutex = threading.Lock()

@@ -22,6 +22,7 @@ import threading
 import zlib
 
 from repro.errors import RecoveryError
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.faults import fsync_file
 from repro.storage.row import Row
 
@@ -107,9 +108,18 @@ class WriteAheadLog:
     record that could ever be replayed.
     """
 
-    def __init__(self, path, opener=None):
+    def __init__(self, path, opener=None, metrics=None):
         self.path = path
         self._opener = opener if opener is not None else open
+        # Durability counters ("wal.*"): appended frames/bytes and
+        # barrier (fsync) counts, for the bench report and \metrics.
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._appends = metrics.counter("wal.appends")
+        self._append_bytes = metrics.counter("wal.append_bytes")
+        self._fsyncs = metrics.counter("wal.fsyncs")
+        self._truncations = metrics.counter("wal.truncations")
         # Serializes appends/flushes from concurrent sessions: frames
         # from different transactions may interleave (records carry the
         # txn id), but each seek+write pair must be atomic or frames tear.
@@ -151,6 +161,8 @@ class WriteAheadLog:
             frame = _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
             self._file.seek(0, os.SEEK_END)
             self._file.write(frame + payload)
+            self._appends.inc()
+            self._append_bytes.inc(len(frame) + len(payload))
             if flush:
                 self.flush()
             return record
@@ -158,6 +170,7 @@ class WriteAheadLog:
     def flush(self):
         with self._mutex:
             fsync_file(self._file)
+            self._fsyncs.inc()
 
     # -- reading ---------------------------------------------------------------
 
@@ -240,6 +253,7 @@ class WriteAheadLog:
             self._file.close()
             self._file = self._opener(self.path, "wb+")
             self._next_lsn = 1
+            self._truncations.inc()
 
 
 def replay(log, column_orders, apply_change):

@@ -4,6 +4,21 @@ import pytest
 
 from repro.core.schema import Schema
 from repro.cmn.schema import CmnSchema
+from repro.obs.trace import assert_no_open_spans, uninstall_tracer
+
+
+@pytest.fixture(scope="session", autouse=True)
+def span_leak_guard():
+    """Fail the run if any instrumentation span is left open at exit.
+
+    Every ``span()`` must be finished (context manager or explicit
+    ``finish()``); a leak here means an instrumentation path lost a
+    span on some error path.  Also guarantees no test leaves a process
+    tracer installed, which would slow every later test.
+    """
+    yield
+    uninstall_tracer()
+    assert_no_open_spans()
 
 
 @pytest.fixture

@@ -1,0 +1,84 @@
+"""Shell observability: \\explain, \\metrics, and the partial-progress
+report that replaced the swallowed QueryTimeoutError/ResourceLimitError
+(regression for the timeout-without-counters bug)."""
+
+import time
+
+import pytest
+
+from repro.mdm.shell import MdmShell
+
+
+@pytest.fixture
+def shell():
+    sh = MdmShell()
+    sh.handle_line("define entity ITEM (n = integer, pitch = integer);;")
+    sh.handle_line("range of n is ITEM;;")
+    for i in range(40):
+        sh.handle_line("append to ITEM (n = %d, pitch = %d);;" % (i, 60 + i))
+    return sh
+
+
+class TestExplainCommand:
+    def test_usage_without_arguments(self, shell):
+        assert shell.handle_line("\\explain") == "usage: \\explain <quel statement>"
+
+    def test_explain_renders_the_plan(self, shell):
+        out = shell.handle_line("\\explain retrieve (n.pitch) where n.n = 3")
+        assert "bind n via index (1 candidates)" in out
+        assert out.splitlines()[0].startswith("plan")  # table header column
+
+    def test_explain_bad_statement_reports_error(self, shell):
+        out = shell.handle_line("\\explain retrieve (zz.pitch)")
+        assert out.startswith("error:")
+
+    def test_explain_statement_also_works_inline(self, shell):
+        out = shell.handle_line("explain analyze retrieve (n.n) where n.n = 3;;")
+        assert "rows visited: 1" in out and "time:" in out
+
+
+class TestMetricsCommand:
+    def test_metrics_render_covers_the_stack(self, shell):
+        shell.handle_line("retrieve (n.pitch) where n.n = 1;;")
+        out = shell.handle_line("\\metrics")
+        assert "quel.statements" in out
+        assert "quel.statement_seconds" in out
+        assert "table.inserts" in out
+
+    def test_unknown_command_mentions_new_commands(self, shell):
+        out = shell.handle_line("\\nope")
+        assert "\\explain" in out and "\\metrics" in out
+
+
+class TestPartialProgressOnLimits:
+    def test_row_budget_exhaustion_reports_progress(self, shell):
+        shell.mdm.session.set_limits(row_budget=5)
+        try:
+            out = shell.handle_line("retrieve (n.pitch) where n.pitch > 0;;")
+        finally:
+            shell.mdm.session.clear_limits()
+        assert out.startswith("error:")
+        assert "partial progress" in out
+        assert "candidate rows visited" in out
+        # The counters survive for later inspection, not just the message.
+        metrics = shell.mdm.database.metrics
+        assert metrics.value("quel.row_budget_exceeded") == 1
+        assert metrics.value("quel.last_partial_rows_visited") >= 5
+
+    def test_deadline_exhaustion_reports_progress(self, shell):
+        # A deadline already in the past fails on the pre-join check.
+        shell.mdm.session.set_limits(deadline=time.monotonic() - 1.0)
+        try:
+            out = shell.handle_line("retrieve (n.pitch) where n.pitch > 0;;")
+        finally:
+            shell.mdm.session.clear_limits()
+        assert out.startswith("error:")
+        assert "partial progress" in out
+        assert shell.mdm.database.metrics.value("quel.timeouts") == 1
+
+    def test_shell_recovers_after_a_limit_error(self, shell):
+        shell.mdm.session.set_limits(row_budget=5)
+        shell.handle_line("retrieve (n.pitch) where n.pitch > 0;;")
+        shell.mdm.session.clear_limits()
+        out = shell.handle_line("retrieve (n.pitch) where n.n = 1;;")
+        assert "(1 row)" in out

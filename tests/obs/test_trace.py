@@ -1,0 +1,144 @@
+"""Unit tests for the tracing core: spans, tracers, install state."""
+
+import pytest
+
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Tracer,
+    assert_no_open_spans,
+    current_span,
+    get_tracer,
+    install_tracer,
+    open_span_count,
+    span,
+    uninstall_tracer,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each call advances by *step*."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+@pytest.fixture
+def tracer():
+    installed = install_tracer(Tracer(clock=FakeClock()))
+    try:
+        yield installed
+    finally:
+        uninstall_tracer()
+
+
+class TestSpanLifecycle:
+    def test_nesting_and_parentage(self, tracer):
+        root = span("statement")
+        child = span("plan")
+        assert current_span() is child
+        child.finish()
+        assert current_span() is root
+        root.finish()
+        assert root.children == [child]
+        assert tracer.finished_roots() == [root]
+
+    def test_durations_use_injected_clock(self, tracer):
+        timed = span("work")
+        timed.finish()
+        assert timed.duration == 1.0  # two clock reads, one step apart
+        assert timed.finished
+
+    def test_open_span_has_no_duration(self, tracer):
+        open_one = span("open")
+        assert open_one.duration is None and not open_one.finished
+        open_one.finish()
+
+    def test_context_manager_finishes(self, tracer):
+        with span("ctx") as ctx:
+            assert not ctx.finished
+        assert ctx.finished
+
+    def test_record_and_add(self, tracer):
+        with span("attrs", kind="test") as s:
+            s.record("label", "index").add("rows", 2).add("rows", 3)
+        assert s.attrs == {"kind": "test", "label": "index", "rows": 5}
+
+    def test_double_finish_is_idempotent(self, tracer):
+        s = span("once")
+        end = s.finish().end
+        assert s.finish().end == end
+        assert tracer.finished_roots() == [s]
+
+    def test_out_of_order_finish_closes_children(self, tracer):
+        root = span("outer")
+        span("inner-a")
+        span("inner-b")
+        root.finish()  # error path: children never explicitly finished
+        inner_a = root.children[0]
+        inner_b = inner_a.children[0]
+        assert inner_a.name == "inner-a" and inner_a.finished
+        assert inner_b.name == "inner-b" and inner_b.finished
+        assert open_span_count() == 0
+        assert current_span() is NOOP_SPAN
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest(self, tracer):
+        tracer.capacity = 2
+        for name in ("a", "b", "c"):
+            span(name).finish()
+        assert [root.name for root in tracer.finished_roots()] == ["b", "c"]
+        assert tracer.dropped == 1
+        assert tracer.last_root().name == "c"
+
+    def test_clear(self, tracer):
+        span("x").finish()
+        tracer.clear()
+        assert tracer.finished_roots() == [] and tracer.dropped == 0
+        assert tracer.last_root() is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestInstallation:
+    def test_uninstalled_returns_noop(self):
+        uninstall_tracer()
+        assert get_tracer() is None
+        assert span("anything") is NOOP_SPAN
+        assert current_span() is NOOP_SPAN
+
+    def test_install_fresh_tracer_by_default(self):
+        installed = install_tracer()
+        try:
+            assert get_tracer() is installed
+        finally:
+            uninstall_tracer()
+
+    def test_noop_span_is_inert(self):
+        assert not NOOP_SPAN
+        assert NOOP_SPAN.record("k", 1) is NOOP_SPAN
+        assert NOOP_SPAN.add("k", 1) is NOOP_SPAN
+        assert NOOP_SPAN.finish() is NOOP_SPAN
+        with NOOP_SPAN as inside:
+            assert inside is NOOP_SPAN
+        assert NOOP_SPAN.attrs == {} and NOOP_SPAN.duration is None
+
+
+class TestLeakGuard:
+    def test_open_span_trips_the_guard(self, tracer):
+        before = open_span_count()
+        leaked = span("leaky")
+        assert open_span_count() == before + 1
+        with pytest.raises(AssertionError):
+            assert_no_open_spans()
+        leaked.finish()
+        assert open_span_count() == before
+        assert_no_open_spans()
