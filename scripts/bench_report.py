@@ -12,10 +12,16 @@ Usage::
 
     PYTHONPATH=src python scripts/bench_report.py           # full run
     PYTHONPATH=src python scripts/bench_report.py --check   # CI smoke
+    PYTHONPATH=src python scripts/bench_report.py \\
+        --compare BENCH_quel.json --compare BENCH_storage.json
 
 ``--check`` runs every workload once with tiny parameters and validates
 the report shape without writing any file -- wired into
 ``scripts/bench_smoke.sh`` so a broken workload fails CI fast.
+
+``--compare`` re-runs the suites and exits nonzero when any workload's
+median (p50) regresses more than 25% against the named baseline report,
+guarding the committed BENCH_*.json numbers against perf regressions.
 """
 
 import argparse
@@ -103,6 +109,27 @@ def quel_report(rounds, chords=40, notes_per_chord=10):
     workloads = {}
     for name, source in sorted(statements.items()):
         workloads[name] = _time_workload(lambda s=source: session.execute(s), rounds)
+
+    # Repeated-statement scenario: the same source text executed over and
+    # over, the compile-and-cache layer's home turf.  The compiled session
+    # parses and compiles once (statement + plan caches), the ablated
+    # session re-parses and walks the AST per row on every execution.
+    repeated = (
+        "retrieve (a = n.pitch * 2 + 1, b = n.n - 3, c = n.label) "
+        "where n.n = %d and n.pitch > 0" % target
+    )
+    session.execute(repeated)  # warm: adaptive indexes settle the epoch
+    session.execute(repeated)
+    workloads["repeated_statement"] = _time_workload(
+        lambda: session.execute(repeated), rounds
+    )
+    interpreted = QuelSession(schema, use_compiled=False)
+    interpreted.execute("range of n is NOTE")
+    interpreted.execute(repeated)  # same warm-up, fairness
+    interpreted.execute(repeated)
+    workloads["repeated_statement_interpreted"] = _time_workload(
+        lambda: interpreted.execute(repeated), rounds
+    )
     return {
         "benchmark": "quel",
         "dataset": {"chords": chords, "notes_per_chord": notes_per_chord},
@@ -199,11 +226,78 @@ def validate_report(report):
     return report
 
 
+def compare_reports(current, baseline, threshold=0.25, min_delta_s=0.0005):
+    """Compare per-workload p50 timings of *current* against *baseline*.
+
+    Returns a list of human-readable regression lines (empty means the
+    comparison passes).  A workload regresses when its current p50
+    exceeds the baseline p50 by more than *threshold* (fractional) plus
+    *min_delta_s* of absolute slack -- the slack keeps sub-millisecond
+    workloads from flagging on scheduler noise.  Workloads present in
+    only one report are ignored, so reports can gain scenarios without
+    breaking older baselines.
+    """
+    regressions = []
+    base_workloads = baseline.get("workloads", {})
+    for name, stats in sorted(current["workloads"].items()):
+        base = base_workloads.get(name)
+        if base is None:
+            continue
+        base_p50 = base["p50_s"]
+        cur_p50 = stats["p50_s"]
+        if cur_p50 > base_p50 * (1.0 + threshold) + min_delta_s:
+            ratio = cur_p50 / base_p50 if base_p50 else float("inf")
+            regressions.append(
+                "%s: p50 %.6fs vs baseline %.6fs (%.2fx, budget %.0f%%)"
+                % (name, cur_p50, base_p50, ratio, threshold * 100.0)
+            )
+    return regressions
+
+
+def _run_compare(baseline_paths, current_by_kind):
+    """Compare fresh reports against each baseline file; returns an exit
+    status (0 pass, 1 any regression or unusable baseline)."""
+    failed = False
+    for path in baseline_paths:
+        try:
+            with open(path) as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as error:
+            print("compare: cannot read %s: %s" % (path, error))
+            failed = True
+            continue
+        current = current_by_kind.get(baseline.get("benchmark"))
+        if current is None:
+            print(
+                "compare: %s has unknown benchmark kind %r"
+                % (path, baseline.get("benchmark"))
+            )
+            failed = True
+            continue
+        regressions = compare_reports(current, baseline)
+        shared = len(
+            set(current["workloads"]) & set(baseline.get("workloads", {}))
+        )
+        if regressions:
+            failed = True
+            print("REGRESSION vs %s:" % path)
+            for line in regressions:
+                print("  " + line)
+        else:
+            print("compare OK vs %s (%d shared workloads)" % (path, shared))
+    return 1 if failed else 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--check", action="store_true",
         help="tiny rounds, validate report shapes, write nothing",
+    )
+    parser.add_argument(
+        "--compare", action="append", default=None, metavar="BASELINE",
+        help="compare against a baseline BENCH_*.json (repeatable); "
+             "exit nonzero on >25%% p50 regression, write nothing",
     )
     parser.add_argument(
         "--rounds", type=int, default=30,
@@ -227,6 +321,8 @@ def main(argv=None):
         print("bench report check OK (%d quel workloads, %d storage workloads)"
               % (len(quel["workloads"]), len(storage["workloads"])))
         return 0
+    if args.compare:
+        return _run_compare(args.compare, {"quel": quel, "storage": storage})
     out_dir = os.path.abspath(args.out_dir)
     quel_path = os.path.join(out_dir, "BENCH_quel.json")
     storage_path = os.path.join(out_dir, "BENCH_storage.json")

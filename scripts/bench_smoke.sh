@@ -2,8 +2,10 @@
 # Fast benchmark smoke target: assert ordering mutations stay O(1) in
 # row writes (no per-sibling renumbering on front insert), that the
 # order-key encoding keeps its >=10x lead over dense renumbering, that
-# no-sink tracing overhead stays under its 3% budget, and that the
-# bench report harness still produces valid BENCH_*.json shapes.
+# no-sink tracing overhead stays under its 3% budget, that the
+# bench report harness still produces valid BENCH_*.json shapes, and
+# that a fresh run shows no >25% median regression against the
+# committed BENCH_quel.json / BENCH_storage.json baselines.
 #
 # Runs in a few seconds; suitable for CI.  The full timing benches live
 # in benchmarks/ and are run separately with pytest-benchmark.
@@ -11,4 +13,7 @@ set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH=src python -m pytest benchmarks -q -k ordering -m ordering_smoke "$@"
 PYTHONPATH=src python -m pytest benchmarks/test_bench_obs.py -q -m obs_smoke
+PYTHONPATH=src python -m pytest benchmarks/test_bench_compare.py -q -m bench_compare
 PYTHONPATH=src python scripts/bench_report.py --check
+PYTHONPATH=src python scripts/bench_report.py --rounds 7 \
+    --compare BENCH_quel.json --compare BENCH_storage.json

@@ -77,6 +77,9 @@ class EntityType:
 
         self.table.schema.columns.append(Column(attribute.name, attribute.domain))
         self.table.schema._by_name[attribute.name] = self.table.schema.columns[-1]
+        # A widened schema changes what restrictions compile to: cached
+        # plans treating the attribute as unknown are now stale.
+        self.table.notify_schema_change()
         return attribute
 
     # -- instances -----------------------------------------------------------

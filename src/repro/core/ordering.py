@@ -163,10 +163,35 @@ class Ordering:
 
     def _ordered_child_rows(self, parent_surrogate):
         start, stop = self._bounds(parent_surrogate)
-        return [
-            self.table.get(rowid)
-            for rowid in self._order_index.rowids_slice(start, stop)
-        ]
+        return self.table.get_many(self._order_index.rowids_slice(start, stop))
+
+    # -- membership rows for query pushdown ------------------------------------
+    #
+    # The QUEL executor answers ``x under p`` / ``x before y`` conjuncts
+    # with one side bound by range-scanning the (parent, order_key)
+    # index instead of testing every candidate pair.  These helpers
+    # expose membership rows (parent/child/order_key) in sibling order,
+    # materialized in one batched pass.
+
+    def member_row_of(self, child):
+        """The membership row of *child*, or None."""
+        return self._membership_row(child)
+
+    def member_rows_under(self, parent_surrogate):
+        """All membership rows under *parent_surrogate*, in order."""
+        return self._ordered_child_rows(parent_surrogate)
+
+    def member_rows_before(self, row):
+        """Membership rows of siblings strictly before *row*, in order."""
+        start, _stop = self._bounds(row["parent"])
+        slot = self._order_index.rank((row["parent"], row["order_key"]))
+        return self.table.get_many(self._order_index.rowids_slice(start, slot))
+
+    def member_rows_after(self, row):
+        """Membership rows of siblings strictly after *row*, in order."""
+        _start, stop = self._bounds(row["parent"])
+        slot = self._order_index.rank((row["parent"], row["order_key"]))
+        return self.table.get_many(self._order_index.rowids_slice(slot + 1, stop))
 
     def _rebalance(self, parent_surrogate):
         """Rewrite one parent's sibling keys to evenly spaced multiples.

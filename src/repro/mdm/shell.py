@@ -123,7 +123,11 @@ class MdmShell:
                 rows = self.mdm.execute("explain " + statement)
             except MDMError as error:
                 return "error: %s" % error
-            return format_rows(rows)
+            rendered = format_rows(rows)
+            cache_info = getattr(self.mdm.session, "last_cache_info", None)
+            if cache_info is not None:
+                rendered += "\n(plan cache: %s)" % cache_info
+            return rendered
         if command == "\\metrics":
             return self.mdm.database.metrics.render()
         if command == "\\checks":

@@ -2,8 +2,25 @@
 
 Replaces the ad-hoc ``statistics()`` dict plumbing: every layer that
 wants a counter asks its registry once (``registry.counter("wal.appends")``)
-and increments the returned object directly, so the hot path is an
-attribute bump under one small lock, with no name lookups.
+and increments the returned object directly, with no name lookups.
+
+Counter increments and histogram observations are *lock-free on the
+write path*: each lands in a ``collections.deque`` (whose ``append``
+and ``popleft`` are single C calls, atomic under the GIL) and is folded
+into the running total on read -- or inline once the pending queue
+reaches a bound, so an instrument nobody reads stays O(1) in memory.
+The fold drains with ``popleft`` under the instrument's mutex, so no
+concurrent increment is ever lost: counts stay exact, which the
+concurrency and stress suites rely on.  Gauges keep a plain mutex --
+``set`` is last-write-wins, so reordering through a queue would change
+semantics, and no gauge sits on a per-statement hot path.
+
+For a (counter, histogram) pair updated together -- one statement, one
+latency -- a :class:`Tally` combines both writes into a single queue
+append, and its drain folds in bulk straight into the instruments'
+totals (two lock acquisitions per batch).  The per-statement hot path
+in ``repro.quel.executor`` uses one for ``quel.statements`` /
+``quel.statement_seconds``.
 
 Histograms use *fixed* bucket boundaries chosen at creation -- the
 Prometheus model -- so concurrent observers and exporters never see a
@@ -15,6 +32,11 @@ returns plain data (ints/floats/dicts) safe to serialize or diff.
 """
 
 import threading
+from bisect import bisect_left
+from collections import deque
+
+#: Pending writes tolerated before a writer folds inline.
+_PENDING_BOUND = 2048
 
 #: Default latency boundaries, in seconds (upper-inclusive edges).
 DEFAULT_BUCKETS = (
@@ -24,27 +46,45 @@ DEFAULT_BUCKETS = (
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (lock-free increments)."""
 
-    __slots__ = ("name", "_value", "_mutex")
+    __slots__ = ("name", "_value", "_pending", "_sources", "_mutex")
 
     def __init__(self, name):
         self.name = name
         self._value = 0
+        self._pending = deque()
+        self._sources = ()  # Tally queues that feed this instrument
         self._mutex = threading.Lock()
 
     def inc(self, amount=1):
         if amount < 0:
             raise ValueError("counter %r cannot decrease" % self.name)
+        pending = self._pending
+        pending.append(amount)
+        if len(pending) >= _PENDING_BOUND:
+            self._fold()
+
+    def _fold(self):
         with self._mutex:
-            self._value += amount
+            pending = self._pending
+            value = self._value
+            # Bounded drain: popleft never loses a concurrent append,
+            # and appends landing mid-drain wait for the next fold.
+            for _ in range(len(pending)):
+                value += pending.popleft()
+            self._value = value
 
     @property
     def value(self):
+        for source in self._sources:
+            source.drain()
+        if self._pending:
+            self._fold()
         return self._value
 
     def __repr__(self):
-        return "Counter(%r=%d)" % (self.name, self._value)
+        return "Counter(%r=%d)" % (self.name, self.value)
 
 
 class Gauge:
@@ -84,7 +124,10 @@ class Histogram:
     overflow bucket counts the rest.  ``sum``/``count`` give the mean.
     """
 
-    __slots__ = ("name", "buckets", "_counts", "_sum", "_count", "_mutex")
+    __slots__ = (
+        "name", "buckets", "_counts", "_sum", "_count", "_pending",
+        "_sources", "_mutex",
+    )
 
     def __init__(self, name, buckets=DEFAULT_BUCKETS):
         boundaries = tuple(buckets)
@@ -97,32 +140,55 @@ class Histogram:
         self._counts = [0] * (len(boundaries) + 1)
         self._sum = 0.0
         self._count = 0
+        self._pending = deque()
+        self._sources = ()  # Tally queues that feed this instrument
         self._mutex = threading.Lock()
 
     def observe(self, value):
-        slot = len(self.buckets)
-        for index, boundary in enumerate(self.buckets):
-            if value <= boundary:
-                slot = index
-                break
+        pending = self._pending
+        pending.append(value)
+        if len(pending) >= _PENDING_BOUND:
+            self._fold()
+
+    def _fold(self):
         with self._mutex:
-            self._counts[slot] += 1
-            self._sum += value
-            self._count += 1
+            pending = self._pending
+            buckets = self.buckets
+            counts = self._counts
+            for _ in range(len(pending)):
+                value = pending.popleft()
+                # bisect_left finds the first boundary >= value, i.e.
+                # the upper-inclusive bucket; past-the-end is overflow.
+                counts[bisect_left(buckets, value)] += 1
+                self._sum += value
+                self._count += 1
 
     @property
     def count(self):
+        for source in self._sources:
+            source.drain()
+        if self._pending:
+            self._fold()
         return self._count
 
     @property
     def sum(self):
+        for source in self._sources:
+            source.drain()
+        if self._pending:
+            self._fold()
         return self._sum
 
     @property
     def mean(self):
-        return self._sum / self._count if self._count else 0.0
+        count = self.count
+        return self._sum / count if count else 0.0
 
     def snapshot(self):
+        for source in self._sources:
+            source.drain()
+        if self._pending:
+            self._fold()
         with self._mutex:
             return {
                 "count": self._count,
@@ -136,8 +202,63 @@ class Histogram:
 
     def __repr__(self):
         return "Histogram(%r: n=%d, mean=%.6f)" % (
-            self.name, self._count, self.mean
+            self.name, self.count, self.mean
         )
+
+
+class Tally:
+    """One lock-free write feeding a Counter and a Histogram together.
+
+    The per-statement hot path pays a *single* deque append for the
+    (count, latency) pair instead of one write per instrument.  Reads
+    of either backing instrument drain the shared queue first (each
+    popleft moves one observation into both instruments' own lock-free
+    write paths), so totals stay exact and the counter always equals
+    the histogram's count for values routed through the tally.
+    """
+
+    __slots__ = ("counter", "histogram", "_pending")
+
+    def __init__(self, counter, histogram):
+        self.counter = counter
+        self.histogram = histogram
+        self._pending = deque()
+        counter._sources += (self,)
+        histogram._sources += (self,)
+
+    def observe(self, value):
+        pending = self._pending
+        pending.append(value)
+        if len(pending) >= _PENDING_BOUND:
+            self.drain()
+
+    def drain(self):
+        pending = self._pending
+        drained = []
+        # Bounded drain: popleft never loses a concurrent append, and
+        # appends landing mid-drain wait for the next drain.
+        for _ in range(len(pending)):
+            drained.append(pending.popleft())
+        if not drained:
+            return
+        # Fold in bulk straight into the instruments' totals: two lock
+        # acquisitions per batch instead of two queue writes per value.
+        counter = self.counter
+        with counter._mutex:
+            counter._value += len(drained)
+        histogram = self.histogram
+        with histogram._mutex:
+            counts = histogram._counts
+            buckets = histogram.buckets
+            total = 0.0
+            for value in drained:
+                counts[bisect_left(buckets, value)] += 1
+                total += value
+            histogram._sum += total
+            histogram._count += len(drained)
+
+    def __repr__(self):
+        return "Tally(%r, %r)" % (self.counter.name, self.histogram.name)
 
 
 class MetricsRegistry:
@@ -151,6 +272,7 @@ class MetricsRegistry:
     def __init__(self):
         self._mutex = threading.Lock()
         self._instruments = {}
+        self._tallies = {}
 
     def _get(self, name, kind, factory):
         with self._mutex:
@@ -174,6 +296,23 @@ class MetricsRegistry:
 
     def histogram(self, name, buckets=DEFAULT_BUCKETS):
         return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    def tally(self, counter_name, histogram_name):
+        """A write-combining :class:`Tally` over the named pair.
+
+        ``tally.observe(seconds)`` counts one event on *counter_name*
+        and records its latency on *histogram_name* with a single
+        queue write; asking again for the same pair returns the same
+        object.
+        """
+        counter = self.counter(counter_name)
+        histogram = self.histogram(histogram_name)
+        key = (counter_name, histogram_name)
+        with self._mutex:
+            existing = self._tallies.get(key)
+            if existing is None:
+                existing = self._tallies[key] = Tally(counter, histogram)
+            return existing
 
     def names(self):
         with self._mutex:

@@ -271,6 +271,16 @@ def get_tracer():
     return _installed
 
 
+def tracing_active():
+    """True when a tracer is installed.
+
+    Hot paths hoist this check so that with tracing off they skip the
+    ``span()`` calls (and their keyword-dict construction and attribute
+    records) entirely, substituting the shared :data:`NOOP_SPAN`.
+    """
+    return _installed is not None
+
+
 def span(name, **attrs):
     """Start a span on the installed tracer, or return the no-op span.
 

@@ -1,0 +1,142 @@
+"""Statement and plan caches for the compiled QUEL pipeline.
+
+Two layers, mirroring System R's compile-once/execute-many split:
+
+* :class:`StatementCache` -- per session.  Maps raw source text to its
+  parsed statement list, so repeated traffic skips the parser entirely.
+* :class:`PlanCache` -- per database, shared by every session.  Maps a
+  (statement fingerprint, range-binding shape, function-registry
+  version) key to a compiled plan, pinned to the database's schema
+  epoch.  DDL -- ``define entity``/``define relationship``/``define
+  ordering``, index creation, attribute widening -- bumps the epoch, so
+  a stale entry is detected on the next lookup, counted as an
+  invalidation, and recompiled.
+
+Counters surface through the shared MetricsRegistry as
+``quel.cache.{hits,misses,invalidations}`` (plan cache) and
+``quel.cache.statement_{hits,misses}`` (statement cache).
+"""
+
+import threading
+from collections import OrderedDict
+
+
+class PlanSlot:
+    """A session-local fast path: the last (epoch, functions-version,
+    ranges-version, compiled plan) seen for one cached statement,
+    letting the hot loop skip fingerprinting entirely when nothing
+    changed."""
+
+    __slots__ = ("epoch", "functions_version", "ranges_version", "compiled")
+
+    def __init__(self):
+        self.epoch = None
+        self.functions_version = None
+        self.ranges_version = None
+        self.compiled = None
+
+
+class StatementCacheEntry:
+    """One cached parse: the statement list plus a plan slot apiece."""
+
+    __slots__ = ("statements", "slots")
+
+    def __init__(self, statements):
+        self.statements = statements
+        # One PlanSlot per statement, same order.
+        self.slots = [PlanSlot() for _ in statements]
+
+
+class StatementCache:
+    """LRU source-text -> parsed-statements cache (one per session)."""
+
+    def __init__(self, metrics, capacity=256):
+        self._entries = OrderedDict()
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self.hits = metrics.counter("quel.cache.statement_hits")
+        self.misses = metrics.counter("quel.cache.statement_misses")
+
+    def __len__(self):
+        return len(self._entries)
+
+    def lookup(self, source):
+        with self._lock:
+            entry = self._entries.get(source)
+            if entry is None:
+                self.misses.inc()
+                return None
+            self._entries.move_to_end(source)
+            self.hits.inc()
+            return entry
+
+    def store(self, source, statements):
+        entry = StatementCacheEntry(statements)
+        with self._lock:
+            self._entries[source] = entry
+            self._entries.move_to_end(source)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+        return entry
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+
+
+class PlanCache:
+    """LRU compiled-plan cache (one per database, epoch-validated)."""
+
+    def __init__(self, metrics, capacity=512):
+        self._entries = OrderedDict()
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self.hits = metrics.counter("quel.cache.hits")
+        self.misses = metrics.counter("quel.cache.misses")
+        self.invalidations = metrics.counter("quel.cache.invalidations")
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, key, epoch):
+        """The cached plan for *key* at *epoch*, or None.  A stale entry
+        (compiled under an older epoch) counts as an invalidation plus a
+        miss and is dropped."""
+        with self._lock:
+            found = self._entries.get(key)
+            if found is None:
+                self.misses.inc()
+                return None
+            entry_epoch, compiled = found
+            if entry_epoch != epoch:
+                del self._entries[key]
+                self.invalidations.inc()
+                self.misses.inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits.inc()
+            return compiled
+
+    def put(self, key, epoch, compiled):
+        with self._lock:
+            self._entries[key] = (epoch, compiled)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+
+
+def plan_cache_for(database, metrics):
+    """The database-wide plan cache, created on first use.  Falls back
+    to a private cache when the schema has no backing database (bare
+    in-memory schemas in tests)."""
+    if database is None:
+        return PlanCache(metrics)
+    cache = getattr(database, "_quel_plan_cache", None)
+    if cache is None:
+        cache = PlanCache(metrics)
+        database._quel_plan_cache = cache
+    return cache

@@ -1,0 +1,618 @@
+"""Compilation of QUEL statements to Python closures.
+
+The interpreter in :mod:`repro.quel.executor` re-walks the qualification
+AST for every candidate binding.  This module lowers a statement once
+into a :class:`CompiledStatement`: every expression and conjunct becomes
+a closure of signature ``fn(rt, bindings)`` (*rt* is the executing
+:class:`~repro.quel.executor.QuelSession`), constant subexpressions are
+folded at compile time, equality restrictions and order-operator
+pushdown opportunities are annotated, and retrieve targets / mutation
+assignments are pre-split and pre-compiled.
+
+Compiled artifacts are session-independent: closures reach all runtime
+state (schema, function registry, orderings) through *rt*, so a plan
+compiled by one session can be executed by any session whose range
+bindings match -- which is exactly what the per-database plan cache in
+:mod:`repro.quel.cache` keys on, together with the structural
+:func:`fingerprint` and the database schema epoch.
+"""
+
+import operator as _operator
+
+from repro.core.entity import EntityInstance
+from repro.errors import QueryError
+from repro.quel import ast
+from repro.quel import planner
+
+_COMPARISONS = {
+    "=": _operator.eq,
+    "!=": _operator.ne,
+    "<": _operator.lt,
+    "<=": _operator.le,
+    ">": _operator.gt,
+    ">=": _operator.ge,
+}
+
+
+# -- structural fingerprinting ---------------------------------------------------
+
+
+def fingerprint(node):
+    """A structural key for an AST node: equal source shapes (including
+    literal values and their types) produce equal fingerprints."""
+    parts = []
+    _fingerprint(node, parts.append)
+    return "".join(parts)
+
+
+def _fingerprint(node, emit):
+    if node is None:
+        emit("~")
+        return
+    if isinstance(node, ast.Literal):
+        emit("L<%s:%r>" % (type(node.value).__name__, node.value))
+        return
+    if isinstance(node, ast.AttributeRef):
+        emit("A<%s.%s>" % (node.variable, node.attribute))
+        return
+    if isinstance(node, ast.VariableRef):
+        emit("V<%s>" % node.variable)
+        return
+    if isinstance(node, ast.BinaryOp):
+        emit("B<%s>(" % node.operator)
+        _fingerprint(node.left, emit)
+        _fingerprint(node.right, emit)
+        emit(")")
+        return
+    if isinstance(node, ast.FunctionCall):
+        emit("F<%s>(" % node.name)
+        for argument in node.arguments:
+            _fingerprint(argument, emit)
+        emit(")")
+        return
+    if isinstance(node, ast.Comparison):
+        emit("C<%s>(" % node.operator)
+        _fingerprint(node.left, emit)
+        _fingerprint(node.right, emit)
+        emit(")")
+        return
+    if isinstance(node, ast.IsClause):
+        emit("Is(")
+        _fingerprint(node.left, emit)
+        _fingerprint(node.right, emit)
+        emit(")")
+        return
+    if isinstance(node, ast.OrderClause):
+        emit("O<%s:%s>(" % (node.operator, node.order_name))
+        _fingerprint(node.left, emit)
+        _fingerprint(node.right, emit)
+        emit(")")
+        return
+    if isinstance(node, ast.UnderClause):
+        emit("U<%s>(" % (node.order_name,))
+        _fingerprint(node.child, emit)
+        _fingerprint(node.parent, emit)
+        emit(")")
+        return
+    if isinstance(node, ast.And):
+        emit("&(")
+        _fingerprint(node.left, emit)
+        _fingerprint(node.right, emit)
+        emit(")")
+        return
+    if isinstance(node, ast.Or):
+        emit("|(")
+        _fingerprint(node.left, emit)
+        _fingerprint(node.right, emit)
+        emit(")")
+        return
+    if isinstance(node, ast.Not):
+        emit("!(")
+        _fingerprint(node.operand, emit)
+        emit(")")
+        return
+    if isinstance(node, ast.Target):
+        emit("T<%s>(" % node.name)
+        _fingerprint(node.expression, emit)
+        emit(")")
+        return
+    raise QueryError("cannot fingerprint %r" % (node,))
+
+
+def statement_fingerprint(statement):
+    """A structural key for a whole (cacheable) statement."""
+    parts = []
+    emit = parts.append
+    if isinstance(statement, ast.RetrieveStatement):
+        emit("retrieve<u=%d,d=%d>(" % (statement.unique, statement.descending))
+        for target in statement.targets:
+            _fingerprint(target, emit)
+        emit(";")
+        _fingerprint(statement.where, emit)
+        emit(";")
+        _fingerprint(statement.sort_by, emit)
+        emit(")")
+    elif isinstance(statement, ast.AppendStatement):
+        emit("append<%s>(" % statement.entity_type)
+        for name, expression in statement.assignments:
+            emit("%s=" % name)
+            _fingerprint(expression, emit)
+        emit(";")
+        _fingerprint(statement.where, emit)
+        emit(")")
+    elif isinstance(statement, ast.ReplaceStatement):
+        emit("replace<%s>(" % statement.variable)
+        for name, expression in statement.assignments:
+            emit("%s=" % name)
+            _fingerprint(expression, emit)
+        emit(";")
+        _fingerprint(statement.where, emit)
+        emit(")")
+    elif isinstance(statement, ast.DeleteStatement):
+        emit("delete<%s>(" % statement.variable)
+        _fingerprint(statement.where, emit)
+        emit(")")
+    else:
+        raise QueryError("cannot fingerprint statement %r" % (statement,))
+    return "".join(parts)
+
+
+# -- compiled artifacts ----------------------------------------------------------
+
+
+class CompiledConjunct:
+    """One top-level conjunct: its AST node, referenced variables, and a
+    compiled truth closure ``truth(rt, bindings) -> bool``."""
+
+    __slots__ = ("node", "variables", "truth")
+
+    def __init__(self, node, variables, truth):
+        self.node = node
+        self.variables = variables
+        self.truth = truth
+
+
+class PushdownOption:
+    """One way to answer an order-operator conjunct by index range scan:
+    with *driver_var* bound, enumerate *enum_var* from the ordering's
+    ``(parent, order_key)`` index.  *mode* is the enumerated side's
+    relation to the driver: ``under`` (children of the driver), or
+    ``before`` / ``after`` (siblings strictly before/after it)."""
+
+    __slots__ = ("conjunct_index", "enum_var", "driver_var", "mode", "order_name")
+
+    def __init__(self, conjunct_index, enum_var, driver_var, mode, order_name):
+        self.conjunct_index = conjunct_index
+        self.enum_var = enum_var
+        self.driver_var = driver_var
+        self.mode = mode
+        self.order_name = order_name
+
+
+class CompiledAggregate:
+    """An aggregate retrieve target.  *arg_fn* is None when the call has
+    the wrong arity; the executor then raises only if a row exists,
+    matching the interpreter's lazy arity check."""
+
+    __slots__ = ("name", "function_name", "arg_fn")
+
+    def __init__(self, name, function_name, arg_fn):
+        self.name = name
+        self.function_name = function_name
+        self.arg_fn = arg_fn
+
+
+class CompiledStatement:
+    """Everything the executor needs to run one statement without
+    touching its AST again (except through prebuilt closures)."""
+
+    __slots__ = (
+        "statement", "kind", "used", "conjuncts", "restrictions",
+        "restriction_conjuncts", "pushdown_options", "targets",
+        "aggregates", "sort_fn", "assignments",
+    )
+
+    def __init__(self, statement, kind, used, conjuncts, restrictions,
+                 restriction_conjuncts, pushdown_options, targets=None,
+                 aggregates=None, sort_fn=None, assignments=None):
+        self.statement = statement
+        self.kind = kind
+        self.used = used
+        self.conjuncts = conjuncts
+        self.restrictions = restrictions
+        self.restriction_conjuncts = restriction_conjuncts
+        self.pushdown_options = pushdown_options
+        self.targets = targets
+        self.aggregates = aggregates
+        self.sort_fn = sort_fn
+        self.assignments = assignments
+
+
+# -- the compiler ----------------------------------------------------------------
+
+
+def _apply_binary(op, left, right):
+    """The interpreter's arithmetic semantics, applied to two values."""
+    if left is None or right is None:
+        return None
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise QueryError("division by zero")
+        if isinstance(left, int) and isinstance(right, int) and left % right == 0:
+            return left // right
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise QueryError("modulo by zero")
+        return left % right
+    raise QueryError("unknown operator %r" % op)
+
+
+class Compiler:
+    """Compiles one statement against a session's compile-time context
+    (range-variable bindings, function registry, known orderings)."""
+
+    def __init__(self, session):
+        self.session = session
+
+    # -- value expressions -------------------------------------------------------
+
+    def expression(self, node):
+        """Public entry: compile *node* to ``fn(rt, bindings) -> value``."""
+        fn, _, _ = self._expression(node)
+        return fn
+
+    def _expression(self, node):
+        """Compile to ``(fn, is_constant, constant_value)``."""
+        if isinstance(node, ast.Literal):
+            value = node.value
+            return (lambda rt, bindings: value), True, value
+        if isinstance(node, ast.AttributeRef):
+            variable, attribute = node.variable, node.attribute
+
+            def attr_fn(rt, bindings):
+                bound = bindings.get(variable)
+                if bound is None:
+                    raise QueryError("unbound range variable %r" % variable)
+                return bound[attribute]
+
+            return attr_fn, False, None
+        if isinstance(node, ast.VariableRef):
+            variable = node.variable
+
+            def var_fn(rt, bindings):
+                bound = bindings.get(variable)
+                if bound is None:
+                    raise QueryError("unbound range variable %r" % variable)
+                if isinstance(bound, EntityInstance):
+                    return bound.surrogate
+                raise QueryError(
+                    "relationship variable %r used as a value" % variable
+                )
+
+            return var_fn, False, None
+        if isinstance(node, ast.BinaryOp):
+            return self._binary_op(node)
+        if isinstance(node, ast.FunctionCall):
+            return self._function_call(node), False, None
+        raise QueryError("cannot evaluate %r" % (node,))
+
+    def _binary_op(self, node):
+        op = node.operator
+        left_fn, left_const, left_value = self._expression(node.left)
+        right_fn, right_const, right_value = self._expression(node.right)
+        if left_const and right_const:
+            # Constant folding.  A folding error (division by zero) must
+            # surface at evaluation time, not compile time, so explain
+            # and empty joins keep the interpreter's behavior.
+            try:
+                value = _apply_binary(op, left_value, right_value)
+            except QueryError as error:
+                message = str(error)
+
+                def raising(rt, bindings, _message=message):
+                    raise QueryError(_message)
+
+                return raising, False, None
+            return (lambda rt, bindings: value), True, value
+
+        def binary_fn(rt, bindings):
+            return _apply_binary(op, left_fn(rt, bindings), right_fn(rt, bindings))
+
+        return binary_fn, False, None
+
+    def _function_call(self, node):
+        if node.name == "ordinal":
+            return self._ordinal(node)
+        name = node.name
+        argument_fns = [self.expression(a) for a in node.arguments]
+
+        def call_fn(rt, bindings):
+            function = rt.functions.scalar(name)
+            return function(*[fn(rt, bindings) for fn in argument_fns])
+
+        return call_fn
+
+    def _ordinal(self, node):
+        if not 1 <= len(node.arguments) <= 2:
+            raise QueryError("ordinal() takes a range variable and an "
+                             "optional ordering name")
+        operand_fn = self.entity_operand(node.arguments[0])
+        order_name = None
+        if len(node.arguments) == 2:
+            name_node = node.arguments[1]
+            if not isinstance(name_node, ast.Literal) or not isinstance(
+                name_node.value, str
+            ):
+                raise QueryError("ordinal()'s second argument is an "
+                                 "ordering name string")
+            order_name = name_node.value
+
+        def ordinal_fn(rt, bindings):
+            instance = operand_fn(rt, bindings)
+            if instance is None:
+                return None
+            if order_name is not None:
+                ordering = rt.schema.ordering(order_name)
+            else:
+                ordering = rt._resolve_ordering(None, [instance])
+            return ordering.position_of(instance)
+
+        return ordinal_fn
+
+    # -- entity operands ---------------------------------------------------------
+
+    def entity_operand(self, node):
+        """Compile an entity operand to ``fn(rt, bindings) -> instance``."""
+        if isinstance(node, ast.VariableRef):
+            variable = node.variable
+
+            def var_operand(rt, bindings):
+                bound = bindings.get(variable)
+                if isinstance(bound, EntityInstance):
+                    return bound
+                raise QueryError(
+                    "%r is not an entity range variable" % variable
+                )
+
+            return var_operand
+        if isinstance(node, ast.AttributeRef):
+            value_fn = self.expression(node)
+            variable, attribute = node.variable, node.attribute
+
+            def attr_operand(rt, bindings):
+                value = value_fn(rt, bindings)
+                if value is None:
+                    return None
+                if isinstance(value, int):
+                    return rt.schema.instance(value)
+                raise QueryError(
+                    "%s.%s is not an entity reference" % (variable, attribute)
+                )
+
+            return attr_operand
+        raise QueryError("bad entity operand %r" % (node,))
+
+    # -- qualifications ----------------------------------------------------------
+
+    def truth(self, node):
+        """Compile a qualification to ``fn(rt, bindings) -> bool``."""
+        if isinstance(node, ast.And):
+            left, right = self.truth(node.left), self.truth(node.right)
+            return lambda rt, bindings: (
+                left(rt, bindings) and right(rt, bindings)
+            )
+        if isinstance(node, ast.Or):
+            left, right = self.truth(node.left), self.truth(node.right)
+            return lambda rt, bindings: (
+                left(rt, bindings) or right(rt, bindings)
+            )
+        if isinstance(node, ast.Not):
+            operand = self.truth(node.operand)
+            return lambda rt, bindings: not operand(rt, bindings)
+        if isinstance(node, ast.Comparison):
+            compare = _COMPARISONS.get(node.operator)
+            if compare is None:
+                raise QueryError("unknown comparison %r" % node.operator)
+            left_fn = self.expression(node.left)
+            right_fn = self.expression(node.right)
+
+            def comparison_fn(rt, bindings):
+                left = left_fn(rt, bindings)
+                if left is None:
+                    return False
+                right = right_fn(rt, bindings)
+                if right is None:
+                    return False
+                return compare(left, right)
+
+            return comparison_fn
+        if isinstance(node, ast.IsClause):
+            left_fn = self.entity_operand(node.left)
+            right_fn = self.entity_operand(node.right)
+
+            def is_fn(rt, bindings):
+                left = left_fn(rt, bindings)
+                if left is None:
+                    return False
+                right = right_fn(rt, bindings)
+                if right is None:
+                    return False
+                return left.surrogate == right.surrogate
+
+            return is_fn
+        if isinstance(node, ast.OrderClause):
+            left_fn = self.entity_operand(node.left)
+            right_fn = self.entity_operand(node.right)
+            order_name = node.order_name
+            is_before = node.operator == "before"
+
+            def order_fn(rt, bindings):
+                left = left_fn(rt, bindings)
+                if left is None:
+                    return False
+                right = right_fn(rt, bindings)
+                if right is None:
+                    return False
+                ordering = rt._resolve_ordering(order_name, [left, right])
+                if is_before:
+                    return ordering.before(left, right)
+                return ordering.after(left, right)
+
+            return order_fn
+        if isinstance(node, ast.UnderClause):
+            child_fn = self.entity_operand(node.child)
+            parent_fn = self.entity_operand(node.parent)
+            order_name = node.order_name
+
+            def under_fn(rt, bindings):
+                child = child_fn(rt, bindings)
+                if child is None:
+                    return False
+                parent = parent_fn(rt, bindings)
+                if parent is None:
+                    return False
+                ordering = rt._resolve_ordering(
+                    order_name, [child], parent=parent
+                )
+                return ordering.under(child, parent)
+
+            return under_fn
+        raise QueryError("cannot evaluate qualification %r" % (node,))
+
+    # -- order-operator pushdown -------------------------------------------------
+
+    def _resolved_order_name(self, clause_name, child_types, parent_type=None):
+        """The unique ordering name a clause resolves to at compile time,
+        or None when pushdown must be skipped (unknown explicit name, or
+        zero/ambiguous implicit candidates -- the per-row fallback then
+        reproduces the interpreter's error or empty-result behavior)."""
+        orderings = self.session.schema.orderings
+        if clause_name is not None:
+            return clause_name if clause_name in orderings else None
+        candidates = [
+            o for o in orderings.values()
+            if all(t in o.child_types for t in child_types)
+            and (parent_type is None or o.parent_type == parent_type)
+        ]
+        if len(candidates) == 1:
+            return candidates[0].name
+        return None
+
+    def _entity_variable(self, node):
+        """The range variable name when *node* is a VariableRef over an
+        entity range, else None."""
+        if not isinstance(node, ast.VariableRef):
+            return None
+        declared = self.session._range_for(node.variable)
+        if declared.kind != "entity":
+            return None
+        return node.variable
+
+    def pushdown_options(self, index, node):
+        """Pushdown options for conjunct *node* (may be empty)."""
+        if isinstance(node, ast.UnderClause):
+            child = self._entity_variable(node.child)
+            parent = self._entity_variable(node.parent)
+            if child is None or parent is None or child == parent:
+                return []
+            name = self._resolved_order_name(
+                node.order_name,
+                [self.session._range_for(child).type_name],
+                parent_type=self.session._range_for(parent).type_name,
+            )
+            if name is None:
+                return []
+            return [PushdownOption(index, child, parent, "under", name)]
+        if isinstance(node, ast.OrderClause):
+            left = self._entity_variable(node.left)
+            right = self._entity_variable(node.right)
+            if left is None or right is None or left == right:
+                return []
+            name = self._resolved_order_name(
+                node.order_name,
+                [
+                    self.session._range_for(left).type_name,
+                    self.session._range_for(right).type_name,
+                ],
+            )
+            if name is None:
+                return []
+            if node.operator == "before":
+                # ``left before right``: with right bound, left ranges
+                # over siblings before it; with left bound, right ranges
+                # over siblings after it.
+                return [
+                    PushdownOption(index, left, right, "before", name),
+                    PushdownOption(index, right, left, "after", name),
+                ]
+            return [
+                PushdownOption(index, left, right, "after", name),
+                PushdownOption(index, right, left, "before", name),
+            ]
+        return []
+
+
+def compile_statement(statement, session):
+    """Lower *statement* to a :class:`CompiledStatement` for *session*'s
+    current range bindings (the plan-cache key pins those, plus the
+    schema epoch and function-registry version)."""
+    compiler = Compiler(session)
+    used, where = session._plan_parts(statement)
+    conjunct_nodes = planner.split_conjuncts(where)
+    conjuncts = []
+    restrictions = {}
+    restriction_conjuncts = {}
+    pushdown_options = []
+    for index, node in enumerate(conjunct_nodes):
+        conjuncts.append(
+            CompiledConjunct(
+                node, frozenset(planner.variables_in(node)), compiler.truth(node)
+            )
+        )
+        for variable in used:
+            restriction = planner.equality_restriction(node, variable)
+            if restriction is not None:
+                restrictions.setdefault(variable, []).append(restriction)
+                restriction_conjuncts.setdefault(variable, []).append(index)
+        pushdown_options.extend(compiler.pushdown_options(index, node))
+
+    kind = type(statement).__name__
+    targets = aggregates = sort_fn = assignments = None
+    if isinstance(statement, ast.RetrieveStatement):
+        targets = []
+        aggregates = []
+        for target in statement.targets:
+            expression = target.expression
+            if isinstance(expression, ast.FunctionCall) and (
+                session.functions.is_aggregate(expression.name)
+            ):
+                arg_fn = None
+                if len(expression.arguments) == 1:
+                    arg_fn = compiler.expression(expression.arguments[0])
+                aggregates.append(
+                    CompiledAggregate(target.name, expression.name, arg_fn)
+                )
+            else:
+                targets.append((target.name, compiler.expression(expression)))
+        if statement.sort_by is not None:
+            sort_fn = compiler.expression(statement.sort_by)
+    elif isinstance(statement, (ast.AppendStatement, ast.ReplaceStatement)):
+        assignments = [
+            (name, compiler.expression(expression))
+            for name, expression in statement.assignments
+        ]
+    elif not isinstance(statement, ast.DeleteStatement):
+        raise QueryError("cannot compile statement %r" % (statement,))
+
+    return CompiledStatement(
+        statement, kind, list(used), conjuncts, restrictions,
+        restriction_conjuncts, pushdown_options, targets=targets,
+        aggregates=aggregates, sort_fn=sort_fn, assignments=assignments,
+    )

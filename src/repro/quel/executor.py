@@ -24,13 +24,27 @@ import threading
 import time
 
 from repro.errors import QueryError, QueryTimeoutError, ResourceLimitError
-from repro.core.entity import EntityInstance
+from repro.core.entity import SURROGATE_COLUMN, EntityInstance
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import span
+from repro.obs.trace import NOOP_SPAN, span, tracing_active
 from repro.quel import ast
+from repro.quel.cache import StatementCache, plan_cache_for
+from repro.quel.compile import (
+    CompiledAggregate,
+    compile_statement,
+    statement_fingerprint,
+)
 from repro.quel.functions import FunctionRegistry
 from repro.quel.parser import parse_quel
 from repro.quel import planner
+
+#: Statement types the compiler can lower (everything that joins).
+_COMPILABLE = (
+    ast.RetrieveStatement,
+    ast.AppendStatement,
+    ast.ReplaceStatement,
+    ast.DeleteStatement,
+)
 
 
 class ExecutionLimits:
@@ -91,8 +105,6 @@ class _EntityRange:
         a full unfiltered scan.  Returns ``(instances, access)`` with
         *access* one of "index", "filtered scan", "scan".
         """
-        from repro.core.entity import SURROGATE_COLUMN
-
         table = self.entity_type.table
         indexed = []
         residual = []
@@ -123,10 +135,8 @@ class _EntityRange:
             if not rowids:
                 return [], "index"
         out = []
-        for rowid in sorted(rowids):
-            row = table.get(rowid)
-            if row is None:
-                continue
+        # One batched pass: no per-rowid table.get round trips.
+        for row in table.get_many(sorted(rowids)):
             instance = EntityInstance(
                 self.entity_type, row[SURROGATE_COLUMN], row.rowid
             )
@@ -152,18 +162,17 @@ class _RelationshipRange:
     def candidates(self, restrictions):
         """Rows satisfying *restrictions*, plus the access path used.
 
-        Role columns are indexed at definition time; any restriction on
-        an indexed column is answered by rowid-set intersection, and the
-        rest are filtered in place.
+        Role columns are indexed at definition time; like
+        :class:`_EntityRange`, a restriction on any other real column
+        builds the missing index on first use, so it never silently
+        degrades to a filtered scan.  Rowid sets are intersected before
+        any row is materialized.
         """
         table = self.relationship.table
         indexed = []
         residual = []
         for attribute, value in restrictions:
-            if (
-                table.schema.has_column(attribute)
-                and table.any_index_for(attribute) is not None
-            ):
+            if table.schema.has_column(attribute):
                 indexed.append((attribute, value))
             else:
                 residual.append((attribute, value))
@@ -179,14 +188,16 @@ class _RelationshipRange:
             return rows, "scan"
         rowids = None
         for attribute, value in indexed:
-            matched = set(table.any_index_for(attribute).lookup(value))
+            index = table.any_index_for(attribute)
+            if index is None:
+                index = table.create_index(attribute)
+            matched = set(index.lookup(value))
             rowids = matched if rowids is None else rowids & matched
             if not rowids:
                 return [], "index"
         rows = []
-        for rowid in sorted(rowids):
-            row = table.get(rowid)
-            if row is not None and all(row.get(a) == v for a, v in residual):
+        for row in table.get_many(sorted(rowids)):
+            if all(row.get(a) == v for a, v in residual):
                 rows.append(row)
         return rows, "index"
 
@@ -194,17 +205,34 @@ class _RelationshipRange:
 class QuelSession:
     """Stateful QUEL session over one schema.
 
-    *use_indexes* exists for ablation benchmarking: with it off, every
-    range variable's candidate set is a full heap scan, reproducing the
-    section 5.2 baseline of an unindexed relation.
+    Ablation switches (each independently benchmarkable):
+
+    *use_indexes* -- with it off, every range variable's candidate set
+    is a full heap scan, reproducing the section 5.2 baseline of an
+    unindexed relation.
+
+    *use_compiled* -- with it off, every statement re-parses its source
+    and re-walks the qualification AST per candidate binding (the
+    interpreter).  On (the default), sources are parsed once per session
+    (statement cache) and statements are lowered once to Python closures
+    and cached per database, keyed on structural fingerprint and
+    invalidated by the schema epoch (plan cache).
+
+    *use_order_pushdown* -- with it off, ``before``/``after``/``under``
+    conjuncts are checked pairwise inside the join even on the compiled
+    path; on, a conjunct with one side bound enumerates the other side
+    by (parent, order_key) index range scan ("order range" in explain).
     """
 
-    def __init__(self, schema, use_indexes=True):
+    def __init__(self, schema, use_indexes=True, use_compiled=True,
+                 use_order_pushdown=True):
         self.schema = schema
         self.ranges = {}
         self.functions = FunctionRegistry()
         self._last_plan = None
         self.use_indexes = use_indexes
+        self.use_compiled = use_compiled
+        self.use_order_pushdown = use_order_pushdown
         self._limits_local = threading.local()
         # Statement-level metrics ("quel.*") land in the database's
         # registry; increments are per statement, never per row.
@@ -215,6 +243,25 @@ class QuelSession:
         self._statement_seconds = self.metrics.histogram(
             "quel.statement_seconds"
         )
+        # One queue write per statement covers both the counter and
+        # the latency histogram (they drain it on read).
+        self._statement_tally = self.metrics.tally(
+            "quel.statements", "quel.statement_seconds"
+        )
+        self._statement_cache = StatementCache(self.metrics)
+        self._plan_cache = plan_cache_for(
+            getattr(schema, "database", None), self.metrics
+        )
+        # Bumped on any range (re)declaration: a session-local plan slot
+        # compiled under old bindings must not be reused.
+        self._ranges_version = 0
+        self._last_cache_info = None
+
+    @property
+    def last_cache_info(self):
+        """'hit' or 'miss' for the last statement's plan-cache lookup,
+        or None when the statement did not consult the cache."""
+        return self._last_cache_info
 
     @property
     def last_plan(self):
@@ -252,56 +299,138 @@ class QuelSession:
         """Execute a QUEL program; returns the last statement's result.
 
         Retrieves return a list of result dicts; mutations return the
-        affected-instance count; range statements return None.
+        affected-instance count; range statements return None.  On the
+        compiled path a source text is parsed at most once per session;
+        repeats hit the statement cache and skip the parser.
         """
-        with span("quel.parse"):
-            statements = parse_quel(source)
+        entry = None
+        if self.use_compiled:
+            entry = self._statement_cache.lookup(source)
+        if entry is None:
+            with span("quel.parse"):
+                statements = parse_quel(source)
+            if self.use_compiled:
+                entry = self._statement_cache.store(source, statements)
         result = None
-        for statement in statements:
-            result = self.execute_statement(statement)
+        if entry is not None:
+            for statement, slot in zip(entry.statements, entry.slots):
+                result = self.execute_statement(statement, _slot=slot)
+        else:
+            for statement in statements:
+                result = self.execute_statement(statement)
         return result
 
-    def execute_statement(self, statement):
+    def execute_statement(self, statement, _slot=None):
+        self._last_cache_info = None
         if isinstance(statement, ast.RangeStatement):
             return self._declare_range(statement)
         if isinstance(statement, ast.ExplainStatement):
             return self._explain(statement)
-        statement_span = span(
-            "quel.statement", kind=type(statement).__name__
+        # The tracer check is hoisted so the no-sink path skips the
+        # span calls (and their kwargs dicts) entirely -- that is how
+        # the 3% overhead budget holds for cached compiled statements.
+        statement_span = (
+            span("quel.statement", kind=type(statement).__name__)
+            if tracing_active()
+            else NOOP_SPAN
         )
         started = time.monotonic()
         try:
-            return self._dispatch(statement)
+            return self._dispatch(statement, slot=_slot)
         except (QueryTimeoutError, ResourceLimitError) as exc:
             self._record_partial_progress(exc)
             statement_span.record("error", type(exc).__name__)
             raise
         finally:
-            statement_span.finish()
-            self._statement_seconds.observe(time.monotonic() - started)
-            self._statements.inc()
+            if statement_span is not NOOP_SPAN:
+                statement_span.finish()
+            self._statement_tally.observe(time.monotonic() - started)
 
-    def _dispatch(self, statement):
+    def _dispatch(self, statement, slot=None):
+        compiled = self._compiled_for(statement, slot)
         if isinstance(statement, ast.RetrieveStatement):
-            return self._with_statement_locks(self._retrieve, statement)
+            return self._with_statement_locks(
+                self._retrieve, statement, compiled=compiled
+            )
         if isinstance(statement, ast.AppendStatement):
             return self._with_statement_locks(
                 self._append, statement,
                 write_target=lambda: self.schema.entity_type(
                     statement.entity_type
                 ).table.name,
+                compiled=compiled,
             )
         if isinstance(statement, ast.ReplaceStatement):
             return self._with_statement_locks(
                 self._replace, statement,
                 write_target=lambda: self._variable_table(statement.variable),
+                compiled=compiled,
             )
         if isinstance(statement, ast.DeleteStatement):
             return self._with_statement_locks(
                 self._delete, statement,
                 write_target=lambda: self._variable_table(statement.variable),
+                compiled=compiled,
             )
         raise QueryError("unsupported statement %r" % (statement,))
+
+    # -- the compile-and-cache layer ---------------------------------------------
+
+    def _bindings_key(self, statement):
+        """The range-binding shape a compiled plan depends on."""
+        used, _ = self._plan_parts(statement)
+        parts = []
+        for variable in used:
+            declared = self._range_for(variable)
+            parts.append((variable, declared.kind, declared.type_name))
+        return tuple(parts)
+
+    def _compiled_for(self, statement, slot=None):
+        """The compiled form of *statement*, or None (interpreter path).
+
+        Consults the session-local :class:`~repro.quel.cache.PlanSlot`
+        first (valid while schema epoch, function registry, and range
+        declarations are unchanged), then the per-database plan cache
+        keyed on (fingerprint, binding shape, registry); compiles and
+        stores on miss.
+        """
+        if not self.use_compiled or not isinstance(statement, _COMPILABLE):
+            return None
+        epoch = self.schema.database.schema_epoch
+        functions_version = self.functions.version
+        if (
+            slot is not None
+            and slot.compiled is not None
+            and slot.epoch == epoch
+            and slot.functions_version == functions_version
+            and slot.ranges_version == self._ranges_version
+        ):
+            self._plan_cache.hits.inc()
+            self._last_cache_info = "hit"
+            return slot.compiled
+        key = (
+            statement_fingerprint(statement),
+            self._bindings_key(statement),
+            # Pristine registries are interchangeable; a session that
+            # registered functions gets entries private to its registry
+            # (the cache's reference also pins the registry, so the key
+            # can never alias a recycled one).
+            self.functions if functions_version else None,
+            functions_version,
+        )
+        compiled = self._plan_cache.get(key, epoch)
+        if compiled is None:
+            compiled = compile_statement(statement, self)
+            self._plan_cache.put(key, epoch, compiled)
+            self._last_cache_info = "miss"
+        else:
+            self._last_cache_info = "hit"
+        if slot is not None:
+            slot.epoch = epoch
+            slot.functions_version = functions_version
+            slot.ranges_version = self._ranges_version
+            slot.compiled = compiled
+        return compiled
 
     def _record_partial_progress(self, exc):
         """Publish how far a timed-out/over-budget statement got.
@@ -330,7 +459,12 @@ class QuelSession:
             return [{"plan": "range declaration (no plan)"}]
         if statement.analyze:
             return self._explain_analyze(inner)
-        return self._with_statement_locks(self._plan_only, inner)
+        compiled = (
+            self._compiled_for(inner) if isinstance(inner, _COMPILABLE) else None
+        )
+        return self._with_statement_locks(
+            self._plan_only, inner, compiled=compiled
+        )
 
     def _plan_parts(self, statement):
         """The (used variables, qualification) a statement would join over."""
@@ -359,7 +493,12 @@ class QuelSession:
             return sorted(used), statement.where
         raise QueryError("cannot explain %r" % (statement,))
 
-    def _plan_only(self, statement):
+    def _plan_only(self, statement, compiled=None):
+        if compiled is not None:
+            # gate=False: explain never evaluates even the constant
+            # conjuncts, matching the interpreter's plan-only path.
+            self._prepare_compiled(compiled, gate=False)
+            return self._last_plan.rows()
         used, where = self._plan_parts(statement)
         _, _, _, plan = self._build_plan(used, where)
         return plan.rows()
@@ -395,11 +534,13 @@ class QuelSession:
     def _variable_table(self, variable):
         return self._range_for(variable).table_name
 
-    def _with_statement_locks(self, method, statement, write_target=None):
-        """Run *method(statement)* under statement-scoped lock ownership.
+    def _with_statement_locks(self, method, statement, write_target=None,
+                              compiled=None):
+        """Run *method(statement, compiled)* under statement-scoped lock
+        ownership.
 
         Pre-acquires the exclusive lock on a mutation's target table;
-        range-variable tables are share-locked as :meth:`_bindings_for`
+        range-variable tables are share-locked as the binding generator
         resolves them.  Ephemeral (no-transaction) owners release their
         locks when the statement ends, success or error; transactional
         owners keep theirs until commit/abort (strict 2PL).
@@ -412,7 +553,7 @@ class QuelSession:
                 limits.check_deadline()
             if write_target is not None:
                 self.schema.database.write_table(write_target())
-            return method(statement)
+            return method(statement, compiled)
         finally:
             if ephemeral:
                 transactions.end_statement(owner)
@@ -435,6 +576,7 @@ class QuelSession:
             raise QueryError("range over unknown type %r" % name)
         for variable in statement.variables:
             self.ranges[variable] = target
+        self._ranges_version += 1
         return None
 
     def _range_for(self, variable):
@@ -446,10 +588,12 @@ class QuelSession:
         if self.schema.has_entity_type(variable):
             target = _EntityRange(self.schema.entity_type(variable))
             self.ranges[variable] = target
+            self._ranges_version += 1
             return target
         if variable in self.schema.relationships:
             target = _RelationshipRange(self.schema.relationship(variable))
             self.ranges[variable] = target
+            self._ranges_version += 1
             return target
         raise QueryError("undeclared range variable %r" % variable)
 
@@ -640,7 +784,7 @@ class QuelSession:
         session's last plan.  Returns ``(conjuncts, candidates, order,
         plan)``.
         """
-        plan_span = span("quel.plan")
+        plan_span = span("quel.plan") if tracing_active() else NOOP_SPAN
         try:
             conjuncts = planner.split_conjuncts(qualification)
             candidates = {}
@@ -666,14 +810,16 @@ class QuelSession:
             order = planner.order_variables(used_variables, counts, conjuncts)
             plan = planner.build_plan(order, counts, accesses)
             self._last_plan = plan
-            plan_span.record("label", plan.label)
-            plan_span.record("candidates", sum(counts.values()))
-            plan_span.record(
-                "index_hits",
-                sum(1 for access in accesses.values() if access == "index"),
-            )
+            if plan_span is not NOOP_SPAN:
+                plan_span.record("label", plan.label)
+                plan_span.record("candidates", sum(counts.values()))
+                plan_span.record(
+                    "index_hits",
+                    sum(1 for a in accesses.values() if a == "index"),
+                )
         finally:
-            plan_span.finish()
+            if plan_span is not NOOP_SPAN:
+                plan_span.finish()
         return conjuncts, candidates, order, plan
 
     def _bindings_for(self, used_variables, qualification):
@@ -721,7 +867,11 @@ class QuelSession:
         # The scan span brackets the whole join loop; a try/finally
         # closes it even when the caller abandons the generator early.
         visits_before = limits.visits if limits is not None else 0
-        scan_span = span("quel.scan", variables=len(order))
+        scan_span = (
+            span("quel.scan", variables=len(order))
+            if tracing_active()
+            else NOOP_SPAN
+        )
         rows_out = 0
         try:
             # Conjuncts whose variables are not a subset of any prefix
@@ -731,10 +881,266 @@ class QuelSession:
                 rows_out += 1
                 yield bindings
         finally:
-            if limits is not None:
-                scan_span.record("rows_visited", limits.visits - visits_before)
-            scan_span.record("rows_out", rows_out)
-            scan_span.finish()
+            if scan_span is not NOOP_SPAN:
+                if limits is not None:
+                    scan_span.record(
+                        "rows_visited", limits.visits - visits_before
+                    )
+                scan_span.record("rows_out", rows_out)
+                scan_span.finish()
+
+    # -- the compiled join --------------------------------------------------------------
+
+    def _choose_pushdowns(self, compiled):
+        """Pick at most one pushdown option per order conjunct.
+
+        The enumerated variable must not carry equality restrictions (an
+        index lookup would already make it cheap) and may be enumerated
+        for only one conjunct.  Among a conjunct's options, one whose
+        driver is restricted wins: the driver binds early and small.
+        Returns ``(dynamic, consumed)``: enum var -> option, plus the
+        conjunct indices the enumeration answers by construction.
+        """
+        dynamic = {}
+        consumed = set()
+        by_conjunct = {}
+        for option in compiled.pushdown_options:
+            by_conjunct.setdefault(option.conjunct_index, []).append(option)
+        for index in sorted(by_conjunct):
+            best = None
+            best_restricted = False
+            for option in by_conjunct[index]:
+                if option.enum_var in dynamic:
+                    continue
+                if compiled.restrictions.get(option.enum_var):
+                    continue
+                restricted = bool(compiled.restrictions.get(option.driver_var))
+                if best is None or (restricted and not best_restricted):
+                    best = option
+                    best_restricted = restricted
+            if best is not None:
+                dynamic[best.enum_var] = best
+                consumed.add(index)
+        return dynamic, consumed
+
+    def _prepare_compiled(self, compiled, gate=True):
+        """Lock tables, materialize candidates, and order the join.
+
+        Mirrors :meth:`_build_plan` for the compiled path, plus order-
+        operator pushdown: an enumerated variable gets no static
+        candidate list -- its candidates come from an index range scan
+        once its driver is bound ("order range" access).  Returns
+        ``(order, candidates, dynamic, checks_by_level)``, or None when
+        a constant conjunct gates the whole query out (*gate*; explain
+        passes False so nothing is evaluated).
+        """
+        plan_span = span("quel.plan") if tracing_active() else NOOP_SPAN
+        try:
+            ranges = {}
+            read_table = self.schema.database.read_table
+            for variable in compiled.used:
+                ranges[variable] = self._range_for(variable)
+                read_table(ranges[variable].table_name)
+            dynamic = {}
+            consumed = set()
+            if (
+                self.use_indexes
+                and self.use_order_pushdown
+                and compiled.pushdown_options
+            ):
+                dynamic, consumed = self._choose_pushdowns(compiled)
+
+            def static_candidates(variable):
+                restrictions = (
+                    list(compiled.restrictions.get(variable, ()))
+                    if self.use_indexes
+                    else []
+                )
+                return ranges[variable].candidates(restrictions)
+
+            candidates = {}
+            accesses = {}
+            counts = {}
+            static_vars = []
+            for variable in compiled.used:
+                if variable in dynamic:
+                    continue
+                static_vars.append(variable)
+                candidates[variable], accesses[variable] = static_candidates(
+                    variable
+                )
+                counts[variable] = len(candidates[variable])
+            nodes = [conjunct.node for conjunct in compiled.conjuncts]
+            order = planner.order_variables(static_vars, counts, nodes)
+            placed = set(order)
+            pending = dict(dynamic)
+            while pending:
+                advanced = None
+                for variable in sorted(pending):
+                    if pending[variable].driver_var in placed:
+                        advanced = variable
+                        break
+                if advanced is None:
+                    # Mutually-driven order clauses (a before b and b
+                    # before a): demote the rest to static candidates
+                    # and let the per-row checks decide.
+                    for variable in sorted(pending):
+                        option = pending[variable]
+                        consumed.discard(option.conjunct_index)
+                        del dynamic[variable]
+                        candidates[variable], accesses[variable] = (
+                            static_candidates(variable)
+                        )
+                        counts[variable] = len(candidates[variable])
+                        order.append(variable)
+                        placed.add(variable)
+                    pending.clear()
+                    break
+                option = pending.pop(advanced)
+                ordering = self.schema.ordering(option.order_name)
+                counts[advanced] = len(ordering.table)
+                accesses[advanced] = "order range"
+                order.append(advanced)
+                placed.add(advanced)
+            plan = planner.build_plan(order, counts, accesses)
+            self._last_plan = plan
+            if plan_span is not NOOP_SPAN:
+                plan_span.record("label", plan.label)
+                plan_span.record("candidates", sum(counts.values()))
+                plan_span.record(
+                    "index_hits",
+                    sum(1 for a in accesses.values() if a == "index"),
+                )
+        finally:
+            if plan_span is not NOOP_SPAN:
+                plan_span.finish()
+
+        if gate:
+            for conjunct in compiled.conjuncts:
+                if not conjunct.variables and not conjunct.truth(self, {}):
+                    return None
+
+        # Conjuncts answered structurally are skipped in the join:
+        # consumed order conjuncts hold by enumeration; a static
+        # variable's equality restrictions already filtered its
+        # candidates (only with use_indexes on -- ablation re-checks).
+        skip = set(consumed)
+        if self.use_indexes:
+            for variable in order:
+                if variable not in dynamic:
+                    skip.update(
+                        compiled.restriction_conjuncts.get(variable, ())
+                    )
+        checks_by_level = []
+        bound = set()
+        for variable in order:
+            bound.add(variable)
+            checks_by_level.append(
+                [
+                    conjunct.truth
+                    for index, conjunct in enumerate(compiled.conjuncts)
+                    if index not in skip
+                    and variable in conjunct.variables
+                    and conjunct.variables <= bound
+                ]
+            )
+        return order, candidates, dynamic, checks_by_level
+
+    def _order_range_candidates(self, option, bindings):
+        """Candidates for an enumerated variable, given its bound driver.
+
+        One (parent, order_key) range scan yields the membership rows;
+        each child surrogate is materialized through the enum type's
+        surrogate index, which silently drops children of other types --
+        exactly the rows the fallback conjunct would have rejected.
+        """
+        driver = bindings.get(option.driver_var)
+        if not isinstance(driver, EntityInstance):
+            return []
+        ordering = self.schema.ordering(option.order_name)
+        if option.mode == "under":
+            rows = ordering.member_rows_under(driver.surrogate)
+        else:
+            member = ordering.member_row_of(driver)
+            if member is None:
+                return []
+            if option.mode == "before":
+                rows = ordering.member_rows_before(member)
+            else:
+                rows = ordering.member_rows_after(member)
+        entity_type = self._range_for(option.enum_var).entity_type
+        index = entity_type.table.any_index_for(SURROGATE_COLUMN)
+        out = []
+        for row in rows:
+            rowids = index.lookup(row["child"])
+            if rowids:
+                out.append(EntityInstance(entity_type, row["child"], rowids[0]))
+        return out
+
+    def _compiled_bindings(self, compiled):
+        """Yield binding dicts for a compiled statement (the compiled
+        counterpart of :meth:`_bindings_for`)."""
+        limits = self.limits
+        if limits is not None:
+            limits.check_deadline()
+        prepared = self._prepare_compiled(compiled)
+        if prepared is None:
+            return
+        order, candidates, dynamic, checks_by_level = prepared
+        if not order:
+            # No range variables; the constant gate already passed.
+            yield {}
+            return
+        total = len(order)
+
+        def join(level, bindings):
+            if level == total:
+                yield dict(bindings)
+                return
+            variable = order[level]
+            option = dynamic.get(variable)
+            if option is None:
+                pool = candidates[variable]
+            else:
+                pool = self._order_range_candidates(option, bindings)
+            checks = checks_by_level[level]
+            for candidate in pool:
+                if limits is not None:
+                    limits.tick()
+                bindings[variable] = candidate
+                passed = True
+                for check in checks:
+                    if not check(self, bindings):
+                        passed = False
+                        break
+                if passed:
+                    yield from join(level + 1, bindings)
+            bindings.pop(variable, None)
+
+        visits_before = limits.visits if limits is not None else 0
+        scan_span = (
+            span("quel.scan", variables=total)
+            if tracing_active()
+            else NOOP_SPAN
+        )
+        rows_out = 0
+        try:
+            for bindings in join(0, {}):
+                rows_out += 1
+                yield bindings
+        finally:
+            if scan_span is not NOOP_SPAN:
+                if limits is not None:
+                    scan_span.record(
+                        "rows_visited", limits.visits - visits_before
+                    )
+                scan_span.record("rows_out", rows_out)
+                scan_span.finish()
+
+    def _evaluator(self, expression):
+        """An interpreter closure with the compiled calling convention,
+        so both paths share one statement loop."""
+        return lambda rt, bindings: rt._evaluate(expression, bindings)
 
     # -- statements -------------------------------------------------------------------
 
@@ -747,41 +1153,62 @@ class QuelSession:
             used |= set(extra)
         return sorted(used)
 
-    def _retrieve(self, statement):
-        used = self._used_variables(statement.targets, statement.where)
-        if statement.sort_by is not None:
-            used = sorted(set(used) | planner.variables_in(statement.sort_by))
-        rows = []
-        aggregate_targets = [
-            t
-            for t in statement.targets
-            if isinstance(t.expression, ast.FunctionCall)
-            and self.functions.is_aggregate(t.expression.name)
-        ]
-        plain_targets = [t for t in statement.targets if t not in aggregate_targets]
-        for bindings in self._bindings_for(used, statement.where):
-            record = {}
-            for target in plain_targets:
-                record[target.name] = self._evaluate(target.expression, bindings)
-            sort_key = (
-                self._evaluate(statement.sort_by, bindings)
+    def _retrieve(self, statement, compiled=None):
+        if compiled is not None:
+            bindings_iter = self._compiled_bindings(compiled)
+            plain = compiled.targets
+            aggregates = compiled.aggregates
+            sort_fn = compiled.sort_fn
+        else:
+            used = self._used_variables(statement.targets, statement.where)
+            if statement.sort_by is not None:
+                used = sorted(
+                    set(used) | planner.variables_in(statement.sort_by)
+                )
+            plain = []
+            aggregates = []
+            for target in statement.targets:
+                call = target.expression
+                if isinstance(call, ast.FunctionCall) and (
+                    self.functions.is_aggregate(call.name)
+                ):
+                    arg_fn = (
+                        self._evaluator(call.arguments[0])
+                        if len(call.arguments) == 1
+                        else None
+                    )
+                    aggregates.append(
+                        CompiledAggregate(target.name, call.name, arg_fn)
+                    )
+                else:
+                    plain.append((target.name, self._evaluator(call)))
+            sort_fn = (
+                self._evaluator(statement.sort_by)
                 if statement.sort_by is not None
                 else None
             )
+            bindings_iter = self._bindings_for(used, statement.where)
+
+        rows = []
+        for bindings in bindings_iter:
+            record = {}
+            for name, fn in plain:
+                record[name] = fn(self, bindings)
+            sort_key = sort_fn(self, bindings) if sort_fn is not None else None
             aggregate_inputs = {}
-            for target in aggregate_targets:
-                call = target.expression
-                if len(call.arguments) != 1:
+            for aggregate in aggregates:
+                if aggregate.arg_fn is None:
                     raise QueryError(
-                        "aggregate %s takes exactly one argument" % call.name
+                        "aggregate %s takes exactly one argument"
+                        % aggregate.function_name
                     )
-                aggregate_inputs[target.name] = self._evaluate(
-                    call.arguments[0], bindings
+                aggregate_inputs[aggregate.name] = aggregate.arg_fn(
+                    self, bindings
                 )
             rows.append((record, sort_key, aggregate_inputs))
 
-        if aggregate_targets:
-            out = self._aggregate_rows(rows, plain_targets, aggregate_targets)
+        if aggregates:
+            out = self._aggregate_rows(rows, bool(plain), aggregates)
             self._rows_returned.inc(len(out))
             return out
 
@@ -795,7 +1222,7 @@ class QuelSession:
         self._rows_returned.inc(len(out))
         return out
 
-    def _aggregate_rows(self, rows, plain_targets, aggregate_targets):
+    def _aggregate_rows(self, rows, has_plain, aggregates):
         """Aggregate semantics: no plain targets => one global row;
         otherwise group by the plain-target values."""
         groups = {}
@@ -807,68 +1234,83 @@ class QuelSession:
                 order.append(key)
             for name, value in aggregate_inputs.items():
                 groups[key][1][name].append(value)
-        if not plain_targets and not rows:
+        if not has_plain and not rows:
             # Aggregates over an empty result still produce one row.
             record = {}
-            for target in aggregate_targets:
-                function = self.functions.aggregate(target.expression.name)
-                record[target.name] = function([])
+            for aggregate in aggregates:
+                function = self.functions.aggregate(aggregate.function_name)
+                record[aggregate.name] = function([])
             return [record]
         out = []
         for key in order:
             record, inputs = groups[key]
             result = dict(record)
-            for target in aggregate_targets:
-                function = self.functions.aggregate(target.expression.name)
-                result[target.name] = function(inputs.get(target.name, []))
+            for aggregate in aggregates:
+                function = self.functions.aggregate(aggregate.function_name)
+                result[aggregate.name] = function(inputs.get(aggregate.name, []))
             out.append(result)
         return out
 
-    def _append(self, statement):
+    def _assignment_fns(self, statement, compiled):
+        if compiled is not None:
+            return compiled.assignments
+        return [
+            (name, self._evaluator(expression))
+            for name, expression in statement.assignments
+        ]
+
+    def _append(self, statement, compiled=None):
         entity_type = self.schema.entity_type(statement.entity_type)
-        used = set()
-        for _, expression in statement.assignments:
-            used |= planner.variables_in(expression)
-        used |= planner.variables_in(statement.where)
+        assignments = self._assignment_fns(statement, compiled)
+        if compiled is not None:
+            bindings_iter = self._compiled_bindings(compiled)
+        else:
+            used = set()
+            for _, expression in statement.assignments:
+                used |= planner.variables_in(expression)
+            used |= planner.variables_in(statement.where)
+            bindings_iter = self._bindings_for(sorted(used), statement.where)
         count = 0
-        for bindings in self._bindings_for(sorted(used), statement.where):
-            values = {
-                name: self._evaluate(expression, bindings)
-                for name, expression in statement.assignments
-            }
+        for bindings in bindings_iter:
+            values = {name: fn(self, bindings) for name, fn in assignments}
             entity_type.create(**values)
             count += 1
         return count
 
-    def _matching_instances(self, variable, where, extra_targets=()):
+    def _matching_instances(self, variable, where, extra_targets=(),
+                            compiled=None):
         """Distinct instances of *variable* satisfying *where*."""
-        used = {variable}
-        used |= planner.variables_in(where)
-        for expression in extra_targets:
-            used |= planner.variables_in(expression)
+        if compiled is not None:
+            bindings_iter = self._compiled_bindings(compiled)
+        else:
+            used = {variable}
+            used |= planner.variables_in(where)
+            for expression in extra_targets:
+                used |= planner.variables_in(expression)
+            bindings_iter = self._bindings_for(sorted(used), where)
         seen = {}
-        for bindings in self._bindings_for(sorted(used), where):
+        for bindings in bindings_iter:
             bound = bindings[variable]
             if not isinstance(bound, EntityInstance):
                 raise QueryError("%r is not an entity range variable" % variable)
             seen.setdefault(bound.surrogate, (bound, dict(bindings)))
         return list(seen.values())
 
-    def _replace(self, statement):
+    def _replace(self, statement, compiled=None):
         expressions = [e for _, e in statement.assignments]
+        assignments = self._assignment_fns(statement, compiled)
         matches = self._matching_instances(
-            statement.variable, statement.where, expressions
+            statement.variable, statement.where, expressions, compiled=compiled
         )
         for instance, bindings in matches:
-            updates = {
-                name: self._evaluate(expression, bindings)
-                for name, expression in statement.assignments
-            }
+            updates = {name: fn(self, bindings) for name, fn in assignments}
             instance.set(**updates)
         return len(matches)
 
-    def _delete(self, statement):
-        matches = self._matching_instances(statement.variable, statement.where)
+    def _delete(self, statement, compiled=None):
+        matches = self._matching_instances(
+            statement.variable, statement.where, compiled=compiled
+        )
         for instance, _ in matches:
             # Remove from orderings/relationships first so the delete is legal.
             for ordering in self.schema.orderings.values():

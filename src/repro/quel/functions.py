@@ -105,13 +105,18 @@ class FunctionRegistry:
     def __init__(self):
         self.scalars = dict(SCALARS)
         self.aggregates = dict(AGGREGATES)
+        # Bumped on registration; part of the compiled-plan cache key,
+        # since whether a call is an aggregate is decided at compile time.
+        self.version = 0
 
     def register_scalar(self, name, function):
         self.scalars[name.lower()] = function
+        self.version += 1
 
     def register_aggregate(self, name, function):
         """Register a user-defined aggregate: function(list of values)."""
         self.aggregates[name.lower()] = function
+        self.version += 1
 
     def is_aggregate(self, name):
         return name.lower() in self.aggregates

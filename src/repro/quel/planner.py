@@ -104,7 +104,9 @@ def order_variables(variables, candidate_counts, conjuncts):
 
 class PlanStep:
     """One binding step of a query plan: bind *variable* using *access*
-    ("index", "filtered scan", or "scan") over *candidates* rows."""
+    ("index", "filtered scan", "scan", or "order range" -- the last when
+    an order-operator conjunct enumerates the variable by (parent,
+    order_key) index range scan) over *candidates* rows."""
 
     __slots__ = ("variable", "access", "candidates")
 

@@ -52,6 +52,11 @@ class Database:
         self._tables = {}
         self._log = None
         self._degraded_reason = None
+        # Bumped on any change to the queryable shape of the database --
+        # table create/drop, new index, widened entity schema -- so
+        # cached query plans (see repro.quel.cache) can detect staleness
+        # with one integer compare.
+        self.schema_epoch = 0
         # One registry per database; the WAL, pager, lock manager, and
         # QUEL executor above all record into it.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -76,9 +81,10 @@ class Database:
         schema = TableSchema(name, [Column(n, d) for n, d in columns])
         table = Table(
             schema, journal=self._journal_for(name), guard=self._guard_for(name),
-            metrics=self.metrics,
+            metrics=self.metrics, on_schema_change=self.bump_schema_epoch,
         )
         self._tables[name] = table
+        self.bump_schema_epoch()
         self._persist_catalog()
         return table
 
@@ -104,6 +110,7 @@ class Database:
         if name not in self._tables:
             raise StorageError("no table %r" % name)
         del self._tables[name]
+        self.bump_schema_epoch()
         self._persist_catalog()
 
     def _persist_catalog(self):
@@ -116,6 +123,10 @@ class Database:
             for name, table in self._tables.items()
         }
         self._write_json_atomic(_CATALOG_FILE, catalog)
+
+    def bump_schema_epoch(self):
+        """Invalidate cached query plans compiled under the old shape."""
+        self.schema_epoch += 1
 
     def table(self, name):
         try:

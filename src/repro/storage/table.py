@@ -79,7 +79,8 @@ class Table:
     the transaction layer turns into WAL entries and undo actions.
     """
 
-    def __init__(self, schema, journal=None, guard=None, metrics=None):
+    def __init__(self, schema, journal=None, guard=None, metrics=None,
+                 on_schema_change=None):
         self.schema = schema
         self.name = schema.name
         self._rows = {}
@@ -101,6 +102,9 @@ class Table:
         # Bumped on EVERY row mutation, including the non-journalled
         # recovery/undo paths, so derived caches can detect staleness.
         self.version = 0
+        # Notified when the table's queryable shape changes (new index,
+        # widened schema); the database routes this to its schema epoch.
+        self._on_schema_change = on_schema_change
 
     # -- introspection ----------------------------------------------------
 
@@ -116,6 +120,21 @@ class Table:
     def get(self, rowid):
         """Return the row with *rowid*, or None."""
         return self._rows.get(rowid)
+
+    def get_many(self, rowids):
+        """Rows for *rowids*, in the given order, skipping missing ones.
+
+        One pass over a snapshot of the row map: callers holding a read
+        lock materialize a whole candidate list without a per-rowid
+        ``get`` round trip each.
+        """
+        rows = self._rows
+        out = []
+        for rowid in rowids:
+            row = rows.get(rowid)
+            if row is not None:
+                out.append(row)
+        return out
 
     def require(self, rowid):
         row = self._rows.get(rowid)
@@ -157,7 +176,12 @@ class Table:
         for row in self._rows.values():
             index.insert(self._index_value(column, row), row.rowid)
         self._indexes[key] = index
+        self.notify_schema_change()
         return index
+
+    def notify_schema_change(self):
+        if self._on_schema_change is not None:
+            self._on_schema_change()
 
     def index_for(self, column, ordered=False):
         if isinstance(column, (tuple, list)):

@@ -1,5 +1,7 @@
 """Unit tests for the metrics registry and its instruments."""
 
+import threading
+
 import pytest
 
 from repro.obs.metrics import (
@@ -64,6 +66,49 @@ class TestHistogram:
 
     def test_default_buckets_are_increasing(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestTally:
+    def test_one_write_feeds_both_instruments(self):
+        registry = MetricsRegistry()
+        tally = registry.tally("stmt", "stmt_seconds")
+        tally.observe(0.002)
+        tally.observe(0.004)
+        assert registry.counter("stmt").value == 2
+        histogram = registry.histogram("stmt_seconds")
+        assert histogram.count == 2
+        assert histogram.sum == pytest.approx(0.006)
+        assert histogram.snapshot()["buckets"]["le_0.0025"] == 1
+
+    def test_same_pair_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.tally("a", "b") is registry.tally("a", "b")
+
+    def test_mixes_with_direct_writes(self):
+        registry = MetricsRegistry()
+        tally = registry.tally("stmt", "stmt_seconds")
+        registry.counter("stmt").inc(3)
+        tally.observe(0.001)
+        registry.histogram("stmt_seconds").observe(0.5)
+        assert registry.counter("stmt").value == 4
+        assert registry.histogram("stmt_seconds").count == 2
+
+    def test_exact_under_concurrency(self):
+        registry = MetricsRegistry()
+        tally = registry.tally("stmt", "stmt_seconds")
+        per_thread = 5000
+
+        def hammer():
+            for _ in range(per_thread):
+                tally.observe(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("stmt").value == 4 * per_thread
+        assert registry.histogram("stmt_seconds").count == 4 * per_thread
 
 
 class TestRegistry:

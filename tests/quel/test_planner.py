@@ -53,9 +53,21 @@ class TestPlanShapes:
         assert plan.label == "index+scan"
         assert [step.variable for step in plan.steps] == ["b", "a"]
 
-    def test_under_query_is_index_plus_scan(self, session):
+    def test_under_query_is_index_plus_order_range(self, session):
+        # The bound parent drives a (parent, order_key) range scan for n
+        # instead of testing every (n, c) pair.
         session.execute("retrieve (n.n) where n under c in o and c.n = 0")
-        assert session.last_plan_object.label == "index+scan"
+        assert session.last_plan_object.label == "index+order range"
+
+    def test_under_query_without_pushdown_keeps_legacy_plan(self, session):
+        ablated = QuelSession(session.schema, use_order_pushdown=False)
+        ablated.execute("range of n is NOTE")
+        ablated.execute("range of c is CHORD")
+        rows = ablated.execute(
+            "retrieve (n.n) where n under c in o and c.n = 0"
+        )
+        assert len(rows) == 10
+        assert ablated.last_plan_object.label == "index+scan"
 
     def test_constant_query_has_no_steps(self, session):
         session.execute("retrieve (x = 1 + 2)")
