@@ -30,6 +30,7 @@ import os
 import shutil
 import sys
 import tempfile
+import threading
 import time
 
 sys.path.insert(
@@ -164,6 +165,54 @@ def storage_report(rounds, row_count=200):
         workloads["table_select_eq"] = _time_workload(
             lambda: table.select_eq("k", row_count // 2), rounds
         )
+
+        # COPY-style bulk load: one BATCH_INSERT frame + one group-commit
+        # flush per batch instead of a frame + fsync per row.
+        bulk = database.create_table(
+            "bulk", [("k", "integer"), ("v", "string")]
+        )
+        bulk.create_index("k")
+
+        def bulk_ingest():
+            base = counter[0]
+            counter[0] += row_count
+            database.bulk_ingest(
+                "bulk",
+                [
+                    {"k": base + offset, "v": "value-%d" % offset}
+                    for offset in range(row_count)
+                ],
+            )
+
+        workloads["bulk_ingest"] = _time_workload(bulk_ingest, rounds)
+
+        # Group commit under contention: 8 threads auto-commit inserts
+        # into their own tables (so strict 2PL does not serialize them)
+        # and their flushes coalesce -- wal.commits_per_fsync in the
+        # metrics snapshot shows the amortization.
+        conc_tables = [
+            database.create_table("conc%d" % i, [("k", "integer")])
+            for i in range(8)
+        ]
+        per_thread = max(1, row_count // 40)
+
+        def concurrent_insert():
+            def hammer(tab, base):
+                for offset in range(per_thread):
+                    tab.insert({"k": base + offset})
+
+            base = counter[0]
+            counter[0] += per_thread
+            threads = [
+                threading.Thread(target=hammer, args=(tab, base))
+                for tab in conc_tables
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        workloads["concurrent_insert"] = _time_workload(concurrent_insert, rounds)
         workloads["checkpoint"] = _time_workload(database.checkpoint, rounds)
         metrics_snapshot = database.metrics.snapshot()
         database.close()

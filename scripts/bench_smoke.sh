@@ -5,7 +5,9 @@
 # no-sink tracing overhead stays under its 3% budget, that the
 # bench report harness still produces valid BENCH_*.json shapes, and
 # that a fresh run shows no >25% median regression against the
-# committed BENCH_quel.json / BENCH_storage.json baselines.
+# committed BENCH_quel.json / BENCH_storage.json baselines (which
+# cover the group-commit write path: bulk_ingest and concurrent_insert
+# ride the same gate).
 #
 # Runs in a few seconds; suitable for CI.  The full timing benches live
 # in benchmarks/ and are run separately with pytest-benchmark.

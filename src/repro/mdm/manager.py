@@ -109,6 +109,10 @@ class MusicDataManager:
     def begin(self):
         return self.database.begin()
 
+    def bulk_ingest(self, table_name, rows, batch_rows=1000):
+        """COPY-style bulk load (see Database.bulk_ingest)."""
+        return self.database.bulk_ingest(table_name, rows, batch_rows=batch_rows)
+
     def checkpoint(self):
         self.database.checkpoint()
 

@@ -200,6 +200,39 @@ class MdmSession:
         finally:
             run_span.finish()
 
+    def bulk_ingest(self, table_name, rows, timeout=None, batch_rows=1000):
+        """Bulk-load *rows* into *table_name* through the service layer.
+
+        Admission-gated and deadline-bounded like :meth:`run`, but NOT
+        retried: batches commit as they complete, so blindly re-running
+        a half-finished load would double-apply the committed prefix.
+        A wait-die abort or deadline expiry mid-load surfaces to the
+        caller, who knows how many rows landed (the committed prefix
+        is durable and whole batches long).  The deadline also bounds
+        each batch's group-commit flush wait via the transaction
+        manager's thread-local deadline.
+        """
+        window = self.default_timeout if timeout is None else timeout
+        deadline = None if window is None else self._clock() + window
+        transactions = self.mdm.database.transactions
+        ingest_span = span("mdm.bulk_ingest", session=self.name,
+                           table=table_name)
+        try:
+            self.mdm.admission.acquire(deadline)
+            try:
+                transactions.set_deadline(deadline)
+                out = self.mdm.bulk_ingest(
+                    table_name, rows, batch_rows=batch_rows
+                )
+                self.mdm.metrics.incr("bulk_rows", len(out))
+                ingest_span.record("rows", len(out))
+                return out
+            finally:
+                transactions.clear_deadline()
+                self.mdm.admission.release()
+        finally:
+            ingest_span.finish()
+
     # -- internals -------------------------------------------------------------
 
     def _run_with_retries(self, fn, deadline, row_budget):

@@ -18,7 +18,12 @@ import logging
 import os
 import struct
 
-from repro.errors import ReadOnlyError, RecoveryError, StorageError
+from repro.errors import (
+    ReadOnlyError,
+    RecoveryError,
+    StorageError,
+    TransactionError,
+)
 
 logger = logging.getLogger(__name__)
 from repro.obs.metrics import MetricsRegistry
@@ -82,6 +87,7 @@ class Database:
         table = Table(
             schema, journal=self._journal_for(name), guard=self._guard_for(name),
             metrics=self.metrics, on_schema_change=self.bump_schema_epoch,
+            journal_batch=self._journal_batch_for(name),
         )
         self._tables[name] = table
         self.bump_schema_epoch()
@@ -151,6 +157,11 @@ class Database:
             self.transactions.journal(action, name, new_row, old_row)
         return journal
 
+    def _journal_batch_for(self, table_name):
+        def journal_batch(name, rows):
+            self.transactions.journal_insert_batch(name, rows)
+        return journal_batch
+
     def _guard_for(self, table_name):
         """Pre-mutation hook: runs BEFORE a row changes, so a refusal
         (degraded mode) or a wait-die abort leaves the table untouched
@@ -201,6 +212,38 @@ class Database:
 
     def begin(self):
         return self.transactions.begin()
+
+    def bulk_ingest(self, table_name, rows, batch_rows=1000):
+        """COPY-style bulk load: insert *rows* (dicts) into *table_name*.
+
+        Chunks the input into batches of *batch_rows*; each batch takes
+        the table X lock once, installs its rows with index builds
+        deferred to the end of the batch, and journals one BATCH_INSERT
+        frame whose group-commit flush acknowledges the whole chunk.
+        Batches commit as they complete: a failure mid-load leaves the
+        already-committed prefix durable (the partially applied batch
+        itself is rolled back), which is why running one inside an
+        explicit transaction is refused rather than silently breaking
+        its atomicity.  Returns the list of inserted Rows.
+        """
+        if self.transactions.current() is not None:
+            raise TransactionError(
+                "bulk_ingest commits per batch and cannot run inside an "
+                "explicit transaction; use table.insert_many instead"
+            )
+        self.assert_writable()
+        table = self.table(table_name)
+        rows = list(rows)
+        out = []
+        for start in range(0, len(rows), batch_rows):
+            chunk = rows[start:start + batch_rows]
+            owner, ephemeral = self.transactions.begin_statement()
+            try:
+                out.extend(table.insert_many(chunk))
+            finally:
+                if ephemeral:
+                    self.transactions.end_statement(owner)
+        return out
 
     # -- locked access helpers (used by the QUEL executor) ---------------------------
 

@@ -25,6 +25,12 @@ class HashIndex:
     def insert(self, value, rowid):
         self._buckets.setdefault(self._key(value), set()).add(rowid)
 
+    def insert_many(self, pairs):
+        """Bulk insert of ``(value, rowid)`` pairs."""
+        buckets = self._buckets
+        for value, rowid in pairs:
+            buckets.setdefault(self._key(value), set()).add(rowid)
+
     def delete(self, value, rowid):
         key = self._key(value)
         bucket = self._buckets.get(key)
@@ -99,6 +105,29 @@ class OrderedIndex:
             self._postings[key] = [rowid]
         else:
             bisect.insort(postings, rowid)
+
+    def insert_many(self, pairs):
+        """Bulk insert of ``(value, rowid)`` pairs.
+
+        Large batches pay one key-list sort instead of a
+        ``bisect.insort`` (O(n) list shift) per previously unseen key.
+        """
+        if len(pairs) < 16:
+            for value, rowid in pairs:
+                self.insert(value, rowid)
+            return
+        new_keys = []
+        for value, rowid in pairs:
+            key = value_sort_key(value)
+            postings = self._postings.get(key)
+            if postings is None:
+                self._postings[key] = [rowid]
+                new_keys.append(key)
+            else:
+                bisect.insort(postings, rowid)
+        if new_keys:
+            self._keys.extend(new_keys)
+            self._keys.sort()
 
     def delete(self, value, rowid):
         key = value_sort_key(value)
@@ -178,6 +207,26 @@ class OrderedCompositeIndex:
             self._postings[key] = [rowid]
         else:
             bisect.insort(postings, rowid)
+
+    def insert_many(self, pairs):
+        """Bulk insert of ``(values, rowid)`` pairs (one sort, as in
+        :meth:`OrderedIndex.insert_many`)."""
+        if len(pairs) < 16:
+            for values, rowid in pairs:
+                self.insert(values, rowid)
+            return
+        new_keys = []
+        for values, rowid in pairs:
+            key = self.make_key(values)
+            postings = self._postings.get(key)
+            if postings is None:
+                self._postings[key] = [rowid]
+                new_keys.append(key)
+            else:
+                bisect.insort(postings, rowid)
+        if new_keys:
+            self._keys.extend(new_keys)
+            self._keys.sort()
 
     def delete(self, values, rowid):
         key = self.make_key(values)

@@ -80,13 +80,17 @@ class Table:
     """
 
     def __init__(self, schema, journal=None, guard=None, metrics=None,
-                 on_schema_change=None):
+                 on_schema_change=None, journal_batch=None):
         self.schema = schema
         self.name = schema.name
         self._rows = {}
         self._next_rowid = itertools.count(1)
         self._indexes = {}
         self._journal = journal
+        # Optional bulk journal hook ``(table_name, rows)``: lets
+        # insert_many log one batched WAL record instead of one frame
+        # per row; absent, the batch journals row by row.
+        self._journal_batch = journal_batch
         # Pre-mutation hook (lock acquisition, read-only refusal): runs
         # before any row or index changes, so its exceptions leave the
         # table exactly as it was.
@@ -221,6 +225,44 @@ class Table:
         if self._journal is not None:
             self._journal("insert", self.name, row, None)
         return row
+
+    def insert_many(self, values_list):
+        """Bulk insert; returns the list of new Rows.
+
+        The COPY-style fast path: the pre-mutation guard runs once for
+        the whole batch, every values dict is coerced *before* any row
+        is installed (a bad row rejects the batch with the table
+        untouched), secondary-index maintenance is deferred to one
+        bulk build per index after all rows land, and the batch is
+        journalled as a unit through *journal_batch* when the table
+        has one (else row by row).
+        """
+        if not values_list:
+            return []
+        if self._guard is not None:
+            self._guard()
+        coerced_list = [self.schema.coerce(values) for values in values_list]
+        rows = []
+        for coerced in coerced_list:
+            rowid = next(self._next_rowid)
+            while rowid in self._rows:
+                rowid = next(self._next_rowid)
+            row = Row(rowid, coerced)
+            self._rows[rowid] = row
+            rows.append(row)
+        for (column, _), index in self._indexes.items():
+            index.insert_many(
+                [(self._index_value(column, row), row.rowid) for row in rows]
+            )
+        self.version += 1
+        if self._inserts is not None:
+            self._inserts.inc(len(rows))
+        if self._journal_batch is not None:
+            self._journal_batch(self.name, rows)
+        elif self._journal is not None:
+            for row in rows:
+                self._journal("insert", self.name, row, None)
+        return rows
 
     def update(self, rowid, updates):
         """Apply *updates* to the row with *rowid*; returns the new Row."""

@@ -28,6 +28,7 @@ import threading
 
 from repro.errors import TransactionError
 from repro.storage import wal as wal_module
+from repro.storage.faults import SimulatedCrash
 from repro.storage.lock import LockManager, LockMode
 
 
@@ -78,6 +79,15 @@ _ACTION_TO_KIND = {
     "insert": wal_module.INSERT,
     "update": wal_module.UPDATE,
     "delete": wal_module.DELETE,
+}
+
+# Auto-commit writes one self-committing frame per statement instead of
+# a BEGIN/change/COMMIT triple: the record's presence in the log's
+# valid prefix is the commit point.
+_AUTO_KIND = {
+    "insert": wal_module.AC_INSERT,
+    "update": wal_module.AC_UPDATE,
+    "delete": wal_module.AC_DELETE,
 }
 
 
@@ -179,31 +189,73 @@ class TransactionManager:
         if txn is not None:
             txn.record(action, table_name, new_row, old_row)
             return
-        # Auto-commit: a single-change transaction.
+        # Auto-commit: one self-committing frame is the whole
+        # transaction (no BEGIN/COMMIT bracket to pay for).
         with self._mutex:
             txn_id = next(self._ids)
         if self._log is not None:
             orders = self._database.column_orders()
             try:
-                self._log.append(txn_id, wal_module.BEGIN)
-                self._log.append(
+                record = self._log.append(
                     txn_id,
-                    _ACTION_TO_KIND[action],
+                    _AUTO_KIND[action],
                     table=table_name,
                     row=new_row,
                     old_row=old_row,
                     column_orders=orders,
                 )
-                self._log.append(txn_id, wal_module.COMMIT, flush=True)
-            except OSError as exc:
+                self._log.commit_flush(
+                    record.lsn, deadline=self.current_deadline()
+                )
+            except BaseException as exc:
                 # The change is not durable and the process lives on:
-                # roll the table back so memory matches "not committed",
-                # and degrade to read-only.  (A SimulatedCrash stays
-                # hands-off -- the process is modelled as dead and the
-                # crash oracle inspects the torn state as-is.)
+                # roll the table back so memory matches "not committed".
+                # Any failure counts -- a value that will not serialize
+                # leaves no frame behind just as surely as a dead disk
+                # -- but only an I/O error degrades to read-only.  (A
+                # SimulatedCrash stays hands-off: the process is
+                # modelled as dead and the crash oracle inspects the
+                # torn state as-is.)
+                if isinstance(exc, SimulatedCrash):
+                    raise
                 self._undo_change(action, table_name, new_row, old_row)
-                self._database.enter_degraded(exc)
+                if isinstance(exc, OSError):
+                    self._database.enter_degraded(exc)
                 raise
+
+    def journal_insert_batch(self, table_name, rows):
+        """Journal a bulk insert of *rows* already installed in memory.
+
+        Inside a transaction the rows simply join its journal (commit
+        writes them as ordinary INSERT frames).  Outside one, the whole
+        batch becomes a single self-committing BATCH_INSERT frame:
+        crash recovery replays it all-or-nothing, and one group-commit
+        flush acknowledges the lot.
+        """
+        txn = self.current()
+        if txn is not None:
+            for row in rows:
+                txn.record("insert", table_name, row, None)
+            return
+        if self._log is None:
+            return
+        with self._mutex:
+            txn_id = next(self._ids)
+        orders = self._database.column_orders()
+        try:
+            record = self._log.append_batch(
+                txn_id, table_name, rows, orders
+            )
+            self._log.commit_flush(record.lsn, deadline=self.current_deadline())
+        except BaseException as exc:
+            if isinstance(exc, SimulatedCrash):
+                raise
+            table = self._database.table(table_name)
+            for row in reversed(rows):
+                table.remove_row(row.rowid)
+            if isinstance(exc, OSError):
+                self._database.enter_degraded(exc)
+            raise
 
     # -- locking helpers used by the Database facade ----------------------------
 
@@ -277,7 +329,10 @@ class TransactionManager:
                         old_row=old_row,
                         column_orders=orders,
                     )
-                self._log.append(txn.txn_id, wal_module.COMMIT, flush=True)
+                record = self._log.append(txn.txn_id, wal_module.COMMIT)
+                self._log.commit_flush(
+                    record.lsn, deadline=self.current_deadline()
+                )
             except BaseException as exc:
                 # The COMMIT record never reached stable storage: the
                 # transaction did not happen.  Roll the in-memory tables

@@ -19,6 +19,7 @@ import logging
 import os
 import struct
 import threading
+import time
 import zlib
 
 from repro.errors import RecoveryError
@@ -36,6 +37,16 @@ DELETE = 4
 COMMIT = 5
 ABORT = 6
 CHECKPOINT = 7
+# Self-committing change records: the record's presence in the log's
+# valid prefix IS the commit point — no separate BEGIN/COMMIT frames.
+# Auto-commit writes exactly one AC_* frame per statement (one frame
+# where the old write path paid three), and bulk ingest writes one
+# BATCH_INSERT frame per batch of rows, so a torn tail makes a whole
+# batch durable or absent, never a prefix of it.
+AC_INSERT = 8
+AC_UPDATE = 9
+AC_DELETE = 10
+BATCH_INSERT = 11
 
 _KIND_NAMES = {
     BEGIN: "BEGIN",
@@ -45,6 +56,21 @@ _KIND_NAMES = {
     COMMIT: "COMMIT",
     ABORT: "ABORT",
     CHECKPOINT: "CHECKPOINT",
+    AC_INSERT: "AC-INSERT",
+    AC_UPDATE: "AC-UPDATE",
+    AC_DELETE: "AC-DELETE",
+    BATCH_INSERT: "BATCH-INSERT",
+}
+
+#: Kinds whose presence alone marks their transaction committed.
+SELF_COMMITTING = frozenset((AC_INSERT, AC_UPDATE, AC_DELETE, BATCH_INSERT))
+
+#: The plain change kind a self-committing record replays as.
+BASE_KIND = {
+    AC_INSERT: INSERT,
+    AC_UPDATE: UPDATE,
+    AC_DELETE: DELETE,
+    BATCH_INSERT: INSERT,
 }
 
 #: Frame header: payload length, CRC32 of the payload.
@@ -98,14 +124,29 @@ def _encode_record(record, column_orders):
 
 
 class WriteAheadLog:
-    """Append-only, checksummed log file with group flush on commit.
+    """Append-only, checksummed log file with leader/follower group commit.
 
     *opener* is an injectable binary-mode substitute for :func:`open`
     (see :mod:`repro.storage.faults`); production code passes nothing.
 
     A log whose tail is torn or corrupt is truncated to its valid
     prefix at open time, so LSN assignment always continues past every
-    record that could ever be replayed.
+    record that could ever be replayed.  LSNs are additionally kept
+    globally monotone across :meth:`truncate` (checkpoints) via a
+    base-LSN sidecar file, so a WAL-shipping replica can order records
+    across checkpoint generations.
+
+    **Group commit.**  A committing transaction appends its frames and
+    then calls :meth:`commit_flush` with its COMMIT record's LSN.
+    Whichever thread reaches the flush point while no flush is in
+    flight becomes the *leader*: it fsyncs once on behalf of every
+    record appended so far.  Threads arriving while that fsync is in
+    flight append their frames (appends and the fsync serialize on the
+    log mutex, so frames queue up behind the running flush) and then
+    *follow*: they block on a flush ticket — the condition variable
+    plus their commit LSN — until a leader's fsync covers them.  One
+    fsync thus acknowledges every transaction that arrived while the
+    previous flush was in flight.
     """
 
     def __init__(self, path, opener=None, metrics=None):
@@ -120,16 +161,34 @@ class WriteAheadLog:
         self._append_bytes = metrics.counter("wal.append_bytes")
         self._fsyncs = metrics.counter("wal.fsyncs")
         self._truncations = metrics.counter("wal.truncations")
+        # Group-commit accounting: fsyncs issued by commit flushes,
+        # commits acknowledged by another thread's fsync, the running
+        # amortization ratio, and how long followers waited.
+        self._group_commits = metrics.counter("wal.group_commits")
+        self._group_riders = metrics.counter("wal.group_commit_riders")
+        self._commits_synced = metrics.counter("wal.commits_synced")
+        self._commits_per_fsync = metrics.gauge("wal.commits_per_fsync")
+        self._flush_waits = metrics.histogram("wal.flush_wait_seconds")
         # Serializes appends/flushes from concurrent sessions: frames
         # from different transactions may interleave (records carry the
-        # txn id), but each seek+write pair must be atomic or frames tear.
+        # txn id), but each seek+write pair must be atomic or frames
+        # tear — and the fsync itself runs under the same mutex so the
+        # durable prefix is always a whole number of appends.
         self._mutex = threading.RLock()
+        # Flush tickets: _flushed_lsn is the highest durable LSN;
+        # _flush_leading is True while some thread's fsync is in
+        # flight.  Waiters never hold _mutex (lock order: cond, then
+        # mutex, never both at once from the waiting side).
+        self._flush_cond = threading.Condition(threading.Lock())
+        self._flush_leading = False
+        self._base_path = path + ".base"
         self._file = self._opener(path, "ab+")
         entries, valid_end, corruption = self._scan()
-        max_lsn = 0
+        max_lsn = self._read_base_lsn()
         for entry in entries:
             max_lsn = max(max_lsn, entry[0])
         self._next_lsn = max_lsn + 1
+        self._flushed_lsn = max_lsn
         if corruption is not None:
             logger.warning(
                 "WAL %s: %s; truncating log to valid prefix (%d bytes)",
@@ -151,6 +210,16 @@ class WriteAheadLog:
         self.close()
         return False
 
+    @property
+    def last_lsn(self):
+        """The highest LSN assigned so far (0 on a fresh log)."""
+        return self._next_lsn - 1
+
+    @property
+    def flushed_lsn(self):
+        """The highest LSN known durable (records <= this survived)."""
+        return self._flushed_lsn
+
     def append(self, txn_id, kind, table=None, row=None, old_row=None,
                column_orders=None, flush=False):
         """Append a record; returns its LogRecord."""
@@ -158,19 +227,122 @@ class WriteAheadLog:
             record = LogRecord(self._next_lsn, txn_id, kind, table, row, old_row)
             self._next_lsn += 1
             payload = _encode_record(record, column_orders or {})
-            frame = _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
-            self._file.seek(0, os.SEEK_END)
-            self._file.write(frame + payload)
-            self._appends.inc()
-            self._append_bytes.inc(len(frame) + len(payload))
-            if flush:
-                self.flush()
-            return record
+            self._append_frame(payload)
+        # The flush happens outside the mutex: waiting on a flush
+        # ticket while holding the append mutex would deadlock against
+        # the leader, which needs the mutex to fsync.
+        if flush:
+            self.sync_to(record.lsn)
+        return record
+
+    def append_batch(self, txn_id, table, rows, column_orders):
+        """Append one self-committing BATCH_INSERT frame covering *rows*.
+
+        The whole batch lands in a single checksummed frame, so crash
+        recovery replays it all-or-nothing; returns its LogRecord.
+        """
+        order = column_orders[table]
+        table_bytes = table.encode("utf-8")
+        chunks = [struct.pack("<I", len(rows))]
+        for row in rows:
+            chunks.append(row.serialize(order))
+        row_bytes = b"".join(chunks)
+        with self._mutex:
+            record = LogRecord(self._next_lsn, txn_id, BATCH_INSERT, table)
+            self._next_lsn += 1
+            body = _BODY.pack(
+                record.lsn, txn_id, BATCH_INSERT, len(table_bytes),
+                len(row_bytes), 0,
+            )
+            self._append_frame(body + table_bytes + row_bytes)
+        return record
+
+    def _append_frame(self, payload):
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+        self._file.seek(0, os.SEEK_END)
+        self._file.write(frame + payload)
+        self._appends.inc()
+        self._append_bytes.inc(len(frame) + len(payload))
 
     def flush(self):
+        """Make everything appended so far durable (group flush)."""
         with self._mutex:
-            fsync_file(self._file)
-            self._fsyncs.inc()
+            target = self._next_lsn - 1
+        self.sync_to(target)
+
+    def sync_to(self, lsn, deadline=None):
+        """Block until every record with LSN <= *lsn* is durable.
+
+        Returns ``"noop"`` (already durable on entry), ``"rode"``
+        (another thread's fsync covered us), or ``"led"`` (this thread
+        fsynced).  *deadline* (absolute ``time.monotonic``) bounds how
+        long a follower waits passively: past it, the thread escalates
+        to leading the next flush itself rather than queueing behind
+        further rounds.  Durability is never abandoned mid-commit — an
+        expired deadline shortens the wait, it does not skip the fsync.
+        """
+        waited = 0.0
+        role = "noop"
+        with self._flush_cond:
+            while self._flushed_lsn < lsn:
+                if not self._flush_leading:
+                    self._flush_leading = True
+                    role = "led"
+                    break
+                if role == "noop":
+                    role = "rode"
+                timeout = 0.05
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining > 0:
+                        timeout = min(timeout, remaining)
+                started = time.monotonic()
+                self._flush_cond.wait(timeout)
+                waited += time.monotonic() - started
+            if role != "led":
+                if waited:
+                    self._flush_waits.observe(waited)
+                return role
+        # Leader: fsync under the append mutex (no cond held), so the
+        # durable target is exactly the frames appended before it.
+        try:
+            with self._mutex:
+                target = self._next_lsn - 1
+                fsync_file(self._file)
+                self._fsyncs.inc()
+        except BaseException:
+            # The flush failed (I/O error or simulated crash): free the
+            # leader slot and wake followers so each can retry — and
+            # surface its own error — instead of hanging on the ticket.
+            with self._flush_cond:
+                self._flush_leading = False
+                self._flush_cond.notify_all()
+            raise
+        with self._flush_cond:
+            self._flush_leading = False
+            if target > self._flushed_lsn:
+                self._flushed_lsn = target
+            self._flush_cond.notify_all()
+        if waited:
+            self._flush_waits.observe(waited)
+        return "led"
+
+    def commit_flush(self, lsn, deadline=None):
+        """Group-commit barrier: make the commit at *lsn* durable.
+
+        Exactly :meth:`sync_to` plus the commit-amortization
+        accounting behind ``wal.commits_per_fsync``.
+        """
+        role = self.sync_to(lsn, deadline=deadline)
+        self._commits_synced.inc()
+        if role == "led":
+            self._group_commits.inc()
+        else:
+            self._group_riders.inc()
+        leaders = self._group_commits.value
+        if leaders:
+            self._commits_per_fsync.set(self._commits_synced.value / leaders)
+        return role
 
     # -- reading ---------------------------------------------------------------
 
@@ -232,8 +404,24 @@ class WriteAheadLog:
             yield entry
 
     def records(self, column_orders):
-        """Yield fully decoded LogRecords."""
+        """Yield fully decoded LogRecords.
+
+        A BATCH_INSERT frame expands into one LogRecord per row (all
+        sharing the frame's LSN and txn id), so replay sees plain
+        row-level changes; the frame's single CRC still makes the
+        batch all-or-nothing on disk.
+        """
         for lsn, txn_id, kind, table, row_bytes, old_bytes in self._iter_raw():
+            if kind == BATCH_INSERT:
+                order = column_orders.get(table)
+                if order is None:
+                    raise RecoveryError("log references unknown table %r" % table)
+                (count,) = struct.unpack_from("<I", row_bytes, 0)
+                offset = 4
+                for _ in range(count):
+                    row, offset = Row.deserialize(row_bytes, order, offset)
+                    yield LogRecord(lsn, txn_id, kind, table or None, row, None)
+                continue
             row = old_row = None
             if row_bytes:
                 order = column_orders.get(table)
@@ -247,29 +435,106 @@ class WriteAheadLog:
                 old_row, _ = Row.deserialize(old_bytes, order)
             yield LogRecord(lsn, txn_id, kind, table or None, row, old_row)
 
+    # -- truncation (checkpoints) ---------------------------------------------
+
+    def _read_base_lsn(self):
+        """The persisted base LSN (last LSN assigned before the most
+        recent truncation), or 0 for a log that never truncated."""
+        if not os.path.exists(self._base_path):
+            return 0
+        try:
+            with self._opener(self._base_path, "rb") as handle:
+                raw = handle.read()
+            return int(raw.decode("ascii").strip() or "0")
+        except (OSError, ValueError, UnicodeDecodeError):
+            logger.warning(
+                "WAL %s: unreadable base-LSN sidecar %s; assuming 0",
+                self.path, self._base_path,
+            )
+            return 0
+
+    def _write_base_lsn(self, base_lsn):
+        """Durably publish *base_lsn* via temp + fsync + rename."""
+        tmp = self._base_path + ".tmp"
+        handle = self._opener(tmp, "wb")
+        try:
+            handle.write(("%d" % base_lsn).encode("ascii"))
+            fsync_file(handle)
+            self._fsyncs.inc()
+        finally:
+            handle.close()
+        os.replace(tmp, self._base_path)
+
+    def _fsync_directory(self):
+        """Make the directory entry of the emptied log durable.
+
+        Best-effort: platforms that cannot open a directory read-only
+        (or fsync one) simply skip the barrier, matching the usual
+        POSIX-vs-elsewhere handling of directory durability.
+        """
+        directory = os.path.dirname(os.path.abspath(self.path))
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
     def truncate(self):
-        """Discard the log contents (after a checkpoint)."""
+        """Discard the log contents (after a checkpoint).
+
+        Two durability obligations beyond emptying the file:
+
+        * the emptied file (and its directory entry) is fsynced, so a
+          crash right after the checkpoint cannot resurrect
+          pre-checkpoint records and REDO-replay them over the newer
+          checkpoint image;
+        * the last assigned LSN is persisted to a sidecar first, so
+          LSN assignment stays globally monotone across truncations —
+          the continuity WAL-shipping replicas need.  (Sidecar before
+          emptying: if the crash lands between the two, records remain
+          replayable and the reopened log resumes past ``max(base,
+          scanned)`` either way.)
+        """
         with self._mutex:
+            base_lsn = self._next_lsn - 1
+            self._write_base_lsn(base_lsn)
             self._file.close()
             self._file = self._opener(self.path, "wb+")
-            self._next_lsn = 1
+            fsync_file(self._file)
+            self._fsyncs.inc()
+            self._fsync_directory()
             self._truncations.inc()
+        with self._flush_cond:
+            # Records <= base_lsn now live in the checkpoint image; a
+            # pending commit_flush for one of them must not fsync an
+            # empty file.
+            if base_lsn > self._flushed_lsn:
+                self._flushed_lsn = base_lsn
+            self._flush_cond.notify_all()
 
 
 def replay(log, column_orders, apply_change):
     """REDO-replay *log*: apply changes of committed transactions only.
 
-    *apply_change(kind, table, row, old_row)* installs one change.
-    Returns the set of committed transaction ids that were replayed.
+    *apply_change(kind, table, row, old_row)* installs one change;
+    *kind* is always a plain change kind (self-committing records are
+    normalized through :data:`BASE_KIND`).  Returns the set of
+    committed transaction ids that were replayed.
     """
     committed = set()
     records = list(log.records(column_orders))
     for record in records:
-        if record.kind == COMMIT:
+        if record.kind == COMMIT or record.kind in SELF_COMMITTING:
             committed.add(record.txn_id)
     replayed = set()
     for record in records:
-        if record.kind in (INSERT, UPDATE, DELETE) and record.txn_id in committed:
-            apply_change(record.kind, record.table, record.row, record.old_row)
+        kind = BASE_KIND.get(record.kind, record.kind)
+        if kind in (INSERT, UPDATE, DELETE) and record.txn_id in committed:
+            apply_change(kind, record.table, record.row, record.old_row)
             replayed.add(record.txn_id)
     return replayed
