@@ -213,6 +213,48 @@ def storage_report(rounds, row_count=200):
                 thread.join()
 
         workloads["concurrent_insert"] = _time_workload(concurrent_insert, rounds)
+
+        # MVCC snapshot reads under write pressure: one writer thread
+        # auto-commits updates while 4 scan threads each run pinned
+        # snapshot scans.  Timed from the readers' side -- before
+        # snapshot reads, this schedule serialized on the table lock.
+        mixed = database.create_table(
+            "mixed", [("k", "integer"), ("v", "integer")]
+        )
+        mixed_rows = [mixed.insert({"k": i, "v": 0}) for i in range(row_count)]
+        transactions = database.transactions
+
+        def mixed_readers_writers():
+            stop = threading.Event()
+
+            def writer():
+                i = 0
+                while not stop.is_set():
+                    mixed.update(mixed_rows[i % len(mixed_rows)].rowid,
+                                 {"v": i})
+                    i += 1
+
+            def reader():
+                for _ in range(3):
+                    transactions.pin_snapshot()
+                    try:
+                        sum(row["v"] for row in mixed)
+                    finally:
+                        transactions.unpin_snapshot()
+
+            writer_thread = threading.Thread(target=writer)
+            readers = [threading.Thread(target=reader) for _ in range(4)]
+            writer_thread.start()
+            for thread in readers:
+                thread.start()
+            for thread in readers:
+                thread.join()
+            stop.set()
+            writer_thread.join()
+
+        workloads["mixed_readers_writers"] = _time_workload(
+            mixed_readers_writers, rounds
+        )
         workloads["checkpoint"] = _time_workload(database.checkpoint, rounds)
         metrics_snapshot = database.metrics.snapshot()
         database.close()

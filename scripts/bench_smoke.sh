@@ -7,7 +7,8 @@
 # that a fresh run shows no >25% median regression against the
 # committed BENCH_quel.json / BENCH_storage.json baselines (which
 # cover the group-commit write path: bulk_ingest and concurrent_insert
-# ride the same gate).
+# ride the same gate, as does the MVCC mixed_readers_writers mix), and
+# finally the fast snapshot-isolation battery (scripts/mvcc_smoke.sh).
 #
 # Runs in a few seconds; suitable for CI.  The full timing benches live
 # in benchmarks/ and are run separately with pytest-benchmark.
@@ -19,3 +20,4 @@ PYTHONPATH=src python -m pytest benchmarks/test_bench_compare.py -q -m bench_com
 PYTHONPATH=src python scripts/bench_report.py --check
 PYTHONPATH=src python scripts/bench_report.py --rounds 7 \
     --compare BENCH_quel.json --compare BENCH_storage.json
+sh scripts/mvcc_smoke.sh

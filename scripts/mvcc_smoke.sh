@@ -1,0 +1,26 @@
+#!/bin/sh
+# Snapshot-isolation target: the whole MVCC battery in one command --
+# version-chain unit tests, the reader/writer interleaving oracle
+# (readers lock-free and never torn), the temporal property battery
+# (every recorded snapshot re-read vs a single-threaded reference
+# model), the commit-stamp/prune crash matrix, and the degraded-mode
+# snapshot regression tests.
+#
+# Default: the fast matrices -- a few seconds, all of it also on in the
+# main test run.  Pass --full to add the extended mvcc_slow matrix
+# (more seeds, more threads, longer programs).
+set -eu
+cd "$(dirname "$0")/.."
+
+MARKER="not mvcc_slow and not crash_slow and not stress_slow"
+if [ "${1:-}" = "--full" ]; then
+    MARKER="not crash_slow and not stress_slow"
+    shift
+fi
+PYTHONPATH=src python -m pytest -q -m "$MARKER" \
+    tests/storage/test_mvcc.py \
+    tests/stress/test_mvcc_interleaving.py \
+    tests/props/test_mvcc_props.py \
+    tests/crash/test_mvcc_crash.py \
+    tests/mdm/test_degraded_snapshot.py \
+    "$@"

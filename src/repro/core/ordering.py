@@ -441,8 +441,22 @@ class Ordering:
         Memoized per table version: repeated ordinal queries between
         mutations are O(1), and any mutation (including transaction undo
         and recovery, which bypass this class) invalidates the cache.
+
+        Under a pinned MVCC snapshot both the memo cache and the
+        (parent, order_key) index mirror the *live* table, so the rank
+        is computed instead by counting visible siblings that sort
+        earlier -- O(members) per call, but lock-free and consistent.
         """
         self._check_child(child)
+        if self.table.snapshot_active():
+            row = self._membership_row(child)
+            if row is None:
+                return None
+            siblings = self.table.select_eq("parent", row["parent"])
+            return 1 + sum(
+                1 for sibling in siblings
+                if sibling["order_key"] < row["order_key"]
+            )
         if self._positions_version != self.table.version:
             self._positions.clear()
             self._positions_version = self.table.version

@@ -55,6 +55,7 @@ class ServiceMetrics:
     _NAMES = (
         "admitted", "commits", "retries", "retry_exhausted",
         "overload_shed", "query_timeouts", "resource_limited",
+        "snapshot_reads",
     )
 
     def __init__(self, registry=None):
@@ -169,7 +170,7 @@ class MdmSession:
 
     # -- the entry point -------------------------------------------------------
 
-    def run(self, fn, timeout=None, row_budget=None):
+    def run(self, fn, timeout=None, row_budget=None, read_only=False):
         """Run ``fn(mdm)`` as one transaction, retrying transient aborts.
 
         The closure executes inside a fresh transaction; on wait-die
@@ -182,7 +183,17 @@ class MdmSession:
         *timeout* (seconds, default :attr:`default_timeout`) becomes an
         absolute deadline bounding admission queueing, every lock wait,
         and QUEL execution for this call.
+
+        With *read_only* the closure runs against a pinned MVCC snapshot
+        instead: no transaction, no admission gate, no locks, no
+        retries.  Every table read inside ``fn`` sees one consistent
+        commit LSN regardless of concurrent writers; any attempt to
+        mutate raises :class:`ReadOnlyError`.  Since nothing can shed,
+        deadlock, or time out on a lock, the only deadline consumers
+        are QUEL's execution limits.
         """
+        if read_only:
+            return self._run_read_only(fn, timeout, row_budget)
         window = self.default_timeout if timeout is None else timeout
         deadline = None if window is None else self._clock() + window
         budget = self.row_budget if row_budget is None else row_budget
@@ -198,6 +209,30 @@ class MdmSession:
             finally:
                 self.mdm.admission.release()
         finally:
+            run_span.finish()
+
+    def _run_read_only(self, fn, timeout, row_budget):
+        """The lock-free snapshot path behind ``run(read_only=True)``."""
+        window = self.default_timeout if timeout is None else timeout
+        deadline = None if window is None else self._clock() + window
+        budget = self.row_budget if row_budget is None else row_budget
+        transactions = self.mdm.database.transactions
+        quel = self.mdm.session
+        run_span = span("mdm.run", session=self.name, read_only=True)
+        try:
+            transactions.set_deadline(deadline)
+            quel.set_limits(deadline=deadline, row_budget=budget)
+            snapshot = transactions.pin_snapshot()
+            run_span.record("snapshot_lsn", snapshot)
+            try:
+                result = fn(self.mdm)
+            finally:
+                transactions.unpin_snapshot()
+            self.mdm.metrics.incr("snapshot_reads")
+            return result
+        finally:
+            transactions.clear_deadline()
+            quel.clear_limits()
             run_span.finish()
 
     def bulk_ingest(self, table_name, rows, timeout=None, batch_rows=1000):

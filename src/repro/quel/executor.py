@@ -95,7 +95,7 @@ class _EntityRange:
     def table_name(self):
         return self.entity_type.table.name
 
-    def candidates(self, restrictions):
+    def candidates(self, restrictions, snapshot=False):
         """Instances satisfying *restrictions*, plus the access path used.
 
         Every equality restriction on a real column is answered from an
@@ -103,9 +103,35 @@ class _EntityRange:
         intersected before any row is materialized.  Restrictions on
         unknown attributes are filtered in place rather than triggering
         a full unfiltered scan.  Returns ``(instances, access)`` with
-        *access* one of "index", "filtered scan", "scan".
+        *access* one of "index", "filtered scan", "scan", or
+        "snapshot scan".
+
+        With *snapshot* the statement runs lock-free against a pinned
+        MVCC snapshot: indexes mirror the live table and are unsafe to
+        read (let alone build adaptively) without a lock, so every
+        restriction is applied residually over the visible rows.
         """
         table = self.entity_type.table
+        if snapshot:
+            rows = list(table)
+            for attribute, value in restrictions:
+                if table.schema.has_column(attribute):
+                    rows = [r for r in rows if r[attribute] == value]
+            rows.sort(key=lambda r: r[SURROGATE_COLUMN])
+            instances = [
+                EntityInstance(self.entity_type, row[SURROGATE_COLUMN], row.rowid)
+                for row in rows
+            ]
+            residual = [
+                (a, v) for a, v in restrictions
+                if not table.schema.has_column(a)
+            ]
+            if residual:
+                instances = [
+                    i for i in instances
+                    if all(i.get(a) == v for a, v in residual)
+                ]
+            return instances, "snapshot scan"
         indexed = []
         residual = []
         for attribute, value in restrictions:
@@ -159,16 +185,23 @@ class _RelationshipRange:
     def table_name(self):
         return self.relationship.table.name
 
-    def candidates(self, restrictions):
+    def candidates(self, restrictions, snapshot=False):
         """Rows satisfying *restrictions*, plus the access path used.
 
         Role columns are indexed at definition time; like
         :class:`_EntityRange`, a restriction on any other real column
         builds the missing index on first use, so it never silently
         degrades to a filtered scan.  Rowid sets are intersected before
-        any row is materialized.
+        any row is materialized.  With *snapshot* (lock-free MVCC read)
+        indexes are bypassed entirely; see :meth:`_EntityRange.candidates`.
         """
         table = self.relationship.table
+        if snapshot:
+            rows = [
+                row for row in table
+                if all(row.get(a) == v for a, v in restrictions)
+            ]
+            return rows, "snapshot scan"
         indexed = []
         residual = []
         for attribute, value in restrictions:
@@ -544,19 +577,49 @@ class QuelSession:
         resolves them.  Ephemeral (no-transaction) owners release their
         locks when the statement ends, success or error; transactional
         owners keep theirs until commit/abort (strict 2PL).
+
+        Read statements in *snapshot mode* -- the thread has a pinned
+        MVCC snapshot, or the database is degraded with no transaction
+        active -- skip all of that: no statement owner is allocated and
+        the lock manager is never touched, because visibility comes from
+        the version chains.
         """
-        transactions = self.schema.database.transactions
+        database = self.schema.database
+        transactions = database.transactions
+        if write_target is None and self._snapshot_read_mode(database):
+            pin = transactions.current_snapshot() is None
+            if pin:
+                transactions.pin_snapshot()
+            try:
+                limits = self.limits
+                if limits is not None:
+                    limits.check_deadline()
+                return method(statement, compiled)
+            finally:
+                if pin:
+                    transactions.unpin_snapshot()
         owner, ephemeral = transactions.begin_statement()
         try:
             limits = self.limits
             if limits is not None:
                 limits.check_deadline()
             if write_target is not None:
-                self.schema.database.write_table(write_target())
+                database.write_table(write_target())
             return method(statement, compiled)
         finally:
             if ephemeral:
                 transactions.end_statement(owner)
+
+    @staticmethod
+    def _snapshot_read_mode(database):
+        """True when a read statement should run against a snapshot."""
+        transactions = database.transactions
+        if transactions.current_snapshot() is not None:
+            return True
+        # Degraded (read-only) databases serve every standalone read
+        # lock-free: there is nothing a lock could protect against, and
+        # S-lock churn on the healed path was a real regression.
+        return database.degraded and transactions.current() is None
 
     def register_function(self, name, function, aggregate=False):
         if aggregate:
@@ -789,11 +852,15 @@ class QuelSession:
             conjuncts = planner.split_conjuncts(qualification)
             candidates = {}
             accesses = {}
-            read_tables = self.schema.database.read_table
+            database = self.schema.database
+            read_tables = database.read_table
+            snapshot = database.transactions.current_snapshot() is not None
             for variable in used_variables:
                 range_decl = self._range_for(variable)
                 # Shared lock before the scan: concurrent writers cannot
-                # produce torn reads of this table mid-statement.
+                # produce torn reads of this table mid-statement.  (A
+                # pinned snapshot makes this a no-op: version chains,
+                # not locks, keep the read consistent.)
                 read_tables(range_decl.table_name)
                 restrictions = []
                 if self.use_indexes:
@@ -804,7 +871,7 @@ class QuelSession:
                         if restriction is not None:
                             restrictions.append(restriction)
                 candidates[variable], accesses[variable] = range_decl.candidates(
-                    restrictions
+                    restrictions, snapshot=snapshot
                 )
             counts = {v: len(c) for v, c in candidates.items()}
             order = planner.order_variables(used_variables, counts, conjuncts)
@@ -937,14 +1004,21 @@ class QuelSession:
         plan_span = span("quel.plan") if tracing_active() else NOOP_SPAN
         try:
             ranges = {}
-            read_table = self.schema.database.read_table
+            database = self.schema.database
+            read_table = database.read_table
+            # Snapshot mode (lock-free MVCC read): no locks are taken,
+            # indexes are bypassed, and order-operator pushdown -- which
+            # range-scans the live (parent, order_key) index -- is
+            # disabled in favor of per-row order checks.
+            snapshot = database.transactions.current_snapshot() is not None
             for variable in compiled.used:
                 ranges[variable] = self._range_for(variable)
                 read_table(ranges[variable].table_name)
             dynamic = {}
             consumed = set()
             if (
-                self.use_indexes
+                not snapshot
+                and self.use_indexes
                 and self.use_order_pushdown
                 and compiled.pushdown_options
             ):
@@ -956,7 +1030,9 @@ class QuelSession:
                     if self.use_indexes
                     else []
                 )
-                return ranges[variable].candidates(restrictions)
+                return ranges[variable].candidates(
+                    restrictions, snapshot=snapshot
+                )
 
             candidates = {}
             accesses = {}

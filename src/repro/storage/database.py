@@ -88,6 +88,8 @@ class Database:
             schema, journal=self._journal_for(name), guard=self._guard_for(name),
             metrics=self.metrics, on_schema_change=self.bump_schema_epoch,
             journal_batch=self._journal_batch_for(name),
+            snapshot=self.transactions.current_snapshot,
+            prune_horizon=self.transactions.prune_horizon,
         )
         self._tables[name] = table
         self.bump_schema_epoch()
@@ -167,6 +169,7 @@ class Database:
         (degraded mode) or a wait-die abort leaves the table untouched
         and a retrying session never double-applies."""
         def guard():
+            self.transactions.assert_no_snapshot()
             self.assert_writable()
             self.transactions.lock_for_write(table_name)
         return guard
@@ -248,13 +251,31 @@ class Database:
     # -- locked access helpers (used by the QUEL executor) ---------------------------
 
     def read_table(self, name):
-        self.transactions.lock_for_read(name)
+        # A thread reading through a pinned snapshot is lock-free:
+        # visibility comes from the version chains, not from excluding
+        # writers, so the lock manager is never touched.
+        if self.transactions.current_snapshot() is None:
+            self.transactions.lock_for_read(name)
         return self.table(name)
 
     def write_table(self, name):
+        self.transactions.assert_no_snapshot()
         self.assert_writable()
         self.transactions.lock_for_write(name)
         return self.table(name)
+
+    # -- snapshots (MVCC) -------------------------------------------------------------
+
+    def snapshot(self):
+        """Context manager pinning a consistent lock-free read view::
+
+            with db.snapshot() as snap:
+                ...  # every table read on this thread sees LSN snap.lsn
+
+        Mutating the database while the snapshot is pinned raises
+        :class:`ReadOnlyError`.
+        """
+        return _SnapshotContext(self.transactions)
 
     # -- durable metadata files ---------------------------------------------------
 
@@ -333,6 +354,12 @@ class Database:
         self._log.truncate()
         if self.transactions.current() is None:
             self._log.append(0, wal_module.CHECKPOINT, flush=True)
+        # Reclaim version chains: every version superseded below the
+        # horizon (bounded by the oldest pinned snapshot) is unreachable
+        # by any current or future reader.
+        horizon = self.transactions.prune_horizon()
+        for table in self._tables.values():
+            table.prune_versions(horizon)
         self._checkpoints.inc()
 
     def _recover(self):
@@ -397,4 +424,20 @@ class Database:
 
     def __exit__(self, *exc_info):
         self.close()
+        return False
+
+
+class _SnapshotContext:
+    """Pins a snapshot on enter, unpins on exit; ``lsn`` is the view."""
+
+    def __init__(self, transactions):
+        self._transactions = transactions
+        self.lsn = None
+
+    def __enter__(self):
+        self.lsn = self._transactions.pin_snapshot()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._transactions.unpin_snapshot()
         return False

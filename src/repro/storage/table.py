@@ -3,14 +3,56 @@
 A :class:`Table` stores rows by rowid, maintains secondary indexes, and
 supports predicate scans.  Nothing here knows about entities or music --
 this is the relational substrate the ER layer compiles down to.
+
+MVCC version chains
+-------------------
+Besides the current-row map, every rowid owns a *version chain*: an
+immutable tuple of :class:`RowVersion` entries (oldest first), replaced
+wholesale on mutation so lock-free snapshot readers can walk a chain
+without synchronizing with writers.  A version's lifetime is the
+half-open commit-LSN interval ``[begin_lsn, end_lsn)``:
+
+* ``begin_lsn is None`` -- created by a transaction that has not
+  committed yet; invisible to every snapshot;
+* ``begin_lsn == 0`` -- loaded by recovery or a checkpoint image;
+  visible to all snapshots (its creator committed before the crash);
+* ``end_lsn is None`` -- still current (no committed delete/update
+  supersedes it).
+
+A thread that pinned a snapshot ``S`` (via the transaction manager's
+``pin_snapshot``) sees exactly the versions with
+``begin_lsn <= S < end_lsn``; every read method consults the injected
+*snapshot* callable and routes to the chains when one is pinned,
+bypassing the row map *and every secondary index* (indexes reflect the
+live table and are not safe to read without a lock).  Superseded
+versions are pruned opportunistically on the rowid being rewritten and
+in bulk at checkpoint, never past the horizon of an active snapshot.
 """
 
 import itertools
+import threading
 
 from repro.errors import StorageError, TypeMismatchError
 from repro.storage.index import HashIndex, OrderedCompositeIndex, OrderedIndex
 from repro.storage.row import Row
 from repro.storage.values import Domain, coerce_value, value_sort_key
+
+
+class RowVersion:
+    """One entry of a rowid's version chain: a row image plus the
+    half-open ``[begin_lsn, end_lsn)`` commit-LSN interval it covers."""
+
+    __slots__ = ("row", "begin_lsn", "end_lsn")
+
+    def __init__(self, row, begin_lsn=None, end_lsn=None):
+        self.row = row
+        self.begin_lsn = begin_lsn
+        self.end_lsn = end_lsn
+
+    def __repr__(self):
+        return "RowVersion(#%s, [%s, %s))" % (
+            self.row.rowid, self.begin_lsn, self.end_lsn
+        )
 
 
 class Column:
@@ -80,13 +122,27 @@ class Table:
     """
 
     def __init__(self, schema, journal=None, guard=None, metrics=None,
-                 on_schema_change=None, journal_batch=None):
+                 on_schema_change=None, journal_batch=None, snapshot=None,
+                 prune_horizon=None):
         self.schema = schema
         self.name = schema.name
         self._rows = {}
         self._next_rowid = itertools.count(1)
         self._indexes = {}
         self._journal = journal
+        # MVCC: rowid -> immutable tuple of RowVersions, oldest first.
+        # Writers replace a rowid's tuple wholesale (under _chains_mutex,
+        # which orders them against checkpoint pruning); lock-free
+        # snapshot readers walk whatever tuple they atomically observe.
+        self._chains = {}
+        self._chains_mutex = threading.Lock()
+        # *snapshot* returns the pinned snapshot LSN of the calling
+        # thread (or None); *prune_horizon* returns the LSN below which
+        # no active or future snapshot can look.  Bare tables (tests)
+        # leave both None: reads are always current, chains still grow
+        # but are pruned aggressively on rewrite.
+        self._snapshot = snapshot
+        self._prune_horizon = prune_horizon
         # Optional bulk journal hook ``(table_name, rows)``: lets
         # insert_many log one batched WAL record instead of one frame
         # per row; absent, the batch journals row by row.
@@ -101,8 +157,10 @@ class Table:
             self._inserts = metrics.counter("table.inserts")
             self._updates = metrics.counter("table.updates")
             self._deletes = metrics.counter("table.deletes")
+            self._pruned = metrics.counter("mvcc.versions_pruned")
         else:
             self._inserts = self._updates = self._deletes = None
+            self._pruned = None
         # Bumped on EVERY row mutation, including the non-journalled
         # recovery/undo paths, so derived caches can detect staleness.
         self.version = 0
@@ -110,20 +168,77 @@ class Table:
         # widened schema); the database routes this to its schema epoch.
         self._on_schema_change = on_schema_change
 
+    # -- snapshot visibility ----------------------------------------------
+
+    def _current_snapshot(self):
+        if self._snapshot is None:
+            return None
+        return self._snapshot()
+
+    def snapshot_active(self):
+        """True when the calling thread reads through a pinned snapshot."""
+        return self._current_snapshot() is not None
+
+    @staticmethod
+    def _visible_row(chain, snapshot):
+        """The row of *chain* visible at *snapshot*, or None.
+
+        Walks newest-to-oldest; at most one version of a chain satisfies
+        ``begin_lsn <= snapshot < end_lsn`` because committed intervals
+        partition the rowid's history.
+        """
+        for version in reversed(chain):
+            begin = version.begin_lsn
+            if begin is None or begin > snapshot:
+                continue
+            end = version.end_lsn
+            if end is not None and end <= snapshot:
+                continue
+            return version.row
+        return None
+
+    def _snapshot_rows(self, snapshot):
+        """Every row visible at *snapshot* (lock-free, index-free)."""
+        visible = self._visible_row
+        out = []
+        # list() of dict items is atomic under the GIL; each chain tuple
+        # is immutable, so concurrent writers can only swap in new
+        # tuples we either see whole or not at all.
+        for _rowid, chain in list(self._chains.items()):
+            row = visible(chain, snapshot)
+            if row is not None:
+                out.append(row)
+        return out
+
     # -- introspection ----------------------------------------------------
 
     def __len__(self):
-        return len(self._rows)
+        snapshot = self._current_snapshot()
+        if snapshot is None:
+            return len(self._rows)
+        return len(self._snapshot_rows(snapshot))
 
     def __iter__(self):
-        return iter(list(self._rows.values()))
+        snapshot = self._current_snapshot()
+        if snapshot is None:
+            return iter(list(self._rows.values()))
+        return iter(self._snapshot_rows(snapshot))
 
     def rowids(self):
-        return list(self._rows.keys())
+        snapshot = self._current_snapshot()
+        if snapshot is None:
+            return list(self._rows.keys())
+        return [row.rowid for row in self._snapshot_rows(snapshot)]
 
     def get(self, rowid):
         """Return the row with *rowid*, or None."""
-        return self._rows.get(rowid)
+        snapshot = self._current_snapshot()
+        if snapshot is None:
+            return self._rows.get(rowid)
+        chain = self._chains.get(rowid)
+        if chain is None:
+            return None
+        return self._visible_row(chain, snapshot)
 
     def get_many(self, rowids):
         """Rows for *rowids*, in the given order, skipping missing ones.
@@ -132,16 +247,27 @@ class Table:
         lock materialize a whole candidate list without a per-rowid
         ``get`` round trip each.
         """
-        rows = self._rows
+        snapshot = self._current_snapshot()
         out = []
+        if snapshot is None:
+            rows = self._rows
+            for rowid in rowids:
+                row = rows.get(rowid)
+                if row is not None:
+                    out.append(row)
+            return out
+        chains = self._chains
         for rowid in rowids:
-            row = rows.get(rowid)
+            chain = chains.get(rowid)
+            if chain is None:
+                continue
+            row = self._visible_row(chain, snapshot)
             if row is not None:
                 out.append(row)
         return out
 
     def require(self, rowid):
-        row = self._rows.get(rowid)
+        row = self.get(rowid)
         if row is None:
             raise StorageError("table %r has no row #%s" % (self.name, rowid))
         return row
@@ -217,6 +343,7 @@ class Table:
             self._next_rowid = itertools.count(max(rowid + 1, next(self._next_rowid)))
         row = Row(rowid, coerced)
         self._rows[rowid] = row
+        self._chain_append(rowid, RowVersion(row))
         for (column, _), index in self._indexes.items():
             index.insert(self._index_value(column, row), rowid)
         self.version += 1
@@ -249,6 +376,7 @@ class Table:
                 rowid = next(self._next_rowid)
             row = Row(rowid, coerced)
             self._rows[rowid] = row
+            self._chain_append(rowid, RowVersion(row))
             rows.append(row)
         for (column, _), index in self._indexes.items():
             index.insert_many(
@@ -274,6 +402,10 @@ class Table:
             coerced[column] = coerce_value(self.schema.column(column).domain, value)
         new = old.replaced(coerced)
         self._rows[rowid] = new
+        # The old version stays open (end_lsn None) until the commit
+        # stamps it; snapshot readers keep seeing it meanwhile.
+        self._chain_append(rowid, RowVersion(new))
+        self._prune_rowid(rowid)
         for (column, _), index in self._indexes.items():
             old_value = self._index_value(column, old)
             new_value = self._index_value(column, new)
@@ -293,6 +425,9 @@ class Table:
             self._guard()
         old = self.require(rowid)
         del self._rows[rowid]
+        # No chain change: the victim version stays open until the
+        # commit stamps its end_lsn, so pinned snapshots still see it.
+        self._prune_rowid(rowid)
         for (column, _), index in self._indexes.items():
             index.delete(self._index_value(column, old), rowid)
         self.version += 1
@@ -307,16 +442,169 @@ class Table:
         for rowid in list(self._rows):
             self.delete(rowid)
 
-    # -- query -------------------------------------------------------------
+    # -- MVCC maintenance --------------------------------------------------
+    #
+    # Chain mutations happen under _chains_mutex because the rewrite is
+    # read-modify-write on the chain tuple: per-table X locks serialize
+    # writers against each other, but checkpoint pruning runs outside
+    # the lock table and must not lose a concurrently appended version.
+    # Stamping only assigns version attributes (atomic under the GIL)
+    # and needs no mutex.
+
+    def _chain_append(self, rowid, version):
+        with self._chains_mutex:
+            self._chains[rowid] = self._chains.get(rowid, ()) + (version,)
+
+    def _chain_drop(self, rowid, row):
+        """Remove the version holding exactly *row* (by identity)."""
+        with self._chains_mutex:
+            chain = self._chains.get(rowid, ())
+            kept = tuple(v for v in chain if v.row is not row)
+            if kept:
+                self._chains[rowid] = kept
+            else:
+                self._chains.pop(rowid, None)
+
+    def _chain_version_of(self, row):
+        for version in reversed(self._chains.get(row.rowid, ())):
+            if version.row is row:
+                return version
+        return None
+
+    def stamp_change(self, lsn, action, new_row, old_row):
+        """Stamp one committed change's versions with commit LSN *lsn*.
+
+        Called by the transaction manager for every change of a
+        committing transaction, inside the WAL append critical section
+        (so the stamp lands before the commit's LSN can become the
+        durable snapshot of any reader).  Versions are matched by row
+        identity: an insert→update→delete sequence on one rowid inside
+        a single transaction leaves intermediate versions stamped
+        ``[lsn, lsn)``, which no snapshot can ever see.
+        """
+        if action in ("update", "delete"):
+            version = self._chain_version_of(old_row)
+            if version is not None:
+                version.end_lsn = lsn
+        if action in ("insert", "update"):
+            version = self._chain_version_of(new_row)
+            if version is not None:
+                version.begin_lsn = lsn
+
+    # Undo paths: invoked while rolling back an uncommitted (or
+    # failed-to-flush) transaction.  The mutating thread still holds its
+    # X locks, so the row map and indexes are private to it; chains are
+    # shared with snapshot readers, hence the identity-targeted drop /
+    # reopen instead of wholesale replacement.
+
+    def undo_insert(self, row):
+        """Roll back an uncommitted insert of *row*."""
+        rowid = row.rowid
+        if self._rows.get(rowid) is row:
+            del self._rows[rowid]
+            for (column, _), index in self._indexes.items():
+                index.delete(self._index_value(column, row), rowid)
+        self._chain_drop(rowid, row)
+        self.version += 1
+
+    def undo_update(self, new_row, old_row):
+        """Roll back an uncommitted update *old_row* -> *new_row*."""
+        rowid = new_row.rowid
+        self._rows[rowid] = old_row
+        for (column, _), index in self._indexes.items():
+            new_value = self._index_value(column, new_row)
+            old_value = self._index_value(column, old_row)
+            if new_value != old_value:
+                index.delete(new_value, rowid)
+                index.insert(old_value, rowid)
+        self._chain_drop(rowid, new_row)
+        version = self._chain_version_of(old_row)
+        if version is not None:
+            version.end_lsn = None  # reopen: the commit stamp never took
+        self.version += 1
+
+    def undo_delete(self, old_row):
+        """Roll back an uncommitted delete of *old_row*."""
+        rowid = old_row.rowid
+        self._rows[rowid] = old_row
+        for (column, _), index in self._indexes.items():
+            index.insert(self._index_value(column, old_row), rowid)
+        version = self._chain_version_of(old_row)
+        if version is not None:
+            version.end_lsn = None
+        self.version += 1
+
+    def _prune_rowid(self, rowid):
+        if self._prune_horizon is None:
+            # Bare table (no transaction manager): nothing stamps or
+            # snapshots versions, so superseded images can go at once.
+            with self._chains_mutex:
+                chain = self._chains.get(rowid)
+                if chain is None:
+                    return
+                if rowid in self._rows:
+                    self._chains[rowid] = (chain[-1],)
+                else:
+                    del self._chains[rowid]
+            return
+        self._prune_chain(rowid, self._prune_horizon())
+
+    def _prune_chain(self, rowid, horizon):
+        """Drop versions of *rowid* invisible to every snapshot >= horizon."""
+        pruned = 0
+        with self._chains_mutex:
+            chain = self._chains.get(rowid)
+            if chain is None:
+                return 0
+            kept = tuple(
+                v for v in chain
+                if v.end_lsn is None or v.end_lsn > horizon
+            )
+            if len(kept) == len(chain):
+                return 0
+            pruned = len(chain) - len(kept)
+            if kept:
+                self._chains[rowid] = kept
+            else:
+                del self._chains[rowid]
+        if self._pruned is not None:
+            self._pruned.inc(pruned)
+        return pruned
+
+    def prune_versions(self, horizon):
+        """Prune every chain against *horizon*; returns versions dropped.
+
+        Safe against concurrent readers because a snapshot pinned from
+        now on is at least *horizon* (the caller computes the horizon as
+        ``min(active snapshots, current durable LSN)`` with the durable
+        LSN read first, and LSNs are monotone), and a version with
+        ``end_lsn <= horizon`` is invisible to every snapshot
+        ``>= horizon``.
+        """
+        total = 0
+        for rowid in list(self._chains):
+            total += self._prune_chain(rowid, horizon)
+        return total
 
     def scan(self, predicate=None):
         """Yield rows, optionally filtered by *predicate(row)*."""
-        for row in list(self._rows.values()):
+        for row in self:
             if predicate is None or predicate(row):
                 yield row
 
     def select_eq(self, column, value):
-        """Rows where *column* == *value*, via an index when available."""
+        """Rows where *column* == *value*, via an index when available.
+
+        Under a pinned snapshot the indexes (which mirror the live
+        table and are unsafe to read lock-free) are bypassed in favor
+        of a visible-row scan.
+        """
+        snapshot = self._current_snapshot()
+        if snapshot is not None:
+            return [
+                row for row in self._snapshot_rows(snapshot)
+                if row[column] == value
+            ]
         index = self.any_index_for(column)
         if index is not None:
             rows = []
@@ -329,18 +617,23 @@ class Table:
 
     def select_range(self, column, low=None, high=None):
         """Rows with low <= column <= high, via an ordered index if present."""
-        index = self.index_for(column, ordered=True)
-        if index is not None:
-            rows = []
-            for rowid in index.range(low, high):
-                row = self._rows.get(rowid)
-                if row is not None:
-                    rows.append(row)
-            return rows
+        snapshot = self._current_snapshot()
+        if snapshot is None:
+            index = self.index_for(column, ordered=True)
+            if index is not None:
+                rows = []
+                for rowid in index.range(low, high):
+                    row = self._rows.get(rowid)
+                    if row is not None:
+                        rows.append(row)
+                return rows
+            source = self._rows.values()
+        else:
+            source = self._snapshot_rows(snapshot)
         low_key = None if low is None else value_sort_key(low)
         high_key = None if high is None else value_sort_key(high)
         out = []
-        for row in self._rows.values():
+        for row in source:
             key = value_sort_key(row[column])
             if low_key is not None and key < low_key:
                 continue
@@ -351,8 +644,13 @@ class Table:
 
     def sorted_by(self, column, descending=False):
         """All rows sorted by *column* (section 5.2's key ordering)."""
+        snapshot = self._current_snapshot()
+        source = (
+            self._rows.values() if snapshot is None
+            else self._snapshot_rows(snapshot)
+        )
         return sorted(
-            self._rows.values(),
+            source,
             key=lambda row: value_sort_key(row[column]),
             reverse=descending,
         )
@@ -360,8 +658,15 @@ class Table:
     # -- bulk (re)load, used by recovery and the pager ----------------------
 
     def load_row(self, row):
-        """Install *row* verbatim without journalling (recovery path)."""
+        """Install *row* verbatim without journalling (recovery path).
+
+        Recovery and checkpoint images only carry committed rows, so the
+        chain collapses to one version born at LSN 0 -- visible to every
+        snapshot.
+        """
         self._rows[row.rowid] = row
+        with self._chains_mutex:
+            self._chains[row.rowid] = (RowVersion(row, 0, None),)
         self._next_rowid = itertools.count(
             max(row.rowid + 1, next(self._next_rowid))
         )
@@ -372,6 +677,8 @@ class Table:
     def remove_row(self, rowid):
         """Remove *rowid* without journalling (recovery path)."""
         old = self._rows.pop(rowid, None)
+        with self._chains_mutex:
+            self._chains.pop(rowid, None)
         if old is not None:
             for (column, _), index in self._indexes.items():
                 index.delete(self._index_value(column, old), rowid)

@@ -20,13 +20,29 @@ the database into read-only degraded mode (see
 :meth:`repro.storage.database.Database.enter_degraded`): the in-memory
 state stays consistent (the failed transaction is rolled back), reads
 keep serving, and further writes fail fast with ``ReadOnlyError``.
+
+Snapshots (MVCC)
+----------------
+The manager is also the snapshot authority.  A thread calls
+:meth:`TransactionManager.pin_snapshot` to fix its read view at the
+current *visible LSN* -- the WAL's ``flushed_lsn`` on a durable
+database, an internal commit counter on an in-memory one -- and every
+table read on that thread routes through the version chains until
+:meth:`TransactionManager.unpin_snapshot`.  Committing transactions
+stamp their versions with the commit record's LSN inside the WAL append
+critical section (see :meth:`repro.storage.wal.WriteAheadLog.append`'s
+*stamp* hook), which orders stamping strictly before the LSN can become
+durable, so a reader can never pin a snapshot that should include a
+commit whose stamps it cannot yet see.  Pinned snapshots are registered
+so checkpoint pruning (:meth:`prune_horizon`) never reclaims a version
+an active reader still needs.
 """
 
 import enum
 import itertools
 import threading
 
-from repro.errors import TransactionError
+from repro.errors import ReadOnlyError, TransactionError
 from repro.storage import wal as wal_module
 from repro.storage.faults import SimulatedCrash
 from repro.storage.lock import LockManager, LockMode
@@ -99,14 +115,108 @@ class TransactionManager:
         self._log = log
         # Share the database's registry so lock counters land beside the
         # WAL/pager ones; direct construction in tests may lack one.
-        self._locks = LockManager(metrics=getattr(database, "metrics", None))
+        metrics = getattr(database, "metrics", None)
+        self._locks = LockManager(metrics=metrics)
         self._ids = itertools.count(1)
         self._local = threading.local()
         self._mutex = threading.Lock()
+        # MVCC state.  _visible_lsn plays flushed_lsn's role on an
+        # in-memory database (no WAL): it advances once per commit,
+        # *after* that commit's versions are stamped.  The registry maps
+        # pinned snapshot LSN -> number of pinning threads, feeding the
+        # prune horizon and the mvcc.snapshots_active gauge.
+        self._stamp_mutex = threading.Lock()
+        self._visible_lsn = 0
+        self._snapshot_mutex = threading.Lock()
+        self._active_snapshots = {}
+        self._snapshots_gauge = (
+            metrics.gauge("mvcc.snapshots_active") if metrics is not None
+            else None
+        )
 
     @property
     def lock_manager(self):
         return self._locks
+
+    # -- snapshots (MVCC) ------------------------------------------------------
+
+    def snapshot_lsn(self):
+        """The LSN a snapshot pinned right now would read at."""
+        if self._log is not None:
+            return self._log.flushed_lsn
+        return self._visible_lsn
+
+    def current_snapshot(self):
+        """The snapshot LSN pinned on this thread, or None."""
+        return getattr(self._local, "snapshot", None)
+
+    def pin_snapshot(self, lsn=None):
+        """Pin this thread's read view at *lsn* (default: now's durable
+        LSN); returns the pinned LSN.  Nested pins share the outermost
+        snapshot and must be matched by as many ``unpin_snapshot`` calls.
+        """
+        depth = getattr(self._local, "snapshot_depth", 0)
+        if depth:
+            self._local.snapshot_depth = depth + 1
+            return self._local.snapshot
+        snapshot = self.snapshot_lsn() if lsn is None else lsn
+        with self._snapshot_mutex:
+            self._active_snapshots[snapshot] = (
+                self._active_snapshots.get(snapshot, 0) + 1
+            )
+            if self._snapshots_gauge is not None:
+                self._snapshots_gauge.set(
+                    sum(self._active_snapshots.values())
+                )
+        self._local.snapshot = snapshot
+        self._local.snapshot_depth = 1
+        return snapshot
+
+    def unpin_snapshot(self):
+        """Release this thread's snapshot pin (innermost first)."""
+        depth = getattr(self._local, "snapshot_depth", 0)
+        if not depth:
+            raise TransactionError("no snapshot is pinned on this thread")
+        if depth > 1:
+            self._local.snapshot_depth = depth - 1
+            return
+        snapshot = self._local.snapshot
+        self._local.snapshot = None
+        self._local.snapshot_depth = 0
+        with self._snapshot_mutex:
+            count = self._active_snapshots.get(snapshot, 0) - 1
+            if count > 0:
+                self._active_snapshots[snapshot] = count
+            else:
+                self._active_snapshots.pop(snapshot, None)
+            if self._snapshots_gauge is not None:
+                self._snapshots_gauge.set(
+                    sum(self._active_snapshots.values())
+                )
+
+    def assert_no_snapshot(self):
+        """Refuse mutations on a thread reading through a snapshot."""
+        snapshot = self.current_snapshot()
+        if snapshot is not None:
+            raise ReadOnlyError(
+                "this thread holds a read-only snapshot (LSN %d); "
+                "mutations are not allowed until it is unpinned" % snapshot
+            )
+
+    def prune_horizon(self):
+        """The LSN below which no active or future snapshot can look.
+
+        The current visible LSN is read *before* the active-snapshot
+        registry: LSNs are monotone, so a reader pinning concurrently
+        either registered in time to hold the horizon down or pinned a
+        snapshot at least as new as the LSN we read first.  Either way
+        every version with ``end_lsn <= horizon`` is invisible to it.
+        """
+        horizon = self.snapshot_lsn()
+        with self._snapshot_mutex:
+            if self._active_snapshots:
+                horizon = min(horizon, min(self._active_snapshots))
+        return horizon
 
     # -- current-transaction bookkeeping ---------------------------------------
 
@@ -183,6 +293,35 @@ class TransactionManager:
             return txn.txn_id
         return getattr(self._local, "statement_owner", None)
 
+    # -- commit stamping (MVCC) ------------------------------------------------
+
+    def _stamper_for(self, changes):
+        """A WAL *stamp* hook assigning a commit LSN to *changes*'
+        versions; None when there is nothing to stamp."""
+        if not changes:
+            return None
+        tables = self._database.table
+
+        def stamp(lsn):
+            for action, table_name, new_row, old_row in changes:
+                tables(table_name).stamp_change(lsn, action, new_row, old_row)
+
+        return stamp
+
+    def _stamp_local(self, changes):
+        """Stamp *changes* on an in-memory database (no WAL).
+
+        The visible LSN advances only after every version is stamped, so
+        a reader pinning the new LSN always sees the whole commit.
+        """
+        with self._stamp_mutex:
+            lsn = self._visible_lsn + 1
+            for action, table_name, new_row, old_row in changes:
+                self._database.table(table_name).stamp_change(
+                    lsn, action, new_row, old_row
+                )
+            self._visible_lsn = lsn
+
     def journal(self, action, table_name, new_row, old_row):
         """Table mutation hook: route to the active txn or auto-commit."""
         txn = self.current()
@@ -193,35 +332,42 @@ class TransactionManager:
         # transaction (no BEGIN/COMMIT bracket to pay for).
         with self._mutex:
             txn_id = next(self._ids)
-        if self._log is not None:
-            orders = self._database.column_orders()
-            try:
-                record = self._log.append(
-                    txn_id,
-                    _AUTO_KIND[action],
-                    table=table_name,
-                    row=new_row,
-                    old_row=old_row,
-                    column_orders=orders,
-                )
-                self._log.commit_flush(
-                    record.lsn, deadline=self.current_deadline()
-                )
-            except BaseException as exc:
-                # The change is not durable and the process lives on:
-                # roll the table back so memory matches "not committed".
-                # Any failure counts -- a value that will not serialize
-                # leaves no frame behind just as surely as a dead disk
-                # -- but only an I/O error degrades to read-only.  (A
-                # SimulatedCrash stays hands-off: the process is
-                # modelled as dead and the crash oracle inspects the
-                # torn state as-is.)
-                if isinstance(exc, SimulatedCrash):
-                    raise
-                self._undo_change(action, table_name, new_row, old_row)
-                if isinstance(exc, OSError):
-                    self._database.enter_degraded(exc)
+        change = (action, table_name, new_row, old_row)
+        if self._log is None:
+            self._stamp_local((change,))
+            return
+        orders = self._database.column_orders()
+        try:
+            record = self._log.append(
+                txn_id,
+                _AUTO_KIND[action],
+                table=table_name,
+                row=new_row,
+                old_row=old_row,
+                column_orders=orders,
+                stamp=self._stamper_for((change,)),
+            )
+            self._log.commit_flush(
+                record.lsn, deadline=self.current_deadline()
+            )
+        except BaseException as exc:
+            # The change is not durable and the process lives on:
+            # roll the table back so memory matches "not committed".
+            # Any failure counts -- a value that will not serialize
+            # leaves no frame behind just as surely as a dead disk
+            # -- but only an I/O error degrades to read-only.  (A
+            # SimulatedCrash stays hands-off: the process is
+            # modelled as dead and the crash oracle inspects the
+            # torn state as-is.)  If the frame was appended and
+            # stamped before the failure, no reader can have pinned a
+            # snapshot covering it (the flush never succeeded, so
+            # flushed_lsn never reached it); the undo unstamps.
+            if isinstance(exc, SimulatedCrash):
                 raise
+            self._undo_change(action, table_name, new_row, old_row)
+            if isinstance(exc, OSError):
+                self._database.enter_degraded(exc)
+            raise
 
     def journal_insert_batch(self, table_name, rows):
         """Journal a bulk insert of *rows* already installed in memory.
@@ -237,14 +383,17 @@ class TransactionManager:
             for row in rows:
                 txn.record("insert", table_name, row, None)
             return
+        changes = [("insert", table_name, row, None) for row in rows]
         if self._log is None:
+            self._stamp_local(changes)
             return
         with self._mutex:
             txn_id = next(self._ids)
         orders = self._database.column_orders()
         try:
             record = self._log.append_batch(
-                txn_id, table_name, rows, orders
+                txn_id, table_name, rows, orders,
+                stamp=self._stamper_for(changes),
             )
             self._log.commit_flush(record.lsn, deadline=self.current_deadline())
         except BaseException as exc:
@@ -252,7 +401,7 @@ class TransactionManager:
                 raise
             table = self._database.table(table_name)
             for row in reversed(rows):
-                table.remove_row(row.rowid)
+                table.undo_insert(row)
             if isinstance(exc, OSError):
                 self._database.enter_degraded(exc)
             raise
@@ -291,15 +440,19 @@ class TransactionManager:
             self._local.txn = None
 
     def _undo_change(self, action, table_name, new_row, old_row):
-        """Reverse one journalled change against the in-memory table."""
+        """Reverse one journalled change against the in-memory table.
+
+        Uses the table's version-aware undo paths: the change's versions
+        are surgically removed (or reopened) from the chains so pinned
+        snapshot readers never lose committed history to a rollback.
+        """
         table = self._database.table(table_name)
         if action == "insert":
-            table.remove_row(new_row.rowid)
+            table.undo_insert(new_row)
         elif action == "update":
-            table.remove_row(new_row.rowid)
-            table.load_row(old_row)
+            table.undo_update(new_row, old_row)
         elif action == "delete":
-            table.load_row(old_row)
+            table.undo_delete(old_row)
 
     def _undo(self, txn):
         """Reverse *txn*'s in-memory changes, without journalling the undos."""
@@ -329,7 +482,14 @@ class TransactionManager:
                         old_row=old_row,
                         column_orders=orders,
                     )
-                record = self._log.append(txn.txn_id, wal_module.COMMIT)
+                # The COMMIT record's LSN is the transaction's commit
+                # LSN; its versions are stamped inside the append's
+                # critical section so no reader can pin a snapshot at or
+                # past it before the stamps are visible.
+                record = self._log.append(
+                    txn.txn_id, wal_module.COMMIT,
+                    stamp=self._stamper_for(txn.changes),
+                )
                 self._log.commit_flush(
                     record.lsn, deadline=self.current_deadline()
                 )
@@ -338,11 +498,17 @@ class TransactionManager:
                 # transaction did not happen.  Roll the in-memory tables
                 # back and release locks so a surviving process is not
                 # left holding them, then let the I/O error propagate.
+                # (If stamping already ran, the flush's failure means
+                # flushed_lsn never reached the commit LSN, so no
+                # snapshot can have observed it; the undo unstamps.)
                 self._undo(txn)
                 self._finish(txn, TransactionState.ABORTED)
                 if isinstance(exc, OSError):
                     self._database.enter_degraded(exc)
                 raise
+        elif self._log is None and txn.changes:
+            # In-memory database: stamping *is* the commit point.
+            self._stamp_local(txn.changes)
         self._finish(txn, TransactionState.COMMITTED)
 
     def _abort(self, txn):

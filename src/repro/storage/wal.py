@@ -221,13 +221,23 @@ class WriteAheadLog:
         return self._flushed_lsn
 
     def append(self, txn_id, kind, table=None, row=None, old_row=None,
-               column_orders=None, flush=False):
-        """Append a record; returns its LogRecord."""
+               column_orders=None, flush=False, stamp=None):
+        """Append a record; returns its LogRecord.
+
+        *stamp*, when given, is called with the record's LSN *inside*
+        the append critical section.  The transaction manager uses it to
+        stamp MVCC version chains with the commit LSN: a group-commit
+        leader needs this same mutex to fsync, so the stamp is published
+        strictly before ``flushed_lsn`` can reach the commit's LSN --
+        i.e. before any snapshot at least that new can be pinned.
+        """
         with self._mutex:
             record = LogRecord(self._next_lsn, txn_id, kind, table, row, old_row)
             self._next_lsn += 1
             payload = _encode_record(record, column_orders or {})
             self._append_frame(payload)
+            if stamp is not None:
+                stamp(record.lsn)
         # The flush happens outside the mutex: waiting on a flush
         # ticket while holding the append mutex would deadlock against
         # the leader, which needs the mutex to fsync.
@@ -235,7 +245,7 @@ class WriteAheadLog:
             self.sync_to(record.lsn)
         return record
 
-    def append_batch(self, txn_id, table, rows, column_orders):
+    def append_batch(self, txn_id, table, rows, column_orders, stamp=None):
         """Append one self-committing BATCH_INSERT frame covering *rows*.
 
         The whole batch lands in a single checksummed frame, so crash
@@ -255,6 +265,8 @@ class WriteAheadLog:
                 len(row_bytes), 0,
             )
             self._append_frame(body + table_bytes + row_bytes)
+            if stamp is not None:
+                stamp(record.lsn)
         return record
 
     def _append_frame(self, payload):

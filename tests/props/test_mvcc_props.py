@@ -1,0 +1,277 @@
+"""Property battery: random writer programs vs a snapshot reference model.
+
+Same machinery as ``test_ordering_props.py``: programs are lists of raw
+4-int tuples from ``random.Random(seed)``, each interpreted *modulo the
+current state*, so every subsequence is itself a valid program and
+greedy delta-debugging is sound.  On failure the battery shrinks to a
+minimal reproducer and prints it for ``REPLAY_OPS``.
+
+The model here is *temporal*: alongside the live table, a
+single-threaded reference tracks the committed row set, and after every
+commit the pair ``(snapshot LSN, deep copy of committed state)`` is
+recorded.  After **every** operation, every recorded snapshot is
+re-read through ``pin_snapshot(lsn)`` and must equal its reference copy
+exactly — iteration, ``len``, ``rowids``, ``get`` (including ``None``
+for rows that did not exist yet or were already deleted at that LSN).
+
+Pruning honesty: the engine prunes dead versions up to the horizon on
+every rewrite, and the horizon is bounded only by *pinned* snapshots —
+an unpinned LSN older than the horizon is void, by contract.  So the
+battery keeps a *protector* thread whose pin holds the horizon at the
+oldest snapshot the model still replays (pins are thread-local, hence
+the thread), and one op kind deliberately advances that floor: the
+model forgets the snapshots it just unprotected, then checks that every
+remaining one survived the pruning that the advance unleashed.
+"""
+
+import queue
+import random
+import threading
+
+import pytest
+
+from repro.storage.database import Database
+
+pytestmark = pytest.mark.props
+
+OPS_PER_PROGRAM = 50
+SEEDS = range(20)
+
+# Paste the ops list from a failure message here to replay it.
+REPLAY_OPS = []
+
+
+class _Protector:
+    """Holds ``pin_snapshot(floor)`` on a dedicated thread.
+
+    Snapshot pins are thread-local, so the main thread — which must
+    stay free to mutate and to pin each replayed LSN in turn — cannot
+    itself keep the horizon back.  This thread pins the current floor
+    and re-pins on demand; commands are acknowledged synchronously so
+    the main thread never races its own protection.
+    """
+
+    def __init__(self, transactions):
+        self._transactions = transactions
+        self._commands = queue.Queue()
+        self._acks = queue.Queue()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+        self.floor = None
+
+    def _loop(self):
+        pinned = False
+        while True:
+            lsn = self._commands.get()
+            if pinned:
+                self._transactions.unpin_snapshot()
+                pinned = False
+            if lsn is None:
+                self._acks.put(None)
+                return
+            self._transactions.pin_snapshot(lsn)
+            pinned = True
+            self._acks.put(lsn)
+
+    def set_floor(self, lsn):
+        self._commands.put(lsn)
+        assert self._acks.get(timeout=10) == lsn
+        self.floor = lsn
+
+    def stop(self):
+        self._commands.put(None)
+        self._acks.get(timeout=10)
+        self._thread.join(timeout=10)
+
+
+class _State:
+    """The live database plus the single-threaded reference model."""
+
+    def __init__(self):
+        self.db = Database(None)
+        self.db.create_table("t", [("k", "string"), ("v", "integer")])
+        self.table = self.db.table("t")
+        self.txn = None
+        self.committed = {}   # rowid -> (k, v) as of the last commit
+        self.scratch = {}     # rowid -> (k, v) including uncommitted ops
+        self.snapshots = {}   # lsn -> frozen copy of `committed`
+        self.ever = set()     # every rowid that ever existed
+        self.next_key = 0
+        self.protector = _Protector(self.db.transactions)
+        self.protector.set_floor(self.db.transactions.snapshot_lsn())
+        self._record()
+
+    def close(self):
+        self.protector.stop()
+
+    def _record(self):
+        lsn = self.db.transactions.snapshot_lsn()
+        self.snapshots[lsn] = dict(self.committed)
+
+    def commit_if_open(self):
+        if self.txn is not None:
+            self.txn.commit()
+            self.txn = None
+            self.committed = dict(self.scratch)
+            self._record()
+
+    def apply(self, op):
+        """One raw op; total by construction (invalid choices no-op)."""
+        kind = op[0] % 6
+        auto = self.txn is None
+        rowids = sorted(self.scratch)
+        if kind == 0:  # insert a fresh row
+            key = "k%d" % self.next_key
+            self.next_key += 1
+            value = op[3] % 1000
+            row = self.table.insert({"k": key, "v": value})
+            self.scratch[row.rowid] = (key, value)
+            self.ever.add(row.rowid)
+        elif kind == 1:  # update some live row
+            if not rowids:
+                return
+            rowid = rowids[op[1] % len(rowids)]
+            value = op[3] % 1000
+            self.table.update(rowid, {"v": value})
+            self.scratch[rowid] = (self.scratch[rowid][0], value)
+        elif kind == 2:  # delete some live row
+            if not rowids:
+                return
+            rowid = rowids[op[1] % len(rowids)]
+            self.table.delete(rowid)
+            del self.scratch[rowid]
+        elif kind == 3:  # transaction toggle: begin, or commit + record
+            if self.txn is None:
+                self.txn = self.db.begin()
+            else:
+                self.commit_if_open()
+            return
+        elif kind == 4:  # abort the open transaction, if any
+            if self.txn is not None:
+                self.txn.abort()
+                self.txn = None
+                self.scratch = dict(self.committed)
+            return
+        else:  # advance the protection floor; older snapshots are void
+            if self.txn is not None:
+                return  # keep floor moves between transactions
+            recorded = sorted(self.snapshots)
+            floor = recorded[op[1] % len(recorded)]
+            if floor <= self.protector.floor:
+                return
+            self.protector.set_floor(floor)
+            self.snapshots = {
+                lsn: state for lsn, state in self.snapshots.items()
+                if lsn >= floor
+            }
+            # Reap everything the old floor was keeping alive; every
+            # snapshot still in the model must survive this untouched.
+            self.table.prune_versions(self.db.transactions.prune_horizon())
+            return
+        if auto:  # each auto-committed mutation is its own snapshot
+            self.committed = dict(self.scratch)
+            self._record()
+
+    def check(self):
+        transactions = self.db.transactions
+        for lsn in sorted(self.snapshots):
+            expected = self.snapshots[lsn]
+            transactions.pin_snapshot(lsn)
+            try:
+                observed = {
+                    row.rowid: (row["k"], row["v"]) for row in self.table
+                }
+                assert observed == expected, (
+                    "snapshot %d read %r, reference says %r"
+                    % (lsn, observed, expected)
+                )
+                assert len(self.table) == len(expected)
+                assert set(self.table.rowids()) == set(expected)
+                for rowid in self.ever:
+                    row = self.table.get(rowid)
+                    if rowid in expected:
+                        assert (row["k"], row["v"]) == expected[rowid]
+                    else:
+                        assert row is None, (
+                            "rowid %d visible at snapshot %d but the "
+                            "reference has no such row" % (rowid, lsn)
+                        )
+            finally:
+                transactions.unpin_snapshot()
+        # The unpinned present always reads the scratch (in-txn) state.
+        now = {row.rowid: (row["k"], row["v"]) for row in self.table}
+        assert now == self.scratch
+
+
+def _generate_ops(seed, count=OPS_PER_PROGRAM):
+    rng = random.Random(seed)
+    return [tuple(rng.randrange(1 << 16) for _ in range(4)) for _ in range(count)]
+
+
+def _program_fails(ops):
+    """Run a program; returns the failure message, or None if it passes."""
+    state = _State()
+    try:
+        for index, op in enumerate(ops):
+            try:
+                state.apply(op)
+                state.check()
+            except Exception as error:  # noqa: BLE001 -- any divergence fails
+                return "op %d (%r): %s: %s" % (
+                    index, op, type(error).__name__, error
+                )
+        try:
+            state.commit_if_open()
+            state.check()
+        except Exception as error:  # noqa: BLE001
+            return "final commit: %s: %s" % (type(error).__name__, error)
+        return None
+    finally:
+        state.close()
+
+
+def _shrink(ops, fails):
+    """Greedy delta-debugging, sound because subsequences stay valid."""
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(ops)):
+            candidate = ops[:index] + ops[index + 1:]
+            if fails(candidate):
+                ops = candidate
+                changed = True
+                break
+    return ops
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_programs_match_snapshot_reference(seed):
+    ops = _generate_ops(seed)
+    error = _program_fails(ops)
+    if error is None:
+        return
+    minimal = _shrink(ops, lambda candidate: _program_fails(candidate) is not None)
+    pytest.fail(
+        "seed %d diverged from the snapshot reference model.\n%s\n"
+        "Replay by setting REPLAY_OPS = %r" % (seed, _program_fails(minimal), minimal)
+    )
+
+
+@pytest.mark.skipif(not REPLAY_OPS, reason="no recorded failure to replay")
+def test_replay_minimal_failure():
+    error = _program_fails([tuple(op) for op in REPLAY_OPS])
+    assert error is None, error
+
+
+@pytest.mark.mvcc_slow
+@pytest.mark.parametrize("seed", range(100, 140))
+def test_random_programs_extended(seed):
+    ops = _generate_ops(seed, 120)
+    error = _program_fails(ops)
+    if error is None:
+        return
+    minimal = _shrink(ops, lambda candidate: _program_fails(candidate) is not None)
+    pytest.fail(
+        "seed %d diverged from the snapshot reference model.\n%s\n"
+        "Replay by setting REPLAY_OPS = %r" % (seed, _program_fails(minimal), minimal)
+    )
