@@ -1,9 +1,12 @@
 #!/usr/bin/env python
-"""Benchmark report: measure QUEL and storage workloads, emit BENCH JSON.
+"""Benchmark report: measure QUEL, storage, and net workloads, emit BENCH JSON.
 
 Runs a self-contained ``time.perf_counter`` harness (no pytest-benchmark
-dependency) over two workload suites and writes ``BENCH_quel.json`` and
-``BENCH_storage.json`` at the repository root.  Each file carries
+dependency) over three workload suites and writes ``BENCH_quel.json``,
+``BENCH_storage.json``, and ``BENCH_net.json`` (a multi-process client
+swarm against the network server, primary-only vs. two WAL-shipped
+replicas: per-retrieve p50/p99 latency and shed rate) at the
+repository root.  Each file carries
 per-workload timing statistics plus the metrics-registry snapshot taken
 after the run, so a report shows both "how fast" and "how much work"
 (page I/O, WAL appends, lock waits, statements).
@@ -28,6 +31,7 @@ import argparse
 import json
 import os
 import shutil
+import subprocess
 import sys
 import tempfile
 import threading
@@ -295,6 +299,155 @@ def storage_report(rounds, row_count=200):
         shutil.rmtree(tempdir, ignore_errors=True)
 
 
+# -- network serving workloads ---------------------------------------------------
+
+
+def _stats_from_samples(samples):
+    """The BENCH stat dict for a list of per-operation latencies."""
+    samples = sorted(samples)
+    count = len(samples)
+    total = sum(samples)
+    return {
+        "rounds": count,
+        "total_s": total,
+        "mean_s": total / count,
+        "min_s": samples[0],
+        "max_s": samples[-1],
+        "p50_s": samples[count // 2],
+        "p99_s": samples[min(count - 1, (count * 99) // 100)],
+    }
+
+
+def _swarm_worker(argv):
+    """Child-process entry point (``--swarm-worker``): one retrieve
+    client hammering the server; emits latency samples as JSON."""
+    port, replica_ports, ops = argv[0], argv[1], int(argv[2])
+    from repro.errors import MDMError
+    from repro.net import MdmClient
+
+    replicas = [
+        ("127.0.0.1", int(p)) for p in replica_ports.split(",") if p
+    ]
+    client = MdmClient(
+        ("127.0.0.1", int(port)), replicas=replicas,
+        client_id="swarm-%d" % os.getpid(), default_timeout=5.0,
+    )
+    latencies, ok, shed = [], 0, 0
+    try:
+        client.execute("range of n is NOTE")
+        for _ in range(ops):
+            started = time.perf_counter()
+            try:
+                client.retrieve("retrieve (n.degree) where n.degree >= 0")
+            except MDMError:
+                shed += 1
+                continue
+            ok += 1
+            latencies.append(time.perf_counter() - started)
+    finally:
+        client.close()
+    json.dump({"lat": latencies, "ok": ok, "shed": shed}, sys.stdout)
+    return 0
+
+
+def _run_swarm(port, replica_ports, clients, ops_per_client):
+    """Launch *clients* worker processes; returns merged results."""
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "src"
+    )
+    env["PYTHONPATH"] = os.path.abspath(src)
+    command = [
+        sys.executable, os.path.abspath(__file__), "--swarm-worker",
+        str(port), ",".join(str(p) for p in replica_ports),
+        str(ops_per_client),
+    ]
+    procs = [
+        subprocess.Popen(command, stdout=subprocess.PIPE, env=env)
+        for _ in range(clients)
+    ]
+    latencies, ok, shed = [], 0, 0
+    for proc in procs:
+        out, _ = proc.communicate(timeout=120)
+        if proc.returncode != 0:
+            raise RuntimeError("swarm worker exited %d" % proc.returncode)
+        result = json.loads(out.decode("utf-8"))
+        latencies.extend(result["lat"])
+        ok += result["ok"]
+        shed += result["shed"]
+    return latencies, ok, shed
+
+
+def net_report(clients=4, ops_per_client=30, row_count=60):
+    """The client-swarm serving benchmark: per-retrieve latency and shed
+    rate with every client in its own OS process, primary-only vs.
+    primary plus two WAL-shipped replicas (retrieves fan out)."""
+    from repro.mdm.manager import MusicDataManager
+    from repro.net import MdmServer, ReplicaServer
+
+    tempdir = tempfile.mkdtemp(prefix="bench_net_")
+    workloads = {}
+    metrics_snapshot = {}
+    try:
+        for label, replica_count in (
+            ("swarm_primary_only", 0),
+            ("swarm_two_replicas", 2),
+        ):
+            mdm = MusicDataManager(os.path.join(tempdir, "db_%s" % label))
+            server = MdmServer(mdm)
+            server.start()
+            replicas = []
+            try:
+                for degree in range(row_count):
+                    mdm.execute("append to NOTE (degree = %d)" % degree)
+                for index in range(replica_count):
+                    replica = ReplicaServer(
+                        server.address, name="bench-r%d" % index
+                    )
+                    replica.start()
+                    replicas.append(replica)
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline and not all(
+                    r.status()["serving"] for r in replicas
+                ):
+                    time.sleep(0.02)
+                latencies, ok, shed = _run_swarm(
+                    server.address[1],
+                    [r.address[1] for r in replicas],
+                    clients, ops_per_client,
+                )
+                if not latencies:
+                    raise RuntimeError(
+                        "swarm %r produced no successful retrieves" % label
+                    )
+                stats = _stats_from_samples(latencies)
+                stats["clients"] = clients
+                stats["ops_per_client"] = ops_per_client
+                stats["shed_rate"] = shed / float(ok + shed)
+                workloads[label] = stats
+                metrics_snapshot = mdm.database.metrics.snapshot()
+            finally:
+                for replica in replicas:
+                    replica.stop()
+                server.stop()
+                mdm.close()
+        return {
+            "benchmark": "net",
+            "dataset": {
+                "clients": clients, "ops_per_client": ops_per_client,
+                "row_count": row_count,
+            },
+            # Swarm latencies are a few ms and swing with machine load;
+            # widen the absolute slack so the gate catches gross
+            # serving regressions without flagging scheduler noise.
+            "compare": {"min_delta_s": 0.003},
+            "workloads": workloads,
+            "metrics": metrics_snapshot,
+        }
+    finally:
+        shutil.rmtree(tempdir, ignore_errors=True)
+
+
 # -- report validation / entry point --------------------------------------------
 
 _STAT_KEYS = {"rounds", "total_s", "mean_s", "min_s", "max_s", "p50_s"}
@@ -326,7 +479,10 @@ def compare_reports(current, baseline, threshold=0.25, min_delta_s=0.0005):
     *min_delta_s* of absolute slack -- the slack keeps sub-millisecond
     workloads from flagging on scheduler noise.  Workloads present in
     only one report are ignored, so reports can gain scenarios without
-    breaking older baselines.
+    breaking older baselines.  A baseline may widen its own slack via a
+    top-level ``"compare": {"min_delta_s": ...}`` entry (the net swarm
+    does: wall-clock latencies over real sockets need more headroom
+    than in-process microbenchmarks).
     """
     regressions = []
     base_workloads = baseline.get("workloads", {})
@@ -365,7 +521,11 @@ def _run_compare(baseline_paths, current_by_kind):
             )
             failed = True
             continue
-        regressions = compare_reports(current, baseline)
+        hints = baseline.get("compare", {})
+        regressions = compare_reports(
+            current, baseline,
+            min_delta_s=float(hints.get("min_delta_s", 0.0005)),
+        )
         shared = len(
             set(current["workloads"]) & set(baseline.get("workloads", {}))
         )
@@ -398,7 +558,15 @@ def main(argv=None):
         "--out-dir", default=os.path.join(os.path.dirname(__file__), ".."),
         help="directory for BENCH_*.json (default: repository root)",
     )
+    parser.add_argument(
+        "--swarm-worker", nargs=3, default=None,
+        metavar=("PORT", "REPLICA_PORTS", "OPS"),
+        help=argparse.SUPPRESS,  # internal: net_report child process
+    )
     args = parser.parse_args(argv)
+
+    if args.swarm_worker is not None:
+        return _swarm_worker(args.swarm_worker)
 
     rounds = 2 if args.check else args.rounds
     quel = validate_report(
@@ -408,18 +576,31 @@ def main(argv=None):
     storage = validate_report(
         storage_report(rounds, row_count=20 if args.check else 200)
     )
+    net = validate_report(
+        net_report(clients=2 if args.check else 4,
+                   ops_per_client=5 if args.check else 30,
+                   row_count=10 if args.check else 60)
+    )
     if args.check:
-        print("bench report check OK (%d quel workloads, %d storage workloads)"
-              % (len(quel["workloads"]), len(storage["workloads"])))
+        print(
+            "bench report check OK (%d quel, %d storage, %d net workloads)"
+            % (len(quel["workloads"]), len(storage["workloads"]),
+               len(net["workloads"]))
+        )
         return 0
     if args.compare:
-        return _run_compare(args.compare, {"quel": quel, "storage": storage})
+        return _run_compare(
+            args.compare, {"quel": quel, "storage": storage, "net": net}
+        )
     out_dir = os.path.abspath(args.out_dir)
     quel_path = os.path.join(out_dir, "BENCH_quel.json")
     storage_path = os.path.join(out_dir, "BENCH_storage.json")
+    net_path = os.path.join(out_dir, "BENCH_net.json")
     write_json(quel_path, quel)
     write_json(storage_path, storage)
-    for path, report in ((quel_path, quel), (storage_path, storage)):
+    write_json(net_path, net)
+    for path, report in ((quel_path, quel), (storage_path, storage),
+                         (net_path, net)):
         print("wrote %s:" % os.path.relpath(path, out_dir))
         for name, stats in sorted(report["workloads"].items()):
             print("  %-24s mean %.6fs over %d rounds"

@@ -7,8 +7,10 @@
 # that a fresh run shows no >25% median regression against the
 # committed BENCH_quel.json / BENCH_storage.json baselines (which
 # cover the group-commit write path: bulk_ingest and concurrent_insert
-# ride the same gate, as does the MVCC mixed_readers_writers mix), and
-# finally the fast snapshot-isolation battery (scripts/mvcc_smoke.sh).
+# ride the same gate, as does the MVCC mixed_readers_writers mix; the
+# BENCH_net.json baseline gates the client-swarm serving latency), then
+# the fast snapshot-isolation battery (scripts/mvcc_smoke.sh) and the
+# network fault sweep (scripts/net_smoke.sh).
 #
 # Runs in a few seconds; suitable for CI.  The full timing benches live
 # in benchmarks/ and are run separately with pytest-benchmark.
@@ -19,5 +21,7 @@ PYTHONPATH=src python -m pytest benchmarks/test_bench_obs.py -q -m obs_smoke
 PYTHONPATH=src python -m pytest benchmarks/test_bench_compare.py -q -m bench_compare
 PYTHONPATH=src python scripts/bench_report.py --check
 PYTHONPATH=src python scripts/bench_report.py --rounds 7 \
-    --compare BENCH_quel.json --compare BENCH_storage.json
+    --compare BENCH_quel.json --compare BENCH_storage.json \
+    --compare BENCH_net.json
 sh scripts/mvcc_smoke.sh
+sh scripts/net_smoke.sh

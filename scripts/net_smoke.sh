@@ -1,0 +1,12 @@
+#!/bin/sh
+# Network-serving smoke: the full tests/net battery *including* the
+# net_slow wide fault sweep that the default pytest run deselects --
+# every disconnect/torn-send position in the client's frame schedule,
+# plus compound disconnect+torn+stall+partition schedules, each checked
+# against the exactly-once oracle (acked writes committed exactly once,
+# nothing committed twice, in-doubt writes resolved by ledger dedup).
+#
+# Runs in well under a minute; wired into scripts/bench_smoke.sh.
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH=src python -m pytest tests/net -q -m "net or net_slow" "$@"

@@ -67,6 +67,30 @@ class ResourceLimitError(ServiceError):
     """Query execution exceeded its row budget."""
 
 
+class ShutdownError(ServiceError):
+    """Request refused: the data manager is draining for shutdown."""
+
+
+class NetworkError(MDMError):
+    """Failure on the wire: torn connection, unreadable peer, short send."""
+
+
+class ProtocolError(NetworkError):
+    """A frame violated the wire protocol (bad CRC, oversize, bad version)."""
+
+
+class NetworkTimeoutError(NetworkError):
+    """No complete frame arrived within the receive deadline."""
+
+
+class ReplicationError(MDMError):
+    """Failure in the WAL-shipping replication layer."""
+
+
+class ReplicaLagError(ReplicationError):
+    """A replica could not serve the requested read view in time."""
+
+
 class SchemaError(MDMError):
     """Invalid schema definition (entities, relationships, orderings)."""
 

@@ -16,7 +16,12 @@ the admission gate, and the sessions into :meth:`statistics`.
 from repro.cmn.schema import CmnSchema
 from repro.core.catalog import MetaCatalog
 from repro.ddl.compiler import execute_ddl
-from repro.mdm.service import AdmissionGate, MdmSession, ServiceMetrics
+from repro.mdm.service import (
+    AdmissionGate,
+    MdmSession,
+    RemoteSessions,
+    ServiceMetrics,
+)
 from repro.quel.executor import QuelSession
 from repro.storage.database import Database
 
@@ -51,6 +56,9 @@ class MusicDataManager:
             queue_timeout=admission_queue_timeout,
             metrics=self.metrics,
         )
+        # Remote requests (the network server's) register here, so
+        # close() can drain them instead of dying under their feet.
+        self.remote = RemoteSessions()
 
     @classmethod
     def reopen(cls, path):
@@ -116,17 +124,23 @@ class MusicDataManager:
     def checkpoint(self):
         self.database.checkpoint()
 
-    def close(self):
+    def close(self, drain_timeout=2.0):
         """Close the MDM; idempotent and exception-safe.
 
-        A double close, or a close after an error mid-transaction, must
-        neither raise nor leave locks behind: the active transaction (if
-        any) is aborted — abandoned if even the abort fails — before the
-        database releases its log file.
+        Remote sessions are drained first: new remote requests are
+        refused with :class:`~repro.errors.ShutdownError` and requests
+        already in flight get up to *drain_timeout* seconds to finish,
+        so a commit the server is about to acknowledge is never torn by
+        its own shutdown.  Then, as before, the active local transaction
+        (if any) is aborted — abandoned if even the abort fails — before
+        the database releases its log file.  A double close, or a close
+        after an error mid-transaction, neither raises nor leaves locks
+        behind.
         """
         if self._closed:
             return
         self._closed = True
+        self.remote.drain(drain_timeout)
         transactions = self.database.transactions
         txn = transactions.current()
         if txn is not None:

@@ -40,6 +40,7 @@ from repro.errors import (
     QueryTimeoutError,
     ResourceLimitError,
     RetryExhaustedError,
+    ShutdownError,
 )
 
 
@@ -78,6 +79,82 @@ class ServiceMetrics:
 
     def snapshot(self):
         return {name: counter.value for name, counter in self._counters.items()}
+
+
+class RemoteSessions:
+    """In-flight remote-request accounting for one MusicDataManager.
+
+    The network server brackets every remote request in
+    :meth:`track`, so :meth:`MusicDataManager.close` can *drain*:
+    refuse new remote work with :class:`ShutdownError` while waiting a
+    bounded time for requests already past the door to finish, instead
+    of yanking the WAL out from under a mid-commit transaction.
+    """
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._cond = threading.Condition(threading.Lock())
+        self._active = 0
+        self.draining = False
+
+    @property
+    def active(self):
+        with self._cond:
+            return self._active
+
+    def enter(self, label="remote request"):
+        with self._cond:
+            if self.draining:
+                raise ShutdownError(
+                    "%s refused: the data manager is shutting down" % label
+                )
+            self._active += 1
+
+    def exit(self):
+        with self._cond:
+            self._active -= 1
+            if self._active <= 0:
+                self._cond.notify_all()
+
+    def track(self, label="remote request"):
+        """Context manager: ``enter`` on entry, ``exit`` on the way out."""
+        return _RemoteWork(self, label)
+
+    def begin_drain(self):
+        with self._cond:
+            self.draining = True
+
+    def drain(self, timeout):
+        """Refuse new work, then wait up to *timeout* for the rest.
+
+        Returns True when every in-flight request finished; False when
+        the timeout expired with requests still running (close proceeds
+        anyway — their next storage touch fails like any I/O error, and
+        the WAL's committed prefix stays exactly-once durable).
+        """
+        deadline = self._clock() + max(0.0, timeout)
+        with self._cond:
+            self.draining = True
+            while self._active > 0:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+
+class _RemoteWork:
+    def __init__(self, sessions, label):
+        self._sessions = sessions
+        self._label = label
+
+    def __enter__(self):
+        self._sessions.enter(self._label)
+        return self
+
+    def __exit__(self, *exc_info):
+        self._sessions.exit()
+        return False
 
 
 class AdmissionGate:

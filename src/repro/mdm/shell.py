@@ -15,6 +15,7 @@ the buffer.  Backslash commands inspect the schema:
     \\explain STMT   show the plan a QUEL statement would use
     \\metrics        dump the metrics registry
     \\checks         run every ordering invariant check
+    \\replicas       WAL-shipping replica state (when network-served)
     \\q              quit
 
 The shell is a thin, fully testable layer: :meth:`MdmShell.handle_line`
@@ -48,8 +49,11 @@ def format_rows(rows):
 class MdmShell:
     """Stateful shell over one MusicDataManager."""
 
-    def __init__(self, mdm=None):
+    def __init__(self, mdm=None, server=None):
         self.mdm = mdm if mdm is not None else MusicDataManager()
+        # When the shell is served over the wire (repro.net.server), the
+        # server hands itself in so \replicas can report shipping state.
+        self.server = server
         self._buffer = []
         self.done = False
 
@@ -130,6 +134,8 @@ class MdmShell:
             return rendered
         if command == "\\metrics":
             return self.mdm.database.metrics.render()
+        if command == "\\replicas":
+            return self._replicas()
         if command == "\\checks":
             try:
                 self.mdm.check_invariants()
@@ -138,9 +144,25 @@ class MdmShell:
             return "all ordering invariants hold"
         return (
             "unknown command %s (try \\d, \\stats, \\health, \\plan, "
-            "\\explain, \\metrics, \\checks, \\q)"
+            "\\explain, \\metrics, \\checks, \\replicas, \\q)"
             % command
         )
+
+    def _replicas(self):
+        """Per-replica shipping state, when serving over the network."""
+        if self.server is None:
+            return "(not serving over the network)"
+        peers = self.server.replication.status()
+        if not peers:
+            return "(no replicas connected)"
+        lines = ["%-16s %-12s %10s %10s %6s %6s" % (
+            "replica", "state", "shipped", "acked", "lag", "seeds")]
+        for peer in peers:
+            lines.append("%-16s %-12s %10s %10s %6s %6s" % (
+                peer["name"], peer["state"], peer["shipped_lsn"],
+                peer["acked_lsn"], peer["lag"], peer["seeds"],
+            ))
+        return "\n".join(lines)
 
     def _health(self):
         """The serving-health report: robustness counters + mode."""

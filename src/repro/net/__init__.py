@@ -1,0 +1,21 @@
+"""Network serving: wire protocol, connection server, WAL-shipping replicas.
+
+Turns the in-process Music Data Manager into a served system: a
+length-prefixed, CRC-tagged binary protocol (:mod:`repro.net.protocol`),
+a thread-per-connection server multiplexing remote sessions through the
+existing service layer (:mod:`repro.net.server`), read-only replica
+processes fed by WAL shipping (:mod:`repro.net.replica`,
+:mod:`repro.net.replication`), and a retrying, failing-over client
+(:mod:`repro.net.client`).  Robustness is the point: every piece is
+built to survive torn connections, slow or dead replicas, and
+crash-mid-commit, and the seeded fault machinery from
+:mod:`repro.storage.faults` drives wire faults through
+:class:`repro.net.transport.FaultyTransport` exactly as it drives disk
+faults through ``FaultyFile``.
+"""
+
+from repro.net.client import MdmClient
+from repro.net.replica import ReplicaServer
+from repro.net.server import MdmServer
+
+__all__ = ["MdmClient", "MdmServer", "ReplicaServer"]

@@ -1,0 +1,501 @@
+"""Read-only replicas fed by WAL shipping.
+
+A :class:`ReplicaServer` owns a private in-memory database rebuilt from
+the primary's seed (schema manifest + serialized rows) and kept current
+by applying shipped WAL frames.  Every frame is CRC-verified with the
+same :func:`repro.storage.wal.decode_frame` discipline recovery uses; a
+frame that fails its checksum — or that references a table the replica
+does not know, e.g. after un-shipped DDL — makes the replica *degrade*:
+it reports ``REPL_ERROR`` to the primary, refuses reads, and waits to
+be quarantined and re-seeded from a fresh snapshot.
+
+Apply is MVCC-correct under concurrent readers: a transaction's changes
+are buffered until its COMMIT record arrives and then installed through
+:meth:`Table.apply_replicated`, stamped at the commit LSN, with the
+replica's visible LSN advancing only once the whole commit is in.  A
+reader pinned mid-apply keeps seeing the previous consistent state.
+
+The replica serves ``read_only`` retrieves on its own listener.  A
+request carrying ``min_lsn`` (the client's read-your-writes horizon)
+waits briefly for the applier to catch up and otherwise refuses with
+:class:`~repro.errors.ReplicaLagError` — a *retryable* refusal, so the
+client fails over to the primary instead of reading stale data.
+"""
+
+import random
+import socket
+import struct
+import threading
+import time
+
+from repro.core.schema import Schema
+from repro.errors import (
+    MDMError,
+    NetworkError,
+    NetworkTimeoutError,
+    ProtocolError,
+    ReadOnlyError,
+    RecoveryError,
+    ReplicaLagError,
+)
+from repro.net import protocol
+from repro.net.transport import Transport
+from repro.quel.executor import QuelSession
+from repro.storage import wal as wal_module
+from repro.storage.database import Database
+from repro.storage.row import Row
+
+
+class _ReplicaState:
+    """One seeded generation of the replica's database."""
+
+    def __init__(self, manifest, tables):
+        self.database = Database(None)
+        self.schema = Schema("replica", database=self.database)
+        for entity in manifest.get("entities", ()):
+            if not self.schema.has_entity_type(entity["name"]):
+                self.schema.define_entity(
+                    entity["name"], [tuple(a) for a in entity["attrs"]]
+                )
+        for rel in manifest.get("relationships", ()):
+            if rel["name"] not in self.schema.relationships:
+                self.schema.define_relationship(
+                    rel["name"],
+                    [tuple(r) for r in rel["roles"]],
+                    [tuple(a) for a in rel["attrs"]],
+                    rel.get("many_role"),
+                )
+        for ordering in manifest.get("orderings", ()):
+            if ordering["name"] not in self.schema.orderings:
+                self.schema.define_ordering(
+                    ordering["name"], ordering["children"], ordering["parent"]
+                )
+        # Non-schema tables (the dedup ledger, anything raw) come from
+        # the seed's table list; schema replay already made the rest.
+        for spec in tables:
+            if not self.database.has_table(spec["name"]):
+                self.database.create_table(
+                    spec["name"], [(c, d) for c, d in spec["columns"]]
+                )
+        self.session = QuelSession(self.schema)
+        self.column_orders = self.database.column_orders()
+
+
+class ReplicaServer:
+    """One read-only replica process: applier plus retrieve listener."""
+
+    def __init__(self, primary_address, name="replica", host="127.0.0.1",
+                 port=0, reconnect_base=0.05, reconnect_cap=1.0, seed=0,
+                 transport_factory=None, metrics=None):
+        self.primary_address = tuple(primary_address)
+        self.name = name
+        self.host = host
+        self.port = port
+        self.address = None
+        self._transport_factory = (
+            transport_factory if transport_factory is not None
+            else Transport.connect
+        )
+        self._reconnect_base = reconnect_base
+        self._reconnect_cap = reconnect_cap
+        self._rng = random.Random(seed)
+        self._stopped = False
+        self._listener = None
+        self._threads = []
+        self._transports = set()
+        self._mutex = threading.Lock()
+        # Applier state: guarded by _applied_cond so min_lsn waiters see
+        # a consistent (state, applied_lsn, serving) triple.
+        self._applied_cond = threading.Condition(threading.Lock())
+        self._state = None
+        self.applied_lsn = 0
+        self._serving = False
+        self.last_error = None
+        self._pending = {}  # txn_id -> buffered change records
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = registry
+        self._m_frames = registry.counter("repl.frames_applied")
+        self._m_commits = registry.counter("repl.commits_applied")
+        self._m_seeds = registry.counter("repl.seeds_received")
+        self._m_connects = registry.counter("repl.reconnects")
+        self._m_crc_failures = registry.counter("repl.crc_failures")
+        self._m_reads = registry.counter("repl.reads_served")
+        self._m_lag_refusals = registry.counter("repl.lag_refusals")
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self):
+        """Open the retrieve listener and start the feed loop."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(16)
+        self._listener = listener
+        self.address = listener.getsockname()
+        for target, label in (
+            (self._feed_loop, "replica-feed"),
+            (self._accept_loop, "replica-accept"),
+        ):
+            thread = threading.Thread(
+                target=target, name="%s-%s" % (label, self.name), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self.address
+
+    def stop(self):
+        self._stopped = True
+        if self._listener is not None:
+            try:
+                # Wake the thread blocked in accept() so it releases
+                # the fd; close() alone leaves the port held.
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._mutex:
+            transports = list(self._transports)
+        for transport in transports:
+            transport.close()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False
+
+    def status(self):
+        with self._applied_cond:
+            return {
+                "name": self.name,
+                "address": self.address,
+                "serving": self._serving,
+                "applied_lsn": self.applied_lsn,
+                "last_error": self.last_error,
+            }
+
+    # -- the feed loop (replica <- primary) -------------------------------------
+
+    def _feed_loop(self):
+        backoff = self._reconnect_base
+        while not self._stopped:
+            try:
+                transport = self._transport_factory(self.primary_address)
+            except NetworkError:
+                self._sleep_backoff(backoff)
+                backoff = min(self._reconnect_cap, backoff * 2)
+                continue
+            with self._mutex:
+                self._transports.add(transport)
+            try:
+                transport.send(protocol.REPL_HELLO, {
+                    "proto": protocol.PROTOCOL_VERSION,
+                    "replica": self.name,
+                    "last_lsn": self.applied_lsn,
+                })
+                self._m_connects.inc()
+                backoff = self._reconnect_base
+                self._feed_from(transport)
+            except (NetworkError, ProtocolError, OSError):
+                pass  # reconnect with backoff; applied state is kept
+            finally:
+                transport.close()
+                with self._mutex:
+                    self._transports.discard(transport)
+            self._sleep_backoff(backoff)
+            backoff = min(self._reconnect_cap, backoff * 2)
+
+    def _sleep_backoff(self, backoff):
+        if not self._stopped:
+            time.sleep(backoff * (0.5 + self._rng.random()))
+
+    def _feed_from(self, transport):
+        pending_state = None
+        pending_seed_lsn = None
+        while not self._stopped:
+            try:
+                kind, body = transport.recv(timeout=0.5)
+            except NetworkTimeoutError:
+                continue  # idle link; re-check _stopped
+            if kind == protocol.REPL_SEED:
+                message = protocol.unpack_json(kind, body)
+                pending_state = _ReplicaState(
+                    message["schema"], message["tables"]
+                )
+                pending_seed_lsn = int(message["lsn"])
+            elif kind == protocol.REPL_ROWS:
+                if pending_state is None:
+                    raise ProtocolError("REPL_ROWS outside a seed")
+                name, rows = protocol.unpack_repl_rows(
+                    body, pending_state.column_orders, Row
+                )
+                table = pending_state.database.table(name)
+                for row in rows:
+                    table.load_row(row)
+            elif kind == protocol.REPL_SEED_END:
+                message = protocol.unpack_json(kind, body)
+                if pending_state is None or int(message["lsn"]) != pending_seed_lsn:
+                    raise ProtocolError("REPL_SEED_END without matching seed")
+                self._install_state(pending_state, pending_seed_lsn)
+                transport.send(protocol.REPL_ACK, {"lsn": pending_seed_lsn})
+                pending_state = None
+                self._m_seeds.inc()
+            elif kind == protocol.REPL_FRAME:
+                lsn, wal_frame = protocol.unpack_repl_frame(body)
+                self._receive_frame(transport, lsn, wal_frame)
+            elif kind == protocol.REPL_ERROR:
+                message = protocol.unpack_json(kind, body)
+                self._degrade(
+                    "primary refused: %s" % message.get("message")
+                )
+                return
+            else:
+                raise ProtocolError(
+                    "unexpected %s frame from primary"
+                    % protocol.KIND_NAMES.get(kind, kind)
+                )
+
+    def _receive_frame(self, transport, lsn, wal_frame):
+        if not self._serving and self._state is None:
+            return  # never seeded; wait for the seed
+        try:
+            decoded = wal_module.decode_frame(wal_frame)
+        except RecoveryError as error:
+            # Torn or corrupt in flight: refuse it and everything after
+            # until the primary re-seeds us from a clean snapshot.
+            self._m_crc_failures.inc()
+            self._degrade("corrupt shipped frame: %s" % error)
+            transport.send(protocol.REPL_ERROR, {
+                "code": "RecoveryError", "message": str(error), "lsn": lsn,
+            })
+            return
+        if not self._serving:
+            return  # degraded: drop frames until the next seed
+        try:
+            advanced = self._apply_record(*decoded)
+        except (MDMError, KeyError, ValueError) as error:
+            self._degrade("cannot apply shipped record: %s" % error)
+            transport.send(protocol.REPL_ERROR, {
+                "code": type(error).__name__, "message": str(error),
+                "lsn": lsn,
+            })
+            return
+        self._m_frames.inc()
+        if advanced:
+            transport.send(protocol.REPL_ACK, {"lsn": lsn})
+
+    def _apply_record(self, lsn, txn_id, kind, table, row_bytes, old_bytes):
+        """Apply one decoded WAL record; True when visibility advanced."""
+        state = self._state
+        w = wal_module
+        if kind == w.BEGIN:
+            self._pending[txn_id] = []
+            return False
+        if kind in (w.INSERT, w.UPDATE, w.DELETE):
+            self._pending.setdefault(txn_id, []).append(
+                (kind, table, row_bytes, old_bytes)
+            )
+            return False
+        if kind == w.ABORT:
+            self._pending.pop(txn_id, None)
+            return False
+        if kind == w.CHECKPOINT:
+            self._advance(lsn)
+            return True
+        if kind == w.COMMIT:
+            for change in self._pending.pop(txn_id, ()):
+                self._apply_change(state, lsn, *change)
+            self._advance(lsn)
+            self._m_commits.inc()
+            return True
+        if kind == w.BATCH_INSERT:
+            order = state.column_orders[table]
+            (count,) = struct.unpack_from("<I", row_bytes, 0)
+            offset = 4
+            target = state.database.table(table)
+            for _ in range(count):
+                row, offset = Row.deserialize(row_bytes, order, offset)
+                target.apply_replicated(lsn, "insert", row, None)
+            self._advance(lsn)
+            self._m_commits.inc()
+            return True
+        if kind in w.SELF_COMMITTING:
+            base = w.BASE_KIND[kind]
+            self._apply_change(state, lsn, base, table, row_bytes, old_bytes)
+            self._advance(lsn)
+            self._m_commits.inc()
+            return True
+        raise ValueError("unknown WAL record kind %d" % kind)
+
+    def _apply_change(self, state, lsn, kind, table_name, row_bytes, old_bytes):
+        order = state.column_orders[table_name]
+        table = state.database.table(table_name)
+        row = old_row = None
+        if row_bytes:
+            row, _ = Row.deserialize(row_bytes, order)
+        if old_bytes:
+            old_row, _ = Row.deserialize(old_bytes, order)
+        names = {
+            wal_module.INSERT: "insert",
+            wal_module.UPDATE: "update",
+            wal_module.DELETE: "delete",
+        }
+        table.apply_replicated(lsn, names[kind], row, old_row)
+
+    def _advance(self, lsn):
+        with self._applied_cond:
+            if self._state is not None:
+                self._state.database.transactions._visible_lsn = lsn
+            self.applied_lsn = lsn
+            self._applied_cond.notify_all()
+
+    def _install_state(self, state, seed_lsn):
+        state.database.transactions._visible_lsn = seed_lsn
+        with self._applied_cond:
+            self._state = state
+            self.applied_lsn = seed_lsn
+            self._serving = True
+            self.last_error = None
+            self._pending = {}
+            self._applied_cond.notify_all()
+
+    def _degrade(self, reason):
+        with self._applied_cond:
+            self._serving = False
+            self.last_error = reason
+            self._pending = {}
+            self._applied_cond.notify_all()
+
+    # -- the retrieve listener (replica <- clients) ------------------------------
+
+    def _accept_loop(self):
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return
+            transport = Transport(sock)
+            with self._mutex:
+                if self._stopped:
+                    transport.close()
+                    return
+                self._transports.add(transport)
+            thread = threading.Thread(
+                target=self._serve_reader, args=(transport,),
+                name="replica-read-%s" % self.name, daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_reader(self, transport):
+        try:
+            kind, body = transport.recv(timeout=10.0)
+            if kind != protocol.HELLO:
+                raise ProtocolError("reader must open with HELLO")
+            hello = protocol.unpack_json(kind, body)
+            if hello.get("proto") != protocol.PROTOCOL_VERSION:
+                transport.send(protocol.ERROR, {
+                    "seq": None, "code": "ProtocolError", "retryable": False,
+                    "message": "protocol version mismatch",
+                })
+                return
+            transport.send(protocol.WELCOME, {
+                "proto": protocol.PROTOCOL_VERSION,
+                "server": self.name,
+                "role": "replica",
+                "last_seq": 0,
+            })
+            while True:
+                kind, body = transport.recv()
+                if kind == protocol.BYE:
+                    return
+                message = protocol.unpack_json(kind, body)
+                seq = message.get("seq")
+                try:
+                    if kind != protocol.REQUEST or not message.get("read_only"):
+                        raise ReadOnlyError(
+                            "replica %r serves read-only retrieves only"
+                            % self.name
+                        )
+                    rows, applied = self._execute_read(message)
+                    transport.send(protocol.RESULT, {
+                        "seq": seq, "kind": "rows", "value": rows,
+                        "duplicate": False, "commit_lsn": applied,
+                    })
+                except (NetworkError, ProtocolError):
+                    raise
+                except Exception as error:
+                    if isinstance(error, ReplicaLagError):
+                        self._m_lag_refusals.inc()
+                    transport.send(protocol.ERROR, {
+                        "seq": seq,
+                        "code": type(error).__name__,
+                        "message": str(error),
+                        "retryable": isinstance(error, ReplicaLagError),
+                    })
+        except (NetworkError, ProtocolError, OSError):
+            pass
+        finally:
+            transport.close()
+            with self._mutex:
+                self._transports.discard(transport)
+
+    def _execute_read(self, message):
+        timeout_s = message.get("timeout_s")
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        state = self._wait_caught_up(int(message.get("min_lsn") or 0), deadline)
+        quel = state.session
+        transactions = state.database.transactions
+        quel.set_limits(
+            deadline=deadline, row_budget=message.get("row_budget")
+        )
+        transactions.pin_snapshot()
+        try:
+            result = quel.execute(message.get("source", ""))
+        finally:
+            transactions.unpin_snapshot()
+            quel.clear_limits()
+        self._m_reads.inc()
+        with self._applied_cond:
+            applied = self.applied_lsn
+        rows = protocol.encode_rows(result) if isinstance(result, list) else []
+        return rows, applied
+
+    def _wait_caught_up(self, min_lsn, deadline):
+        """The serving state at >= *min_lsn*, or ReplicaLagError.
+
+        The wait is deliberately short (a fraction of the deadline,
+        capped): a replica that cannot catch up promptly should refuse
+        retryably so the client fails over, not absorb the whole budget.
+        """
+        limit = time.monotonic() + 0.25
+        if deadline is not None:
+            limit = min(limit, deadline)
+        with self._applied_cond:
+            while True:
+                if self._serving and self._state is not None \
+                        and self.applied_lsn >= min_lsn:
+                    return self._state
+                remaining = limit - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._applied_cond.wait(remaining)
+            raise ReplicaLagError(
+                "replica %r is %s (applied LSN %d, need %d)"
+                % (
+                    self.name,
+                    "serving" if self._serving else "not serving",
+                    self.applied_lsn, min_lsn,
+                )
+            )

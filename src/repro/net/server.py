@@ -1,0 +1,359 @@
+"""The MDM network server: thread-per-connection serving over the wire.
+
+Remote clients get exactly the service-layer guarantees local ones do —
+every ``REQUEST`` runs through :meth:`MdmSession.run`, so admission
+control, wait-die retry, and deadline propagation apply unchanged; the
+client's remaining time budget travels in the frame and bounds lock
+waits and QUEL execution on the server, surfacing as a structured
+``ERROR`` frame instead of a hung socket.
+
+Exactly-once writes survive a server crash between WAL flush and ack:
+each write request carries a per-client sequence number, and the server
+records ``(client, seq, result)`` in the ``_net_requests`` table *inside
+the same transaction* as the statement's effects.  A retry of an already
+-committed seq finds the dedup row and returns duplicate-success without
+re-running the statement; the ``WELCOME`` handshake reports the last
+committed seq per client so a reconnecting client can resolve its
+in-flight write the same way.
+
+Replica connections (``REPL_HELLO``) are handed to the
+:class:`~repro.net.replication.ReplicationHub`, which seeds and then
+streams WAL frames (see that module for the quarantine state machine).
+"""
+
+import socket
+import threading
+
+from repro.errors import (
+    MDMError,
+    NetworkError,
+    NetworkTimeoutError,
+    OverloadError,
+    ProtocolError,
+    ShutdownError,
+)
+from repro.mdm.shell import MdmShell
+from repro.net import protocol
+from repro.net.replication import ReplicationHub
+from repro.net.transport import Transport
+from repro.storage.values import Domain
+
+#: Durable per-client write-dedup ledger; one row per client.
+DEDUP_TABLE = "_net_requests"
+
+#: Errors a client may transparently retry (transient server states).
+_RETRYABLE = (OverloadError, ShutdownError, NetworkTimeoutError)
+
+
+class MdmServer:
+    """Serves one MusicDataManager to remote clients and replicas."""
+
+    def __init__(self, mdm, host="127.0.0.1", port=0, name="primary",
+                 lag_budget=64, session_options=None):
+        self.mdm = mdm
+        self.name = name
+        self.host = host
+        self.port = port
+        self.address = None  # set by start()
+        self._session_options = dict(session_options or {})
+        self._listener = None
+        self._threads = []
+        self._transports = set()
+        self._mutex = threading.Lock()
+        self._stopping = False
+        #: Test hook: called as ``on_pre_ack(client_id, seq)`` after a
+        #: write commits durably but before its RESULT frame is sent.
+        #: Raising here drops the connection un-acked — the crash window
+        #: the dedup ledger exists for.
+        self.on_pre_ack = None
+        registry = mdm.database.metrics
+        self._m_frames_in = registry.counter("net.frames_in")
+        self._m_frames_out = registry.counter("net.frames_out")
+        self._m_requests = registry.counter("net.requests")
+        self._m_errors = registry.counter("net.errors")
+        self._m_shed = registry.counter("net.shed")
+        self._m_duplicates = registry.counter("net.duplicate_acks")
+        self._m_connections = registry.gauge("net.connections")
+        self.replication = ReplicationHub(
+            mdm, lag_budget=lag_budget, metrics=registry
+        )
+        self._dedup = mdm.database.create_or_bind_table(
+            DEDUP_TABLE,
+            [("client", Domain.STRING), ("seq", Domain.INTEGER),
+             ("result", Domain.INTEGER)],
+        )
+        self._dedup.create_index("client")
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self):
+        """Bind, listen, and start accepting; returns ``(host, port)``."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(32)
+        self._listener = listener
+        self.address = listener.getsockname()
+        thread = threading.Thread(
+            target=self._accept_loop, name="mdm-server-accept", daemon=True
+        )
+        thread.start()
+        self._threads.append(thread)
+        return self.address
+
+    def stop(self, drain_timeout=2.0):
+        """Stop serving: drain in-flight requests, then tear down."""
+        with self._mutex:
+            if self._stopping:
+                return
+            self._stopping = True
+        self.mdm.remote.drain(drain_timeout)
+        if self._listener is not None:
+            try:
+                # shutdown() wakes the thread blocked in accept();
+                # close() alone leaves the fd (and port) held by it.
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._mutex:
+            transports = list(self._transports)
+        for transport in transports:
+            transport.close()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False
+
+    # -- accepting -------------------------------------------------------------
+
+    def _accept_loop(self):
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutting down
+            transport = Transport(sock)
+            with self._mutex:
+                if self._stopping:
+                    transport.close()
+                    return
+                self._transports.add(transport)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(transport,),
+                name="mdm-server-conn", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, transport):
+        self._m_connections.inc()
+        try:
+            kind, body = transport.recv(timeout=10.0)
+            self._m_frames_in.inc()
+            if kind == protocol.REPL_HELLO:
+                hello = protocol.unpack_json(kind, body)
+                self._check_version(transport, hello)
+                self.replication.serve(transport, hello)
+            elif kind == protocol.HELLO:
+                hello = protocol.unpack_json(kind, body)
+                self._check_version(transport, hello)
+                self._serve_client(transport, hello)
+            else:
+                raise ProtocolError(
+                    "connection must open with HELLO or REPL_HELLO, got %s"
+                    % protocol.KIND_NAMES.get(kind, kind)
+                )
+        except (NetworkError, ProtocolError, OSError):
+            pass  # torn/garbage connections die quietly; client retries
+        finally:
+            transport.close()
+            with self._mutex:
+                self._transports.discard(transport)
+            self._m_connections.dec()
+
+    def _check_version(self, transport, hello):
+        if hello.get("proto") != protocol.PROTOCOL_VERSION:
+            self._send(transport, protocol.ERROR, {
+                "seq": None, "code": "ProtocolError", "retryable": False,
+                "message": "protocol version %s unsupported (server speaks %d)"
+                           % (hello.get("proto"), protocol.PROTOCOL_VERSION),
+            })
+            raise ProtocolError("client protocol version mismatch")
+
+    # -- the client request loop -----------------------------------------------
+
+    def _serve_client(self, transport, hello):
+        client_id = str(hello.get("client", "anonymous"))
+        self._send(transport, protocol.WELCOME, {
+            "proto": protocol.PROTOCOL_VERSION,
+            "server": self.name,
+            "role": "primary",
+            "last_seq": self._last_committed_seq(client_id),
+        })
+        session = self.mdm.connect(
+            name="net:%s" % client_id, **self._session_options
+        )
+        shell = MdmShell(self.mdm, server=self)
+        while True:
+            kind, body = transport.recv()
+            self._m_frames_in.inc()
+            if kind == protocol.BYE:
+                return
+            message = protocol.unpack_json(kind, body)
+            seq = message.get("seq")
+            try:
+                with self.mdm.remote.track("request from %r" % client_id):
+                    if kind == protocol.REQUEST:
+                        self._handle_request(
+                            transport, client_id, session, message
+                        )
+                    elif kind == protocol.META:
+                        output = shell.handle_line(message.get("command", ""))
+                        self._send(transport, protocol.RESULT, {
+                            "seq": seq, "kind": "text", "value": output,
+                            "duplicate": False, "commit_lsn": None,
+                        })
+                    else:
+                        raise ProtocolError(
+                            "unexpected frame kind %s mid-session"
+                            % protocol.KIND_NAMES.get(kind, kind)
+                        )
+            except (NetworkError, ProtocolError):
+                raise  # the connection itself is gone/poisoned
+            except _ConnectionDropped:
+                raise NetworkError("connection dropped by pre-ack hook")
+            except Exception as error:  # structured refusal, keep serving
+                self._m_errors.inc()
+                if isinstance(error, OverloadError):
+                    self._m_shed.inc()
+                self._send(transport, protocol.ERROR, {
+                    "seq": seq,
+                    "code": type(error).__name__,
+                    "message": str(error),
+                    "retryable": isinstance(error, _RETRYABLE),
+                })
+
+    def _handle_request(self, transport, client_id, session, message):
+        self._m_requests.inc()
+        seq = message.get("seq")
+        source = message.get("source", "")
+        timeout_s = message.get("timeout_s")
+        row_budget = message.get("row_budget")
+        if message.get("read_only"):
+            rows = session.run(
+                lambda m: m.retrieve(source),
+                timeout=timeout_s, row_budget=row_budget, read_only=True,
+            )
+            # Non-retrieve read statements (range declarations) yield None.
+            encoded = (
+                protocol.encode_rows(rows) if isinstance(rows, list) else []
+            )
+            self._send(transport, protocol.RESULT, {
+                "seq": seq, "kind": "rows",
+                "value": encoded,
+                "duplicate": False, "commit_lsn": self._durable_lsn(),
+            })
+            return
+        if source.lstrip().lower().startswith("define"):
+            # DDL is self-committing (table creation is not journaled),
+            # so it bypasses the dedup transaction; a replayed define
+            # fails loudly with SchemaError rather than double-applying.
+            self.mdm.execute(source)
+            self._send(transport, protocol.RESULT, {
+                "seq": seq, "kind": "text", "value": "ok",
+                "duplicate": False, "commit_lsn": self._durable_lsn(),
+            })
+            return
+        outcome = self._run_deduped_write(
+            session, client_id, seq, source, timeout_s, row_budget
+        )
+        if outcome["duplicate"]:
+            self._m_duplicates.inc()
+        elif self.on_pre_ack is not None:
+            try:
+                self.on_pre_ack(client_id, seq)
+            except Exception:
+                # Simulated crash between durable commit and ack: the
+                # effects are committed, the client never hears back.
+                raise _ConnectionDropped()
+        self._send(transport, protocol.RESULT, {
+            "seq": seq, "kind": "count", "value": outcome["value"],
+            "duplicate": outcome["duplicate"],
+            "commit_lsn": self._durable_lsn(),
+        })
+
+    def _run_deduped_write(self, session, client_id, seq, source,
+                           timeout_s, row_budget):
+        """Run one write exactly-once under the per-client seq ledger."""
+        outcome = {}
+
+        def txn(m):
+            ledger = m.database.write_table(DEDUP_TABLE)
+            prior = ledger.select_eq("client", client_id)
+            row = prior[0] if prior else None
+            if seq is not None and row is not None and row["seq"] >= seq:
+                outcome["duplicate"] = True
+                outcome["value"] = row["result"]
+                return
+            result = m.execute(source)
+            count = result if isinstance(result, int) else 0
+            if seq is not None:
+                if row is not None:
+                    ledger.update(row.rowid, {"seq": seq, "result": count})
+                else:
+                    ledger.insert(
+                        {"client": client_id, "seq": seq, "result": count}
+                    )
+            outcome["duplicate"] = False
+            outcome["value"] = count
+
+        session.run(txn, timeout=timeout_s, row_budget=row_budget)
+        return outcome
+
+    def _last_committed_seq(self, client_id):
+        """The client's highest committed seq (0 = none), snapshot-read."""
+        transactions = self.mdm.database.transactions
+        transactions.pin_snapshot()
+        try:
+            rows = self._dedup.select_eq("client", client_id)
+            return rows[0]["seq"] if rows else 0
+        finally:
+            transactions.unpin_snapshot()
+
+    def _durable_lsn(self):
+        """The durable horizon to hand clients for read-your-writes."""
+        log = self.mdm.database._log
+        if log is not None:
+            return log.flushed_lsn
+        return self.mdm.database.transactions.current_snapshot()
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _send(self, transport, kind, obj):
+        transport.send(kind, obj)
+        self._m_frames_out.inc()
+
+    def status(self):
+        """One dict for ``\\replicas`` and tests."""
+        with self._mutex:
+            connections = len(self._transports)
+        return {
+            "name": self.name,
+            "address": self.address,
+            "connections": connections,
+            "replicas": self.replication.status(),
+        }
+
+
+class _ConnectionDropped(Exception):
+    """Internal: the pre-ack crash hook fired; tear down without acking."""

@@ -200,6 +200,26 @@ class Histogram:
                 "overflow": self._counts[-1],
             }
 
+    def quantile(self, q):
+        """Approximate *q*-quantile (0..1) from the bucket boundaries.
+
+        Returns the upper boundary of the bucket containing the
+        quantile rank (the overflow bucket reports the top boundary),
+        0.0 when empty.  Boundary precision is all a fixed-bucket
+        histogram can promise; it is what the bench report's p99 wants.
+        """
+        count = self.count  # drains sources and folds pending
+        if not count:
+            return 0.0
+        rank = q * count
+        with self._mutex:
+            seen = 0
+            for boundary, bucket_count in zip(self.buckets, self._counts):
+                seen += bucket_count
+                if seen >= rank:
+                    return boundary
+            return self.buckets[-1]
+
     def __repr__(self):
         return "Histogram(%r: n=%d, mean=%.6f)" % (
             self.name, self.count, self.mean

@@ -34,6 +34,15 @@ import os
 import random
 
 
+def _as_frame_set(spec):
+    """Normalize a frame-fault spec (None, int, or iterable) to a frozenset."""
+    if spec is None:
+        return frozenset()
+    if isinstance(spec, int):
+        return frozenset((spec,))
+    return frozenset(spec)
+
+
 class SimulatedCrash(Exception):
     """The simulated power failure.
 
@@ -92,11 +101,29 @@ class FaultPlan:
         remounted-read-only failure the degraded-mode service path
         handles.  The error is persistent (real disks rarely heal
         mid-run) until :meth:`heal_io` is called.
+    disconnect_at_frame / partial_send_at / stall_at_frame:
+        Wire faults, consumed by :class:`repro.net.transport.FaultyTransport`.
+        Frames sent through any faulty transport under this plan are
+        counted plan-wide (1-based, like syncpoints); each parameter is
+        an int or a collection of ints naming frames to fault.  A
+        *disconnect* tears the connection before the frame's bytes go
+        out; a *partial send* writes a seeded-random strict prefix of
+        the frame and then tears the connection (the peer sees a torn
+        or checksum-failing frame, the wire analogue of a torn WAL
+        record); a *stall* sleeps ``stall_seconds`` before sending, so
+        deadline handling on the peer must engage.
+    net_error_at_frame:
+        From the Nth frame on, every send fails — a persistent
+        partition, the wire analogue of ``io_error_at_write`` — until
+        :meth:`heal_net` is called.
     """
 
     def __init__(self, seed=0, crash_at_sync=None, crash_at_write=None,
                  torn="random", short_reads=None, bit_flips=(),
-                 io_error_at_write=None, io_error_at_sync=None):
+                 io_error_at_write=None, io_error_at_sync=None,
+                 disconnect_at_frame=None, partial_send_at=None,
+                 stall_at_frame=None, stall_seconds=0.05,
+                 net_error_at_frame=None):
         if torn not in ("random", "all", "none"):
             raise ValueError("torn must be 'random', 'all', or 'none'")
         self.seed = seed
@@ -108,11 +135,18 @@ class FaultPlan:
         self.bit_flips = list(bit_flips)
         self.io_error_at_write = io_error_at_write
         self.io_error_at_sync = io_error_at_sync
+        self.disconnect_at_frame = _as_frame_set(disconnect_at_frame)
+        self.partial_send_at = _as_frame_set(partial_send_at)
+        self.stall_at_frame = _as_frame_set(stall_at_frame)
+        self.stall_seconds = stall_seconds
+        self.net_error_at_frame = net_error_at_frame
         self.sync_count = 0
         self.write_count = 0
         self.read_count = 0
+        self.frame_count = 0
         self.crashed = False
         self.io_failing = False
+        self.net_failing = False
         self._files = []
 
     # -- the injectable opener ------------------------------------------------
@@ -160,6 +194,43 @@ class FaultPlan:
     def heal_io(self):
         """Clear a persistent injected I/O failure (disk repaired)."""
         self.io_failing = False
+
+    # -- hooks called by net.transport.FaultyTransport ------------------------
+
+    def on_net_frame(self, frame_len):
+        """Advance the plan-wide frame counter; returns the fault to
+        inject for this frame send.
+
+        ``("ok", None)`` sends normally; ``("stall", seconds)`` sends
+        after sleeping; ``("disconnect", None)`` tears the connection
+        before any byte; ``("partial", n)`` sends exactly *n* bytes
+        (a seeded strict prefix of the *frame_len*-byte frame) and then
+        tears the connection; ``("down", None)`` models a persistent
+        partition (every send fails until :meth:`heal_net`).
+        """
+        self._check_alive()
+        self.frame_count += 1
+        count = self.frame_count
+        if (
+            self.net_error_at_frame is not None
+            and count == self.net_error_at_frame
+        ):
+            self.net_failing = True
+        if self.net_failing:
+            return ("down", None)
+        if count in self.disconnect_at_frame:
+            return ("disconnect", None)
+        if count in self.partial_send_at:
+            # A *strict* prefix: the peer must always see a torn or
+            # missing frame, never an intact one.
+            return ("partial", self.random.randint(0, max(0, frame_len - 1)))
+        if count in self.stall_at_frame:
+            return ("stall", self.stall_seconds)
+        return ("ok", None)
+
+    def heal_net(self):
+        """Clear a persistent injected network partition (link repaired)."""
+        self.net_failing = False
 
     def _filter_read(self, faulty, start, data):
         self.read_count += 1

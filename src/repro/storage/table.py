@@ -655,6 +655,60 @@ class Table:
             reverse=descending,
         )
 
+    # -- replication apply (WAL shipping) -----------------------------------
+
+    def apply_replicated(self, lsn, kind, row, old_row):
+        """Install one shipped committed change, stamped at commit *lsn*.
+
+        The replica-side analogue of the recovery loader, but
+        MVCC-correct under concurrent snapshot readers: the change's
+        versions carry the primary's commit LSN instead of collapsing
+        to the always-visible recovery LSN 0, so a reader pinned at an
+        older applied LSN keeps seeing the pre-change image while the
+        apply lands.  *kind* is ``"insert"``, ``"update"``, or
+        ``"delete"``; no journal, guard, or lock is involved — the
+        caller (the replication applier) is the only writer.
+        """
+        if kind == "insert":
+            rowid = row.rowid
+            self._rows[rowid] = row
+            self._chain_append(rowid, RowVersion(row, lsn, None))
+            self._next_rowid = itertools.count(
+                max(rowid + 1, next(self._next_rowid))
+            )
+            for (column, _), index in self._indexes.items():
+                index.insert(self._index_value(column, row), rowid)
+        elif kind == "update":
+            rowid = row.rowid
+            old = self._rows.get(rowid)
+            self._rows[rowid] = row
+            if old is not None:
+                version = self._chain_version_of(old)
+                if version is not None and version.end_lsn is None:
+                    version.end_lsn = lsn
+                for (column, _), index in self._indexes.items():
+                    old_value = self._index_value(column, old)
+                    new_value = self._index_value(column, row)
+                    if old_value != new_value:
+                        index.delete(old_value, rowid)
+                        index.insert(new_value, rowid)
+            else:
+                for (column, _), index in self._indexes.items():
+                    index.insert(self._index_value(column, row), rowid)
+            self._chain_append(rowid, RowVersion(row, lsn, None))
+        elif kind == "delete":
+            rowid = old_row.rowid
+            old = self._rows.pop(rowid, None)
+            if old is not None:
+                for (column, _), index in self._indexes.items():
+                    index.delete(self._index_value(column, old), rowid)
+            version = self._chain_version_of(old if old is not None else old_row)
+            if version is not None and version.end_lsn is None:
+                version.end_lsn = lsn
+        else:
+            raise StorageError("unknown replicated change kind %r" % (kind,))
+        self.version += 1
+
     # -- bulk (re)load, used by recovery and the pager ----------------------
 
     def load_row(self, row):

@@ -184,7 +184,8 @@ class WriteAheadLog:
         self._base_path = path + ".base"
         self._file = self._opener(path, "ab+")
         entries, valid_end, corruption = self._scan()
-        max_lsn = self._read_base_lsn()
+        self.base_lsn = self._read_base_lsn()
+        max_lsn = self.base_lsn
         for entry in entries:
             max_lsn = max(max_lsn, entry[0])
         self._next_lsn = max_lsn + 1
@@ -356,6 +357,76 @@ class WriteAheadLog:
             self._commits_per_fsync.set(self._commits_synced.value / leaders)
         return role
 
+    # -- record streaming (WAL shipping) ----------------------------------------
+
+    def wait_for_flushed(self, lsn, timeout=None):
+        """Block until ``flushed_lsn >= lsn`` or *timeout* seconds pass.
+
+        The tail-follow primitive for WAL shipping: a shipper that has
+        sent everything durable parks here instead of polling the file.
+        Returns the flushed LSN at wake-up (the caller re-checks it).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._flush_cond:
+            while self._flushed_lsn < lsn:
+                remaining = 0.05
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    remaining = min(remaining, 0.05)
+                self._flush_cond.wait(remaining)
+            return self._flushed_lsn
+
+    def stream_frames(self, from_lsn):
+        """Raw CRC-framed records with ``from_lsn <= lsn <= flushed_lsn``.
+
+        Returns a list of ``(lsn, frame_bytes)`` where *frame_bytes* is
+        the record exactly as framed on disk (``<length><crc><payload>``),
+        so a WAL-shipping consumer can re-verify the checksum itself.
+        Only durable records ship: anything past ``flushed_lsn`` might
+        still be torn away by a crash, and an acknowledged replica must
+        never be ahead of the primary's durable prefix.
+
+        Raises :class:`ReplicationError` when *from_lsn* falls at or
+        below the truncation base — those records now live only in the
+        checkpoint image, so the consumer must re-seed from a snapshot.
+        """
+        from repro.errors import ReplicationError
+
+        with self._flush_cond:
+            flushed = self._flushed_lsn
+        with self._mutex:
+            base = self.base_lsn
+            if from_lsn <= base:
+                raise ReplicationError(
+                    "records from LSN %d truncated away (base LSN %d); "
+                    "re-seed from a checkpoint" % (from_lsn, base)
+                )
+            # One whole-file read under the mutex: a checkpoint
+            # truncation cannot swap the file out from under the parse.
+            self._file.flush()
+            with self._opener(self.path, "rb") as handle:
+                data = handle.read()
+        frames = []
+        offset = 0
+        while offset + _FRAME.size <= len(data):
+            length, _ = _FRAME.unpack_from(data, offset)
+            end = offset + _FRAME.size + length
+            if end > len(data):
+                break  # torn tail: necessarily past flushed_lsn
+            payload = data[offset + _FRAME.size:end]
+            try:
+                lsn = _BODY.unpack_from(payload, 0)[0]
+            except struct.error:
+                break
+            if lsn > flushed:
+                break
+            if lsn >= from_lsn:
+                frames.append((lsn, data[offset:end]))
+            offset = end
+        return frames
+
     # -- reading ---------------------------------------------------------------
 
     def _scan(self):
@@ -515,6 +586,7 @@ class WriteAheadLog:
         with self._mutex:
             base_lsn = self._next_lsn - 1
             self._write_base_lsn(base_lsn)
+            self.base_lsn = base_lsn
             self._file.close()
             self._file = self._opener(self.path, "wb+")
             fsync_file(self._file)
@@ -528,6 +600,40 @@ class WriteAheadLog:
             if base_lsn > self._flushed_lsn:
                 self._flushed_lsn = base_lsn
             self._flush_cond.notify_all()
+
+
+def decode_frame(frame):
+    """Parse one raw on-disk frame into its record fields.
+
+    Verifies the frame's CRC and length bookkeeping — the integrity
+    check a WAL-shipping replica runs on every received record — and
+    returns ``(lsn, txn_id, kind, table, row_bytes, old_bytes)``.
+    Raises :class:`RecoveryError` on any corruption.
+    """
+    if len(frame) < _FRAME.size:
+        raise RecoveryError("frame shorter than its header")
+    length, crc = _FRAME.unpack_from(frame, 0)
+    payload = frame[_FRAME.size:]
+    if len(payload) != length:
+        raise RecoveryError(
+            "frame length %d does not match payload %d" % (length, len(payload))
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise RecoveryError("frame checksum mismatch")
+    try:
+        lsn, txn_id, kind, table_len, row_len, old_len = _BODY.unpack_from(
+            payload, 0
+        )
+    except struct.error:
+        raise RecoveryError("short record body")
+    cursor = _BODY.size
+    if cursor + table_len + row_len + old_len != length:
+        raise RecoveryError("inconsistent record lengths")
+    table = payload[cursor:cursor + table_len].decode("utf-8")
+    cursor += table_len
+    row_bytes = payload[cursor:cursor + row_len]
+    old_bytes = payload[cursor + row_len:cursor + row_len + old_len]
+    return lsn, txn_id, kind, table or None, row_bytes, old_bytes
 
 
 def replay(log, column_orders, apply_change):

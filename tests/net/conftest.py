@@ -1,0 +1,53 @@
+"""Shared fixtures for the network-serving tests."""
+
+import time
+
+import pytest
+
+from repro.mdm.manager import MusicDataManager
+from repro.net import MdmClient, MdmServer, ReplicaServer
+
+
+@pytest.fixture
+def served_mdm(tmp_path):
+    """A durable MDM behind a started MdmServer; both torn down."""
+    mdm = MusicDataManager(str(tmp_path / "db"))
+    server = MdmServer(mdm)
+    server.start()
+    yield mdm, server
+    server.stop()
+    mdm.close()
+
+
+@pytest.fixture
+def client(served_mdm):
+    _, server = served_mdm
+    client = MdmClient(server.address, client_id="test-client",
+                       default_timeout=5.0)
+    yield client
+    client.close()
+
+
+def start_replica(server, name="r1", **kwargs):
+    replica = ReplicaServer(server.address, name=name, **kwargs)
+    replica.start()
+    return replica
+
+
+def wait_serving(replica, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if replica.status()["serving"]:
+            return True
+        time.sleep(0.02)
+    return False
+
+
+def wait_applied(replica, lsn, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = replica.status()
+        if status["serving"] and status["applied_lsn"] >= lsn:
+            return True
+        time.sleep(0.02)
+    return False

@@ -1,0 +1,76 @@
+"""Deadline propagation over the wire.
+
+The client's remaining time budget travels in the REQUEST frame and
+becomes the server-side deadline for admission, lock waits, and QUEL
+execution — so a remote caller is never hung by a contended server, it
+gets a structured, typed refusal within its own budget.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    QueryTimeoutError,
+    ResourceLimitError,
+    RetryExhaustedError,
+)
+
+pytestmark = pytest.mark.net
+
+
+class TestDeadlineOverTheWire:
+    def test_lock_wait_is_bounded_by_client_deadline(self, served_mdm, client):
+        """A held write lock cannot hang a remote write past its budget."""
+        mdm, _ = served_mdm
+        holding = threading.Event()
+        release = threading.Event()
+
+        def hold_lock():
+            txn = mdm.begin()
+            try:
+                mdm.database.write_table("entity:NOTE")
+                holding.set()
+                release.wait(10.0)
+            finally:
+                txn.abort()
+
+        holder = threading.Thread(target=hold_lock, daemon=True)
+        holder.start()
+        assert holding.wait(5.0)
+        try:
+            started = time.monotonic()
+            with pytest.raises(RetryExhaustedError):
+                client.execute("append to NOTE (degree = 1)", timeout=0.8)
+            elapsed = time.monotonic() - started
+            assert elapsed < 3.0, "refusal took %.2fs, budget was 0.8s" % elapsed
+        finally:
+            release.set()
+            holder.join(timeout=5.0)
+        # The lock holder is gone: the same statement now succeeds.
+        assert client.execute("append to NOTE (degree = 1)") == 1
+
+    def test_query_timeout_surfaces_as_structured_frame(self, client):
+        for degree in range(20):
+            client.execute("append to NOTE (degree = %d)" % degree)
+        client.execute("range of n is NOTE")
+        client.execute("range of m is NOTE")
+        started = time.monotonic()
+        # 20x20 candidate pairs: enough visits to trip the (every-64)
+        # deadline check under a budget that is already nearly spent.
+        with pytest.raises((QueryTimeoutError, RetryExhaustedError)):
+            client.retrieve(
+                "retrieve (n.degree, m.degree) where n.degree != m.degree",
+                timeout=0.0005,
+            )
+        assert time.monotonic() - started < 2.0
+
+    def test_row_budget_enforced_over_the_wire(self, client):
+        for degree in range(10):
+            client.execute("append to NOTE (degree = %d)" % degree)
+        client.execute("range of n is NOTE")
+        with pytest.raises(ResourceLimitError):
+            client.retrieve(
+                "retrieve (n.degree) where n.degree != -1", row_budget=2
+            )

@@ -1,0 +1,209 @@
+"""The seeded wire-fault battery: exactly-once under torn connections.
+
+Each scenario drives one client through a :class:`FaultPlan` whose
+frame counter injects disconnects, torn (partial) sends, stalls, and
+persistent partitions at fixed points.  The oracle is the one the
+dedup ledger promises:
+
+* every statement the client saw **acked** is committed exactly once;
+* no statement is ever committed more than once, acked or not;
+* an **in-doubt** statement (retry budget exhausted mid-partition) is
+  resolved exactly-once by re-issuing it after the link heals.
+
+The default matrix is small and fast; the ``net_slow`` marker guards a
+wide sweep over fault positions and seeds (run by scripts/net_smoke.sh).
+"""
+
+import pytest
+
+from repro.errors import RetryExhaustedError
+from repro.net import MdmClient
+from repro.net.transport import FaultyTransport
+from repro.storage.faults import FaultPlan
+from tests.net.conftest import start_replica, wait_serving
+
+pytestmark = pytest.mark.net
+
+
+def run_workload(server, plan, degrees, client_id="faulty"):
+    """Append one NOTE per degree through a faulted client.
+
+    Returns ``(acked, in_doubt)`` degree lists.  An in-doubt statement
+    is re-issued (same seq => ledger dedup) after healing the plan, so
+    by return every degree is committed; the split records which acks
+    arrived through the faulty link vs. after healing.
+    """
+    client = MdmClient(
+        server.address, client_id=client_id,
+        transport_factory=FaultyTransport.connector(plan),
+        max_attempts=4, backoff_base=0.001, backoff_cap=0.01,
+        default_timeout=5.0,
+    )
+    acked, in_doubt = [], []
+    try:
+        for degree in degrees:
+            statement = "append to NOTE (degree = %d)" % degree
+            try:
+                client.execute(statement)
+                acked.append(degree)
+            except RetryExhaustedError:
+                in_doubt.append(degree)
+                plan.heal_net()  # partitions do not heal themselves
+                client.execute(statement)  # same seq: resolves exactly-once
+    finally:
+        client.close()
+    return acked, in_doubt
+
+
+def committed_degrees(server):
+    """Ground truth read through a fresh, fault-free client."""
+    observer = MdmClient(server.address, client_id="observer")
+    try:
+        observer.execute("range of n is NOTE")
+        rows = observer.retrieve("retrieve (n.degree) where n.degree != 0")
+        return [r["n.degree"] for r in rows]
+    finally:
+        observer.close()
+
+
+def assert_exactly_once(server, degrees):
+    committed = committed_degrees(server)
+    assert sorted(committed) == sorted(set(committed)), (
+        "double-applied degrees: %r" % committed
+    )
+    assert sorted(committed) == sorted(degrees)
+
+
+FAST_PLANS = [
+    FaultPlan(seed=1, disconnect_at_frame=2),
+    FaultPlan(seed=2, disconnect_at_frame=(3, 5, 8)),
+    FaultPlan(seed=3, partial_send_at=4),
+    FaultPlan(seed=4, partial_send_at=(2, 6, 9)),
+    FaultPlan(seed=5, stall_at_frame=3, stall_seconds=0.05),
+    FaultPlan(seed=6, disconnect_at_frame=5, partial_send_at=7),
+    FaultPlan(seed=7, net_error_at_frame=4),
+]
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize(
+        "plan", FAST_PLANS, ids=lambda p: "seed%d" % p.seed
+    )
+    def test_every_append_commits_exactly_once(self, served_mdm, plan):
+        _, server = served_mdm
+        degrees = list(range(101, 109))
+        acked, in_doubt = run_workload(server, plan, degrees)
+        assert sorted(acked + in_doubt) == degrees
+        assert_exactly_once(server, degrees)
+
+    def test_partition_then_heal_resolves_in_doubt(self, served_mdm):
+        """A hard partition mid-run: the in-doubt write resolves once."""
+        _, server = served_mdm
+        plan = FaultPlan(seed=11, net_error_at_frame=5)
+        degrees = list(range(201, 207))
+        acked, in_doubt = run_workload(server, plan, degrees)
+        assert in_doubt, "the partition should strand at least one write"
+        assert_exactly_once(server, degrees)
+
+    def test_abandoned_in_doubt_write_is_never_duplicated(self, served_mdm):
+        """Giving up on an in-doubt statement must not corrupt later ones."""
+        _, server = served_mdm
+        plan = FaultPlan(seed=12, net_error_at_frame=4)
+        client = MdmClient(
+            server.address, client_id="abandoner",
+            transport_factory=FaultyTransport.connector(plan),
+            max_attempts=2, backoff_base=0.001, default_timeout=2.0,
+        )
+        try:
+            survivors = []
+            stranded = None
+            for degree in (301, 302, 303, 304):
+                try:
+                    client.execute("append to NOTE (degree = %d)" % degree)
+                    survivors.append(degree)
+                except RetryExhaustedError:
+                    stranded = degree
+                    plan.heal_net()
+                    # Abandon it: move on to the NEXT degree instead of
+                    # re-issuing.  The stranded write keeps whatever
+                    # fate it had; later writes must be unaffected.
+            assert stranded is not None
+        finally:
+            client.close()
+        committed = committed_degrees(server)
+        assert sorted(committed) == sorted(set(committed))
+        for degree in survivors:
+            assert committed.count(degree) == 1
+        assert committed.count(stranded) <= 1
+
+    def test_replica_feed_survives_disconnects(self, served_mdm, client):
+        """A flaky replica link: reconnect + re-seed still converges."""
+        _, server = served_mdm
+        for degree in range(1, 6):
+            client.execute("append to NOTE (degree = %d)" % degree)
+        plan = FaultPlan(seed=21, disconnect_at_frame=(1, 3))
+        replica = start_replica(
+            server, name="flaky",
+            transport_factory=lambda addr, timeout=5.0: FaultyTransport.connector(plan)(addr, timeout),
+            reconnect_base=0.01,
+        )
+        try:
+            assert wait_serving(replica, timeout=10.0)
+            reader = MdmClient(server.address, replicas=[replica.address],
+                               client_id="flaky-reader")
+            try:
+                reader.execute("range of n is NOTE")
+                rows = reader.retrieve("retrieve (n.degree) where n.degree != 0")
+                assert sorted(r["n.degree"] for r in rows) == [1, 2, 3, 4, 5]
+            finally:
+                reader.close()
+            # The torn feed link forces at least one extra handshake
+            # (the reconnect may still be in backoff: poll briefly).
+            import time
+            deadline = time.monotonic() + 5.0
+            while (replica.metrics.value("repl.reconnects") < 2
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            assert replica.metrics.value("repl.reconnects") >= 2
+        finally:
+            replica.stop()
+
+
+SLOW_POSITIONS = list(range(1, 25))
+
+
+@pytest.mark.net_slow
+class TestWideSweep:
+    """The exhaustive position sweep; minutes, not seconds.  Run via
+    ``scripts/net_smoke.sh`` or ``-m net_slow``."""
+
+    @pytest.mark.parametrize("frame", SLOW_POSITIONS)
+    def test_disconnect_positions(self, served_mdm, frame):
+        _, server = served_mdm
+        plan = FaultPlan(seed=frame, disconnect_at_frame=frame)
+        degrees = list(range(401, 413))
+        run_workload(server, plan, degrees)
+        assert_exactly_once(server, degrees)
+
+    @pytest.mark.parametrize("frame", SLOW_POSITIONS)
+    def test_partial_send_positions(self, served_mdm, frame):
+        _, server = served_mdm
+        plan = FaultPlan(seed=100 + frame, partial_send_at=frame)
+        degrees = list(range(501, 513))
+        run_workload(server, plan, degrees)
+        assert_exactly_once(server, degrees)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_compound_schedules(self, served_mdm, seed):
+        """Disconnect + torn + stall + partition in one schedule."""
+        _, server = served_mdm
+        plan = FaultPlan(
+            seed=200 + seed,
+            disconnect_at_frame=(2 + seed, 9 + seed),
+            partial_send_at=(5 + seed, 13 + seed),
+            stall_at_frame=7 + seed, stall_seconds=0.02,
+            net_error_at_frame=17 + seed,
+        )
+        degrees = list(range(601, 617))
+        run_workload(server, plan, degrees)
+        assert_exactly_once(server, degrees)

@@ -1,0 +1,195 @@
+"""WAL shipping: seeding, streaming, failover, quarantine, CRC refusal."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.net import MdmClient, protocol
+from repro.net.transport import Transport
+from tests.net.conftest import start_replica, wait_applied, wait_serving
+
+pytestmark = pytest.mark.net
+
+
+class TestShipping:
+    def test_seed_then_stream(self, served_mdm, client):
+        mdm, server = served_mdm
+        client.execute("append to NOTE (degree = 1)")  # pre-seed write
+        replica = start_replica(server)
+        try:
+            assert wait_serving(replica)
+            client.execute("append to NOTE (degree = 2)")  # streamed write
+            assert wait_applied(replica, client.last_commit_lsn)
+            reader = MdmClient(server.address, replicas=[replica.address],
+                               client_id="reader")
+            try:
+                reader.execute("range of n is NOTE")
+                rows = reader.retrieve("retrieve (n.degree) where n.degree != 0")
+                assert sorted(r["n.degree"] for r in rows) == [1, 2]
+                assert replica.metrics.value("repl.reads_served") >= 1
+            finally:
+                reader.close()
+        finally:
+            replica.stop()
+
+    def test_read_your_writes_via_min_lsn(self, served_mdm):
+        _, server = served_mdm
+        replica = start_replica(server)
+        try:
+            assert wait_serving(replica)
+            client = MdmClient(server.address, replicas=[replica.address],
+                               client_id="ryw")
+            try:
+                client.execute("range of n is NOTE")
+                for degree in range(10):
+                    client.execute("append to NOTE (degree = %d)" % degree)
+                    # Immediately read back: min_lsn forces the replica
+                    # to be caught up (or the client to fail over).
+                    rows = client.retrieve(
+                        "retrieve (n.degree) where n.degree = %d" % degree
+                    )
+                    assert [r["n.degree"] for r in rows] == [degree]
+            finally:
+                client.close()
+        finally:
+            replica.stop()
+
+    def test_replicas_meta_command_lists_peers(self, served_mdm, client):
+        _, server = served_mdm
+        replica = start_replica(server, name="shown")
+        try:
+            assert wait_serving(replica)
+            listing = client.meta("\\replicas")
+            assert "shown" in listing
+            assert "streaming" in listing
+        finally:
+            replica.stop()
+
+
+class TestFailover:
+    def test_replica_death_is_invisible_to_readers(self, served_mdm):
+        """Kill a replica mid-run: retrieves keep succeeding, zero errors."""
+        _, server = served_mdm
+        r1 = start_replica(server, name="r1")
+        r2 = start_replica(server, name="r2")
+        assert wait_serving(r1) and wait_serving(r2)
+        client = MdmClient(server.address,
+                           replicas=[r1.address, r2.address],
+                           client_id="failover")
+        try:
+            client.execute("range of n is NOTE")
+            client.execute("append to NOTE (degree = 42)")
+            for i in range(20):
+                if i == 5:
+                    r1.stop()  # dies mid-run
+                if i == 12:
+                    r2.stop()  # now primary-only
+                rows = client.retrieve(
+                    "retrieve (n.degree) where n.degree = 42"
+                )
+                assert [r["n.degree"] for r in rows] == [42]
+            assert client.metrics.value("client.failovers") >= 1
+        finally:
+            client.close()
+            r1.stop()
+            r2.stop()
+
+    def test_degraded_to_primary_only_without_replicas(self, served_mdm):
+        _, server = served_mdm
+        # A replica address nobody listens on: cooldown + primary serve.
+        dead = ("127.0.0.1", 1)  # port 1: connection refused
+        client = MdmClient(server.address, replicas=[dead],
+                           client_id="lonely", connect_timeout=0.2)
+        try:
+            client.execute("range of n is NOTE")
+            client.execute("append to NOTE (degree = 9)")
+            rows = client.retrieve("retrieve (n.degree) where n.degree = 9")
+            assert [r["n.degree"] for r in rows] == [9]
+            assert client.metrics.value("client.failovers") >= 1
+        finally:
+            client.close()
+
+
+class TestQuarantine:
+    def test_ddl_after_seed_quarantines_then_reseeds(self, served_mdm, client):
+        """Un-shipped DDL leaves the replica behind; re-seed catches it up."""
+        mdm, server = served_mdm
+        replica = start_replica(server, name="q")
+        try:
+            assert wait_serving(replica)
+            seeds_before = replica.metrics.value("repl.seeds_received")
+            client.execute("define entity GADGET (size = integer)")
+            client.execute("append to GADGET (size = 3)")
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if replica.metrics.value("repl.seeds_received") > seeds_before:
+                    break
+                time.sleep(0.05)
+            assert replica.metrics.value("repl.seeds_received") > seeds_before
+            assert wait_applied(replica, client.last_commit_lsn)
+            assert mdm.database.metrics.value("repl.quarantines") >= 1
+            reader = MdmClient(server.address, replicas=[replica.address],
+                               client_id="qr")
+            try:
+                reader.execute("range of g is GADGET")
+                rows = reader.retrieve("retrieve (g.size) where g.size = 3")
+                assert [r["g.size"] for r in rows] == [3]
+            finally:
+                reader.close()
+            status = server.replication.status()
+            (peer,) = [p for p in status if p["name"] == "q"]
+            assert peer["quarantines"] >= 1
+            assert peer["state"] == "streaming"
+        finally:
+            replica.stop()
+
+
+class TestCrcRefusal:
+    def test_corrupt_shipped_frame_degrades_until_reseed(self):
+        """A replica refuses a torn WAL frame and recovers via re-seed."""
+        from repro.net.replica import ReplicaServer
+
+        listener = socket.socket()
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        replica = ReplicaServer(listener.getsockname(), name="crc")
+        replica.start()
+        try:
+            sock, _ = listener.accept()
+            primary = Transport(sock)
+            kind, body = primary.recv(timeout=5.0)
+            assert kind == protocol.REPL_HELLO
+            manifest = {"entities": [], "relationships": [], "orderings": []}
+            primary.send(protocol.REPL_SEED, {
+                "lsn": 10, "schema": manifest, "tables": [],
+            })
+            primary.send(protocol.REPL_SEED_END, {"lsn": 10})
+            kind, body = primary.recv(timeout=5.0)
+            assert kind == protocol.REPL_ACK
+            assert protocol.unpack_json(kind, body)["lsn"] == 10
+            assert wait_serving(replica)
+
+            primary.send_raw(protocol.pack_repl_frame(11, b"torn-garbage"))
+            kind, body = primary.recv(timeout=5.0)
+            assert kind == protocol.REPL_ERROR
+            status = replica.status()
+            assert status["serving"] is False
+            assert "corrupt" in status["last_error"]
+            assert replica.metrics.value("repl.crc_failures") == 1
+
+            # The primary's quarantine response: a fresh seed heals it.
+            primary.send(protocol.REPL_SEED, {
+                "lsn": 20, "schema": manifest, "tables": [],
+            })
+            primary.send(protocol.REPL_SEED_END, {"lsn": 20})
+            kind, body = primary.recv(timeout=5.0)
+            assert kind == protocol.REPL_ACK
+            assert wait_serving(replica)
+            assert replica.status()["applied_lsn"] == 20
+            primary.close()
+        finally:
+            replica.stop()
+            listener.close()

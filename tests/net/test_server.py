@@ -1,0 +1,207 @@
+"""Server tests: remote sessions, structured errors, dedup, drain-on-close."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    MDMError,
+    QueryError,
+    RetryExhaustedError,
+    ShutdownError,
+)
+from repro.mdm.manager import MusicDataManager
+from repro.net import MdmClient, MdmServer
+from repro.net.server import DEDUP_TABLE
+
+pytestmark = pytest.mark.net
+
+
+class TestBasicServing:
+    def test_execute_and_retrieve_round_trip(self, client):
+        client.execute("range of n is NOTE")
+        count = client.execute("append to NOTE (degree = 5)")
+        assert count == 1
+        rows = client.retrieve("retrieve (n.degree) where n.degree = 5")
+        assert rows == [{"n.degree": 5}]
+
+    def test_meta_commands_serve_the_shell(self, client):
+        health = client.meta("\\health")
+        assert "mode" in health
+        replicas = client.meta("\\replicas")
+        assert "no replicas connected" in replicas
+
+    def test_ddl_over_the_wire(self, served_mdm, client):
+        mdm, _ = served_mdm
+        client.execute("define entity WIDGET (weight = integer)")
+        assert mdm.schema.has_entity_type("WIDGET")
+
+    def test_errors_are_structured_and_typed(self, client):
+        with pytest.raises(QueryError):
+            client.execute("range of z is NO_SUCH_TYPE")
+
+    def test_two_clients_multiplex_one_server(self, served_mdm):
+        _, server = served_mdm
+        a = MdmClient(server.address, client_id="a")
+        b = MdmClient(server.address, client_id="b")
+        try:
+            a.execute("append to NOTE (degree = 1)")
+            b.execute("append to NOTE (degree = 2)")
+            a.execute("range of n is NOTE")
+            rows = a.retrieve("retrieve (n.degree) where n.degree != 0")
+            assert sorted(r["n.degree"] for r in rows) == [1, 2]
+        finally:
+            a.close()
+            b.close()
+
+
+class TestExactlyOnceDedup:
+    def test_pre_ack_crash_does_not_double_apply(self, served_mdm):
+        """Server dies between WAL flush and ack; the retry must dedup."""
+        mdm, server = served_mdm
+        crashes = {"left": 1}
+
+        def crash_once(client_id, seq):
+            if crashes["left"] > 0:
+                crashes["left"] -= 1
+                raise RuntimeError("injected crash before ack")
+
+        server.on_pre_ack = crash_once
+        client = MdmClient(server.address, client_id="dedup",
+                           backoff_base=0.001)
+        try:
+            count = client.execute("append to NOTE (degree = 7)")
+            assert count == 1
+            assert client.metrics.value("client.duplicate_acks") == 1
+            client.execute("range of n is NOTE")
+            rows = client.retrieve("retrieve (n.degree) where n.degree = 7")
+            assert len(rows) == 1  # committed exactly once
+        finally:
+            client.close()
+
+    def test_welcome_reports_last_committed_seq(self, served_mdm):
+        _, server = served_mdm
+        client = MdmClient(server.address, client_id="w")
+        try:
+            client.execute("append to NOTE (degree = 1)")
+            client.execute("append to NOTE (degree = 2)")
+        finally:
+            client.close()
+        fresh = MdmClient(server.address, client_id="w")
+        try:
+            fresh.execute("range of n is NOTE")  # connects, handshakes
+            assert fresh._primary.welcome["last_seq"] == 2
+        finally:
+            fresh.close()
+
+    def test_ledger_row_commits_with_the_statement(self, served_mdm, client):
+        mdm, _ = served_mdm
+        client.execute("append to NOTE (degree = 3)")
+        rows = mdm.database.table(DEDUP_TABLE).select_eq(
+            "client", "test-client"
+        )
+        assert len(rows) == 1
+        assert rows[0]["seq"] == 1
+
+    def test_exactly_once_across_server_restart(self, tmp_path):
+        """Crash after commit, before ack; a NEW server must still dedup."""
+        path = str(tmp_path / "db")
+        mdm = MusicDataManager(path)
+        server = MdmServer(mdm)
+        server.start()
+        port = server.address[1]
+
+        def crash(client_id, seq):
+            raise RuntimeError("die before ack")
+
+        server.on_pre_ack = crash
+        # max_attempts=1: the client surfaces the torn ack immediately
+        # instead of resolving it against the still-running server, so
+        # the dedup decision demonstrably happens on the NEW server.
+        client = MdmClient(server.address, client_id="c",
+                           max_attempts=1, backoff_base=0.001,
+                           default_timeout=2.0)
+        with pytest.raises(RetryExhaustedError):
+            client.execute("append to NOTE (degree = 9)")
+        server.stop()
+        mdm.close()
+
+        mdm2 = MusicDataManager.reopen(path)
+        server2 = MdmServer(mdm2, port=port)
+        server2.start()
+        try:
+            # Same client object, same pending seq: the restarted
+            # server's durable ledger resolves it as duplicate-success.
+            count = client.execute("append to NOTE (degree = 9)")
+            assert count == 1
+            assert client.metrics.value("client.duplicate_acks") == 1
+            client.execute("range of n is NOTE")
+            rows = client.retrieve("retrieve (n.degree) where n.degree = 9")
+            assert len(rows) == 1
+        finally:
+            client.close()
+            server2.stop()
+            mdm2.close()
+
+
+class TestCloseUnderLoad:
+    def test_close_drains_in_flight_and_refuses_new(self, tmp_path):
+        """MusicDataManager.close under remote load: drain, then refuse."""
+        mdm = MusicDataManager(str(tmp_path / "db"))
+        server = MdmServer(mdm)
+        server.start()
+        clients = [
+            MdmClient(server.address, client_id="load-%d" % i,
+                      max_attempts=2, backoff_base=0.001,
+                      default_timeout=1.0)
+            for i in range(4)
+        ]
+        stop = threading.Event()
+        outcomes = {"committed": 0, "refused": 0, "other": 0}
+        lock = threading.Lock()
+
+        def pound(client, k):
+            degree = k * 1000
+            while not stop.is_set():
+                degree += 1
+                try:
+                    client.execute("append to NOTE (degree = %d)" % degree)
+                    with lock:
+                        outcomes["committed"] += 1
+                except (ShutdownError, RetryExhaustedError, MDMError):
+                    with lock:
+                        outcomes["refused"] += 1
+                    return
+
+        threads = [
+            threading.Thread(target=pound, args=(c, k), daemon=True)
+            for k, c in enumerate(clients)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.3)  # let load build
+        mdm.close(drain_timeout=5.0)  # must not raise under load
+        stop.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        server.stop()
+        for c in clients:
+            c.close()
+        assert outcomes["committed"] > 0
+        # Every acked commit is durable: reopen and count.
+        reopened = MusicDataManager.reopen(str(tmp_path / "db"))
+        try:
+            reopened.execute("range of n is NOTE")
+            rows = reopened.retrieve("retrieve (n.degree) where n.degree != 0")
+            assert len(rows) >= outcomes["committed"]
+        finally:
+            reopened.close()
+
+    def test_new_remote_work_refused_while_draining(self, served_mdm):
+        mdm, _ = served_mdm
+        mdm.remote.begin_drain()
+        with pytest.raises(ShutdownError):
+            mdm.remote.enter("late request")
+        # close() after drain still clean
+        assert mdm.remote.drain(0.1) is True
