@@ -23,6 +23,8 @@ under an absolute per-call deadline.  What it hides, concretely:
 The client is not thread-safe; give each worker its own instance.
 """
 
+import itertools
+import os
 import random
 import time
 
@@ -36,6 +38,22 @@ from repro.errors import (
 from repro.net import protocol
 from repro.net.transport import Transport
 from repro.obs.metrics import MetricsRegistry
+
+
+_client_ids = itertools.count(1)
+
+
+def _fresh_client_id():
+    """A per-instance default client id.
+
+    The id keys the server's durable write-dedup ledger, so two
+    clients must never share one accidentally: a fresh client reusing
+    another's id (and starting its seqs over) would have its genuinely
+    new writes classified as duplicates of the other's history.
+    Callers that *want* dedup continuity across restarts pass an
+    explicit stable id.
+    """
+    return "client-%d-%d" % (os.getpid(), next(_client_ids))
 
 
 def _exception_for(code, message):
@@ -66,11 +84,13 @@ class _Endpoint:
 class MdmClient:
     """A remote MusicDataManager handle with retry and failover."""
 
-    def __init__(self, primary_address, replicas=(), client_id="client",
+    def __init__(self, primary_address, replicas=(), client_id=None,
                  default_timeout=5.0, max_attempts=6, backoff_base=0.02,
                  backoff_cap=0.5, connect_timeout=2.0, replica_cooldown=0.5,
                  seed=0, transport_factory=None, metrics=None):
-        self.client_id = client_id
+        self.client_id = (
+            client_id if client_id is not None else _fresh_client_id()
+        )
         self.default_timeout = default_timeout
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base
@@ -121,6 +141,17 @@ class MdmClient:
         if self._inflight is not None and self._inflight[1] == source:
             seq = self._inflight[0]
         else:
+            # Learn the server's dedup high-water mark (WELCOME's
+            # last_seq, adopted in _ensure_connected) before assigning
+            # a fresh sequence number: a restarted client reusing a
+            # stable id must continue the server's numbering — starting
+            # over at 1 would classify its new writes as duplicates.
+            if (self._primary.transport is None
+                    or self._primary.transport.closed):
+                try:
+                    self._ensure_connected(self._primary, None)
+                except MDMError:
+                    pass  # the retry loop below surfaces real trouble
             seq = self._seq + 1
             if self._inflight is not None:
                 seq = max(seq, self._inflight[0] + 1)
@@ -291,6 +322,15 @@ class MdmClient:
                 )
             if reply_kind != protocol.WELCOME:
                 raise ProtocolError("handshake did not return WELCOME")
+            if endpoint.role == "primary":
+                # Adopt the server's dedup high-water mark: a restarted
+                # client reusing a stable client_id would otherwise
+                # start at seq 1 and have its genuinely new writes
+                # classified as duplicates (stale results, statements
+                # silently not executed).
+                self._seq = max(
+                    self._seq, int(welcome.get("last_seq") or 0)
+                )
             for statement in self._preamble:
                 transport.send(protocol.REQUEST, {
                     "seq": None, "source": statement, "read_only": True,

@@ -77,7 +77,6 @@ class _ReplicaState:
                 self.database.create_table(
                     spec["name"], [(c, d) for c, d in spec["columns"]]
                 )
-        self.session = QuelSession(self.schema)
         self.column_orders = self.database.column_orders()
 
 
@@ -86,7 +85,7 @@ class ReplicaServer:
 
     def __init__(self, primary_address, name="replica", host="127.0.0.1",
                  port=0, reconnect_base=0.05, reconnect_cap=1.0, seed=0,
-                 transport_factory=None, metrics=None):
+                 transport_factory=None, metrics=None, idle_timeout=120.0):
         self.primary_address = tuple(primary_address)
         self.name = name
         self.host = host
@@ -99,9 +98,11 @@ class ReplicaServer:
         self._reconnect_base = reconnect_base
         self._reconnect_cap = reconnect_cap
         self._rng = random.Random(seed)
+        self.idle_timeout = idle_timeout
         self._stopped = False
         self._listener = None
         self._threads = []
+        self._reader_threads = set()
         self._transports = set()
         self._mutex = threading.Lock()
         # Applier state: guarded by _applied_cond so min_lsn waiters see
@@ -112,6 +113,7 @@ class ReplicaServer:
         self._serving = False
         self.last_error = None
         self._pending = {}  # txn_id -> buffered change records
+        self._pending_first = {}  # txn_id -> LSN of its first buffered frame
         from repro.obs.metrics import MetricsRegistry
 
         registry = metrics if metrics is not None else MetricsRegistry()
@@ -162,7 +164,9 @@ class ReplicaServer:
             transports = list(self._transports)
         for transport in transports:
             transport.close()
-        for thread in self._threads:
+        with self._mutex:
+            readers = list(self._reader_threads)
+        for thread in self._threads + readers:
             thread.join(timeout=2.0)
 
     def __enter__(self):
@@ -200,7 +204,7 @@ class ReplicaServer:
                 transport.send(protocol.REPL_HELLO, {
                     "proto": protocol.PROTOCOL_VERSION,
                     "replica": self.name,
-                    "last_lsn": self.applied_lsn,
+                    "last_lsn": self._resume_lsn(),
                 })
                 self._m_connects.inc()
                 backoff = self._reconnect_base
@@ -217,6 +221,29 @@ class ReplicaServer:
     def _sleep_backoff(self, backoff):
         if not self._stopped:
             time.sleep(backoff * (0.5 + self._rng.random()))
+
+    def _resume_lsn(self):
+        """Where to resume the feed on a (re)connect.
+
+        Buffered records of uncommitted transactions do not survive the
+        disconnect: keeping them while the primary re-streams from
+        ``applied_lsn`` would deliver the same change frames twice (an
+        in-flight transaction's changes have LSNs above ``applied_lsn``
+        but below their COMMIT), double-applying at COMMIT.  Instead
+        the buffer is dropped and the resume point backs up to *below
+        the oldest buffered frame* — not just ``applied_lsn``, because
+        an in-flight transaction's changes can sit below another
+        transaction's already-applied COMMIT LSN.  Everything between
+        resumes from the wire; records already applied are recognized
+        by LSN and skipped (see ``_apply_record``).
+        """
+        with self._applied_cond:
+            resume = self.applied_lsn
+            for first in self._pending_first.values():
+                resume = min(resume, first - 1)
+            self._pending = {}
+            self._pending_first = {}
+            return resume
 
     def _feed_from(self, transport):
         pending_state = None
@@ -298,21 +325,36 @@ class ReplicaServer:
         state = self._state
         w = wal_module
         if kind == w.BEGIN:
-            self._pending[txn_id] = []
+            if txn_id not in self._pending:
+                self._pending[txn_id] = []
+                self._pending_first[txn_id] = lsn
             return False
         if kind in (w.INSERT, w.UPDATE, w.DELETE):
             self._pending.setdefault(txn_id, []).append(
                 (kind, table, row_bytes, old_bytes)
             )
+            self._pending_first.setdefault(txn_id, lsn)
             return False
         if kind == w.ABORT:
-            self._pending.pop(txn_id, None)
+            self._drop_pending(txn_id)
+            return False
+        # Everything below advances visibility.  A record at or below
+        # the applied horizon was installed already: the feed resumed
+        # from below the oldest in-flight change frame (reconnect), or
+        # the seed streamed from the primary's replication horizon —
+        # either way already-applied commits re-ship interleaved with
+        # the in-flight changes we actually need.  Drop its buffer
+        # instead of applying twice.
+        if lsn <= self.applied_lsn:
+            self._drop_pending(txn_id)
             return False
         if kind == w.CHECKPOINT:
             self._advance(lsn)
             return True
         if kind == w.COMMIT:
-            for change in self._pending.pop(txn_id, ()):
+            changes = self._pending.pop(txn_id, ())
+            self._pending_first.pop(txn_id, None)
+            for change in changes:
                 self._apply_change(state, lsn, *change)
             self._advance(lsn)
             self._m_commits.inc()
@@ -335,6 +377,10 @@ class ReplicaServer:
             self._m_commits.inc()
             return True
         raise ValueError("unknown WAL record kind %d" % kind)
+
+    def _drop_pending(self, txn_id):
+        self._pending.pop(txn_id, None)
+        self._pending_first.pop(txn_id, None)
 
     def _apply_change(self, state, lsn, kind, table_name, row_bytes, old_bytes):
         order = state.column_orders[table_name]
@@ -366,6 +412,7 @@ class ReplicaServer:
             self._serving = True
             self.last_error = None
             self._pending = {}
+            self._pending_first = {}
             self._applied_cond.notify_all()
 
     def _degrade(self, reason):
@@ -373,6 +420,7 @@ class ReplicaServer:
             self._serving = False
             self.last_error = reason
             self._pending = {}
+            self._pending_first = {}
             self._applied_cond.notify_all()
 
     # -- the retrieve listener (replica <- clients) ------------------------------
@@ -393,10 +441,16 @@ class ReplicaServer:
                 target=self._serve_reader, args=(transport,),
                 name="replica-read-%s" % self.name, daemon=True,
             )
+            with self._mutex:
+                self._reader_threads.add(thread)
             thread.start()
-            self._threads.append(thread)
 
     def _serve_reader(self, transport):
+        # Each connection executes through its own QuelSession (rebuilt
+        # per seeded generation): concurrent readers must not race on
+        # one session's limits, and one client's replayed ``range of``
+        # preamble must not rebind another client's ranges.
+        sessions = {}
         try:
             kind, body = transport.recv(timeout=10.0)
             if kind != protocol.HELLO:
@@ -415,7 +469,10 @@ class ReplicaServer:
                 "last_seq": 0,
             })
             while True:
-                kind, body = transport.recv()
+                try:
+                    kind, body = transport.recv(timeout=self.idle_timeout)
+                except NetworkTimeoutError:
+                    return  # idle past the budget: reap the connection
                 if kind == protocol.BYE:
                     return
                 message = protocol.unpack_json(kind, body)
@@ -426,7 +483,7 @@ class ReplicaServer:
                             "replica %r serves read-only retrieves only"
                             % self.name
                         )
-                    rows, applied = self._execute_read(message)
+                    rows, applied = self._execute_read(message, sessions)
                     transport.send(protocol.RESULT, {
                         "seq": seq, "kind": "rows", "value": rows,
                         "duplicate": False, "commit_lsn": applied,
@@ -448,14 +505,23 @@ class ReplicaServer:
             transport.close()
             with self._mutex:
                 self._transports.discard(transport)
+                self._reader_threads.discard(threading.current_thread())
 
-    def _execute_read(self, message):
+    def _execute_read(self, message, sessions):
         timeout_s = message.get("timeout_s")
         deadline = (
             None if timeout_s is None else time.monotonic() + timeout_s
         )
         state = self._wait_caught_up(int(message.get("min_lsn") or 0), deadline)
-        quel = state.session
+        quel = sessions.get(id(state))
+        if quel is None:
+            # A re-seed swapped the generation: sessions built on the
+            # old one are useless (their range declarations point into
+            # a discarded schema), so a fresh session starts clean and
+            # the client's failover/replay discipline rebuilds ranges.
+            sessions.clear()
+            quel = QuelSession(state.schema)
+            sessions[id(state)] = quel
         transactions = state.database.transactions
         quel.set_limits(
             deadline=deadline, row_budget=message.get("row_budget")

@@ -49,15 +49,20 @@ class MdmServer:
     """Serves one MusicDataManager to remote clients and replicas."""
 
     def __init__(self, mdm, host="127.0.0.1", port=0, name="primary",
-                 lag_budget=64, session_options=None):
+                 lag_budget=64, session_options=None, idle_timeout=120.0):
         self.mdm = mdm
         self.name = name
         self.host = host
         self.port = port
         self.address = None  # set by start()
         self._session_options = dict(session_options or {})
+        #: Seconds a client session may sit idle between frames before
+        #: its connection (and thread) is reaped; clients reconnect
+        #: transparently on their next call.
+        self.idle_timeout = idle_timeout
         self._listener = None
         self._threads = []
+        self._conn_threads = set()
         self._transports = set()
         self._mutex = threading.Lock()
         self._stopping = False
@@ -123,7 +128,9 @@ class MdmServer:
             transports = list(self._transports)
         for transport in transports:
             transport.close()
-        for thread in self._threads:
+        with self._mutex:
+            conn_threads = list(self._conn_threads)
+        for thread in self._threads + conn_threads:
             thread.join(timeout=2.0)
 
     def __enter__(self):
@@ -152,8 +159,9 @@ class MdmServer:
                 target=self._serve_connection, args=(transport,),
                 name="mdm-server-conn", daemon=True,
             )
+            with self._mutex:
+                self._conn_threads.add(thread)
             thread.start()
-            self._threads.append(thread)
 
     def _serve_connection(self, transport):
         self._m_connections.inc()
@@ -179,6 +187,7 @@ class MdmServer:
             transport.close()
             with self._mutex:
                 self._transports.discard(transport)
+                self._conn_threads.discard(threading.current_thread())
             self._m_connections.dec()
 
     def _check_version(self, transport, hello):
@@ -205,7 +214,10 @@ class MdmServer:
         )
         shell = MdmShell(self.mdm, server=self)
         while True:
-            kind, body = transport.recv()
+            try:
+                kind, body = transport.recv(timeout=self.idle_timeout)
+            except NetworkTimeoutError:
+                return  # idle past the budget: reap the connection
             self._m_frames_in.inc()
             if kind == protocol.BYE:
                 return

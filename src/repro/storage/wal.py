@@ -181,6 +181,20 @@ class WriteAheadLog:
         # mutex, never both at once from the waiting side).
         self._flush_cond = threading.Condition(threading.Lock())
         self._flush_leading = False
+        # Replication-horizon bookkeeping (guarded by _mutex).  A WAL
+        # shipper that seeds a replica from a snapshot must stream every
+        # change frame of transactions still in flight at the seed
+        # point: those frames can already be durable (a group-commit
+        # rider fsync covers whatever was appended so far) while their
+        # COMMIT is not, so a stream starting at the snapshot LSN would
+        # skip them and the replica would apply a partial transaction.
+        # _active_txns maps an in-flight transaction to its first
+        # journaled LSN; _committing keeps transactions whose COMMIT is
+        # appended but not yet known durable (pruned lazily against
+        # flushed_lsn) — their changes stay shippable until the commit
+        # they belong to is inside the durable prefix the seed reads.
+        self._active_txns = {}
+        self._committing = {}
         self._base_path = path + ".base"
         self._file = self._opener(path, "ab+")
         entries, valid_end, corruption = self._scan()
@@ -235,6 +249,7 @@ class WriteAheadLog:
         with self._mutex:
             record = LogRecord(self._next_lsn, txn_id, kind, table, row, old_row)
             self._next_lsn += 1
+            self._track_txn(txn_id, kind, record.lsn)
             payload = _encode_record(record, column_orders or {})
             self._append_frame(payload)
             if stamp is not None:
@@ -358,6 +373,50 @@ class WriteAheadLog:
         return role
 
     # -- record streaming (WAL shipping) ----------------------------------------
+
+    def _track_txn(self, txn_id, kind, lsn):
+        """Maintain the in-flight transaction map (under ``_mutex``)."""
+        if kind in (BEGIN, INSERT, UPDATE, DELETE):
+            self._active_txns.setdefault(txn_id, lsn)
+        elif kind == COMMIT:
+            first = self._active_txns.pop(txn_id, lsn)
+            self._committing[txn_id] = (first, lsn)
+        elif kind == ABORT:
+            self._active_txns.pop(txn_id, None)
+        if self._committing:
+            self._prune_committing_locked()
+
+    def _prune_committing_locked(self):
+        """Drop committed transactions whose COMMIT is now durable."""
+        flushed = self._flushed_lsn
+        for txn_id in [
+            t for t, (_, commit) in self._committing.items()
+            if commit <= flushed
+        ]:
+            del self._committing[txn_id]
+
+    def replication_horizon(self):
+        """The lowest LSN a seeding WAL shipper must stream from.
+
+        Every change frame belonging to a transaction whose COMMIT is
+        not yet durable has an LSN at or past this horizon, so a seed
+        snapshot pinned *after* reading it, streamed from
+        ``min(horizon, seed_lsn + 1)``, never skips an in-flight
+        transaction's changes.  (The ordering matters: a transaction
+        that journals its first frame after this call gets an LSN past
+        ``next_lsn`` as read here, hence past the horizon.)  Clamped
+        above ``base_lsn`` — records truncated into a checkpoint image
+        are not streamable regardless.
+        """
+        with self._mutex:
+            if self._committing:
+                self._prune_committing_locked()
+            horizon = self._next_lsn
+            for first in self._active_txns.values():
+                horizon = min(horizon, first)
+            for first, _ in self._committing.values():
+                horizon = min(horizon, first)
+            return max(horizon, self.base_lsn + 1)
 
     def wait_for_flushed(self, lsn, timeout=None):
         """Block until ``flushed_lsn >= lsn`` or *timeout* seconds pass.

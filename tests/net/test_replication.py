@@ -146,6 +146,129 @@ class TestQuarantine:
             replica.stop()
 
 
+class TestReconnectResume:
+    def test_in_flight_txn_survives_reconnect_exactly_once(self, tmp_path):
+        """Feed torn with a transaction buffered mid-flight.
+
+        The replica must drop its buffer and resume from below the
+        oldest buffered frame (txn 2's changes sit *below* txn 3's
+        already-applied COMMIT), rebuild the transaction from the
+        re-stream, and skip re-shipped already-applied commits — every
+        commit lands exactly once.
+        """
+        from repro.net.replica import ReplicaServer
+        from repro.storage import wal as wal_module
+        from repro.storage.row import Row
+        from repro.storage.wal import WriteAheadLog
+
+        log = WriteAheadLog(str(tmp_path / "wal"))
+        orders = {"t": ["v"]}
+
+        def change(txn, rowid, v):
+            log.append(txn, wal_module.INSERT, table="t",
+                       row=Row(rowid, {"v": v}), column_orders=orders)
+
+        log.append(1, wal_module.BEGIN)   # lsn 1
+        change(1, 1, 1)                   # lsn 2
+        log.append(1, wal_module.COMMIT)  # lsn 3
+        log.append(2, wal_module.BEGIN)   # lsn 4  (in flight at the cut)
+        change(2, 2, 2)                   # lsn 5
+        log.append(3, wal_module.BEGIN)   # lsn 6
+        change(3, 3, 3)                   # lsn 7
+        log.append(3, wal_module.COMMIT)  # lsn 8  (applied past txn 2)
+        log.append(2, wal_module.COMMIT)  # lsn 9
+        log.flush()
+        frames = dict(log.stream_frames(1))
+        log.close()
+
+        listener = socket.socket()
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(2)
+        manifest = {"entities": [], "relationships": [], "orderings": []}
+        tables = [{"name": "t", "columns": [["v", "integer"]]}]
+        replica = ReplicaServer(listener.getsockname(), name="resume",
+                                reconnect_base=0.01)
+        replica.start()
+        try:
+            sock, _ = listener.accept()
+            primary = Transport(sock)
+            kind, body = primary.recv(timeout=5.0)
+            assert kind == protocol.REPL_HELLO
+            assert protocol.unpack_json(kind, body)["last_lsn"] == 0
+            primary.send(protocol.REPL_SEED,
+                         {"lsn": 0, "schema": manifest, "tables": tables})
+            primary.send(protocol.REPL_SEED_END, {"lsn": 0})
+            kind, body = primary.recv(timeout=5.0)
+            assert kind == protocol.REPL_ACK
+            for lsn in range(1, 9):  # everything except txn 2's COMMIT
+                primary.send_raw(protocol.pack_repl_frame(lsn, frames[lsn]))
+            acked = [
+                protocol.unpack_json(*primary.recv(timeout=5.0))["lsn"]
+                for _ in range(2)
+            ]
+            assert acked == [3, 8]
+            primary.close()  # torn feed: txn 2 is buffered, not applied
+
+            sock, _ = listener.accept()
+            primary = Transport(sock)
+            kind, body = primary.recv(timeout=5.0)
+            assert kind == protocol.REPL_HELLO
+            # Resume point backs below txn 2's first frame, not applied_lsn=8.
+            assert protocol.unpack_json(kind, body)["last_lsn"] == 3
+            for lsn in range(4, 10):  # re-stream, now with COMMIT 9
+                primary.send_raw(protocol.pack_repl_frame(lsn, frames[lsn]))
+            # Exactly one ACK: the re-shipped COMMIT 8 is recognized as
+            # applied and skipped; COMMIT 9 installs txn 2 once.
+            kind, body = primary.recv(timeout=5.0)
+            assert kind == protocol.REPL_ACK
+            assert protocol.unpack_json(kind, body)["lsn"] == 9
+            assert wait_applied(replica, 9)
+            table = replica._state.database.table("t")
+            assert sorted(row["v"] for row in table) == [1, 2, 3]
+            primary.close()
+        finally:
+            replica.stop()
+            listener.close()
+
+
+class TestReaderIsolation:
+    def test_reader_connections_have_independent_sessions(self, served_mdm,
+                                                          client):
+        """One reader's range declarations must not rebind another's."""
+        _, server = served_mdm
+        client.execute("define entity GADGET (size = integer)")
+        client.execute("append to NOTE (degree = 1)")
+        client.execute("append to GADGET (size = 2)")
+        replica = start_replica(server, name="iso")
+        try:
+            assert wait_serving(replica)
+            assert wait_applied(replica, client.last_commit_lsn)
+            r1 = MdmClient(server.address, replicas=[replica.address],
+                           client_id="iso-a")
+            r2 = MdmClient(server.address, replicas=[replica.address],
+                           client_id="iso-b")
+            try:
+                r1.execute("range of x is NOTE")
+                r2.execute("range of x is GADGET")
+                note = "retrieve (x.degree) where x.degree != 0"
+                gadget = "retrieve (x.size) where x.size != 0"
+                assert r1.retrieve(note) == [{"x.degree": 1}]
+                assert r2.retrieve(gadget) == [{"x.size": 2}]
+                # Interleave again on the same, now-warm connections: a
+                # shared session would have x rebound to GADGET here.
+                assert r1.retrieve(note) == [{"x.degree": 1}]
+                # Every retrieve was served by the replica — a clobbered
+                # session errors there and silently fails over instead.
+                assert r1.metrics.value("client.failovers") == 0
+                assert r2.metrics.value("client.failovers") == 0
+            finally:
+                r1.close()
+                r2.close()
+        finally:
+            replica.stop()
+
+
 class TestCrcRefusal:
     def test_corrupt_shipped_frame_degrades_until_reseed(self):
         """A replica refuses a torn WAL frame and recovers via re-seed."""

@@ -95,6 +95,41 @@ class TestExactlyOnceDedup:
         finally:
             fresh.close()
 
+    def test_restarted_client_reusing_an_id_executes_new_writes(
+            self, served_mdm):
+        """A fresh client must adopt WELCOME's last_seq: starting over
+        at seq 1 would have its genuinely new writes classified as
+        duplicates of the previous client's history (stale results,
+        statements silently not executed)."""
+        _, server = served_mdm
+        first = MdmClient(server.address, client_id="reuse")
+        try:
+            first.execute("append to NOTE (degree = 1)")
+            first.execute("append to NOTE (degree = 2)")
+        finally:
+            first.close()
+        fresh = MdmClient(server.address, client_id="reuse")
+        try:
+            count = fresh.execute("append to NOTE (degree = 3)")
+            assert count == 1
+            assert fresh.metrics.value("client.duplicate_acks") == 0
+            assert fresh.last_seq == 3
+            fresh.execute("range of n is NOTE")
+            rows = fresh.retrieve("retrieve (n.degree) where n.degree = 3")
+            assert len(rows) == 1  # the write really ran
+        finally:
+            fresh.close()
+
+    def test_default_client_ids_are_unique(self, served_mdm):
+        _, server = served_mdm
+        a = MdmClient(server.address)
+        b = MdmClient(server.address)
+        try:
+            assert a.client_id != b.client_id
+        finally:
+            a.close()
+            b.close()
+
     def test_ledger_row_commits_with_the_statement(self, served_mdm, client):
         mdm, _ = served_mdm
         client.execute("append to NOTE (degree = 3)")
@@ -143,6 +178,50 @@ class TestExactlyOnceDedup:
             client.close()
             server2.stop()
             mdm2.close()
+
+
+class TestConnectionHygiene:
+    def test_connection_threads_are_pruned(self, served_mdm):
+        """Finished connections must not accumulate thread bookkeeping."""
+        _, server = served_mdm
+        for i in range(5):
+            c = MdmClient(server.address, client_id="prune-%d" % i)
+            try:
+                c.execute("append to NOTE (degree = %d)" % (i + 1))
+            finally:
+                c.close()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            with server._mutex:
+                live = len(server._conn_threads)
+            if live == 0 and server.status()["connections"] == 0:
+                break
+            time.sleep(0.02)
+        with server._mutex:
+            assert len(server._conn_threads) == 0
+        assert server.status()["connections"] == 0
+
+    def test_idle_connections_are_reaped_and_clients_reconnect(
+            self, tmp_path):
+        """An abandoned client must not pin a server thread forever; a
+        live one reaped while idle reconnects transparently."""
+        mdm = MusicDataManager(str(tmp_path / "db"))
+        server = MdmServer(mdm, idle_timeout=0.2)
+        server.start()
+        client = MdmClient(server.address, client_id="idler")
+        try:
+            client.execute("append to NOTE (degree = 1)")
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and \
+                    server.status()["connections"]:
+                time.sleep(0.05)
+            assert server.status()["connections"] == 0  # reaped while idle
+            count = client.execute("append to NOTE (degree = 2)")
+            assert count == 1  # transparent reconnect, new write applied
+        finally:
+            client.close()
+            server.stop()
+            mdm.close()
 
 
 class TestCloseUnderLoad:

@@ -154,3 +154,42 @@ class TestLogFile:
             )
             assert applied == [1]
             assert replayed == {1}
+
+
+class TestReplicationHorizon:
+    def test_horizon_tracks_in_flight_transactions(self, tmp_path):
+        """The horizon must cover every change frame whose COMMIT is not
+        yet durable, so a seeding WAL shipper never skips them."""
+        from repro.storage.row import Row
+
+        orders = {"t": ["a"]}
+        with WriteAheadLog(str(tmp_path / "test.log")) as log:
+            assert log.replication_horizon() == 1  # empty: next LSN
+            log.append(1, wal_module.BEGIN)  # lsn 1
+            assert log.replication_horizon() == 1
+            log.append(
+                1, wal_module.INSERT, table="t",
+                row=Row(1, {"a": 1}), column_orders=orders,
+            )  # lsn 2
+            log.append(2, wal_module.BEGIN)  # lsn 3
+            assert log.replication_horizon() == 1
+            # COMMIT appended but not yet durable: txn 1's change frames
+            # can already be covered by a rider fsync, so they must stay
+            # inside the horizon until the COMMIT itself is flushed.
+            log.append(1, wal_module.COMMIT)  # lsn 4
+            assert log.replication_horizon() == 1
+            log.flush()
+            # txn 1 fully durable; only txn 2 (BEGIN at 3) pins it now.
+            assert log.replication_horizon() == 3
+            log.append(2, wal_module.ABORT)  # lsn 5
+            assert log.replication_horizon() == 6  # nothing in flight
+
+    def test_horizon_clamped_past_truncation(self, tmp_path):
+        with WriteAheadLog(str(tmp_path / "test.log")) as log:
+            log.append(1, wal_module.BEGIN)
+            log.append(1, wal_module.COMMIT, flush=True)
+            log.append(2, wal_module.BEGIN)  # in flight across truncate
+            log.truncate()
+            # Records at or below base_lsn live only in the checkpoint
+            # image; the horizon never points into truncated history.
+            assert log.replication_horizon() == log.base_lsn + 1
