@@ -2,11 +2,12 @@
 """Benchmark report: measure QUEL, storage, and net workloads, emit BENCH JSON.
 
 Runs a self-contained ``time.perf_counter`` harness (no pytest-benchmark
-dependency) over three workload suites and writes ``BENCH_quel.json``,
-``BENCH_storage.json``, and ``BENCH_net.json`` (a multi-process client
-swarm against the network server, primary-only vs. two WAL-shipped
-replicas: per-retrieve p50/p99 latency and shed rate) at the
-repository root.  Each file carries
+dependency) over four workload suites and writes ``BENCH_quel.json``,
+``BENCH_storage.json``, ``BENCH_text.json`` (trigram-indexed catalog
+search over a 120k-row library corpus vs. unindexed scans), and
+``BENCH_net.json`` (a multi-process client swarm against the network
+server, primary-only vs. two WAL-shipped replicas: per-retrieve p50/p99
+latency and shed rate) at the repository root.  Each file carries
 per-workload timing statistics plus the metrics-registry snapshot taken
 after the run, so a report shows both "how fast" and "how much work"
 (page I/O, WAL appends, lock waits, statements).
@@ -138,6 +139,91 @@ def quel_report(rounds, chords=40, notes_per_chord=10):
     return {
         "benchmark": "quel",
         "dataset": {"chords": chords, "notes_per_chord": notes_per_chord},
+        "workloads": workloads,
+        "metrics": session.metrics.snapshot(),
+    }
+
+
+# -- text-search workloads ------------------------------------------------------
+
+
+def text_report(rounds, row_count=120_000, seed=7):
+    """The catalog-search suite: trigram-indexed text queries vs scans.
+
+    Loads the deterministic library corpus (``repro.fixtures.corpus``),
+    builds a trigram index over the title column, and times the same
+    ``matches``/``similar_to`` statements through the index and through
+    an ablated no-index session.  The report carries the p50 speedup
+    and the rows-visited count from ``explain analyze`` so the "index
+    prunes the heap" claim is checkable from the JSON alone.
+    """
+    from repro.fixtures.corpus import load_catalog
+
+    schema = Schema("bench-text")
+    entity = load_catalog(schema, row_count, seed=seed)
+    schema.database.create_text_index(entity.table.name, "title")
+    session = QuelSession(schema)
+    session.execute("range of t is TRACK")
+    scan_session = QuelSession(schema, use_indexes=False)
+    scan_session.execute("range of t is TRACK")
+
+    match = 'retrieve (t.title) where matches(t.title, "prelude no. 7")'
+    similar = (
+        'retrieve (t.title) where '
+        'similar_to(t.title, "nocturne in e flat major", 0.55)'
+    )
+    ranked = (
+        'retrieve (t.title, score = similarity(t.title, "prelude no. 7")) '
+        'where matches(t.title, "prelude no. 7") '
+        'sort by similarity(t.title, "prelude no. 7") descending'
+    )
+    # Scans walk the whole heap per round; fewer rounds keep the suite
+    # affordable without touching the p50's meaning.
+    scan_rounds = max(2, rounds // 6)
+    workloads = {
+        "catalog_search": _time_workload(
+            lambda: session.execute(match), rounds
+        ),
+        "catalog_search_scan": _time_workload(
+            lambda: scan_session.execute(match), scan_rounds
+        ),
+        "catalog_similar": _time_workload(
+            lambda: session.execute(similar), rounds
+        ),
+        "catalog_similar_scan": _time_workload(
+            lambda: scan_session.execute(similar), scan_rounds
+        ),
+        "catalog_ranked": _time_workload(
+            lambda: session.execute(ranked), rounds
+        ),
+    }
+
+    analyzed = session.execute("explain analyze " + match)
+    visited = None
+    for row in analyzed:
+        text = row.get("plan", "")
+        if text.startswith("rows visited:"):
+            visited = int(text.split(":")[1])
+    index = entity.table.text_index_for("title")
+    return {
+        "benchmark": "text",
+        "dataset": {
+            "rows": row_count,
+            "seed": seed,
+            "index_entries": len(index),
+            "index_grams": index.gram_count(),
+            "rows_visited_indexed": visited,
+        },
+        "speedup": {
+            "catalog_search_p50": (
+                workloads["catalog_search_scan"]["p50_s"]
+                / workloads["catalog_search"]["p50_s"]
+            ),
+            "catalog_similar_p50": (
+                workloads["catalog_similar_scan"]["p50_s"]
+                / workloads["catalog_similar"]["p50_s"]
+            ),
+        },
         "workloads": workloads,
         "metrics": session.metrics.snapshot(),
     }
@@ -576,6 +662,9 @@ def main(argv=None):
     storage = validate_report(
         storage_report(rounds, row_count=20 if args.check else 200)
     )
+    text = validate_report(
+        text_report(rounds, row_count=400 if args.check else 120_000)
+    )
     net = validate_report(
         net_report(clients=2 if args.check else 4,
                    ops_per_client=5 if args.check else 30,
@@ -583,24 +672,28 @@ def main(argv=None):
     )
     if args.check:
         print(
-            "bench report check OK (%d quel, %d storage, %d net workloads)"
+            "bench report check OK (%d quel, %d storage, %d text, %d net "
+            "workloads)"
             % (len(quel["workloads"]), len(storage["workloads"]),
-               len(net["workloads"]))
+               len(text["workloads"]), len(net["workloads"]))
         )
         return 0
     if args.compare:
         return _run_compare(
-            args.compare, {"quel": quel, "storage": storage, "net": net}
+            args.compare,
+            {"quel": quel, "storage": storage, "text": text, "net": net},
         )
     out_dir = os.path.abspath(args.out_dir)
     quel_path = os.path.join(out_dir, "BENCH_quel.json")
     storage_path = os.path.join(out_dir, "BENCH_storage.json")
+    text_path = os.path.join(out_dir, "BENCH_text.json")
     net_path = os.path.join(out_dir, "BENCH_net.json")
     write_json(quel_path, quel)
     write_json(storage_path, storage)
+    write_json(text_path, text)
     write_json(net_path, net)
     for path, report in ((quel_path, quel), (storage_path, storage),
-                         (net_path, net)):
+                         (text_path, text), (net_path, net)):
         print("wrote %s:" % os.path.relpath(path, out_dir))
         for name, stats in sorted(report["workloads"].items()):
             print("  %-24s mean %.6fs over %d rounds"

@@ -8,9 +8,11 @@
 # committed BENCH_quel.json / BENCH_storage.json baselines (which
 # cover the group-commit write path: bulk_ingest and concurrent_insert
 # ride the same gate, as does the MVCC mixed_readers_writers mix; the
-# BENCH_net.json baseline gates the client-swarm serving latency), then
-# the fast snapshot-isolation battery (scripts/mvcc_smoke.sh) and the
-# network fault sweep (scripts/net_smoke.sh).
+# BENCH_net.json baseline gates the client-swarm serving latency; the
+# BENCH_text.json baseline gates trigram-indexed catalog search), then
+# the fast snapshot-isolation battery (scripts/mvcc_smoke.sh), the
+# network fault sweep (scripts/net_smoke.sh), and the text-index
+# battery (scripts/text_smoke.sh).
 #
 # Runs in a few seconds; suitable for CI.  The full timing benches live
 # in benchmarks/ and are run separately with pytest-benchmark.
@@ -22,6 +24,7 @@ PYTHONPATH=src python -m pytest benchmarks/test_bench_compare.py -q -m bench_com
 PYTHONPATH=src python scripts/bench_report.py --check
 PYTHONPATH=src python scripts/bench_report.py --rounds 7 \
     --compare BENCH_quel.json --compare BENCH_storage.json \
-    --compare BENCH_net.json
+    --compare BENCH_text.json --compare BENCH_net.json
 sh scripts/mvcc_smoke.sh
 sh scripts/net_smoke.sh
+sh scripts/text_smoke.sh

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Catalog-search target: the whole text-index battery in one command --
+# normalization/similarity unit tests, the trigram-index property
+# battery (randomized op sequences vs a brute-force reference: index
+# candidates are a superset, verified results exactly equal), the
+# per-syncpoint crash matrix (recovered index vs a rebuild-from-rows
+# oracle), the QUEL matches/similar_to end-to-end tests, and the
+# plan-cache invalidation checks for text-index create/drop.
+#
+# Default: the fast matrices -- a few seconds, all of it also on in the
+# main test run.  Pass --full to add the extended text_slow matrix
+# (more seeds, longer op programs, bigger corpora).
+set -eu
+cd "$(dirname "$0")/.."
+
+MARKER="not text_slow and not crash_slow and not stress_slow"
+if [ "${1:-}" = "--full" ]; then
+    MARKER="not crash_slow and not stress_slow"
+    shift
+fi
+PYTHONPATH=src python -m pytest -q -m "$MARKER" \
+    tests/text \
+    tests/props/test_text_index_props.py \
+    tests/crash/test_text_index_crash.py \
+    tests/quel/test_text_search.py \
+    tests/quel/test_cache.py \
+    "$@"

@@ -6,6 +6,10 @@ Three statement forms::
     define relationship NAME (role = TYPE, ...)
     define ordering [order_name] (CHILD {, CHILD}) under PARENT
 
+plus the catalog-search extension::
+
+    define text index on TYPE (attribute)
+
 ``parse_ddl`` produces an AST; ``compile_ddl`` applies a program to a
 :class:`~repro.core.schema.Schema`; ``execute_ddl`` does both.
 """
@@ -15,6 +19,7 @@ from repro.ddl.ast import (
     DefineEntity,
     DefineOrdering,
     DefineRelationship,
+    DefineTextIndex,
 )
 from repro.ddl.parser import parse_ddl
 from repro.ddl.compiler import compile_ddl, execute_ddl
@@ -24,6 +29,7 @@ __all__ = [
     "DefineEntity",
     "DefineOrdering",
     "DefineRelationship",
+    "DefineTextIndex",
     "parse_ddl",
     "compile_ddl",
     "execute_ddl",

@@ -58,6 +58,28 @@ class DefineRelationship:
         return "DefineRelationship(%r)" % self.name
 
 
+class DefineTextIndex:
+    """``define text index on TYPE (attribute)``
+
+    TYPE may name an entity type or a relationship; the attribute must
+    be string-domained.  Compiles to a durable trigram index (see
+    :mod:`repro.text`) that the QUEL ``matches``/``similar_to`` gates
+    prune through.
+    """
+
+    __slots__ = ("type_name", "attribute")
+
+    def __init__(self, type_name, attribute):
+        self.type_name = type_name
+        self.attribute = attribute
+
+    def unparse(self):
+        return "define text index on %s (%s)" % (self.type_name, self.attribute)
+
+    def __repr__(self):
+        return "DefineTextIndex(%r.%r)" % (self.type_name, self.attribute)
+
+
 class DefineOrdering:
     """``define ordering [name] (children) under PARENT``"""
 

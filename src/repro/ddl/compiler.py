@@ -2,7 +2,12 @@
 
 from repro.errors import SchemaError
 from repro.core.schema import Schema
-from repro.ddl.ast import DefineEntity, DefineOrdering, DefineRelationship
+from repro.ddl.ast import (
+    DefineEntity,
+    DefineOrdering,
+    DefineRelationship,
+    DefineTextIndex,
+)
 from repro.ddl.parser import parse_ddl
 from repro.storage.values import Domain
 
@@ -42,6 +47,20 @@ def compile_ddl(statements, schema):
             created.append(
                 schema.define_ordering(
                     statement.name, statement.child_types, under=statement.parent_type
+                )
+            )
+        elif isinstance(statement, DefineTextIndex):
+            if schema.has_entity_type(statement.type_name):
+                table = schema.entity_type(statement.type_name).table
+            elif statement.type_name in schema.relationships:
+                table = schema.relationships[statement.type_name].table
+            else:
+                raise SchemaError(
+                    "text index on unknown type %r" % statement.type_name
+                )
+            created.append(
+                schema.database.create_text_index(
+                    table.name, statement.attribute
                 )
             )
         else:

@@ -6,6 +6,7 @@ from repro.ddl.ast import (
     DefineEntity,
     DefineOrdering,
     DefineRelationship,
+    DefineTextIndex,
 )
 from repro.lang.lexer import Lexer, TokenType
 from repro.lang.lexer import TokenStream
@@ -39,8 +40,12 @@ def _statement(stream):
     if token.matches_keyword("ordering"):
         stream.next()
         return _define_ordering(stream)
+    if token.matches_keyword("text"):
+        stream.next()
+        return _define_text_index(stream)
     raise ParseError(
-        "expected 'entity', 'relationship' or 'ordering', found %r" % token.value,
+        "expected 'entity', 'relationship', 'ordering' or 'text', found %r"
+        % token.value,
         token.line,
         token.column,
     )
@@ -73,6 +78,17 @@ def _define_relationship(stream):
     name = stream.expect_identifier("relationship name").value
     attributes = _attribute_list(stream)
     return DefineRelationship(name, attributes)
+
+
+def _define_text_index(stream):
+    # define text index on TYPE (attribute)
+    stream.expect_keyword("index")
+    stream.expect_keyword("on")
+    type_name = stream.expect_identifier("entity or relationship name").value
+    stream.expect_symbol("(")
+    attribute = stream.expect_identifier("attribute name").value
+    stream.expect_symbol(")")
+    return DefineTextIndex(type_name, attribute)
 
 
 def _define_ordering(stream):

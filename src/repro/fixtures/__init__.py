@@ -7,6 +7,11 @@ from repro.fixtures.bwv578 import (
     build_bwv578_score,
     build_bwv_index,
 )
+from repro.fixtures.corpus import (
+    CATALOG_ATTRIBUTES,
+    corpus_rows,
+    load_catalog,
+)
 from repro.fixtures.gloria import GLORIA_USER_DARMS, build_gloria_score
 from repro.fixtures.examples import make_scale_score, make_demo_index
 
@@ -16,6 +21,9 @@ __all__ = [
     "SUBJECT_INCIPIT_DARMS",
     "build_bwv578_score",
     "build_bwv_index",
+    "CATALOG_ATTRIBUTES",
+    "corpus_rows",
+    "load_catalog",
     "GLORIA_USER_DARMS",
     "build_gloria_score",
     "make_scale_score",

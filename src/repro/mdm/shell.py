@@ -9,6 +9,7 @@ the buffer.  Backslash commands inspect the schema:
 
     \\d              list entity types, relationships, orderings
     \\d NAME         describe one entity type
+    \\indexes        list every index (equality and trigram text)
     \\stats          schema statistics
     \\health         robustness counters and degraded-mode status
     \\plan           show the last query plan
@@ -132,6 +133,8 @@ class MdmShell:
             if cache_info is not None:
                 rendered += "\n(plan cache: %s)" % cache_info
             return rendered
+        if command == "\\indexes":
+            return self._indexes()
         if command == "\\metrics":
             return self.mdm.database.metrics.render()
         if command == "\\replicas":
@@ -143,10 +146,42 @@ class MdmShell:
                 return "INVARIANT VIOLATION: %s" % error
             return "all ordering invariants hold"
         return (
-            "unknown command %s (try \\d, \\stats, \\health, \\plan, "
-            "\\explain, \\metrics, \\checks, \\replicas, \\q)"
+            "unknown command %s (try \\d, \\indexes, \\stats, \\health, "
+            "\\plan, \\explain, \\metrics, \\checks, \\replicas, \\q)"
             % command
         )
+
+    def _indexes(self):
+        """Every index in the database: equality (hash) and text (trigram)."""
+        database = self.mdm.database
+        rows = []
+        for table_name in database.table_names():
+            table = database.table(table_name)
+            entries = []
+            for (column, kind), index in table.indexes().items():
+                # Composite unique indexes key on a tuple of columns.
+                name = (
+                    ", ".join(column) if isinstance(column, tuple) else column
+                )
+                entries.append((name, kind, index))
+            for name, kind, index in sorted(entries, key=lambda e: e[0]):
+                if kind == "text":
+                    detail = "%d entries, %d grams" % (
+                        len(index), index.gram_count()
+                    )
+                    rows.append((table_name, name, "text", detail))
+                else:
+                    rows.append((
+                        table_name, name,
+                        "unique" if kind else "equality",
+                        "%d keys" % len(index),
+                    ))
+        if not rows:
+            return "(no indexes)"
+        lines = ["%-24s %-16s %-10s %s" % ("table", "column", "kind", "detail")]
+        for table_name, column, kind, detail in rows:
+            lines.append("%-24s %-16s %-10s %s" % (table_name, column, kind, detail))
+        return "\n".join(lines)
 
     def _replicas(self):
         """Per-replica shipping state, when serving over the network."""

@@ -49,7 +49,7 @@ from repro.storage.row import Row
 class _ReplicaState:
     """One seeded generation of the replica's database."""
 
-    def __init__(self, manifest, tables):
+    def __init__(self, manifest, tables, text_indexes=None):
         self.database = Database(None)
         self.schema = Schema("replica", database=self.database)
         for entity in manifest.get("entities", ()):
@@ -77,6 +77,12 @@ class _ReplicaState:
                 self.database.create_table(
                     spec["name"], [(c, d) for c, d in spec["columns"]]
                 )
+        # Registered before rows land: seed row installs and the
+        # streamed frames that follow then maintain the postings
+        # incrementally, same ordering as local crash recovery.
+        for name, columns in (text_indexes or {}).items():
+            for column in columns:
+                self.database.table(name).create_text_index(column)
         self.column_orders = self.database.column_orders()
 
 
@@ -256,7 +262,8 @@ class ReplicaServer:
             if kind == protocol.REPL_SEED:
                 message = protocol.unpack_json(kind, body)
                 pending_state = _ReplicaState(
-                    message["schema"], message["tables"]
+                    message["schema"], message["tables"],
+                    message.get("text_indexes"),
                 )
                 pending_seed_lsn = int(message["lsn"])
             elif kind == protocol.REPL_ROWS:
@@ -367,6 +374,19 @@ class ReplicaServer:
             for _ in range(count):
                 row, offset = Row.deserialize(row_bytes, order, offset)
                 target.apply_replicated(lsn, "insert", row, None)
+            self._advance(lsn)
+            self._m_commits.inc()
+            return True
+        if kind in (w.TEXT_INDEX_CREATE, w.TEXT_INDEX_DROP):
+            # Self-committing DDL; the target rides in the table field
+            # as "table\x1fcolumn".  Applying keeps the replica's text
+            # indexes maintained by the row changes that follow.
+            name, _, column = table.partition(w.TEXT_TARGET_SEP)
+            target = state.database.table(name)
+            if kind == w.TEXT_INDEX_CREATE:
+                target.create_text_index(column)
+            else:
+                target.drop_text_index(column)
             self._advance(lsn)
             self._m_commits.inc()
             return True

@@ -265,6 +265,11 @@ class ReplicationHub:
                 "lsn": seed_lsn,
                 "schema": schema_manifest(self.mdm.schema),
                 "tables": tables,
+                # Text indexes created before the seed point never
+                # re-ship as stream frames (their CREATE records sit at
+                # or below seed_lsn, which the replica skips), so the
+                # catalog itself is part of the snapshot.
+                "text_indexes": database.text_index_catalog(),
             })
             for name in database.table_names():
                 table = database.table(name)

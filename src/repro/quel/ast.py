@@ -197,6 +197,36 @@ class UnderClause:
         self.order_name = order_name
 
 
+class MatchClause:
+    """Text-search gate: ``matches(v.attr, "q")`` or
+    ``similar_to(v.attr, "q", threshold)`` used as a qualification.
+
+    *operator* is ``"matches"`` (normalized substring containment) or
+    ``"similar_to"`` (trigram Jaccard >= *threshold*; threshold is
+    None for ``matches``).  The query and threshold are literals, so
+    the planner can lower the gate onto a trigram index at compile
+    time.
+    """
+
+    __slots__ = ("operator", "variable", "attribute", "query", "threshold")
+
+    def __init__(self, operator, variable, attribute, query, threshold=None):
+        self.operator = operator
+        self.variable = variable
+        self.attribute = attribute
+        self.query = query
+        self.threshold = threshold
+
+    def __repr__(self):
+        if self.operator == "matches":
+            return "matches(%s.%s, %r)" % (
+                self.variable, self.attribute, self.query
+            )
+        return "similar_to(%s.%s, %r, %r)" % (
+            self.variable, self.attribute, self.query, self.threshold
+        )
+
+
 class And:
     """Conjunction of two qualifications."""
 

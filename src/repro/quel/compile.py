@@ -94,6 +94,12 @@ def _fingerprint(node, emit):
         _fingerprint(node.parent, emit)
         emit(")")
         return
+    if isinstance(node, ast.MatchClause):
+        emit("M<%s:%s.%s:%r:%r>" % (
+            node.operator, node.variable, node.attribute,
+            node.query, node.threshold,
+        ))
+        return
     if isinstance(node, ast.And):
         emit("&(")
         _fingerprint(node.left, emit)
@@ -208,19 +214,25 @@ class CompiledStatement:
 
     __slots__ = (
         "statement", "kind", "used", "conjuncts", "restrictions",
-        "restriction_conjuncts", "pushdown_options", "targets",
-        "aggregates", "sort_fn", "assignments",
+        "restriction_conjuncts", "text_restrictions", "pushdown_options",
+        "targets", "aggregates", "sort_fn", "assignments",
     )
 
     def __init__(self, statement, kind, used, conjuncts, restrictions,
                  restriction_conjuncts, pushdown_options, targets=None,
-                 aggregates=None, sort_fn=None, assignments=None):
+                 aggregates=None, sort_fn=None, assignments=None,
+                 text_restrictions=None):
         self.statement = statement
         self.kind = kind
         self.used = used
         self.conjuncts = conjuncts
         self.restrictions = restrictions
         self.restriction_conjuncts = restriction_conjuncts
+        # variable -> [(attribute, operator, query, threshold), ...]
+        # for matches/similar_to gates.  Never added to any skip set:
+        # trigram candidates are a superset, so the gate's conjunct
+        # still re-verifies every materialized row.
+        self.text_restrictions = text_restrictions or {}
         self.pushdown_options = pushdown_options
         self.targets = targets
         self.aggregates = aggregates
@@ -484,6 +496,30 @@ class Compiler:
                 return ordering.under(child, parent)
 
             return under_fn
+        if isinstance(node, ast.MatchClause):
+            from repro.text import contains_match, is_similar
+
+            variable, attribute = node.variable, node.attribute
+            query, threshold = node.query, node.threshold
+            if node.operator == "matches":
+
+                def matches_fn(rt, bindings):
+                    bound = bindings.get(variable)
+                    if bound is None:
+                        raise QueryError(
+                            "unbound range variable %r" % variable
+                        )
+                    return contains_match(bound[attribute], query)
+
+                return matches_fn
+
+            def similar_fn(rt, bindings):
+                bound = bindings.get(variable)
+                if bound is None:
+                    raise QueryError("unbound range variable %r" % variable)
+                return is_similar(bound[attribute], query, threshold)
+
+            return similar_fn
         raise QueryError("cannot evaluate qualification %r" % (node,))
 
     # -- order-operator pushdown -------------------------------------------------
@@ -569,6 +605,7 @@ def compile_statement(statement, session):
     conjuncts = []
     restrictions = {}
     restriction_conjuncts = {}
+    text_restrictions = {}
     pushdown_options = []
     for index, node in enumerate(conjunct_nodes):
         conjuncts.append(
@@ -581,6 +618,9 @@ def compile_statement(statement, session):
             if restriction is not None:
                 restrictions.setdefault(variable, []).append(restriction)
                 restriction_conjuncts.setdefault(variable, []).append(index)
+            text = planner.text_restriction(node, variable)
+            if text is not None:
+                text_restrictions.setdefault(variable, []).append(text)
         pushdown_options.extend(compiler.pushdown_options(index, node))
 
     kind = type(statement).__name__
@@ -615,4 +655,5 @@ def compile_statement(statement, session):
         statement, kind, list(used), conjuncts, restrictions,
         restriction_conjuncts, pushdown_options, targets=targets,
         aggregates=aggregates, sort_fn=sort_fn, assignments=assignments,
+        text_restrictions=text_restrictions,
     )

@@ -37,6 +37,7 @@ from repro.quel.compile import (
 from repro.quel.functions import FunctionRegistry
 from repro.quel.parser import parse_quel
 from repro.quel import planner
+from repro.text import contains_match, is_similar
 
 #: Statement types the compiler can lower (everything that joins).
 _COMPILABLE = (
@@ -81,6 +82,42 @@ class ExecutionLimits:
             self.check_deadline()
 
 
+def _text_truth(value, operator, query, threshold):
+    """Evaluate one text gate exactly (no index involved)."""
+    if operator == "matches":
+        return contains_match(value, query)
+    return is_similar(value, query, threshold)
+
+
+def _text_rowids(table, text_restrictions):
+    """Trigram-index candidate rowids for *text_restrictions*.
+
+    Returns ``(rowids, pruned)``: *rowids* is the intersection of the
+    per-gate candidate sets (None when nothing pruned), *pruned* True
+    when at least one trigram index contributed.  A gate with no index,
+    or a sub-trigram query the index cannot bound, contributes nothing
+    -- the exact predicate still verifies every materialized row
+    downstream, so candidates remain a sound superset.
+    """
+    rowids = None
+    pruned = False
+    for attribute, operator, query, threshold in text_restrictions:
+        index = table.text_index_for(attribute)
+        if index is None:
+            continue
+        if operator == "matches":
+            matched = index.candidates_matching(query)
+        else:
+            matched = index.candidates_similar(query, threshold)
+        if matched is None:
+            continue
+        pruned = True
+        rowids = matched if rowids is None else rowids & matched
+        if not rowids:
+            break
+    return rowids, pruned
+
+
 class _EntityRange:
     kind = "entity"
 
@@ -95,21 +132,25 @@ class _EntityRange:
     def table_name(self):
         return self.entity_type.table.name
 
-    def candidates(self, restrictions, snapshot=False):
+    def candidates(self, restrictions, snapshot=False, text_restrictions=()):
         """Instances satisfying *restrictions*, plus the access path used.
 
         Every equality restriction on a real column is answered from an
         index -- built on first use if absent -- and the rowid sets are
-        intersected before any row is materialized.  Restrictions on
-        unknown attributes are filtered in place rather than triggering
-        a full unfiltered scan.  Returns ``(instances, access)`` with
-        *access* one of "index", "filtered scan", "scan", or
-        "snapshot scan".
+        intersected before any row is materialized.  Text gates in
+        *text_restrictions* prune through the trigram index when one
+        exists ("index text" access); the exact predicate re-verifies
+        every survivor in the join, so candidates are a sound superset.
+        Restrictions on unknown attributes are filtered in place rather
+        than triggering a full unfiltered scan.  Returns ``(instances,
+        access)`` with *access* one of "index", "index text",
+        "filtered scan", "scan", or "snapshot scan".
 
         With *snapshot* the statement runs lock-free against a pinned
         MVCC snapshot: indexes mirror the live table and are unsafe to
         read (let alone build adaptively) without a lock, so every
-        restriction is applied residually over the visible rows.
+        restriction -- equality and text alike -- is applied residually
+        over the visible rows.
         """
         table = self.entity_type.table
         if snapshot:
@@ -117,6 +158,12 @@ class _EntityRange:
             for attribute, value in restrictions:
                 if table.schema.has_column(attribute):
                     rows = [r for r in rows if r[attribute] == value]
+            for attribute, operator, query, threshold in text_restrictions:
+                if table.schema.has_column(attribute):
+                    rows = [
+                        r for r in rows
+                        if _text_truth(r[attribute], operator, query, threshold)
+                    ]
             rows.sort(key=lambda r: r[SURROGATE_COLUMN])
             instances = [
                 EntityInstance(self.entity_type, row[SURROGATE_COLUMN], row.rowid)
@@ -139,7 +186,9 @@ class _EntityRange:
                 indexed.append((attribute, value))
             else:
                 residual.append((attribute, value))
-        if not indexed:
+        rowids, text_pruned = _text_rowids(table, text_restrictions)
+        access = "index text" if text_pruned else "index"
+        if not indexed and rowids is None:
             instances = self.entity_type.instances()
             if residual:
                 instances = [
@@ -149,7 +198,8 @@ class _EntityRange:
                 ]
                 return instances, "filtered scan"
             return instances, "scan"
-        rowids = None
+        if rowids is not None and not rowids:
+            return [], access
         for attribute, value in indexed:
             index = table.any_index_for(attribute)
             if index is None:
@@ -159,7 +209,7 @@ class _EntityRange:
             matched = set(index.lookup(value))
             rowids = matched if rowids is None else rowids & matched
             if not rowids:
-                return [], "index"
+                return [], access
         out = []
         # One batched pass: no per-rowid table.get round trips.
         for row in table.get_many(sorted(rowids)):
@@ -168,7 +218,7 @@ class _EntityRange:
             )
             if all(instance.get(a) == v for a, v in residual):
                 out.append(instance)
-        return out, "index"
+        return out, access
 
 
 class _RelationshipRange:
@@ -185,21 +235,27 @@ class _RelationshipRange:
     def table_name(self):
         return self.relationship.table.name
 
-    def candidates(self, restrictions, snapshot=False):
+    def candidates(self, restrictions, snapshot=False, text_restrictions=()):
         """Rows satisfying *restrictions*, plus the access path used.
 
         Role columns are indexed at definition time; like
         :class:`_EntityRange`, a restriction on any other real column
         builds the missing index on first use, so it never silently
-        degrades to a filtered scan.  Rowid sets are intersected before
-        any row is materialized.  With *snapshot* (lock-free MVCC read)
-        indexes are bypassed entirely; see :meth:`_EntityRange.candidates`.
+        degrades to a filtered scan.  Text gates prune through the
+        trigram index when one exists.  Rowid sets are intersected
+        before any row is materialized.  With *snapshot* (lock-free
+        MVCC read) indexes are bypassed entirely; see
+        :meth:`_EntityRange.candidates`.
         """
         table = self.relationship.table
         if snapshot:
             rows = [
                 row for row in table
                 if all(row.get(a) == v for a, v in restrictions)
+                and all(
+                    _text_truth(row.get(a), op, q, t)
+                    for a, op, q, t in text_restrictions
+                )
             ]
             return rows, "snapshot scan"
         indexed = []
@@ -209,7 +265,9 @@ class _RelationshipRange:
                 indexed.append((attribute, value))
             else:
                 residual.append((attribute, value))
-        if not indexed:
+        rowids, text_pruned = _text_rowids(table, text_restrictions)
+        access = "index text" if text_pruned else "index"
+        if not indexed and rowids is None:
             rows = list(table)
             if residual:
                 rows = [
@@ -219,7 +277,8 @@ class _RelationshipRange:
                 ]
                 return rows, "filtered scan"
             return rows, "scan"
-        rowids = None
+        if rowids is not None and not rowids:
+            return [], access
         for attribute, value in indexed:
             index = table.any_index_for(attribute)
             if index is None:
@@ -227,12 +286,12 @@ class _RelationshipRange:
             matched = set(index.lookup(value))
             rowids = matched if rowids is None else rowids & matched
             if not rowids:
-                return [], "index"
+                return [], access
         rows = []
         for row in table.get_many(sorted(rowids)):
             if all(row.get(a) == v for a, v in residual):
                 rows.append(row)
-        return rows, "index"
+        return rows, access
 
 
 class QuelSession:
@@ -281,6 +340,10 @@ class QuelSession:
         self._statement_tally = self.metrics.tally(
             "quel.statements", "quel.statement_seconds"
         )
+        # Text-gate accounting: statements whose plan pruned through a
+        # trigram index, and how many candidate rows survived pruning.
+        self._text_searches = self.metrics.counter("text.searches")
+        self._text_candidates = self.metrics.counter("text.candidates")
         self._statement_cache = StatementCache(self.metrics)
         self._plan_cache = plan_cache_for(
             getattr(schema, "database", None), self.metrics
@@ -834,6 +897,13 @@ class QuelSession:
                 node.order_name, [child], parent=parent
             )
             return ordering.under(child, parent)
+        if isinstance(node, ast.MatchClause):
+            bound = bindings.get(node.variable)
+            if bound is None:
+                raise QueryError("unbound range variable %r" % node.variable)
+            return _text_truth(
+                bound[node.attribute], node.operator, node.query, node.threshold
+            )
         raise QueryError("cannot evaluate qualification %r" % (node,))
 
     # -- the backtracking join ---------------------------------------------------------
@@ -863,6 +933,7 @@ class QuelSession:
                 # not locks, keep the read consistent.)
                 read_tables(range_decl.table_name)
                 restrictions = []
+                text_restrictions = []
                 if self.use_indexes:
                     for conjunct in conjuncts:
                         restriction = planner.equality_restriction(
@@ -870,9 +941,17 @@ class QuelSession:
                         )
                         if restriction is not None:
                             restrictions.append(restriction)
+                        text = planner.text_restriction(conjunct, variable)
+                        if text is not None:
+                            text_restrictions.append(text)
                 candidates[variable], accesses[variable] = range_decl.candidates(
-                    restrictions, snapshot=snapshot
+                    restrictions,
+                    snapshot=snapshot,
+                    text_restrictions=text_restrictions,
                 )
+                if accesses[variable] == "index text":
+                    self._text_searches.inc()
+                    self._text_candidates.inc(len(candidates[variable]))
             counts = {v: len(c) for v, c in candidates.items()}
             order = planner.order_variables(used_variables, counts, conjuncts)
             plan = planner.build_plan(order, counts, accesses)
@@ -1030,9 +1109,20 @@ class QuelSession:
                     if self.use_indexes
                     else []
                 )
-                return ranges[variable].candidates(
-                    restrictions, snapshot=snapshot
+                text_restrictions = (
+                    compiled.text_restrictions.get(variable, ())
+                    if self.use_indexes
+                    else ()
                 )
+                instances, access = ranges[variable].candidates(
+                    restrictions,
+                    snapshot=snapshot,
+                    text_restrictions=text_restrictions,
+                )
+                if access == "index text":
+                    self._text_searches.inc()
+                    self._text_candidates.inc(len(instances))
+                return instances, access
 
             candidates = {}
             accesses = {}

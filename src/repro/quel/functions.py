@@ -90,12 +90,30 @@ def scalar_mod(left, right):
     return left % right
 
 
+def scalar_similarity(left, right):
+    """Blended match confidence in [0, 1] (see repro.text.similarity).
+
+    The ranking companion to the ``similar_to`` gate: the gate prunes
+    via the index-boundable trigram Jaccard; this scalar scores the
+    survivors with the richer trigram + edit-distance + token-sort
+    blend for ``sort by`` ordering.
+    """
+    from repro.text import similarity
+
+    if left is None or right is None:
+        return 0.0
+    if not isinstance(left, str) or not isinstance(right, str):
+        raise QueryError("similarity() expects strings")
+    return similarity(left, right)
+
+
 SCALARS = {
     "abs": scalar_abs,
     "length": scalar_length,
     "lowercase": scalar_lower,
     "uppercase": scalar_upper,
     "mod": scalar_mod,
+    "similarity": scalar_similarity,
 }
 
 

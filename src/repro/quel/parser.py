@@ -216,10 +216,56 @@ def _condition(stream):
         operator = stream.next().value
         right = _expression(stream)
         return ast.Comparison(operator, left, right)
+    if (
+        isinstance(left, ast.FunctionCall)
+        and left.name in ("matches", "similar_to")
+    ):
+        return _match_clause(left, token)
     raise ParseError(
         "expected a comparison or entity operator, found %r" % token.value,
         token.line,
         token.column,
+    )
+
+
+def _match_clause(call, token):
+    """Validate a bare ``matches``/``similar_to`` call as a gate.
+
+    The strict literal shape — ``matches(v.attr, "q")`` /
+    ``similar_to(v.attr, "q", t)`` — is what lets the compiler lower
+    the gate onto a trigram index; anything looser parses as an error
+    here rather than silently becoming an unlowerable predicate.
+    """
+    expected = 2 if call.name == "matches" else 3
+    if len(call.arguments) != expected:
+        raise ParseError(
+            "%s takes %d arguments, got %d"
+            % (call.name, expected, len(call.arguments)),
+            token.line, token.column,
+        )
+    target = call.arguments[0]
+    if not isinstance(target, ast.AttributeRef):
+        raise ParseError(
+            "%s needs a variable.attribute first argument" % call.name,
+            token.line, token.column,
+        )
+    query = call.arguments[1]
+    if not isinstance(query, ast.Literal) or not isinstance(query.value, str):
+        raise ParseError(
+            "%s needs a string-literal query" % call.name,
+            token.line, token.column,
+        )
+    threshold = None
+    if call.name == "similar_to":
+        arg = call.arguments[2]
+        if not isinstance(arg, ast.Literal) or isinstance(arg.value, str):
+            raise ParseError(
+                "similar_to needs a numeric-literal threshold",
+                token.line, token.column,
+            )
+        threshold = float(arg.value)
+    return ast.MatchClause(
+        call.name, target.variable, target.attribute, query.value, threshold
     )
 
 

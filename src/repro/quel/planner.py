@@ -46,6 +46,8 @@ def variables_in(node):
         return variables_in(node.left) | variables_in(node.right)
     if isinstance(node, ast.UnderClause):
         return variables_in(node.child) | variables_in(node.parent)
+    if isinstance(node, ast.MatchClause):
+        return {node.variable}
     if isinstance(node, (ast.And, ast.Or)):
         return variables_in(node.left) | variables_in(node.right)
     if isinstance(node, ast.Not):
@@ -73,6 +75,23 @@ def equality_restriction(conjunct, variable):
         and isinstance(right, ast.Literal)
     ):
         return (left.attribute, right.value)
+    return None
+
+
+def text_restriction(conjunct, variable):
+    """If *conjunct* is a text gate over *variable*, return
+    ``(attribute, operator, query, threshold)``; else None.
+
+    These are pushed into trigram-index candidate retrieval ("index
+    text" access).  Unlike equality restrictions they are *never*
+    marked as consumed: index candidates are a superset, and the exact
+    predicate re-verifies every materialized row.
+    """
+    if isinstance(conjunct, ast.MatchClause) and conjunct.variable == variable:
+        return (
+            conjunct.attribute, conjunct.operator,
+            conjunct.query, conjunct.threshold,
+        )
     return None
 
 
@@ -104,9 +123,10 @@ def order_variables(variables, candidate_counts, conjuncts):
 
 class PlanStep:
     """One binding step of a query plan: bind *variable* using *access*
-    ("index", "filtered scan", "scan", or "order range" -- the last when
-    an order-operator conjunct enumerates the variable by (parent,
-    order_key) index range scan) over *candidates* rows."""
+    ("index", "index text", "filtered scan", "scan", or "order range" --
+    "index text" when a trigram index pruned the candidates, "order
+    range" when an order-operator conjunct enumerates the variable by
+    (parent, order_key) index range scan) over *candidates* rows."""
 
     __slots__ = ("variable", "access", "candidates")
 

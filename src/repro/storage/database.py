@@ -33,11 +33,13 @@ from repro.storage.pager import Pager
 from repro.storage.row import Row
 from repro.storage.table import Column, Table, TableSchema
 from repro.storage.transaction import TransactionManager
+from repro.storage.values import Domain
 
 _CATALOG_FILE = "catalog.json"
 _DATA_FILE = "data.mdm"  # legacy fixed name; new checkpoints use data.<gen>.mdm
 _LOG_FILE = "wal.log"
 _ROOTMAP_FILE = "roots.json"
+_TEXT_INDEX_FILE = "text_indexes.json"
 
 
 class Database:
@@ -135,6 +137,80 @@ class Database:
     def bump_schema_epoch(self):
         """Invalidate cached query plans compiled under the old shape."""
         self.schema_epoch += 1
+
+    # -- text (trigram) indexes ---------------------------------------------
+
+    def create_text_index(self, table_name, column):
+        """Create a durable trigram text index over ``table.column``.
+
+        Self-committing DDL, mirroring ``bulk_ingest``'s transaction
+        stance: the WAL record lands (flushed) before the in-memory
+        create, and a ``text_indexes.json`` sidecar is rewritten after
+        it, so a crash at any point recovers the index — sidecar and
+        log replay are both idempotent.  Unlike equality indexes there
+        is no adaptive auto-create: the planner only lowers text
+        predicates onto indexes declared through here.
+        """
+        self.assert_writable()
+        if self.transactions.current() is not None:
+            raise TransactionError(
+                "text-index DDL is self-committing and cannot run inside "
+                "an explicit transaction"
+            )
+        table = self.table(table_name)
+        existing = table.text_index_for(column)
+        if existing is not None:
+            return existing
+        schema_column = table.schema.column(column)
+        if schema_column.domain is not Domain.STRING:
+            raise StorageError(
+                "text index needs a string column; %r.%r is %s"
+                % (table_name, column, schema_column.domain.value)
+            )
+        if self._log is not None:
+            self._log.append(
+                0, wal_module.TEXT_INDEX_CREATE,
+                table=table_name + wal_module.TEXT_TARGET_SEP + column,
+                flush=True,
+            )
+        index = table.create_text_index(column)
+        self._persist_text_indexes()
+        return index
+
+    def drop_text_index(self, table_name, column):
+        """Durably drop the trigram index over ``table.column``."""
+        self.assert_writable()
+        if self.transactions.current() is not None:
+            raise TransactionError(
+                "text-index DDL is self-committing and cannot run inside "
+                "an explicit transaction"
+            )
+        table = self.table(table_name)
+        if table.text_index_for(column) is None:
+            raise StorageError(
+                "no text index on %r.%r" % (table_name, column)
+            )
+        if self._log is not None:
+            self._log.append(
+                0, wal_module.TEXT_INDEX_DROP,
+                table=table_name + wal_module.TEXT_TARGET_SEP + column,
+                flush=True,
+            )
+        table.drop_text_index(column)
+        self._persist_text_indexes()
+
+    def text_index_catalog(self):
+        """``{table: [column, ...]}`` for every table with text indexes."""
+        return {
+            name: table.text_index_columns()
+            for name, table in sorted(self._tables.items())
+            if table.text_index_columns()
+        }
+
+    def _persist_text_indexes(self):
+        if self.path is None or getattr(self, "_recovering", False):
+            return
+        self._write_json_atomic(_TEXT_INDEX_FILE, self.text_index_catalog())
 
     def table(self, name):
         try:
@@ -333,6 +409,7 @@ class Database:
             for name, table in self._tables.items()
         }
         self._write_json_atomic(_CATALOG_FILE, catalog)
+        self._persist_text_indexes()
         data_name = self._next_data_file()
         data_path = os.path.join(self.path, data_name)
         if os.path.exists(data_path):
@@ -377,6 +454,18 @@ class Database:
             for name, columns in sorted(catalog.items()):
                 if not self.has_table(name):
                     self.create_table(name, [(c, d) for c, d in columns])
+            # Register text indexes EMPTY before any rows load: the
+            # image loader and WAL replay then maintain their postings
+            # incrementally through load_row/remove_row, exactly the
+            # path the crash battery cross-checks against a
+            # rebuild-from-rows oracle.
+            if os.path.exists(os.path.join(self.path, _TEXT_INDEX_FILE)):
+                for name, columns in sorted(
+                    self._read_json(_TEXT_INDEX_FILE).items()
+                ):
+                    if self.has_table(name):
+                        for column in columns:
+                            self._tables[name].create_text_index(column)
             if os.path.exists(roots_path):
                 data_name, roots = self._parse_roots(self._read_json(_ROOTMAP_FILE))
                 data_path = os.path.join(self.path, data_name)
@@ -405,6 +494,18 @@ class Database:
             table.load_row(row)
 
     def _apply_logged_change(self, kind, table_name, row, old_row):
+        if kind in (wal_module.TEXT_INDEX_CREATE, wal_module.TEXT_INDEX_DROP):
+            # ``table_name`` packs "table\x1fcolumn"; both directions
+            # are idempotent (create returns an existing index, drop of
+            # a missing one is a no-op), so sidecar state and log
+            # replay can overlap freely.
+            name, _, column = table_name.partition(wal_module.TEXT_TARGET_SEP)
+            if self.has_table(name):
+                if kind == wal_module.TEXT_INDEX_CREATE:
+                    self._tables[name].create_text_index(column)
+                else:
+                    self._tables[name].drop_text_index(column)
+            return
         table = self.table(table_name)
         if kind == wal_module.INSERT:
             table.load_row(row)

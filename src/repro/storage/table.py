@@ -36,6 +36,7 @@ from repro.errors import StorageError, TypeMismatchError
 from repro.storage.index import HashIndex, OrderedCompositeIndex, OrderedIndex
 from repro.storage.row import Row
 from repro.storage.values import Domain, coerce_value, value_sort_key
+from repro.text.index import TrigramIndex
 
 
 class RowVersion:
@@ -153,6 +154,7 @@ class Table:
         self._guard = guard
         # Mutation counters ("table.*"), shared across every table of a
         # database; None (bare tables in tests) means no counting.
+        self._metrics = metrics
         if metrics is not None:
             self._inserts = metrics.counter("table.inserts")
             self._updates = metrics.counter("table.updates")
@@ -324,6 +326,63 @@ class Table:
         if ordered is not None:
             return ordered
         return self._indexes.get((column, False))
+
+    def indexes(self):
+        """Every registered index, keyed by ``(column, kind)``.
+
+        *kind* is ``False`` (hash), ``True`` (ordered / composite), or
+        ``"text"`` (trigram).  Read-only view for introspection
+        (``\\indexes`` in the shell).
+        """
+        return dict(self._indexes)
+
+    # Text (trigram) indexes share the generic ``_indexes`` map under
+    # the kind tag ``"text"``, so every mutation, undo, replication,
+    # and recovery path above maintains them exactly like the equality
+    # indexes — inside the same transaction as the row effect.  The
+    # equality probes (``index_for`` / ``any_index_for``) only look at
+    # the True/False kinds and never see them.
+
+    def create_text_index(self, column):
+        """Create (or return) a trigram inverted index over *column*.
+
+        The column must be string-typed: trigram postings over
+        non-text domains would index their repr, which no query
+        normalization could ever hit coherently.
+        """
+        schema_column = self.schema.column(column)
+        if schema_column.domain is not Domain.STRING:
+            raise StorageError(
+                "text index needs a string column; %r.%r is %s"
+                % (self.name, column, schema_column.domain.value)
+            )
+        key = (column, "text")
+        existing = self._indexes.get(key)
+        if existing is not None:
+            return existing
+        index = TrigramIndex(metrics=self._metrics)
+        for row in self._rows.values():
+            index.insert(self._index_value(column, row), row.rowid)
+        self._indexes[key] = index
+        self.notify_schema_change()
+        return index
+
+    def drop_text_index(self, column):
+        """Drop the trigram index over *column*; returns it (or None)."""
+        index = self._indexes.pop((column, "text"), None)
+        if index is not None:
+            self.notify_schema_change()
+        return index
+
+    def text_index_for(self, column):
+        """The trigram index over *column*, or None."""
+        return self._indexes.get((column, "text"))
+
+    def text_index_columns(self):
+        """Sorted column names carrying a trigram index."""
+        return sorted(
+            column for (column, kind) in self._indexes if kind == "text"
+        )
 
     # -- mutation ----------------------------------------------------------
 
@@ -718,6 +777,16 @@ class Table:
         chain collapses to one version born at LSN 0 -- visible to every
         snapshot.
         """
+        old = self._rows.get(row.rowid)
+        if old is not None:
+            # A crash between the checkpoint image write and the WAL
+            # truncation makes image load and log replay overlap on the
+            # same rowid; unindex the stale copy first so maintenance
+            # never double-counts (the trigram index's entry tally
+            # would drift, and a changed value would leave a stale
+            # equality posting).
+            for (column, _), index in self._indexes.items():
+                index.delete(self._index_value(column, old), row.rowid)
         self._rows[row.rowid] = row
         with self._chains_mutex:
             self._chains[row.rowid] = (RowVersion(row, 0, None),)

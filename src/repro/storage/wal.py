@@ -47,6 +47,17 @@ AC_INSERT = 8
 AC_UPDATE = 9
 AC_DELETE = 10
 BATCH_INSERT = 11
+# Text-index DDL records: self-committing, no row images.  The target
+# is encoded in the ``table`` field as ``"table\x1fcolumn"`` (the ASCII
+# unit separator cannot appear in an identifier), so the frame layout —
+# and every decoder — is unchanged.  Logged *before* the in-memory
+# create/drop and the catalog sidecar write, so a crash between them
+# replays the DDL idempotently on recovery.
+TEXT_INDEX_CREATE = 12
+TEXT_INDEX_DROP = 13
+
+#: Separator packing ``(table, column)`` into a record's table field.
+TEXT_TARGET_SEP = "\x1f"
 
 _KIND_NAMES = {
     BEGIN: "BEGIN",
@@ -60,10 +71,15 @@ _KIND_NAMES = {
     AC_UPDATE: "AC-UPDATE",
     AC_DELETE: "AC-DELETE",
     BATCH_INSERT: "BATCH-INSERT",
+    TEXT_INDEX_CREATE: "TEXT-INDEX-CREATE",
+    TEXT_INDEX_DROP: "TEXT-INDEX-DROP",
 }
 
 #: Kinds whose presence alone marks their transaction committed.
-SELF_COMMITTING = frozenset((AC_INSERT, AC_UPDATE, AC_DELETE, BATCH_INSERT))
+SELF_COMMITTING = frozenset(
+    (AC_INSERT, AC_UPDATE, AC_DELETE, BATCH_INSERT,
+     TEXT_INDEX_CREATE, TEXT_INDEX_DROP)
+)
 
 #: The plain change kind a self-committing record replays as.
 BASE_KIND = {
@@ -711,7 +727,12 @@ def replay(log, column_orders, apply_change):
     replayed = set()
     for record in records:
         kind = BASE_KIND.get(record.kind, record.kind)
-        if kind in (INSERT, UPDATE, DELETE) and record.txn_id in committed:
+        if kind in (TEXT_INDEX_CREATE, TEXT_INDEX_DROP):
+            # Text-index DDL: self-committing, idempotent; replayed in
+            # log order so later row changes maintain the right indexes.
+            apply_change(kind, record.table, None, None)
+            replayed.add(record.txn_id)
+        elif kind in (INSERT, UPDATE, DELETE) and record.txn_id in committed:
             apply_change(kind, record.table, record.row, record.old_row)
             replayed.add(record.txn_id)
     return replayed

@@ -1,0 +1,30 @@
+"""Catalog text search: normalization, similarity, trigram indexing.
+
+See DESIGN.md §4k for the index layout, WAL records, normalization
+rules, and the planner pushdown contract.
+"""
+
+from .index import TrigramIndex
+from .normalize import GRAM, normalize, token_sort, trigrams
+from .similarity import (
+    contains_match,
+    edit_ratio,
+    is_similar,
+    required_overlap,
+    similarity,
+    trigram_jaccard,
+)
+
+__all__ = [
+    "GRAM",
+    "TrigramIndex",
+    "contains_match",
+    "edit_ratio",
+    "is_similar",
+    "normalize",
+    "required_overlap",
+    "similarity",
+    "token_sort",
+    "trigram_jaccard",
+    "trigrams",
+]

@@ -1,0 +1,112 @@
+"""Trigram inverted index: posting lists of rowids per 3-gram.
+
+Mirrors the maintenance surface of ``storage.index.HashIndex`` —
+``insert(value, rowid)`` / ``insert_many(pairs)`` / ``delete(value,
+rowid)`` — so ``Table`` can register it in the same ``_indexes`` map
+and every mutation, undo, replication, and recovery path maintains it
+for free, inside the same transaction as the row effect.
+
+The index stores *normalized* trigrams only; nothing here persists.
+Durability comes from the owning table's WAL: recovery re-registers an
+empty ``TrigramIndex`` before the checkpoint image loads, then
+``load_row``/``remove_row`` replay rebuilds the postings incrementally
+— exactly the path the crash battery cross-checks against a
+rebuild-from-rows oracle.
+
+Candidate retrieval is deliberately approximate-but-sound:
+
+* ``candidates_matching`` intersects the posting lists of every query
+  trigram (containment implies every query gram appears in the value);
+* ``candidates_similar`` counts posting hits per rowid and keeps rows
+  with at least ``required_overlap`` shared grams (the Jaccard bound).
+
+Both return supersets of the true matches; callers re-verify with the
+exact predicate on the materialized rows.  Queries whose normalized
+form has no trigrams return ``None`` — "cannot prune, go scan".
+"""
+
+from repro.errors import StorageError
+
+from .normalize import trigrams
+from .similarity import required_overlap
+
+__all__ = ["TrigramIndex"]
+
+
+class TrigramIndex:
+    """In-memory trigram posting lists over one string column."""
+
+    kind = "text"
+
+    def __init__(self, metrics=None):
+        self._postings = {}
+        self._entries = 0
+        if metrics is not None:
+            self._inserts = metrics.counter("text.index.inserts")
+            self._deletes = metrics.counter("text.index.deletes")
+        else:
+            self._inserts = self._deletes = None
+
+    def __len__(self):
+        """Number of rows currently indexed (including gram-less ones)."""
+        return self._entries
+
+    def gram_count(self):
+        return len(self._postings)
+
+    def insert(self, value, rowid):
+        for gram in trigrams(value):
+            self._postings.setdefault(gram, set()).add(rowid)
+        self._entries += 1
+        if self._inserts is not None:
+            self._inserts.inc()
+
+    def insert_many(self, pairs):
+        for value, rowid in pairs:
+            self.insert(value, rowid)
+
+    def delete(self, value, rowid):
+        for gram in trigrams(value):
+            posting = self._postings.get(gram)
+            if posting is None or rowid not in posting:
+                raise StorageError(
+                    "text index out of sync: rowid %r missing from "
+                    "posting %r" % (rowid, gram)
+                )
+            posting.discard(rowid)
+            if not posting:
+                del self._postings[gram]
+        self._entries -= 1
+        if self._deletes is not None:
+            self._deletes.inc()
+
+    def candidates_matching(self, query):
+        """Rowids whose value can contain *query*; None = cannot prune."""
+        grams = trigrams(query)
+        if not grams:
+            return None
+        postings = []
+        for gram in grams:
+            posting = self._postings.get(gram)
+            if posting is None:
+                return set()
+            postings.append(posting)
+        postings.sort(key=len)
+        result = set(postings[0])
+        for posting in postings[1:]:
+            result &= posting
+            if not result:
+                break
+        return result
+
+    def candidates_similar(self, query, threshold):
+        """Rowids that can reach Jaccard >= threshold; None = cannot prune."""
+        grams = trigrams(query)
+        required = required_overlap(len(grams), threshold)
+        if not grams or required <= 0:
+            return None
+        counts = {}
+        for gram in grams:
+            for rowid in self._postings.get(gram, ()):
+                counts[rowid] = counts.get(rowid, 0) + 1
+        return {rowid for rowid, hits in counts.items() if hits >= required}

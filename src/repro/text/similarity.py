@@ -1,0 +1,104 @@
+"""Similarity scoring and the two indexable text predicates.
+
+Two layers live here, deliberately separated:
+
+* **Predicates** the planner can push down to the trigram index.
+  ``contains_match`` is normalized substring containment (the QUEL
+  ``matches`` gate) and ``is_similar`` is trigram-set Jaccard against a
+  threshold (the QUEL ``similar_to`` gate).  Both have *provable*
+  candidate bounds over posting lists — see ``required_overlap`` — so
+  index retrieval is always a superset of the true matches and a
+  post-verification pass restores exactness.
+
+* **Scoring** for ranking: ``similarity`` blends trigram Jaccard with
+  edit-distance ratios over both the raw normalized strings and their
+  token-sorted forms (the SoulSync ``MusicMatchingEngine`` idiom for
+  edition/variant matching: "Symphony No. 5 (Remastered 2011)" should
+  score high against "symphony no 5").  The blend has no clean posting
+  bound, so it is exposed as a scalar QUEL function rather than a
+  pushdown gate.
+"""
+
+import math
+from difflib import SequenceMatcher
+
+from .normalize import normalize, token_sort, trigrams
+
+__all__ = [
+    "contains_match",
+    "edit_ratio",
+    "is_similar",
+    "required_overlap",
+    "similarity",
+    "trigram_jaccard",
+]
+
+
+def trigram_jaccard(a, b):
+    """Jaccard similarity of the trigram sets of two strings.
+
+    Both-empty (e.g. two sub-trigram strings) counts as identical when
+    the normalized forms agree, else 0 — short strings carry no gram
+    evidence either way, so equality is the only defensible signal.
+    """
+    ga, gb = trigrams(a), trigrams(b)
+    if not ga and not gb:
+        return 1.0 if normalize(a) == normalize(b) else 0.0
+    union = len(ga | gb)
+    return len(ga & gb) / union if union else 0.0
+
+
+def edit_ratio(a, b):
+    """Edit-distance similarity in [0, 1] over normalized forms."""
+    na, nb = normalize(a), normalize(b)
+    if not na and not nb:
+        return 1.0
+    return SequenceMatcher(None, na, nb).ratio()
+
+
+def similarity(a, b):
+    """Blended match confidence in [0, 1].
+
+    Averages trigram Jaccard with the better of the two edit ratios
+    (raw vs token-sorted), so both local typos and word reordering are
+    forgiven without either dominating.  Symmetric in its arguments.
+    """
+    if a is None or b is None:
+        return 0.0
+    jac = trigram_jaccard(a, b)
+    raw = edit_ratio(a, b)
+    sorted_ratio = SequenceMatcher(None, token_sort(a), token_sort(b)).ratio()
+    return (jac + max(raw, sorted_ratio)) / 2.0
+
+
+def contains_match(value, query):
+    """The exact ``matches`` predicate: normalized containment.
+
+    ``None`` values match nothing; an empty normalized query matches
+    every non-null string (vacuous containment).
+    """
+    if value is None:
+        return False
+    return normalize(query) in normalize(value)
+
+
+def is_similar(value, query, threshold):
+    """The exact ``similar_to`` predicate: trigram Jaccard >= threshold."""
+    if value is None:
+        return False
+    return trigram_jaccard(value, query) >= threshold
+
+
+def required_overlap(query_gram_count, threshold):
+    """Minimum shared trigrams a row can have and still pass ``is_similar``.
+
+    With query gram set ``Q`` and row gram set ``R``, Jaccard ``J =
+    |Q∩R| / |Q∪R|`` and ``|Q∪R| >= |Q|``, so ``J >= t`` forces ``|Q∩R|
+    >= t·|Q|``.  The ceiling is taken with a small epsilon *down* so
+    float fuzz can only ever weaken the bound (more candidates), never
+    strengthen it past soundness.  Thresholds <= 0 yield 0: the index
+    cannot prune, the caller must scan.
+    """
+    if threshold <= 0.0 or query_gram_count <= 0:
+        return 0
+    return max(1, math.ceil(threshold * query_gram_count - 1e-9))

@@ -1,0 +1,258 @@
+"""Crash battery for the trigram text index: maintenance dies well.
+
+Same probe-then-kill scheme as ``test_mvcc_crash.py``: a probe run
+counts the workload's durability barriers, then one schedule per
+barrier replays the workload and crashes the "machine" there with a
+seeded torn tail.  Beyond the classic oracle (``acknowledged ⊆
+recovered ⊆ attempted``), every recovery is checked through the text
+lens:
+
+* the recovered trigram index must agree, posting-for-posting, with an
+  oracle index rebuilt from scratch off the recovered rows -- recovery
+  registers the index EMPTY and repopulates it incrementally through
+  checkpoint-image loads and WAL replay, so this cross-checks that
+  whole path against the one-shot backfill;
+* indexed queries on the recovered database return exactly what the
+  brute-force predicate says;
+* a targeted matrix crashes around ``create_text_index`` /
+  ``drop_text_index`` (self-committing WAL DDL records): whichever
+  side of the barrier the crash lands on, a surviving index must still
+  match the rebuild oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.storage.database import Database
+from repro.storage.faults import FaultPlan, SimulatedCrash
+from repro.text import contains_match
+from repro.text.index import TrigramIndex
+
+SEEDS = list(range(6))
+SLOW_SEEDS = list(range(6, 18))
+
+TITLES = [
+    "Prélude in C Major",
+    "prelude, op. 28 no. 4",
+    "Étude aux chemins de fer",
+    "Nocturne Op. 9 No. 2",
+    "Goldberg Variations: Aria",
+    "Grosse Fuge -- Straße",
+    "",
+    "ab",
+]
+
+QUERIES = ["prelude", "étude", "no. 2", "zzzqqq"]
+
+
+def prepare(db_dir):
+    """DDL-only setup with real files, so schedules cover data ops."""
+    db = Database(str(db_dir))
+    db.create_table("t", [("title", "string"), ("v", "integer")])
+    db.create_text_index("t", "title")
+    db.close()
+
+
+class TextCrashWorkload:
+    """Seeded indexed insert/update/delete mix with oracle tracking.
+
+    *ddl_toggles* additionally drops and re-creates the text index
+    mid-run, recording the sync count just before each DDL so targeted
+    matrices can crash inside the self-committing DDL barrier.
+    """
+
+    def __init__(self, db_dir, seed, plan, steps=30, ddl_toggles=False):
+        self.rng = random.Random(seed)
+        self.plan = plan
+        self.steps = steps
+        self.ddl_toggles = ddl_toggles
+        self.db = Database(str(db_dir), opener=plan.opener)
+        self.table = self.db.table("t")
+        self.next_v = 0
+        self.last_committed = self._state()
+        self.commit_in_progress = False
+        self.pending_candidate = None
+        self.ddl_barriers = []
+
+    def _state(self):
+        return {row.rowid: (row["title"], row["v"]) for row in self.table}
+
+    def acceptable_states(self):
+        states = [self.last_committed]
+        if self.pending_candidate is not None:
+            states.append(self.pending_candidate)
+        elif self.commit_in_progress:
+            states.append(self._state())
+        return states
+
+    def close(self):
+        try:
+            self.db.close()
+        except SimulatedCrash:
+            pass
+
+    def _one_op(self):
+        rowids = sorted(self.table.rowids())
+        roll = self.rng.random()
+        if not rowids or roll < 0.45:
+            self.next_v += 1
+            self.table.insert(
+                {"title": self.rng.choice(TITLES), "v": self.next_v}
+            )
+        elif roll < 0.85:
+            self.table.update(
+                self.rng.choice(rowids), {"title": self.rng.choice(TITLES)}
+            )
+        else:
+            self.table.delete(self.rng.choice(rowids))
+
+    def run(self):
+        for step in range(self.steps):
+            roll = self.rng.random()
+            if self.ddl_toggles and roll < 0.12 and step > 3:
+                # Self-committing DDL: logical row state unchanged, so
+                # the oracle states carry over either side of the crash.
+                self.ddl_barriers.append(self.plan.sync_count)
+                if self.table.text_index_for("title") is None:
+                    self.db.create_text_index("t", "title")
+                else:
+                    self.db.drop_text_index("t", "title")
+            elif roll < 0.2 and step > 3:
+                self.db.checkpoint()
+            elif roll < 0.4:
+                self.commit_in_progress = True
+                self._one_op()
+                self.commit_in_progress = False
+                self.last_committed = self._state()
+            else:
+                txn = self.db.begin()
+                for _ in range(self.rng.randint(1, 4)):
+                    self._one_op()
+                if self.rng.random() < 0.15:
+                    txn.abort()
+                else:
+                    self.pending_candidate = self._state()
+                    txn.commit()
+                    self.last_committed = self.pending_candidate
+                    self.pending_candidate = None
+        return self
+
+
+def verify_recovery(db_dir, acceptable, index_required=True):
+    """Recover with real files; classic oracle plus the text checks."""
+    db = Database(str(db_dir))
+    try:
+        table = db.table("t")
+        state = {row.rowid: (row["title"], row["v"]) for row in table}
+        assert any(state == expected for expected in acceptable), (
+            "recovered %r matches none of %d acceptable states"
+            % (state, len(acceptable))
+        )
+        index = table.text_index_for("title")
+        if index_required:
+            assert index is not None, "text index lost by recovery"
+        if index is None:
+            return
+        # The incrementally recovered index must agree posting-for-
+        # posting with a one-shot rebuild off the recovered rows.
+        oracle = TrigramIndex()
+        for row in table:
+            oracle.insert(row["title"], row.rowid)
+        assert index._postings == oracle._postings, (
+            "recovered index diverges from the rebuild oracle"
+        )
+        assert len(index) == len(oracle)
+        # And queries through it are exact after post-verification.
+        for query in QUERIES:
+            true = {
+                rowid for rowid, (title, _) in state.items()
+                if contains_match(title, query)
+            }
+            candidates = index.candidates_matching(query)
+            if candidates is None:
+                continue
+            assert candidates >= true
+            verified = {
+                rowid for rowid in candidates
+                if contains_match(state[rowid][0], query)
+            }
+            assert verified == true
+        # Post-recovery maintenance keeps working.
+        row = table.insert({"title": "post recovery prelude", "v": -1})
+        assert row.rowid in index.candidates_matching("recovery prelude")
+    finally:
+        db.close()
+
+
+def probe(tmp_path, seed, name="probe", ddl_toggles=False):
+    """Run the workload to completion; returns it (with barrier lists)."""
+    probe_dir = tmp_path / ("%s-%d" % (name, seed))
+    prepare(probe_dir)
+    plan = FaultPlan(seed=seed)
+    workload = TextCrashWorkload(
+        probe_dir, seed, plan, ddl_toggles=ddl_toggles
+    )
+    workload.run()
+    workload.close()
+    workload.total_syncs = plan.sync_count
+    return workload
+
+
+def crash_once(tmp_path, seed, sync_index, torn="random", ddl_toggles=False):
+    crash_dir = tmp_path / ("crash-%d-%d" % (seed, sync_index))
+    prepare(crash_dir)
+    plan = FaultPlan(
+        seed=seed * 1009 + sync_index, crash_at_sync=sync_index, torn=torn
+    )
+    workload = TextCrashWorkload(
+        crash_dir, seed, plan, ddl_toggles=ddl_toggles
+    )
+    with pytest.raises(SimulatedCrash):
+        workload.run()
+    acceptable = workload.acceptable_states()
+    workload.close()
+    # With DDL toggles the crash may land on either side of a drop, so
+    # index existence is schedule-dependent; its *contents* never are.
+    verify_recovery(crash_dir, acceptable, index_required=not ddl_toggles)
+
+
+@pytest.mark.crash
+@pytest.mark.parametrize("seed", SEEDS)
+def test_crash_at_every_syncpoint(tmp_path, seed):
+    total = probe(tmp_path, seed).total_syncs
+    assert total >= 15, "workload too small to be a meaningful matrix"
+    for sync_index in range(1, total + 1):
+        crash_once(tmp_path, seed, sync_index)
+
+
+@pytest.mark.crash
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_crash_around_text_ddl_barrier(tmp_path, seed):
+    """Aim crashes at the self-committing create/drop WAL records."""
+    reference = probe(tmp_path, seed, name="dprobe", ddl_toggles=True)
+    assert reference.ddl_barriers, "schedule produced no text DDL"
+    for barrier in reference.ddl_barriers:
+        for offset in (1, 2):
+            if barrier + offset <= reference.total_syncs:
+                crash_once(
+                    tmp_path, seed, barrier + offset, ddl_toggles=True
+                )
+
+
+@pytest.mark.crash
+@pytest.mark.parametrize("torn", ["all", "none"])
+def test_torn_extremes(tmp_path, torn):
+    seed = SEEDS[0]
+    total = probe(tmp_path, seed, name="probe-%s" % torn).total_syncs
+    for sync_index in range(1, total + 1, 3):
+        crash_once(tmp_path, seed, sync_index, torn=torn)
+
+
+@pytest.mark.crash
+@pytest.mark.text_slow
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+def test_extended_seed_matrix(tmp_path, seed):
+    total = probe(tmp_path, seed).total_syncs
+    for sync_index in range(1, total + 1):
+        crash_once(tmp_path, seed, sync_index)

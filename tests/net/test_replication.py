@@ -34,6 +34,38 @@ class TestShipping:
         finally:
             replica.stop()
 
+    def test_seed_carries_text_indexes(self, served_mdm, client):
+        """A text index created before the seed point never re-ships as
+        a stream frame; the seed's catalog must install it so streamed
+        row changes keep the replica's postings maintained."""
+        mdm, server = served_mdm
+        client.execute("define entity SONG (title = string)")
+        client.execute('append to SONG (title = "Prélude in C")')
+        client.execute("define text index on SONG (title)")
+        replica = start_replica(server, name="txt")
+        try:
+            assert wait_serving(replica)
+            client.execute('append to SONG (title = "Nocturne Op. 9")')
+            assert wait_applied(replica, client.last_commit_lsn)
+            index = replica._state.database.table(
+                "entity:SONG"
+            ).text_index_for("title")
+            assert index is not None
+            assert len(index) == 2
+            assert index.candidates_matching("nocturne") == {2}
+            reader = MdmClient(server.address, replicas=[replica.address],
+                               client_id="txt-reader")
+            try:
+                reader.execute("range of s is SONG")
+                rows = reader.retrieve(
+                    'retrieve (s.title) where matches(s.title, "prelude")'
+                )
+                assert [r["s.title"] for r in rows] == ["Prélude in C"]
+            finally:
+                reader.close()
+        finally:
+            replica.stop()
+
     def test_read_your_writes_via_min_lsn(self, served_mdm):
         _, server = served_mdm
         replica = start_replica(server)

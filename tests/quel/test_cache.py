@@ -103,6 +103,35 @@ class TestPlanCacheInvalidation:
         mdm.session.execute(QUERY)
         assert mdm.session.last_cache_info == "miss"
 
+    def test_text_index_create_and_drop_relower_the_plan(self, mdm):
+        # The full scan -> "index text" -> scan life cycle: text DDL
+        # bumps the schema epoch, so a cached plan re-lowers each time
+        # and the matches() gate stays exact throughout.
+        mdm.execute("define entity SONG (title = string)")
+        song = mdm.schema.entity_type("SONG")
+        song.create(title="Prélude in C")
+        song.create(title="Nocturne")
+        mdm.execute("range of s is SONG")
+        query = 'retrieve (s.title) where matches(s.title, "prelude")'
+        session = mdm.session
+        _warm(session, query)
+        assert session.last_plan_object.label == "scan"
+        invalidations = mdm.database.metrics.value("quel.cache.invalidations")
+        mdm.execute("define text index on SONG (title)")
+        assert session.execute(query) == [{"s.title": "Prélude in C"}]
+        assert session.last_cache_info == "miss"
+        assert (
+            mdm.database.metrics.value("quel.cache.invalidations")
+            > invalidations
+        )
+        _warm(session, query)
+        assert session.last_plan_object.label == "index text"
+        mdm.database.drop_text_index(song.table.name, "title")
+        assert session.execute(query) == [{"s.title": "Prélude in C"}]
+        assert session.last_cache_info == "miss"
+        _warm(session, query)
+        assert session.last_plan_object.label == "scan"
+
     def test_range_redeclaration_invalidates_the_session_slot(self, mdm):
         mdm.execute("define entity CHORD (name = integer)")
         _warm(mdm.session)
