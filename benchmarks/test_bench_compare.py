@@ -16,7 +16,14 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "scripts")
 )
 
-from bench_report import _run_compare, compare_reports, main, validate_report
+from bench_report import (
+    _enforce_gates,
+    _run_compare,
+    check_gates,
+    compare_reports,
+    main,
+    validate_report,
+)
 
 pytestmark = pytest.mark.bench_compare
 
@@ -117,6 +124,51 @@ class TestRunCompare:
         missing = os.path.join(str(tmp_path), "nope.json")
         assert _run_compare([missing], {"quel": _report(scan=0.010)}) == 1
         assert "cannot read" in capsys.readouterr().out
+
+
+class TestGates:
+    """The absolute perf gates a report asserts about itself."""
+
+    def _gated(self, **gates):
+        report = _report(scan=0.010)
+        report["gates"] = gates
+        return report
+
+    def test_satisfied_gates_pass(self):
+        report = self._gated(
+            speedup={"value": 20.0, "min": 10.0},
+            ratio={"value": 0.9, "max": 5.0},
+        )
+        assert check_gates(validate_report(report)) == []
+
+    def test_min_violation_is_flagged(self):
+        report = self._gated(speedup={"value": 4.0, "min": 10.0})
+        failures = check_gates(report)
+        assert len(failures) == 1
+        assert "below required minimum" in failures[0]
+
+    def test_max_violation_is_flagged(self):
+        report = self._gated(ratio={"value": 8.5, "max": 5.0})
+        failures = check_gates(report)
+        assert len(failures) == 1
+        assert "above allowed maximum" in failures[0]
+
+    def test_malformed_gate_fails_validation(self):
+        report = self._gated(broken={"value": 1.0})  # no bound at all
+        with pytest.raises(ValueError):
+            validate_report(report)
+
+    def test_enforce_gates_reports_status(self, capsys):
+        passing = self._gated(speedup={"value": 20.0, "min": 10.0})
+        assert _enforce_gates([passing]) is False
+        assert "gates OK" in capsys.readouterr().out
+        failing = self._gated(speedup={"value": 2.0, "min": 10.0})
+        assert _enforce_gates([passing, failing]) is True
+        assert "GATE FAILURE" in capsys.readouterr().out
+
+    def test_gateless_reports_are_silent(self, capsys):
+        assert _enforce_gates([_report(scan=0.010)]) is False
+        assert capsys.readouterr().out == ""
 
 
 class TestRepeatedStatementScenario:

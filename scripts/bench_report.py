@@ -57,16 +57,7 @@ def _time_workload(fn, rounds):
         started = time.perf_counter()
         fn()
         samples.append(time.perf_counter() - started)
-    samples.sort()
-    total = sum(samples)
-    return {
-        "rounds": rounds,
-        "total_s": total,
-        "mean_s": total / rounds,
-        "min_s": samples[0],
-        "max_s": samples[-1],
-        "p50_s": samples[len(samples) // 2],
-    }
+    return _stats_from_samples(samples)
 
 
 # -- QUEL workloads -------------------------------------------------------------
@@ -147,7 +138,30 @@ def quel_report(rounds, chords=40, notes_per_chord=10):
 # -- text-search workloads ------------------------------------------------------
 
 
-def text_report(rounds, row_count=120_000, seed=7):
+def _rows_visited(session, statement):
+    """Run ``explain analyze`` on *statement*; returns the rows-visited
+    count the executor reports (None if the plan did not carry one)."""
+    visited = None
+    for row in session.execute("explain analyze " + statement):
+        text = row.get("plan", "")
+        if text.startswith("rows visited:"):
+            visited = int(text.split(":")[1])
+    return visited
+
+
+def _index_stats(index):
+    """The dataset entries describing a trigram index's footprint."""
+    entries = index.posting_entries()
+    return {
+        "index_entries": len(index),
+        "index_grams": index.gram_count(),
+        "index_posting_entries": entries,
+        "index_bytes": index.approx_bytes(),
+        "index_bytes_per_entry": index.approx_bytes() / max(1, entries),
+    }
+
+
+def text_report(rounds, row_count=120_000, seed=7, scale_rows=None):
     """The catalog-search suite: trigram-indexed text queries vs scans.
 
     Loads the deterministic library corpus (``repro.fixtures.corpus``),
@@ -156,6 +170,16 @@ def text_report(rounds, row_count=120_000, seed=7):
     an ablated no-index session.  The report carries the p50 speedup
     and the rows-visited count from ``explain analyze`` so the "index
     prunes the heap" claim is checkable from the JSON alone.
+
+    The top-k workloads time the streaming ``limit N`` ranked path
+    against the same statement on a ``use_topk=False`` session (the
+    materialize-then-sort path it replaced); *scale_rows* additionally
+    loads a second catalog of that size and re-times the limit-bearing
+    statements there, so the report can show that first-N retrieval
+    cost stays flat as the corpus grows ~8x.  Both claims are hard
+    ``gates`` entries: ``--compare`` (and any full run) fails when the
+    top-k speedup drops below 10x or the 1M/120k search ratio rises
+    above 5x.
     """
     from repro.fixtures.corpus import load_catalog
 
@@ -166,6 +190,8 @@ def text_report(rounds, row_count=120_000, seed=7):
     session.execute("range of t is TRACK")
     scan_session = QuelSession(schema, use_indexes=False)
     scan_session.execute("range of t is TRACK")
+    sort_session = QuelSession(schema, use_topk=False)
+    sort_session.execute("range of t is TRACK")
 
     match = 'retrieve (t.title) where matches(t.title, "prelude no. 7")'
     similar = (
@@ -177,6 +203,16 @@ def text_report(rounds, row_count=120_000, seed=7):
         'where matches(t.title, "prelude no. 7") '
         'sort by similarity(t.title, "prelude no. 7") descending'
     )
+    # The top-k showcase: a broad gate (every "prelude" row is a
+    # candidate) ranked by similarity, keeping only the 10 best.  The
+    # streaming operator prunes via the score bound; the use_topk=False
+    # session scores and sorts every candidate -- PR 9's path.
+    topk = (
+        'retrieve (t.title, score = similarity(t.title, "prelude no. 7")) '
+        'where matches(t.title, "prelude") '
+        'sort by similarity(t.title, "prelude no. 7") descending limit 10'
+    )
+    topk_search = match + " limit 100"
     # Scans walk the whole heap per round; fewer rounds keep the suite
     # affordable without touching the p50's meaning.
     scan_rounds = max(2, rounds // 6)
@@ -196,37 +232,86 @@ def text_report(rounds, row_count=120_000, seed=7):
         "catalog_ranked": _time_workload(
             lambda: session.execute(ranked), rounds
         ),
+        "catalog_ranked_topk": _time_workload(
+            lambda: session.execute(topk), rounds
+        ),
+        "catalog_ranked_topk_full": _time_workload(
+            lambda: sort_session.execute(topk), scan_rounds
+        ),
+        "catalog_topk_search": _time_workload(
+            lambda: session.execute(topk_search), rounds
+        ),
     }
 
-    analyzed = session.execute("explain analyze " + match)
-    visited = None
-    for row in analyzed:
-        text = row.get("plan", "")
-        if text.startswith("rows visited:"):
-            visited = int(text.split(":")[1])
     index = entity.table.text_index_for("title")
-    return {
+    dataset = {"rows": row_count, "seed": seed}
+    dataset.update(_index_stats(index))
+    dataset["rows_visited_indexed"] = _rows_visited(session, match)
+    dataset["rows_visited_topk"] = _rows_visited(session, topk)
+    speedup = {
+        "catalog_search_p50": (
+            workloads["catalog_search_scan"]["p50_s"]
+            / workloads["catalog_search"]["p50_s"]
+        ),
+        "catalog_similar_p50": (
+            workloads["catalog_similar_scan"]["p50_s"]
+            / workloads["catalog_similar"]["p50_s"]
+        ),
+        "catalog_ranked_topk_p50": (
+            workloads["catalog_ranked_topk_full"]["p50_s"]
+            / workloads["catalog_ranked_topk"]["p50_s"]
+        ),
+    }
+
+    if scale_rows:
+        scale_schema = Schema("bench-text-scale")
+        scale_entity = load_catalog(scale_schema, scale_rows, seed=seed)
+        scale_schema.database.create_text_index(
+            scale_entity.table.name, "title"
+        )
+        scale_session = QuelSession(scale_schema)
+        scale_session.execute("range of t is TRACK")
+        workloads["catalog_scale_search"] = _time_workload(
+            lambda: scale_session.execute(topk_search), rounds
+        )
+        workloads["catalog_scale_ranked_topk"] = _time_workload(
+            lambda: scale_session.execute(topk), scan_rounds
+        )
+        scale_dataset = {"rows": scale_rows, "seed": seed}
+        scale_dataset.update(_index_stats(
+            scale_entity.table.text_index_for("title")
+        ))
+        dataset["scale"] = scale_dataset
+
+    report = {
         "benchmark": "text",
-        "dataset": {
-            "rows": row_count,
-            "seed": seed,
-            "index_entries": len(index),
-            "index_grams": index.gram_count(),
-            "rows_visited_indexed": visited,
-        },
-        "speedup": {
-            "catalog_search_p50": (
-                workloads["catalog_search_scan"]["p50_s"]
-                / workloads["catalog_search"]["p50_s"]
-            ),
-            "catalog_similar_p50": (
-                workloads["catalog_similar_scan"]["p50_s"]
-                / workloads["catalog_similar"]["p50_s"]
-            ),
-        },
+        "dataset": dataset,
+        "speedup": speedup,
+        # The limit-bearing workloads finish in a couple of ms; widen
+        # the absolute slack so the regression gate flags real slowdowns
+        # rather than single-core scheduler noise.
+        "compare": {"min_delta_s": 0.002},
         "workloads": workloads,
         "metrics": session.metrics.snapshot(),
     }
+    # Hard perf gates, only meaningful at the full corpus size (tiny
+    # --check corpora leave nothing for the index to prune).
+    if row_count >= 120_000:
+        gates = {
+            "catalog_ranked_topk_speedup": {
+                "value": speedup["catalog_ranked_topk_p50"], "min": 10.0,
+            },
+        }
+        if scale_rows:
+            gates["catalog_scale_search_ratio"] = {
+                "value": (
+                    workloads["catalog_scale_search"]["p50_s"]
+                    / workloads["catalog_topk_search"]["p50_s"]
+                ),
+                "max": 5.0,
+            }
+        report["gates"] = gates
+    return report
 
 
 # -- storage workloads ----------------------------------------------------------
@@ -552,8 +637,63 @@ def validate_report(report):
             raise ValueError("workload %r missing %s" % (name, sorted(missing)))
         if stats["rounds"] < 1 or stats["total_s"] < 0:
             raise ValueError("workload %r has nonsense stats" % name)
+    for name, gate in report.get("gates", {}).items():
+        if "value" not in gate or not ({"min", "max"} & set(gate)):
+            raise ValueError("gate %r needs a value and a min/max bound" % name)
     json.dumps(report)  # must be serializable
     return report
+
+
+def check_gates(report):
+    """Check a report's hard perf ``gates``.
+
+    Unlike the baseline comparison (relative: this run vs a committed
+    run), gates are absolute claims a report makes about itself -- the
+    top-k operator is >=10x its materialize-then-sort ablation, the
+    1M-row search p50 is <=5x the 120k one.  Returns human-readable
+    failure lines (empty means every gate holds).
+    """
+    failures = []
+    for name, gate in sorted(report.get("gates", {}).items()):
+        value = gate["value"]
+        if "min" in gate and value < gate["min"]:
+            failures.append(
+                "%s: %.2f below required minimum %.2f"
+                % (name, value, gate["min"])
+            )
+        if "max" in gate and value > gate["max"]:
+            failures.append(
+                "%s: %.2f above allowed maximum %.2f"
+                % (name, value, gate["max"])
+            )
+    return failures
+
+
+def _enforce_gates(reports):
+    """Print gate status for each report; returns True when any fail."""
+    failed = False
+    for report in reports:
+        gates = report.get("gates")
+        if not gates:
+            continue
+        failures = check_gates(report)
+        if failures:
+            failed = True
+            print("GATE FAILURE in %s report:" % report["benchmark"])
+            for line in failures:
+                print("  " + line)
+        else:
+            print(
+                "gates OK in %s report (%s)"
+                % (
+                    report["benchmark"],
+                    ", ".join(
+                        "%s=%.2f" % (name, gate["value"])
+                        for name, gate in sorted(gates.items())
+                    ),
+                )
+            )
+    return failed
 
 
 def compare_reports(current, baseline, threshold=0.25, min_delta_s=0.0005):
@@ -645,6 +785,11 @@ def main(argv=None):
         help="directory for BENCH_*.json (default: repository root)",
     )
     parser.add_argument(
+        "--scale-rows", type=int, default=1_000_000,
+        help="row count for the catalog_scale_* text workloads "
+             "(default 1000000; 0 skips the scale suite)",
+    )
+    parser.add_argument(
         "--swarm-worker", nargs=3, default=None,
         metavar=("PORT", "REPLICA_PORTS", "OPS"),
         help=argparse.SUPPRESS,  # internal: net_report child process
@@ -655,47 +800,62 @@ def main(argv=None):
         return _swarm_worker(args.swarm_worker)
 
     rounds = 2 if args.check else args.rounds
-    quel = validate_report(
-        quel_report(rounds, chords=8 if args.check else 40,
-                    notes_per_chord=5 if args.check else 10)
-    )
-    storage = validate_report(
-        storage_report(rounds, row_count=20 if args.check else 200)
-    )
-    text = validate_report(
-        text_report(rounds, row_count=400 if args.check else 120_000)
-    )
-    net = validate_report(
-        net_report(clients=2 if args.check else 4,
-                   ops_per_client=5 if args.check else 30,
-                   row_count=10 if args.check else 60)
-    )
+    builders = {
+        "quel": lambda: quel_report(
+            rounds, chords=8 if args.check else 40,
+            notes_per_chord=5 if args.check else 10,
+        ),
+        "storage": lambda: storage_report(
+            rounds, row_count=20 if args.check else 200
+        ),
+        "text": lambda: text_report(
+            rounds, row_count=400 if args.check else 120_000,
+            scale_rows=800 if args.check else args.scale_rows,
+        ),
+        "net": lambda: net_report(
+            clients=2 if args.check else 4,
+            ops_per_client=5 if args.check else 30,
+            row_count=10 if args.check else 60,
+        ),
+    }
+    wanted = set(builders)
+    if args.compare and not args.check:
+        # Only build the suites the named baselines actually gate --
+        # `--compare BENCH_text.json` alone skips the net swarm etc.
+        wanted = set()
+        for path in args.compare:
+            try:
+                with open(path) as handle:
+                    wanted.add(json.load(handle).get("benchmark"))
+            except (OSError, ValueError):
+                wanted = set(builders)  # _run_compare reports the problem
+                break
+        wanted &= set(builders)
+    reports = {
+        kind: validate_report(builders[kind]())
+        for kind in ("quel", "storage", "text", "net") if kind in wanted
+    }
     if args.check:
         print(
-            "bench report check OK (%d quel, %d storage, %d text, %d net "
-            "workloads)"
-            % (len(quel["workloads"]), len(storage["workloads"]),
-               len(text["workloads"]), len(net["workloads"]))
+            "bench report check OK (%s workloads)"
+            % ", ".join(
+                "%d %s" % (len(reports[kind]["workloads"]), kind)
+                for kind in ("quel", "storage", "text", "net")
+            )
         )
         return 0
+    gates_failed = _enforce_gates(reports.values())
     if args.compare:
-        return _run_compare(
-            args.compare,
-            {"quel": quel, "storage": storage, "text": text, "net": net},
-        )
+        status = _run_compare(args.compare, reports)
+        return 1 if gates_failed else status
+    if gates_failed:
+        return 1
     out_dir = os.path.abspath(args.out_dir)
-    quel_path = os.path.join(out_dir, "BENCH_quel.json")
-    storage_path = os.path.join(out_dir, "BENCH_storage.json")
-    text_path = os.path.join(out_dir, "BENCH_text.json")
-    net_path = os.path.join(out_dir, "BENCH_net.json")
-    write_json(quel_path, quel)
-    write_json(storage_path, storage)
-    write_json(text_path, text)
-    write_json(net_path, net)
-    for path, report in ((quel_path, quel), (storage_path, storage),
-                         (text_path, text), (net_path, net)):
+    for kind in ("quel", "storage", "text", "net"):
+        path = os.path.join(out_dir, "BENCH_%s.json" % kind)
+        write_json(path, reports[kind])
         print("wrote %s:" % os.path.relpath(path, out_dir))
-        for name, stats in sorted(report["workloads"].items()):
+        for name, stats in sorted(reports[kind]["workloads"].items()):
             print("  %-24s mean %.6fs over %d rounds"
                   % (name, stats["mean_s"], stats["rounds"]))
     return 0

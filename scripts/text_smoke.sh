@@ -8,14 +8,28 @@
 # plan-cache invalidation checks for text-index create/drop.
 #
 # Default: the fast matrices -- a few seconds, all of it also on in the
-# main test run.  Pass --full to add the extended text_slow matrix
-# (more seeds, longer op programs, bigger corpora).
+# main test run (the 120k-row bench corpus; tier-1 stays fast).  Pass
+# --full to add the extended text_slow matrix (more seeds, longer op
+# programs, bigger corpora), or --scale to run the million-row suite:
+# the text_scale top-k battery (streaming result vs a brute-force
+# sort-all reference at 1M rows) plus the bench catalog_scale_*
+# workloads and their hard gates (top-k speedup >= 10x, 1M/120k search
+# ratio <= 5x).
 set -eu
 cd "$(dirname "$0")/.."
 
-MARKER="not text_slow and not crash_slow and not stress_slow"
+if [ "${1:-}" = "--scale" ]; then
+    shift
+    PYTHONPATH=src python -m pytest -q -m text_scale \
+        tests/props/test_topk_props.py "$@"
+    PYTHONPATH=src python scripts/bench_report.py --rounds 7 \
+        --compare BENCH_text.json
+    exit 0
+fi
+
+MARKER="not text_slow and not text_scale and not crash_slow and not stress_slow"
 if [ "${1:-}" = "--full" ]; then
-    MARKER="not crash_slow and not stress_slow"
+    MARKER="not text_scale and not crash_slow and not stress_slow"
     shift
 fi
 PYTHONPATH=src python -m pytest -q -m "$MARKER" \
@@ -23,5 +37,7 @@ PYTHONPATH=src python -m pytest -q -m "$MARKER" \
     tests/props/test_text_index_props.py \
     tests/crash/test_text_index_crash.py \
     tests/quel/test_text_search.py \
+    tests/quel/test_limit.py \
+    tests/props/test_topk_props.py \
     tests/quel/test_cache.py \
     "$@"

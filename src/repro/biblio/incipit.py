@@ -106,6 +106,89 @@ def incipit_from_score(cmn, score, voice=None, measures=2):
     return " ".join(out)
 
 
+def search_catalog_incipits(entity, query_darms, mode="verbatim",
+                            prefix_only=False, limit=None):
+    """Rowids of catalog *entity* whose ``incipit`` column matches.
+
+    The library-scale complement of :func:`search_by_incipit`: instead
+    of a curated thematic index, the haystack is a catalog entity (the
+    corpus ``TRACK`` shape) holding one DARMS incipit string per row.
+
+    ``"verbatim"`` mode matches the query DARMS as a normalized
+    substring and runs through the trigram text index on the column
+    when one exists -- the same posting-intersection path QUEL's
+    ``matches`` gate uses, so a million-track catalog answers from the
+    postings and only verified candidates touch the heap.
+    ``"intervals"`` / ``"contour"`` reduce melodies before comparing,
+    so transposed copies with entirely different text still match; the
+    trigram index cannot prune those, but catalog rows repeat incipit
+    strings across edition variants, so each *distinct* string is
+    parsed and reduced exactly once.
+
+    Returns rowids ascending; *limit* stops the search early (the
+    candidate iterator is lazy, so a small limit reads only a small
+    prefix of a large catalog).
+    """
+    from repro.text import contains_match
+
+    table = entity.table
+    if mode == "verbatim":
+        matcher = lambda text: contains_match(text, query_darms)
+        index = table.text_index_for("incipit")
+        candidates = None if index is None else index.iter_matching(query_darms)
+    elif mode in ("intervals", "contour"):
+        if mode == "intervals":
+            needle = incipit_intervals(query_darms)
+            reducer = incipit_intervals
+        else:
+            needle = list(incipit_contour(query_darms))
+            reducer = lambda text: list(incipit_contour(text))
+        reductions = {}
+
+        def matcher(text):
+            if text is None:
+                return False
+            haystack = reductions.get(text)
+            if haystack is None:
+                try:
+                    haystack = reducer(text)
+                except BiblioError:
+                    haystack = []
+                reductions[text] = haystack
+            if prefix_only:
+                return haystack[: len(needle)] == needle
+            return _contains(haystack, needle)
+
+        candidates = None
+    else:
+        raise BiblioError("unknown search mode %r" % mode)
+
+    matches = []
+    if candidates is None:
+        rows = iter(table)
+    else:
+        # iter_matching yields ascending; fetch in bounded batches so a
+        # small limit never materializes the whole candidate set.
+        def _fetch(rowids, chunk=256):
+            batch = []
+            for rowid in rowids:
+                batch.append(rowid)
+                if len(batch) >= chunk:
+                    for row in table.get_many(batch):
+                        yield row
+                    batch = []
+            for row in table.get_many(batch):
+                yield row
+
+        rows = _fetch(candidates)
+    for row in rows:
+        if matcher(row.get("incipit")):
+            matches.append(row.rowid)
+            if limit is not None and len(matches) >= limit:
+                break
+    return matches
+
+
 def search_by_incipit(index, query_darms, mode="intervals", prefix_only=False):
     """Entries of *index* whose incipit matches *query_darms*.
 

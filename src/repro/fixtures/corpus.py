@@ -143,20 +143,32 @@ CATALOG_ATTRIBUTES = [
 ]
 
 
-def load_catalog(schema, count, seed=0, name="TRACK", batch_rows=2000):
+def load_catalog(schema, count, seed=0, name="TRACK", batch_rows=2000,
+                 chunk_rows=50_000):
     """Define (or reuse) entity *name* and bulk-load a *count*-row corpus.
 
     Returns the entity type.  Surrogates are pre-allocated from the
     schema counter and the rows go through ``bulk_ingest`` (see the
     module docstring for the ``_instances`` trade-off).
+
+    The generator is drained in *chunk_rows* slices so a million-track
+    load never holds more than one chunk of pending dicts on top of the
+    table itself; the row *content* depends only on ``(count, seed)``,
+    never on the chunking.
     """
     if schema.has_entity_type(name):
         entity = schema.entity_type(name)
     else:
         entity = schema.define_entity(name, CATALOG_ATTRIBUTES)
+    ingest = schema.database.bulk_ingest
+    table_name = entity.table.name
     rows = []
     for row in corpus_rows(count, seed):
         row[SURROGATE_COLUMN] = schema.next_surrogate()
         rows.append(row)
-    schema.database.bulk_ingest(entity.table.name, rows, batch_rows=batch_rows)
+        if len(rows) >= chunk_rows:
+            ingest(table_name, rows, batch_rows=batch_rows)
+            rows = []
+    if rows:
+        ingest(table_name, rows, batch_rows=batch_rows)
     return entity

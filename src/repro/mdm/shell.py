@@ -27,6 +27,16 @@ from repro.errors import MDMError, QueryTimeoutError, ResourceLimitError
 from repro.mdm.manager import MusicDataManager
 
 
+def _human_bytes(count):
+    """``194.3 MiB``-style rendering for index footprints."""
+    count = float(count)
+    for unit in ("B", "KiB", "MiB"):
+        if count < 1024.0:
+            return "%.1f %s" % (count, unit)
+        count /= 1024.0
+    return "%.1f GiB" % count
+
+
 def format_rows(rows):
     """Render a QUEL result list as an aligned text table."""
     if not rows:
@@ -166,8 +176,10 @@ class MdmShell:
                 entries.append((name, kind, index))
             for name, kind, index in sorted(entries, key=lambda e: e[0]):
                 if kind == "text":
-                    detail = "%d entries, %d grams" % (
-                        len(index), index.gram_count()
+                    detail = "%d entries, %d grams, %d postings, ~%s" % (
+                        len(index), index.gram_count(),
+                        index.posting_entries(),
+                        _human_bytes(index.approx_bytes()),
                     )
                     rows.append((table_name, name, "text", detail))
                 else:

@@ -15,16 +15,19 @@ class RangeStatement:
 
 
 class RetrieveStatement:
-    """``retrieve [unique] (targets) [where qual] [sort by expr [descending]]``"""
+    """``retrieve [unique] (targets) [where qual]
+    [sort by expr [descending]] [limit N]``"""
 
-    __slots__ = ("targets", "where", "unique", "sort_by", "descending")
+    __slots__ = ("targets", "where", "unique", "sort_by", "descending", "limit")
 
-    def __init__(self, targets, where=None, unique=False, sort_by=None, descending=False):
+    def __init__(self, targets, where=None, unique=False, sort_by=None,
+                 descending=False, limit=None):
         self.targets = list(targets)
         self.where = where
         self.unique = unique
         self.sort_by = sort_by
         self.descending = descending
+        self.limit = limit
 
     def __repr__(self):
         return "retrieve (%d targets)" % len(self.targets)

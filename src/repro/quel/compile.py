@@ -130,7 +130,10 @@ def statement_fingerprint(statement):
     parts = []
     emit = parts.append
     if isinstance(statement, ast.RetrieveStatement):
-        emit("retrieve<u=%d,d=%d>(" % (statement.unique, statement.descending))
+        emit(
+            "retrieve<u=%d,d=%d,l=%s>("
+            % (statement.unique, statement.descending, statement.limit)
+        )
         for target in statement.targets:
             _fingerprint(target, emit)
         emit(";")
@@ -342,6 +345,9 @@ class Compiler:
     def _function_call(self, node):
         if node.name == "ordinal":
             return self._ordinal(node)
+        folded = self._folded_similarity(node)
+        if folded is not None:
+            return folded
         name = node.name
         argument_fns = [self.expression(a) for a in node.arguments]
 
@@ -350,6 +356,48 @@ class Compiler:
             return function(*[fn(rt, bindings) for fn in argument_fns])
 
         return call_fn
+
+    def _folded_similarity(self, node):
+        """Constant-fold ``similarity(expr, "literal")`` to a prebuilt
+        :class:`~repro.text.similarity.SimilarityScorer` call.
+
+        The scorer derives the query's normalized form, trigram set,
+        and token-sorted form once at compile time instead of per row —
+        the difference between a ranked retrieve that scores 10 rows
+        and one that re-folds its query string 120k times.  Only safe
+        while the session resolves ``similarity`` to the builtin; a
+        re-registered function bumps the registry version, which is
+        part of the plan-cache key, so a stale fold can never be
+        replayed against an overriding registry.
+        """
+        from repro.quel.functions import scalar_similarity
+        from repro.text import SimilarityScorer
+
+        if node.name != "similarity" or len(node.arguments) != 2:
+            return None
+        literal = node.arguments[1]
+        if not isinstance(literal, ast.Literal) or not isinstance(
+            literal.value, str
+        ):
+            return None
+        try:
+            builtin = self.session.functions.scalar("similarity")
+        except QueryError:
+            return None
+        if builtin is not scalar_similarity:
+            return None
+        value_fn = self.expression(node.arguments[0])
+        scorer = SimilarityScorer(literal.value)
+
+        def scorer_fn(rt, bindings):
+            value = value_fn(rt, bindings)
+            if value is None:
+                return 0.0
+            if not isinstance(value, str):
+                raise QueryError("similarity() expects strings")
+            return scorer(value)
+
+        return scorer_fn
 
     def _ordinal(self, node):
         if not 1 <= len(node.arguments) <= 2:
@@ -497,29 +545,25 @@ class Compiler:
 
             return under_fn
         if isinstance(node, ast.MatchClause):
-            from repro.text import contains_match, is_similar
+            from repro.text import match_predicate, similar_predicate
 
             variable, attribute = node.variable, node.attribute
-            query, threshold = node.query, node.threshold
+            # The query side is a parser-enforced literal, so its
+            # normalized form / gram set folds at compile time; the
+            # per-row verification pass over index candidates then
+            # only normalizes the row value.
             if node.operator == "matches":
+                predicate = match_predicate(node.query)
+            else:
+                predicate = similar_predicate(node.query, node.threshold)
 
-                def matches_fn(rt, bindings):
-                    bound = bindings.get(variable)
-                    if bound is None:
-                        raise QueryError(
-                            "unbound range variable %r" % variable
-                        )
-                    return contains_match(bound[attribute], query)
-
-                return matches_fn
-
-            def similar_fn(rt, bindings):
+            def match_fn(rt, bindings):
                 bound = bindings.get(variable)
                 if bound is None:
                     raise QueryError("unbound range variable %r" % variable)
-                return is_similar(bound[attribute], query, threshold)
+                return predicate(bound[attribute])
 
-            return similar_fn
+            return match_fn
         raise QueryError("cannot evaluate qualification %r" % (node,))
 
     # -- order-operator pushdown -------------------------------------------------

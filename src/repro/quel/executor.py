@@ -22,6 +22,7 @@ the binding-generation loop, which raises ``QueryTimeoutError`` /
 
 import threading
 import time
+from bisect import bisect_left
 
 from repro.errors import QueryError, QueryTimeoutError, ResourceLimitError
 from repro.core.entity import SURROGATE_COLUMN, EntityInstance
@@ -34,10 +35,10 @@ from repro.quel.compile import (
     compile_statement,
     statement_fingerprint,
 )
-from repro.quel.functions import FunctionRegistry
+from repro.quel.functions import FunctionRegistry, scalar_similarity
 from repro.quel.parser import parse_quel
 from repro.quel import planner
-from repro.text import contains_match, is_similar
+from repro.text import SimilarityScorer, contains_match, is_similar
 
 #: Statement types the compiler can lower (everything that joins).
 _COMPILABLE = (
@@ -89,6 +90,12 @@ def _text_truth(value, operator, query, threshold):
     return is_similar(value, query, threshold)
 
 
+#: Tables smaller than this always prune through the trigram index --
+#: the candidate-cap cost rule below only bites at catalog scale, so
+#: small fixtures keep their historical "index text" plans.
+_TEXT_SCAN_FLOOR = 512
+
+
 def _text_rowids(table, text_restrictions):
     """Trigram-index candidate rowids for *text_restrictions*.
 
@@ -98,16 +105,30 @@ def _text_rowids(table, text_restrictions):
     or a sub-trigram query the index cannot bound, contributes nothing
     -- the exact predicate still verifies every materialized row
     downstream, so candidates remain a sound superset.
+
+    Candidate-cap cost rule: a gate whose posting-list estimate covers
+    at least half the table would spend more materializing and
+    intersecting rowid sets than the scan it is meant to avoid, so it
+    is skipped (the exact predicate still filters every row).  The
+    estimates read posting *lengths* only -- no posting is walked to
+    make the decision.
     """
     rowids = None
     pruned = False
+    cap = max(_TEXT_SCAN_FLOOR, len(table) // 2)
     for attribute, operator, query, threshold in text_restrictions:
         index = table.text_index_for(attribute)
         if index is None:
             continue
         if operator == "matches":
+            estimate = index.estimate_matching(query)
+            if estimate is None or estimate >= cap:
+                continue
             matched = index.candidates_matching(query)
         else:
+            estimate = index.estimate_similar(query, threshold)
+            if estimate is None or estimate >= cap:
+                continue
             matched = index.candidates_similar(query, threshold)
         if matched is None:
             continue
@@ -314,10 +335,16 @@ class QuelSession:
     conjuncts are checked pairwise inside the join even on the compiled
     path; on, a conjunct with one side bound enumerates the other side
     by (parent, order_key) index range scan ("order range" in explain).
+
+    *use_topk* -- with it off, a ranked ``limit N`` text retrieve runs
+    through the generic bounded-selection path (every gate candidate is
+    fetched and scored); on, the streaming top-k operator ("index text
+    topk" in explain) visits candidates best-score-bound-first and
+    stops fetching once the Nth score is unbeatable.
     """
 
     def __init__(self, schema, use_indexes=True, use_compiled=True,
-                 use_order_pushdown=True):
+                 use_order_pushdown=True, use_topk=True):
         self.schema = schema
         self.ranges = {}
         self.functions = FunctionRegistry()
@@ -325,6 +352,7 @@ class QuelSession:
         self.use_indexes = use_indexes
         self.use_compiled = use_compiled
         self.use_order_pushdown = use_order_pushdown
+        self.use_topk = use_topk
         self._limits_local = threading.local()
         # Statement-level metrics ("quel.*") land in the database's
         # registry; increments are per statement, never per row.
@@ -1321,7 +1349,6 @@ class QuelSession:
 
     def _retrieve(self, statement, compiled=None):
         if compiled is not None:
-            bindings_iter = self._compiled_bindings(compiled)
             plain = compiled.targets
             aggregates = compiled.aggregates
             sort_fn = compiled.sort_fn
@@ -1353,7 +1380,42 @@ class QuelSession:
                 if statement.sort_by is not None
                 else None
             )
+
+        limit = statement.limit
+        if limit is not None and not aggregates and not statement.unique:
+            streamed = None
+            if statement.sort_by is None:
+                streamed = self._text_stream(statement, compiled, plain, limit)
+            elif statement.descending:
+                streamed = self._text_topk(statement, compiled, plain, limit)
+            if streamed is not None:
+                self._rows_returned.inc(len(streamed))
+                return streamed
+
+        if compiled is not None:
+            bindings_iter = self._compiled_bindings(compiled)
+        else:
             bindings_iter = self._bindings_for(used, statement.where)
+
+        # Bounded execution under `limit`: an unsorted retrieve stops
+        # consuming bindings as soon as enough rows exist (the join
+        # generator is abandoned, so candidates after the cut are never
+        # visited); a sorted one routes rows through a bounded
+        # selection holding `limit` entries instead of materializing
+        # and sorting everything.  `unique` and aggregates still need
+        # the full row set -- only the final output is truncated.
+        selector = None
+        stop_after = None
+        unique_seen = None
+        unique_count = 0
+        if limit is not None and not aggregates:
+            if statement.sort_by is not None:
+                if not statement.unique:
+                    selector = _BoundedSort(limit, statement.descending)
+            elif statement.unique:
+                unique_seen = set()
+            else:
+                stop_after = limit
 
         rows = []
         for bindings in bindings_iter:
@@ -1361,6 +1423,9 @@ class QuelSession:
             for name, fn in plain:
                 record[name] = fn(self, bindings)
             sort_key = sort_fn(self, bindings) if sort_fn is not None else None
+            if selector is not None:
+                selector.offer(record, sort_key)
+                continue
             aggregate_inputs = {}
             for aggregate in aggregates:
                 if aggregate.arg_fn is None:
@@ -1372,20 +1437,307 @@ class QuelSession:
                     self, bindings
                 )
             rows.append((record, sort_key, aggregate_inputs))
+            if stop_after is not None and len(rows) >= stop_after:
+                break
+            if unique_seen is not None:
+                key = _record_key(record)
+                if key is None or key not in unique_seen:
+                    if key is not None:
+                        unique_seen.add(key)
+                    unique_count += 1
+                    if unique_count >= limit:
+                        break
 
         if aggregates:
             out = self._aggregate_rows(rows, bool(plain), aggregates)
+            if limit is not None:
+                out = out[:limit]
             self._rows_returned.inc(len(out))
             return out
 
-        if statement.sort_by is not None:
-            rows.sort(
-                key=lambda item: _sortable(item[1]), reverse=statement.descending
-            )
-        out = [record for record, _, _ in rows]
-        if statement.unique:
-            out = _dedupe(out)
+        if selector is not None:
+            out = selector.records
+        else:
+            if statement.sort_by is not None:
+                rows.sort(
+                    key=lambda item: _sortable(item[1]),
+                    reverse=statement.descending,
+                )
+            out = [record for record, _, _ in rows]
+            if statement.unique:
+                out = _dedupe(out)
+            if limit is not None:
+                out = out[:limit]
         self._rows_returned.inc(len(out))
+        return out
+
+    # -- streaming top-k text retrieval ---------------------------------------------
+
+    def _topk_spec(self, statement):
+        """Match a sort key of ``similarity(v.attr, "literal")``.
+
+        Returns ``(variable, attribute, query)`` when the shape fits,
+        else None.  Only this shape has a posting-count upper bound
+        (:meth:`SimilarityScorer.bound`), which is what lets the top-k
+        path stop fetching rows early.
+        """
+        sort_by = statement.sort_by
+        if not (
+            isinstance(sort_by, ast.FunctionCall)
+            and sort_by.name == "similarity"
+            and len(sort_by.arguments) == 2
+        ):
+            return None
+        target, literal = sort_by.arguments
+        if not (
+            isinstance(target, ast.AttributeRef)
+            and isinstance(literal, ast.Literal)
+            and isinstance(literal.value, str)
+        ):
+            return None
+        return target.variable, target.attribute, literal.value
+
+    def _text_range_setup(self, statement, compiled):
+        """Shared analysis for the streaming text paths.
+
+        Both streaming operators only handle the single-entity-variable
+        shape with at least one pushable text gate and no equality
+        restriction (equality would change the candidate set).  Returns
+        ``(variable, declared, text_restrictions, checks, gates)`` where
+        *checks* are the row-level conjunct truth tests and *gates* the
+        variable-free ones; None when the shape does not fit.
+        """
+        if compiled is not None:
+            used = list(compiled.used)
+        else:
+            used, _ = self._plan_parts(statement)
+        if len(used) != 1:
+            return None
+        variable = used[0]
+        declared = self._range_for(variable)
+        if declared.kind != "entity":
+            return None
+        if compiled is not None:
+            if compiled.restrictions.get(variable):
+                return None
+            text_restrictions = compiled.text_restrictions.get(variable, ())
+            checks = [c.truth for c in compiled.conjuncts if c.variables]
+            gates = [c.truth for c in compiled.conjuncts if not c.variables]
+        else:
+            conjuncts = planner.split_conjuncts(statement.where)
+            text_restrictions = []
+            checks = []
+            gates = []
+            for conjunct in conjuncts:
+                if planner.equality_restriction(conjunct, variable) is not None:
+                    return None
+                text = planner.text_restriction(conjunct, variable)
+                if text is not None:
+                    text_restrictions.append(text)
+                truth = (
+                    lambda rt, bindings, node=conjunct:
+                    rt._truth(node, bindings)
+                )
+                if planner.variables_in(conjunct):
+                    checks.append(truth)
+                else:
+                    gates.append(truth)
+        if not text_restrictions:
+            return None
+        return variable, declared, text_restrictions, checks, gates
+
+    def _text_stream(self, statement, compiled, plain, limit):
+        """Lazy first-N for unsorted ``limit N`` text retrieves, or None.
+
+        Applies to ``retrieve (...) where matches(v.attr, "q") ... limit
+        N`` with no sort: instead of materializing the full gate
+        candidate set (which grows with the table) the rarest ``matches``
+        gate's posting intersection is consumed *lazily* — the galloping
+        merge only advances far enough to produce N verified rows.  The
+        work done is proportional to the limit, not the catalog, which
+        is what keeps first-page search flat from 120k to 1M rows.
+
+        Row order matches the generic index-text path exactly: both
+        visit candidates in ascending rowid order.
+        """
+        if not self.use_indexes or not self.use_topk:
+            return None
+        database = self.schema.database
+        if database.transactions.current_snapshot() is not None:
+            return None
+        setup = self._text_range_setup(statement, compiled)
+        if setup is None:
+            return None
+        variable, declared, text_restrictions, checks, gates = setup
+        table = declared.entity_type.table
+        best = None
+        for attribute, operator, query, _threshold in text_restrictions:
+            if operator != "matches":
+                continue
+            index = table.text_index_for(attribute)
+            if index is None:
+                continue
+            estimate = index.estimate_matching(query)
+            if estimate is None:
+                continue
+            if best is None or estimate < best[0]:
+                best = (estimate, index, query)
+        if best is None:
+            return None
+        estimate, index, query = best
+        stream = index.iter_matching(query)
+        if stream is None:
+            return None
+        database.read_table(table.name)
+        self._last_plan = planner.build_plan(
+            [variable], {variable: estimate}, {variable: "index text stream"}
+        )
+        self._text_searches.inc()
+        limits = self.limits
+        entity_type = declared.entity_type
+        for gate in gates:
+            if not gate(self, {}):
+                return []
+        out = []
+        batch = []
+        chunk = max(limit, 64)
+
+        def drain(batch):
+            self._text_candidates.inc(len(batch))
+            for row in table.get_many(batch):
+                if limits is not None:
+                    limits.tick()
+                instance = EntityInstance(
+                    entity_type, row[SURROGATE_COLUMN], row.rowid
+                )
+                bindings = {variable: instance}
+                passed = True
+                for check in checks:
+                    if not check(self, bindings):
+                        passed = False
+                        break
+                if not passed:
+                    continue
+                record = {}
+                for name, fn in plain:
+                    record[name] = fn(self, bindings)
+                out.append(record)
+                if len(out) >= limit:
+                    return True
+            return False
+
+        for rowid in stream:
+            batch.append(rowid)
+            if len(batch) >= chunk:
+                if drain(batch):
+                    return out
+                batch = []
+        if batch:
+            drain(batch)
+        return out
+
+    def _text_topk(self, statement, compiled, plain, limit):
+        """Streaming top-k for ranked text retrieves, or None.
+
+        Applies to ``retrieve (...) where <text gates on v> sort by
+        similarity(v.attr, "q") descending limit N`` over a single
+        entity variable.  Instead of materializing every candidate and
+        sorting, candidates are bucketed by their *exact* trigram
+        overlap with the query (posting-list counts -- no row is
+        fetched), buckets are drained best-bound-first, and the scan
+        stops once the Nth-best score already beats the next bucket's
+        upper bound.  Low-scoring candidates are never fetched via
+        ``get_many`` at all, which is where the 1M-row win comes from.
+
+        Tie-breaking matches the materialize-then-stable-sort path
+        exactly: equal scores order by rowid, which is the order the
+        generic path visits index candidates in.
+        """
+        spec = self._topk_spec(statement)
+        if spec is None or not self.use_indexes or not self.use_topk:
+            return None
+        variable, attribute, query = spec
+        database = self.schema.database
+        if database.transactions.current_snapshot() is not None:
+            return None
+        # The fold below replicates the *builtin* similarity();
+        # sessions that rebound the name keep the generic path.
+        if self.functions.scalar("similarity") is not scalar_similarity:
+            return None
+        setup = self._text_range_setup(statement, compiled)
+        if setup is None or setup[0] != variable:
+            return None
+        _, declared, text_restrictions, checks, gates = setup
+        table = declared.entity_type.table
+        scorer_index = table.text_index_for(attribute)
+        if scorer_index is None:
+            return None
+        scorer = SimilarityScorer(query)
+        if not scorer.grams:
+            return None  # sub-trigram query: no overlap bound exists
+        database.read_table(table.name)
+        rowids, _ = _text_rowids(table, text_restrictions)
+        if rowids is None:
+            return None
+        self._last_plan = planner.build_plan(
+            [variable], {variable: len(rowids)}, {variable: "index text topk"}
+        )
+        self._text_searches.inc()
+        self._text_candidates.inc(len(rowids))
+        for gate in gates:
+            if not gate(self, {}):
+                return []
+        if not rowids:
+            return []
+        limits = self.limits
+        entity_type = declared.entity_type
+        # Score each candidate's upper bound from posting data alone
+        # (gram overlap + stored row gram count; no row is fetched) and
+        # visit candidates best-bound-first in fixed-size chunks.
+        overlaps = scorer_index.overlap_counts(scorer.grams, rowids)
+        ranked = sorted(
+            (-scorer.bound_with(overlap, scorer_index.row_gram_count(rowid)),
+             rowid)
+            for rowid, overlap in overlaps.items()
+        )
+        # keys hold (-score, rowid): ascending order == score
+        # descending, rowid ascending -- the stable-sort tie order.
+        keys = []
+        kept = []
+        chunk = max(limit, 64)
+        for start in range(0, len(ranked), chunk):
+            if len(keys) >= limit and -ranked[start][0] < -keys[-1][0]:
+                break  # no remaining candidate can beat the Nth score
+            batch = sorted(rowid for _, rowid in ranked[start:start + chunk])
+            for row in table.get_many(batch):
+                if limits is not None:
+                    limits.tick()
+                instance = EntityInstance(
+                    entity_type, row[SURROGATE_COLUMN], row.rowid
+                )
+                bindings = {variable: instance}
+                passed = True
+                for check in checks:
+                    if not check(self, bindings):
+                        passed = False
+                        break
+                if not passed:
+                    continue
+                entry = (-scorer(row.get(attribute)), row.rowid)
+                if len(keys) >= limit and entry >= keys[-1]:
+                    continue
+                at = bisect_left(keys, entry)
+                keys.insert(at, entry)
+                kept.insert(at, bindings)
+                if len(keys) > limit:
+                    keys.pop()
+                    kept.pop()
+        out = []
+        for bindings in kept:
+            record = {}
+            for name, fn in plain:
+                record[name] = fn(self, bindings)
+            out.append(record)
         return out
 
     def _aggregate_rows(self, rows, has_plain, aggregates):
@@ -1498,20 +1850,92 @@ def _sortable(value):
     return value_sort_key(value)
 
 
+def _record_key(record):
+    """Hashable identity of a result record, or None (unhashable values
+    never dedupe -- they are always distinct)."""
+    key = tuple(sorted(record.items(), key=lambda kv: kv[0]))
+    try:
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
 def _dedupe(records):
     seen = set()
     out = []
     for record in records:
-        key = tuple(sorted(record.items(), key=lambda kv: kv[0]))
-        try:
-            hash(key)
-        except TypeError:
+        key = _record_key(record)
+        if key is None:
             out.append(record)
             continue
         if key not in seen:
             seen.add(key)
             out.append(record)
     return out
+
+
+class _Reversed:
+    """Inverts comparisons so a descending sort key can live inside an
+    ascending bounded-selection list (`functools.cmp_to_key` without
+    the per-compare lambda)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __eq__(self, other):
+        return self.key == other.key
+
+    def __ne__(self, other):
+        return self.key != other.key
+
+    def __lt__(self, other):
+        return other.key < self.key
+
+    def __le__(self, other):
+        return other.key <= self.key
+
+    def __gt__(self, other):
+        return other.key > self.key
+
+    def __ge__(self, other):
+        return other.key >= self.key
+
+
+class _BoundedSort:
+    """Bounded selection for ``sort by ... limit N``.
+
+    Keeps the N best ``(key, seq)`` entries in a sorted list; *seq* is
+    arrival order, which reproduces the stable full-sort's tie-breaking
+    exactly.  A ranked retrieve over a million bindings holds N records
+    instead of materializing everything and sorting at the end.
+    """
+
+    __slots__ = ("limit", "keys", "records", "descending", "_seq")
+
+    def __init__(self, limit, descending):
+        self.limit = limit
+        self.descending = descending
+        self.keys = []
+        self.records = []
+        self._seq = 0
+
+    def offer(self, record, sort_key):
+        key = _sortable(sort_key)
+        if self.descending:
+            key = _Reversed(key)
+        entry = (key, self._seq)
+        self._seq += 1
+        if len(self.keys) >= self.limit and not entry < self.keys[-1]:
+            return
+        at = bisect_left(self.keys, entry)
+        self.keys.insert(at, entry)
+        self.records.insert(at, record)
+        if len(self.keys) > self.limit:
+            self.keys.pop()
+            self.records.pop()
 
 
 def execute_quel(source, schema):

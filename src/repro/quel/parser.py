@@ -8,7 +8,7 @@ _COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
 _KEYWORDS = {
     "range", "of", "is", "retrieve", "unique", "where", "append", "to",
     "replace", "delete", "and", "or", "not", "before", "after", "under",
-    "in", "sort", "by", "descending", "explain", "analyze",
+    "in", "sort", "by", "descending", "limit", "explain", "analyze",
 }
 
 
@@ -82,7 +82,25 @@ def _retrieve_statement(stream):
         stream.expect_keyword("by")
         sort_by = _expression(stream)
         descending = stream.accept_keyword("descending") is not None
-    return ast.RetrieveStatement(targets, where, unique, sort_by, descending)
+    limit = None
+    if stream.accept_keyword("limit"):
+        limit = _limit_count(stream)
+    return ast.RetrieveStatement(
+        targets, where, unique, sort_by, descending, limit
+    )
+
+
+def _limit_count(stream):
+    """The ``limit`` operand: a positive integer literal, nothing else."""
+    token = stream.peek()
+    if token.type is TokenType.NUMBER and isinstance(token.value, int):
+        if token.value > 0:
+            stream.next()
+            return token.value
+    raise ParseError(
+        "limit takes a positive integer, found %r" % (token.value,),
+        token.line, token.column,
+    )
 
 
 def _target(stream):

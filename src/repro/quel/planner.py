@@ -123,10 +123,17 @@ def order_variables(variables, candidate_counts, conjuncts):
 
 class PlanStep:
     """One binding step of a query plan: bind *variable* using *access*
-    ("index", "index text", "filtered scan", "scan", or "order range" --
-    "index text" when a trigram index pruned the candidates, "order
-    range" when an order-operator conjunct enumerates the variable by
-    (parent, order_key) index range scan) over *candidates* rows."""
+    ("index", "index text", "index text topk", "index text stream",
+    "filtered scan", "scan", or "order range" -- "index text" when a
+    trigram index pruned the candidates, "index text topk" when a
+    ranked ``limit N`` retrieve additionally streams gate candidates
+    best-overlap-first and stops fetching once the Nth score beats the
+    remaining upper bound, "index text stream" when an unsorted ``limit
+    N`` retrieve consumes the posting intersection lazily and stops
+    after N verified rows (*candidates* is then the posting-length
+    estimate, not an exact count), "order range" when an order-operator
+    conjunct enumerates the variable by (parent, order_key) index range
+    scan) over *candidates* rows."""
 
     __slots__ = ("variable", "access", "candidates")
 

@@ -361,8 +361,12 @@ class Table:
         if existing is not None:
             return existing
         index = TrigramIndex(metrics=self._metrics)
-        for row in self._rows.values():
-            index.insert(self._index_value(column, row), row.rowid)
+        # One bulk build instead of a per-row insort storm: at catalog
+        # scale the backfill is the dominant cost of this DDL.
+        index.insert_many(
+            (self._index_value(column, row), row.rowid)
+            for row in self._rows.values()
+        )
         self._indexes[key] = index
         self.notify_schema_change()
         return index
@@ -371,6 +375,7 @@ class Table:
         """Drop the trigram index over *column*; returns it (or None)."""
         index = self._indexes.pop((column, "text"), None)
         if index is not None:
+            index.detach()
             self.notify_schema_change()
         return index
 

@@ -26,7 +26,7 @@ can never drop a true containment match.
 
 import unicodedata
 
-__all__ = ["normalize", "token_sort", "trigrams", "GRAM"]
+__all__ = ["grams_of", "normalize", "token_sort", "trigrams", "GRAM"]
 
 GRAM = 3
 
@@ -76,7 +76,16 @@ def trigrams(text):
     trigrams (empty set); the planner falls back to a residual filter
     for such queries rather than pretending the index can help.
     """
-    folded = normalize(text)
+    return grams_of(normalize(text))
+
+
+def grams_of(folded):
+    """Trigram set of an *already-normalized* string.
+
+    Split out of :func:`trigrams` so callers that hold the normalized
+    form (the constant-folded similarity scorer, which normalizes each
+    row value exactly once) don't re-fold it per derived feature.
+    """
     if len(folded) < GRAM:
         return set()
     return {folded[i : i + GRAM] for i in range(len(folded) - GRAM + 1)}

@@ -22,13 +22,16 @@ Two layers live here, deliberately separated:
 import math
 from difflib import SequenceMatcher
 
-from .normalize import normalize, token_sort, trigrams
+from .normalize import grams_of, normalize, token_sort, trigrams
 
 __all__ = [
+    "SimilarityScorer",
     "contains_match",
     "edit_ratio",
     "is_similar",
+    "match_predicate",
     "required_overlap",
+    "similar_predicate",
     "similarity",
     "trigram_jaccard",
 ]
@@ -69,6 +72,119 @@ def similarity(a, b):
     raw = edit_ratio(a, b)
     sorted_ratio = SequenceMatcher(None, token_sort(a), token_sort(b)).ratio()
     return (jac + max(raw, sorted_ratio)) / 2.0
+
+
+class SimilarityScorer:
+    """:func:`similarity` with the query side folded at construction.
+
+    ``similarity(value, query)`` re-derives the query's normalized
+    form, trigram set, and token-sorted form on every call — per *row*
+    in a ranked retrieve.  A scorer folds those once and normalizes the
+    row value once per call (the plain function folds it four times,
+    through ``trigrams``/``normalize``/``edit_ratio``/``token_sort``).
+    ``scorer(value)`` returns bit-identical floats to
+    ``similarity(value, query)``: same operations, same operand order.
+    """
+
+    __slots__ = ("query", "grams", "_norm", "_token_sorted")
+
+    def __init__(self, query):
+        self.query = query
+        self._norm = normalize(query)
+        self.grams = grams_of(self._norm)
+        self._token_sorted = " ".join(sorted(self._norm.split()))
+
+    def __call__(self, value):
+        if value is None or self.query is None:
+            return 0.0
+        folded = normalize(value)
+        value_grams = grams_of(folded)
+        if not value_grams and not self.grams:
+            jac = 1.0 if folded == self._norm else 0.0
+        else:
+            union = len(value_grams | self.grams)
+            jac = len(value_grams & self.grams) / union if union else 0.0
+        raw = (
+            1.0
+            if not folded and not self._norm
+            else SequenceMatcher(None, folded, self._norm).ratio()
+        )
+        value_sorted = " ".join(sorted(folded.split()))
+        sorted_ratio = SequenceMatcher(
+            None, value_sorted, self._token_sorted
+        ).ratio()
+        return (jac + max(raw, sorted_ratio)) / 2.0
+
+    def bound(self, overlap):
+        """Highest score a row sharing *overlap* grams with the query
+        can reach: Jaccard <= overlap/|Q| (the union is at least the
+        query's gram set) and the edit-ratio blend half is <= 1.  Both
+        division and averaging are monotone in IEEE floats, so the
+        bound stays sound against the exact score.  No grams, no bound.
+        """
+        if not self.grams:
+            return 1.0
+        return (overlap / len(self.grams) + 1.0) / 2.0
+
+    def bound_with(self, overlap, row_gram_count):
+        """:meth:`bound` tightened by the row's gram-set size.
+
+        With |R| known, two halves of the blend sharpen:
+
+        * the union is exactly ``|Q| + |R| - overlap``, so the Jaccard
+          half is *exact* (row grams and stored grams come from the
+          same normalization pipeline);
+        * a row with |R| distinct grams is at least ``|R| + 2`` chars
+          long, and ``SequenceMatcher.ratio() <= 2*min(a,b)/(a+b)``
+          (token-sorting permutes, so both edit forms share lengths),
+          which caps the edit half for rows longer than the query.
+
+        Long rows that merely *contain* the query fall well below a
+        close match's real score, which is the pruning the streaming
+        top-k path lives on.
+        """
+        if not self.grams:
+            return 1.0
+        union = len(self.grams) + row_gram_count - overlap
+        jac = overlap / union if union > 0 else 1.0
+        qlen = len(self._norm)
+        row_min_len = row_gram_count + 2 if row_gram_count else 0
+        if row_min_len > qlen:
+            edit = (2.0 * qlen) / (qlen + row_min_len)
+        else:
+            edit = 1.0
+        return (jac + edit) / 2.0
+
+
+def match_predicate(query):
+    """:func:`contains_match` with the query normalized once."""
+    needle = normalize(query)
+
+    def predicate(value):
+        if value is None:
+            return False
+        return needle in normalize(value)
+
+    return predicate
+
+
+def similar_predicate(query, threshold):
+    """:func:`is_similar` with the query's gram set folded once."""
+    query_norm = normalize(query)
+    query_grams = grams_of(query_norm)
+
+    def predicate(value):
+        if value is None:
+            return False
+        folded = normalize(value)
+        value_grams = grams_of(folded)
+        if not value_grams and not query_grams:
+            return (1.0 if folded == query_norm else 0.0) >= threshold
+        union = len(value_grams | query_grams)
+        jac = len(value_grams & query_grams) / union if union else 0.0
+        return jac >= threshold
+
+    return predicate
 
 
 def contains_match(value, query):

@@ -8,6 +8,7 @@ from repro.biblio.incipit import (
     incipit_intervals,
     incipit_midi_keys,
     search_by_incipit,
+    search_catalog_incipits,
 )
 from repro.biblio.thematic import ThematicIndex
 from repro.core.schema import Schema
@@ -107,6 +108,93 @@ class TestSearch:
         index, _ = build_bwv_index()
         hits = search_by_incipit(index, SUBJECT_INCIPIT_DARMS, prefix_only=True)
         assert len(hits) == 1
+
+
+@pytest.fixture
+def catalog():
+    """A tiny catalog entity with hand-written incipits + trigram index."""
+    from repro.fixtures.corpus import CATALOG_ATTRIBUTES
+
+    schema = Schema("cat")
+    entity = schema.define_entity("TRACK", CATALOG_ATTRIBUTES)
+    rows = [
+        ("Fugue in G minor", "!G 21Q 23Q 25Q //"),
+        ("Fugue in G minor (transposed)", "!G 24Q 26Q 28Q //"),
+        ("Nocturne", "!G 25Q 24Q 23Q 21Q //"),
+        ("Berceuse", "!G 21Q 21Q 25Q //"),
+        ("Empty one", None),
+    ]
+    for title, incipit in rows:
+        entity.create(title=title, composer="Tester", edition="ed",
+                      incipit=incipit)
+    schema.database.create_text_index(entity.table.name, "incipit")
+    return entity
+
+
+class TestCatalogIncipitSearch:
+    def test_verbatim_uses_index_and_agrees_with_scan(self, catalog):
+        from repro.text import contains_match
+
+        query = "21Q 23Q"
+        hits = search_catalog_incipits(catalog, query)
+        reference = [
+            row.rowid for row in catalog.table
+            if contains_match(row.get("incipit"), query)
+        ]
+        assert hits == sorted(reference)
+        assert len(hits) == 1
+
+    def test_verbatim_without_index_scans(self, catalog):
+        query = "21Q 23Q"
+        indexed = search_catalog_incipits(catalog, query)
+        catalog.table.drop_text_index("incipit")
+        assert search_catalog_incipits(catalog, query) == indexed
+
+    def test_intervals_mode_is_transposition_invariant(self, catalog):
+        # The query is a minor third + major third starting on A; both
+        # G-minor fugue rows match even though their DARMS text differs.
+        hits = search_catalog_incipits(
+            catalog, "!G 24Q 26Q 28Q //", mode="intervals", prefix_only=True
+        )
+        titles = sorted(
+            catalog.table.get(rowid).get("title") for rowid in hits
+        )
+        assert titles == ["Fugue in G minor", "Fugue in G minor (transposed)"]
+
+    def test_contour_mode(self, catalog):
+        hits = search_catalog_incipits(
+            catalog, "!G 21Q 22Q 25Q //", mode="contour", prefix_only=True
+        )
+        titles = {catalog.table.get(rowid).get("title") for rowid in hits}
+        assert "Fugue in G minor" in titles      # UU prefix
+        assert "Nocturne" not in titles          # descends
+
+    def test_limit_stops_early(self, catalog):
+        hits = search_catalog_incipits(catalog, "!G", limit=2)
+        assert len(hits) == 2
+        assert hits == search_catalog_incipits(catalog, "!G")[:2]
+
+    def test_unknown_mode(self, catalog):
+        with pytest.raises(BiblioError):
+            search_catalog_incipits(catalog, "!G 21Q //", mode="psychic")
+
+    def test_corpus_round_trip(self):
+        """Verbatim search over the generated corpus matches brute force."""
+        from repro.fixtures.corpus import load_catalog
+        from repro.text import contains_match
+
+        schema = Schema("corpus")
+        entity = load_catalog(schema, 400, seed=11)
+        schema.database.create_text_index(entity.table.name, "incipit")
+        some_row = next(iter(entity.table))
+        query = some_row.get("incipit")[3:12]  # mid-incipit fragment
+        hits = search_catalog_incipits(entity, query)
+        reference = sorted(
+            row.rowid for row in entity.table
+            if contains_match(row.get("incipit"), query)
+        )
+        assert hits == reference
+        assert some_row.rowid in hits
 
 
 class TestFormatting:

@@ -1,0 +1,263 @@
+"""Property battery: streaming top-k vs a brute-force sort-all reference.
+
+Same machinery as the other props batteries: programs are raw int
+tuples from ``random.Random(seed)`` interpreted modulo the current
+state, so every subsequence is a valid program and greedy shrinking is
+sound.  On failure the battery shrinks to a minimal reproducer and
+prints it for ``REPLAY_OPS``.
+
+After every mutation the battery runs a pool of ranked ``limit N``
+retrieves -- broad and narrow gates, gate-free sorts, varying limits --
+through the streaming top-k session AND through a pure-Python
+reference: score every live row that passes the gate with the same
+``similarity`` scalar, sort by ``(-score, rowid)`` (the engine's
+deterministic tie order: stable sort descending == rowid ascending
+within a score), truncate to the limit.  The two must agree exactly,
+scores included.  A ``use_topk=False`` session triangulates the
+bounded-sort fallback against both.
+
+It also pins the bound soundness the early exit relies on:
+``SimilarityScorer.bound_with(overlap, |R|)`` must dominate the true
+score for every live row, else the top-k operator could prune a row
+that belongs in the result.
+
+The ``text_scale`` case replays the agreement check on the ~1M-row
+generated corpus (run via ``scripts/text_smoke.sh --scale``).
+"""
+
+import random
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.quel.executor import QuelSession
+from repro.text import SimilarityScorer, contains_match, similarity, trigrams
+
+pytestmark = pytest.mark.props
+
+OPS_PER_PROGRAM = 30
+SEEDS = range(12)
+
+# Paste the ops list from a failure message here to replay it.
+REPLAY_OPS = []
+
+TITLES = [
+    "Prélude in C Major",
+    "prelude, op. 28 no. 4",
+    "PRELUDE NO. 7",
+    "Prelude no. 7 in A major",
+    "Étude aux chemins de fer",
+    "Grosse Fuge -- Straße",
+    "Nocturne Op. 9 No. 2",
+    "nocturne in e-flat",
+    "Goldberg Variations: Aria",
+    "!!!...***",
+    "",
+    "ab",
+    "In C Major: Prélude",
+]
+
+#: (rank query, gate query or None, limit) pool run after every op.
+QUERIES = [
+    ("prelude no. 7", "prelude", 3),
+    ("prelude no. 7", "prelude", 10),
+    ("nocturne op 9", "nocturne", 1),
+    ("prelude in c major", None, 5),
+    ("etude", "no", 4),          # sub-trigram gate: index cannot prune
+    ("xy", "prelude", 2),        # sub-trigram rank query: no bound
+]
+
+
+def _statement(query, gate, limit):
+    source = 'retrieve (t.title, score = similarity(t.title, "%s"))' % query
+    if gate is not None:
+        source += ' where matches(t.title, "%s")' % gate
+    source += (
+        ' sort by similarity(t.title, "%s") descending limit %d'
+        % (query, limit)
+    )
+    return source
+
+
+class _State:
+    """A live TRACK table plus three QUEL sessions over it."""
+
+    def __init__(self):
+        self.schema = Schema("topk-props")
+        self.entity = self.schema.define_entity(
+            "TRACK", [("title", "string"), ("n", "integer")]
+        )
+        self.table = self.entity.table
+        self.schema.database.create_text_index(self.table.name, "title")
+        self.topk = QuelSession(self.schema)
+        self.topk.execute("range of t is TRACK")
+        self.full = QuelSession(self.schema, use_topk=False)
+        self.full.execute("range of t is TRACK")
+        self.counter = 0
+        for title in TITLES[:4]:  # non-trivial starting population
+            self._insert(title)
+
+    def _insert(self, title):
+        self.counter += 1
+        self.entity.create(title=title, n=self.counter)
+
+    def apply(self, op):
+        kind = op[0] % 4
+        rowids = sorted(self.table.rowids())
+        if kind in (0, 1):  # insert (bias keeps the table growing)
+            title = TITLES[op[2] % len(TITLES)]
+            if op[3] % 5 == 0:
+                title = None
+            elif op[3] % 3 == 0:
+                title = "%s %d" % (title, op[3] % 20)
+            self._insert(title)
+        elif kind == 2:  # update some live row's title
+            if not rowids:
+                return
+            rowid = rowids[op[1] % len(rowids)]
+            self.table.update(rowid, {"title": TITLES[op[2] % len(TITLES)]})
+        else:  # delete some live row
+            if not rowids:
+                return
+            self.table.delete(rowids[op[1] % len(rowids)])
+
+    def check(self):
+        rows = [(row.rowid, row.get("title")) for row in self.table]
+        for query, gate, limit in QUERIES:
+            expected = self._reference(rows, query, gate, limit)
+            source = _statement(query, gate, limit)
+            got = self.topk.execute(source)
+            assert got == expected, (
+                "top-k diverged for %r:\n  got      %r\n  expected %r"
+                % (source, got, expected)
+            )
+            ablated = self.full.execute(source)
+            assert ablated == expected, (
+                "bounded-sort fallback diverged for %r:\n  got      %r\n"
+                "  expected %r" % (source, ablated, expected)
+            )
+        self._check_bound_soundness(rows)
+
+    @staticmethod
+    def _reference(rows, query, gate, limit):
+        scored = []
+        for rowid, title in rows:
+            if gate is not None and not contains_match(title, gate):
+                continue
+            scored.append((-similarity(title, query), rowid, title))
+        scored.sort()
+        return [
+            {"t.title": title, "score": -negated}
+            for negated, _, title in scored[:limit]
+        ]
+
+    def _check_bound_soundness(self, rows):
+        index = self.table.text_index_for("title")
+        for query, _, _ in QUERIES:
+            scorer = SimilarityScorer(query)
+            if not scorer.grams:
+                continue
+            for rowid, title in rows:
+                overlap = len(scorer.grams & trigrams(title))
+                bound = scorer.bound_with(
+                    overlap, index.row_gram_count(rowid)
+                )
+                score = similarity(title, query)
+                assert bound >= score - 1e-12, (
+                    "bound %.6f below true score %.6f for title %r vs "
+                    "query %r" % (bound, score, title, query)
+                )
+
+
+def _generate_ops(seed, count=OPS_PER_PROGRAM):
+    rng = random.Random(seed)
+    return [tuple(rng.randrange(1 << 16) for _ in range(4)) for _ in range(count)]
+
+
+def _program_fails(ops):
+    state = _State()
+    try:
+        state.check()
+    except Exception as error:  # noqa: BLE001 -- any divergence fails
+        return "initial state: %s: %s" % (type(error).__name__, error)
+    for index, op in enumerate(ops):
+        try:
+            state.apply(op)
+            state.check()
+        except Exception as error:  # noqa: BLE001
+            return "op %d (%r): %s: %s" % (index, op, type(error).__name__, error)
+    return None
+
+
+def _shrink(ops, fails):
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(ops)):
+            candidate = ops[:index] + ops[index + 1:]
+            if fails(candidate):
+                ops = candidate
+                changed = True
+                break
+    return ops
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_topk_matches_sort_all_reference(seed):
+    ops = _generate_ops(seed)
+    error = _program_fails(ops)
+    if error is None:
+        return
+    minimal = _shrink(ops, lambda candidate: _program_fails(candidate) is not None)
+    pytest.fail(
+        "seed %d diverged from the sort-all reference.\n%s\n"
+        "Replay by setting REPLAY_OPS = %r" % (seed, _program_fails(minimal), minimal)
+    )
+
+
+@pytest.mark.skipif(not REPLAY_OPS, reason="no recorded failure to replay")
+def test_replay_minimal_failure():
+    error = _program_fails([tuple(op) for op in REPLAY_OPS])
+    assert error is None, error
+
+
+@pytest.mark.text_slow
+@pytest.mark.parametrize("seed", range(200, 215))
+def test_random_topk_extended(seed):
+    ops = _generate_ops(seed, 80)
+    error = _program_fails(ops)
+    if error is None:
+        return
+    minimal = _shrink(ops, lambda candidate: _program_fails(candidate) is not None)
+    pytest.fail(
+        "seed %d diverged from the sort-all reference.\n%s\n"
+        "Replay by setting REPLAY_OPS = %r" % (seed, _program_fails(minimal), minimal)
+    )
+
+
+@pytest.mark.text_scale
+@pytest.mark.parametrize("query,gate,limit", [
+    ("prelude no. 7", "prelude", 10),
+    ("nocturne in e flat major", "nocturne", 25),
+])
+def test_million_row_topk_matches_reference(query, gate, limit):
+    """The 1M-row matrix: streaming top-k result == brute-force sort-all.
+
+    The reference scores every gate-passing row with the exact scalar
+    and sorts; only the candidate *generation* is shared with the
+    engine (the posting superset property has its own battery).
+    """
+    from repro.fixtures.corpus import load_catalog
+
+    schema = Schema("topk-scale")
+    entity = load_catalog(schema, 1_000_000, seed=7)
+    schema.database.create_text_index(entity.table.name, "title")
+    session = QuelSession(schema)
+    session.execute("range of t is TRACK")
+
+    source = _statement(query, gate, limit)
+    got = session.execute(source)
+    assert session.last_plan_object.label == "index text topk"
+    rows = [(row.rowid, row.get("title")) for row in entity.table]
+    expected = _State._reference(rows, query, gate, limit)
+    assert got == expected

@@ -1,0 +1,186 @@
+"""The QUEL ``limit N`` clause.
+
+Parser validation (only positive integer literals), bounded execution
+across every statement shape (unsorted, sorted, unique, aggregates),
+agreement between the interpreter, compiled, top-k-ablated, and
+snapshot execution paths, and the streaming operators' early exit
+(``explain analyze`` rows-visited strictly below the candidate count).
+"""
+
+import re
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.errors import ParseError
+from repro.fixtures.corpus import load_catalog
+from repro.quel.executor import QuelSession
+from repro.quel.parser import parse_quel
+
+ROWS = 10_000
+
+TOPK = (
+    'retrieve (t.title, score = similarity(t.title, "prelude no. 7")) '
+    'where matches(t.title, "prelude") '
+    'sort by similarity(t.title, "prelude no. 7") descending limit 10'
+)
+TOPK_UNLIMITED = TOPK.rsplit(" limit ", 1)[0]
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    schema = Schema("limit-catalog")
+    entity = load_catalog(schema, ROWS, seed=3)
+    schema.database.create_text_index(entity.table.name, "title")
+    return schema
+
+
+def _session(schema, **flags):
+    session = QuelSession(schema, **flags)
+    session.execute("range of t is TRACK")
+    return session
+
+
+class TestParserValidation:
+    @pytest.mark.parametrize("operand", ["0", "-3", "2.5", '"ten"', "t.n", ""])
+    def test_rejects_non_positive_integer_operands(self, operand):
+        with pytest.raises(ParseError):
+            parse_quel("retrieve (t.n) limit %s" % operand)
+
+    def test_parses_positive_integer(self):
+        (statement,) = parse_quel("retrieve (t.n) limit 10")
+        assert statement.limit == 10
+
+    def test_absent_limit_is_none(self):
+        (statement,) = parse_quel("retrieve (t.n)")
+        assert statement.limit is None
+
+    def test_limit_follows_sort(self):
+        (statement,) = parse_quel(
+            "retrieve (t.n) sort by t.n descending limit 3"
+        )
+        assert statement.limit == 3
+        assert statement.descending
+
+
+class TestBoundedExecution:
+    """Every limit shape must equal its unlimited statement, truncated."""
+
+    def test_unsorted_scan_limit(self, catalog):
+        session = _session(catalog)
+        full = session.execute("retrieve (t.composer)")
+        assert session.execute("retrieve (t.composer) limit 7") == full[:7]
+
+    def test_sorted_limit_ascending(self, catalog):
+        session = _session(catalog)
+        base = 'retrieve (t.title) where matches(t.title, "nocturne") sort by t.title'
+        full = session.execute(base)
+        assert session.execute(base + " limit 3") == full[:3]
+
+    def test_sorted_limit_descending(self, catalog):
+        session = _session(catalog)
+        base = (
+            'retrieve (t.title) where matches(t.title, "nocturne") '
+            "sort by t.title descending"
+        )
+        full = session.execute(base)
+        assert session.execute(base + " limit 3") == full[:3]
+
+    def test_unique_limit(self, catalog):
+        session = _session(catalog)
+        base = 'retrieve unique (t.composer) where matches(t.title, "prelude")'
+        full = session.execute(base)
+        assert session.execute(base + " limit 5") == full[:5]
+
+    def test_unique_sorted_limit(self, catalog):
+        session = _session(catalog)
+        base = (
+            'retrieve unique (t.composer) where matches(t.title, "prelude") '
+            "sort by t.composer"
+        )
+        full = session.execute(base)
+        assert session.execute(base + " limit 4") == full[:4]
+
+    def test_aggregate_limit_truncates_groups(self, catalog):
+        session = _session(catalog)
+        base = (
+            "retrieve (t.composer, works = count(t.title)) "
+            'where matches(t.title, "prelude")'
+        )
+        full = session.execute(base)
+        assert session.execute(base + " limit 3") == full[:3]
+
+    def test_limit_beyond_result_set_is_harmless(self, catalog):
+        session = _session(catalog)
+        base = 'retrieve (t.title) where matches(t.title, "goldberg zzz")'
+        assert session.execute(base + " limit 50") == session.execute(base)
+
+    def test_ranked_limit_equals_full_sort_truncated(self, catalog):
+        session = _session(catalog)
+        full = session.execute(TOPK_UNLIMITED)
+        assert session.execute(TOPK) == full[:10]
+
+
+class TestPathAgreement:
+    def test_compiled_interpreter_and_ablated_agree(self, catalog):
+        compiled = _session(catalog)
+        out = compiled.execute(TOPK)
+        assert len(out) == 10
+        assert compiled.last_plan_object.label == "index text topk"
+
+        interpreted = _session(catalog, use_compiled=False)
+        assert interpreted.execute(TOPK) == out
+        assert interpreted.last_plan_object.label == "index text topk"
+
+        ablated = _session(catalog, use_topk=False)
+        assert ablated.execute(TOPK) == out
+        assert ablated.last_plan_object.label == "index text"
+
+        unindexed = _session(catalog, use_indexes=False)
+        assert unindexed.execute(TOPK) == out
+        assert unindexed.last_plan_object.label == "scan"
+
+    def test_snapshot_read_agrees(self, catalog):
+        session = _session(catalog)
+        live = session.execute(TOPK)
+        with catalog.database.snapshot():
+            out = session.execute(TOPK)
+            assert out == live
+            assert session.last_plan_object.label == "snapshot scan"
+
+    def test_stream_paths_agree_on_unsorted_limit(self, catalog):
+        source = 'retrieve (t.title) where matches(t.title, "prelude") limit 5'
+        session = _session(catalog)
+        out = session.execute(source)
+        assert session.last_plan_object.label == "index text stream"
+        assert len(out) == 5
+        full = session.execute(source.rsplit(" limit ", 1)[0])
+        assert out == full[:5]
+        ablated = _session(catalog, use_topk=False)
+        assert ablated.execute(source) == out
+        assert ablated.last_plan_object.label == "index text"
+
+
+class TestEarlyExit:
+    @staticmethod
+    def _analyze(session, source):
+        rows = session.execute("explain analyze " + source)
+        rendered = "\n".join(row["plan"] for row in rows)
+        visited = int(re.search(r"rows visited: (\d+)", rendered).group(1))
+        candidates = int(re.search(r"\((\d+) candidates\)", rendered).group(1))
+        return rendered, visited, candidates
+
+    def test_topk_visits_fewer_rows_than_candidates(self, catalog):
+        session = _session(catalog)
+        rendered, visited, candidates = self._analyze(session, TOPK)
+        assert "index text topk" in rendered
+        assert visited < candidates
+        assert visited >= 10  # at least the returned rows were fetched
+
+    def test_stream_visits_fewer_rows_than_candidates(self, catalog):
+        session = _session(catalog)
+        source = 'retrieve (t.title) where matches(t.title, "prelude") limit 5'
+        rendered, visited, candidates = self._analyze(session, source)
+        assert "index text stream" in rendered
+        assert visited < candidates
+        assert visited >= 5
